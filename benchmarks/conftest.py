@@ -1,0 +1,87 @@
+"""Shared session fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation. The expensive artifacts — the general-purpose model trained
+on the 106 micro-benchmarks, and the two characterization campaigns —
+are shared across benchmark files via session-scoped fixtures.
+
+Scale notes: training sweeps use a 25-bin frequency subsample (the paper
+permits training on "a part" of the configurations, §4.2.2) with 3
+repetitions instead of 5; figure-level characterizations sweep the full
+196-bin table. Every rendered artifact is also written to
+``benchmarks/output/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import build_cronos_campaign, build_ligen_campaign
+from repro.ml import RandomForestRegressor
+from repro.modeling import GeneralPurposeModel
+from repro.synergy import Platform
+
+#: Repetitions for benchmark-scale sweeps (paper uses 5).
+BENCH_REPETITIONS = 3
+#: Frequency-subsample size for training sweeps.
+BENCH_FREQ_COUNT = 24
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_forest():
+    """The Random-Forest configuration used across the harness."""
+    return RandomForestRegressor(n_estimators=30, random_state=1234)
+
+
+def write_artifact(name: str, content: str) -> None:
+    """Persist a rendered table under benchmarks/output/ and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """One platform for the whole benchmark session (deterministic)."""
+    return Platform.default(seed=2023)
+
+
+@pytest.fixture(scope="session")
+def v100(platform):
+    return platform.get_device("v100")
+
+
+@pytest.fixture(scope="session")
+def mi100(platform):
+    return platform.get_device("mi100")
+
+
+@pytest.fixture(scope="session")
+def gp_model(v100):
+    """The general-purpose model, trained once on the micro-benchmarks."""
+    gp = GeneralPurposeModel(regressor_factory=bench_forest, repetitions=BENCH_REPETITIONS)
+    freqs = v100.gpu.spec.core_freqs.subsample(BENCH_FREQ_COUNT)
+    if v100.default_frequency_mhz not in freqs:
+        freqs = sorted(set(freqs) | {v100.default_frequency_mhz})
+    gp.train(v100, freqs_mhz=freqs)
+    return gp
+
+
+@pytest.fixture(scope="session")
+def cronos_campaign(v100):
+    """Cronos training campaign over the paper's five grids."""
+    return build_cronos_campaign(
+        v100, freq_count=BENCH_FREQ_COUNT, repetitions=BENCH_REPETITIONS
+    )
+
+
+@pytest.fixture(scope="session")
+def ligen_campaign(v100):
+    """LiGen training campaign over the full (l, a, f) input grid."""
+    return build_ligen_campaign(
+        v100, freq_count=BENCH_FREQ_COUNT, repetitions=BENCH_REPETITIONS
+    )

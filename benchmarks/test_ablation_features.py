@@ -1,0 +1,85 @@
+"""Ablation: which domain features carry the accuracy?
+
+DESIGN.md calls out the feature choice (Table 2) as the core design
+decision. This ablation retrains the LiGen domain-specific model with
+each input feature removed in turn (replaced by a constant) and measures
+the LOOCV error increase. Dropping the ligand count — the strongest
+occupancy driver — must hurt the most on normalized energy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_forest, write_artifact
+from repro.ligen.app import LIGEN_FEATURE_NAMES
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.modeling.dataset import EnergyDataset, EnergySample
+from repro.modeling.domain import DomainSpecificModel
+from repro.utils.tables import AsciiTable
+
+VALIDATION = [(256.0, 4.0, 31.0), (256.0, 20.0, 89.0), (4096.0, 20.0, 89.0)]
+
+
+def mask_feature(dataset, index):
+    """Copy of the dataset with one feature column zeroed (uninformative)."""
+    out = EnergyDataset(feature_names=dataset.feature_names)
+    for s in dataset.samples:
+        feats = list(s.features)
+        feats[index] = 0.0
+        out.add(
+            EnergySample(
+                features=tuple(feats), freq_mhz=s.freq_mhz, time_s=s.time_s, energy_j=s.energy_j
+            )
+        )
+    return out
+
+
+def loocv_energy_mape(campaign, dataset, masked_index=None):
+    errors = []
+    for feats in VALIDATION:
+        train, _ = dataset.split_leave_one_out(
+            tuple(0.0 if i == masked_index else v for i, v in enumerate(feats))
+            if masked_index is not None
+            else feats
+        )
+        model = DomainSpecificModel(dataset.feature_names, bench_forest).fit(train)
+        measured = campaign.characterization_for(feats)
+        query = (
+            tuple(0.0 if i == masked_index else v for i, v in enumerate(feats))
+            if masked_index is not None
+            else feats
+        )
+        pred = model.predict_tradeoff(query, measured.freqs_mhz)
+        errors.append(
+            mean_absolute_percentage_error(
+                measured.normalized_energies(), pred.normalized_energies
+            )
+        )
+    return float(np.mean(errors))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_feature_ablation(benchmark, ligen_campaign):
+    def run():
+        results = {"all features": loocv_energy_mape(ligen_campaign, ligen_campaign.dataset)}
+        for i, name in enumerate(LIGEN_FEATURE_NAMES):
+            masked = mask_feature(ligen_campaign.dataset, i)
+            results[f"without {name}"] = loocv_energy_mape(ligen_campaign, masked, masked_index=i)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["configuration", "normalized-energy MAPE"],
+        title="Ablation: LiGen domain features (LOOCV)",
+    )
+    for k, v in results.items():
+        table.add_row([k, v])
+    write_artifact("ablation_features.txt", table.render())
+
+    # the full feature set must be at least as accurate as any ablation
+    full = results["all features"]
+    assert all(full <= v + 1e-6 for k, v in results.items() if k != "all features")
+    # dropping the ligand count hurts the most (it drives occupancy)
+    drops = {k: v - full for k, v in results.items() if k != "all features"}
+    assert max(drops, key=drops.get) == "without f_ligands"

@@ -1,0 +1,66 @@
+"""Ablation: how many frequencies must be profiled for training?
+
+The paper notes training may use "each (or a part) of the frequency
+configurations" (§4.2.2). Profiling cost scales linearly with the number
+of trained bins, so this ablation quantifies the accuracy/cost trade-off:
+LiGen DS normalized-energy MAPE as the training sweep shrinks from 24 to
+6 bins (prediction always evaluated on the densest sweep's bins).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, bench_forest, write_artifact
+from repro.experiments.datasets import build_ligen_campaign
+from repro.ligen.app import LIGEN_FEATURE_NAMES
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.modeling.domain import DomainSpecificModel
+from repro.utils.tables import AsciiTable
+
+VALIDATION = [(256.0, 4.0, 31.0), (4096.0, 20.0, 89.0)]
+LIGANDS = (2, 256, 4096, 10000)
+ATOMS = (31, 89)
+FRAGS = (4, 20)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_frequency_subsample_ablation(benchmark, v100):
+    def run():
+        results = {}
+        for count in (6, 12, 24):
+            campaign = build_ligen_campaign(
+                v100,
+                ligand_counts=LIGANDS,
+                atom_counts=ATOMS,
+                fragment_counts=FRAGS,
+                freq_count=count,
+                repetitions=BENCH_REPETITIONS,
+            )
+            errors = []
+            for feats in VALIDATION:
+                train, _ = campaign.dataset.split_leave_one_out(feats)
+                model = DomainSpecificModel(LIGEN_FEATURE_NAMES, bench_forest).fit(train)
+                measured = campaign.characterization_for(feats)
+                pred = model.predict_tradeoff(feats, measured.freqs_mhz)
+                errors.append(
+                    mean_absolute_percentage_error(
+                        measured.normalized_energies(), pred.normalized_energies
+                    )
+                )
+            results[count] = float(np.mean(errors))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["training frequencies", "normalized-energy MAPE"],
+        title="Ablation: training-sweep frequency count",
+    )
+    for count, err in sorted(results.items()):
+        table.add_row([count, err])
+    write_artifact("ablation_freq_subsample.txt", table.render())
+
+    # denser sweeps must not be (meaningfully) worse, and even 6 bins
+    # must beat the general-purpose error scale (~0.1)
+    assert results[24] <= results[6] + 0.01
+    assert results[6] < 0.08

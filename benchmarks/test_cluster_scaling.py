@@ -1,0 +1,110 @@
+"""Extension bench: cluster-scale behaviour of the two applications.
+
+Not a paper figure — the paper's applications *ran* at cluster scale
+(LiGen on HPC5/MARCONI100, Cronos via Celerity) but were characterized on
+one GPU. This bench regenerates the strong-scaling table for the
+distributed substrate and the cluster-level frequency sweep, pinning the
+qualitative laws: communication erodes Cronos scaling efficiency, LiGen
+scales near-linearly, and charging host power moves the energy-optimal
+clock upward.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.cluster import (
+    Cluster,
+    DistributedCronos,
+    DistributedLigen,
+    characterize_cluster,
+)
+from repro.cronos.grid import Grid3D
+from repro.utils.tables import AsciiTable
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cronos_strong_scaling(benchmark):
+    app = DistributedCronos(Grid3D(160, 64, 64), n_steps=6)
+
+    def run():
+        rows = []
+        t1 = None
+        for n_gpus in (1, 2, 4, 8, 16):
+            nodes = max(1, n_gpus // 4)
+            cluster = Cluster.homogeneous(n_nodes=nodes, gpus_per_node=min(4, n_gpus))
+            report = app.run(cluster)
+            if t1 is None:
+                t1 = report.wall_time_s
+            rows.append((n_gpus, report, t1 / report.wall_time_s))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["GPUs", "wall (ms)", "speedup", "efficiency", "comm share"],
+        title="Cronos 160x64x64 strong scaling",
+    )
+    for n, report, speedup in rows:
+        table.add_row(
+            [n, report.wall_time_s * 1e3, speedup, speedup / n, f"{report.comm_fraction:.1%}"]
+        )
+    write_artifact("cluster_cronos_scaling.txt", table.render())
+
+    speedups = {n: s for n, _, s in rows}
+    comm = {n: r.comm_fraction for n, r, _ in rows}
+    assert speedups[4] > 2.0  # useful scaling at small counts
+    assert speedups[16] > speedups[4]  # still monotone
+    assert speedups[16] < 8.0  # but clearly sub-linear
+    assert comm[16] > comm[2]  # communication share grows
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_ligen_near_linear_scaling(benchmark):
+    app = DistributedLigen(100000, 89, 20, batch_size=4096)
+
+    def run():
+        out = {}
+        for n_gpus in (1, 4, 8):
+            cluster = Cluster.homogeneous(n_nodes=max(1, n_gpus // 4), gpus_per_node=min(4, n_gpus))
+            out[n_gpus] = app.run(cluster)
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    t1 = reports[1].wall_time_s
+    table = AsciiTable(
+        ["GPUs", "wall (s)", "speedup", "efficiency"],
+        title="LiGen 100000x89x20 scaling (embarrassingly parallel)",
+    )
+    for n, report in reports.items():
+        table.add_row([n, report.wall_time_s, t1 / report.wall_time_s, t1 / report.wall_time_s / n])
+    write_artifact("cluster_ligen_scaling.txt", table.render())
+    assert t1 / reports[8].wall_time_s > 6.5  # > 80% efficiency at 8 GPUs
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_energy_optimum_shifts(benchmark):
+    cluster = Cluster.homogeneous(n_nodes=2, gpus_per_node=4, host_power_w=350.0)
+    app = DistributedCronos(Grid3D(160, 64, 64), n_steps=4)
+    freqs = [450.0, 600.0, 750.0, 900.0, 1100.0, 1282.0, 1597.0]
+
+    def run():
+        return characterize_cluster(app, cluster, freqs_mhz=freqs)
+
+    profile = benchmark.pedantic(run, rounds=1, iterations=1)
+    gpu_only = profile.normalized_energies(include_host=False)
+    total = profile.normalized_energies(include_host=True)
+
+    table = AsciiTable(
+        ["freq (MHz)", "speedup", "normE (GPU)", "normE (total)"],
+        title="Cluster uniform-clock sweep (8 GPUs, 350 W hosts)",
+    )
+    for f, sp, g, t in zip(profile.freqs_mhz, profile.speedups(), gpu_only, total):
+        table.add_row([round(float(f)), sp, g, t])
+    write_artifact("cluster_energy_optimum.txt", table.render())
+
+    f_gpu = profile.freqs_mhz[int(np.argmin(gpu_only))]
+    f_total = profile.freqs_mhz[int(np.argmin(total))]
+    assert f_total >= f_gpu  # host power penalizes slow clocks
+    # savings still exist at cluster level, just smaller
+    assert total.min() < 1.0
+    assert total.min() > gpu_only.min()

@@ -1,0 +1,54 @@
+"""Figure 1: LiGen and Cronos multi-objective characterization on V100.
+
+Regenerates the speedup vs normalized-energy scatter (with the Pareto
+front flagged) for both applications at their default workloads, sweeping
+the full 196-bin V100 frequency table as the paper does.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, write_artifact
+from repro.cronos.app import CronosApplication
+from repro.experiments import characterization_series, render_characterization
+from repro.ligen.app import LigenApplication
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01a_ligen(benchmark, v100):
+    def run():
+        return characterization_series(
+            LigenApplication(10000, 89, 20), v100, repetitions=BENCH_REPETITIONS
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "fig01a_ligen.txt", render_characterization(series, "Fig 1a", max_rows=40)
+    )
+    sp = series.result.speedups()
+    ne = series.result.normalized_energies()
+    # paper shape: up to ~25% speedup; steep energy premium at the top
+    assert 1.15 <= sp.max() <= 1.35
+    assert ne[np.argmax(sp)] >= 1.3
+    # a mild down-clock saves ~10%
+    assert ne[(sp >= 0.82)].min() <= 0.95
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01b_cronos(benchmark, v100):
+    def run():
+        return characterization_series(
+            CronosApplication.from_size(80, 32, 32), v100, repetitions=BENCH_REPETITIONS
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "fig01b_cronos.txt", render_characterization(series, "Fig 1b", max_rows=40)
+    )
+    sp = series.result.speedups()
+    ne = series.result.normalized_energies()
+    # paper shape: raising the clock buys nothing, costs up to ~30-40%
+    assert sp.max() <= 1.03
+    assert 1.2 <= ne[np.argmax(series.result.freqs_mhz)] <= 1.5
+    # down-clocking saves ~20% nearly for free
+    assert ne[(sp >= 0.98)].min() <= 0.87

@@ -1,0 +1,55 @@
+"""Figure 2: LiGen Pareto characterization vs input size (V100).
+
+Small input: 2 ligands x 89 atoms x 8 fragments; large input: 10000
+ligands x 89 atoms x 20 fragments. The paper's observation: the energy
+behaviour flips — small inputs gain speedup cheaply but cannot save
+energy by down-clocking; large inputs pay a much larger premium for the
+same speedup but do offer down-clock savings.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, write_artifact
+from repro.experiments import characterization_series, render_characterization
+from repro.ligen.app import LigenApplication
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02a_small_input(benchmark, v100):
+    def run():
+        return characterization_series(
+            LigenApplication(2, 89, 8), v100, repetitions=BENCH_REPETITIONS
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "fig02a_ligen_small.txt", render_characterization(series, "Fig 2a", max_rows=40)
+    )
+    sp = series.result.speedups()
+    ne = series.result.normalized_energies()
+    # speedup available by over-clocking
+    assert sp.max() >= 1.15
+    # but decreasing the core frequency provides no energy savings
+    below_default = ne[series.result.freqs_mhz < 1280.0]
+    assert below_default.min() >= 0.96
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02b_large_input(benchmark, v100):
+    def run():
+        return characterization_series(
+            LigenApplication(10000, 89, 20), v100, repetitions=BENCH_REPETITIONS
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "fig02b_ligen_large.txt", render_characterization(series, "Fig 2b", max_rows=40)
+    )
+    sp = series.result.speedups()
+    ne = series.result.normalized_energies()
+    # down-clocking now saves energy (paper: ~10% at ~10% loss)
+    savings = ne[(sp >= 0.85) & (sp <= 0.95)]
+    assert savings.min() <= 0.95
+    # the speedup premium is steeper than for the small input
+    assert ne[np.argmax(sp)] >= 1.3

@@ -1,0 +1,53 @@
+"""Figure 3: Cronos Pareto characterization vs input size (V100).
+
+Small grid 20x8x8 vs large grid 160x64x64: for small grids, down-clocking
+offers little energy saving; large grids save up to ~20% with ~1%
+speedup loss.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, write_artifact
+from repro.cronos.app import CronosApplication
+from repro.experiments import characterization_series, render_characterization
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03a_small_grid(benchmark, v100):
+    def run():
+        return characterization_series(
+            CronosApplication.from_size(20, 8, 8), v100, repetitions=BENCH_REPETITIONS
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "fig03a_cronos_small.txt", render_characterization(series, "Fig 3a", max_rows=40)
+    )
+    sp = series.result.speedups()
+    ne = series.result.normalized_energies()
+    # small speedup changes near the top; modest energy increase
+    assert sp.max() <= 1.04
+    top_ne = ne[np.argmax(series.result.freqs_mhz)]
+    assert 1.05 <= top_ne <= 1.30
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03b_large_grid(benchmark, v100):
+    def run():
+        return characterization_series(
+            CronosApplication.from_size(160, 64, 64), v100, repetitions=BENCH_REPETITIONS
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "fig03b_cronos_large.txt", render_characterization(series, "Fig 3b", max_rows=40)
+    )
+    sp = series.result.speedups()
+    ne = series.result.normalized_energies()
+    # significant savings (~20%) while losing ~1% speedup
+    near_free = ne[sp >= 0.99]
+    assert near_free.min() <= 0.88
+    # over-clocking: up to ~30% more energy, no speedup
+    assert ne.max() >= 1.25
+    assert sp.max() <= 1.03

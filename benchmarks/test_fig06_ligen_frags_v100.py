@@ -1,0 +1,75 @@
+"""Figure 6: LiGen raw energy-vs-time on V100, scaling fragments.
+
+100000 ligands; atoms fixed at 31 (panel a) or 89 (panel b); fragments
+swept over {4, 8, 16, 20}. Raw (unnormalized) values, energies in kJ, as
+the paper plots. Both energy and time must increase with the fragment
+count, more prominently at the larger atom count.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, write_artifact
+from repro.experiments import ligen_raw_scaling, render_raw_scaling
+
+FRAGS = (4, 8, 16, 20)
+
+
+def _series_stats(points, atoms):
+    by_frag = {}
+    for p in points:
+        if p.atoms == atoms:
+            by_frag.setdefault(p.fragments, []).append(p)
+    return by_frag
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06a_31_atoms(benchmark, v100):
+    def run():
+        return ligen_raw_scaling(
+            v100,
+            n_ligands=100000,
+            atom_counts=[31],
+            fragment_counts=FRAGS,
+            freqs_mhz=v100.gpu.spec.core_freqs.subsample(24),
+            repetitions=BENCH_REPETITIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig06a_ligen_31atoms_v100.txt", render_raw_scaling(points, "Fig 6a", max_rows=48))
+    by_frag = _series_stats(points, 31)
+    med_energy = {f: np.median([p.energy_kj for p in pts]) for f, pts in by_frag.items()}
+    med_time = {f: np.median([p.time_s for p in pts]) for f, pts in by_frag.items()}
+    assert med_energy[4] < med_energy[8] < med_energy[16] < med_energy[20]
+    assert med_time[4] < med_time[20]
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06b_89_atoms(benchmark, v100):
+    def run():
+        return ligen_raw_scaling(
+            v100,
+            n_ligands=100000,
+            atom_counts=[89],
+            fragment_counts=FRAGS,
+            freqs_mhz=v100.gpu.spec.core_freqs.subsample(24),
+            repetitions=BENCH_REPETITIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig06b_ligen_89atoms_v100.txt", render_raw_scaling(points, "Fig 6b", max_rows=48))
+    by_frag = _series_stats(points, 89)
+    med_energy = {f: np.median([p.energy_kj for p in pts]) for f, pts in by_frag.items()}
+    assert med_energy[4] < med_energy[20]
+    # Fig 6b axis check: default-clock point lands in the 0.8-2.2 kJ band
+    default_pts = [p for p in by_frag[20] if abs(p.freq_mhz - 1282.1) < 5.0]
+    assert default_pts and 0.8 <= default_pts[0].energy_kj <= 2.6
+    # the spread across fragments is wider at 89 atoms than at 31
+    points31 = ligen_raw_scaling(
+        v100, n_ligands=100000, atom_counts=[31], fragment_counts=FRAGS,
+        freqs_mhz=[1282.0], repetitions=BENCH_REPETITIONS,
+    )
+    spread31 = max(p.energy_kj for p in points31) - min(p.energy_kj for p in points31)
+    at_default = [p for p in points if abs(p.freq_mhz - 1282.1) < 5.0]
+    spread89 = max(p.energy_kj for p in at_default) - min(p.energy_kj for p in at_default)
+    assert spread89 > spread31

@@ -1,0 +1,61 @@
+"""Figure 7: LiGen raw energy-vs-time on AMD MI100, scaling fragments.
+
+Same experiment as Figure 6 on the MI100: fragment scaling must hold, and
+both time and energy must exceed the V100's for the same workload.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, write_artifact
+from repro.experiments import ligen_raw_scaling, render_raw_scaling
+
+FRAGS = (4, 8, 16, 20)
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07a_31_atoms(benchmark, mi100):
+    def run():
+        return ligen_raw_scaling(
+            mi100,
+            n_ligands=100000,
+            atom_counts=[31],
+            fragment_counts=FRAGS,
+            freqs_mhz=mi100.gpu.spec.core_freqs.subsample(24),
+            repetitions=BENCH_REPETITIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig07a_ligen_31atoms_mi100.txt", render_raw_scaling(points, "Fig 7a", max_rows=48))
+    med = {
+        f: np.median([p.energy_kj for p in points if p.fragments == f]) for f in FRAGS
+    }
+    assert med[4] < med[8] < med[16] < med[20]
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07b_89_atoms_and_v100_comparison(benchmark, mi100, v100):
+    def run():
+        return ligen_raw_scaling(
+            mi100,
+            n_ligands=100000,
+            atom_counts=[89],
+            fragment_counts=FRAGS,
+            freqs_mhz=mi100.gpu.spec.core_freqs.subsample(24),
+            repetitions=BENCH_REPETITIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig07b_ligen_89atoms_mi100.txt", render_raw_scaling(points, "Fig 7b", max_rows=48))
+
+    v100_points = ligen_raw_scaling(
+        v100, n_ligands=100000, atom_counts=[89], fragment_counts=[20],
+        freqs_mhz=[1282.0], repetitions=BENCH_REPETITIONS,
+    )
+    # MI100 auto baseline ~ its top frequencies; compare near-top points
+    mi_top = [p for p in points if p.fragments == 20 and p.freq_mhz > 1350.0]
+    assert mi_top and v100_points
+    t_mi = np.median([p.time_s for p in mi_top])
+    e_mi = np.median([p.energy_kj for p in mi_top])
+    assert t_mi > 1.2 * v100_points[0].time_s
+    assert e_mi > 1.5 * v100_points[0].energy_kj

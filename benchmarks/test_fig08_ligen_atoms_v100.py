@@ -1,0 +1,66 @@
+"""Figure 8: LiGen raw energy-vs-time on V100, scaling atoms.
+
+100000 ligands; fragments fixed at 4 (panel a) or 20 (panel b); atoms
+swept over {31, 63, 71, 89} (§5.1; the figure itself labels the third
+series 74 — we follow the setup text). Energy and time grow with the atom
+count.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, write_artifact
+from repro.experiments import ligen_raw_scaling, render_raw_scaling
+
+ATOMS = (31, 63, 71, 89)
+
+
+def _medians(points, key="energy_kj"):
+    return {
+        a: np.median([getattr(p, key) for p in points if p.atoms == a]) for a in ATOMS
+    }
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08a_4_fragments(benchmark, v100):
+    def run():
+        return ligen_raw_scaling(
+            v100,
+            n_ligands=100000,
+            atom_counts=ATOMS,
+            fragment_counts=[4],
+            freqs_mhz=v100.gpu.spec.core_freqs.subsample(24),
+            repetitions=BENCH_REPETITIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig08a_ligen_4frags_v100.txt", render_raw_scaling(points, "Fig 8a", max_rows=48))
+    energy = _medians(points)
+    time = _medians(points, "time_s")
+    assert energy[31] < energy[63] < energy[71] < energy[89]
+    assert time[31] < time[89]
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08b_20_fragments(benchmark, v100):
+    def run():
+        return ligen_raw_scaling(
+            v100,
+            n_ligands=100000,
+            atom_counts=ATOMS,
+            fragment_counts=[20],
+            freqs_mhz=v100.gpu.spec.core_freqs.subsample(24),
+            repetitions=BENCH_REPETITIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig08b_ligen_20frags_v100.txt", render_raw_scaling(points, "Fig 8b", max_rows=48))
+    energy = _medians(points)
+    assert energy[31] < energy[89]
+    # with 5x the fragments, every series is proportionally heavier than 8a
+    points_a = ligen_raw_scaling(
+        v100, n_ligands=100000, atom_counts=[89], fragment_counts=[4],
+        freqs_mhz=[1282.0], repetitions=BENCH_REPETITIONS,
+    )
+    at_default = [p for p in points if p.atoms == 89 and abs(p.freq_mhz - 1282.1) < 5.0]
+    assert at_default[0].energy_kj > 3.0 * points_a[0].energy_kj

@@ -1,0 +1,51 @@
+"""Figure 9: LiGen raw energy-vs-time on AMD MI100, scaling atoms.
+
+Same experiment as Figure 8 on the MI100: the paper reports "similar
+behavior" — monotone growth in atoms at both fragment counts.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, write_artifact
+from repro.experiments import ligen_raw_scaling, render_raw_scaling
+
+ATOMS = (31, 63, 71, 89)
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09a_4_fragments(benchmark, mi100):
+    def run():
+        return ligen_raw_scaling(
+            mi100,
+            n_ligands=100000,
+            atom_counts=ATOMS,
+            fragment_counts=[4],
+            freqs_mhz=mi100.gpu.spec.core_freqs.subsample(24),
+            repetitions=BENCH_REPETITIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig09a_ligen_4frags_mi100.txt", render_raw_scaling(points, "Fig 9a", max_rows=48))
+    med = {a: np.median([p.energy_kj for p in points if p.atoms == a]) for a in ATOMS}
+    assert med[31] < med[63] < med[71] < med[89]
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09b_20_fragments(benchmark, mi100):
+    def run():
+        return ligen_raw_scaling(
+            mi100,
+            n_ligands=100000,
+            atom_counts=ATOMS,
+            fragment_counts=[20],
+            freqs_mhz=mi100.gpu.spec.core_freqs.subsample(24),
+            repetitions=BENCH_REPETITIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig09b_ligen_20frags_mi100.txt", render_raw_scaling(points, "Fig 9b", max_rows=48))
+    med_t = {a: np.median([p.time_s for p in points if p.atoms == a]) for a in ATOMS}
+    med_e = {a: np.median([p.energy_kj for p in points if p.atoms == a]) for a in ATOMS}
+    assert med_t[31] < med_t[89]
+    assert med_e[31] < med_e[89]

@@ -1,0 +1,69 @@
+"""Figure 10: LiGen normalized characterization, small vs large input,
+on both GPUs.
+
+Small input: 256 ligands x 31 atoms x 4 fragments; large: 10000 x 89 x
+20. On the V100 the large input reaches higher speedup at a much higher
+energy premium; on the MI100 the auto governor is never beaten on
+speedup, while manual down-clocking saves energy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, write_artifact
+from repro.experiments import characterization_series, render_characterization
+from repro.experiments.configs import LIGEN_LARGE_INPUT, LIGEN_SMALL_INPUT
+from repro.ligen.app import LigenApplication
+
+
+def app_for(spec):
+    l, a, f = spec
+    return LigenApplication(l, a, f)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10ab_v100(benchmark, v100):
+    def run():
+        return (
+            characterization_series(app_for(LIGEN_SMALL_INPUT), v100, repetitions=BENCH_REPETITIONS),
+            characterization_series(app_for(LIGEN_LARGE_INPUT), v100, repetitions=BENCH_REPETITIONS),
+        )
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig10a_ligen_small_v100.txt", render_characterization(small, "Fig 10a", max_rows=40))
+    write_artifact("fig10b_ligen_large_v100.txt", render_characterization(large, "Fig 10b", max_rows=40))
+
+    sp_s, ne_s = small.result.speedups(), small.result.normalized_energies()
+    sp_l, ne_l = large.result.speedups(), large.result.normalized_energies()
+    # both speed up by over-clocking
+    assert sp_l.max() >= 1.15
+    assert sp_s.max() >= 1.10
+    # the large input's premium at the top exceeds the small input's
+    assert ne_l[np.argmax(sp_l)] > ne_s[np.argmax(sp_s)]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10cd_mi100(benchmark, mi100):
+    def run():
+        return (
+            characterization_series(app_for(LIGEN_SMALL_INPUT), mi100, repetitions=BENCH_REPETITIONS),
+            characterization_series(app_for(LIGEN_LARGE_INPUT), mi100, repetitions=BENCH_REPETITIONS),
+        )
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact("fig10c_ligen_small_mi100.txt", render_characterization(small, "Fig 10c", max_rows=40))
+    write_artifact("fig10d_ligen_large_mi100.txt", render_characterization(large, "Fig 10d", max_rows=40))
+
+    for series in (small, large):
+        sp = series.result.speedups()
+        # the auto frequency always performs best on speedup
+        assert sp.max() <= 1.02
+    ne_small = small.result.normalized_energies()
+    sp_small = small.result.speedups()
+    ne_large = large.result.normalized_energies()
+    sp_large = large.result.speedups()
+    # manual down-clocking saves energy on both inputs (paper: ~20%;
+    # our simulated MI100 yields ~10-15% for the small input, see
+    # EXPERIMENTS.md), with deeper savings available on the large input
+    assert ne_small[sp_small >= 0.70].min() <= 0.92
+    assert ne_large[sp_large >= 0.70].min() <= 0.85

@@ -1,0 +1,91 @@
+"""Figure 13: prediction accuracy of the general-purpose vs the
+domain-specific models — the paper's headline result.
+
+For every validation input (the five Cronos grids; the twelve LiGen
+inputs of Fig 13c/d) the domain-specific model is retrained with that
+input held out (leave-one-input-out CV, §5.2) and both models predict the
+speedup and normalized-energy profiles over the training frequency sweep.
+MAPE against the measurements gives one bar pair per input.
+
+Paper claim: the domain-specific models are at least 10x more accurate.
+Our substrate reproduces the direction and magnitude ordering everywhere
+(see EXPERIMENTS.md for the measured ratios); the assertions below pin
+the robust part of the claim: DS MAPE at the paper's scale (< 0.1
+everywhere, < 0.02 on most inputs) and a large mean improvement.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_forest, write_artifact
+from repro.cronos.app import CRONOS_FEATURE_NAMES
+from repro.experiments.configs import (
+    FIG13_CRONOS_VALIDATION,
+    FIG13_LIGEN_VALIDATION,
+    cronos_label,
+    ligen_label,
+)
+from repro.experiments.evaluation import evaluate_fig13
+from repro.experiments.report import render_accuracy_rows
+from repro.ligen.app import LIGEN_FEATURE_NAMES
+from repro.modeling import cronos_static_spec, ligen_static_spec
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13ab_cronos_accuracy(benchmark, cronos_campaign, gp_model):
+    def run():
+        return evaluate_fig13(
+            cronos_campaign,
+            gp_model,
+            cronos_static_spec(),
+            CRONOS_FEATURE_NAMES,
+            validation_features=[tuple(map(float, g)) for g in FIG13_CRONOS_VALIDATION],
+            labels=[cronos_label(*g) for g in FIG13_CRONOS_VALIDATION],
+            regressor_factory=bench_forest,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "fig13ab_cronos_accuracy.txt",
+        render_accuracy_rows(rows, "Fig 13a/b: Cronos speedup & energy MAPE"),
+    )
+    # DS errors small in absolute terms; GP errors large
+    for row in rows:
+        assert row.speedup_mape_ds < 0.10
+        assert row.energy_mape_ds < 0.06
+        assert row.speedup_mape_gp > 0.10
+        assert row.energy_mape_gp > 0.08
+    # the DS model wins on every input and by a large factor on average
+    assert all(r.speedup_improvement > 1.5 for r in rows)
+    assert np.mean([r.speedup_improvement for r in rows]) > 4.0
+    assert np.mean([r.energy_improvement for r in rows]) > 3.0
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13cd_ligen_accuracy(benchmark, ligen_campaign, gp_model):
+    validation = [(float(l), float(f), float(a)) for (a, f, l) in FIG13_LIGEN_VALIDATION]
+    labels = [ligen_label(a, f, l) for (a, f, l) in FIG13_LIGEN_VALIDATION]
+
+    def run():
+        return evaluate_fig13(
+            ligen_campaign,
+            gp_model,
+            ligen_static_spec(),
+            LIGEN_FEATURE_NAMES,
+            validation_features=validation,
+            labels=labels,
+            regressor_factory=bench_forest,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "fig13cd_ligen_accuracy.txt",
+        render_accuracy_rows(rows, "Fig 13c/d: LiGen speedup & energy MAPE"),
+    )
+    for row in rows:
+        # paper: DS speedup errors 0.005-0.022, energy ~0.008-0.009
+        assert row.speedup_mape_ds < 0.03
+        assert row.energy_mape_ds < 0.04
+    # >= 10x on speedup for every input; energy improvement large on average
+    assert all(r.speedup_improvement > 10.0 for r in rows)
+    assert np.mean([r.energy_improvement for r in rows]) > 5.0

@@ -1,0 +1,45 @@
+"""Table 1: the general-purpose model's static code features.
+
+Regenerates the feature table: the ten operation-mix categories extracted
+from kernel code, here shown for every kernel of both applications plus a
+sample of the micro-benchmark suite.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.cronos import gpu_costs as cronos_costs
+from repro.kernels import FEATURE_NAMES, feature_table_rows, generate_microbenchmarks
+from repro.ligen import gpu_costs as ligen_costs
+from repro.utils.tables import AsciiTable
+
+
+@pytest.mark.benchmark(group="tab01")
+def test_tab01_static_feature_extraction(benchmark):
+    def run():
+        specs = cronos_costs.all_specs() + ligen_costs.all_specs()
+        specs += [mb.spec for mb in generate_microbenchmarks()[:6]]
+        return feature_table_rows(specs)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = AsciiTable(["kernel", *FEATURE_NAMES], title="Table 1: static code features")
+    for row in rows:
+        table.add_row([row["kernel"], *[row[f] for f in FEATURE_NAMES]])
+    write_artifact("tab01_static_features.txt", table.render())
+
+    # every Table-1 category appears, and every kernel has a full vector
+    assert FEATURE_NAMES == (
+        "int_add",
+        "int_mul",
+        "int_div",
+        "int_bw",
+        "float_add",
+        "float_mul",
+        "float_div",
+        "special_fn",
+        "global_access",
+        "local_access",
+    )
+    assert all(set(FEATURE_NAMES) <= set(r) for r in rows)
+    assert len(rows) == 4 + 2 + 6

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Train a domain-specific energy model and use it on an unseen input.
+
+Reproduces the paper's §4.2 workflow end to end at reduced scale:
+
+1. build the training set by characterizing Cronos over a grid sweep
+   (every sample is ``(grid features, frequency, time, energy)``);
+2. fit the domain-specific models (Random Forest, as §5.2.1 selects);
+3. for a *never-measured* grid size, predict the speedup/normalized-energy
+   profile and the Pareto-optimal frequency set;
+4. validate against a fresh measurement of that grid.
+
+Run: python examples/domain_model_training.py
+"""
+
+import numpy as np
+
+from repro.cronos import CronosApplication
+from repro.cronos.app import CRONOS_FEATURE_NAMES
+from repro.ml import RandomForestRegressor, mape
+from repro.modeling import DomainSpecificModel, assess_pareto_prediction
+from repro.synergy import Platform, characterize
+from repro.experiments import build_cronos_campaign
+from repro.utils.tables import AsciiTable, render_kv_block
+
+def main() -> None:
+    platform = Platform.default(seed=17)
+    device = platform.get_device("v100")
+
+    # 1. training campaign: four grids, skipping 60x24x24 (the target)
+    train_grids = ((10, 4, 4), (20, 8, 8), (40, 16, 16), (80, 32, 32), (160, 64, 64))
+    print("Building the training campaign (this runs the characterization sweeps)...")
+    campaign = build_cronos_campaign(
+        device, grids=train_grids, freq_count=14, n_steps=12, repetitions=3
+    )
+
+    # 2. fit the domain-specific models
+    model = DomainSpecificModel(
+        CRONOS_FEATURE_NAMES,
+        regressor_factory=lambda: RandomForestRegressor(n_estimators=40, random_state=0),
+    )
+    model.fit(campaign.dataset)
+    print(f"Trained on {len(campaign.dataset)} samples from {len(train_grids)} grids.\n")
+
+    # 3. predict the profile of an unseen grid
+    unseen = (60.0, 24.0, 24.0)
+    freqs = np.asarray(campaign.freqs_mhz)
+    prediction = model.predict_tradeoff(unseen, freqs)
+    pareto = prediction.pareto_frequencies()
+    print(f"Predicted Pareto frequencies for unseen grid 60x24x24: "
+          f"{[round(f) for f in pareto]}")
+
+    # 4. validate against a real measurement
+    app = CronosApplication.from_size(60, 24, 24, n_steps=12)
+    measured = characterize(app, device, freqs_mhz=list(freqs), repetitions=3)
+    assessment = assess_pareto_prediction(prediction, measured)
+
+    table = AsciiTable(
+        ["freq (MHz)", "predicted speedup", "measured speedup",
+         "predicted normE", "measured normE"],
+        title="Prediction vs measurement (unseen input)",
+    )
+    for i in range(len(freqs)):
+        table.add_row(
+            [
+                round(float(freqs[i])),
+                prediction.speedups[i],
+                measured.speedups()[i],
+                prediction.normalized_energies[i],
+                measured.normalized_energies()[i],
+            ]
+        )
+    print(table.render())
+
+    print()
+    print(
+        render_kv_block(
+            {
+                "speedup MAPE": mape(measured.speedups(), prediction.speedups),
+                "normalized-energy MAPE": mape(
+                    measured.normalized_energies(), prediction.normalized_energies
+                ),
+                "true front size": assessment.true_front_size,
+                "predicted points on true front": assessment.exact_matches,
+                "distance to front": assessment.distance_to_front,
+            },
+            title="Validation summary",
+        )
+    )
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Magnetohydrodynamics scenario: run the Cronos solver on real physics.
+
+Integrates two classic MHD problems with the full finite-volume solver
+(paper Algorithm 1) — an advected density blob that checks conservation,
+and the Orszag-Tang vortex that exercises the nonlinear MHD coupling —
+with the simulated V100 attached so each run reports simulated energy.
+
+Run: python examples/mhd_simulation.py
+"""
+
+import numpy as np
+
+from repro.cronos import (
+    BoundaryKind,
+    CronosSolver,
+    Grid3D,
+    orszag_tang,
+    uniform_advection,
+)
+from repro.hw import create_device
+from repro.utils.tables import render_kv_block
+
+def run_advection() -> None:
+    grid = Grid3D(24, 24, 24)
+    state = uniform_advection(grid, velocity=(1.0, 0.5, 0.25))
+    m0, e0 = state.total_mass(), state.total_energy()
+
+    gpu = create_device("v100")
+    solver = CronosSolver(state, device=gpu)
+    solver.run(max_steps=20)
+
+    print(
+        render_kv_block(
+            {
+                "grid": grid.label(),
+                "steps": solver.step_count,
+                "simulated time": f"{solver.current_time:.4f}",
+                "mass drift": abs(solver.state.total_mass() - m0) / m0,
+                "energy drift": abs(solver.state.total_energy() - e0) / e0,
+                "GPU kernel launches": gpu.launch_count,
+                "GPU energy (J)": gpu.energy_counter_j,
+            },
+            title="Advected blob (conservation check)",
+        )
+    )
+
+def run_orszag_tang() -> None:
+    grid = Grid3D(48, 48, 1)
+    gpu = create_device("v100")
+    solver = CronosSolver(orszag_tang(grid), boundary=BoundaryKind.PERIODIC, device=gpu)
+    solver.run(end_time=0.1, max_steps=400)
+
+    prim_rho = solver.state.interior()[0]
+    print()
+    print(
+        render_kv_block(
+            {
+                "grid": grid.label(),
+                "steps": solver.step_count,
+                "simulated time": f"{solver.current_time:.4f}",
+                "min density": solver.state.min_density(),
+                "max density": float(prim_rho.max()),
+                "min pressure": solver.state.min_pressure(),
+                "density contrast": float(prim_rho.max() / prim_rho.min()),
+                "GPU energy (J)": gpu.energy_counter_j,
+                "mean GPU power (W)": gpu.energy_counter_j / gpu.time_counter_s,
+            },
+            title="Orszag-Tang vortex (nonlinear MHD)",
+        )
+    )
+    # the vortex steepens into shocks: density contrast must grow beyond
+    # the initial (uniform) value of 1
+    assert prim_rho.max() / prim_rho.min() > 1.05
+
+if __name__ == "__main__":
+    run_advection()
+    run_orszag_tang()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: characterize an application under DVFS and find the
+Pareto-optimal frequencies.
+
+This reproduces the paper's Figure-1 workflow in a few lines:
+
+1. open the default platform (a simulated V100 + MI100);
+2. pick a workload — here LiGen screening 10000 ligands of 89 atoms and
+   20 fragments (the paper's "large" input);
+3. sweep a subset of the V100's 196 core frequencies, measuring time and
+   energy at each (5 repetitions, like the paper);
+4. extract the Pareto front over (speedup, normalized energy).
+
+Run: python examples/quickstart.py
+"""
+
+from repro.experiments.figures import CharacterizationSeries
+from repro.experiments.report import render_characterization_plot
+from repro.ligen import LigenApplication
+from repro.modeling import true_front
+from repro.synergy import Platform, characterize
+from repro.utils.tables import AsciiTable
+
+def main() -> None:
+    platform = Platform.default(seed=42)
+    device = platform.get_device("v100")
+
+    app = LigenApplication(n_ligands=10000, n_atoms=89, n_fragments=20)
+    print(f"Characterizing {app.name} on {device.name} ...")
+
+    freqs = device.gpu.spec.core_freqs.subsample(16)
+    result = characterize(app, device, freqs_mhz=freqs, repetitions=5)
+
+    table = AsciiTable(
+        ["freq (MHz)", "time (s)", "energy (J)", "speedup", "norm. energy", "Pareto"],
+        title=f"{app.name} on {device.name} (baseline: {result.baseline_label})",
+    )
+    front = true_front(result)
+    for sample, sp, ne in zip(result.samples, result.speedups(), result.normalized_energies()):
+        table.add_row(
+            [
+                round(sample.freq_mhz),
+                sample.time_s,
+                sample.energy_j,
+                sp,
+                ne,
+                "*" if front.contains_freq(sample.freq_mhz) else "",
+            ]
+        )
+    print(table.render())
+
+    print()
+    print(
+        render_characterization_plot(
+            CharacterizationSeries(result=result, front=front), "Fig 1a view"
+        )
+    )
+    print()
+
+    best = result.best_energy_saving(max_speedup_loss=0.15)
+    saving = 1.0 - best.energy_j / result.baseline_energy_j
+    print(
+        f"\nBest trade-off within 15% slowdown: {best.freq_mhz:.0f} MHz "
+        f"saves {saving:.1%} energy."
+    )
+    top = front.max_speedup_point()
+    print(
+        f"Top of the Pareto front: {top.freq_mhz:.0f} MHz reaches "
+        f"{top.speedup:.2f}x speedup at {top.energy:.2f}x energy."
+    )
+
+if __name__ == "__main__":
+    main()

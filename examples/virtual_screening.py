@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Drug-discovery scenario: a small virtual-screening campaign.
+
+Runs the *actual* LiGen-style dock & score pipeline (paper Algorithm 2)
+on a synthetic chemical library against a synthetic protein pocket, with
+the simulated V100 attached so the campaign also yields an energy bill —
+then re-runs it at an energy-saving Pareto frequency chosen from a quick
+characterization.
+
+Run: python examples/virtual_screening.py
+"""
+
+from repro.hw import create_device
+from repro.ligen import (
+    DockingParams,
+    LigenApplication,
+    VirtualScreen,
+    make_library,
+    make_pocket,
+)
+from repro.synergy import Platform, characterize
+from repro.utils.tables import AsciiTable
+
+def main() -> None:
+    # --- the science: dock & rank a library -------------------------------
+    pocket = make_pocket(seed=7)
+    library = make_library(n_ligands=12, n_atoms=31, n_fragments=4, seed=11)
+    params = DockingParams(num_restart=4, num_iterations=2, n_angles=8)
+
+    gpu = create_device("v100")
+    screen = VirtualScreen(pocket, params=params, device=gpu, seed=3)
+    report = screen.screen(library)
+
+    table = AsciiTable(["rank", "ligand", "score"], title="Screening results")
+    for rank, entry in enumerate(report.top(5), start=1):
+        table.add_row([rank, entry.name, entry.score])
+    print(table.render())
+    print(
+        f"\nBest candidate: {report.best.name} "
+        f"(score {report.best.score:.2f}) — forwarded to the next stage.\n"
+    )
+    print(
+        f"Campaign cost on {gpu.name}: {gpu.time_counter_s * 1e3:.2f} ms, "
+        f"{gpu.energy_counter_j:.3f} J at the default clock."
+    )
+
+    # --- the energy engineering: pick a greener frequency ------------------
+    device = Platform.default(seed=5).get_device("v100")
+    workload = LigenApplication(
+        n_ligands=10000, n_atoms=31, n_fragments=4, params=DockingParams.production()
+    )
+    freqs = device.gpu.spec.core_freqs.subsample(14)
+    sweep = characterize(workload, device, freqs_mhz=freqs, repetitions=3)
+    best = sweep.best_energy_saving(max_speedup_loss=0.10)
+    saving = 1.0 - best.energy_j / sweep.baseline_energy_j
+    print(
+        f"\nFor a production campaign ({workload.name}), pinning the clock at "
+        f"{best.freq_mhz:.0f} MHz would save {saving:.1%} energy with at most "
+        f"10% slowdown."
+    )
+
+if __name__ == "__main__":
+    main()

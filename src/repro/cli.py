@@ -1,0 +1,341 @@
+"""Command-line interface.
+
+Four workflows, mirroring how a user adopts the library:
+
+- ``repro characterize`` — DVFS-sweep an application on a simulated
+  device, print the speedup/energy table, optionally save the sweep;
+- ``repro train`` — build a characterization campaign and train a
+  domain-specific model, saving it as ``.npz``;
+- ``repro predict`` — load a model and predict the trade-off profile
+  (plus the Pareto-optimal frequencies) for an input tuple;
+- ``repro tune`` — load a model and pick a frequency under a tuning
+  metric (minimum energy within a slowdown budget, EDP, ED2P, or
+  SYnergy's energy target).
+
+Run ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _make_app(args):
+    if args.app == "ligen":
+        from repro.ligen.app import LigenApplication
+
+        return LigenApplication(
+            n_ligands=args.ligands, n_atoms=args.atoms, n_fragments=args.fragments
+        )
+    from repro.cronos.app import CronosApplication
+
+    gx, gy, gz = (int(v) for v in args.grid.split("x"))
+    return CronosApplication.from_size(gx, gy, gz, n_steps=args.steps)
+
+
+def _device(args):
+    from repro.synergy import Platform
+
+    platform = Platform.default(seed=args.seed)
+    return platform.get_device(args.device)
+
+
+def _freq_list(device, count: Optional[int]):
+    table = device.gpu.spec.core_freqs
+    if count is None:
+        return [float(f) for f in table.freqs_mhz]
+    freqs = table.subsample(count)
+    if table.default_mhz is not None and table.default_mhz not in freqs:
+        freqs = sorted(set(freqs) | {table.default_mhz})
+    return freqs
+
+
+def _add_app_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--app", choices=("ligen", "cronos"), required=True)
+    p.add_argument("--ligands", type=int, default=10000, help="LiGen: ligand count")
+    p.add_argument("--atoms", type=int, default=89, help="LiGen: atoms per ligand")
+    p.add_argument("--fragments", type=int, default=20, help="LiGen: fragments per ligand")
+    p.add_argument("--grid", default="160x64x64", help="Cronos: grid as NXxNYxNZ")
+    p.add_argument("--steps", type=int, default=25, help="Cronos: time steps")
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+def cmd_characterize(args) -> int:
+    from repro.experiments.figures import characterization_series
+    from repro.experiments.report import render_characterization
+
+    device = _device(args)
+    app = _make_app(args)
+    freqs = _freq_list(device, args.freqs)
+    series = characterization_series(app, device, freqs_mhz=freqs, repetitions=args.reps)
+    print(render_characterization(series, f"characterization", max_rows=args.max_rows))
+    if args.output:
+        from repro.io import save_characterization
+
+        save_characterization(series.result, args.output)
+        print(f"\nsaved sweep to {args.output}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.io import save_dataset, save_domain_model
+    from repro.ml import RandomForestRegressor
+    from repro.modeling import DomainSpecificModel
+
+    device = _device(args)
+    if args.app == "ligen":
+        from repro.experiments.datasets import build_ligen_campaign
+        from repro.ligen.app import LIGEN_FEATURE_NAMES as names
+
+        campaign = build_ligen_campaign(
+            device, freq_count=args.freqs, repetitions=args.reps
+        )
+    else:
+        from repro.experiments.datasets import build_cronos_campaign
+        from repro.cronos.app import CRONOS_FEATURE_NAMES as names
+
+        campaign = build_cronos_campaign(
+            device, freq_count=args.freqs, repetitions=args.reps
+        )
+
+    model = DomainSpecificModel(
+        names,
+        regressor_factory=lambda: RandomForestRegressor(
+            n_estimators=args.trees, random_state=args.seed
+        ),
+    ).fit(campaign.dataset)
+    save_domain_model(model, args.output)
+    print(
+        f"trained on {len(campaign.dataset)} samples "
+        f"({len(campaign.characterizations)} inputs x {len(campaign.freqs_mhz)} freqs); "
+        f"model saved to {args.output}"
+    )
+    if args.dataset_output:
+        save_dataset(campaign.dataset, args.dataset_output)
+        print(f"dataset saved to {args.dataset_output}")
+    return 0
+
+
+def _load_model_and_profile(args):
+    from repro.io import load_domain_model
+
+    model = load_domain_model(args.model)
+    features = [float(v) for v in args.features.split(",")]
+    freqs = np.linspace(args.freq_min, args.freq_max, args.freq_points)
+    prediction = model.predict_tradeoff(features, freqs)
+    return model, features, prediction
+
+
+def cmd_predict(args) -> int:
+    from repro.utils.tables import AsciiTable
+
+    model, features, prediction = _load_model_and_profile(args)
+    table = AsciiTable(
+        ["freq (MHz)", "speedup", "norm. energy", "Pareto"],
+        title=f"prediction for features {features} "
+        f"(baseline {model.baseline_freq_mhz:.0f} MHz)",
+    )
+    front = prediction.pareto_front()
+    for f, sp, ne in zip(
+        prediction.freqs_mhz, prediction.speedups, prediction.normalized_energies
+    ):
+        table.add_row([round(float(f)), sp, ne, "*" if front.contains_freq(float(f), tol_mhz=1.0) else ""])
+    print(table.render())
+    print(f"\nPareto frequencies: {[round(float(f)) for f in prediction.pareto_frequencies()]}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.experiments import evaluate_fig13, render_accuracy_rows
+    from repro.kernels.microbench import generate_microbenchmarks
+    from repro.ml import RandomForestRegressor
+    from repro.modeling import GeneralPurposeModel, cronos_static_spec, ligen_static_spec
+
+    device = _device(args)
+
+    def forest():
+        return RandomForestRegressor(n_estimators=args.trees, random_state=args.seed)
+
+    suite = generate_microbenchmarks()
+    if args.quick:
+        suite = suite[::4]
+    freqs = _freq_list(device, args.freqs)
+    print(
+        f"training the general-purpose model on {len(suite)} micro-benchmarks "
+        f"x {len(freqs)} frequencies ..."
+    )
+    gp = GeneralPurposeModel(regressor_factory=forest, repetitions=args.reps)
+    gp.train(device, freqs_mhz=freqs, microbenchmarks=suite)
+
+    if args.experiment == "fig13-cronos":
+        from repro.cronos.app import CRONOS_FEATURE_NAMES
+        from repro.experiments import build_cronos_campaign
+        from repro.experiments.configs import FIG13_CRONOS_VALIDATION, cronos_label
+
+        campaign = build_cronos_campaign(
+            device, freq_count=args.freqs, repetitions=args.reps,
+            n_steps=10 if args.quick else 25,
+        )
+        rows = evaluate_fig13(
+            campaign, gp, cronos_static_spec(), CRONOS_FEATURE_NAMES,
+            validation_features=[tuple(map(float, g)) for g in FIG13_CRONOS_VALIDATION],
+            labels=[cronos_label(*g) for g in FIG13_CRONOS_VALIDATION],
+            regressor_factory=forest,
+        )
+        print(render_accuracy_rows(rows, "Fig 13a/b: Cronos model accuracy"))
+    else:
+        from repro.experiments import build_ligen_campaign
+        from repro.experiments.configs import FIG13_LIGEN_VALIDATION, ligen_label
+        from repro.ligen.app import LIGEN_FEATURE_NAMES
+
+        kwargs = {}
+        if args.quick:
+            kwargs = dict(
+                ligand_counts=(2, 256, 4096, 10000),
+                atom_counts=(31, 89),
+                fragment_counts=(4, 20),
+            )
+        campaign = build_ligen_campaign(
+            device, freq_count=args.freqs, repetitions=args.reps, **kwargs
+        )
+        validation = [
+            (float(l), float(f), float(a))
+            for (a, f, l) in FIG13_LIGEN_VALIDATION
+            if not args.quick or (a in (31, 89) and f in (4, 20) and l in (256, 10000))
+        ]
+        labels = [
+            ligen_label(int(a), int(f), int(l)) for (l, f, a) in validation
+        ]
+        rows = evaluate_fig13(
+            campaign, gp, ligen_static_spec(), LIGEN_FEATURE_NAMES,
+            validation_features=validation, labels=labels,
+            regressor_factory=forest,
+        )
+        print(render_accuracy_rows(rows, "Fig 13c/d: LiGen model accuracy"))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.synergy.tuning import TuningMetric, select_frequency
+
+    _, features, prediction = _load_model_and_profile(args)
+    metric = TuningMetric(args.metric)
+    decision = select_frequency(
+        prediction.freqs_mhz,
+        prediction.speedups,
+        prediction.normalized_energies,
+        metric=metric,
+        max_speedup_loss=args.max_slowdown,
+        energy_target=args.energy_target,
+    )
+    print(
+        f"metric={metric.value}: pin the clock at {decision.freq_mhz:.0f} MHz "
+        f"(predicted speedup {decision.predicted_speedup:.3f}, "
+        f"normalized energy {decision.predicted_normalized_energy:.3f})"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Domain-specific GPU energy modeling (SC-W 2023 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="DVFS-sweep an application")
+    _add_app_options(p)
+    p.add_argument("--device", choices=("v100", "mi100"), default="v100")
+    p.add_argument("--freqs", type=int, default=16, help="frequency bins to sweep (default 16; omit for all with 0)")
+    p.add_argument("--reps", type=int, default=5)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--max-rows", type=int, default=40)
+    p.add_argument("--output", help="save the sweep as JSON")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("train", help="build a campaign and train a domain model")
+    p.add_argument("--app", choices=("ligen", "cronos"), required=True)
+    p.add_argument("--device", choices=("v100", "mi100"), default="v100")
+    p.add_argument("--freqs", type=int, default=16)
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--trees", type=int, default=30)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--output", required=True, help="model .npz path")
+    p.add_argument("--dataset-output", help="also save the training dataset (JSON)")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("reproduce", help="regenerate a headline experiment")
+    p.add_argument(
+        "--experiment", choices=("fig13-cronos", "fig13-ligen"), required=True
+    )
+    p.add_argument("--device", choices=("v100", "mi100"), default="v100")
+    p.add_argument("--freqs", type=int, default=16)
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--trees", type=int, default=20)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--quick", action="store_true",
+        help="reduced micro-benchmark suite and input grid (~1 min)",
+    )
+    p.set_defaults(func=cmd_reproduce)
+
+    for name, fn, extra in (
+        ("predict", cmd_predict, False),
+        ("tune", cmd_tune, True),
+    ):
+        p = sub.add_parser(name, help=f"{name} from a saved model")
+        p.add_argument("--model", required=True, help="model .npz path")
+        p.add_argument(
+            "--features",
+            required=True,
+            help="comma-separated input features (model order, e.g. LiGen: ligands,fragments,atoms)",
+        )
+        p.add_argument("--freq-min", type=float, default=135.0)
+        p.add_argument("--freq-max", type=float, default=1597.0)
+        p.add_argument("--freq-points", type=int, default=25)
+        if extra:
+            p.add_argument(
+                "--metric",
+                choices=[m.value for m in __import__("repro.synergy.tuning", fromlist=["TuningMetric"]).TuningMetric],
+                default="min_energy",
+            )
+            p.add_argument("--max-slowdown", type=float, default=0.10)
+            p.add_argument("--energy-target", type=float, default=None)
+        p.set_defaults(func=fn)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "freqs", None) == 0:
+        args.freqs = None
+    try:
+        return args.func(args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

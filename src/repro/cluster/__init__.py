@@ -1,0 +1,34 @@
+"""Multi-GPU / multi-node substrate.
+
+The paper's applications run at cluster scale (LiGen screened a trillion
+ligands on HPC5 and MARCONI100; Cronos is ported to Celerity for
+distributed memory). This package scales the simulated substrate up:
+
+- :mod:`repro.cluster.comm` — alpha-beta interconnect models
+- :mod:`repro.cluster.topology` — nodes, clusters, 3-D domain
+  decomposition
+- :mod:`repro.cluster.apps` — domain-decomposed Cronos and dynamically
+  scheduled LiGen campaigns
+- :mod:`repro.cluster.tuning` — uniform-clock cluster characterization
+  (the cluster-level analogue of the paper's single-GPU sweeps)
+"""
+
+from repro.cluster.apps import ClusterRunReport, DistributedCronos, DistributedLigen
+from repro.cluster.comm import INFINIBAND_HDR, NVLINK, Interconnect
+from repro.cluster.topology import Cluster, ClusterNode, decompose_grid, subgrid_shape
+from repro.cluster.tuning import ClusterProfile, characterize_cluster
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "ClusterProfile",
+    "ClusterRunReport",
+    "DistributedCronos",
+    "DistributedLigen",
+    "INFINIBAND_HDR",
+    "Interconnect",
+    "NVLINK",
+    "characterize_cluster",
+    "decompose_grid",
+    "subgrid_shape",
+]

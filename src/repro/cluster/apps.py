@@ -1,0 +1,212 @@
+"""Distributed versions of the two applications.
+
+- :class:`DistributedCronos` — Celerity-style domain-decomposed MHD: the
+  grid is split over all GPUs, each rank runs the per-substep kernels on
+  its subgrid, and every substep ends with a halo exchange plus the CFL
+  allreduce. Steps are bulk-synchronous: the wall clock advances by the
+  slowest rank plus communication, and waiting ranks burn idle power.
+- :class:`DistributedLigen` — the embarrassingly parallel virtual
+  screening campaign: ligand batches are scheduled dynamically onto the
+  next-free GPU (handling mixed V100/MI100 clusters), with a per-batch
+  host dispatch overhead.
+
+Both report a :class:`ClusterRunReport` with wall time, GPU energy,
+host energy, and communication share — the quantities cluster-level
+frequency tuning trades off.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import Cluster, decompose_grid, subgrid_shape
+from repro.cronos.grid import NGHOST, Grid3D
+from repro.cronos.gpu_costs import substep_launches
+from repro.cronos.integrator import n_substeps
+from repro.errors import ConfigurationError
+from repro.ligen.docking import DockingParams
+from repro.ligen.gpu_costs import screening_launches
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["ClusterRunReport", "DistributedCronos", "DistributedLigen"]
+
+#: Conserved variables exchanged per halo cell.
+_N_VARS = 8
+_BYTES_PER_VALUE = 8.0
+
+
+@dataclass(frozen=True)
+class ClusterRunReport:
+    """Outcome of one distributed run."""
+
+    wall_time_s: float
+    gpu_energy_j: float
+    host_energy_j: float
+    comm_time_s: float
+    n_ranks: int
+
+    @property
+    def total_energy_j(self) -> float:
+        """GPU plus host energy."""
+        return self.gpu_energy_j + self.host_energy_j
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the wall clock spent communicating."""
+        return self.comm_time_s / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+class DistributedCronos:
+    """Domain-decomposed Cronos over every GPU of a cluster.
+
+    Parameters
+    ----------
+    grid:
+        The *global* simulation grid.
+    n_steps:
+        Time steps to simulate.
+    """
+
+    def __init__(self, grid: Grid3D, n_steps: int = 25) -> None:
+        self.grid = grid
+        self.n_steps = check_positive_int(n_steps, "n_steps")
+
+    @property
+    def name(self) -> str:
+        """Label, e.g. ``dcronos-160x64x64``."""
+        return f"dcronos-{self.grid.label()}"
+
+    def halo_bytes(self, sub: Tuple[int, int, int]) -> float:
+        """Bytes a rank exchanges per substep (6 faces, 2 ghost layers)."""
+        sx, sy, sz = sub
+        faces = 2 * (sx * sy + sy * sz + sx * sz)
+        return faces * NGHOST * _N_VARS * _BYTES_PER_VALUE
+
+    def run(self, cluster: Cluster) -> ClusterRunReport:
+        """Execute the decomposed simulation; returns the run report."""
+        n_ranks = cluster.n_gpus
+        factors = decompose_grid(self.grid, n_ranks)
+        sub = subgrid_shape(self.grid, factors)
+        subgrid = Grid3D(nx=sub[0], ny=sub[1], nz=sub[2])
+        launches = substep_launches(subgrid)
+
+        # Communication per substep: halo exchange (6 messages over the
+        # worst link present) + the CFL max-allreduce (8 bytes).
+        worst_link = cluster.inter_node if len(cluster.nodes) > 1 else cluster.intra_node
+        halo_t = worst_link.transfer_time_s(self.halo_bytes(sub), n_messages=6)
+        reduce_t = worst_link.allreduce_time_s(8.0, n_ranks)
+        comm_per_substep = halo_t + reduce_t if n_ranks > 1 else 0.0
+
+        wall = 0.0
+        comm_total = 0.0
+        gpus = [gpu for _, gpu in cluster.all_gpus()]
+        for gpu in gpus:
+            gpu.reset_counters()
+
+        for _ in range(self.n_steps):
+            for _ in range(n_substeps()):
+                # every rank computes its subgrid
+                busy = []
+                for gpu in gpus:
+                    t0 = gpu.time_counter_s
+                    gpu.launch_many(launches)
+                    busy.append(gpu.time_counter_s - t0)
+                substep_wall = max(busy) + comm_per_substep
+                # ranks idle while waiting for the slowest + communication
+                for gpu, b in zip(gpus, busy):
+                    gpu.idle(substep_wall - b)
+                wall += substep_wall
+                comm_total += comm_per_substep
+
+        gpu_energy = cluster.gpu_energy_j()
+        host_energy = sum(n.host_power_w for n in cluster.nodes) * wall
+        return ClusterRunReport(
+            wall_time_s=wall,
+            gpu_energy_j=gpu_energy,
+            host_energy_j=host_energy,
+            comm_time_s=comm_total,
+            n_ranks=n_ranks,
+        )
+
+
+class DistributedLigen:
+    """Dynamically scheduled virtual screening across a cluster.
+
+    Ligand batches go to the next-free GPU (a min-heap on completion
+    times), so faster devices naturally absorb more batches — the
+    behaviour needed on mixed V100/MI100 clusters.
+    """
+
+    def __init__(
+        self,
+        n_ligands: int,
+        n_atoms: int,
+        n_fragments: int,
+        batch_size: int = 1024,
+        params: Optional[DockingParams] = None,
+        dispatch_overhead_s: float = 2e-3,
+    ) -> None:
+        self.n_ligands = check_positive_int(n_ligands, "n_ligands")
+        self.n_atoms = check_positive_int(n_atoms, "n_atoms")
+        self.n_fragments = check_positive_int(n_fragments, "n_fragments")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.params = params or DockingParams.production()
+        if dispatch_overhead_s < 0:
+            raise ConfigurationError("dispatch_overhead_s must be >= 0")
+        self.dispatch_overhead_s = dispatch_overhead_s
+
+    @property
+    def name(self) -> str:
+        """Label, e.g. ``dligen-100000l-89a-20f``."""
+        return f"dligen-{self.n_ligands}l-{self.n_atoms}a-{self.n_fragments}f"
+
+    def _batches(self) -> List[int]:
+        sizes = []
+        remaining = self.n_ligands
+        while remaining > 0:
+            take = min(self.batch_size, remaining)
+            sizes.append(take)
+            remaining -= take
+        return sizes
+
+    def run(self, cluster: Cluster) -> ClusterRunReport:
+        """Schedule all batches; returns the run report."""
+        gpus = [gpu for _, gpu in cluster.all_gpus()]
+        for gpu in gpus:
+            gpu.reset_counters()
+
+        # (next_free_time, rank) min-heap
+        heap: List[Tuple[float, int]] = [(0.0, r) for r in range(len(gpus))]
+        heapq.heapify(heap)
+        finish_times = [0.0] * len(gpus)
+
+        for batch in self._batches():
+            free_at, rank = heapq.heappop(heap)
+            gpu = gpus[rank]
+            launches = screening_launches(
+                batch, self.n_atoms, self.n_fragments, params=self.params
+            )
+            t0 = gpu.time_counter_s
+            gpu.launch_many(launches)
+            busy = gpu.time_counter_s - t0
+            done = free_at + self.dispatch_overhead_s + busy
+            finish_times[rank] = done
+            heapq.heappush(heap, (done, rank))
+
+        wall = max(finish_times) if finish_times else 0.0
+        # idle each GPU up to the campaign end (tail imbalance is real energy)
+        for gpu, t_busy_end in zip(gpus, finish_times):
+            gpu.idle(max(0.0, wall - gpu.time_counter_s))
+        gpu_energy = cluster.gpu_energy_j()
+        host_energy = sum(n.host_power_w for n in cluster.nodes) * wall
+        return ClusterRunReport(
+            wall_time_s=wall,
+            gpu_energy_j=gpu_energy,
+            host_energy_j=host_energy,
+            comm_time_s=0.0,
+            n_ranks=len(gpus),
+        )

@@ -1,0 +1,70 @@
+"""Interconnect model for multi-GPU / multi-node runs.
+
+A simple, standard alpha-beta model: transferring ``n`` bytes costs
+``latency + n / bandwidth`` per message. Defaults approximate the
+HDR-InfiniBand fabric of MARCONI100 (the machine the paper's LiGen
+campaign ran on): ~1.5 us MPI latency and ~24 GB/s effective per-link
+bandwidth, with a faster intra-node path for GPUs sharing a node
+(NVLink-class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = ["Interconnect", "INFINIBAND_HDR", "NVLINK"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Alpha-beta communication cost model.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    latency_s:
+        Per-message fixed cost (alpha).
+    bandwidth_bytes_s:
+        Sustained point-to-point bandwidth (1/beta).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bytes_s: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.latency_s, "latency_s")
+        check_positive(self.bandwidth_bytes_s, "bandwidth_bytes_s")
+
+    def transfer_time_s(self, n_bytes: float, n_messages: int = 1) -> float:
+        """Time to move ``n_bytes`` split over ``n_messages`` messages."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        if n_messages < 1:
+            raise ValueError("n_messages must be >= 1")
+        if n_bytes == 0:
+            return 0.0
+        return n_messages * self.latency_s + n_bytes / self.bandwidth_bytes_s
+
+    def allreduce_time_s(self, n_bytes: float, n_ranks: int) -> float:
+        """Ring-allreduce estimate: ``2 (p-1)/p`` data volume plus
+        ``2 (p-1)`` latency terms."""
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if n_ranks == 1 or n_bytes == 0:
+            return 0.0
+        p = n_ranks
+        steps = 2 * (p - 1)
+        return steps * self.latency_s + 2.0 * (p - 1) / p * n_bytes / self.bandwidth_bytes_s
+
+
+#: Inter-node fabric (MARCONI100-class HDR InfiniBand).
+INFINIBAND_HDR = Interconnect(
+    name="InfiniBand HDR", latency_s=1.5e-6, bandwidth_bytes_s=24e9
+)
+
+#: Intra-node GPU-to-GPU path (NVLink-class).
+NVLINK = Interconnect(name="NVLink", latency_s=2.0e-6, bandwidth_bytes_s=120e9)

@@ -1,0 +1,176 @@
+"""Cluster topology: nodes of GPUs, plus 3-D domain decomposition.
+
+A :class:`Cluster` is a set of homogeneous-or-mixed nodes, each holding
+one or more simulated GPUs and paying a host-power floor while a job
+runs. :func:`decompose_grid` picks the processor grid for the Cronos
+domain decomposition by minimizing communicated surface area — the same
+heuristic MPI Cartesian decompositions use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cronos.grid import Grid3D
+from repro.errors import ConfigurationError
+from repro.hw.device import SimulatedGPU, create_device
+from repro.cluster.comm import INFINIBAND_HDR, NVLINK, Interconnect
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["ClusterNode", "Cluster", "decompose_grid", "subgrid_shape"]
+
+
+@dataclass
+class ClusterNode:
+    """One node: its GPUs plus a host power floor.
+
+    ``host_power_w`` covers CPUs, DRAM, NIC and fans — it burns for the
+    full wall time of a job regardless of GPU activity, which is what
+    makes low-clock strong-scaling energy-inefficient at small per-GPU
+    workloads.
+    """
+
+    name: str
+    gpus: List[SimulatedGPU]
+    host_power_w: float = 250.0
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            raise ConfigurationError(f"node {self.name}: needs at least one GPU")
+        check_positive(self.host_power_w, "host_power_w")
+
+    @property
+    def n_gpus(self) -> int:
+        """GPUs on this node."""
+        return len(self.gpus)
+
+
+class Cluster:
+    """A collection of nodes with intra- and inter-node interconnects."""
+
+    def __init__(
+        self,
+        nodes: Sequence[ClusterNode],
+        inter_node: Interconnect = INFINIBAND_HDR,
+        intra_node: Interconnect = NVLINK,
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("cluster needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("node names must be unique")
+        self.nodes = list(nodes)
+        self.inter_node = inter_node
+        self.intra_node = intra_node
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_nodes: int,
+        gpus_per_node: int = 4,
+        device: str = "v100",
+        host_power_w: float = 250.0,
+    ) -> "Cluster":
+        """A MARCONI100-style cluster: ``n_nodes`` x ``gpus_per_node`` GPUs."""
+        check_positive_int(n_nodes, "n_nodes")
+        check_positive_int(gpus_per_node, "gpus_per_node")
+        nodes = [
+            ClusterNode(
+                name=f"node{i:03d}",
+                gpus=[create_device(device) for _ in range(gpus_per_node)],
+                host_power_w=host_power_w,
+            )
+            for i in range(n_nodes)
+        ]
+        return cls(nodes)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        """Total GPUs across all nodes."""
+        return sum(n.n_gpus for n in self.nodes)
+
+    def all_gpus(self) -> Iterator[Tuple[ClusterNode, SimulatedGPU]]:
+        """Iterate (node, gpu) pairs in rank order."""
+        for node in self.nodes:
+            for gpu in node.gpus:
+                yield node, gpu
+
+    def interconnect_for(self, rank_a: int, rank_b: int) -> Interconnect:
+        """The link two ranks communicate over (intra- vs inter-node)."""
+        node_a = self._node_of_rank(rank_a)
+        node_b = self._node_of_rank(rank_b)
+        return self.intra_node if node_a is node_b else self.inter_node
+
+    def _node_of_rank(self, rank: int) -> ClusterNode:
+        if rank < 0:
+            raise ConfigurationError(f"invalid rank {rank}")
+        for node in self.nodes:
+            if rank < node.n_gpus:
+                return node
+            rank -= node.n_gpus
+        raise ConfigurationError("rank beyond the cluster size")
+
+    def set_uniform_frequency(self, freq_mhz: Optional[float]) -> None:
+        """Pin every GPU to one clock (``None`` restores defaults/auto)."""
+        for _, gpu in self.all_gpus():
+            if freq_mhz is None:
+                gpu.reset_frequency()
+            else:
+                gpu.set_core_frequency(freq_mhz)
+
+    def reset_counters(self) -> None:
+        """Zero every GPU's time/energy counters."""
+        for _, gpu in self.all_gpus():
+            gpu.reset_counters()
+
+    def gpu_energy_j(self) -> float:
+        """Sum of all GPU energy counters."""
+        return sum(gpu.energy_counter_j for _, gpu in self.all_gpus())
+
+
+def _factor_triples(n: int) -> Iterator[Tuple[int, int, int]]:
+    for px in range(1, n + 1):
+        if n % px:
+            continue
+        rem = n // px
+        for py in range(1, rem + 1):
+            if rem % py:
+                continue
+            yield (px, py, rem // py)
+
+
+def subgrid_shape(grid: Grid3D, factors: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Per-rank interior cells (ceil-divided) for a processor grid."""
+    px, py, pz = factors
+    return (
+        -(-grid.nx // px),
+        -(-grid.ny // py),
+        -(-grid.nz // pz),
+    )
+
+
+def decompose_grid(grid: Grid3D, n_ranks: int) -> Tuple[int, int, int]:
+    """Choose the processor grid (px, py, pz) minimizing halo surface.
+
+    Ranks that do not divide the grid evenly get padded subgrids (the
+    ceil division of :func:`subgrid_shape`); the objective is the halo
+    area of the padded subgrid, the quantity each rank communicates.
+    """
+    check_positive_int(n_ranks, "n_ranks")
+    best: Optional[Tuple[int, int, int]] = None
+    best_surface = np.inf
+    for factors in _factor_triples(n_ranks):
+        sx, sy, sz = subgrid_shape(grid, factors)
+        if sx < 1 or sy < 1 or sz < 1:
+            continue
+        surface = 2.0 * (sx * sy + sy * sz + sx * sz)
+        if surface < best_surface:
+            best_surface = surface
+            best = factors
+    if best is None:  # pragma: no cover - n_ranks >= 1 always yields one
+        raise ConfigurationError(f"cannot decompose {grid.label()} over {n_ranks} ranks")
+    return best

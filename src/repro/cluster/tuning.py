@@ -1,0 +1,104 @@
+"""Cluster-level frequency characterization and selection.
+
+At scale the energy-optimal clock shifts: host power burns per node for
+the whole wall time, so slowdowns that were nearly free on one GPU get
+charged ``n_nodes x host_power`` at the cluster level, pushing the
+optimum toward higher clocks — the classic single-GPU vs cluster
+energy-tuning gap. :func:`characterize_cluster` sweeps a uniform GPU
+clock over a distributed application and returns the profile that
+:func:`repro.synergy.tuning.select_frequency` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.cluster.apps import ClusterRunReport
+from repro.cluster.topology import Cluster
+from repro.errors import ConfigurationError
+
+__all__ = ["ClusterApp", "ClusterProfile", "characterize_cluster"]
+
+
+@runtime_checkable
+class ClusterApp(Protocol):
+    """Anything with a ``run(cluster) -> ClusterRunReport``."""
+
+    name: str
+
+    def run(self, cluster: Cluster) -> ClusterRunReport:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class ClusterProfile:
+    """Uniform-clock sweep of one distributed application."""
+
+    app_name: str
+    freqs_mhz: np.ndarray
+    wall_times_s: np.ndarray
+    gpu_energies_j: np.ndarray
+    total_energies_j: np.ndarray
+    baseline_wall_s: float
+    baseline_gpu_j: float
+    baseline_total_j: float
+
+    def speedups(self) -> np.ndarray:
+        """Speedup vs the default/auto clocks."""
+        return self.baseline_wall_s / self.wall_times_s
+
+    def normalized_energies(self, include_host: bool = True) -> np.ndarray:
+        """Total (or GPU-only) energy normalized to the baseline run.
+
+        Comparing the two views quantifies how much of the single-GPU
+        saving survives once host power is charged.
+        """
+        if include_host:
+            return self.total_energies_j / self.baseline_total_j
+        return self.gpu_energies_j / self.baseline_gpu_j
+
+
+def characterize_cluster(
+    app: ClusterApp,
+    cluster: Cluster,
+    freqs_mhz: Sequence[float],
+) -> ClusterProfile:
+    """Sweep a uniform GPU clock over the cluster for ``app``.
+
+    The baseline is the default behaviour (default clocks / auto
+    governors), matching the single-GPU protocol.
+    """
+    freqs = sorted(float(f) for f in freqs_mhz)
+    if not freqs:
+        raise ConfigurationError("frequency sweep is empty")
+
+    cluster.set_uniform_frequency(None)
+    base = app.run(cluster)
+
+    walls: List[float] = []
+    gpu_e: List[float] = []
+    total_e: List[float] = []
+    actual_freqs: List[float] = []
+    for f in freqs:
+        cluster.set_uniform_frequency(f)
+        report = app.run(cluster)
+        first_gpu = next(iter(cluster.all_gpus()))[1]
+        actual_freqs.append(first_gpu.pinned_frequency_mhz or f)
+        walls.append(report.wall_time_s)
+        gpu_e.append(report.gpu_energy_j)
+        total_e.append(report.total_energy_j)
+    cluster.set_uniform_frequency(None)
+
+    return ClusterProfile(
+        app_name=app.name,
+        freqs_mhz=np.asarray(actual_freqs),
+        wall_times_s=np.asarray(walls),
+        gpu_energies_j=np.asarray(gpu_e),
+        total_energies_j=np.asarray(total_e),
+        baseline_wall_s=base.wall_time_s,
+        baseline_gpu_j=base.gpu_energy_j,
+        baseline_total_j=base.total_energy_j,
+    )

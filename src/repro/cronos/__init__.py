@@ -1,0 +1,58 @@
+"""Cronos: a finite-volume ideal-MHD code (paper Algorithm 1).
+
+Subsystem layout:
+
+- :mod:`repro.cronos.grid` / :mod:`repro.cronos.state` — grid and
+  conserved-variable containers
+- :mod:`repro.cronos.physics` — MHD fluxes, wave speeds, HLL solver
+- :mod:`repro.cronos.stencil` — the 13-point ``computeChanges`` stencil
+- :mod:`repro.cronos.boundary` / :mod:`repro.cronos.integrator` — ghost
+  fill and SSP-RK3 stages
+- :mod:`repro.cronos.solver` — the Algorithm-1 main loop (optionally
+  coupled to a simulated GPU)
+- :mod:`repro.cronos.problems` — standard initial conditions
+- :mod:`repro.cronos.gpu_costs` / :mod:`repro.cronos.app` — the GPU cost
+  model and the characterizable workload wrapper
+"""
+
+from repro.cronos.app import CRONOS_FEATURE_NAMES, CronosApplication
+from repro.cronos.boundary import BoundaryKind, apply_boundary
+from repro.cronos.grid import NGHOST, Grid3D
+from repro.cronos.integrator import SSP_RK3_COEFFS, integrate_substep, n_substeps
+from repro.cronos.laws import (
+    BurgersLaw,
+    ConservationLaw,
+    GenericSolver,
+    LinearAdvectionLaw,
+)
+from repro.cronos.problems import blast_wave, brio_wu, orszag_tang, uniform_advection
+from repro.cronos.solver import CronosSolver, StepDiagnostics
+from repro.cronos.state import MHDState, conserved_from_primitive, primitive_from_conserved
+from repro.cronos.stencil import compute_changes, minmod
+
+__all__ = [
+    "BoundaryKind",
+    "BurgersLaw",
+    "CRONOS_FEATURE_NAMES",
+    "ConservationLaw",
+    "CronosApplication",
+    "CronosSolver",
+    "GenericSolver",
+    "Grid3D",
+    "LinearAdvectionLaw",
+    "MHDState",
+    "NGHOST",
+    "SSP_RK3_COEFFS",
+    "StepDiagnostics",
+    "apply_boundary",
+    "blast_wave",
+    "brio_wu",
+    "compute_changes",
+    "conserved_from_primitive",
+    "integrate_substep",
+    "minmod",
+    "n_substeps",
+    "orszag_tang",
+    "primitive_from_conserved",
+    "uniform_advection",
+]

@@ -1,0 +1,74 @@
+"""Cronos as a characterizable GPU application.
+
+For the DVFS characterization sweeps (196 frequencies x 5 repetitions)
+re-running the full numpy solver at every point would be pointlessly
+slow: the *simulated* time/energy depend only on the kernel launch
+sequence, which Algorithm 1 fixes once the grid size and step count are
+known. :class:`CronosApplication` therefore replays that launch
+sequence — built by the same :mod:`repro.cronos.gpu_costs` cost model the
+real solver uses when a device is attached, so both paths are guaranteed
+to agree (covered by an integration test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cronos.grid import Grid3D
+from repro.cronos.gpu_costs import step_launches, substep_launches
+from repro.hw.device import SimulatedGPU
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CronosApplication", "CRONOS_FEATURE_NAMES"]
+
+#: Domain-specific feature names for Cronos (paper Table 2).
+CRONOS_FEATURE_NAMES: Tuple[str, str, str] = ("f_grid_x", "f_grid_y", "f_grid_z")
+
+
+@dataclass(frozen=True)
+class CronosApplication:
+    """A Cronos workload: grid size plus a fixed number of time steps.
+
+    Parameters
+    ----------
+    grid:
+        Simulation grid (the paper's experiments vary ``nx x ny x nz``
+        from 10x4x4 to 160x64x64).
+    n_steps:
+        Time steps to simulate. The paper runs to a fixed ``endTime``;
+        with the CFL-limited dt roughly constant per problem this is a
+        fixed step count, which we parameterize directly.
+    """
+
+    grid: Grid3D
+    n_steps: int = 25
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_steps, "n_steps")
+
+    @property
+    def name(self) -> str:
+        """Label used in characterization results, e.g. ``cronos-160x64x64``."""
+        return f"cronos-{self.grid.label()}"
+
+    @property
+    def domain_features(self) -> Tuple[float, float, float]:
+        """The paper's Table-2 features: grid extents (x, y, z)."""
+        return (float(self.grid.nx), float(self.grid.ny), float(self.grid.nz))
+
+    def run(self, gpu: SimulatedGPU) -> None:
+        """Issue the kernel launch sequence of ``n_steps`` time steps.
+
+        Matches the solver exactly: the initial ``applyBoundary`` of
+        Algorithm 1 line 3, then three substeps' kernels per step.
+        """
+        gpu.launch(substep_launches(self.grid)[-1])  # initial boundary fill
+        per_step = step_launches(self.grid)
+        for _ in range(self.n_steps):
+            gpu.launch_many(per_step)
+
+    @classmethod
+    def from_size(cls, nx: int, ny: int, nz: int, n_steps: int = 25) -> "CronosApplication":
+        """Convenience constructor from raw grid extents."""
+        return cls(grid=Grid3D(nx=nx, ny=ny, nz=nz), n_steps=n_steps)

@@ -1,0 +1,69 @@
+"""Boundary conditions (paper Algorithm 1, line 11: ``applyBoundary``).
+
+Ghost layers (depth 2) are filled along each axis in turn:
+
+- ``PERIODIC`` — wrap-around copy (the default for the paper's
+  astrophysical test problems);
+- ``OUTFLOW`` — zero-gradient extrapolation of the nearest interior cell;
+- ``REFLECTIVE`` — mirror copy with the normal momentum and normal
+  magnetic-field components negated.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.cronos.grid import NGHOST
+from repro.cronos.state import BX, BY, BZ, MX, MY, MZ, MHDState
+
+__all__ = ["BoundaryKind", "apply_boundary"]
+
+
+class BoundaryKind(Enum):
+    """Supported ghost-fill strategies."""
+
+    PERIODIC = "periodic"
+    OUTFLOW = "outflow"
+    REFLECTIVE = "reflective"
+
+
+#: (momentum, field) components normal to each array axis (1=z, 2=y, 3=x).
+_NORMAL_COMPONENTS: Dict[int, Tuple[int, int]] = {1: (MZ, BZ), 2: (MY, BY), 3: (MX, BX)}
+
+
+def _slc(axis: int, sl: slice) -> Tuple:
+    idx: list = [slice(None)] * 4
+    idx[axis] = sl
+    return tuple(idx)
+
+
+def apply_boundary(state: MHDState, kind: BoundaryKind = BoundaryKind.PERIODIC) -> None:
+    """Fill all ghost layers of ``state`` in place."""
+    u = state.u
+    g = NGHOST
+    for axis in (1, 2, 3):
+        n = u.shape[axis] - 2 * g
+        if kind is BoundaryKind.PERIODIC:
+            u[_slc(axis, slice(0, g))] = u[_slc(axis, slice(n, n + g))]
+            u[_slc(axis, slice(n + g, n + 2 * g))] = u[_slc(axis, slice(g, 2 * g))]
+        elif kind is BoundaryKind.OUTFLOW:
+            first = u[_slc(axis, slice(g, g + 1))]
+            last = u[_slc(axis, slice(n + g - 1, n + g))]
+            u[_slc(axis, slice(0, g))] = first
+            u[_slc(axis, slice(n + g, n + 2 * g))] = last
+        elif kind is BoundaryKind.REFLECTIVE:
+            # Mirror the first/last g interior layers...
+            lo_src = u[_slc(axis, slice(g, 2 * g))]
+            hi_src = u[_slc(axis, slice(n, n + g))]
+            u[_slc(axis, slice(0, g))] = np.flip(lo_src, axis=axis)
+            u[_slc(axis, slice(n + g, n + 2 * g))] = np.flip(hi_src, axis=axis)
+            # ...and negate the normal momentum and field components.
+            mom, field = _NORMAL_COMPONENTS[axis]
+            for comp in (mom, field):
+                u[(comp, *_slc(axis, slice(0, g))[1:])] *= -1.0
+                u[(comp, *_slc(axis, slice(n + g, n + 2 * g))[1:])] *= -1.0
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown boundary kind {kind!r}")

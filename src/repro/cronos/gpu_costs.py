@@ -1,0 +1,98 @@
+"""GPU cost model for the Cronos kernels.
+
+Maps each step of Algorithm 1 to a :class:`repro.kernels.ir.KernelLaunch`
+whose per-thread operation mix reflects the numerical work of the
+corresponding SYCL kernel:
+
+- ``cronos_compute_changes`` — the 13-point stencil: per cell, three
+  directional sweeps of reconstruction + HLL flux (heavy float
+  arithmetic, a few square roots for the wave speeds, and the dominant
+  share of global traffic). Calibrated so the kernel sits just on the
+  memory-bound side of the V100 roofline at the default clock, which is
+  what produces the paper's Cronos DVFS profile (no speedup from
+  over-clocking, real energy savings from down-clocking on large grids).
+- ``cronos_reduce_cfl`` — a bandwidth-dominated max-reduction.
+- ``cronos_integrate`` — pointwise SSP-RK3 stage: streaming.
+- ``cronos_boundary`` — surface-only ghost fill.
+
+These specs are *static*: input size enters only through thread counts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cronos.grid import Grid3D
+from repro.cronos.integrator import n_substeps
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+__all__ = [
+    "COMPUTE_CHANGES_SPEC",
+    "REDUCE_CFL_SPEC",
+    "INTEGRATE_SPEC",
+    "BOUNDARY_SPEC",
+    "substep_launches",
+    "step_launches",
+    "all_specs",
+]
+
+COMPUTE_CHANGES_SPEC = KernelSpec(
+    name="cronos_compute_changes",
+    int_add=60.0,
+    int_mul=20.0,
+    float_add=420.0,
+    float_mul=380.0,
+    float_div=24.0,
+    special_fn=8.0,
+    global_access=64.0,
+    local_access=16.0,
+)
+
+REDUCE_CFL_SPEC = KernelSpec(
+    name="cronos_reduce_cfl",
+    int_add=8.0,
+    int_bw=4.0,
+    float_add=2.0,
+    global_access=2.0,
+    local_access=10.0,
+)
+
+INTEGRATE_SPEC = KernelSpec(
+    name="cronos_integrate",
+    int_add=10.0,
+    float_add=16.0,
+    float_mul=24.0,
+    global_access=24.0,
+)
+
+BOUNDARY_SPEC = KernelSpec(
+    name="cronos_boundary",
+    int_add=14.0,
+    int_mul=6.0,
+    float_add=2.0,
+    global_access=16.0,
+)
+
+
+def all_specs() -> List[KernelSpec]:
+    """The four static kernel specs of the Cronos application."""
+    return [COMPUTE_CHANGES_SPEC, REDUCE_CFL_SPEC, INTEGRATE_SPEC, BOUNDARY_SPEC]
+
+
+def substep_launches(grid: Grid3D) -> List[KernelLaunch]:
+    """Kernel launches of one RK substep (Algorithm 1, lines 8-11)."""
+    cells = grid.n_cells
+    return [
+        KernelLaunch(COMPUTE_CHANGES_SPEC, threads=cells),
+        KernelLaunch(REDUCE_CFL_SPEC, threads=cells),
+        KernelLaunch(INTEGRATE_SPEC, threads=cells),
+        KernelLaunch(BOUNDARY_SPEC, threads=grid.n_boundary_cells),
+    ]
+
+
+def step_launches(grid: Grid3D) -> List[KernelLaunch]:
+    """Kernel launches of one full time step (all three substeps)."""
+    out: List[KernelLaunch] = []
+    for _ in range(n_substeps()):
+        out.extend(substep_launches(grid))
+    return out

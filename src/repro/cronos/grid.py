@@ -1,0 +1,114 @@
+"""3-D Cartesian grid with ghost cells for the Cronos MHD solver.
+
+Index convention follows the paper's Algorithm 1 (``grid[SIZE_Z][SIZE_Y]
+[SIZE_X]``): array axes are ordered (z, y, x). Two ghost layers per side
+support the 13-point stencil (two neighbours in each direction per axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["Grid3D", "NGHOST"]
+
+#: Ghost-layer depth required by the second-order 13-point stencil.
+NGHOST = 2
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """Uniform Cartesian grid covering ``[0, L] ** 3`` axis-wise.
+
+    Attributes
+    ----------
+    nx, ny, nz:
+        Interior cell counts along x, y, z.
+    lx, ly, lz:
+        Physical domain extents.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    lx: float = 1.0
+    ly: float = 1.0
+    lz: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.nx, "nx")
+        check_positive_int(self.ny, "ny")
+        check_positive_int(self.nz, "nz")
+        check_positive(self.lx, "lx")
+        check_positive(self.ly, "ly")
+        check_positive(self.lz, "lz")
+
+    # -- spacing ---------------------------------------------------------
+    @property
+    def dx(self) -> float:
+        """Cell width along x."""
+        return self.lx / self.nx
+
+    @property
+    def dy(self) -> float:
+        """Cell width along y."""
+        return self.ly / self.ny
+
+    @property
+    def dz(self) -> float:
+        """Cell width along z."""
+        return self.lz / self.nz
+
+    @property
+    def spacing(self) -> Tuple[float, float, float]:
+        """(dz, dy, dx) — matching the array axis order."""
+        return (self.dz, self.dy, self.dx)
+
+    # -- shapes ----------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Interior cell count."""
+        return self.nx * self.ny * self.nz
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Interior array shape (nz, ny, nx)."""
+        return (self.nz, self.ny, self.nx)
+
+    @property
+    def padded_shape(self) -> Tuple[int, int, int]:
+        """Array shape including ghost layers."""
+        return (self.nz + 2 * NGHOST, self.ny + 2 * NGHOST, self.nx + 2 * NGHOST)
+
+    @property
+    def interior(self) -> Tuple[slice, slice, slice]:
+        """Slices selecting the interior of a padded array."""
+        s = slice(NGHOST, -NGHOST)
+        return (s, s, s)
+
+    @property
+    def n_boundary_cells(self) -> int:
+        """Ghost cells touched by one boundary update (all six faces)."""
+        pz, py, px = self.padded_shape
+        total = pz * py * px
+        return total - self.nz * self.ny * self.nx
+
+    # -- coordinates -------------------------------------------------------
+    def cell_centers(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Broadcastable (z, y, x) center coordinates of the interior cells."""
+        z = (np.arange(self.nz) + 0.5) * self.dz
+        y = (np.arange(self.ny) + 0.5) * self.dy
+        x = (np.arange(self.nx) + 0.5) * self.dx
+        return (
+            z.reshape(-1, 1, 1),
+            y.reshape(1, -1, 1),
+            x.reshape(1, 1, -1),
+        )
+
+    def label(self) -> str:
+        """The paper's ``XxYxZ``-style size label, e.g. ``"160x64x64"``."""
+        return f"{self.nx}x{self.ny}x{self.nz}"

@@ -1,0 +1,64 @@
+"""Time integration (paper Algorithm 1, line 10: ``integrateTime``).
+
+The three-substep loop of Algorithm 1 is the strong-stability-preserving
+third-order Runge-Kutta scheme (Shu & Osher)::
+
+    u1 = u0 + dt L(u0)                       # substep 0
+    u2 = 3/4 u0 + 1/4 (u1 + dt L(u1))        # substep 1
+    u  = 1/3 u0 + 2/3 (u2 + dt L(u2))        # substep 2
+
+``integrate_substep`` applies one stage to the interior given the stage's
+computed changes; the solver drives the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SSP_RK3_COEFFS", "integrate_substep", "n_substeps"]
+
+#: ``(a_k, b_k)`` stage weights: ``u_new = a_k u0 + b_k (u_cur + dt L(u_cur))``.
+SSP_RK3_COEFFS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 1.0),
+    (0.75, 0.25),
+    (1.0 / 3.0, 2.0 / 3.0),
+)
+
+
+def n_substeps() -> int:
+    """Number of Runge-Kutta substeps per time step (3, as in Algorithm 1)."""
+    return len(SSP_RK3_COEFFS)
+
+
+def integrate_substep(
+    u0_interior: np.ndarray,
+    u_current_interior: np.ndarray,
+    changes: np.ndarray,
+    dt: float,
+    substep: int,
+) -> np.ndarray:
+    """One SSP-RK3 stage over the interior.
+
+    Parameters
+    ----------
+    u0_interior:
+        State at the start of the full time step.
+    u_current_interior:
+        State entering this substep (equals ``u0_interior`` for substep 0).
+    changes:
+        ``L(u_current)`` from :func:`repro.cronos.stencil.compute_changes`.
+    dt:
+        Full-step time increment.
+    substep:
+        Stage index 0, 1 or 2.
+    """
+    if not 0 <= substep < len(SSP_RK3_COEFFS):
+        raise ValueError(f"substep must be 0..{len(SSP_RK3_COEFFS) - 1}, got {substep}")
+    if dt <= 0 or not np.isfinite(dt):
+        raise ValueError(f"dt must be positive and finite, got {dt}")
+    if u0_interior.shape != u_current_interior.shape or u0_interior.shape != changes.shape:
+        raise ValueError("state and changes shapes disagree")
+    a, b = SSP_RK3_COEFFS[substep]
+    return a * u0_interior + b * (u_current_interior + dt * changes)

@@ -1,0 +1,124 @@
+"""Ideal-MHD physics: fluxes, wave speeds, and the HLL Riemann solver.
+
+All functions are vectorized over arbitrary trailing grid shapes with the
+component axis first, using the primitive ordering
+``(rho, vx, vy, vz, p, Bx, By, Bz)`` and the conserved ordering of
+:mod:`repro.cronos.state`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cronos.state import (
+    BX,
+    BY,
+    BZ,
+    ENERGY,
+    MX,
+    MY,
+    MZ,
+    N_COMPONENTS,
+    RHO,
+    conserved_from_primitive,
+)
+
+__all__ = ["mhd_flux", "fast_speed", "hll_flux", "max_signal_speed"]
+
+#: Index triplets (normal, tangential-1, tangential-2) for velocity and B
+#: per flux direction; direction 0 = x, 1 = y, 2 = z.
+_VEL = ((1, 2, 3), (2, 3, 1), (3, 1, 2))
+_MOM = ((MX, MY, MZ), (MY, MZ, MX), (MZ, MX, MY))
+_MAG = ((BX, BY, BZ), (BY, BZ, BX), (BZ, BX, BY))
+
+
+def mhd_flux(prim: np.ndarray, gamma: float, direction: int) -> np.ndarray:
+    """Physical ideal-MHD flux along ``direction`` (0=x, 1=y, 2=z).
+
+    Input primitives, output conserved-variable flux with identical shape.
+    """
+    if direction not in (0, 1, 2):
+        raise ValueError(f"direction must be 0, 1 or 2, got {direction}")
+    vn_i, vt1_i, vt2_i = _VEL[direction]
+    mn, mt1, mt2 = _MOM[direction]
+    bn_i, bt1_i, bt2_i = _MAG[direction]
+
+    rho = prim[0]
+    vn, vt1, vt2 = prim[vn_i], prim[vt1_i], prim[vt2_i]
+    p = prim[4]
+    bn, bt1, bt2 = prim[bn_i], prim[bt1_i], prim[bt2_i]
+
+    b_sq = bn**2 + bt1**2 + bt2**2
+    p_tot = p + 0.5 * b_sq
+    v_dot_b = vn * bn + vt1 * bt1 + vt2 * bt2
+    v_sq = vn**2 + vt1**2 + vt2**2
+    energy = p / (gamma - 1.0) + 0.5 * rho * v_sq + 0.5 * b_sq
+
+    flux = np.empty((N_COMPONENTS, *rho.shape), dtype=prim.dtype)
+    flux[RHO] = rho * vn
+    flux[mn] = rho * vn * vn + p_tot - bn * bn
+    flux[mt1] = rho * vn * vt1 - bn * bt1
+    flux[mt2] = rho * vn * vt2 - bn * bt2
+    flux[ENERGY] = (energy + p_tot) * vn - bn * v_dot_b
+    # B shares indices 5..7 in both the primitive and conserved orderings.
+    flux[bn_i] = np.zeros_like(rho)  # normal B is flux-free (ideal MHD)
+    flux[bt1_i] = bt1 * vn - bn * vt1
+    flux[bt2_i] = bt2 * vn - bn * vt2
+    return flux
+
+
+def fast_speed(prim: np.ndarray, gamma: float, direction: int) -> np.ndarray:
+    """Fast magnetosonic speed along ``direction``.
+
+    ``cf^2 = 1/2 (a^2 + b^2 + sqrt((a^2 + b^2)^2 - 4 a^2 bn^2))`` with
+    sound speed ``a``, Alfven speed ``b = |B| / sqrt(rho)`` and normal
+    Alfven speed ``bn``.
+    """
+    if direction not in (0, 1, 2):
+        raise ValueError(f"direction must be 0, 1 or 2, got {direction}")
+    bn_i = _MAG[direction][0]
+    rho = prim[0]
+    p = prim[4]
+    inv_rho = 1.0 / rho
+    a2 = gamma * p * inv_rho
+    b2 = (prim[5] ** 2 + prim[6] ** 2 + prim[7] ** 2) * inv_rho
+    bn2 = prim[bn_i] ** 2 * inv_rho
+    s = a2 + b2
+    disc = np.sqrt(np.maximum(s * s - 4.0 * a2 * bn2, 0.0))
+    return np.sqrt(np.maximum(0.5 * (s + disc), 0.0))
+
+
+def max_signal_speed(prim: np.ndarray, gamma: float, direction: int) -> np.ndarray:
+    """``|v_n| + cf`` — the CFL-relevant signal speed along one axis."""
+    vn = prim[_VEL[direction][0]]
+    return np.abs(vn) + fast_speed(prim, gamma, direction)
+
+
+def hll_flux(
+    prim_l: np.ndarray, prim_r: np.ndarray, gamma: float, direction: int
+) -> np.ndarray:
+    """HLL approximate Riemann flux between left/right face states.
+
+    ``F = (S_R F_L - S_L F_R + S_L S_R (U_R - U_L)) / (S_R - S_L)`` with
+    Davis wave-speed estimates, reducing to the upwind flux when all
+    waves move one way.
+    """
+    vn_i = _VEL[direction][0]
+    cf_l = fast_speed(prim_l, gamma, direction)
+    cf_r = fast_speed(prim_r, gamma, direction)
+    s_l = np.minimum(prim_l[vn_i] - cf_l, prim_r[vn_i] - cf_r)
+    s_r = np.maximum(prim_l[vn_i] + cf_l, prim_r[vn_i] + cf_r)
+
+    f_l = mhd_flux(prim_l, gamma, direction)
+    f_r = mhd_flux(prim_r, gamma, direction)
+    u_l = conserved_from_primitive(prim_l, gamma)
+    u_r = conserved_from_primitive(prim_r, gamma)
+
+    s_l_c = np.minimum(s_l, 0.0)
+    s_r_c = np.maximum(s_r, 0.0)
+    denom = s_r_c - s_l_c
+    # Degenerate case (both speeds zero): states identical and static;
+    # flux reduces to the common physical flux.
+    safe = np.where(denom > 1e-300, denom, 1.0)
+    flux = (s_r_c * f_l - s_l_c * f_r + s_l_c * s_r_c * (u_r - u_l)) / safe
+    return np.where(denom > 1e-300, flux, f_l)

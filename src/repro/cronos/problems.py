@@ -1,0 +1,108 @@
+"""Initial-condition library for the Cronos solver.
+
+Standard test problems from the astrophysical MHD literature (all of
+which the production Cronos code ships): a smooth advected density blob
+(useful for convergence/conservation tests), the Orszag-Tang vortex, a
+spherical blast wave, and the Brio-Wu shock tube.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cronos.grid import Grid3D
+from repro.cronos.state import MHDState, conserved_from_primitive
+from repro.utils.validation import check_positive
+
+__all__ = ["uniform_advection", "orszag_tang", "blast_wave", "brio_wu"]
+
+
+def _state_from_primitives(grid: Grid3D, prim_interior: np.ndarray, gamma: float) -> MHDState:
+    state = MHDState.zeros(grid, gamma=gamma)
+    state.u[(slice(None), *grid.interior)] = conserved_from_primitive(prim_interior, gamma)
+    return state
+
+
+def uniform_advection(
+    grid: Grid3D,
+    velocity: tuple[float, float, float] = (1.0, 0.5, 0.25),
+    blob_amplitude: float = 0.5,
+    gamma: float = 5.0 / 3.0,
+) -> MHDState:
+    """Smooth Gaussian density blob advected by a uniform flow.
+
+    With periodic boundaries the exact solution is a rigid translation of
+    the initial data, making this the canonical accuracy/conservation
+    test.
+    """
+    z, y, x = grid.cell_centers()
+    r2 = (x - 0.5 * grid.lx) ** 2 + (y - 0.5 * grid.ly) ** 2 + (z - 0.5 * grid.lz) ** 2
+    rho = 1.0 + blob_amplitude * np.exp(-r2 / 0.02)
+    rho = np.broadcast_to(rho, grid.shape).copy()
+    prim = np.zeros((8, *grid.shape))
+    prim[0] = rho
+    prim[1] = velocity[0]
+    prim[2] = velocity[1]
+    prim[3] = velocity[2]
+    prim[4] = 1.0  # uniform pressure: no acoustic response
+    return _state_from_primitives(grid, prim, gamma)
+
+
+def orszag_tang(grid: Grid3D, gamma: float = 5.0 / 3.0) -> MHDState:
+    """The Orszag-Tang vortex (2-D pattern, uniform along z).
+
+    The classic MHD turbulence benchmark; periodic boundaries required.
+    """
+    z, y, x = grid.cell_centers()
+    two_pi = 2.0 * np.pi
+    kx = two_pi / grid.lx
+    ky = two_pi / grid.ly
+    prim = np.zeros((8, *grid.shape))
+    prim[0] = gamma**2 / (4.0 * np.pi)
+    prim[1] = -np.sin(ky * y) * np.ones_like(x)
+    prim[2] = np.sin(kx * x) * np.ones_like(y)
+    prim[3] = 0.0
+    prim[4] = gamma / (4.0 * np.pi)
+    b0 = 1.0 / np.sqrt(4.0 * np.pi)
+    prim[5] = -b0 * np.sin(ky * y) * np.ones_like(x)
+    prim[6] = b0 * np.sin(2.0 * kx * x) * np.ones_like(y)
+    prim[7] = 0.0
+    # Broadcast the 2-D pattern across z.
+    prim = np.broadcast_to(prim, (8, *grid.shape)).copy()
+    return _state_from_primitives(grid, prim, gamma)
+
+
+def blast_wave(
+    grid: Grid3D,
+    p_inside: float = 10.0,
+    p_outside: float = 0.1,
+    radius: float = 0.1,
+    b0: float = 0.5,
+    gamma: float = 5.0 / 3.0,
+) -> MHDState:
+    """Spherical over-pressured region in a magnetized medium."""
+    check_positive(p_inside, "p_inside")
+    check_positive(p_outside, "p_outside")
+    check_positive(radius, "radius")
+    z, y, x = grid.cell_centers()
+    r = np.sqrt(
+        (x - 0.5 * grid.lx) ** 2 + (y - 0.5 * grid.ly) ** 2 + (z - 0.5 * grid.lz) ** 2
+    )
+    prim = np.zeros((8, *grid.shape))
+    prim[0] = 1.0
+    prim[4] = np.where(r < radius, p_inside, p_outside) * np.ones(grid.shape)
+    prim[5] = b0 / np.sqrt(2.0)
+    prim[6] = b0 / np.sqrt(2.0)
+    return _state_from_primitives(grid, prim, gamma)
+
+
+def brio_wu(grid: Grid3D, gamma: float = 2.0) -> MHDState:
+    """The Brio-Wu MHD shock tube along x (outflow boundaries advised)."""
+    z, y, x = grid.cell_centers()
+    left = (x < 0.5 * grid.lx) * np.ones(grid.shape, dtype=bool)
+    prim = np.zeros((8, *grid.shape))
+    prim[0] = np.where(left, 1.0, 0.125)
+    prim[4] = np.where(left, 1.0, 0.1)
+    prim[5] = 0.75
+    prim[6] = np.where(left, 1.0, -1.0)
+    return _state_from_primitives(grid, prim, gamma)

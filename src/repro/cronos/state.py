@@ -1,0 +1,144 @@
+"""Conserved-variable state for ideal MHD.
+
+The state vector per cell is ``U = (rho, mx, my, mz, E, Bx, By, Bz)``:
+density, momentum density, total energy density, and (cell-centered)
+magnetic field. Arrays are shaped ``(8, nz+4, ny+4, nx+4)`` — component
+first, then the padded (z, y, x) grid.
+
+The production Cronos code uses constrained transport for ``div B = 0``;
+this reproduction uses a cell-centered field (divergence errors stay
+bounded for the smooth problems exercised here), which is documented as a
+deliberate simplification in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.cronos.grid import Grid3D
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "N_COMPONENTS",
+    "RHO",
+    "MX",
+    "MY",
+    "MZ",
+    "ENERGY",
+    "BX",
+    "BY",
+    "BZ",
+    "MHDState",
+    "conserved_from_primitive",
+    "primitive_from_conserved",
+]
+
+N_COMPONENTS = 8
+RHO, MX, MY, MZ, ENERGY, BX, BY, BZ = range(N_COMPONENTS)
+
+#: Floors applied when recovering primitives (keeps HLL robust).
+DENSITY_FLOOR = 1e-10
+PRESSURE_FLOOR = 1e-12
+
+
+@dataclass
+class MHDState:
+    """A padded conserved-variable field on a :class:`Grid3D`."""
+
+    grid: Grid3D
+    u: np.ndarray  # (8, nz+4, ny+4, nx+4)
+    gamma: float = 5.0 / 3.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.gamma, "gamma")
+        expected = (N_COMPONENTS, *self.grid.padded_shape)
+        if self.u.shape != expected:
+            raise ValueError(f"state array has shape {self.u.shape}, expected {expected}")
+
+    @classmethod
+    def zeros(cls, grid: Grid3D, gamma: float = 5.0 / 3.0) -> "MHDState":
+        """All-zero state (invalid physically until initialized)."""
+        return cls(grid=grid, u=np.zeros((N_COMPONENTS, *grid.padded_shape)), gamma=gamma)
+
+    def copy(self) -> "MHDState":
+        """Deep copy."""
+        return MHDState(grid=self.grid, u=self.u.copy(), gamma=self.gamma)
+
+    def interior(self) -> np.ndarray:
+        """View of the interior (no ghosts): shape ``(8, nz, ny, nx)``."""
+        return self.u[(slice(None), *self.grid.interior)]
+
+    # -- conserved quantities over the interior --------------------------
+    def total_mass(self) -> float:
+        """Integral of density over the interior (times cell volume)."""
+        vol = self.grid.dx * self.grid.dy * self.grid.dz
+        return float(self.interior()[RHO].sum() * vol)
+
+    def total_energy(self) -> float:
+        """Integral of total energy density over the interior."""
+        vol = self.grid.dx * self.grid.dy * self.grid.dz
+        return float(self.interior()[ENERGY].sum() * vol)
+
+    def total_momentum(self) -> Tuple[float, float, float]:
+        """Integrated momentum components (x, y, z order)."""
+        vol = self.grid.dx * self.grid.dy * self.grid.dz
+        inter = self.interior()
+        return (
+            float(inter[MX].sum() * vol),
+            float(inter[MY].sum() * vol),
+            float(inter[MZ].sum() * vol),
+        )
+
+    def min_density(self) -> float:
+        """Minimum interior density (positivity diagnostic)."""
+        return float(self.interior()[RHO].min())
+
+    def min_pressure(self) -> float:
+        """Minimum interior gas pressure (positivity diagnostic)."""
+        prim = primitive_from_conserved(self.interior(), self.gamma)
+        return float(prim[4].min())
+
+
+def conserved_from_primitive(prim: np.ndarray, gamma: float) -> np.ndarray:
+    """Convert primitives ``(rho, vx, vy, vz, p, Bx, By, Bz)`` to conserved.
+
+    Works on any trailing grid shape; component axis first.
+    """
+    rho, vx, vy, vz, p, bx, by, bz = prim
+    u = np.empty_like(prim)
+    u[RHO] = rho
+    u[MX] = rho * vx
+    u[MY] = rho * vy
+    u[MZ] = rho * vz
+    kinetic = 0.5 * rho * (vx**2 + vy**2 + vz**2)
+    magnetic = 0.5 * (bx**2 + by**2 + bz**2)
+    u[ENERGY] = p / (gamma - 1.0) + kinetic + magnetic
+    u[BX] = bx
+    u[BY] = by
+    u[BZ] = bz
+    return u
+
+
+def primitive_from_conserved(u: np.ndarray, gamma: float) -> np.ndarray:
+    """Convert conserved variables to primitives, applying floors.
+
+    Returns ``(rho, vx, vy, vz, p, Bx, By, Bz)`` with the same trailing
+    shape as the input.
+    """
+    prim = np.empty_like(u)
+    rho = np.maximum(u[RHO], DENSITY_FLOOR)
+    prim[0] = rho
+    inv_rho = 1.0 / rho
+    prim[1] = u[MX] * inv_rho
+    prim[2] = u[MY] * inv_rho
+    prim[3] = u[MZ] * inv_rho
+    kinetic = 0.5 * (u[MX] ** 2 + u[MY] ** 2 + u[MZ] ** 2) * inv_rho
+    magnetic = 0.5 * (u[BX] ** 2 + u[BY] ** 2 + u[BZ] ** 2)
+    prim[4] = np.maximum((gamma - 1.0) * (u[ENERGY] - kinetic - magnetic), PRESSURE_FLOOR)
+    prim[5] = u[BX]
+    prim[6] = u[BY]
+    prim[7] = u[BZ]
+    return prim

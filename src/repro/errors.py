@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+A single small hierarchy lets callers catch everything library-specific
+with ``except ReproError`` while still being able to discriminate device
+misuse from modeling misuse.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DeviceError",
+    "FrequencyError",
+    "KernelError",
+    "ModelNotFittedError",
+    "DatasetError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class DeviceError(ReproError):
+    """Invalid use of a simulated device (e.g. launching on a closed device)."""
+
+
+class FrequencyError(DeviceError):
+    """A requested frequency is outside the device's supported range."""
+
+
+class KernelError(ReproError):
+    """A kernel specification or launch configuration is invalid."""
+
+
+class ModelNotFittedError(ReproError):
+    """A predictor was used before ``fit`` was called."""
+
+
+class DatasetError(ReproError):
+    """A training/validation dataset is malformed or empty."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or application configuration is invalid."""

@@ -1,0 +1,100 @@
+"""Dataset builders: run the paper's characterization campaigns.
+
+Each builder sweeps the configured workload grid over a frequency
+subsample on one device, returning both the flat
+:class:`repro.modeling.dataset.EnergyDataset` (for model training) and
+the per-input :class:`repro.synergy.runner.CharacterizationResult`
+objects (the measured ground truth used for validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cronos.app import CRONOS_FEATURE_NAMES, CronosApplication
+from repro.experiments import configs
+from repro.ligen.app import LIGEN_FEATURE_NAMES, LigenApplication
+from repro.modeling.dataset import EnergyDataset
+from repro.synergy.api import SynergyDevice
+from repro.synergy.runner import CharacterizationResult, characterize
+
+__all__ = ["CampaignData", "build_cronos_campaign", "build_ligen_campaign"]
+
+FeatureKey = Tuple[float, ...]
+
+
+@dataclass
+class CampaignData:
+    """Everything a modeling experiment needs from one campaign."""
+
+    dataset: EnergyDataset
+    characterizations: Dict[FeatureKey, CharacterizationResult]
+    freqs_mhz: List[float]
+
+    def characterization_for(self, features: Sequence[float]) -> CharacterizationResult:
+        """Measured sweep for one input-feature tuple."""
+        return self.characterizations[tuple(float(f) for f in features)]
+
+
+def _default_freqs(device: SynergyDevice, count: Optional[int]) -> List[float]:
+    """Frequency subsample for training sweeps.
+
+    Always includes the device's baseline clock: the domain-specific
+    model normalizes its predictions by the predicted values *at the
+    baseline frequency* (§4.2.3), so the baseline bin must be in the
+    training set or every normalized prediction inherits a systematic
+    interpolation offset.
+    """
+    table = device.gpu.spec.core_freqs
+    if count is None:
+        return [float(f) for f in table.freqs_mhz]
+    freqs = table.subsample(count)
+    if table.default_mhz is not None and table.default_mhz not in freqs:
+        freqs = sorted(set(freqs) | {table.default_mhz})
+    return freqs
+
+
+def build_cronos_campaign(
+    device: SynergyDevice,
+    grids: Sequence[Tuple[int, int, int]] = configs.CRONOS_GRID_SIZES,
+    freq_count: Optional[int] = configs.DEFAULT_TRAIN_FREQ_COUNT,
+    n_steps: int = configs.CRONOS_STEPS,
+    repetitions: int = configs.DEFAULT_REPETITIONS,
+) -> CampaignData:
+    """Characterize Cronos over the grid sweep (paper §5.1 protocol)."""
+    freqs = _default_freqs(device, freq_count)
+    dataset = EnergyDataset(feature_names=CRONOS_FEATURE_NAMES)
+    chars: Dict[FeatureKey, CharacterizationResult] = {}
+    for nx, ny, nz in grids:
+        app = CronosApplication.from_size(nx, ny, nz, n_steps=n_steps)
+        result = characterize(app, device, freqs_mhz=freqs, repetitions=repetitions)
+        features = app.domain_features
+        dataset.add_characterization(features, result)
+        chars[features] = result
+    return CampaignData(dataset=dataset, characterizations=chars, freqs_mhz=freqs)
+
+
+def build_ligen_campaign(
+    device: SynergyDevice,
+    ligand_counts: Sequence[int] = configs.LIGEN_LIGAND_COUNTS,
+    atom_counts: Sequence[int] = configs.LIGEN_ATOM_COUNTS,
+    fragment_counts: Sequence[int] = configs.LIGEN_FRAGMENT_COUNTS,
+    freq_count: Optional[int] = configs.DEFAULT_TRAIN_FREQ_COUNT,
+    repetitions: int = configs.DEFAULT_REPETITIONS,
+) -> CampaignData:
+    """Characterize LiGen over the full ``(l, a, f)`` input grid."""
+    freqs = _default_freqs(device, freq_count)
+    dataset = EnergyDataset(feature_names=LIGEN_FEATURE_NAMES)
+    chars: Dict[FeatureKey, CharacterizationResult] = {}
+    for ligands in ligand_counts:
+        for atoms in atom_counts:
+            for fragments in fragment_counts:
+                app = LigenApplication(
+                    n_ligands=ligands, n_atoms=atoms, n_fragments=fragments
+                )
+                result = characterize(app, device, freqs_mhz=freqs, repetitions=repetitions)
+                features = app.domain_features
+                dataset.add_characterization(features, result)
+                chars[features] = result
+    return CampaignData(dataset=dataset, characterizations=chars, freqs_mhz=freqs)

@@ -1,0 +1,136 @@
+"""ASCII rendering of experiment outputs.
+
+The benchmark harness regenerates every paper table/figure as text; these
+helpers turn the figure-builder records into the tables the benches print
+(and that EXPERIMENTS.md quotes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.evaluation import AccuracyRow, RegressorScore
+from repro.experiments.figures import (
+    CharacterizationSeries,
+    ParetoPredictionSeries,
+    RawScalingPoint,
+)
+from repro.utils.ascii_plot import ascii_scatter
+from repro.utils.tables import AsciiTable, render_kv_block
+
+__all__ = [
+    "render_characterization",
+    "render_characterization_plot",
+    "render_raw_scaling",
+    "render_accuracy_rows",
+    "render_regressor_scores",
+    "render_pareto_prediction",
+]
+
+
+def render_characterization_plot(series: CharacterizationSeries, title: str) -> str:
+    """The paper's figure view: a speedup-vs-normalized-energy scatter with
+    the Pareto-front configurations highlighted (``*``)."""
+    sp = series.result.speedups()
+    ne = series.result.normalized_energies()
+    mask = [series.front.contains_freq(float(f)) for f in series.result.freqs_mhz]
+    return ascii_scatter(
+        sp,
+        ne,
+        highlight_mask=mask,
+        x_label="speedup",
+        y_label="norm. E",
+        title=f"{title} — {series.result.app_name} on {series.result.device_name} "
+        f"(* = Pareto front)",
+    )
+
+
+def render_characterization(
+    series: CharacterizationSeries, title: str, max_rows: int | None = None
+) -> str:
+    """A Fig-1/2/3/4/5/10-style series as a table (one row per frequency)."""
+    t = AsciiTable(
+        ["freq_mhz", "speedup", "norm_energy", "pareto"],
+        title=f"{title} [{series.result.app_name} on {series.result.device_name}, "
+        f"baseline: {series.result.baseline_label}]",
+    )
+    rows = series.rows()
+    if max_rows is not None and len(rows) > max_rows:
+        stride = max(1, len(rows) // max_rows)
+        rows = rows[::stride]
+    for freq, sp, ne, on_front in rows:
+        t.add_row([freq, sp, ne, "*" if on_front else ""])
+    return t.render()
+
+
+def render_raw_scaling(
+    points: Sequence[RawScalingPoint], title: str, max_rows: int | None = None
+) -> str:
+    """A Fig-6/7/8/9-style series: raw time/energy per (atoms, frags, freq)."""
+    t = AsciiTable(["atoms", "frags", "freq_mhz", "time_s", "energy_kj"], title=title)
+    rows = list(points)
+    if max_rows is not None and len(rows) > max_rows:
+        stride = max(1, len(rows) // max_rows)
+        rows = rows[::stride]
+    for p in rows:
+        t.add_row([p.atoms, p.fragments, p.freq_mhz, p.time_s, p.energy_kj])
+    return t.render()
+
+
+def render_accuracy_rows(rows: Sequence[AccuracyRow], title: str) -> str:
+    """Fig-13 as a table: GP vs DS MAPE per validation input."""
+    t = AsciiTable(
+        [
+            "input",
+            "speedup GP",
+            "speedup DS",
+            "ratio",
+            "energy GP",
+            "energy DS",
+            "ratio",
+        ],
+        title=title,
+    )
+    for r in rows:
+        t.add_row(
+            [
+                r.label,
+                r.speedup_mape_gp,
+                r.speedup_mape_ds,
+                r.speedup_improvement,
+                r.energy_mape_gp,
+                r.energy_mape_ds,
+                r.energy_improvement,
+            ]
+        )
+    return t.render()
+
+
+def render_regressor_scores(scores: Sequence[RegressorScore], title: str) -> str:
+    """§5.2.1 regressor comparison table (best algorithm first)."""
+    t = AsciiTable(["algorithm", "speedup MAPE", "energy MAPE", "combined"], title=title)
+    for s in scores:
+        t.add_row([s.name, s.speedup_mape, s.energy_mape, s.combined])
+    return t.render()
+
+
+def render_pareto_prediction(series: ParetoPredictionSeries, title: str) -> str:
+    """Fig-14 summary block plus the achieved point sets."""
+    parts: List[str] = [render_kv_block(series.summary(), title=title)]
+    gp = AsciiTable(["freq_mhz", "achieved speedup", "achieved norm_energy"], title="general-purpose model")
+    for f, s, e in zip(
+        series.gp_assessment.predicted_freqs,
+        series.gp_assessment.achieved_speedups,
+        series.gp_assessment.achieved_energies,
+    ):
+        gp.add_row([f, s, e])
+    ds = AsciiTable(["freq_mhz", "achieved speedup", "achieved norm_energy"], title="domain-specific model")
+    for f, s, e in zip(
+        series.ds_assessment.predicted_freqs,
+        series.ds_assessment.achieved_speedups,
+        series.ds_assessment.achieved_energies,
+    ):
+        ds.add_row([f, s, e])
+    parts.append(gp.render())
+    parts.append(ds.render())
+    return "\n\n".join(parts)

@@ -1,0 +1,309 @@
+"""The simulated GPU device.
+
+:class:`SimulatedGPU` plays the role of the physical V100/MI100 in the
+paper's testbed. It exposes:
+
+- a DVFS interface (``set_core_frequency`` / ``reset_frequency``), with
+  NVIDIA-style fixed default clocks or AMD-style automatic governor
+  behaviour depending on the device spec;
+- a kernel launch interface consuming :class:`repro.kernels.ir.KernelLaunch`
+  objects and returning exact simulated time/energy;
+- free-running time and energy counters (like NVML's total-energy
+  counter), which the profiling layer in :mod:`repro.synergy` reads.
+
+The device itself is noiseless — it is the "physical truth". Measurement
+imperfections live in :mod:`repro.hw.sensors` and are applied by the
+profiler, mirroring where noise enters on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import DeviceError, FrequencyError
+from repro.hw.governor import AutoGovernor
+from repro.hw.perf import KernelTiming, RooflineTimingModel
+from repro.hw.power import PowerModel
+from repro.hw.specs import DeviceSpec, make_intel_max_spec, make_mi100_spec, make_v100_spec
+from repro.kernels.ir import KernelLaunch
+
+__all__ = ["LaunchResult", "SimulatedGPU", "create_device"]
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Exact simulated outcome of one kernel launch."""
+
+    kernel_name: str
+    core_mhz: float
+    time_s: float
+    energy_j: float
+    timing: KernelTiming
+
+    @property
+    def power_w(self) -> float:
+        """Average power over the launch."""
+        return self.energy_j / self.time_s
+
+
+class SimulatedGPU:
+    """A DVFS-capable simulated GPU.
+
+    Parameters
+    ----------
+    spec:
+        Device description (see :func:`repro.hw.specs.make_v100_spec`).
+
+    Notes
+    -----
+    Frequency semantics follow the vendor:
+
+    - ``vendor == "nvidia"``: the device boots at the spec's default
+      application clock; ``set_core_frequency`` pins a clock;
+      ``reset_frequency`` restores the default.
+    - ``vendor == "amd"``: the device boots in *auto* mode where an
+      :class:`AutoGovernor` picks the clock per launch;
+      ``set_core_frequency`` switches to a pinned manual clock;
+      ``reset_frequency`` re-enables the governor.
+    """
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self.timing_model = RooflineTimingModel(spec)
+        self.power_model = PowerModel(spec)
+        self.governor: Optional[AutoGovernor] = (
+            AutoGovernor(spec) if not spec.has_default_frequency else None
+        )
+        self._pinned_mhz: Optional[float] = None
+        if spec.has_default_frequency:
+            if spec.core_freqs.default_mhz is None:
+                raise DeviceError(f"{spec.name}: nvidia-style spec needs a default clock")
+            self._pinned_mhz = spec.core_freqs.default_mhz
+        self._time_counter_s = 0.0
+        self._energy_counter_j = 0.0
+        self._launch_count = 0
+        self._power_cap_w: Optional[float] = None
+        self._throttle_count = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # identity & introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Device name from the spec."""
+        return self.spec.name
+
+    @property
+    def vendor(self) -> str:
+        """Device vendor from the spec."""
+        return self.spec.vendor
+
+    def supported_frequencies(self) -> np.ndarray:
+        """All supported core frequencies in MHz (ascending)."""
+        return self.spec.core_freqs.freqs_mhz
+
+    @property
+    def default_frequency_mhz(self) -> Optional[float]:
+        """NVIDIA default application clock, or ``None`` for auto-governed devices."""
+        return self.spec.core_freqs.default_mhz
+
+    @property
+    def is_auto_mode(self) -> bool:
+        """True when the automatic governor (not a pinned clock) is active."""
+        return self._pinned_mhz is None
+
+    @property
+    def pinned_frequency_mhz(self) -> Optional[float]:
+        """The manually pinned clock, or ``None`` in auto mode."""
+        return self._pinned_mhz
+
+    # ------------------------------------------------------------------
+    # DVFS interface
+    # ------------------------------------------------------------------
+    def set_core_frequency(self, freq_mhz: float) -> float:
+        """Pin the core clock; returns the snapped frequency actually set."""
+        self._check_open()
+        snapped = self.spec.core_freqs.snap(freq_mhz)
+        self._pinned_mhz = snapped
+        return snapped
+
+    def reset_frequency(self) -> None:
+        """Restore the boot behaviour (default clock or auto governor)."""
+        self._check_open()
+        if self.spec.has_default_frequency:
+            self._pinned_mhz = self.spec.core_freqs.default_mhz
+        else:
+            self._pinned_mhz = None
+
+    def frequency_for(self, launch: KernelLaunch) -> float:
+        """The clock the device would run ``launch`` at right now."""
+        if self._pinned_mhz is not None:
+            return self._pinned_mhz
+        assert self.governor is not None
+        return self.governor.select_mhz(launch)
+
+    # ------------------------------------------------------------------
+    # power capping (RAPL/NVML-style board power limit)
+    # ------------------------------------------------------------------
+    @property
+    def power_cap_w(self) -> Optional[float]:
+        """The active board power limit, or ``None``."""
+        return self._power_cap_w
+
+    @property
+    def throttle_count(self) -> int:
+        """Launches whose clock was reduced to honour the power cap."""
+        return self._throttle_count
+
+    def set_power_cap(self, watts: Optional[float]) -> None:
+        """Set (or clear, with ``None``) a board power limit.
+
+        Like NVML's power-management limit: when a kernel would exceed
+        the cap at the requested clock, the driver throttles the core
+        frequency to the highest bin whose projected power fits.
+        """
+        self._check_open()
+        if watts is None:
+            self._power_cap_w = None
+            return
+        watts = float(watts)
+        min_power = self.power_model.idle_power_w(self.spec.core_freqs.min_mhz)
+        if watts < min_power:
+            raise DeviceError(
+                f"{self.name}: power cap {watts:.0f} W below the idle floor "
+                f"({min_power:.0f} W)"
+            )
+        self._power_cap_w = watts
+
+    def _busy_power_w(self, launch: KernelLaunch, core_mhz: float) -> float:
+        timing = self.timing_model.time(launch, core_mhz)
+        floor = self.spec.active_idle_frac
+        u_comp_eff = timing.u_comp * (floor + (1.0 - floor) * timing.width_util)
+        return self.power_model.power_w(core_mhz, u_comp_eff, timing.u_mem)
+
+    def _cap_frequency(self, launch: KernelLaunch, core_mhz: float) -> float:
+        """Highest table frequency <= ``core_mhz`` honouring the cap."""
+        cap = self._power_cap_w
+        if cap is None or self._busy_power_w(launch, core_mhz) <= cap:
+            return core_mhz
+        freqs = self.spec.core_freqs.freqs_mhz
+        candidates = freqs[freqs <= core_mhz + 1e-9]
+        # Power is monotone in frequency at fixed work: bisect.
+        lo, hi = 0, len(candidates) - 1
+        best = candidates[0]
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self._busy_power_w(launch, float(candidates[mid])) <= cap:
+                best = candidates[mid]
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        self._throttle_count += 1
+        return float(best)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def launch(self, launch: KernelLaunch) -> LaunchResult:
+        """Execute one kernel launch; advances the time/energy counters."""
+        self._check_open()
+        core_mhz = self._cap_frequency(launch, self.frequency_for(launch))
+        timing = self.timing_model.time(launch, core_mhz)
+        # Effective compute utilization for power: while the compute pipes
+        # are busy (time fraction u_comp), the occupied width draws full
+        # dynamic power and even idle SMs draw the fetch/scheduler floor;
+        # while the kernel stalls, the whole compute domain is quiescent.
+        floor = self.spec.active_idle_frac
+        u_comp_eff = timing.u_comp * (floor + (1.0 - floor) * timing.width_util)
+        energy = self.power_model.energy_j(
+            core_mhz,
+            u_comp_eff,
+            timing.u_mem,
+            timing.exec_s,
+            idle_s=timing.overhead_s,
+        )
+        self._time_counter_s += timing.time_s
+        self._energy_counter_j += energy
+        self._launch_count += 1
+        return LaunchResult(
+            kernel_name=launch.spec.name,
+            core_mhz=core_mhz,
+            time_s=timing.time_s,
+            energy_j=energy,
+            timing=timing,
+        )
+
+    def launch_many(self, launches: Iterable[KernelLaunch]) -> List[LaunchResult]:
+        """Execute a sequence of launches in order."""
+        return [self.launch(l) for l in launches]
+
+    def idle(self, duration_s: float) -> float:
+        """Account ``duration_s`` of host-side idle time at the current clock.
+
+        Returns the idle energy added. In auto mode the governor parks at
+        the lowest bin while idle (as real drivers do).
+        """
+        self._check_open()
+        if duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        if duration_s == 0:
+            return 0.0
+        mhz = self._pinned_mhz if self._pinned_mhz is not None else self.spec.core_freqs.min_mhz
+        energy = self.power_model.idle_power_w(mhz) * duration_s
+        self._time_counter_s += duration_s
+        self._energy_counter_j += energy
+        return energy
+
+    # ------------------------------------------------------------------
+    # counters & lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def time_counter_s(self) -> float:
+        """Free-running total busy+idle time accounted so far."""
+        return self._time_counter_s
+
+    @property
+    def energy_counter_j(self) -> float:
+        """Free-running total energy counter (joules), like NVML's."""
+        return self._energy_counter_j
+
+    @property
+    def launch_count(self) -> int:
+        """Total number of kernel launches executed."""
+        return self._launch_count
+
+    def reset_counters(self) -> None:
+        """Zero the time/energy/launch counters (not the frequency state)."""
+        self._time_counter_s = 0.0
+        self._energy_counter_j = 0.0
+        self._launch_count = 0
+
+    def close(self) -> None:
+        """Mark the device unusable; later launches raise :class:`DeviceError`."""
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DeviceError(f"{self.name}: device is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "auto" if self.is_auto_mode else f"{self._pinned_mhz:.0f} MHz"
+        return f"SimulatedGPU({self.name!r}, clock={mode})"
+
+
+def create_device(name: str) -> SimulatedGPU:
+    """Create a device by short name: ``"v100"`` or ``"mi100"``."""
+    key = name.strip().lower()
+    if key in ("v100", "nvidia", "nvidia v100"):
+        return SimulatedGPU(make_v100_spec())
+    if key in ("mi100", "amd", "amd mi100"):
+        return SimulatedGPU(make_mi100_spec())
+    if key in ("max1100", "intel", "intel max 1100", "pvc"):
+        return SimulatedGPU(make_intel_max_spec())
+    raise DeviceError(
+        f"unknown device {name!r}; expected 'v100', 'mi100' or 'max1100'"
+    )

@@ -1,0 +1,198 @@
+"""Roofline-style kernel timing model.
+
+The execution time of a kernel launch is bounded by three mechanisms,
+and the model takes (a smooth approximation of) the max of the three:
+
+``t_comp``
+    compute/issue throughput: total issue cycles divided by the usable
+    parallel width times the core frequency — the only component that
+    scales with the core clock;
+``t_bw``
+    DRAM bandwidth: total global traffic divided by peak bandwidth —
+    independent of the core clock (single memory frequency, paper §5.1);
+``t_lat``
+    memory latency: for launches with too few threads to saturate the
+    memory system's outstanding-request window (``max_mlp``), each
+    thread's dependent-access chain of un-hidden latency sets a floor
+    that is independent of *both* clocks.
+
+A fixed per-launch overhead (``launch_overhead_us``) models driver and
+scheduling cost; it dominates for tiny grids, which is why the paper's
+smallest Cronos inputs see nearly no speedup from over-clocking.
+
+The smooth max (a p-norm with ``p = 6``) keeps time differentiable at
+regime boundaries and yields the few-percent residual frequency
+sensitivity the paper observes even for memory-bound inputs (Fig. 3a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.hw.specs import DeviceSpec
+from repro.kernels.ir import OP_CYCLE_COSTS, KernelLaunch
+
+__all__ = ["KernelTiming", "RooflineTimingModel"]
+
+#: Exponent of the smooth-max combination of the three roofline times.
+SMOOTH_MAX_P = 6.0
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Breakdown of one kernel launch's simulated execution time.
+
+    Attributes
+    ----------
+    time_s:
+        Total wall time including launch overhead.
+    exec_s:
+        On-device execution time (excludes launch overhead).
+    t_comp_s, t_bw_s, t_lat_s:
+        The three roofline bounds.
+    u_comp, u_mem:
+        Compute-pipe and memory-system busy *time* fractions during
+        ``exec_s``; feed the power model.
+    width_util:
+        Fraction of the device's compute width actually occupied,
+        ``1 - exp(-threads / (3 n_cores))``: a kernel with few threads
+        keeps most SMs idle no matter how busy its own pipes are. The
+        saturation is smooth and deliberately slow — scheduling
+        imbalance, partial waves and divergence keep real devices from
+        drawing full dynamic power until well past one thread per lane.
+    occupancy:
+        Resident-thread occupancy in ``[0, 1]``.
+    regime:
+        Name of the binding bound: ``"compute"``, ``"bandwidth"``,
+        ``"latency"`` or ``"overhead"``.
+    """
+
+    time_s: float
+    exec_s: float
+    overhead_s: float
+    t_comp_s: float
+    t_bw_s: float
+    t_lat_s: float
+    u_comp: float
+    u_mem: float
+    width_util: float
+    occupancy: float
+    regime: str
+
+
+class RooflineTimingModel:
+    """Maps a :class:`KernelLaunch` and a core frequency to a :class:`KernelTiming`.
+
+    Parameters
+    ----------
+    spec:
+        Device description supplying widths, bandwidth, latency and
+        overhead constants.
+    op_costs:
+        Per-operation issue-cycle costs; defaults to
+        :data:`repro.kernels.ir.OP_CYCLE_COSTS`.
+    """
+
+    def __init__(self, spec: DeviceSpec, op_costs: Mapping[str, float] = OP_CYCLE_COSTS):
+        self.spec = spec
+        self.op_costs = {**op_costs, **spec.op_cost_overrides}
+
+    # ------------------------------------------------------------------
+    # individual bounds
+    # ------------------------------------------------------------------
+    def compute_time_s(self, launch: KernelLaunch, core_mhz: float) -> float:
+        """Compute/issue-throughput bound at ``core_mhz`` (scales ~1/f)."""
+        cpt = launch.spec.cycles_per_thread(self.op_costs) * launch.work_iterations
+        width = min(launch.threads, self.spec.n_cores)
+        rate_cycles_s = width * self.spec.ipc * core_mhz * 1e6
+        return cpt * launch.threads / rate_cycles_s
+
+    def bandwidth_time_s(self, launch: KernelLaunch) -> float:
+        """DRAM bandwidth bound (independent of the core clock)."""
+        traffic = launch.total_bytes_global(self.spec.bytes_per_access)
+        return traffic / self.spec.mem_bandwidth_bytes_s
+
+    def latency_time_s(self, launch: KernelLaunch) -> float:
+        """Memory-latency bound for launches below the MLP window."""
+        n_acc_thread = launch.spec.global_access * launch.work_iterations
+        if n_acc_thread <= 0:
+            return 0.0
+        lat_s = self.spec.mem_latency_ns * 1e-9
+        # Each thread issues n_acc accesses of which per_thread_mlp overlap
+        # within its own instruction window; across threads, up to max_mlp
+        # accesses overlap fully, beyond that they serialize (at which
+        # point the bandwidth bound takes over as the binding constraint).
+        serial_factor = max(1.0, launch.threads / self.spec.max_mlp)
+        return n_acc_thread * lat_s * serial_factor / self.spec.per_thread_mlp
+
+    # ------------------------------------------------------------------
+    # combined model
+    # ------------------------------------------------------------------
+    def occupancy(self, launch: KernelLaunch) -> float:
+        """Fraction of the device's resident-thread capacity used."""
+        return min(1.0, launch.threads / self.spec.max_resident_threads)
+
+    def time(self, launch: KernelLaunch, core_mhz: float) -> KernelTiming:
+        """Evaluate the full timing model at ``core_mhz`` (must be in range)."""
+        if not isinstance(launch, KernelLaunch):
+            raise KernelError(f"expected KernelLaunch, got {type(launch).__name__}")
+        core_mhz = float(core_mhz)
+        lo, hi = self.spec.core_freqs.min_mhz, self.spec.core_freqs.max_mhz
+        if not (lo - 1e-6 <= core_mhz <= hi + 1e-6):
+            raise KernelError(
+                f"core frequency {core_mhz} MHz outside device range [{lo}, {hi}]"
+            )
+
+        t_comp = self.compute_time_s(launch, core_mhz)
+        t_bw = self.bandwidth_time_s(launch)
+        t_lat = self.latency_time_s(launch)
+
+        parts = np.array([t_comp, t_bw, t_lat], dtype=float)
+        positive = parts[parts > 0]
+        if positive.size == 0:
+            raise KernelError(f"kernel {launch.spec.name!r} has no work")
+        # Smooth max: sum of p-th powers, p-th root. Scale by the largest
+        # component first for numerical stability.
+        peak = float(positive.max())
+        exec_s = peak * float(np.sum((positive / peak) ** SMOOTH_MAX_P)) ** (
+            1.0 / SMOOTH_MAX_P
+        )
+
+        overhead_s = self.spec.launch_overhead_us * 1e-6
+        time_s = exec_s + overhead_s
+
+        u_comp = min(1.0, t_comp / exec_s)
+        # During latency-bound phases the DRAM pins toggle rarely; weight
+        # the latency time by a small activity factor when estimating the
+        # memory system's busy fraction.
+        u_mem = min(1.0, max(t_bw, 0.08 * t_lat) / exec_s)
+
+        names = ("compute", "bandwidth", "latency")
+        regime = names[int(np.argmax(parts))]
+        if overhead_s > exec_s:
+            regime = "overhead"
+
+        return KernelTiming(
+            time_s=time_s,
+            exec_s=exec_s,
+            overhead_s=overhead_s,
+            t_comp_s=t_comp,
+            t_bw_s=t_bw,
+            t_lat_s=t_lat,
+            u_comp=u_comp,
+            u_mem=u_mem,
+            width_util=float(1.0 - np.exp(-launch.threads / (3.0 * self.spec.n_cores))),
+            occupancy=self.occupancy(launch),
+            regime=regime,
+        )
+
+    def is_compute_bound(self, launch: KernelLaunch, core_mhz: float | None = None) -> bool:
+        """True when the compute bound dominates at ``core_mhz`` (default: top bin)."""
+        if core_mhz is None:
+            core_mhz = self.spec.core_freqs.max_mhz
+        t = self.time(launch, core_mhz)
+        return t.t_comp_s >= max(t.t_bw_s, t.t_lat_s)

@@ -1,0 +1,84 @@
+"""CMOS power model for the simulated GPUs.
+
+Board power is decomposed into four terms::
+
+    P(f, u_c, u_m) = P_static                      # leakage, board, HBM refresh
+                   + P_clock * (f / f_max)         # clock tree; scales with f even idle
+                   + P_core  * u_c * V(f)^2 f / (V_max^2 f_max)   # dynamic compute
+                   + P_mem   * u_m * (1 - k + k * f / f_max)      # memory system
+
+where ``k = spec.mem_freq_coupling`` is the fraction of memory-system
+power living in the core clock domain (L2, crossbar, controllers).
+
+``u_c`` and ``u_m`` are the busy fractions produced by the timing model.
+The ``V(f)^2 f`` scaling of the dynamic compute term — with the voltage
+knee of :class:`repro.hw.dvfs.VoltageCurve` — is what creates the
+energy/performance trade-off the paper explores: above the knee each
+frequency step costs quadratically more power for a linear speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.specs import DeviceSpec
+from repro.utils.validation import check_in_range
+
+__all__ = ["PowerBreakdown", "PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power (watts) at one operating point."""
+
+    static_w: float
+    clock_w: float
+    core_dyn_w: float
+    mem_dyn_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Sum of all components."""
+        return self.static_w + self.clock_w + self.core_dyn_w + self.mem_dyn_w
+
+
+class PowerModel:
+    """Evaluates board power for a device at a frequency and utilization point."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+
+    def breakdown(self, core_mhz: float, u_comp: float, u_mem: float) -> PowerBreakdown:
+        """Component-wise power at ``core_mhz`` with the given busy fractions."""
+        u_comp = check_in_range(u_comp, "u_comp", 0.0, 1.0)
+        u_mem = check_in_range(u_mem, "u_mem", 0.0, 1.0)
+        f_max = self.spec.core_freqs.max_mhz
+        f_frac = float(core_mhz) / f_max
+        v2f = float(self.spec.voltage.normalized_v2f(core_mhz))
+        k = self.spec.mem_freq_coupling
+        return PowerBreakdown(
+            static_w=self.spec.p_static_w,
+            clock_w=self.spec.p_clock_w * f_frac,
+            core_dyn_w=self.spec.p_core_dyn_w * u_comp * v2f,
+            mem_dyn_w=self.spec.p_mem_dyn_w * u_mem * (1.0 - k + k * f_frac),
+        )
+
+    def power_w(self, core_mhz: float, u_comp: float, u_mem: float) -> float:
+        """Total board power (watts) at one operating point."""
+        return self.breakdown(core_mhz, u_comp, u_mem).total_w
+
+    def idle_power_w(self, core_mhz: float) -> float:
+        """Power with no kernel resident (static + clock tree only)."""
+        return self.power_w(core_mhz, 0.0, 0.0)
+
+    def energy_j(
+        self, core_mhz: float, u_comp: float, u_mem: float, exec_s: float, idle_s: float = 0.0
+    ) -> float:
+        """Energy (joules) for ``exec_s`` busy time plus ``idle_s`` idle time."""
+        if exec_s < 0 or idle_s < 0:
+            raise ValueError("time components must be >= 0")
+        busy = self.power_w(core_mhz, u_comp, u_mem) * exec_s
+        idle = self.idle_power_w(core_mhz) * idle_s
+        return busy + idle

@@ -1,0 +1,166 @@
+"""Power traces: time-resolved board power during a run.
+
+Real tuning workflows look at power *traces* (``nvidia-smi dmon``-style
+sampling), not just energy totals: phases, spikes and idle gaps are what
+per-kernel tuning exploits. :class:`TracingGPU` wraps a simulated device
+and records one segment per launch/idle interval; :class:`PowerTrace`
+resamples the segments onto a uniform grid and computes summary
+statistics consistent with the device's energy counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.device import LaunchResult, SimulatedGPU
+from repro.kernels.ir import KernelLaunch
+from repro.utils.validation import check_positive
+
+__all__ = ["PowerSegment", "PowerTrace", "TracingGPU"]
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """One constant-power interval of a run."""
+
+    t_start_s: float
+    t_end_s: float
+    power_w: float
+    label: str
+
+    @property
+    def duration_s(self) -> float:
+        """Segment length."""
+        return self.t_end_s - self.t_start_s
+
+    @property
+    def energy_j(self) -> float:
+        """Energy within the segment."""
+        return self.power_w * self.duration_s
+
+
+class PowerTrace:
+    """An ordered sequence of power segments with resampling helpers."""
+
+    def __init__(self, segments: Iterable[PowerSegment]) -> None:
+        self.segments: List[PowerSegment] = sorted(segments, key=lambda s: s.t_start_s)
+        for a, b in zip(self.segments, self.segments[1:]):
+            if b.t_start_s < a.t_end_s - 1e-12:
+                raise ConfigurationError("power trace segments overlap")
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def duration_s(self) -> float:
+        """End of the last segment (trace starts at 0)."""
+        return self.segments[-1].t_end_s if self.segments else 0.0
+
+    def total_energy_j(self) -> float:
+        """Integral of power over the trace."""
+        return sum(s.energy_j for s in self.segments)
+
+    def average_power_w(self) -> float:
+        """Time-weighted mean power."""
+        if not self.segments:
+            return 0.0
+        return self.total_energy_j() / self.duration_s
+
+    def peak_power_w(self) -> float:
+        """Highest segment power."""
+        return max((s.power_w for s in self.segments), default=0.0)
+
+    def sample(self, interval_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Resample onto a uniform grid (sample-and-hold per segment).
+
+        Returns ``(times, powers)``; each sample reports the power of the
+        segment containing its midpoint (0 W in gaps).
+        """
+        check_positive(interval_s, "interval_s")
+        if not self.segments:
+            return np.empty(0), np.empty(0)
+        n = max(1, int(np.ceil(self.duration_s / interval_s)))
+        times = (np.arange(n) + 0.5) * interval_s
+        starts = np.array([s.t_start_s for s in self.segments])
+        ends = np.array([s.t_end_s for s in self.segments])
+        powers = np.array([s.power_w for s in self.segments])
+        idx = np.searchsorted(starts, times, side="right") - 1
+        idx = np.clip(idx, 0, len(self.segments) - 1)
+        inside = (times >= starts[idx]) & (times < ends[idx])
+        out = np.where(inside, powers[idx], 0.0)
+        return times, out
+
+    def phase_energy(self) -> dict:
+        """Energy per segment label (kernel name / ``idle``)."""
+        acc: dict = {}
+        for s in self.segments:
+            acc[s.label] = acc.get(s.label, 0.0) + s.energy_j
+        return acc
+
+
+class TracingGPU:
+    """Device wrapper recording a :class:`PowerTrace` of every launch.
+
+    The wrapper advances its own timeline using the device's counters, so
+    the trace's integral matches the device energy counter exactly (an
+    invariant the tests pin down).
+    """
+
+    def __init__(self, gpu: SimulatedGPU) -> None:
+        self.gpu = gpu
+        self._segments: List[PowerSegment] = []
+        self._clock_s = 0.0
+
+    def launch(self, launch: KernelLaunch) -> LaunchResult:
+        """Launch and record (exec segment + launch-overhead idle segment)."""
+        result = self.gpu.launch(launch)
+        timing = result.timing
+        overhead_power = self.gpu.power_model.idle_power_w(result.core_mhz)
+        if timing.overhead_s > 0:
+            self._segments.append(
+                PowerSegment(
+                    t_start_s=self._clock_s,
+                    t_end_s=self._clock_s + timing.overhead_s,
+                    power_w=overhead_power,
+                    label="launch_overhead",
+                )
+            )
+            self._clock_s += timing.overhead_s
+        exec_power = (result.energy_j - overhead_power * timing.overhead_s) / timing.exec_s
+        self._segments.append(
+            PowerSegment(
+                t_start_s=self._clock_s,
+                t_end_s=self._clock_s + timing.exec_s,
+                power_w=exec_power,
+                label=result.kernel_name,
+            )
+        )
+        self._clock_s += timing.exec_s
+        return result
+
+    def launch_many(self, launches: Iterable[KernelLaunch]) -> List[LaunchResult]:
+        """Launch a sequence, recording each."""
+        return [self.launch(l) for l in launches]
+
+    def idle(self, duration_s: float) -> float:
+        """Record host-side idle time."""
+        energy = self.gpu.idle(duration_s)
+        if duration_s > 0:
+            self._segments.append(
+                PowerSegment(
+                    t_start_s=self._clock_s,
+                    t_end_s=self._clock_s + duration_s,
+                    power_w=energy / duration_s,
+                    label="idle",
+                )
+            )
+            self._clock_s += duration_s
+        return energy
+
+    def trace(self) -> PowerTrace:
+        """The trace recorded so far."""
+        return PowerTrace(self._segments)

@@ -1,0 +1,258 @@
+"""Persistence for datasets, characterizations, and fitted models.
+
+Characterization campaigns are the expensive part of the workflow (the
+paper's full sweep is 196 frequencies x 5 repetitions per input); this
+module lets a campaign be measured once and reused across modeling
+sessions:
+
+- datasets and characterization results serialize to **JSON** (portable,
+  diff-able, no pickle);
+- fitted random forests — and the four-forest
+  :class:`repro.modeling.domain.DomainSpecificModel` — serialize to
+  **.npz** archives holding the flat tree arrays plus a JSON metadata
+  entry, so a deployed tuner can load a model without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.errors import DatasetError, ModelNotFittedError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor
+from repro.modeling.dataset import EnergyDataset, EnergySample
+from repro.modeling.domain import DomainSpecificModel
+from repro.synergy.runner import CharacterizationResult, FrequencySample
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_characterization",
+    "load_characterization",
+    "save_forest",
+    "load_forest",
+    "save_domain_model",
+    "load_domain_model",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# datasets
+# ---------------------------------------------------------------------------
+def save_dataset(dataset: EnergyDataset, path: PathLike) -> None:
+    """Write an :class:`EnergyDataset` as JSON."""
+    payload = {
+        "format": "repro.energy_dataset",
+        "version": _FORMAT_VERSION,
+        "feature_names": list(dataset.feature_names),
+        "samples": [
+            {
+                "features": list(s.features),
+                "freq_mhz": s.freq_mhz,
+                "time_s": s.time_s,
+                "energy_j": s.energy_j,
+            }
+            for s in dataset.samples
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_dataset(path: PathLike) -> EnergyDataset:
+    """Read an :class:`EnergyDataset` written by :func:`save_dataset`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro.energy_dataset":
+        raise DatasetError(f"{path}: not a repro energy dataset")
+    ds = EnergyDataset(feature_names=tuple(payload["feature_names"]))
+    for s in payload["samples"]:
+        ds.add(
+            EnergySample(
+                features=tuple(float(f) for f in s["features"]),
+                freq_mhz=float(s["freq_mhz"]),
+                time_s=float(s["time_s"]),
+                energy_j=float(s["energy_j"]),
+            )
+        )
+    return ds
+
+
+# ---------------------------------------------------------------------------
+# characterizations
+# ---------------------------------------------------------------------------
+def save_characterization(result: CharacterizationResult, path: PathLike) -> None:
+    """Write a characterization sweep (including per-repetition data)."""
+    payload = {
+        "format": "repro.characterization",
+        "version": _FORMAT_VERSION,
+        "app_name": result.app_name,
+        "device_name": result.device_name,
+        "baseline_label": result.baseline_label,
+        "baseline_freq_mhz": result.baseline_freq_mhz,
+        "baseline_time_s": result.baseline_time_s,
+        "baseline_energy_j": result.baseline_energy_j,
+        "samples": [
+            {
+                "freq_mhz": s.freq_mhz,
+                "time_s": s.time_s,
+                "energy_j": s.energy_j,
+                "rep_times_s": s.rep_times_s.tolist(),
+                "rep_energies_j": s.rep_energies_j.tolist(),
+            }
+            for s in result.samples
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_characterization(path: PathLike) -> CharacterizationResult:
+    """Read a characterization written by :func:`save_characterization`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro.characterization":
+        raise DatasetError(f"{path}: not a repro characterization")
+    samples = [
+        FrequencySample(
+            freq_mhz=float(s["freq_mhz"]),
+            time_s=float(s["time_s"]),
+            energy_j=float(s["energy_j"]),
+            rep_times_s=np.asarray(s["rep_times_s"], dtype=float),
+            rep_energies_j=np.asarray(s["rep_energies_j"], dtype=float),
+        )
+        for s in payload["samples"]
+    ]
+    return CharacterizationResult(
+        app_name=payload["app_name"],
+        device_name=payload["device_name"],
+        baseline_label=payload["baseline_label"],
+        baseline_freq_mhz=payload["baseline_freq_mhz"],
+        baseline_time_s=float(payload["baseline_time_s"]),
+        baseline_energy_j=float(payload["baseline_energy_j"]),
+        samples=samples,
+    )
+
+
+# ---------------------------------------------------------------------------
+# random forests
+# ---------------------------------------------------------------------------
+def _forest_arrays(forest: RandomForestRegressor, prefix: str) -> Dict[str, np.ndarray]:
+    if not hasattr(forest, "estimators_"):
+        raise ModelNotFittedError("cannot serialize an unfitted forest")
+    arrays: Dict[str, np.ndarray] = {}
+    for i, tree in enumerate(forest.estimators_):
+        arrays[f"{prefix}t{i}_feature"] = tree.feature_
+        arrays[f"{prefix}t{i}_threshold"] = tree.threshold_
+        arrays[f"{prefix}t{i}_left"] = tree.left_
+        arrays[f"{prefix}t{i}_right"] = tree.right_
+        arrays[f"{prefix}t{i}_value"] = tree.value_
+    return arrays
+
+
+def _forest_meta(forest: RandomForestRegressor) -> Dict:
+    return {
+        "n_estimators": len(forest.estimators_),
+        "n_features_in": forest.n_features_in_,
+        "params": {
+            k: v for k, v in forest.get_params().items() if k != "random_state"
+        },
+    }
+
+
+def _rebuild_forest(meta: Dict, arrays, prefix: str) -> RandomForestRegressor:
+    forest = RandomForestRegressor(**meta["params"])
+    forest.estimators_ = []
+    for i in range(meta["n_estimators"]):
+        tree = DecisionTreeRegressor()
+        tree.feature_ = arrays[f"{prefix}t{i}_feature"]
+        tree.threshold_ = arrays[f"{prefix}t{i}_threshold"]
+        tree.left_ = arrays[f"{prefix}t{i}_left"]
+        tree.right_ = arrays[f"{prefix}t{i}_right"]
+        tree.value_ = arrays[f"{prefix}t{i}_value"]
+        tree.n_features_in_ = meta["n_features_in"]
+        forest.estimators_.append(tree)
+    forest.n_features_in_ = meta["n_features_in"]
+    return forest
+
+
+def save_forest(forest: RandomForestRegressor, path: PathLike) -> None:
+    """Write a fitted :class:`RandomForestRegressor` to a ``.npz`` archive."""
+    arrays = _forest_arrays(forest, "")
+    meta = {
+        "format": "repro.random_forest",
+        "version": _FORMAT_VERSION,
+        **_forest_meta(forest),
+    }
+    np.savez_compressed(path, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+
+
+def load_forest(path: PathLike) -> RandomForestRegressor:
+    """Read a forest written by :func:`save_forest`."""
+    with np.load(path) as arrays:
+        meta = json.loads(bytes(arrays["__meta__"]).decode())
+        if meta.get("format") != "repro.random_forest":
+            raise DatasetError(f"{path}: not a repro random forest")
+        return _rebuild_forest(meta, arrays, "")
+
+
+# ---------------------------------------------------------------------------
+# domain-specific models
+# ---------------------------------------------------------------------------
+_DS_PREFIXES = ("time__", "energy__", "speedup__", "norm_energy__")
+
+
+def save_domain_model(model: DomainSpecificModel, path: PathLike) -> None:
+    """Write a fitted :class:`DomainSpecificModel` (forest-backed) to ``.npz``.
+
+    Only Random-Forest-backed models are supported (the paper's selected
+    regressor); other regressors raise :class:`DatasetError`.
+    """
+    submodels = (
+        model._time_model,
+        model._energy_model,
+        model._speedup_model,
+        model._norm_energy_model,
+    )
+    if any(m is None for m in submodels):
+        raise ModelNotFittedError("cannot serialize an unfitted DomainSpecificModel")
+    if not all(isinstance(m, RandomForestRegressor) for m in submodels):
+        raise DatasetError(
+            "only RandomForestRegressor-backed domain models are serializable"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    sub_meta: List[Dict] = []
+    for prefix, sub in zip(_DS_PREFIXES, submodels):
+        arrays.update(_forest_arrays(sub, prefix))  # type: ignore[arg-type]
+        sub_meta.append(_forest_meta(sub))  # type: ignore[arg-type]
+    meta = {
+        "format": "repro.domain_model",
+        "version": _FORMAT_VERSION,
+        "feature_names": list(model.feature_names),
+        "baseline_freq_mhz": model.baseline_freq_mhz,
+        "submodels": sub_meta,
+    }
+    np.savez_compressed(path, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+
+
+def load_domain_model(path: PathLike) -> DomainSpecificModel:
+    """Read a model written by :func:`save_domain_model`."""
+    with np.load(path) as arrays:
+        meta = json.loads(bytes(arrays["__meta__"]).decode())
+        if meta.get("format") != "repro.domain_model":
+            raise DatasetError(f"{path}: not a repro domain model")
+        model = DomainSpecificModel(
+            tuple(meta["feature_names"]),
+            baseline_freq_mhz=float(meta["baseline_freq_mhz"]),
+        )
+        forests = [
+            _rebuild_forest(sm, arrays, prefix)
+            for prefix, sm in zip(_DS_PREFIXES, meta["submodels"])
+        ]
+    model._time_model, model._energy_model = forests[0], forests[1]
+    model._speedup_model, model._norm_energy_model = forests[2], forests[3]
+    return model

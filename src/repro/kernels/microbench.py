@@ -1,0 +1,188 @@
+"""The micro-benchmark suite used to train the general-purpose model.
+
+Fan et al. (paper §4.1) train their general-purpose energy model on 106
+carefully designed micro-benchmarks, each stressing one or more of the
+Table-1 feature categories at several intensities and occupancies. This
+module regenerates an equivalent suite deterministically:
+
+- 8 *pure arithmetic* families (one per arithmetic category) x 4
+  intensity levels                                            = 32
+- 1 *global-memory streaming* family x 6 traffic levels       = 6
+- 1 *local-memory* family x 4 levels                          = 4
+- *mixed* compute/memory kernels on a grid of 4 arithmetic
+  intensities x 3 category blends                             = 12
+- each of 13 representative kernels above re-run at 4 total
+  work scales (iteration multipliers, visible to the static
+  features through the per-thread operation counts)           = 52
+
+Total: 32 + 6 + 4 + 12 + 52 = 106 micro-benchmarks.
+
+All benchmarks launch enough threads to fill the device: static models
+cannot observe occupancy, so (as in Fan et al.) the suite characterizes
+kernels at full utilization — which is precisely why the resulting
+general-purpose model degrades on small application inputs (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+__all__ = ["MicroBenchmark", "generate_microbenchmarks", "N_MICROBENCHMARKS"]
+
+#: Size of the generated suite (matches the paper's count).
+N_MICROBENCHMARKS = 106
+
+#: Baseline thread count giving full V100/MI100 occupancy.
+_FULL_THREADS = 262144
+
+#: Iteration multipliers for the work-scaling variants.
+_WORK_SCALES = (0.25, 0.5, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class MicroBenchmark:
+    """One micro-benchmark: a kernel spec plus its launch configuration."""
+
+    name: str
+    launch: KernelLaunch
+
+    @property
+    def spec(self) -> KernelSpec:
+        """The underlying kernel spec."""
+        return self.launch.spec
+
+
+def _pure_arithmetic() -> List[MicroBenchmark]:
+    """One family per arithmetic category, four unroll intensities each."""
+    out: List[MicroBenchmark] = []
+    categories = (
+        "int_add",
+        "int_mul",
+        "int_div",
+        "int_bw",
+        "float_add",
+        "float_mul",
+        "float_div",
+        "special_fn",
+    )
+    for cat in categories:
+        for level, ops in enumerate((64, 256, 1024, 4096)):
+            kwargs = {
+                cat: float(ops),
+                # every kernel loads one operand and stores one result
+                "global_access": 2.0,
+                "int_add": 4.0 + (float(ops) if cat == "int_add" else 0.0),
+            }
+            spec = KernelSpec(name=f"mb_{cat}_l{level}", **kwargs)
+            out.append(
+                MicroBenchmark(
+                    name=spec.name,
+                    launch=KernelLaunch(spec=spec, threads=_FULL_THREADS),
+                )
+            )
+    return out
+
+
+def _global_memory() -> List[MicroBenchmark]:
+    """Streaming kernels with increasing global traffic per thread."""
+    out: List[MicroBenchmark] = []
+    for level, accesses in enumerate((2, 4, 8, 16, 32, 64)):
+        spec = KernelSpec(
+            name=f"mb_gmem_l{level}",
+            int_add=4.0,
+            float_add=2.0,
+            global_access=float(accesses),
+        )
+        out.append(
+            MicroBenchmark(
+                name=spec.name,
+                launch=KernelLaunch(spec=spec, threads=_FULL_THREADS),
+            )
+        )
+    return out
+
+
+def _local_memory() -> List[MicroBenchmark]:
+    """Shared/local-memory-heavy kernels."""
+    out: List[MicroBenchmark] = []
+    for level, accesses in enumerate((8, 32, 128, 512)):
+        spec = KernelSpec(
+            name=f"mb_lmem_l{level}",
+            int_add=4.0,
+            float_add=float(accesses) / 2.0,
+            local_access=float(accesses),
+            global_access=2.0,
+        )
+        out.append(
+            MicroBenchmark(
+                name=spec.name,
+                launch=KernelLaunch(spec=spec, threads=_FULL_THREADS),
+            )
+        )
+    return out
+
+
+def _mixed() -> List[MicroBenchmark]:
+    """Compute/memory blends across a grid of arithmetic intensities."""
+    out: List[MicroBenchmark] = []
+    blends = (
+        ("fma", {"float_add": 0.5, "float_mul": 0.5}),
+        ("intfp", {"int_add": 0.25, "int_mul": 0.25, "float_add": 0.5}),
+        ("sfu", {"float_mul": 0.5, "special_fn": 0.5}),
+    )
+    for bname, weights in blends:
+        for level, ai in enumerate((0.5, 2.0, 8.0, 32.0)):
+            accesses = 8.0
+            compute_ops = ai * accesses * 8.0  # ai in ops/byte, 8 B per access
+            kwargs = {k: v * compute_ops for k, v in weights.items()}
+            kwargs["global_access"] = accesses
+            spec = KernelSpec(name=f"mb_mix_{bname}_l{level}", **kwargs)
+            out.append(
+                MicroBenchmark(
+                    name=spec.name,
+                    launch=KernelLaunch(spec=spec, threads=_FULL_THREADS),
+                )
+            )
+    return out
+
+
+def _work_scale_variants(bases: List[MicroBenchmark]) -> List[MicroBenchmark]:
+    """Re-run 13 representative kernels at four total-work scales.
+
+    The scale is applied as a ``work_iterations`` multiplier, so the
+    variant's *effective* per-thread operation counts — and therefore its
+    ``log_ops_per_thread`` static feature — change accordingly.
+    """
+    # Pick every 4th benchmark for variety across families.
+    representatives = bases[:: max(1, len(bases) // 13)][:13]
+    out: List[MicroBenchmark] = []
+    for mb in representatives:
+        for scale in _WORK_SCALES:
+            out.append(
+                MicroBenchmark(
+                    name=f"{mb.name}_w{scale:g}",
+                    launch=KernelLaunch(
+                        spec=mb.spec,
+                        threads=mb.launch.threads,
+                        work_iterations=scale,
+                    ),
+                )
+            )
+    return out
+
+
+def generate_microbenchmarks() -> List[MicroBenchmark]:
+    """Generate the deterministic 106-benchmark suite."""
+    bases = _pure_arithmetic() + _global_memory() + _local_memory() + _mixed()
+    suite = bases + _work_scale_variants(bases)
+    if len(suite) != N_MICROBENCHMARKS:  # pragma: no cover - structural guard
+        raise AssertionError(
+            f"microbenchmark suite has {len(suite)} entries, expected {N_MICROBENCHMARKS}"
+        )
+    names = {mb.name for mb in suite}
+    if len(names) != len(suite):  # pragma: no cover - structural guard
+        raise AssertionError("duplicate microbenchmark names")
+    return suite

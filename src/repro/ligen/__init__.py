@@ -1,0 +1,53 @@
+"""LiGen: molecular docking and virtual screening (paper Algorithm 2).
+
+Subsystem layout:
+
+- :mod:`repro.ligen.molecule` — ligands, fragments, rigid/torsional moves
+- :mod:`repro.ligen.library` — synthetic library generation
+- :mod:`repro.ligen.protein` — pocket affinity maps
+- :mod:`repro.ligen.scoring` — fast and refined pose scoring
+- :mod:`repro.ligen.docking` — the Algorithm-2 dock & score procedure
+- :mod:`repro.ligen.pipeline` — library-wide virtual screening
+- :mod:`repro.ligen.gpu_costs` / :mod:`repro.ligen.app` — GPU cost model
+  and the characterizable workload wrapper
+"""
+
+from repro.ligen.app import LIGEN_FEATURE_NAMES, LigenApplication
+from repro.ligen.docking import DockingParams, DockingResult, dock_ligand
+from repro.ligen.library import (
+    PAPER_ATOM_COUNTS,
+    PAPER_FRAGMENT_COUNTS,
+    PAPER_LIGAND_COUNTS,
+    make_library,
+    make_ligand,
+    make_mixed_library,
+)
+from repro.ligen.molecule import Fragment, Ligand, rotation_matrix
+from repro.ligen.pipeline import RankedLigand, ScreeningReport, VirtualScreen
+from repro.ligen.protein import ProteinPocket, make_pocket
+from repro.ligen.scoring import clash_penalty, compute_score, evaluate_pose
+
+__all__ = [
+    "DockingParams",
+    "DockingResult",
+    "Fragment",
+    "LIGEN_FEATURE_NAMES",
+    "Ligand",
+    "LigenApplication",
+    "PAPER_ATOM_COUNTS",
+    "PAPER_FRAGMENT_COUNTS",
+    "PAPER_LIGAND_COUNTS",
+    "ProteinPocket",
+    "RankedLigand",
+    "ScreeningReport",
+    "VirtualScreen",
+    "clash_penalty",
+    "compute_score",
+    "dock_ligand",
+    "evaluate_pose",
+    "make_library",
+    "make_ligand",
+    "make_mixed_library",
+    "make_pocket",
+    "rotation_matrix",
+]

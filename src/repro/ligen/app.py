@@ -1,0 +1,71 @@
+"""LiGen as a characterizable GPU application.
+
+Like :class:`repro.cronos.app.CronosApplication`, this replays the kernel
+launch sequence that a full virtual-screening pass would issue — derived
+from the same :mod:`repro.ligen.gpu_costs` cost model the real pipeline
+uses — so frequency sweeps over 196 bins don't need to re-dock the
+library at every point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.hw.device import SimulatedGPU
+from repro.ligen.docking import DockingParams
+from repro.ligen.gpu_costs import screening_launches
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LigenApplication", "LIGEN_FEATURE_NAMES"]
+
+#: Domain-specific feature names for LiGen (paper Table 2 order).
+LIGEN_FEATURE_NAMES: Tuple[str, str, str] = ("f_ligands", "f_fragments", "f_atoms")
+
+
+@dataclass(frozen=True)
+class LigenApplication:
+    """A LiGen workload: the (ligands, atoms, fragments) input tuple.
+
+    Parameters
+    ----------
+    n_ligands, n_atoms, n_fragments:
+        The paper's §5.1 experimental tuple ``(l, a, f)``.
+    params:
+        Docking search budget (production budget by default, matching the
+        engine configuration the paper characterizes).
+    batch_size:
+        Ligands per kernel launch (``None`` = one batch).
+    """
+
+    n_ligands: int
+    n_atoms: int
+    n_fragments: int
+    params: DockingParams = field(default_factory=DockingParams.production)
+    batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_ligands, "n_ligands")
+        check_positive_int(self.n_atoms, "n_atoms")
+        check_positive_int(self.n_fragments, "n_fragments")
+
+    @property
+    def name(self) -> str:
+        """Label, e.g. ``ligen-10000l-89a-20f``."""
+        return f"ligen-{self.n_ligands}l-{self.n_atoms}a-{self.n_fragments}f"
+
+    @property
+    def domain_features(self) -> Tuple[float, float, float]:
+        """The paper's Table-2 features: (ligands, fragments, atoms)."""
+        return (float(self.n_ligands), float(self.n_fragments), float(self.n_atoms))
+
+    def run(self, gpu: SimulatedGPU) -> None:
+        """Issue the screening pass's kernel launches."""
+        launches = screening_launches(
+            n_ligands=self.n_ligands,
+            n_atoms=self.n_atoms,
+            n_fragments=self.n_fragments,
+            params=self.params,
+            batch_size=self.batch_size,
+        )
+        gpu.launch_many(launches)

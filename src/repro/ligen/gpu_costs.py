@@ -1,0 +1,110 @@
+"""GPU cost model for the LiGen kernels.
+
+Maps Algorithm 2 onto two GPU kernels, following the paper's GPU-optimized
+engine (one batch of ligands per launch, atom-level parallelism inside):
+
+- ``ligen_dock`` — pose search: threads = ligands x atoms / 2 (each
+  thread handles a vectorized atom pair; restarts are serialized per
+  thread); per-thread work scales with ``num_restart x num_iterations x
+  n_fragments`` (each unit is one fragment-torsion optimization including
+  its angle sampling). Trig-heavy and arithmetic-dense: the kernel is
+  compute-bound at full occupancy, which yields the paper's LiGen DVFS
+  profile (speedup from over-clocking at a steep energy premium), while
+  few-ligand batches occupy only part of the compute width and therefore
+  see a smaller energy premium and no savings from down-clocking
+  (paper Fig. 2a).
+- ``ligen_score`` — refined scoring of the clipped poses: threads =
+  ligands x max_num_poses, per-thread work scaling with atoms.
+
+Input size enters only through thread counts and iteration multipliers;
+the specs themselves are static (Table-1 features).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernels.ir import KernelLaunch, KernelSpec
+from repro.ligen.docking import DockingParams
+from repro.utils.validation import check_positive_int
+
+__all__ = ["DOCK_SPEC", "SCORE_SPEC", "screening_launches", "all_specs"]
+
+DOCK_SPEC = KernelSpec(
+    name="ligen_dock",
+    int_add=60.0,
+    int_mul=20.0,
+    float_add=240.0,
+    float_mul=280.0,
+    float_div=12.0,
+    special_fn=24.0,
+    global_access=6.0,
+    local_access=12.0,
+)
+
+SCORE_SPEC = KernelSpec(
+    name="ligen_score",
+    int_add=8.0,
+    int_mul=4.0,
+    float_add=18.0,
+    float_mul=22.0,
+    float_div=2.0,
+    special_fn=2.0,
+    global_access=6.0,
+    local_access=2.0,
+)
+
+
+def all_specs() -> List[KernelSpec]:
+    """The two static kernel specs of the LiGen application."""
+    return [DOCK_SPEC, SCORE_SPEC]
+
+
+def screening_launches(
+    n_ligands: int,
+    n_atoms: int,
+    n_fragments: int,
+    params: DockingParams | None = None,
+    batch_size: int | None = None,
+) -> List[KernelLaunch]:
+    """Kernel launches of one virtual-screening pass over a library.
+
+    Parameters
+    ----------
+    n_ligands, n_atoms, n_fragments:
+        The workload tuple (the paper's domain features).
+    params:
+        Docking search budget; defaults to the production budget the
+        characterization experiments assume.
+    batch_size:
+        Ligands per kernel launch (``None`` = whole library in one
+        launch). The paper notes each kernel computes several ligands
+        simultaneously; batching matters for very large campaigns.
+    """
+    n_ligands = check_positive_int(n_ligands, "n_ligands")
+    n_atoms = check_positive_int(n_atoms, "n_atoms")
+    n_fragments = check_positive_int(n_fragments, "n_fragments")
+    params = params or DockingParams.production()
+    if batch_size is None:
+        batch_size = n_ligands
+    batch_size = check_positive_int(batch_size, "batch_size")
+
+    launches: List[KernelLaunch] = []
+    remaining = n_ligands
+    dock_work = float(params.num_restart * params.num_iterations * n_fragments)
+    score_work = float(n_atoms)
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        dock_threads = max(1, (batch * n_atoms + 1) // 2)  # one thread per atom pair
+        launches.append(
+            KernelLaunch(DOCK_SPEC, threads=dock_threads, work_iterations=dock_work)
+        )
+        launches.append(
+            KernelLaunch(
+                SCORE_SPEC,
+                threads=batch * params.max_num_poses,
+                work_iterations=score_work,
+            )
+        )
+        remaining -= batch
+    return launches

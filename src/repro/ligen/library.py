@@ -1,0 +1,159 @@
+"""Synthetic ligand-library generation.
+
+The paper's chemical libraries are proprietary; the energy models only
+see them through the workload tuple ``(ligands, atoms, fragments)``, so a
+synthetic generator that controls exactly those three parameters
+preserves everything the experiments depend on (DESIGN.md §2). Molecules
+are built as randomized self-avoiding chains with branch points, realistic
+bond lengths, van-der-Waals radii, and neutral-sum partial charges; the
+requested number of rotatable fragments is carved out of chain bonds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ligen.molecule import Fragment, Ligand
+from repro.utils.rng import RandomState, as_generator, spawn_child
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["make_ligand", "make_library", "make_mixed_library", "PAPER_ATOM_COUNTS", "PAPER_FRAGMENT_COUNTS", "PAPER_LIGAND_COUNTS"]
+
+#: The experimental grid of paper §5.1.
+PAPER_LIGAND_COUNTS = (2, 16, 1024, 4096, 10000)
+PAPER_ATOM_COUNTS = (31, 63, 71, 89)
+PAPER_FRAGMENT_COUNTS = (4, 8, 16, 20)
+
+_BOND_LENGTH = 1.5  # angstrom, typical C-C
+_MIN_SEPARATION = 1.2
+
+
+def _grow_chain(n_atoms: int, rng: np.random.Generator) -> np.ndarray:
+    """Random self-avoiding chain with occasional branch restarts."""
+    coords = np.zeros((n_atoms, 3))
+    for i in range(1, n_atoms):
+        # Branch with 20% probability from a random earlier atom.
+        parent = i - 1
+        if i > 2 and rng.random() < 0.2:
+            parent = int(rng.integers(0, i - 1))
+        for _ in range(40):
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            candidate = coords[parent] + _BOND_LENGTH * direction
+            dists = np.linalg.norm(coords[:i] - candidate, axis=1)
+            if dists.min() >= _MIN_SEPARATION:
+                coords[i] = candidate
+                break
+        else:
+            # Fall back to accepting the last candidate; extremely rare.
+            coords[i] = candidate
+    return coords
+
+
+def make_ligand(
+    n_atoms: int,
+    n_fragments: int,
+    seed: RandomState = None,
+    name: str | None = None,
+) -> Ligand:
+    """Build one synthetic ligand with the requested atom/fragment counts.
+
+    Fragments are tail segments rotating about chain bonds: fragment *k*
+    rotates every atom beyond a pivot bond, matching the paper's rotamer
+    definition (a bond splitting the atoms into two independently rotating
+    sets).
+    """
+    n_atoms = check_positive_int(n_atoms, "n_atoms")
+    n_fragments = check_non_negative_int(n_fragments, "n_fragments")
+    if n_atoms < 4:
+        raise ConfigurationError("need at least 4 atoms for a dockable ligand")
+    if n_fragments > n_atoms - 3:
+        raise ConfigurationError(
+            f"cannot carve {n_fragments} fragments out of {n_atoms} atoms"
+        )
+    rng = as_generator(seed)
+    coords = _grow_chain(n_atoms, rng)
+    radii = rng.uniform(1.1, 1.8, size=n_atoms)
+    charges = rng.normal(0.0, 0.2, size=n_atoms)
+    charges -= charges.mean()  # neutral molecule
+
+    # Pivot bonds: distinct positions j; fragment rotates atoms > j+1
+    # around the (j, j+1) axis.
+    pivots = rng.choice(np.arange(1, n_atoms - 2), size=n_fragments, replace=False)
+    fragments = [
+        Fragment(
+            atom_indices=np.arange(j + 2, n_atoms),
+            axis_start=int(j),
+            axis_end=int(j + 1),
+        )
+        for j in sorted(int(p) for p in pivots)
+    ]
+    return Ligand(
+        coords=coords,
+        radii=radii,
+        charges=charges,
+        fragments=fragments,
+        name=name or f"lig-{n_atoms}a-{n_fragments}f",
+    )
+
+
+def make_library(
+    n_ligands: int,
+    n_atoms: int,
+    n_fragments: int,
+    seed: RandomState = None,
+) -> List[Ligand]:
+    """A library of ``n_ligands`` independently generated ligands.
+
+    All share the same (atoms, fragments) sizes — the controlled-input
+    setting of the paper's experiments.
+    """
+    n_ligands = check_positive_int(n_ligands, "n_ligands")
+    rng = as_generator(seed)
+    return [
+        make_ligand(
+            n_atoms,
+            n_fragments,
+            seed=spawn_child(rng, i),
+            name=f"lig{i:05d}-{n_atoms}a-{n_fragments}f",
+        )
+        for i in range(n_ligands)
+    ]
+
+
+def make_mixed_library(
+    n_ligands: int,
+    atom_choices: Sequence[int] = PAPER_ATOM_COUNTS,
+    fragment_choices: Sequence[int] = PAPER_FRAGMENT_COUNTS,
+    seed: RandomState = None,
+) -> List[Ligand]:
+    """A heterogeneous library: sizes drawn per-ligand from the choices.
+
+    Real chemical libraries mix molecule sizes; the paper's controlled
+    experiments fix them, but the screening pipeline itself must handle
+    mixtures (its batched kernels see the mean size). This generator
+    produces that realistic setting.
+    """
+    n_ligands = check_positive_int(n_ligands, "n_ligands")
+    if not atom_choices or not fragment_choices:
+        raise ConfigurationError("choices must be non-empty")
+    rng = as_generator(seed)
+    atom_choices = list(atom_choices)
+    fragment_choices = list(fragment_choices)
+    out: List[Ligand] = []
+    for i in range(n_ligands):
+        atoms = int(rng.choice(atom_choices))
+        frags = int(rng.choice(fragment_choices))
+        frags = min(frags, atoms - 3)  # keep the rotamer constraint valid
+        out.append(
+            make_ligand(
+                atoms,
+                frags,
+                seed=spawn_child(rng, i),
+                name=f"lig{i:05d}-{atoms}a-{frags}f",
+            )
+        )
+    return out

@@ -1,0 +1,52 @@
+"""From-scratch ML substrate mirroring the scikit-learn APIs the paper uses.
+
+Regressors: :class:`LinearRegression`, :class:`Ridge`, :class:`Lasso`,
+:class:`SVR` (RBF/linear), :class:`DecisionTreeRegressor`,
+:class:`RandomForestRegressor`. Model selection: :class:`KFold`,
+:class:`LeaveOneGroupOut`, :class:`GridSearchCV`, plus the MAPE metric
+the paper reports (§5.2.1).
+"""
+
+from repro.ml.base import Regressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import Lasso, LinearRegression, Ridge
+from repro.ml.metrics import (
+    mape,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    LeaveOneGroupOut,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svr import SVR
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "GridSearchCV",
+    "KFold",
+    "Lasso",
+    "LeaveOneGroupOut",
+    "LinearRegression",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "Regressor",
+    "Ridge",
+    "SVR",
+    "StandardScaler",
+    "cross_val_score",
+    "mape",
+    "max_absolute_error",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "root_mean_squared_error",
+    "train_test_split",
+]

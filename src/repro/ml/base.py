@@ -1,0 +1,106 @@
+"""Estimator base class for the from-scratch ML substrate.
+
+scikit-learn is not available in the reproduction environment, so
+:mod:`repro.ml` re-implements the regressors the paper uses (Linear,
+Lasso, SVR with RBF kernel, Random Forest) plus the model-selection
+utilities. The interface deliberately mirrors scikit-learn's —
+``fit(X, y)`` / ``predict(X)`` / ``get_params()`` / ``clone()`` — so the
+modeling layer reads exactly like the paper's scikit-learn pipeline.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ModelNotFittedError
+from repro.utils.validation import ensure_1d, ensure_2d
+
+__all__ = ["Regressor", "check_Xy", "check_X"]
+
+
+def check_Xy(X, y) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a training pair: 2-D finite ``X`` and matching 1-D ``y``."""
+    X = ensure_2d(X, "X")
+    y = ensure_1d(y, "y")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} entries")
+    if X.shape[0] == 0:
+        raise ValueError("training set is empty")
+    if not np.isfinite(X).all():
+        raise ValueError("X contains non-finite entries")
+    if not np.isfinite(y).all():
+        raise ValueError("y contains non-finite entries")
+    return X, y
+
+
+def check_X(X, n_features: int) -> np.ndarray:
+    """Validate a prediction matrix against the fitted feature count."""
+    X = ensure_2d(X, "X")
+    if X.shape[1] != n_features:
+        raise ValueError(f"X has {X.shape[1]} features, model was fitted with {n_features}")
+    if not np.isfinite(X).all():
+        raise ValueError("X contains non-finite entries")
+    return X
+
+
+class Regressor:
+    """Base class: parameter introspection, cloning and fitted-state checks.
+
+    Subclasses must implement ``fit(X, y)`` (setting ``n_features_in_``)
+    and ``predict(X)``. Constructor arguments are treated as
+    hyper-parameters: ``get_params`` reads them back by name, which is
+    what makes :class:`repro.ml.model_selection.GridSearchCV` generic.
+    """
+
+    n_features_in_: int
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return [p for p in sig.parameters if p != "self"]
+
+    def get_params(self) -> Dict[str, Any]:
+        """Hyper-parameters as a dict (constructor arguments by name)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "Regressor":
+        """Set hyper-parameters in place; unknown names raise ``ValueError``."""
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(
+                    f"unknown parameter {key!r} for {type(self).__name__}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "Regressor":
+        """A fresh unfitted estimator with identical hyper-parameters."""
+        return type(self)(**copy.deepcopy(self.get_params()))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "n_features_in_"):
+            raise ModelNotFittedError(
+                f"{type(self).__name__} must be fitted before calling predict"
+            )
+
+    def fit(self, X, y) -> "Regressor":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2 on ``(X, y)``."""
+        from repro.ml.metrics import r2_score
+
+        return r2_score(y, self.predict(X))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"

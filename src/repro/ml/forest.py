@@ -1,0 +1,107 @@
+"""Random-forest regression (bagged histogram trees).
+
+The paper selects Random Forest as the best regressor for both the
+speedup and normalized-energy models and tunes ``max_depth``,
+``n_estimators`` and ``max_features`` by grid search (§5.2.1, finding the
+defaults best). Features are binned once per forest and shared across all
+trees, so the per-tree cost is only bootstrap + histogram split search.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Regressor, check_X, check_Xy
+from repro.ml.tree import DecisionTreeRegressor, _bin_features
+from repro.utils.rng import RandomState, as_generator, spawn_child
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor(Regressor):
+    """Bootstrap-aggregated regression trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf, max_features, max_bins:
+        Passed through to each :class:`DecisionTreeRegressor`. The
+        regression-forest convention (scikit-learn default) of examining
+        all features at each split corresponds to ``max_features=None``.
+    bootstrap:
+        When true (default), each tree trains on an n-sample bootstrap
+        draw; when false, all trees see the full data (then only
+        ``max_features`` decorrelates them).
+    random_state:
+        Seed controlling bootstrap draws and per-node feature subsets.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        max_bins: int = 64,
+        bootstrap: bool = True,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.max_bins = int(max_bins)
+        self.bootstrap = bool(bootstrap)
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        """Bin features once, then fit ``n_estimators`` bootstrapped trees."""
+        check_positive_int(self.n_estimators, "n_estimators")
+        X, y = check_Xy(X, y)
+        n = X.shape[0]
+        binned = _bin_features(X, self.max_bins)
+        rng = as_generator(self.random_state)
+
+        self.estimators_: List[DecisionTreeRegressor] = []
+        for t in range(self.n_estimators):
+            tree_rng = spawn_child(rng, t)
+            if self.bootstrap:
+                idx = tree_rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                max_bins=self.max_bins,
+                random_state=tree_rng,
+            )
+            tree._fit_binned(binned, y, idx)
+            self.estimators_.append(tree)
+
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Mean prediction over all trees."""
+        self._check_fitted()
+        X = check_X(X, self.n_features_in_)
+        out = np.zeros(X.shape[0])
+        for tree in self.estimators_:
+            out += tree.predict(X)
+        out /= len(self.estimators_)
+        return out
+
+    def predict_std(self, X) -> np.ndarray:
+        """Across-tree standard deviation — a cheap uncertainty estimate."""
+        self._check_fitted()
+        X = check_X(X, self.n_features_in_)
+        preds = np.stack([t.predict(X) for t in self.estimators_])
+        return preds.std(axis=0)

@@ -1,0 +1,172 @@
+"""Linear models: ordinary least squares, ridge, and lasso.
+
+``Lasso`` is solved by cyclic coordinate descent on standardized
+features, the same algorithm scikit-learn uses, with the standard
+soft-thresholding update. The objective follows the scikit-learn
+convention::
+
+    (1 / (2 n)) * ||y - X w - b||^2 + alpha * ||w||_1
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor, check_X, check_Xy
+from repro.utils.validation import check_positive
+
+__all__ = ["LinearRegression", "Ridge", "Lasso"]
+
+
+class LinearRegression(Regressor):
+    """Ordinary least squares via :func:`numpy.linalg.lstsq`.
+
+    Attributes after fitting: ``coef_`` (weights), ``intercept_``.
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = bool(fit_intercept)
+
+    def fit(self, X, y) -> "LinearRegression":
+        """Fit by least squares (rank-deficient X handled by lstsq)."""
+        X, y = check_Xy(X, y)
+        if self.fit_intercept:
+            Xd = np.column_stack([X, np.ones(X.shape[0])])
+        else:
+            Xd = X
+        sol, *_ = np.linalg.lstsq(Xd, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = sol[:-1]
+            self.intercept_ = float(sol[-1])
+        else:
+            self.coef_ = sol
+            self.intercept_ = 0.0
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict ``X @ coef_ + intercept_``."""
+        self._check_fitted()
+        X = check_X(X, self.n_features_in_)
+        return X @ self.coef_ + self.intercept_
+
+
+class Ridge(Regressor):
+    """L2-regularized least squares (closed form via the normal equations)."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        self.alpha = float(alpha)
+        self.fit_intercept = bool(fit_intercept)
+
+    def fit(self, X, y) -> "Ridge":
+        """Solve ``(X^T X + alpha I) w = X^T y`` on centered data."""
+        if self.alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        X, y = check_Xy(X, y)
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+        n_feat = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_feat)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        self.n_features_in_ = n_feat
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict ``X @ coef_ + intercept_``."""
+        self._check_fitted()
+        X = check_X(X, self.n_features_in_)
+        return X @ self.coef_ + self.intercept_
+
+
+def _soft_threshold(value: float, threshold: float) -> float:
+    if value > threshold:
+        return value - threshold
+    if value < -threshold:
+        return value + threshold
+    return 0.0
+
+
+class Lasso(Regressor):
+    """L1-regularized least squares via cyclic coordinate descent.
+
+    Parameters
+    ----------
+    alpha:
+        L1 penalty strength (scikit-learn convention; see module docstring).
+    max_iter:
+        Maximum full coordinate sweeps.
+    tol:
+        Convergence threshold on the maximum coefficient update per sweep.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        fit_intercept: bool = True,
+        max_iter: int = 1000,
+        tol: float = 1e-6,
+    ) -> None:
+        self.alpha = float(alpha)
+        self.fit_intercept = bool(fit_intercept)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+
+    def fit(self, X, y) -> "Lasso":
+        """Cyclic coordinate descent with soft-thresholding updates."""
+        if self.alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        check_positive(self.max_iter, "max_iter")
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(d)
+            y_mean = 0.0
+            Xc, yc = X.copy(), y.copy()
+
+        col_sq = (Xc**2).sum(axis=0)  # n * Var per column
+        w = np.zeros(d)
+        residual = yc.copy()  # residual = yc - Xc @ w
+        thresh = self.alpha * n
+
+        self.n_iter_ = self.max_iter
+        for sweep in range(self.max_iter):
+            max_delta = 0.0
+            for j in range(d):
+                if col_sq[j] == 0.0:
+                    continue  # constant (centered) column: coefficient stays 0
+                xj = Xc[:, j]
+                rho = xj @ residual + col_sq[j] * w[j]
+                w_new = _soft_threshold(rho, thresh) / col_sq[j]
+                delta = w_new - w[j]
+                if delta != 0.0:
+                    residual -= xj * delta
+                    w[j] = w_new
+                    max_delta = max(max_delta, abs(delta))
+            if max_delta <= self.tol:
+                self.n_iter_ = sweep + 1
+                break
+
+        self.coef_ = w
+        self.intercept_ = y_mean - float(x_mean @ w)
+        self.n_features_in_ = d
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict ``X @ coef_ + intercept_``."""
+        self._check_fitted()
+        X = check_X(X, self.n_features_in_)
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,78 @@
+"""Regression metrics.
+
+The paper's headline accuracy metric is the **mean absolute percentage
+error** (MAPE, §5.2.1): the mean over all frequency configurations of
+``|pred - true| / |true|``. Reported as a fraction (0.01 == 1%), matching
+the paper's Figure 13 axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d
+
+__all__ = [
+    "mean_absolute_percentage_error",
+    "mape",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "max_absolute_error",
+    "r2_score",
+]
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    t = ensure_1d(y_true, "y_true")
+    p = ensure_1d(y_pred, "y_pred")
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: y_true {t.shape} vs y_pred {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty inputs")
+    if not (np.isfinite(t).all() and np.isfinite(p).all()):
+        raise ValueError("inputs contain non-finite entries")
+    return t, p
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """MAPE as a fraction; raises if any true value is exactly zero."""
+    t, p = _pair(y_true, y_pred)
+    if np.any(t == 0):
+        raise ValueError("MAPE undefined when y_true contains zeros")
+    return float(np.mean(np.abs((p - t) / t)))
+
+
+#: Short alias used throughout the evaluation harness.
+mape = mean_absolute_percentage_error
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(p - t)))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((p - t) ** 2)))
+
+
+def max_absolute_error(y_true, y_pred) -> float:
+    """Largest absolute error (worst case)."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.max(np.abs(p - t)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Follows the scikit-learn convention: a constant-``y_true`` target
+    yields 1.0 for a perfect prediction and 0.0 otherwise.
+    """
+    t, p = _pair(y_true, y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,209 @@
+"""Model selection: CV splitters, cross-validation, and grid search.
+
+The paper validates domain-specific models with **leave-one-out
+cross-validation over the input-feature groups** (§5.2): all samples
+sharing one input tuple form the validation set, everything else trains.
+That is :class:`LeaveOneGroupOut` here. Random-forest hyper-parameters
+are tuned with :class:`GridSearchCV` exactly as in §5.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.ml.base import Regressor, check_Xy
+from repro.ml.metrics import mean_absolute_percentage_error, r2_score
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "KFold",
+    "LeaveOneGroupOut",
+    "train_test_split",
+    "cross_val_score",
+    "GridSearchCV",
+]
+
+Split = Tuple[np.ndarray, np.ndarray]
+
+
+class KFold:
+    """K-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state: RandomState = None):
+        self.n_splits = check_positive_int(n_splits, "n_splits")
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, X, y=None, groups=None) -> Iterator[Split]:
+        """Yield (train_idx, test_idx) pairs covering all samples once."""
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise DatasetError(f"cannot split {n} samples into {self.n_splits} folds")
+        idx = np.arange(n)
+        if self.shuffle:
+            as_generator(self.random_state).shuffle(idx)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = idx[start : start + size]
+            train = np.concatenate([idx[:start], idx[start + size :]])
+            yield train, test
+            start += size
+
+
+class LeaveOneGroupOut:
+    """Leave-one-group-out CV (the paper's validation protocol).
+
+    Groups identify samples sharing one input-feature tuple; each fold
+    holds one group out for validation.
+    """
+
+    def split(self, X, y=None, groups=None) -> Iterator[Split]:
+        """Yield one (train, test) pair per distinct group label."""
+        if groups is None:
+            raise ValueError("LeaveOneGroupOut requires groups")
+        groups = np.asarray(groups)
+        n = np.asarray(X).shape[0]
+        if groups.shape[0] != n:
+            raise ValueError("groups length must match number of samples")
+        labels = np.unique(groups)
+        if labels.size < 2:
+            raise DatasetError("need at least two distinct groups")
+        idx = np.arange(n)
+        for label in labels:
+            test = idx[groups == label]
+            train = idx[groups != label]
+            yield train, test
+
+    def get_n_splits(self, groups) -> int:
+        """Number of folds (distinct group labels)."""
+        return int(np.unique(np.asarray(groups)).size)
+
+
+def train_test_split(
+    X, y, test_size: float = 0.25, random_state: RandomState = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split into train and test portions."""
+    X, y = check_Xy(X, y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_size)))
+    if n_test >= n:
+        raise DatasetError("test split would consume every sample")
+    perm = as_generator(random_state).permutation(n)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def _score(model: Regressor, X, y, scoring: str) -> float:
+    pred = model.predict(X)
+    if scoring == "r2":
+        return r2_score(y, pred)
+    if scoring == "neg_mape":
+        return -mean_absolute_percentage_error(y, pred)
+    raise ValueError(f"unknown scoring {scoring!r}; use 'r2' or 'neg_mape'")
+
+
+def cross_val_score(
+    model: Regressor,
+    X,
+    y,
+    cv=None,
+    groups=None,
+    scoring: str = "r2",
+) -> np.ndarray:
+    """Score a fresh clone of ``model`` on every CV fold (higher = better)."""
+    X, y = check_Xy(X, y)
+    splitter = cv if cv is not None else KFold(n_splits=5)
+    scores: List[float] = []
+    for train, test in splitter.split(X, y, groups):
+        fold_model = model.clone()
+        fold_model.fit(X[train], y[train])
+        scores.append(_score(fold_model, X[test], y[test], scoring))
+    return np.array(scores)
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One evaluated hyper-parameter combination."""
+
+    params: Dict[str, Any]
+    mean_score: float
+    fold_scores: np.ndarray
+
+
+class GridSearchCV:
+    """Exhaustive hyper-parameter search with cross-validation.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype regressor; cloned for every fit.
+    param_grid:
+        Mapping from parameter name to the list of values to try.
+    cv:
+        Splitter (default 5-fold).
+    scoring:
+        ``"r2"`` (default) or ``"neg_mape"``; higher is better.
+
+    After :meth:`fit`: ``best_params_``, ``best_score_``,
+    ``best_estimator_`` (refitted on all data) and ``results_``.
+    """
+
+    def __init__(
+        self,
+        estimator: Regressor,
+        param_grid: Dict[str, Sequence[Any]],
+        cv=None,
+        scoring: str = "r2",
+    ) -> None:
+        if not param_grid:
+            raise ValueError("param_grid must be non-empty")
+        self.estimator = estimator
+        self.param_grid = {k: list(v) for k, v in param_grid.items()}
+        for key, values in self.param_grid.items():
+            if not values:
+                raise ValueError(f"param_grid[{key!r}] is empty")
+        self.cv = cv
+        self.scoring = scoring
+
+    def _combinations(self) -> Iterator[Dict[str, Any]]:
+        keys = sorted(self.param_grid)
+        for combo in product(*(self.param_grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def fit(self, X, y, groups=None) -> "GridSearchCV":
+        """Evaluate the full grid, keep the best, refit on all data."""
+        X, y = check_Xy(X, y)
+        self.results_: List[GridPoint] = []
+        best: Optional[GridPoint] = None
+        for params in self._combinations():
+            model = self.estimator.clone().set_params(**params)
+            scores = cross_val_score(
+                model, X, y, cv=self.cv, groups=groups, scoring=self.scoring
+            )
+            point = GridPoint(params=params, mean_score=float(scores.mean()), fold_scores=scores)
+            self.results_.append(point)
+            if best is None or point.mean_score > best.mean_score:
+                best = point
+        assert best is not None
+        self.best_params_ = best.params
+        self.best_score_ = best.mean_score
+        self.best_estimator_ = self.estimator.clone().set_params(**best.params).fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the refitted best estimator."""
+        if not hasattr(self, "best_estimator_"):
+            raise DatasetError("GridSearchCV must be fitted before predict")
+        return self.best_estimator_.predict(X)

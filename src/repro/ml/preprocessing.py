@@ -1,0 +1,57 @@
+"""Feature preprocessing: standardization.
+
+Lasso's coordinate descent and the RBF kernel of SVR both assume
+comparably scaled features; :class:`StandardScaler` provides the usual
+zero-mean / unit-variance transform (constant features are left centered
+but unscaled to avoid division by zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelNotFittedError
+from repro.utils.validation import ensure_2d
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling (fit/transform API)."""
+
+    def fit(self, X) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        X = ensure_2d(X, "X")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # constant features: leave scale at 1 so transform only centers them
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _check(self, X) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise ModelNotFittedError("StandardScaler must be fitted first")
+        X = ensure_2d(X, "X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted with {self.n_features_in_}"
+            )
+        return X
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the learned standardization."""
+        X = self._check(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Undo the standardization."""
+        X = self._check(X)
+        return X * self.scale_ + self.mean_

@@ -1,0 +1,211 @@
+"""Domain-specific energy/time models (paper §4.2 and §5.2.1).
+
+Four supervised models per application, all keyed on ``(features, c)``:
+
+- ``T(f_vec, c)`` / ``E(f_vec, c)`` — *absolute* execution time and
+  energy (training phase, Fig. 11), learned in log space because the
+  targets span orders of magnitude across the input grid;
+- the **speedup** and **normalized-energy** models of §5.2.1 — trained on
+  each input's measurements normalized by its own baseline-frequency
+  measurement. These are what the prediction phase (Fig. 12) uses: being
+  scale-free, they interpolate across unseen inputs far better than
+  ratios of absolute predictions, which is exactly why the paper trains
+  them directly.
+
+The prediction phase (§4.2.3) evaluates the models across all frequency
+configurations; no measured value of the predicted input is ever used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError, ModelNotFittedError
+from repro.ml.base import Regressor
+from repro.ml.forest import RandomForestRegressor
+from repro.modeling.dataset import EnergyDataset
+from repro.pareto.front import ParetoFront, extract_front
+from repro.utils.validation import check_positive, ensure_1d
+
+__all__ = ["TradeoffPrediction", "DomainSpecificModel", "default_regressor_factory"]
+
+
+def default_regressor_factory() -> Regressor:
+    """The paper's winning regressor: Random Forest with default parameters.
+
+    (§5.2.1: Random Forest beat Linear, Lasso and SVR-RBF, and grid search
+    confirmed the defaults; we cap ``n_estimators`` at a value that keeps
+    full LOOCV sweeps tractable in pure Python.)
+    """
+    return RandomForestRegressor(n_estimators=30, random_state=1234)
+
+
+@dataclass(frozen=True)
+class TradeoffPrediction:
+    """Predicted multi-objective profile of one input across frequencies."""
+
+    freqs_mhz: np.ndarray
+    times_s: np.ndarray
+    energies_j: np.ndarray
+    speedups: np.ndarray
+    normalized_energies: np.ndarray
+    baseline_freq_mhz: float
+
+    def pareto_front(self) -> ParetoFront:
+        """Pareto-optimal predicted configurations (§5.2.2 step 2)."""
+        return extract_front(self.speedups, self.normalized_energies, self.freqs_mhz)
+
+    def pareto_frequencies(self) -> np.ndarray:
+        """The predicted Pareto-optimal frequency set (§5.2.2 step 3)."""
+        return self.pareto_front().freqs_mhz
+
+
+class DomainSpecificModel:
+    """Input-feature-driven DVFS-behaviour predictor for one application.
+
+    Parameters
+    ----------
+    feature_names:
+        The application's Table-2 feature names (documentation + arity).
+    regressor_factory:
+        Zero-argument callable building a fresh regressor; called four
+        times (time, energy, speedup, normalized energy). Defaults to the
+        paper's Random Forest.
+    baseline_freq_mhz:
+        The frequency whose measurements normalize the speedup /
+        normalized-energy targets (the V100 default clock in the paper's
+        setup). Every training input must include a sample at (or within
+        half a bin of) this frequency.
+    """
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        regressor_factory: Callable[[], Regressor] = default_regressor_factory,
+        baseline_freq_mhz: float = 1282.0,
+    ) -> None:
+        self.feature_names = tuple(feature_names)
+        self.regressor_factory = regressor_factory
+        self.baseline_freq_mhz = check_positive(baseline_freq_mhz, "baseline_freq_mhz")
+        self._time_model: Optional[Regressor] = None
+        self._energy_model: Optional[Regressor] = None
+        self._speedup_model: Optional[Regressor] = None
+        self._norm_energy_model: Optional[Regressor] = None
+
+    # -- training phase (§4.2.2 + §5.2.1) ---------------------------------
+    def _baselines(
+        self, dataset: EnergyDataset
+    ) -> Dict[Tuple[float, ...], Tuple[float, float]]:
+        """Per-input (time, energy) at the baseline frequency."""
+        freqs = dataset.frequencies()
+        tol = max((np.diff(freqs).min() if freqs.size > 1 else 1.0) / 2, 1e-6)
+        out: Dict[Tuple[float, ...], Tuple[float, float]] = {}
+        acc: Dict[Tuple[float, ...], list] = {}
+        for s in dataset.samples:
+            if abs(s.freq_mhz - self.baseline_freq_mhz) <= tol:
+                acc.setdefault(s.features, []).append((s.time_s, s.energy_j))
+        for feats, pairs in acc.items():
+            times = np.median([p[0] for p in pairs])
+            energies = np.median([p[1] for p in pairs])
+            out[feats] = (float(times), float(energies))
+        missing = [f for f in dataset.distinct_features() if f not in out]
+        if missing:
+            raise DatasetError(
+                f"{len(missing)} training input(s) have no sample at the baseline "
+                f"frequency {self.baseline_freq_mhz} MHz (e.g. {missing[0]}); "
+                "include the baseline bin in the training sweep"
+            )
+        return out
+
+    def fit(self, dataset: EnergyDataset) -> "DomainSpecificModel":
+        """Train all four models on ``(features, freq)`` rows."""
+        if dataset.feature_names != self.feature_names:
+            raise ValueError(
+                f"dataset features {dataset.feature_names} do not match model "
+                f"features {self.feature_names}"
+            )
+        X = dataset.X()
+        self._time_model = self.regressor_factory().fit(X, np.log(dataset.y_time()))
+        self._energy_model = self.regressor_factory().fit(X, np.log(dataset.y_energy()))
+
+        baselines = self._baselines(dataset)
+        speedup_t = np.empty(len(dataset))
+        norm_e_t = np.empty(len(dataset))
+        for i, s in enumerate(dataset.samples):
+            base_t, base_e = baselines[s.features]
+            speedup_t[i] = base_t / s.time_s
+            norm_e_t[i] = s.energy_j / base_e
+        self._speedup_model = self.regressor_factory().fit(X, speedup_t)
+        self._norm_energy_model = self.regressor_factory().fit(X, norm_e_t)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._time_model is None:
+            raise ModelNotFittedError("DomainSpecificModel.fit must be called first")
+
+    def _design(self, features: Sequence[float], freqs_mhz) -> np.ndarray:
+        feats = [float(f) for f in features]
+        if len(feats) != len(self.feature_names):
+            raise ValueError(
+                f"expected {len(self.feature_names)} features, got {len(feats)}"
+            )
+        freqs = ensure_1d(freqs_mhz, "freqs_mhz")
+        return np.column_stack([np.tile(feats, (freqs.size, 1)), freqs])
+
+    # -- raw predictions ----------------------------------------------------
+    def predict_time(self, features: Sequence[float], freqs_mhz) -> np.ndarray:
+        """Predicted absolute execution time (seconds) at each frequency."""
+        self._check_fitted()
+        return np.exp(self._time_model.predict(self._design(features, freqs_mhz)))
+
+    def predict_energy(self, features: Sequence[float], freqs_mhz) -> np.ndarray:
+        """Predicted absolute energy (joules) at each frequency."""
+        self._check_fitted()
+        return np.exp(self._energy_model.predict(self._design(features, freqs_mhz)))
+
+    # -- prediction phase (§4.2.3 / §5.2.1) ----------------------------------
+    def predict_speedup(self, features: Sequence[float], freqs_mhz) -> np.ndarray:
+        """Predicted speedup vs the baseline clock at each frequency."""
+        self._check_fitted()
+        return np.maximum(
+            self._speedup_model.predict(self._design(features, freqs_mhz)), 1e-9
+        )
+
+    def predict_normalized_energy(self, features: Sequence[float], freqs_mhz) -> np.ndarray:
+        """Predicted normalized energy vs the baseline clock."""
+        self._check_fitted()
+        return np.maximum(
+            self._norm_energy_model.predict(self._design(features, freqs_mhz)), 1e-9
+        )
+
+    def predict_tradeoff(
+        self,
+        features: Sequence[float],
+        freqs_mhz,
+        baseline_freq_mhz: Optional[float] = None,
+    ) -> TradeoffPrediction:
+        """Speedup / normalized-energy profile over a frequency sweep.
+
+        ``baseline_freq_mhz`` is accepted for API symmetry with the
+        general-purpose model but must match the frequency the model was
+        trained to normalize against.
+        """
+        if baseline_freq_mhz is not None and not np.isclose(
+            baseline_freq_mhz, self.baseline_freq_mhz, atol=1.0
+        ):
+            raise ValueError(
+                f"model was trained with baseline {self.baseline_freq_mhz} MHz, "
+                f"cannot predict against {baseline_freq_mhz} MHz"
+            )
+        freqs = ensure_1d(freqs_mhz, "freqs_mhz")
+        return TradeoffPrediction(
+            freqs_mhz=freqs,
+            times_s=self.predict_time(features, freqs),
+            energies_j=self.predict_energy(features, freqs),
+            speedups=self.predict_speedup(features, freqs),
+            normalized_energies=self.predict_normalized_energy(features, freqs),
+            baseline_freq_mhz=self.baseline_freq_mhz,
+        )

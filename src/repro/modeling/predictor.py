@@ -1,0 +1,98 @@
+"""Pareto-set prediction and its accuracy assessment (paper §5.2.2).
+
+Given a model's trade-off prediction over a frequency sweep, the paper
+
+1. computes predicted speedup/normalized energy (baseline = predicted
+   default-frequency values),
+2. extracts the predicted Pareto-optimal solutions,
+3. maps them back to their frequency configurations,
+
+then assesses quality by *running the application at the predicted
+frequencies* and comparing the achieved points against the true front.
+:func:`assess_pareto_prediction` implements that end-to-end evaluation on
+top of a measured characterization sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.modeling.domain import TradeoffPrediction
+from repro.pareto.front import ParetoFront, extract_front
+from repro.pareto.metrics import (
+    exact_frequency_matches,
+    frequency_match_fraction,
+    generational_distance,
+)
+from repro.synergy.runner import CharacterizationResult
+
+__all__ = ["ParetoAssessment", "true_front", "achieved_points", "assess_pareto_prediction"]
+
+
+def true_front(result: CharacterizationResult) -> ParetoFront:
+    """The measured (ground-truth) Pareto front of a characterization."""
+    return extract_front(result.speedups(), result.normalized_energies(), result.freqs_mhz)
+
+
+def achieved_points(
+    result: CharacterizationResult, freqs_mhz: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Real (speedup, normalized energy) reached at the given frequencies.
+
+    These are the outcomes one would obtain by actually running the
+    application at the model-predicted Pareto frequencies — the paper's
+    evaluation currency.
+    """
+    speedups = []
+    energies = []
+    sp = result.speedups()
+    ne = result.normalized_energies()
+    for f in freqs_mhz:
+        idx = int(np.argmin(np.abs(result.freqs_mhz - float(f))))
+        speedups.append(sp[idx])
+        energies.append(ne[idx])
+    return np.array(speedups), np.array(energies)
+
+
+@dataclass(frozen=True)
+class ParetoAssessment:
+    """Quality summary of one model's predicted Pareto set."""
+
+    predicted_freqs: np.ndarray
+    achieved_speedups: np.ndarray
+    achieved_energies: np.ndarray
+    exact_matches: int
+    true_front_size: int
+    true_front_coverage: float
+    distance_to_front: float
+    max_predicted_speedup: float
+
+    @property
+    def n_predicted(self) -> int:
+        """Number of predicted Pareto-optimal configurations."""
+        return int(self.predicted_freqs.size)
+
+
+def assess_pareto_prediction(
+    prediction: TradeoffPrediction, measured: CharacterizationResult
+) -> ParetoAssessment:
+    """Run the §5.2.2 evaluation for one model on one workload."""
+    front = true_front(measured)
+    pred_freqs = prediction.pareto_frequencies()
+    ach_sp, ach_ne = achieved_points(measured, pred_freqs)
+    tol = max(measured.freqs_mhz[1] - measured.freqs_mhz[0], 1.0) / 2 if len(
+        measured.freqs_mhz
+    ) > 1 else 1.0
+    return ParetoAssessment(
+        predicted_freqs=pred_freqs,
+        achieved_speedups=ach_sp,
+        achieved_energies=ach_ne,
+        exact_matches=exact_frequency_matches(pred_freqs, front, tol_mhz=tol),
+        true_front_size=len(front),
+        true_front_coverage=frequency_match_fraction(pred_freqs, front, tol_mhz=tol),
+        distance_to_front=generational_distance(ach_sp, ach_ne, front),
+        max_predicted_speedup=float(ach_sp.max()) if ach_sp.size else float("nan"),
+    )

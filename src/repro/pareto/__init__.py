@@ -1,0 +1,29 @@
+"""Pareto-front extraction and front-quality metrics.
+
+- :mod:`repro.pareto.front` — non-dominated set extraction over the
+  (speedup, normalized-energy) objective space
+- :mod:`repro.pareto.metrics` — exact-frequency matches, coverage,
+  generational distance and hypervolume for comparing predicted fronts
+  against the true front (paper §5.2.2)
+"""
+
+from repro.pareto.front import ParetoFront, ParetoPoint, extract_front, pareto_mask
+from repro.pareto.metrics import (
+    exact_frequency_matches,
+    frequency_match_fraction,
+    front_coverage,
+    generational_distance,
+    hypervolume_2d,
+)
+
+__all__ = [
+    "ParetoFront",
+    "ParetoPoint",
+    "exact_frequency_matches",
+    "extract_front",
+    "frequency_match_fraction",
+    "front_coverage",
+    "generational_distance",
+    "hypervolume_2d",
+    "pareto_mask",
+]

@@ -1,0 +1,125 @@
+"""Quality metrics for predicted Pareto fronts (paper §5.2.2).
+
+The paper compares the *predicted* Pareto-optimal frequency sets of the
+general-purpose and domain-specific models against the *true* front using:
+
+- the number of predicted frequencies that exactly match true-front
+  frequencies (``exact_frequency_matches``);
+- how close the real outcomes of the predicted configurations land to the
+  true front (generational distance);
+- how much of the objective space the predicted set covers (hypervolume).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.pareto.front import ParetoFront
+from repro.utils.validation import check_finite_array
+
+__all__ = [
+    "exact_frequency_matches",
+    "frequency_match_fraction",
+    "generational_distance",
+    "hypervolume_2d",
+    "front_coverage",
+]
+
+
+def exact_frequency_matches(
+    predicted_freqs: Sequence[float], true_front: ParetoFront, tol_mhz: float = 0.51
+) -> int:
+    """Count predicted frequencies that lie on the true front.
+
+    ``tol_mhz`` absorbs snapping differences (half a 7.5 MHz V100 bin is
+    far below the default tolerance of one bin edge).
+    """
+    pf = check_finite_array(list(predicted_freqs), "predicted_freqs").ravel()
+    return int(sum(true_front.contains_freq(f, tol_mhz) for f in pf))
+
+
+def frequency_match_fraction(
+    predicted_freqs: Sequence[float], true_front: ParetoFront, tol_mhz: float = 0.51
+) -> float:
+    """Fraction of the true front's frequencies covered by the prediction."""
+    if len(true_front) == 0:
+        raise ValueError("true front is empty")
+    pf = check_finite_array(list(predicted_freqs), "predicted_freqs").ravel()
+    covered = sum(
+        bool(np.any(np.abs(pf - f) <= tol_mhz)) for f in true_front.freqs_mhz
+    )
+    return covered / len(true_front)
+
+
+def _as_points(speedups, energies) -> np.ndarray:
+    sp = check_finite_array(speedups, "speedups").ravel()
+    en = check_finite_array(energies, "energies").ravel()
+    if sp.shape != en.shape:
+        raise ValueError("speedups and energies must have equal length")
+    return np.column_stack([sp, en])
+
+
+def generational_distance(
+    achieved_speedups, achieved_energies, true_front: ParetoFront
+) -> float:
+    """Mean Euclidean distance from achieved points to the true front.
+
+    The "achieved" points are the real (speedup, energy) outcomes of
+    running the application at the model-predicted frequencies — the
+    paper's notion of Pareto-prediction accuracy. Lower is better; 0 means
+    every predicted configuration lands exactly on the true front.
+    """
+    pts = _as_points(achieved_speedups, achieved_energies)
+    if pts.shape[0] == 0:
+        raise ValueError("no achieved points supplied")
+    if len(true_front) == 0:
+        raise ValueError("true front is empty")
+    front = np.column_stack([true_front.speedups, true_front.energies])
+    d = np.linalg.norm(pts[:, None, :] - front[None, :, :], axis=2)
+    return float(d.min(axis=1).mean())
+
+
+def hypervolume_2d(
+    speedups, energies, ref_speedup: float = 0.0, ref_energy: float = 2.0
+) -> float:
+    """Dominated hypervolume in 2-D (maximize speedup, minimize energy).
+
+    The reference point must be dominated by every candidate (lower
+    speedup, higher energy); points outside the reference box are clipped
+    out. Computed by sorting the non-dominated subset by speedup and
+    summing rectangles.
+    """
+    pts = _as_points(speedups, energies)
+    keep = (pts[:, 0] > ref_speedup) & (pts[:, 1] < ref_energy)
+    pts = pts[keep]
+    if pts.shape[0] == 0:
+        return 0.0
+    # Classic 2-D sweep: descending speedup; each point that improves the
+    # best energy so far contributes the rectangle between itself and the
+    # current staircase level.
+    order = np.lexsort((pts[:, 1], -pts[:, 0]))
+    hv = 0.0
+    best_e = ref_energy
+    for sp, en in pts[order]:
+        if en < best_e:
+            hv += (sp - ref_speedup) * (best_e - en)
+            best_e = en
+    return float(hv)
+
+
+def front_coverage(predicted: ParetoFront, true_front: ParetoFront) -> float:
+    """Fraction of predicted points not dominated by any true-front point.
+
+    1.0 means the prediction is everywhere consistent with the true front;
+    values below 1 quantify how many predicted 'optimal' configurations
+    are actually dominated.
+    """
+    if len(predicted) == 0:
+        raise ValueError("predicted front is empty")
+    good = 0
+    for p in predicted:
+        if not any(t.dominates(p, tol=1e-9) for t in true_front):
+            good += 1
+    return good / len(predicted)

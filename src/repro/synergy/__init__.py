@@ -1,0 +1,37 @@
+"""SYnergy-style portable frequency-scaling and energy-profiling API.
+
+- :mod:`repro.synergy.api` — platforms, device handles, profiling regions
+- :mod:`repro.synergy.runner` — frequency-sweep characterization protocol
+- :mod:`repro.synergy.tuning` — frequency selection metrics and
+  per-kernel frequency scaling (the paper's §7 integration path)
+"""
+
+from repro.synergy.api import Platform, ProfileRegion, SynergyDevice
+from repro.synergy.runner import (
+    Application,
+    CharacterizationResult,
+    FrequencySample,
+    characterize,
+)
+from repro.synergy.tuning import (
+    PerKernelDVFS,
+    TuningDecision,
+    TuningMetric,
+    plan_per_kernel_frequencies,
+    select_frequency,
+)
+
+__all__ = [
+    "Application",
+    "CharacterizationResult",
+    "FrequencySample",
+    "PerKernelDVFS",
+    "Platform",
+    "ProfileRegion",
+    "SynergyDevice",
+    "TuningDecision",
+    "TuningMetric",
+    "characterize",
+    "plan_per_kernel_frequencies",
+    "select_frequency",
+]

@@ -1,0 +1,212 @@
+"""Characterization sweeps: run an application across core frequencies.
+
+This is the experimental protocol of paper §5.1:
+
+1. run the application at the baseline setting (NVIDIA: the default
+   application clock; AMD: the automatic performance level);
+2. for every core frequency in the sweep, pin the clock and run again;
+3. repeat each measurement five times to damp sensor outliers;
+4. report speedup and normalized energy relative to the baseline.
+
+Applications plug in through the tiny :class:`Application` protocol: any
+object with a ``name`` and a ``run(gpu)`` method that issues kernel
+launches on a :class:`repro.hw.device.SimulatedGPU`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.device import SimulatedGPU
+from repro.synergy.api import SynergyDevice
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Application", "FrequencySample", "CharacterizationResult", "characterize"]
+
+#: Paper protocol: every experiment is repeated five times (§5.1).
+DEFAULT_REPETITIONS = 5
+
+
+@runtime_checkable
+class Application(Protocol):
+    """Anything that can be executed on a simulated GPU."""
+
+    name: str
+
+    def run(self, gpu: SimulatedGPU) -> object:
+        """Execute the application, issuing kernel launches on ``gpu``."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class FrequencySample:
+    """Aggregated measurement at one core frequency.
+
+    ``time_s``/``energy_j`` are medians over the repetitions; the raw
+    per-repetition readings are kept for dispersion statistics.
+    """
+
+    freq_mhz: float
+    time_s: float
+    energy_j: float
+    rep_times_s: np.ndarray
+    rep_energies_j: np.ndarray
+
+    @property
+    def power_w(self) -> float:
+        """Median average power."""
+        return self.energy_j / self.time_s
+
+    @property
+    def time_spread(self) -> float:
+        """Relative spread (max-min over median) of the time repetitions."""
+        return float((self.rep_times_s.max() - self.rep_times_s.min()) / self.time_s)
+
+
+@dataclass
+class CharacterizationResult:
+    """Full frequency sweep of one application on one device."""
+
+    app_name: str
+    device_name: str
+    baseline_label: str
+    baseline_freq_mhz: Optional[float]
+    baseline_time_s: float
+    baseline_energy_j: float
+    samples: List[FrequencySample] = field(default_factory=list)
+
+    @property
+    def freqs_mhz(self) -> np.ndarray:
+        """Swept frequencies (MHz), in sweep order (ascending)."""
+        return np.array([s.freq_mhz for s in self.samples], dtype=float)
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Median times per frequency."""
+        return np.array([s.time_s for s in self.samples], dtype=float)
+
+    @property
+    def energies_j(self) -> np.ndarray:
+        """Median energies per frequency."""
+        return np.array([s.energy_j for s in self.samples], dtype=float)
+
+    def speedups(self) -> np.ndarray:
+        """Speedup vs the baseline run (>1 means faster than baseline)."""
+        return self.baseline_time_s / self.times_s
+
+    def normalized_energies(self) -> np.ndarray:
+        """Energy normalized to the baseline run (<1 means energy saved)."""
+        return self.energies_j / self.baseline_energy_j
+
+    def sample_at(self, freq_mhz: float) -> FrequencySample:
+        """The sample whose frequency is closest to ``freq_mhz``."""
+        if not self.samples:
+            raise ConfigurationError("characterization holds no samples")
+        idx = int(np.argmin(np.abs(self.freqs_mhz - float(freq_mhz))))
+        return self.samples[idx]
+
+    def best_energy_saving(self, max_speedup_loss: float = 1.0) -> FrequencySample:
+        """Sample with the lowest normalized energy among those whose
+        speedup loss does not exceed ``max_speedup_loss`` (fraction)."""
+        sp = self.speedups()
+        ne = self.normalized_energies()
+        mask = sp >= (1.0 - max_speedup_loss)
+        if not mask.any():
+            raise ConfigurationError("no sample satisfies the speedup constraint")
+        idx_all = np.flatnonzero(mask)
+        idx = idx_all[int(np.argmin(ne[mask]))]
+        return self.samples[int(idx)]
+
+
+def _run_once(app: Application, device: SynergyDevice) -> tuple[float, float]:
+    with device.profile() as region:
+        app.run(device.gpu)
+    assert region.time_s is not None and region.energy_j is not None
+    return region.time_s, region.energy_j
+
+
+def _measure(
+    app: Application, device: SynergyDevice, repetitions: int
+) -> tuple[float, float, np.ndarray, np.ndarray]:
+    times = np.empty(repetitions)
+    energies = np.empty(repetitions)
+    for r in range(repetitions):
+        times[r], energies[r] = _run_once(app, device)
+    return float(np.median(times)), float(np.median(energies)), times, energies
+
+
+def characterize(
+    app: Application,
+    device: SynergyDevice,
+    freqs_mhz: Optional[Sequence[float]] = None,
+    repetitions: int = DEFAULT_REPETITIONS,
+) -> CharacterizationResult:
+    """Sweep ``app`` over ``freqs_mhz`` on ``device`` (paper §5.1 protocol).
+
+    Parameters
+    ----------
+    app:
+        The application to characterize.
+    device:
+        Target device handle (its sensors supply measurement noise).
+    freqs_mhz:
+        Frequencies to sweep; defaults to every supported frequency.
+    repetitions:
+        Measurement repetitions per point (default 5, as in the paper).
+
+    Returns
+    -------
+    CharacterizationResult
+        Baseline plus one :class:`FrequencySample` per swept frequency.
+    """
+    repetitions = check_positive_int(repetitions, "repetitions")
+    if freqs_mhz is None:
+        sweep = [float(f) for f in device.supported_frequencies()]
+    else:
+        sweep = sorted(float(device.gpu.spec.core_freqs.snap(f)) for f in freqs_mhz)
+        if len(set(sweep)) != len(sweep):
+            raise ConfigurationError("frequency sweep contains duplicate bins after snapping")
+    if not sweep:
+        raise ConfigurationError("frequency sweep is empty")
+
+    # Baseline: default clock (NVIDIA) or automatic governor (AMD).
+    device.reset_frequency()
+    base_time, base_energy, _, _ = _measure(app, device, repetitions)
+    if base_energy <= 0 or base_time <= 0:
+        raise ConfigurationError(
+            f"{app.name}: baseline measurement is below the sensor resolution; "
+            "run a larger workload (more steps/iterations) so energy is measurable"
+        )
+    if device.default_frequency_mhz is not None:
+        baseline_label = "default configuration"
+        baseline_freq: Optional[float] = device.default_frequency_mhz
+    else:
+        baseline_label = "AMD auto freq"
+        baseline_freq = None
+
+    result = CharacterizationResult(
+        app_name=app.name,
+        device_name=device.name,
+        baseline_label=baseline_label,
+        baseline_freq_mhz=baseline_freq,
+        baseline_time_s=base_time,
+        baseline_energy_j=base_energy,
+    )
+    for freq in sweep:
+        actual = device.set_core_frequency(freq)
+        t, e, times, energies = _measure(app, device, repetitions)
+        result.samples.append(
+            FrequencySample(
+                freq_mhz=actual,
+                time_s=t,
+                energy_j=e,
+                rep_times_s=times,
+                rep_energies_j=energies,
+            )
+        )
+    device.reset_frequency()
+    return result

@@ -1,0 +1,52 @@
+"""Shared utilities: validation, RNG handling, units, and ASCII reporting.
+
+These helpers are deliberately dependency-light so that every other
+subpackage (hardware simulator, applications, ML substrate, experiment
+harness) can use them without import cycles.
+"""
+
+from repro.utils.validation import (
+    check_finite_array,
+    check_in_range,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    ensure_1d,
+    ensure_2d,
+)
+from repro.utils.rng import RandomState, as_generator, spawn_child
+from repro.utils.units import (
+    JOULES_PER_KILOJOULE,
+    hz_to_mhz,
+    joules_to_kilojoules,
+    kilojoules_to_joules,
+    mhz_to_hz,
+    seconds_to_milliseconds,
+    watts,
+)
+from repro.utils.tables import AsciiTable, format_float, render_kv_block
+
+__all__ = [
+    "AsciiTable",
+    "JOULES_PER_KILOJOULE",
+    "RandomState",
+    "as_generator",
+    "check_finite_array",
+    "check_in_range",
+    "check_non_negative_int",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "ensure_1d",
+    "ensure_2d",
+    "format_float",
+    "hz_to_mhz",
+    "joules_to_kilojoules",
+    "kilojoules_to_joules",
+    "mhz_to_hz",
+    "render_kv_block",
+    "seconds_to_milliseconds",
+    "spawn_child",
+    "watts",
+]

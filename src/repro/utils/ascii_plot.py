@@ -1,0 +1,101 @@
+"""ASCII scatter plots.
+
+The paper's characterization figures are speedup-vs-normalized-energy
+scatters with a highlighted Pareto front; these helpers render the same
+view in a terminal, so the benchmark artifacts and examples can show the
+*shape* of each figure, not just its numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, ensure_1d
+
+__all__ = ["ascii_scatter"]
+
+
+def ascii_scatter(
+    x,
+    y,
+    *,
+    width: int = 64,
+    height: int = 20,
+    marker: str = "o",
+    highlight_mask: Optional[Sequence[bool]] = None,
+    highlight_marker: str = "*",
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Render a scatter plot as monospace text.
+
+    Parameters
+    ----------
+    x, y:
+        Point coordinates (equal length).
+    width, height:
+        Plot area size in characters (axes add a margin).
+    marker, highlight_marker:
+        Glyphs for normal and highlighted points; highlighted points are
+        drawn last so they win cell collisions (e.g. the Pareto front).
+    highlight_mask:
+        Optional boolean mask selecting highlighted points.
+    x_label, y_label, title:
+        Axis labels and optional title.
+    """
+    xs = ensure_1d(x, "x")
+    ys = ensure_1d(y, "y")
+    if xs.shape != ys.shape:
+        raise ValueError("x and y must have the same length")
+    if xs.size == 0:
+        raise ValueError("nothing to plot")
+    width = check_positive_int(width, "width")
+    height = check_positive_int(height, "height")
+    if width < 8 or height < 4:
+        raise ValueError("plot area must be at least 8x4")
+    if highlight_mask is not None:
+        mask = np.asarray(highlight_mask, dtype=bool)
+        if mask.shape != xs.shape:
+            raise ValueError("highlight_mask must match the points")
+    else:
+        mask = np.zeros(xs.shape, dtype=bool)
+
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(px: float, py: float, glyph: str) -> None:
+        col = int(round((px - x_lo) / x_span * (width - 1)))
+        row = int(round((py - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = glyph
+
+    order = np.argsort(mask, kind="stable")  # highlighted drawn last
+    for i in order:
+        place(float(xs[i]), float(ys[i]), highlight_marker if mask[i] else marker)
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_tick = f"{y_hi:.3g}"
+    bottom_tick = f"{y_lo:.3g}"
+    label_w = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    lines.append(f"{y_label.rjust(label_w)} ")
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_tick.rjust(label_w)
+        elif r == height - 1:
+            prefix = bottom_tick.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(f"{' ' * label_w} +{'-' * width}")
+    x_axis = f"{x_lo:.3g}".ljust(width - len(f"{x_hi:.3g}")) + f"{x_hi:.3g}"
+    lines.append(f"{' ' * label_w}  {x_axis}")
+    lines.append(f"{' ' * label_w}  {x_label.center(width)}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""ASCII table rendering for benchmark/report output.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: figures become data-series tables (one row per point / frequency),
+and tables become ASCII tables. This module is the single formatter both
+use, so all harness output has a consistent look.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["AsciiTable", "format_float", "render_kv_block"]
+
+
+def format_float(value: Any, precision: int = 4) -> str:
+    """Format a number compactly: ints stay ints, floats get ``precision`` digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    try:
+        f = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return f"{f:.{precision}g}"
+
+
+class AsciiTable:
+    """Minimal monospace table builder.
+
+    Example
+    -------
+    >>> t = AsciiTable(["grid", "MAPE (GP)", "MAPE (DS)"], title="Fig 13a")
+    >>> t.add_row(["10x4x4", 0.21, 0.012])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        *,
+        title: Optional[str] = None,
+        precision: int = 4,
+    ) -> None:
+        if not columns:
+            raise ValueError("columns must be non-empty")
+        self.columns: List[str] = [str(c) for c in columns]
+        self.title = title
+        self.precision = int(precision)
+        self._rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append a row; must have exactly one cell per column."""
+        cells = [format_float(v, self.precision) for v in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(cells)
+
+    def add_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(row)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as a string with a header rule and aligned cells."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(fmt_row(self.columns))
+        lines.append(sep)
+        lines.extend(fmt_row(r) for r in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()
+
+
+def render_kv_block(items: Mapping[str, Any], *, title: Optional[str] = None) -> str:
+    """Render a key/value mapping as an aligned block (used for run summaries)."""
+    if not items:
+        return f"== {title} ==" if title else ""
+    width = max(len(str(k)) for k in items)
+    lines = [f"== {title} =="] if title else []
+    for key, value in items.items():
+        lines.append(f"{str(key).ljust(width)} : {format_float(value)}")
+    return "\n".join(lines)

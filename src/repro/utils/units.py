@@ -1,0 +1,59 @@
+"""Unit conventions and conversions.
+
+Internal conventions used throughout the library:
+
+- frequency: **MHz** (matches the paper's figures and GPU vendor tables)
+- time: **seconds**
+- energy: **joules** (figures 6-9 in the paper plot kJ; conversion helpers
+  are provided)
+- power: **watts**
+
+Keeping a single conventions module avoids the classic simulator bug of
+mixing Hz and MHz in the power model.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "JOULES_PER_KILOJOULE",
+    "hz_to_mhz",
+    "joules_to_kilojoules",
+    "kilojoules_to_joules",
+    "mhz_to_hz",
+    "seconds_to_milliseconds",
+    "watts",
+]
+
+JOULES_PER_KILOJOULE = 1000.0
+
+
+def mhz_to_hz(freq_mhz: float) -> float:
+    """Convert MHz to Hz."""
+    return float(freq_mhz) * 1e6
+
+
+def hz_to_mhz(freq_hz: float) -> float:
+    """Convert Hz to MHz."""
+    return float(freq_hz) / 1e6
+
+
+def joules_to_kilojoules(energy_j: float) -> float:
+    """Convert joules to kilojoules (paper's figures 6-9 use kJ)."""
+    return float(energy_j) / JOULES_PER_KILOJOULE
+
+
+def kilojoules_to_joules(energy_kj: float) -> float:
+    """Convert kilojoules to joules."""
+    return float(energy_kj) * JOULES_PER_KILOJOULE
+
+
+def seconds_to_milliseconds(t_s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(t_s) * 1e3
+
+
+def watts(energy_j: float, time_s: float) -> float:
+    """Average power in watts for ``energy_j`` consumed over ``time_s``."""
+    if time_s <= 0:
+        raise ValueError(f"time_s must be positive, got {time_s}")
+    return float(energy_j) / float(time_s)

@@ -1,0 +1,134 @@
+"""Integration tests for the distributed applications."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterNode,
+    DistributedCronos,
+    DistributedLigen,
+    characterize_cluster,
+)
+from repro.cronos.grid import Grid3D
+from repro.hw import create_device
+from repro.ligen.docking import DockingParams
+
+
+class TestDistributedCronos:
+    def test_report_structure(self):
+        cluster = Cluster.homogeneous(n_nodes=2, gpus_per_node=2)
+        report = DistributedCronos(Grid3D(160, 64, 64), n_steps=3).run(cluster)
+        assert report.n_ranks == 4
+        assert report.wall_time_s > 0
+        assert report.gpu_energy_j > 0
+        assert report.host_energy_j > 0
+        assert 0.0 <= report.comm_fraction < 1.0
+
+    def test_single_gpu_has_no_comm(self):
+        cluster = Cluster.homogeneous(n_nodes=1, gpus_per_node=1)
+        report = DistributedCronos(Grid3D(40, 16, 16), n_steps=3).run(cluster)
+        assert report.comm_time_s == 0.0
+
+    def test_strong_scaling_speeds_up(self):
+        """More GPUs on a large grid => shorter wall time."""
+        app = DistributedCronos(Grid3D(160, 64, 64), n_steps=3)
+        t1 = app.run(Cluster.homogeneous(1, 1)).wall_time_s
+        t4 = app.run(Cluster.homogeneous(1, 4)).wall_time_s
+        assert t4 < t1
+        # parallel efficiency above 50% at this scale
+        assert t1 / t4 > 2.0
+
+    def test_scaling_efficiency_degrades_for_small_grids(self):
+        """Tiny grids are communication/overhead dominated: the speedup
+        from 4 GPUs must be far from ideal."""
+        app = DistributedCronos(Grid3D(20, 8, 8), n_steps=3)
+        t1 = app.run(Cluster.homogeneous(1, 1)).wall_time_s
+        t4 = app.run(Cluster.homogeneous(1, 4)).wall_time_s
+        assert t1 / t4 < 3.0
+
+    def test_multi_node_pays_interconnect(self):
+        app = DistributedCronos(Grid3D(160, 64, 64), n_steps=3)
+        intra = app.run(Cluster.homogeneous(1, 4))
+        inter = app.run(Cluster.homogeneous(4, 1))
+        assert inter.comm_time_s > intra.comm_time_s
+
+    def test_halo_bytes(self):
+        app = DistributedCronos(Grid3D(64, 64, 64))
+        bytes_ = app.halo_bytes((32, 32, 32))
+        # 6 faces x 32^2 x 2 layers x 8 vars x 8 B
+        assert bytes_ == pytest.approx(6 * 32 * 32 * 2 * 8 * 8.0)
+
+
+class TestDistributedLigen:
+    def test_report(self):
+        cluster = Cluster.homogeneous(n_nodes=1, gpus_per_node=4)
+        app = DistributedLigen(20000, 31, 4, batch_size=2048)
+        report = app.run(cluster)
+        assert report.wall_time_s > 0
+        assert report.comm_time_s == 0.0  # embarrassingly parallel
+
+    def test_scales_with_gpus(self):
+        app = DistributedLigen(40000, 31, 8, batch_size=2048)
+        t1 = app.run(Cluster.homogeneous(1, 1)).wall_time_s
+        t4 = app.run(Cluster.homogeneous(1, 4)).wall_time_s
+        assert t1 / t4 > 3.0  # near-linear for an embarrassingly parallel app
+
+    def test_dynamic_schedule_balances_mixed_cluster(self):
+        """On a V100+MI100 cluster the makespan must beat a static 50/50
+        split (the faster V100 absorbs more batches)."""
+        app = DistributedLigen(40000, 89, 8, batch_size=1000)
+        mixed = Cluster(
+            [
+                ClusterNode("nv", [create_device("v100")]),
+                ClusterNode("amd", [create_device("mi100")]),
+            ]
+        )
+        report = app.run(mixed)
+
+        # static split: each device takes half the batches
+        v100 = create_device("v100")
+        mi100 = create_device("mi100")
+        from repro.ligen.gpu_costs import screening_launches
+
+        half = screening_launches(20000, 89, 8, params=DockingParams.production(),
+                                  batch_size=1000)
+        v100.launch_many(half)
+        mi100.launch_many(half)
+        static_makespan = max(v100.time_counter_s, mi100.time_counter_s)
+        assert report.wall_time_s < static_makespan
+
+    def test_tail_idle_counted(self):
+        """The last straggler defines the wall clock; other GPUs' idle
+        tail energy must be included."""
+        cluster = Cluster.homogeneous(n_nodes=1, gpus_per_node=3)
+        app = DistributedLigen(1000, 31, 4, batch_size=1000)  # one batch only
+        report = app.run(cluster)
+        # one GPU worked, all three burned idle/host power for the wall time
+        assert report.gpu_energy_j > 0
+        gpus = [g for _, g in cluster.all_gpus()]
+        assert sum(g.launch_count for g in gpus) == 2  # dock + score once
+
+
+class TestClusterCharacterization:
+    def test_profile_shapes(self):
+        cluster = Cluster.homogeneous(n_nodes=1, gpus_per_node=2)
+        app = DistributedCronos(Grid3D(80, 32, 32), n_steps=2)
+        profile = characterize_cluster(app, cluster, freqs_mhz=[600.0, 1282.0, 1597.0])
+        assert profile.freqs_mhz.shape == (3,)
+        sp = profile.speedups()
+        ne = profile.normalized_energies()
+        assert np.all(sp > 0) and np.all(ne > 0)
+
+    def test_host_power_shifts_optimum_up(self):
+        """Including host energy must make low clocks less attractive
+        than the GPU-only view suggests."""
+        cluster = Cluster.homogeneous(n_nodes=1, gpus_per_node=2, host_power_w=400.0)
+        app = DistributedCronos(Grid3D(160, 64, 64), n_steps=2)
+        profile = characterize_cluster(
+            app, cluster, freqs_mhz=[450.0, 700.0, 900.0, 1282.0]
+        )
+        with_host = profile.normalized_energies(include_host=True)
+        gpu_only = profile.normalized_energies(include_host=False)
+        # at the lowest clock, host energy erodes the relative saving
+        assert with_host[0] > gpu_only[0]

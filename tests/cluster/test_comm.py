@@ -1,0 +1,55 @@
+"""Unit tests for the interconnect model."""
+
+import pytest
+
+from repro.cluster.comm import INFINIBAND_HDR, NVLINK, Interconnect
+
+
+class TestTransferTime:
+    def test_latency_floor(self):
+        link = Interconnect("l", latency_s=1e-6, bandwidth_bytes_s=1e9)
+        assert link.transfer_time_s(1) == pytest.approx(1e-6 + 1e-9)
+
+    def test_bandwidth_dominates_large_messages(self):
+        link = Interconnect("l", latency_s=1e-6, bandwidth_bytes_s=1e9)
+        t = link.transfer_time_s(1e9)
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_message_count_multiplies_latency(self):
+        link = Interconnect("l", latency_s=1e-6, bandwidth_bytes_s=1e9)
+        t1 = link.transfer_time_s(1000, n_messages=1)
+        t6 = link.transfer_time_s(1000, n_messages=6)
+        assert t6 - t1 == pytest.approx(5e-6)
+
+    def test_zero_bytes_free(self):
+        assert INFINIBAND_HDR.transfer_time_s(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            INFINIBAND_HDR.transfer_time_s(-1)
+        with pytest.raises(ValueError):
+            INFINIBAND_HDR.transfer_time_s(10, n_messages=0)
+        with pytest.raises(ValueError):
+            Interconnect("x", latency_s=0.0, bandwidth_bytes_s=1e9)
+
+
+class TestAllreduce:
+    def test_single_rank_free(self):
+        assert INFINIBAND_HDR.allreduce_time_s(1024, 1) == 0.0
+
+    def test_grows_with_ranks(self):
+        t2 = INFINIBAND_HDR.allreduce_time_s(8, 2)
+        t16 = INFINIBAND_HDR.allreduce_time_s(8, 16)
+        assert t16 > t2
+
+    def test_volume_term_bounded(self):
+        """Ring allreduce moves < 2x the data regardless of rank count."""
+        n_bytes = 1e8
+        t = INFINIBAND_HDR.allreduce_time_s(n_bytes, 1000)
+        volume_time = 2.0 * n_bytes / INFINIBAND_HDR.bandwidth_bytes_s
+        latency_time = 2 * 999 * INFINIBAND_HDR.latency_s
+        assert t <= volume_time + latency_time + 1e-12
+
+
+def test_nvlink_faster_than_ib():
+    assert NVLINK.bandwidth_bytes_s > INFINIBAND_HDR.bandwidth_bytes_s

@@ -1,0 +1,105 @@
+"""Unit tests for cluster topology and domain decomposition."""
+
+import pytest
+
+from repro.cluster.topology import Cluster, ClusterNode, decompose_grid, subgrid_shape
+from repro.cronos.grid import Grid3D
+from repro.errors import ConfigurationError
+from repro.hw import create_device
+
+
+class TestClusterConstruction:
+    def test_homogeneous_factory(self):
+        c = Cluster.homogeneous(n_nodes=3, gpus_per_node=4)
+        assert c.n_gpus == 12
+        assert len(c.nodes) == 3
+        assert all(g.vendor == "nvidia" for _, g in c.all_gpus())
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([])
+
+    def test_duplicate_node_names_rejected(self):
+        n1 = ClusterNode("a", [create_device("v100")])
+        n2 = ClusterNode("a", [create_device("v100")])
+        with pytest.raises(ConfigurationError):
+            Cluster([n1, n2])
+
+    def test_node_needs_gpu(self):
+        with pytest.raises(ConfigurationError):
+            ClusterNode("a", [])
+
+    def test_mixed_vendor_cluster(self):
+        nodes = [
+            ClusterNode("nv", [create_device("v100")]),
+            ClusterNode("amd", [create_device("mi100")]),
+        ]
+        c = Cluster(nodes)
+        vendors = {g.vendor for _, g in c.all_gpus()}
+        assert vendors == {"nvidia", "amd"}
+
+
+class TestInterconnectSelection:
+    def test_intra_vs_inter_node(self):
+        c = Cluster.homogeneous(n_nodes=2, gpus_per_node=2)
+        assert c.interconnect_for(0, 1) is c.intra_node
+        assert c.interconnect_for(0, 2) is c.inter_node
+        assert c.interconnect_for(2, 3) is c.intra_node
+
+    def test_invalid_rank(self):
+        c = Cluster.homogeneous(n_nodes=1, gpus_per_node=2)
+        with pytest.raises(ConfigurationError):
+            c.interconnect_for(0, 5)
+
+
+class TestFrequencyControl:
+    def test_uniform_pin_and_reset(self):
+        c = Cluster.homogeneous(n_nodes=2, gpus_per_node=2)
+        c.set_uniform_frequency(900.0)
+        for _, gpu in c.all_gpus():
+            assert gpu.pinned_frequency_mhz == pytest.approx(899.7, abs=1.0)
+        c.set_uniform_frequency(None)
+        for _, gpu in c.all_gpus():
+            assert gpu.pinned_frequency_mhz == gpu.default_frequency_mhz
+
+    def test_counters_reset(self):
+        from repro.kernels.ir import KernelLaunch, KernelSpec
+
+        c = Cluster.homogeneous(n_nodes=1, gpus_per_node=2)
+        k = KernelLaunch(KernelSpec("k", float_add=100, global_access=2), threads=10_000)
+        for _, gpu in c.all_gpus():
+            gpu.launch(k)
+        assert c.gpu_energy_j() > 0
+        c.reset_counters()
+        assert c.gpu_energy_j() == 0.0
+
+
+class TestDecomposition:
+    def test_single_rank_trivial(self):
+        assert decompose_grid(Grid3D(160, 64, 64), 1) == (1, 1, 1)
+
+    def test_factors_multiply_to_ranks(self):
+        for n in (2, 4, 6, 8, 12, 16):
+            px, py, pz = decompose_grid(Grid3D(160, 64, 64), n)
+            assert px * py * pz == n
+
+    def test_minimizes_surface(self):
+        """For a cubic grid and 8 ranks, the 2x2x2 split is optimal."""
+        factors = decompose_grid(Grid3D(64, 64, 64), 8)
+        assert sorted(factors) == [2, 2, 2]
+
+    def test_elongated_grid_split_along_long_axis(self):
+        """A 160x4x4 bar over 2 ranks must split along x."""
+        assert decompose_grid(Grid3D(160, 4, 4), 2) == (2, 1, 1)
+
+    def test_subgrid_shape_ceil_division(self):
+        assert subgrid_shape(Grid3D(10, 4, 4), (3, 1, 1)) == (4, 4, 4)
+
+    def test_decomposition_covers_grid(self):
+        g = Grid3D(160, 64, 64)
+        for n in (2, 4, 8, 16):
+            px, py, pz = decompose_grid(g, n)
+            sx, sy, sz = subgrid_shape(g, (px, py, pz))
+            assert sx * px >= g.nx
+            assert sy * py >= g.ny
+            assert sz * pz >= g.nz

@@ -1,0 +1,52 @@
+"""Unit tests for cluster-level characterization profiles."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, DistributedLigen, characterize_cluster
+from repro.cluster.tuning import ClusterProfile
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def profile():
+    cluster = Cluster.homogeneous(n_nodes=1, gpus_per_node=2, host_power_w=300.0)
+    app = DistributedLigen(20000, 63, 8, batch_size=4096)
+    return characterize_cluster(app, cluster, freqs_mhz=[600.0, 900.0, 1282.0, 1597.0])
+
+
+class TestCharacterizeCluster:
+    def test_profile_fields(self, profile):
+        assert profile.app_name == "dligen-20000l-63a-8f"
+        assert profile.freqs_mhz.shape == (4,)
+        assert profile.baseline_wall_s > 0
+        assert profile.baseline_total_j > profile.baseline_gpu_j > 0
+
+    def test_speedup_normalization(self, profile):
+        sp = profile.speedups()
+        # baseline is the default clock; sweep contains ~1282 -> sp ~ 1
+        idx = int(np.argmin(np.abs(profile.freqs_mhz - 1282.1)))
+        assert sp[idx] == pytest.approx(1.0, abs=0.05)
+
+    def test_compute_bound_speedup_monotone(self, profile):
+        assert np.all(np.diff(profile.speedups()) > 0)
+
+    def test_host_energy_view_differs(self, profile):
+        total = profile.normalized_energies(include_host=True)
+        gpu = profile.normalized_energies(include_host=False)
+        assert not np.allclose(total, gpu)
+        # at the lowest clock the total view is strictly less favourable
+        assert total[0] > gpu[0]
+
+    def test_frequencies_restored_after_sweep(self):
+        cluster = Cluster.homogeneous(n_nodes=1, gpus_per_node=2)
+        app = DistributedLigen(5000, 31, 4, batch_size=2048)
+        characterize_cluster(app, cluster, freqs_mhz=[900.0, 1282.0])
+        for _, gpu in cluster.all_gpus():
+            assert gpu.pinned_frequency_mhz == gpu.default_frequency_mhz
+
+    def test_empty_sweep_rejected(self):
+        cluster = Cluster.homogeneous(n_nodes=1, gpus_per_node=1)
+        app = DistributedLigen(1000, 31, 4)
+        with pytest.raises(ConfigurationError):
+            characterize_cluster(app, cluster, freqs_mhz=[])

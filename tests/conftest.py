@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+Device fixtures are function-scoped (devices carry counters and pinned
+clocks); campaign fixtures are session-scoped because characterization
+sweeps are the expensive part of the suite and are read-only for every
+consumer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import create_device
+from repro.synergy import Platform, SynergyDevice
+
+
+@pytest.fixture
+def v100():
+    """A fresh simulated V100."""
+    return create_device("v100")
+
+
+@pytest.fixture
+def mi100():
+    """A fresh simulated MI100."""
+    return create_device("mi100")
+
+
+@pytest.fixture
+def v100_dev():
+    """A V100 SYnergy handle with deterministic sensors."""
+    return Platform.default(seed=123).get_device("v100")
+
+
+@pytest.fixture
+def mi100_dev():
+    """An MI100 SYnergy handle with deterministic sensors."""
+    return Platform.default(seed=123).get_device("mi100")
+
+
+@pytest.fixture
+def ideal_v100_dev():
+    """A V100 handle with noiseless sensors (separates model from noise)."""
+    return Platform.default(seed=123, ideal_sensors=True).get_device("v100")
+
+
+@pytest.fixture(scope="session")
+def small_freqs():
+    """A 7-point frequency ladder spanning the V100 range."""
+    return [135.0, 600.0, 900.0, 1100.0, 1282.0, 1450.0, 1597.0]
+
+
+@pytest.fixture(scope="session")
+def cronos_campaign_small():
+    """A tiny Cronos campaign shared by modeling/evaluation tests."""
+    from repro.experiments import build_cronos_campaign
+
+    device = Platform.default(seed=7).get_device("v100")
+    return build_cronos_campaign(
+        device,
+        grids=((10, 4, 4), (20, 8, 8), (40, 16, 16)),
+        freq_count=8,
+        n_steps=5,
+        repetitions=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def ligen_campaign_small():
+    """A tiny LiGen campaign shared by modeling/evaluation tests."""
+    from repro.experiments import build_ligen_campaign
+
+    device = Platform.default(seed=7).get_device("v100")
+    return build_ligen_campaign(
+        device,
+        ligand_counts=(2, 256, 4096),
+        atom_counts=(31, 89),
+        fragment_counts=(4, 20),
+        freq_count=8,
+        repetitions=2,
+    )

@@ -1,0 +1,80 @@
+"""Unit tests for boundary conditions."""
+
+import numpy as np
+import pytest
+
+from repro.cronos.boundary import BoundaryKind, apply_boundary
+from repro.cronos.grid import NGHOST, Grid3D
+from repro.cronos.state import BX, MX, RHO, MHDState
+
+
+def ramp_state(g):
+    """State whose density encodes the cell's x-index (easy to check)."""
+    st = MHDState.zeros(g)
+    interior = st.u[(slice(None), *g.interior)]
+    x_idx = np.arange(g.nx, dtype=float)
+    st.u[(RHO, *g.interior)] = np.broadcast_to(x_idx, g.shape)
+    st.u[(MX, *g.interior)] = np.broadcast_to(x_idx + 100.0, g.shape)
+    st.u[(BX, *g.interior)] = np.broadcast_to(x_idx + 200.0, g.shape)
+    return st
+
+
+class TestPeriodic:
+    def test_wraparound_x(self):
+        g = Grid3D(8, 4, 4)
+        st = ramp_state(g)
+        apply_boundary(st, BoundaryKind.PERIODIC)
+        # left ghosts along x = last interior cells
+        assert st.u[RHO, NGHOST, NGHOST, 0] == pytest.approx(g.nx - 2)
+        assert st.u[RHO, NGHOST, NGHOST, 1] == pytest.approx(g.nx - 1)
+        # right ghosts = first interior cells
+        assert st.u[RHO, NGHOST, NGHOST, -2] == pytest.approx(0.0)
+        assert st.u[RHO, NGHOST, NGHOST, -1] == pytest.approx(1.0)
+
+    def test_interior_untouched(self):
+        g = Grid3D(6, 6, 6)
+        st = ramp_state(g)
+        before = st.interior().copy()
+        apply_boundary(st, BoundaryKind.PERIODIC)
+        assert np.array_equal(st.interior(), before)
+
+
+class TestOutflow:
+    def test_zero_gradient(self):
+        g = Grid3D(8, 4, 4)
+        st = ramp_state(g)
+        apply_boundary(st, BoundaryKind.OUTFLOW)
+        assert st.u[RHO, NGHOST, NGHOST, 0] == pytest.approx(0.0)
+        assert st.u[RHO, NGHOST, NGHOST, 1] == pytest.approx(0.0)
+        assert st.u[RHO, NGHOST, NGHOST, -1] == pytest.approx(g.nx - 1)
+
+
+class TestReflective:
+    def test_mirror_and_negate_normal_momentum(self):
+        g = Grid3D(8, 4, 4)
+        st = ramp_state(g)
+        apply_boundary(st, BoundaryKind.REFLECTIVE)
+        # ghost layer x=1 mirrors interior x=2 (first interior cell)
+        assert st.u[RHO, NGHOST, NGHOST, 1] == pytest.approx(0.0)
+        assert st.u[RHO, NGHOST, NGHOST, 0] == pytest.approx(1.0)
+        # normal momentum negated in ghosts
+        assert st.u[MX, NGHOST, NGHOST, 1] == pytest.approx(-100.0)
+        # normal field negated too
+        assert st.u[BX, NGHOST, NGHOST, 1] == pytest.approx(-200.0)
+
+    def test_tangential_momentum_not_negated(self):
+        from repro.cronos.state import MY
+
+        g = Grid3D(8, 4, 4)
+        st = ramp_state(g)
+        st.u[(MY, *g.interior)] = 7.0
+        apply_boundary(st, BoundaryKind.REFLECTIVE)
+        assert st.u[MY, NGHOST, NGHOST, 1] == pytest.approx(7.0)
+
+
+def test_all_axes_filled():
+    g = Grid3D(4, 5, 6)
+    st = MHDState.zeros(g)
+    st.u[(RHO, *g.interior)] = 3.0
+    apply_boundary(st, BoundaryKind.OUTFLOW)
+    assert st.u[RHO].min() == pytest.approx(3.0)

@@ -1,0 +1,54 @@
+"""Unit tests for the Cronos grid."""
+
+import pytest
+
+from repro.cronos.grid import NGHOST, Grid3D
+
+
+class TestGrid3D:
+    def test_spacing(self):
+        g = Grid3D(10, 20, 40, lx=1.0, ly=2.0, lz=4.0)
+        assert g.dx == pytest.approx(0.1)
+        assert g.dy == pytest.approx(0.1)
+        assert g.dz == pytest.approx(0.1)
+        assert g.spacing == (g.dz, g.dy, g.dx)
+
+    def test_shapes(self):
+        g = Grid3D(10, 4, 4)
+        assert g.shape == (4, 4, 10)
+        assert g.padded_shape == (4 + 2 * NGHOST, 4 + 2 * NGHOST, 10 + 2 * NGHOST)
+        assert g.n_cells == 160
+
+    def test_interior_slices(self):
+        import numpy as np
+
+        g = Grid3D(5, 6, 7)
+        arr = np.zeros(g.padded_shape)
+        assert arr[g.interior].shape == g.shape
+
+    def test_boundary_cell_count(self):
+        g = Grid3D(10, 4, 4)
+        pz, py, px = g.padded_shape
+        assert g.n_boundary_cells == pz * py * px - g.n_cells
+
+    def test_cell_centers_broadcastable(self):
+        import numpy as np
+
+        g = Grid3D(4, 5, 6)
+        z, y, x = g.cell_centers()
+        total = np.broadcast_shapes(z.shape, y.shape, x.shape)
+        assert total == g.shape
+
+    def test_cell_centers_in_domain(self):
+        g = Grid3D(8, 8, 8, lx=2.0)
+        _, _, x = g.cell_centers()
+        assert x.min() > 0 and x.max() < 2.0
+
+    def test_label_matches_paper_convention(self):
+        assert Grid3D(160, 64, 64).label() == "160x64x64"
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Grid3D(0, 4, 4)
+        with pytest.raises(ValueError):
+            Grid3D(4, 4, 4, lx=-1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the SSP-RK3 integrator stages."""
+
+import numpy as np
+import pytest
+
+from repro.cronos.integrator import SSP_RK3_COEFFS, integrate_substep, n_substeps
+
+
+def test_three_substeps():
+    """Algorithm 1 runs substeps 0..2."""
+    assert n_substeps() == 3
+
+
+def test_stage_weights_sum_to_one():
+    for a, b in SSP_RK3_COEFFS:
+        assert a + b == pytest.approx(1.0)
+
+
+class TestStages:
+    def test_stage0_is_forward_euler(self):
+        u0 = np.ones((8, 2, 2, 2))
+        L = np.full_like(u0, 0.5)
+        out = integrate_substep(u0, u0, L, dt=0.1, substep=0)
+        assert np.allclose(out, 1.05)
+
+    def test_stage1_convex_combination(self):
+        u0 = np.zeros((8, 1, 1, 1))
+        u1 = np.ones_like(u0)
+        L = np.zeros_like(u0)
+        out = integrate_substep(u0, u1, L, dt=0.1, substep=1)
+        assert np.allclose(out, 0.25)
+
+    def test_stage2_convex_combination(self):
+        u0 = np.zeros((8, 1, 1, 1))
+        u2 = np.ones_like(u0)
+        L = np.zeros_like(u0)
+        out = integrate_substep(u0, u2, L, dt=0.1, substep=2)
+        assert np.allclose(out, 2.0 / 3.0)
+
+    def test_third_order_on_linear_ode(self):
+        """u' = -u: one full RK3 step must match exp(-dt) to O(dt^4)."""
+        dt = 0.1
+        u0 = np.full((8, 1, 1, 1), 1.0)
+        u = u0.copy()
+        for stage in range(3):
+            u = integrate_substep(u0, u, -u, dt, stage)
+        exact = np.exp(-dt)
+        # RK3 local truncation error ~ dt^4/24
+        assert abs(u[0, 0, 0, 0] - exact) < dt**4
+
+    def test_fixed_point_of_zero_rhs(self):
+        u0 = np.random.default_rng(0).normal(size=(8, 2, 2, 2))
+        u = u0.copy()
+        for stage in range(3):
+            u = integrate_substep(u0, u, np.zeros_like(u0), 0.5, stage)
+        assert np.allclose(u, u0)
+
+
+class TestValidation:
+    def test_bad_substep(self):
+        u = np.zeros((8, 1, 1, 1))
+        with pytest.raises(ValueError):
+            integrate_substep(u, u, u, 0.1, 3)
+
+    def test_bad_dt(self):
+        u = np.zeros((8, 1, 1, 1))
+        with pytest.raises(ValueError):
+            integrate_substep(u, u, u, -0.1, 0)
+        with pytest.raises(ValueError):
+            integrate_substep(u, u, u, float("nan"), 0)
+
+    def test_shape_mismatch(self):
+        u = np.zeros((8, 2, 2, 2))
+        with pytest.raises(ValueError):
+            integrate_substep(u, u, np.zeros((8, 1, 1, 1)), 0.1, 0)

@@ -1,0 +1,99 @@
+"""Unit tests for the initial-condition library."""
+
+import numpy as np
+import pytest
+
+from repro.cronos.grid import Grid3D
+from repro.cronos.problems import blast_wave, brio_wu, orszag_tang, uniform_advection
+from repro.cronos.state import primitive_from_conserved
+
+
+def primitives_of(state):
+    return primitive_from_conserved(state.interior(), state.gamma)
+
+
+class TestUniformAdvection:
+    def test_velocity_uniform(self):
+        st = uniform_advection(Grid3D(8, 8, 8), velocity=(1.0, 0.5, 0.25))
+        prim = primitives_of(st)
+        assert np.allclose(prim[1], 1.0)
+        assert np.allclose(prim[2], 0.5)
+        assert np.allclose(prim[3], 0.25)
+
+    def test_pressure_uniform(self):
+        prim = primitives_of(uniform_advection(Grid3D(8, 8, 8)))
+        assert np.allclose(prim[4], 1.0)
+
+    def test_blob_centered(self):
+        g = Grid3D(16, 16, 16)
+        prim = primitives_of(uniform_advection(g, blob_amplitude=0.5))
+        rho = prim[0]
+        peak = np.unravel_index(np.argmax(rho), rho.shape)
+        assert all(abs(p - 7.5) <= 1.0 for p in peak)
+
+    def test_no_field(self):
+        prim = primitives_of(uniform_advection(Grid3D(4, 4, 4)))
+        assert np.allclose(prim[5:8], 0.0)
+
+
+class TestOrszagTang:
+    def test_uniform_along_z(self):
+        st = orszag_tang(Grid3D(16, 16, 4))
+        prim = primitives_of(st)
+        for comp in range(8):
+            assert np.allclose(prim[comp][0], prim[comp][2])
+
+    def test_velocity_pattern(self):
+        g = Grid3D(16, 16, 1)
+        prim = primitives_of(orszag_tang(g))
+        # vx = -sin(2 pi y): antisymmetric under y -> y + L/2
+        assert np.allclose(prim[1][0, :8, 0], -prim[1][0, 8:, 0], atol=1e-12)
+
+    def test_standard_density(self):
+        prim = primitives_of(orszag_tang(Grid3D(8, 8, 1)))
+        gamma = 5.0 / 3.0
+        assert np.allclose(prim[0], gamma**2 / (4 * np.pi))
+
+    def test_magnetic_field_nonzero(self):
+        prim = primitives_of(orszag_tang(Grid3D(8, 8, 1)))
+        assert np.abs(prim[5]).max() > 0
+        assert np.abs(prim[6]).max() > 0
+
+
+class TestBlastWave:
+    def test_pressure_contrast(self):
+        st = blast_wave(Grid3D(16, 16, 16), p_inside=10.0, p_outside=0.1, radius=0.2)
+        prim = primitives_of(st)
+        assert prim[4].max() == pytest.approx(10.0, rel=1e-6)
+        assert prim[4].min() == pytest.approx(0.1, rel=1e-6)
+
+    def test_inside_fraction_reasonable(self):
+        g = Grid3D(20, 20, 20)
+        st = blast_wave(g, radius=0.25)
+        prim = primitives_of(st)
+        frac = float((prim[4] > 1.0).mean())
+        sphere = 4.0 / 3.0 * np.pi * 0.25**3
+        assert frac == pytest.approx(sphere, rel=0.3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            blast_wave(Grid3D(4, 4, 4), p_inside=-1.0)
+
+
+class TestBrioWu:
+    def test_left_right_states(self):
+        g = Grid3D(32, 1, 1)
+        prim = primitives_of(brio_wu(g))
+        rho = prim[0][0, 0]
+        assert np.allclose(rho[: g.nx // 2], 1.0)
+        assert np.allclose(rho[g.nx // 2 :], 0.125)
+
+    def test_by_flip(self):
+        g = Grid3D(32, 1, 1)
+        prim = primitives_of(brio_wu(g))
+        by = prim[6][0, 0]
+        assert np.allclose(by[: g.nx // 2], 1.0)
+        assert np.allclose(by[g.nx // 2 :], -1.0)
+
+    def test_gamma_two(self):
+        assert brio_wu(Grid3D(8, 1, 1)).gamma == pytest.approx(2.0)

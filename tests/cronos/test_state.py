@@ -1,0 +1,92 @@
+"""Unit tests for the MHD state container and variable conversions."""
+
+import numpy as np
+import pytest
+
+from repro.cronos.grid import Grid3D
+from repro.cronos.state import (
+    BX,
+    ENERGY,
+    MX,
+    RHO,
+    MHDState,
+    conserved_from_primitive,
+    primitive_from_conserved,
+)
+
+
+def random_primitives(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    prim = np.empty((8, *shape))
+    prim[0] = rng.uniform(0.5, 2.0, shape)  # rho
+    prim[1:4] = rng.uniform(-1.0, 1.0, (3, *shape))  # v
+    prim[4] = rng.uniform(0.2, 3.0, shape)  # p
+    prim[5:8] = rng.uniform(-0.5, 0.5, (3, *shape))  # B
+    return prim
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        prim = random_primitives((4, 4, 4))
+        gamma = 5.0 / 3.0
+        back = primitive_from_conserved(conserved_from_primitive(prim, gamma), gamma)
+        assert np.allclose(back, prim, atol=1e-12)
+
+    def test_momentum_definition(self):
+        prim = random_primitives((2, 2, 2))
+        u = conserved_from_primitive(prim, 1.4)
+        assert np.allclose(u[MX], prim[0] * prim[1])
+
+    def test_energy_definition(self):
+        prim = np.zeros((8, 1, 1, 1))
+        prim[0] = 2.0  # rho
+        prim[1] = 3.0  # vx
+        prim[4] = 1.0  # p
+        prim[5] = 2.0  # Bx
+        gamma = 5.0 / 3.0
+        u = conserved_from_primitive(prim, gamma)
+        expected = 1.0 / (gamma - 1) + 0.5 * 2.0 * 9.0 + 0.5 * 4.0
+        assert u[ENERGY][0, 0, 0] == pytest.approx(expected)
+
+    def test_floors_applied(self):
+        u = np.zeros((8, 1, 1, 1))
+        u[RHO] = -1.0  # unphysical
+        prim = primitive_from_conserved(u, 1.4)
+        assert prim[0].min() > 0
+        assert prim[4].min() > 0
+
+    def test_magnetic_field_passthrough(self):
+        prim = random_primitives((2, 2, 2))
+        u = conserved_from_primitive(prim, 1.4)
+        assert np.array_equal(u[BX], prim[5])
+
+
+class TestMHDState:
+    def test_zeros_shape(self):
+        g = Grid3D(4, 5, 6)
+        st = MHDState.zeros(g)
+        assert st.u.shape == (8, *g.padded_shape)
+        assert st.interior().shape == (8, *g.shape)
+
+    def test_copy_is_deep(self):
+        st = MHDState.zeros(Grid3D(4, 4, 4))
+        cp = st.copy()
+        cp.u[RHO] += 1.0
+        assert st.u[RHO].max() == 0.0
+
+    def test_conserved_totals(self):
+        g = Grid3D(4, 4, 4)
+        st = MHDState.zeros(g)
+        st.u[(RHO, *g.interior)] = 2.0
+        vol = g.dx * g.dy * g.dz
+        assert st.total_mass() == pytest.approx(2.0 * g.n_cells * vol)
+
+    def test_shape_mismatch_rejected(self):
+        g = Grid3D(4, 4, 4)
+        with pytest.raises(ValueError):
+            MHDState(grid=g, u=np.zeros((8, 4, 4, 4)))
+
+    def test_bad_gamma_rejected(self):
+        g = Grid3D(4, 4, 4)
+        with pytest.raises(ValueError):
+            MHDState(grid=g, u=np.zeros((8, *g.padded_shape)), gamma=-1.0)

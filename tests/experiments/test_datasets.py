@@ -1,0 +1,58 @@
+"""Unit tests for campaign dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import build_cronos_campaign, build_ligen_campaign
+
+
+class TestCronosCampaign:
+    def test_structure(self, cronos_campaign_small):
+        c = cronos_campaign_small
+        assert len(c.characterizations) == 3
+        assert len(c.dataset) == 3 * len(c.freqs_mhz)
+        assert c.dataset.feature_names == ("f_grid_x", "f_grid_y", "f_grid_z")
+
+    def test_baseline_bin_included(self, cronos_campaign_small):
+        """The V100 default clock must be in every training sweep (the
+        DS model normalizes against it)."""
+        freqs = np.asarray(cronos_campaign_small.freqs_mhz)
+        assert np.any(np.abs(freqs - 1282.1) < 1.0)
+
+    def test_characterization_lookup(self, cronos_campaign_small):
+        char = cronos_campaign_small.characterization_for((10.0, 4.0, 4.0))
+        assert char.app_name == "cronos-10x4x4"
+
+    def test_lookup_unknown_raises(self, cronos_campaign_small):
+        with pytest.raises(KeyError):
+            cronos_campaign_small.characterization_for((999.0, 1.0, 1.0))
+
+    def test_dataset_groups_match_grids(self, cronos_campaign_small):
+        groups = cronos_campaign_small.dataset.groups()
+        assert len(np.unique(groups)) == 3
+
+
+class TestLigenCampaign:
+    def test_structure(self, ligen_campaign_small):
+        c = ligen_campaign_small
+        assert len(c.characterizations) == 3 * 2 * 2
+        assert c.dataset.feature_names == ("f_ligands", "f_fragments", "f_atoms")
+
+    def test_feature_tuples_are_lfa_order(self, ligen_campaign_small):
+        feats = ligen_campaign_small.dataset.distinct_features()
+        # (ligands, fragments, atoms)
+        assert (2.0, 4.0, 31.0) in feats
+        assert (4096.0, 20.0, 89.0) in feats
+
+    def test_energy_monotone_in_ligands(self, ligen_campaign_small):
+        c = ligen_campaign_small
+        small = c.characterization_for((2.0, 4.0, 31.0))
+        large = c.characterization_for((4096.0, 4.0, 31.0))
+        assert large.baseline_energy_j > small.baseline_energy_j
+
+
+def test_full_table_sweep_possible(v100_dev):
+    campaign = build_cronos_campaign(
+        v100_dev, grids=((10, 4, 4),), freq_count=None, n_steps=3, repetitions=1
+    )
+    assert len(campaign.freqs_mhz) == 196

@@ -1,0 +1,124 @@
+"""Unit tests for the SimulatedGPU device."""
+
+import pytest
+
+from repro.errors import DeviceError, FrequencyError
+from repro.hw.device import create_device
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+
+def k(threads=100_000):
+    spec = KernelSpec("k", float_add=500, float_mul=500, global_access=8)
+    return KernelLaunch(spec, threads=threads)
+
+
+class TestCreation:
+    def test_create_by_name(self):
+        assert create_device("v100").vendor == "nvidia"
+        assert create_device("MI100").vendor == "amd"
+
+    def test_unknown_name(self):
+        with pytest.raises(DeviceError):
+            create_device("h100")
+
+
+class TestFrequencyControl:
+    def test_nvidia_boots_at_default(self, v100):
+        assert not v100.is_auto_mode
+        assert v100.pinned_frequency_mhz == v100.default_frequency_mhz
+
+    def test_amd_boots_in_auto(self, mi100):
+        assert mi100.is_auto_mode
+        assert mi100.default_frequency_mhz is None
+
+    def test_set_snaps(self, v100):
+        actual = v100.set_core_frequency(1000.0)
+        assert actual in v100.spec.core_freqs
+        assert abs(actual - 1000.0) <= v100.spec.core_freqs.step_mhz()
+
+    def test_set_out_of_range(self, v100):
+        with pytest.raises(FrequencyError):
+            v100.set_core_frequency(5.0)
+
+    def test_reset_nvidia(self, v100):
+        v100.set_core_frequency(300.0)
+        v100.reset_frequency()
+        assert v100.pinned_frequency_mhz == v100.default_frequency_mhz
+
+    def test_reset_amd_restores_auto(self, mi100):
+        mi100.set_core_frequency(700.0)
+        assert not mi100.is_auto_mode
+        mi100.reset_frequency()
+        assert mi100.is_auto_mode
+
+    def test_frequency_for_pinned(self, v100):
+        v100.set_core_frequency(600.0)
+        assert v100.frequency_for(k()) == v100.pinned_frequency_mhz
+
+    def test_frequency_for_auto_uses_governor(self, mi100):
+        f = mi100.frequency_for(k())
+        assert f in mi100.spec.core_freqs
+
+
+class TestLaunchAndCounters:
+    def test_launch_advances_counters(self, v100):
+        r = v100.launch(k())
+        assert v100.time_counter_s == pytest.approx(r.time_s)
+        assert v100.energy_counter_j == pytest.approx(r.energy_j)
+        assert v100.launch_count == 1
+
+    def test_launch_many_order_preserving(self, v100):
+        results = v100.launch_many([k(), k(200_000)])
+        assert [r.kernel_name for r in results] == ["k", "k"]
+        assert v100.launch_count == 2
+
+    def test_energy_positive_and_power_sane(self, v100):
+        r = v100.launch(k())
+        assert r.energy_j > 0
+        assert 30.0 < r.power_w < 330.0
+
+    def test_faster_clock_less_time_for_compute_kernel(self, v100):
+        v100.set_core_frequency(600.0)
+        slow = v100.launch(k())
+        v100.set_core_frequency(1597.0)
+        fast = v100.launch(k())
+        assert fast.time_s < slow.time_s
+
+    def test_idle_accumulates(self, v100):
+        e = v100.idle(1.0)
+        assert e > 0
+        assert v100.time_counter_s == pytest.approx(1.0)
+
+    def test_idle_zero_duration(self, v100):
+        assert v100.idle(0.0) == 0.0
+
+    def test_idle_negative_rejected(self, v100):
+        with pytest.raises(ValueError):
+            v100.idle(-1.0)
+
+    def test_reset_counters(self, v100):
+        v100.launch(k())
+        v100.reset_counters()
+        assert v100.time_counter_s == 0.0
+        assert v100.energy_counter_j == 0.0
+        assert v100.launch_count == 0
+
+    def test_closed_device_rejects_use(self, v100):
+        v100.close()
+        with pytest.raises(DeviceError):
+            v100.launch(k())
+        with pytest.raises(DeviceError):
+            v100.set_core_frequency(600.0)
+
+
+class TestUtilizationPowerCoupling:
+    def test_narrow_kernel_draws_less_power(self, v100):
+        wide = v100.launch(k(threads=2_000_000))
+        narrow = v100.launch(k(threads=500))
+        assert narrow.power_w < wide.power_w
+
+    def test_deterministic(self):
+        a = create_device("v100").launch(k())
+        b = create_device("v100").launch(k())
+        assert a.time_s == b.time_s
+        assert a.energy_j == b.energy_j

@@ -1,0 +1,131 @@
+"""Unit tests for frequency tables and voltage curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrequencyError
+from repro.hw.dvfs import FrequencyTable, VoltageCurve
+
+
+class TestFrequencyTable:
+    def test_linear_v100_table(self):
+        t = FrequencyTable.linear(135.0, 1597.0, 196, default_mhz=1282.0)
+        assert len(t) == 196
+        assert t.min_mhz == pytest.approx(135.0)
+        assert t.max_mhz == pytest.approx(1597.0)
+        assert t.step_mhz() == pytest.approx(7.497, abs=0.01)
+
+    def test_default_is_snapped(self):
+        t = FrequencyTable.linear(100.0, 200.0, 11, default_mhz=151.0)
+        assert t.default_mhz == pytest.approx(150.0)
+
+    def test_no_default(self):
+        t = FrequencyTable.linear(100.0, 200.0, 11)
+        assert t.default_mhz is None
+
+    def test_snap_to_nearest(self):
+        t = FrequencyTable([100.0, 200.0, 300.0])
+        assert t.snap(240.0) == 200.0
+        assert t.snap(260.0) == 300.0
+
+    def test_snap_out_of_range_raises(self):
+        t = FrequencyTable([100.0, 200.0])
+        with pytest.raises(FrequencyError):
+            t.snap(500.0)
+        with pytest.raises(FrequencyError):
+            t.snap(1.0)
+
+    def test_snap_rejects_garbage(self):
+        t = FrequencyTable([100.0])
+        with pytest.raises(FrequencyError):
+            t.snap(-5.0)
+        with pytest.raises(FrequencyError):
+            t.snap(float("nan"))
+
+    def test_duplicates_collapsed_and_sorted(self):
+        t = FrequencyTable([300.0, 100.0, 300.0, 200.0])
+        assert list(t) == [100.0, 200.0, 300.0]
+
+    def test_contains(self):
+        t = FrequencyTable([100.0, 200.0])
+        assert 100.0 in t
+        assert 150.0 not in t
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([0.0, 100.0])
+
+    def test_subsample_includes_endpoints(self):
+        t = FrequencyTable.linear(135.0, 1597.0, 196)
+        sub = t.subsample(10)
+        assert sub[0] == pytest.approx(135.0)
+        assert sub[-1] == pytest.approx(1597.0)
+        assert len(sub) == 10
+
+    def test_subsample_full_when_count_large(self):
+        t = FrequencyTable([100.0, 200.0, 300.0])
+        assert t.subsample(10) == [100.0, 200.0, 300.0]
+
+    def test_subsample_requires_two(self):
+        t = FrequencyTable.linear(100.0, 200.0, 50)
+        with pytest.raises(ValueError):
+            t.subsample(1)
+
+    def test_freqs_mhz_returns_copy(self):
+        t = FrequencyTable([100.0, 200.0])
+        arr = t.freqs_mhz
+        arr[0] = 999.0
+        assert t.min_mhz == 100.0
+
+
+class TestVoltageCurve:
+    def make(self, exponent=1.0):
+        return VoltageCurve(
+            v_min=0.7, v_max=1.1, f_min_mhz=135.0, f_knee_mhz=900.0,
+            f_max_mhz=1597.0, exponent=exponent,
+        )
+
+    def test_flat_below_knee(self):
+        c = self.make()
+        assert c.voltage_at(135.0) == pytest.approx(0.7)
+        assert c.voltage_at(900.0) == pytest.approx(0.7)
+
+    def test_max_at_top(self):
+        assert self.make().voltage_at(1597.0) == pytest.approx(1.1)
+
+    def test_monotone_nondecreasing(self):
+        c = self.make(exponent=2.0)
+        f = np.linspace(135.0, 1597.0, 100)
+        v = c.voltage_at(f)
+        assert np.all(np.diff(v) >= -1e-12)
+
+    def test_superlinear_exponent_concentrates_rise(self):
+        lin = self.make(exponent=1.0)
+        sq = self.make(exponent=2.0)
+        mid = 1200.0
+        assert sq.voltage_at(mid) < lin.voltage_at(mid)
+
+    def test_normalized_v2f_is_one_at_max(self):
+        assert self.make().normalized_v2f(1597.0) == pytest.approx(1.0)
+
+    def test_normalized_v2f_monotone(self):
+        c = self.make(exponent=2.0)
+        f = np.linspace(135.0, 1597.0, 200)
+        g = c.normalized_v2f(f)
+        assert np.all(np.diff(g) > 0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(FrequencyError):
+            self.make().voltage_at(50.0)
+        with pytest.raises(FrequencyError):
+            self.make().voltage_at(2000.0)
+
+    def test_invalid_curve_rejected(self):
+        with pytest.raises(ValueError):
+            VoltageCurve(v_min=1.2, v_max=1.0, f_min_mhz=100, f_knee_mhz=200, f_max_mhz=300)
+        with pytest.raises(ValueError):
+            VoltageCurve(v_min=0.7, v_max=1.0, f_min_mhz=300, f_knee_mhz=200, f_max_mhz=400)

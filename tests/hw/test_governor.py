@@ -1,0 +1,41 @@
+"""Unit tests for the AMD-style automatic governor."""
+
+import pytest
+
+from repro.hw.governor import AutoGovernor
+from repro.hw.specs import make_mi100_spec
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+
+@pytest.fixture
+def governor():
+    return AutoGovernor(make_mi100_spec())
+
+
+def test_compute_bound_gets_top_bin(governor):
+    spec = KernelSpec("c", float_add=4000, float_mul=4000, global_access=2)
+    launch = KernelLaunch(spec, threads=1_000_000)
+    assert governor.select_mhz(launch) == pytest.approx(1502.0)
+
+
+def test_memory_bound_backs_off_slightly(governor):
+    spec = KernelSpec("m", float_add=4, global_access=64)
+    launch = KernelLaunch(spec, threads=2_000_000)
+    f = governor.select_mhz(launch)
+    assert 0.85 * 1502.0 <= f < 1502.0
+
+
+def test_selected_frequency_is_in_table(governor):
+    spec = KernelSpec("m", float_add=4, global_access=64)
+    f = governor.select_mhz(KernelLaunch(spec, threads=2_000_000))
+    assert f in make_mi100_spec().core_freqs
+
+
+def test_baseline_near_top(governor):
+    base = governor.baseline_mhz()
+    assert base >= 0.9 * 1502.0
+
+
+def test_invalid_backoff_rejected():
+    with pytest.raises(ValueError):
+        AutoGovernor(make_mi100_spec(), memory_bound_backoff=0.9)

@@ -1,0 +1,81 @@
+"""Unit tests for the CMOS power model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.power import PowerModel
+from repro.hw.specs import make_v100_spec
+
+
+@pytest.fixture
+def pm():
+    return PowerModel(make_v100_spec())
+
+
+class TestBreakdown:
+    def test_idle_has_no_dynamic_terms(self, pm):
+        b = pm.breakdown(1282.0, 0.0, 0.0)
+        assert b.core_dyn_w == 0.0
+        assert b.mem_dyn_w == 0.0
+        assert b.static_w > 0.0
+
+    def test_total_is_sum(self, pm):
+        b = pm.breakdown(1282.0, 0.7, 0.4)
+        assert b.total_w == pytest.approx(
+            b.static_w + b.clock_w + b.core_dyn_w + b.mem_dyn_w
+        )
+
+    def test_full_load_at_peak_is_tdp(self, pm):
+        spec = make_v100_spec()
+        assert pm.power_w(spec.core_freqs.max_mhz, 1.0, 1.0) == pytest.approx(spec.tdp_w)
+
+    def test_power_monotone_in_frequency(self, pm):
+        f = np.linspace(135.0, 1597.0, 50)
+        p = [pm.power_w(x, 1.0, 0.5) for x in f]
+        assert np.all(np.diff(p) > 0)
+
+    def test_power_monotone_in_utilization(self, pm):
+        p_lo = pm.power_w(1282.0, 0.2, 0.2)
+        p_hi = pm.power_w(1282.0, 0.9, 0.9)
+        assert p_hi > p_lo
+
+    def test_superlinear_growth_above_knee(self, pm):
+        """V^2 f scaling: the last 25% of the range costs more than the
+        proportional share."""
+        p_mid = pm.power_w(1282.0, 1.0, 0.0)
+        p_top = pm.power_w(1597.0, 1.0, 0.0)
+        assert (p_top - p_mid) / p_mid > (1597.0 - 1282.0) / 1282.0
+
+    def test_mem_coupling_reduces_mem_power_at_low_clock(self, pm):
+        spec = make_v100_spec()
+        b_hi = pm.breakdown(spec.core_freqs.max_mhz, 0.0, 1.0)
+        b_lo = pm.breakdown(600.0, 0.0, 1.0)
+        assert b_lo.mem_dyn_w < b_hi.mem_dyn_w
+        # ...but never below the HBM-domain share
+        floor = spec.p_mem_dyn_w * (1.0 - spec.mem_freq_coupling)
+        assert b_lo.mem_dyn_w > floor * 0.99
+
+    def test_utilization_bounds_enforced(self, pm):
+        with pytest.raises(ValueError):
+            pm.power_w(1282.0, 1.2, 0.0)
+        with pytest.raises(ValueError):
+            pm.power_w(1282.0, 0.0, -0.1)
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self, pm):
+        p = pm.power_w(1282.0, 0.5, 0.5)
+        assert pm.energy_j(1282.0, 0.5, 0.5, exec_s=2.0) == pytest.approx(2.0 * p)
+
+    def test_idle_segment_accounted(self, pm):
+        e = pm.energy_j(1282.0, 1.0, 1.0, exec_s=1.0, idle_s=1.0)
+        assert e == pytest.approx(
+            pm.power_w(1282.0, 1.0, 1.0) + pm.idle_power_w(1282.0)
+        )
+
+    def test_negative_time_rejected(self, pm):
+        with pytest.raises(ValueError):
+            pm.energy_j(1282.0, 0.5, 0.5, exec_s=-1.0)
+
+    def test_idle_power_scales_with_clock(self, pm):
+        assert pm.idle_power_w(1597.0) > pm.idle_power_w(135.0)

@@ -1,0 +1,64 @@
+"""Unit tests for the simulated energy/time sensors."""
+
+import numpy as np
+import pytest
+
+from repro.hw.sensors import EnergySensor, TimeSensor
+
+
+class TestEnergySensor:
+    def test_ideal_sensor_is_exact_up_to_quantum(self):
+        s = EnergySensor(rel_noise=0.0, quantum_j=1e-9, seed=0)
+        assert s.read(1.23456789) == pytest.approx(1.23456789, abs=1e-8)
+
+    def test_quantization(self):
+        s = EnergySensor(rel_noise=0.0, quantum_j=0.5, seed=0)
+        assert s.read(1.3) == pytest.approx(1.5)
+        assert s.read(1.2) == pytest.approx(1.0)
+
+    def test_noise_statistics(self):
+        s = EnergySensor(rel_noise=0.02, quantum_j=1e-9, seed=42)
+        readings = np.array([s.read(100.0) for _ in range(800)])
+        assert readings.mean() == pytest.approx(100.0, rel=0.01)
+        assert readings.std() == pytest.approx(2.0, rel=0.25)
+
+    def test_never_negative(self):
+        s = EnergySensor(rel_noise=0.4, add_noise_j=1.0, quantum_j=1e-6, seed=1)
+        assert all(s.read(1e-9) >= 0.0 for _ in range(100))
+
+    def test_reproducible_with_seed(self):
+        a = [EnergySensor(seed=5).read(10.0) for _ in range(3)]
+        b = [EnergySensor(seed=5).read(10.0) for _ in range(3)]
+        # independent instances with the same seed give the same stream
+        assert a[0] == b[0]
+
+    def test_rejects_negative_truth(self):
+        with pytest.raises(ValueError):
+            EnergySensor(seed=0).read(-1.0)
+
+    def test_rejects_invalid_config(self):
+        with pytest.raises(ValueError):
+            EnergySensor(rel_noise=0.9)
+        with pytest.raises(ValueError):
+            EnergySensor(add_noise_j=-1.0)
+        with pytest.raises(ValueError):
+            EnergySensor(quantum_j=0.0)
+
+
+class TestTimeSensor:
+    def test_ideal(self):
+        s = TimeSensor(rel_noise=0.0, add_noise_s=0.0, seed=0)
+        assert s.read(0.5) == pytest.approx(0.5)
+
+    def test_floor_at_one_microsecond(self):
+        s = TimeSensor(rel_noise=0.0, add_noise_s=0.0, seed=0)
+        assert s.read(0.0) == pytest.approx(1e-6)
+
+    def test_noise_statistics(self):
+        s = TimeSensor(rel_noise=0.01, add_noise_s=0.0, seed=3)
+        readings = np.array([s.read(10.0) for _ in range(500)])
+        assert readings.mean() == pytest.approx(10.0, rel=0.005)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TimeSensor(seed=0).read(-0.1)

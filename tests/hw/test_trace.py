@@ -1,0 +1,109 @@
+"""Unit tests for power tracing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.trace import PowerSegment, PowerTrace, TracingGPU
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+
+def k(threads=200_000, name="k"):
+    return KernelLaunch(
+        KernelSpec(name, float_add=800, float_mul=600, global_access=12), threads=threads
+    )
+
+
+class TestPowerSegment:
+    def test_energy(self):
+        s = PowerSegment(t_start_s=1.0, t_end_s=3.0, power_w=50.0, label="x")
+        assert s.duration_s == 2.0
+        assert s.energy_j == 100.0
+
+
+class TestPowerTrace:
+    def make_trace(self):
+        return PowerTrace(
+            [
+                PowerSegment(0.0, 1.0, 100.0, "a"),
+                PowerSegment(1.0, 1.5, 200.0, "b"),
+                PowerSegment(2.0, 3.0, 50.0, "a"),  # gap between 1.5 and 2.0
+            ]
+        )
+
+    def test_totals(self):
+        t = self.make_trace()
+        assert t.total_energy_j() == pytest.approx(100 + 100 + 50)
+        assert t.duration_s == 3.0
+        assert t.peak_power_w() == 200.0
+        assert t.average_power_w() == pytest.approx(250.0 / 3.0)
+
+    def test_sampling_values(self):
+        t = self.make_trace()
+        times, powers = t.sample(0.5)
+        assert times.shape == powers.shape == (6,)
+        assert powers[0] == 100.0  # midpoint 0.25 in segment a
+        assert powers[2] == 200.0  # midpoint 1.25 in segment b
+        assert powers[3] == 0.0  # midpoint 1.75 in the gap
+        assert powers[5] == 50.0
+
+    def test_phase_energy(self):
+        t = self.make_trace()
+        phases = t.phase_energy()
+        assert phases["a"] == pytest.approx(150.0)
+        assert phases["b"] == pytest.approx(100.0)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerTrace(
+                [PowerSegment(0.0, 1.0, 1.0, "a"), PowerSegment(0.5, 1.5, 1.0, "b")]
+            )
+
+    def test_empty_trace(self):
+        t = PowerTrace([])
+        assert t.duration_s == 0.0
+        assert t.average_power_w() == 0.0
+        times, powers = t.sample(0.1)
+        assert times.size == 0
+
+
+class TestTracingGPU:
+    def test_trace_energy_matches_counter(self, v100):
+        tracer = TracingGPU(v100)
+        tracer.launch_many([k(), k(500_000), k(100_000)])
+        tracer.idle(0.01)
+        trace = tracer.trace()
+        assert trace.total_energy_j() == pytest.approx(v100.energy_counter_j, rel=1e-9)
+        assert trace.duration_s == pytest.approx(v100.time_counter_s, rel=1e-9)
+
+    def test_segments_labeled_by_kernel(self, v100):
+        tracer = TracingGPU(v100)
+        tracer.launch(k(name="alpha"))
+        tracer.launch(k(name="beta"))
+        labels = {s.label for s in tracer.trace().segments}
+        assert {"alpha", "beta", "launch_overhead"} <= labels
+
+    def test_phase_energy_ordering(self, v100):
+        """A kernel with 4x the threads must dominate the phase energy."""
+        tracer = TracingGPU(v100)
+        tracer.launch(k(threads=100_000, name="small"))
+        tracer.launch(k(threads=400_000, name="big"))
+        phases = tracer.trace().phase_energy()
+        assert phases["big"] > phases["small"]
+
+    def test_sampling_a_real_run(self, v100):
+        tracer = TracingGPU(v100)
+        tracer.launch_many([k() for _ in range(5)])
+        trace = tracer.trace()
+        times, powers = trace.sample(trace.duration_s / 50)
+        assert (powers > 0).sum() >= 40  # mostly busy
+        assert powers.max() <= 330.0
+
+    def test_frequency_visible_in_trace(self, v100):
+        tracer = TracingGPU(v100)
+        v100.set_core_frequency(1597.0)
+        tracer.launch(k(name="hot"))
+        v100.set_core_frequency(600.0)
+        tracer.launch(k(name="cool"))
+        phases = {s.label: s.power_w for s in tracer.trace().segments if s.label in ("hot", "cool")}
+        assert phases["hot"] > phases["cool"]

@@ -1,0 +1,127 @@
+"""Failure-injection tests: the library must fail loudly and recover cleanly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError, DeviceError
+from repro.hw import create_device
+from repro.kernels.ir import KernelLaunch, KernelSpec
+from repro.ligen.app import LigenApplication
+from repro.synergy import Platform, characterize
+from repro.synergy.runner import DEFAULT_REPETITIONS
+
+
+def k(threads=200_000):
+    return KernelLaunch(KernelSpec("k", float_add=800, global_access=8), threads=threads)
+
+
+class FlakyApp:
+    """Application that fails on its Nth run."""
+
+    name = "flaky"
+
+    def __init__(self, fail_on_run: int):
+        self.fail_on_run = fail_on_run
+        self.runs = 0
+
+    def run(self, gpu):
+        self.runs += 1
+        if self.runs == self.fail_on_run:
+            raise RuntimeError("injected failure")
+        gpu.launch(k())
+
+
+class TestDeviceFailures:
+    def test_closed_device_aborts_characterization(self, v100_dev):
+        v100_dev.gpu.close()
+        with pytest.raises(DeviceError):
+            characterize(LigenApplication(256, 31, 4), v100_dev, freqs_mhz=[900.0], repetitions=1)
+
+    def test_close_midway_leaves_consistent_error(self, v100_dev):
+        class Closer:
+            name = "closer"
+            runs = 0
+
+            def run(self, gpu):
+                Closer.runs += 1
+                if Closer.runs == 3:
+                    gpu.close()
+                gpu.launch(k())
+
+        with pytest.raises(DeviceError):
+            characterize(Closer(), v100_dev, freqs_mhz=[600.0, 900.0, 1200.0], repetitions=1)
+
+    def test_app_exception_propagates(self, v100_dev):
+        app = FlakyApp(fail_on_run=2)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            characterize(app, v100_dev, freqs_mhz=[600.0, 900.0], repetitions=1)
+
+    def test_device_usable_after_app_exception(self, v100_dev):
+        app = FlakyApp(fail_on_run=1)
+        with pytest.raises(RuntimeError):
+            characterize(app, v100_dev, freqs_mhz=[600.0], repetitions=1)
+        # the device is not poisoned: a fresh sweep works
+        result = characterize(
+            LigenApplication(256, 31, 4), v100_dev, freqs_mhz=[600.0, 1282.0], repetitions=1
+        )
+        assert len(result.samples) == 2
+
+    def test_power_cap_under_characterization(self, v100_dev):
+        """A power cap silently reshapes the sweep: the top bins get
+        throttled, so their measured times must converge."""
+        v100_dev.gpu.set_power_cap(140.0)
+        result = characterize(
+            LigenApplication(10000, 89, 20), v100_dev,
+            freqs_mhz=[900.0, 1282.0, 1450.0, 1597.0], repetitions=1,
+        )
+        times = result.times_s
+        # the capped bins collapse onto the same effective clock
+        assert times[-1] == pytest.approx(times[-2], rel=0.05)
+        assert v100_dev.gpu.throttle_count > 0
+
+
+class TestExtremeNoise:
+    def test_noisy_sensors_still_produce_valid_structure(self):
+        from repro.hw.sensors import EnergySensor, TimeSensor
+        from repro.synergy.api import SynergyDevice
+
+        dev = SynergyDevice(create_device("v100"), seed=3, ideal_sensors=True)
+        dev.energy_sensor = EnergySensor(rel_noise=0.3, seed=1)
+        dev.time_sensor = TimeSensor(rel_noise=0.3, seed=2)
+        result = characterize(
+            LigenApplication(1024, 31, 4), dev,
+            freqs_mhz=[600.0, 1282.0, 1597.0], repetitions=DEFAULT_REPETITIONS,
+        )
+        assert np.all(result.times_s > 0)
+        assert np.all(result.energies_j > 0)
+        assert np.isfinite(result.speedups()).all()
+
+
+class TestModelingFailures:
+    def test_missing_baseline_fails_with_guidance(self, ligen_campaign_small):
+        from repro.modeling.dataset import EnergyDataset, EnergySample
+        from repro.modeling.domain import DomainSpecificModel
+
+        ds = EnergyDataset(feature_names=("a",))
+        for f in (400.0, 800.0):
+            ds.add(EnergySample(features=(1.0,), freq_mhz=f, time_s=1.0, energy_j=1.0))
+            ds.add(EnergySample(features=(2.0,), freq_mhz=f, time_s=2.0, energy_j=2.0))
+        with pytest.raises(DatasetError, match="baseline"):
+            DomainSpecificModel(("a",)).fit(ds)
+
+    def test_corrupt_model_archive_rejected(self, tmp_path):
+        from repro.io import load_domain_model
+
+        path = tmp_path / "corrupt.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(Exception):
+            load_domain_model(path)
+
+    def test_tuning_with_contradictory_constraints(self):
+        from repro.synergy.tuning import TuningMetric, select_frequency
+
+        with pytest.raises(ConfigurationError):
+            select_frequency(
+                [600.0, 900.0], [0.5, 0.7], [0.8, 0.9],
+                TuningMetric.MIN_ENERGY, max_speedup_loss=0.0,
+            )

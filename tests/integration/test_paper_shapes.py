@@ -1,0 +1,172 @@
+"""Integration tests: the paper's qualitative DVFS shapes must hold.
+
+These are the DESIGN.md §5 "shape targets" — the reproduction's contract
+with the paper's characterization figures. Noise-free sensors are used so
+the assertions test the model, not the measurement jitter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cronos.app import CronosApplication
+from repro.ligen.app import LigenApplication
+from repro.synergy import Platform, characterize
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform.default(seed=5, ideal_sensors=True)
+
+
+@pytest.fixture(scope="module")
+def freqs():
+    return [135.0, 450.0, 600.0, 750.0, 900.0, 1100.0, 1282.0, 1450.0, 1597.0]
+
+
+def sweep(platform, app, device="v100", freqs_mhz=None):
+    dev = platform.get_device(device)
+    return characterize(app, dev, freqs_mhz=freqs_mhz, repetitions=1)
+
+
+def at(result, freq):
+    idx = int(np.argmin(np.abs(result.freqs_mhz - freq)))
+    return result.speedups()[idx], result.normalized_energies()[idx]
+
+
+class TestFig1LiGen:
+    """LiGen on V100: overclocking buys ~25% speedup at a steep energy
+    premium; mild down-clocking saves ~10% energy for ~15% slowdown."""
+
+    @pytest.fixture(scope="class")
+    def result(self, platform, freqs):
+        return sweep(platform, LigenApplication(10000, 89, 20), freqs_mhz=freqs)
+
+    def test_overclock_speedup(self, result):
+        sp, _ = at(result, 1597.0)
+        assert 1.15 <= sp <= 1.30
+
+    def test_overclock_energy_premium(self, result):
+        _, ne = at(result, 1597.0)
+        assert 1.3 <= ne <= 1.7
+
+    def test_downclock_saves_modestly(self, result):
+        sp, ne = at(result, 1100.0)
+        assert 0.80 <= sp <= 0.92
+        assert 0.85 <= ne <= 0.97
+
+
+class TestFig1Cronos:
+    """Cronos on V100: overclocking buys nothing but costs ~30% energy;
+    down-clocking saves ~20% with near-zero speedup loss."""
+
+    @pytest.fixture(scope="class")
+    def result(self, platform, freqs):
+        return sweep(platform, CronosApplication.from_size(160, 64, 64, n_steps=8), freqs_mhz=freqs)
+
+    def test_overclock_useless(self, result):
+        sp, ne = at(result, 1597.0)
+        assert sp == pytest.approx(1.0, abs=0.02)
+        assert 1.2 <= ne <= 1.5
+
+    def test_downclock_saves_energy_for_free(self, result):
+        sp, ne = at(result, 900.0)
+        assert sp >= 0.97
+        assert ne <= 0.90
+
+    def test_best_saving_near_twenty_percent(self, result):
+        best = result.best_energy_saving(max_speedup_loss=0.10)
+        idx = int(np.argmin(np.abs(result.freqs_mhz - best.freq_mhz)))
+        assert result.normalized_energies()[idx] <= 0.85
+
+
+class TestFig2LiGenInputDependence:
+    """Small LiGen inputs keep the speedup but lose the down-clock
+    savings; large inputs pay a bigger over-clock premium."""
+
+    def test_small_input_no_downclock_savings(self, platform, freqs):
+        result = sweep(platform, LigenApplication(2, 89, 8), freqs_mhz=freqs)
+        ne = result.normalized_energies()
+        sp = result.speedups()
+        below = ne[result.freqs_mhz < 1280.0]
+        assert below.min() >= 0.97  # no useful saving anywhere below default
+
+    def test_small_input_still_speeds_up(self, platform, freqs):
+        result = sweep(platform, LigenApplication(2, 89, 8), freqs_mhz=freqs)
+        sp, _ = at(result, 1597.0)
+        assert sp >= 1.15
+
+    def test_large_premium_exceeds_small_premium(self, platform, freqs):
+        small = sweep(platform, LigenApplication(2, 89, 8), freqs_mhz=freqs)
+        large = sweep(platform, LigenApplication(10000, 89, 20), freqs_mhz=freqs)
+        _, ne_small = at(small, 1597.0)
+        _, ne_large = at(large, 1597.0)
+        assert ne_large > ne_small + 0.1
+
+
+class TestFig4CronosGridDependence:
+    """Larger grids offer more down-clock savings (paper §3.1.1)."""
+
+    def test_savings_grow_with_grid(self, platform, freqs):
+        small = sweep(platform, CronosApplication.from_size(10, 4, 4, n_steps=8), freqs_mhz=freqs)
+        large = sweep(platform, CronosApplication.from_size(160, 64, 64, n_steps=8), freqs_mhz=freqs)
+        _, ne_small = at(small, 600.0)
+        _, ne_large = at(large, 600.0)
+        assert ne_large < ne_small
+
+    def test_small_grid_speedup_flat_at_top(self, platform, freqs):
+        small = sweep(platform, CronosApplication.from_size(10, 4, 4, n_steps=8), freqs_mhz=freqs)
+        sp, _ = at(small, 1597.0)
+        assert sp == pytest.approx(1.0, abs=0.02)
+
+
+class TestFig5MI100:
+    """MI100: the auto governor is near the best achievable speedup, and
+    small grids save ~35% energy for ~10% speedup loss."""
+
+    def test_auto_near_best_speedup(self, platform, freqs):
+        result = sweep(
+            platform,
+            CronosApplication.from_size(160, 64, 64, n_steps=8),
+            device="mi100",
+            freqs_mhz=[300.0, 700.0, 1100.0, 1300.0, 1502.0],
+        )
+        assert result.speedups().max() <= 1.05
+
+    def test_small_grid_large_savings(self, platform):
+        result = sweep(
+            platform,
+            CronosApplication.from_size(10, 4, 4, n_steps=8),
+            device="mi100",
+            freqs_mhz=[300.0, 500.0, 700.0, 1100.0, 1502.0],
+        )
+        sp = result.speedups()
+        ne = result.normalized_energies()
+        ok = (sp >= 0.85) & (ne <= 0.75)
+        assert ok.any(), f"no >=25% saving at <=15% loss: {list(zip(sp, ne))}"
+
+
+class TestFig6To9RawScaling:
+    """Time and energy increase monotonically in atoms and fragments,
+    and the MI100 costs more time and energy than the V100."""
+
+    def test_monotone_in_fragments_and_atoms(self, platform):
+        dev = platform.get_device("v100")
+
+        def measure(a, f):
+            r = characterize(
+                LigenApplication(10000, a, f), dev, freqs_mhz=[1282.0], repetitions=1
+            )
+            return r.samples[0].time_s, r.samples[0].energy_j
+
+        t31_4, e31_4 = measure(31, 4)
+        t31_20, e31_20 = measure(31, 20)
+        t89_4, e89_4 = measure(89, 4)
+        assert t31_20 > t31_4 and e31_20 > e31_4
+        assert t89_4 > t31_4 and e89_4 > e31_4
+
+    def test_mi100_slower_and_hungrier(self, platform):
+        app = LigenApplication(10000, 89, 20)
+        v = characterize(app, platform.get_device("v100"), freqs_mhz=[1282.0], repetitions=1)
+        m = characterize(app, platform.get_device("mi100"), freqs_mhz=[1300.0], repetitions=1)
+        assert m.baseline_time_s > 1.2 * v.samples[0].time_s
+        assert m.baseline_energy_j > 1.5 * v.samples[0].energy_j

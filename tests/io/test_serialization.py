@@ -1,0 +1,139 @@
+"""Unit tests for dataset/characterization/model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, ModelNotFittedError
+from repro.io import (
+    load_characterization,
+    load_dataset,
+    load_domain_model,
+    load_forest,
+    save_characterization,
+    save_dataset,
+    save_domain_model,
+    save_forest,
+)
+from repro.ml.forest import RandomForestRegressor
+from repro.modeling.dataset import EnergyDataset, EnergySample
+from repro.modeling.domain import DomainSpecificModel
+
+
+def make_dataset():
+    ds = EnergyDataset(feature_names=("size",))
+    for size in (1.0, 2.0, 4.0):
+        for f in (400.0, 800.0, 1282.0, 1500.0):
+            ds.add(
+                EnergySample(
+                    features=(size,),
+                    freq_mhz=f,
+                    time_s=size * 1000.0 / f,
+                    energy_j=size * (20.0 + f / 100.0),
+                )
+            )
+    return ds
+
+
+class TestDatasetRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        ds = make_dataset()
+        path = tmp_path / "ds.json"
+        save_dataset(ds, path)
+        back = load_dataset(path)
+        assert back.feature_names == ds.feature_names
+        assert len(back) == len(ds)
+        assert back.samples[0] == ds.samples[0]
+        assert np.allclose(back.X(), ds.X())
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something_else"}')
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+
+class TestCharacterizationRoundtrip:
+    def test_roundtrip(self, tmp_path, ideal_v100_dev, small_freqs):
+        from repro.ligen.app import LigenApplication
+        from repro.synergy.runner import characterize
+
+        result = characterize(
+            LigenApplication(256, 31, 4), ideal_v100_dev,
+            freqs_mhz=small_freqs, repetitions=2,
+        )
+        path = tmp_path / "char.json"
+        save_characterization(result, path)
+        back = load_characterization(path)
+        assert back.app_name == result.app_name
+        assert back.baseline_energy_j == result.baseline_energy_j
+        assert np.allclose(back.freqs_mhz, result.freqs_mhz)
+        assert np.allclose(back.speedups(), result.speedups())
+        assert np.allclose(back.samples[0].rep_times_s, result.samples[0].rep_times_s)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro.energy_dataset"}')
+        with pytest.raises(DatasetError):
+            load_characterization(path)
+
+
+class TestForestRoundtrip:
+    def test_identical_predictions(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (120, 3))
+        y = X[:, 0] - 2 * X[:, 1] * X[:, 2]
+        forest = RandomForestRegressor(n_estimators=7, random_state=1).fit(X, y)
+        path = tmp_path / "forest.npz"
+        save_forest(forest, path)
+        back = load_forest(path)
+        Xt = rng.uniform(0, 1, (40, 3))
+        assert np.array_equal(back.predict(Xt), forest.predict(Xt))
+        assert len(back.estimators_) == 7
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ModelNotFittedError):
+            save_forest(RandomForestRegressor(), tmp_path / "x.npz")
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        meta = np.frombuffer(json.dumps({"format": "other"}).encode(), dtype=np.uint8)
+        np.savez(path, __meta__=meta)
+        with pytest.raises(DatasetError):
+            load_forest(path)
+
+
+class TestDomainModelRoundtrip:
+    def test_identical_tradeoff_predictions(self, tmp_path):
+        ds = make_dataset()
+        model = DomainSpecificModel(
+            ("size",),
+            regressor_factory=lambda: RandomForestRegressor(n_estimators=6, random_state=2),
+        ).fit(ds)
+        path = tmp_path / "model.npz"
+        save_domain_model(model, path)
+        back = load_domain_model(path)
+
+        freqs = [400.0, 800.0, 1282.0, 1500.0]
+        for feats in ((1.0,), (3.0,)):
+            a = model.predict_tradeoff(feats, freqs)
+            b = back.predict_tradeoff(feats, freqs)
+            assert np.array_equal(a.speedups, b.speedups)
+            assert np.array_equal(a.normalized_energies, b.normalized_energies)
+            assert np.array_equal(a.times_s, b.times_s)
+        assert back.feature_names == ("size",)
+        assert back.baseline_freq_mhz == model.baseline_freq_mhz
+
+    def test_unfitted_rejected(self, tmp_path):
+        model = DomainSpecificModel(("size",))
+        with pytest.raises(ModelNotFittedError):
+            save_domain_model(model, tmp_path / "m.npz")
+
+    def test_non_forest_rejected(self, tmp_path):
+        from repro.ml.linear import LinearRegression
+
+        model = DomainSpecificModel(("size",), regressor_factory=LinearRegression)
+        model.fit(make_dataset())
+        with pytest.raises(DatasetError):
+            save_domain_model(model, tmp_path / "m.npz")

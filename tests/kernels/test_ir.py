@@ -1,0 +1,129 @@
+"""Unit tests for the kernel IR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.ir import (
+    FEATURE_NAMES,
+    OP_CYCLE_COSTS,
+    KernelLaunch,
+    KernelSpec,
+    merge_specs,
+)
+
+
+class TestKernelSpec:
+    def test_feature_vector_order(self):
+        spec = KernelSpec("k", int_add=1, float_mul=2, global_access=3)
+        vec = spec.feature_vector()
+        assert vec[FEATURE_NAMES.index("int_add")] == 1
+        assert vec[FEATURE_NAMES.index("float_mul")] == 2
+        assert vec[FEATURE_NAMES.index("global_access")] == 3
+
+    def test_feature_dict_matches_vector(self):
+        spec = KernelSpec("k", float_add=5, local_access=7)
+        d = spec.feature_dict()
+        assert list(d) == list(FEATURE_NAMES)
+        assert np.array_equal(list(d.values()), spec.feature_vector())
+
+    def test_total_and_compute_ops(self):
+        spec = KernelSpec("k", float_add=10, global_access=4, local_access=2)
+        assert spec.total_ops() == 16
+        assert spec.compute_ops() == 10
+
+    def test_cycles_per_thread_uses_costs(self):
+        spec = KernelSpec("k", int_div=2, float_add=3)
+        expected = 2 * OP_CYCLE_COSTS["int_div"] + 3 * OP_CYCLE_COSTS["float_add"]
+        assert spec.cycles_per_thread() == pytest.approx(expected)
+
+    def test_arithmetic_intensity(self):
+        spec = KernelSpec("k", float_add=64, global_access=8)
+        assert spec.arithmetic_intensity(8.0) == pytest.approx(1.0)
+
+    def test_arithmetic_intensity_infinite_without_traffic(self):
+        spec = KernelSpec("k", float_add=64)
+        assert spec.arithmetic_intensity() == float("inf")
+
+    def test_scaled(self):
+        spec = KernelSpec("k", float_add=10, global_access=2)
+        doubled = spec.scaled(2.0)
+        assert doubled.float_add == 20
+        assert doubled.global_access == 4
+        assert doubled.name == spec.name
+
+    def test_scaled_invalid(self):
+        spec = KernelSpec("k", float_add=1)
+        with pytest.raises(KernelError):
+            spec.scaled(0.0)
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(KernelError):
+            KernelSpec("empty")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(KernelError):
+            KernelSpec("k", float_add=-1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(KernelError):
+            KernelSpec("", float_add=1)
+
+
+class TestMergeSpecs:
+    def test_weighted_average(self):
+        a = KernelSpec("a", float_add=10)
+        b = KernelSpec("b", float_add=20, global_access=4)
+        merged = merge_specs("m", [(a, 1.0), (b, 3.0)])
+        assert merged.float_add == pytest.approx(17.5)
+        assert merged.global_access == pytest.approx(3.0)
+
+    def test_single_spec_identity(self):
+        a = KernelSpec("a", float_add=10, int_mul=5)
+        m = merge_specs("m", [(a, 2.0)])
+        assert np.allclose(m.feature_vector(), a.feature_vector())
+
+    def test_empty_rejected(self):
+        with pytest.raises(KernelError):
+            merge_specs("m", [])
+
+    def test_zero_weight_sum_rejected(self):
+        a = KernelSpec("a", float_add=10)
+        with pytest.raises(KernelError):
+            merge_specs("m", [(a, 0.0)])
+
+
+class TestKernelLaunch:
+    def test_effective_spec_folds_iterations(self):
+        spec = KernelSpec("k", float_add=10)
+        launch = KernelLaunch(spec, threads=4, work_iterations=3.0)
+        assert launch.effective_spec().float_add == pytest.approx(30)
+
+    def test_effective_spec_identity_without_iterations(self):
+        spec = KernelSpec("k", float_add=10)
+        launch = KernelLaunch(spec, threads=4)
+        assert launch.effective_spec() is spec
+
+    def test_totals(self):
+        spec = KernelSpec("k", float_add=10, global_access=2)
+        launch = KernelLaunch(spec, threads=5, work_iterations=2.0)
+        assert launch.total_compute_ops() == pytest.approx(100)
+        assert launch.total_global_accesses() == pytest.approx(20)
+        assert launch.total_bytes_global(8.0) == pytest.approx(160)
+
+    def test_with_threads(self):
+        spec = KernelSpec("k", float_add=1)
+        launch = KernelLaunch(spec, threads=4).with_threads(9)
+        assert launch.threads == 9
+
+    def test_invalid_threads(self):
+        spec = KernelSpec("k", float_add=1)
+        with pytest.raises(KernelError):
+            KernelLaunch(spec, threads=0)
+        with pytest.raises(KernelError):
+            KernelLaunch(spec, threads=1.5)
+
+    def test_invalid_iterations(self):
+        spec = KernelSpec("k", float_add=1)
+        with pytest.raises(KernelError):
+            KernelLaunch(spec, threads=1, work_iterations=0.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the micro-benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.features import extract_normalized_features
+from repro.kernels.ir import FEATURE_NAMES
+from repro.kernels.microbench import N_MICROBENCHMARKS, generate_microbenchmarks
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return generate_microbenchmarks()
+
+
+def test_exactly_106_benchmarks(suite):
+    """The paper's general-purpose model is trained on 106 micro-benchmarks."""
+    assert len(suite) == N_MICROBENCHMARKS == 106
+
+
+def test_names_unique(suite):
+    assert len({mb.name for mb in suite}) == len(suite)
+
+
+def test_deterministic(suite):
+    again = generate_microbenchmarks()
+    assert [mb.name for mb in again] == [mb.name for mb in suite]
+    assert all(
+        np.array_equal(a.spec.feature_vector(), b.spec.feature_vector())
+        for a, b in zip(suite, again)
+    )
+
+
+def test_every_category_stressed(suite):
+    """Each Table-1 feature category dominates at least one benchmark."""
+    for feat in FEATURE_NAMES:
+        dominated = any(
+            getattr(mb.spec, feat) >= 0.5 * mb.spec.total_ops() for mb in suite
+        )
+        assert dominated, f"no benchmark dominated by {feat}"
+
+
+def test_feature_diversity(suite):
+    """Effective feature vectors must not collapse to a few points."""
+    feats = np.array(
+        [extract_normalized_features(mb.launch.effective_spec()) for mb in suite]
+    )
+    unique_rows = np.unique(np.round(feats, 6), axis=0)
+    assert unique_rows.shape[0] >= 50
+
+
+def test_full_occupancy_threads(suite):
+    """All benchmarks saturate the device width (Fan et al. design)."""
+    assert all(mb.launch.threads >= 262144 for mb in suite)
+
+
+def test_work_scale_variants_visible_in_magnitude(suite):
+    """Scaled variants differ in the log-magnitude static feature."""
+    base = {mb.name: mb for mb in suite}
+    scaled = [mb for mb in suite if "_w" in mb.name]
+    assert len(scaled) == 52
+    for mb in scaled[:5]:
+        parent_name = mb.name.rsplit("_w", 1)[0]
+        parent = base[parent_name]
+        f_parent = extract_normalized_features(parent.launch.effective_spec())
+        f_scaled = extract_normalized_features(mb.launch.effective_spec())
+        assert f_parent[-1] != pytest.approx(f_scaled[-1])
+        assert np.allclose(f_parent[:-1], f_scaled[:-1])

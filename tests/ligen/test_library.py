@@ -1,0 +1,127 @@
+"""Unit tests for synthetic ligand-library generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ligen.library import make_library, make_ligand, make_mixed_library
+
+
+class TestMakeLigand:
+    def test_requested_counts(self):
+        lig = make_ligand(31, 4, seed=0)
+        assert lig.n_atoms == 31
+        assert lig.n_fragments == 4
+
+    def test_paper_extremes(self):
+        lig = make_ligand(89, 20, seed=1)
+        assert lig.n_atoms == 89
+        assert lig.n_fragments == 20
+
+    def test_deterministic_with_seed(self):
+        a = make_ligand(31, 4, seed=7)
+        b = make_ligand(31, 4, seed=7)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_different_seeds_differ(self):
+        a = make_ligand(31, 4, seed=1)
+        b = make_ligand(31, 4, seed=2)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_bond_lengths_realistic(self):
+        lig = make_ligand(40, 6, seed=3)
+        # every atom sits ~1.5 A from at least one other atom
+        d = np.linalg.norm(lig.coords[:, None] - lig.coords[None, :], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        assert np.all(d.min(axis=1) < 1.6)
+
+    def test_no_severe_clashes(self):
+        lig = make_ligand(60, 8, seed=4)
+        d = np.linalg.norm(lig.coords[:, None] - lig.coords[None, :], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() > 1.0
+
+    def test_neutral_charge(self):
+        lig = make_ligand(31, 4, seed=5)
+        assert lig.charges.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_fragments_are_valid_rotamers(self):
+        lig = make_ligand(31, 8, seed=6)
+        for frag in lig.fragments:
+            assert frag.axis_start not in frag.atom_indices
+            assert frag.axis_end not in frag.atom_indices
+            assert frag.atom_indices.max() < lig.n_atoms
+
+    def test_too_many_fragments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ligand(6, 5, seed=0)
+
+    def test_too_few_atoms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ligand(3, 0, seed=0)
+
+
+class TestMakeLibrary:
+    def test_size_and_uniqueness(self):
+        lib = make_library(5, 31, 4, seed=0)
+        assert len(lib) == 5
+        names = {l.name for l in lib}
+        assert len(names) == 5
+        assert not np.array_equal(lib[0].coords, lib[1].coords)
+
+    def test_homogeneous_sizes(self):
+        lib = make_library(4, 63, 8, seed=1)
+        assert all(l.n_atoms == 63 and l.n_fragments == 8 for l in lib)
+
+    def test_deterministic(self):
+        a = make_library(3, 31, 4, seed=9)
+        b = make_library(3, 31, 4, seed=9)
+        for la, lb in zip(a, b):
+            assert np.array_equal(la.coords, lb.coords)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            make_library(0, 31, 4)
+
+
+class TestMakeMixedLibrary:
+    def test_sizes_drawn_from_choices(self):
+        lib = make_mixed_library(20, atom_choices=(31, 89), fragment_choices=(4, 20), seed=0)
+        assert len(lib) == 20
+        assert {l.n_atoms for l in lib} <= {31, 89}
+        assert {l.n_fragments for l in lib} <= {4, 20}
+
+    def test_heterogeneous(self):
+        lib = make_mixed_library(30, seed=1)
+        assert len({(l.n_atoms, l.n_fragments) for l in lib}) > 1
+
+    def test_rotamer_constraint_clamped(self):
+        # 6-atom ligands can hold at most 3 fragments
+        lib = make_mixed_library(10, atom_choices=(6,), fragment_choices=(20,), seed=2)
+        assert all(l.n_fragments == 3 for l in lib)
+
+    def test_deterministic(self):
+        a = make_mixed_library(5, seed=9)
+        b = make_mixed_library(5, seed=9)
+        assert [(l.n_atoms, l.n_fragments) for l in a] == [
+            (l.n_atoms, l.n_fragments) for l in b
+        ]
+
+    def test_screenable(self):
+        """Mixed libraries must flow through the pipeline end to end."""
+        from repro.ligen.docking import DockingParams
+        from repro.ligen.pipeline import VirtualScreen
+        from repro.ligen.protein import make_pocket
+
+        lib = make_mixed_library(4, atom_choices=(20, 31), fragment_choices=(2, 4), seed=3)
+        vs = VirtualScreen(
+            make_pocket(seed=0),
+            params=DockingParams(num_restart=1, num_iterations=1, n_angles=4),
+            seed=4,
+        )
+        report = vs.screen(lib)
+        assert len(report.ranked) == 4
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_mixed_library(5, atom_choices=())

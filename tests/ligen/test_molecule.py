@@ -1,0 +1,150 @@
+"""Unit tests for ligand geometry and moves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ligen.molecule import Fragment, Ligand, rotate_about_axis, rotation_matrix
+
+
+def simple_ligand(n=6):
+    # zig-zag chain: fragment atoms sit off the rotation axis so torsion
+    # moves actually displace them
+    coords = np.column_stack(
+        [
+            np.arange(n, dtype=float) * 1.5,
+            np.tile([0.0, 0.8], (n + 1) // 2)[:n],
+            np.zeros(n),
+        ]
+    )
+    frag = Fragment(atom_indices=np.arange(3, n), axis_start=1, axis_end=2)
+    return Ligand(
+        coords=coords,
+        radii=np.full(n, 1.5),
+        charges=np.zeros(n),
+        fragments=[frag],
+    )
+
+
+class TestRotationMatrix:
+    def test_orthonormal(self):
+        r = rotation_matrix(np.array([1.0, 2.0, 3.0]), 0.7)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_identity_at_zero_angle(self):
+        r = rotation_matrix(np.array([0.0, 0.0, 1.0]), 0.0)
+        assert np.allclose(r, np.eye(3))
+
+    def test_quarter_turn_about_z(self):
+        r = rotation_matrix(np.array([0.0, 0.0, 1.0]), np.pi / 2)
+        assert np.allclose(r @ np.array([1.0, 0, 0]), [0, 1, 0], atol=1e-12)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_matrix(np.zeros(3), 1.0)
+
+
+class TestRotateAboutAxis:
+    def test_points_on_axis_fixed(self):
+        origin = np.array([1.0, 1.0, 1.0])
+        axis = np.array([0.0, 0.0, 1.0])
+        pts = np.array([[1.0, 1.0, 5.0], [1.0, 1.0, -2.0]])
+        out = rotate_about_axis(pts, origin, axis, 1.2)
+        assert np.allclose(out, pts, atol=1e-12)
+
+    def test_distances_to_axis_preserved(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(10, 3))
+        origin = np.zeros(3)
+        axis = np.array([0.0, 1.0, 0.0])
+        out = rotate_about_axis(pts, origin, axis, 0.9)
+        d_in = np.sqrt(pts[:, 0] ** 2 + pts[:, 2] ** 2)
+        d_out = np.sqrt(out[:, 0] ** 2 + out[:, 2] ** 2)
+        assert np.allclose(d_in, d_out)
+
+
+class TestLigand:
+    def test_counts(self):
+        lig = simple_ligand(6)
+        assert lig.n_atoms == 6
+        assert lig.n_fragments == 1
+
+    def test_centroid_and_rg(self):
+        lig = simple_ligand(5)
+        assert lig.centroid()[0] == pytest.approx(3.0)
+        assert lig.radius_of_gyration() > 0
+
+    def test_translation(self):
+        lig = simple_ligand()
+        moved = lig.translated([1.0, 2.0, 3.0])
+        assert np.allclose(moved.centroid() - lig.centroid(), [1, 2, 3])
+        assert lig.coords[0, 0] == 0.0  # original untouched
+
+    def test_rotation_preserves_shape(self):
+        lig = simple_ligand()
+        rot = rotation_matrix(np.array([1.0, 1.0, 0.0]), 0.8)
+        out = lig.rotated(rot)
+        d_in = np.linalg.norm(lig.coords[1:] - lig.coords[:-1], axis=1)
+        d_out = np.linalg.norm(out.coords[1:] - out.coords[:-1], axis=1)
+        assert np.allclose(d_in, d_out)
+        assert np.allclose(out.centroid(), lig.centroid())
+
+    def test_fragment_rotation_moves_only_fragment(self):
+        lig = simple_ligand(6)
+        out = lig.rotate_fragment(0, 1.0)
+        assert np.allclose(out.coords[:3], lig.coords[:3])
+        assert not np.allclose(out.coords[3:], lig.coords[3:])
+
+    def test_fragment_rotation_preserves_bond_to_axis(self):
+        """Rotamer moves change shape but not bond lengths within the set."""
+        lig = simple_ligand(6)
+        out = lig.rotate_fragment(0, 2.0)
+        d_axis_in = np.linalg.norm(lig.coords[3] - lig.coords[2])
+        d_axis_out = np.linalg.norm(out.coords[3] - out.coords[2])
+        assert d_axis_in == pytest.approx(d_axis_out)
+
+    def test_fragment_rotation_full_turn_is_identity(self):
+        lig = simple_ligand(6)
+        out = lig.rotate_fragment(0, 2 * np.pi)
+        assert np.allclose(out.coords, lig.coords, atol=1e-10)
+
+    def test_invalid_fragment_index(self):
+        with pytest.raises(ConfigurationError):
+            simple_ligand().rotate_fragment(3, 1.0)
+
+    def test_bounding_radius(self):
+        lig = simple_ligand(5)
+        assert lig.bounding_radius() >= lig.radius_of_gyration()
+
+
+class TestValidation:
+    def test_fragment_axis_in_moving_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fragment(atom_indices=np.array([1, 2]), axis_start=1, axis_end=0)
+
+    def test_fragment_degenerate_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fragment(atom_indices=np.array([2]), axis_start=1, axis_end=1)
+
+    def test_empty_fragment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fragment(atom_indices=np.array([], dtype=int), axis_start=0, axis_end=1)
+
+    def test_ligand_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            Ligand(coords=np.zeros((3, 2)), radii=np.ones(3), charges=np.zeros(3))
+
+    def test_ligand_radii_positive(self):
+        with pytest.raises(ConfigurationError):
+            Ligand(coords=np.zeros((2, 3)), radii=np.array([1.0, 0.0]), charges=np.zeros(2))
+
+    def test_fragment_out_of_range_rejected(self):
+        frag = Fragment(atom_indices=np.array([5]), axis_start=0, axis_end=1)
+        with pytest.raises(ConfigurationError):
+            Ligand(
+                coords=np.zeros((3, 3)),
+                radii=np.ones(3),
+                charges=np.zeros(3),
+                fragments=[frag],
+            )

@@ -1,0 +1,79 @@
+"""Unit tests for the virtual-screening pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import create_device
+from repro.ligen.docking import DockingParams
+from repro.ligen.library import make_library
+from repro.ligen.pipeline import VirtualScreen
+from repro.ligen.protein import make_pocket
+
+
+@pytest.fixture(scope="module")
+def pocket():
+    return make_pocket(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fast_params():
+    return DockingParams(num_restart=2, num_iterations=1, n_angles=4)
+
+
+class TestScreening:
+    def test_ranked_descending(self, pocket, fast_params):
+        vs = VirtualScreen(pocket, params=fast_params, seed=0)
+        report = vs.screen(make_library(5, 31, 4, seed=1))
+        scores = report.scores()
+        assert np.all(np.diff(scores) <= 0)
+
+    def test_best_and_top(self, pocket, fast_params):
+        vs = VirtualScreen(pocket, params=fast_params, seed=0)
+        report = vs.screen(make_library(6, 31, 4, seed=2))
+        assert report.best.score == report.scores()[0]
+        assert len(report.top(3)) == 3
+        assert report.top(3)[0] is report.best
+
+    def test_every_ligand_ranked(self, pocket, fast_params):
+        lib = make_library(4, 31, 4, seed=3)
+        vs = VirtualScreen(pocket, params=fast_params, seed=0)
+        report = vs.screen(lib)
+        assert {r.name for r in report.ranked} == {l.name for l in lib}
+
+    def test_deterministic(self, pocket, fast_params):
+        lib = make_library(3, 31, 4, seed=4)
+        r1 = VirtualScreen(pocket, params=fast_params, seed=7).screen(lib)
+        r2 = VirtualScreen(pocket, params=fast_params, seed=7).screen(lib)
+        assert [x.name for x in r1.ranked] == [x.name for x in r2.ranked]
+        assert np.allclose(r1.scores(), r2.scores())
+
+    def test_empty_library_rejected(self, pocket, fast_params):
+        vs = VirtualScreen(pocket, params=fast_params)
+        with pytest.raises(ConfigurationError):
+            vs.screen([])
+
+    def test_empty_report_best_raises(self):
+        from repro.ligen.pipeline import ScreeningReport
+
+        with pytest.raises(ConfigurationError):
+            ScreeningReport(ranked=[]).best
+
+
+class TestDeviceCoupling:
+    def test_launches_emitted(self, pocket, fast_params):
+        gpu = create_device("v100")
+        vs = VirtualScreen(pocket, params=fast_params, device=gpu, seed=0)
+        vs.screen(make_library(3, 31, 4, seed=5))
+        assert gpu.launch_count == 2  # one dock + one score batch
+        assert gpu.energy_counter_j > 0
+
+    def test_launch_threads_match_cost_model(self, pocket, fast_params):
+        from repro.ligen.gpu_costs import screening_launches
+
+        gpu = create_device("v100")
+        vs = VirtualScreen(pocket, params=fast_params, device=gpu, seed=0)
+        lib = make_library(3, 31, 4, seed=5)
+        vs.screen(lib)
+        expected = screening_launches(3, 31, 4, params=fast_params)
+        assert gpu.launch_count == len(expected)

@@ -1,0 +1,81 @@
+"""Unit tests for the protein pocket affinity maps."""
+
+import numpy as np
+import pytest
+
+from repro.ligen.protein import OUTSIDE_PENALTY, ProteinPocket, make_pocket
+
+
+@pytest.fixture(scope="module")
+def pocket():
+    return make_pocket(seed=0)
+
+
+class TestMakePocket:
+    def test_geometry(self, pocket):
+        assert pocket.potential.shape == (33, 33, 33)
+        assert pocket.extent == pytest.approx(24.0)
+        assert np.allclose(pocket.center, 12.0)
+
+    def test_deterministic(self):
+        a = make_pocket(seed=3)
+        b = make_pocket(seed=3)
+        assert np.array_equal(a.potential, b.potential)
+
+    def test_center_is_favourable(self, pocket):
+        center_val = pocket.sample(pocket.center[None, :])[0]
+        far = pocket.center + np.array([11.0, 0.0, 0.0])
+        far_val = pocket.sample(far[None, :])[0]
+        assert center_val < far_val
+
+    def test_shell_is_repulsive_region(self, pocket):
+        """Potential rises steeply approaching the protein shell."""
+        center_val = pocket.sample(pocket.center[None, :])[0]
+        ring = pocket.center + np.array([7.0, 0.0, 0.0])
+        ring_val = pocket.sample(ring[None, :])[0]
+        assert ring_val > center_val
+
+
+class TestSampling:
+    def test_outside_penalty(self, pocket):
+        out = pocket.sample(np.array([[-5.0, 0.0, 0.0], [100.0, 0.0, 0.0]]))
+        assert np.allclose(out, OUTSIDE_PENALTY)
+
+    def test_grid_node_exact(self, pocket):
+        # sampling exactly at a grid node returns the stored value
+        idx = (5, 7, 9)  # (z, y, x)
+        pos = np.array([[idx[2] * pocket.spacing, idx[1] * pocket.spacing, idx[0] * pocket.spacing]])
+        assert pocket.sample(pos)[0] == pytest.approx(pocket.potential[idx], rel=1e-9)
+
+    def test_interpolation_between_nodes(self, pocket):
+        s = pocket.spacing
+        a = pocket.sample(np.array([[10 * s, 10 * s, 10 * s]]))[0]
+        b = pocket.sample(np.array([[11 * s, 10 * s, 10 * s]]))[0]
+        mid = pocket.sample(np.array([[10.5 * s, 10 * s, 10 * s]]))[0]
+        assert min(a, b) - 1e-9 <= mid <= max(a, b) + 1e-9
+
+    def test_continuity(self, pocket):
+        """Trilinear interpolation is continuous: tiny moves change little."""
+        p = pocket.center + 2.0
+        v1 = pocket.sample(p[None, :])[0]
+        v2 = pocket.sample((p + 1e-6)[None, :])[0]
+        assert abs(v1 - v2) < 1e-3
+
+    def test_shape_validation(self, pocket):
+        with pytest.raises(ValueError):
+            pocket.sample(np.zeros((3, 2)))
+
+    def test_batched_sampling(self, pocket):
+        pts = np.tile(pocket.center, (10, 1))
+        out = pocket.sample(pts)
+        assert out.shape == (10,)
+        assert np.allclose(out, out[0])
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ProteinPocket(
+            potential=np.zeros((4, 4)), origin=np.zeros(3), spacing=1.0, center=np.zeros(3)
+        )
+    with pytest.raises(ValueError):
+        make_pocket(grid_points=1)

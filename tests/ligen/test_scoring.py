@@ -1,0 +1,80 @@
+"""Unit tests for pose scoring."""
+
+import numpy as np
+import pytest
+
+from repro.ligen.library import make_ligand
+from repro.ligen.molecule import Ligand
+from repro.ligen.protein import make_pocket
+from repro.ligen.scoring import clash_penalty, compute_score, evaluate_pose
+
+
+@pytest.fixture(scope="module")
+def pocket():
+    return make_pocket(seed=0)
+
+
+@pytest.fixture
+def ligand():
+    return make_ligand(31, 4, seed=1)
+
+
+class TestEvaluatePose:
+    def test_centered_beats_displaced(self, pocket, ligand):
+        centered = ligand.translated(pocket.center - ligand.centroid())
+        displaced = centered.translated([10.0, 0.0, 0.0])
+        assert evaluate_pose(centered, pocket) > evaluate_pose(displaced, pocket)
+
+    def test_outside_pose_heavily_penalized(self, pocket, ligand):
+        outside = ligand.translated([500.0, 0.0, 0.0])
+        assert evaluate_pose(outside, pocket) < -1000
+
+    def test_score_is_negative_field_sum(self, pocket, ligand):
+        pose = ligand.translated(pocket.center - ligand.centroid())
+        field = pocket.sample(pose.coords)
+        assert evaluate_pose(pose, pocket) == pytest.approx(-field.sum())
+
+
+class TestClashPenalty:
+    def test_well_separated_atoms_no_penalty(self):
+        coords = np.array([[0.0, 0, 0], [5.0, 0, 0], [10.0, 0, 0]])
+        lig = Ligand(coords=coords, radii=np.ones(3), charges=np.zeros(3))
+        assert clash_penalty(lig) == 0.0
+
+    def test_overlapping_atoms_penalized(self):
+        coords = np.array([[0.0, 0, 0], [0.3, 0, 0]])
+        lig = Ligand(coords=coords, radii=np.full(2, 1.5), charges=np.zeros(2))
+        assert clash_penalty(lig) > 0
+
+    def test_penalty_grows_with_overlap(self):
+        def lig_at(dist):
+            coords = np.array([[0.0, 0, 0], [dist, 0, 0]])
+            return Ligand(coords=coords, radii=np.full(2, 1.5), charges=np.zeros(2))
+
+        assert clash_penalty(lig_at(0.2)) > clash_penalty(lig_at(0.8))
+
+    def test_bonded_distance_tolerated(self):
+        """Standard bond geometry (1.5 A, radii ~1.5) must not be punished
+        into oblivion (the 0.7 factor exempts bonded contacts)."""
+        coords = np.array([[0.0, 0, 0], [1.5, 0, 0]])
+        lig = Ligand(coords=coords, radii=np.full(2, 1.05), charges=np.zeros(2))
+        assert clash_penalty(lig) == pytest.approx(0.0)
+
+    def test_single_atom(self):
+        lig = Ligand(coords=np.zeros((1, 3)), radii=np.ones(1), charges=np.zeros(1))
+        assert clash_penalty(lig) == 0.0
+
+
+class TestComputeScore:
+    def test_clash_reduces_refined_score(self, pocket):
+        good = make_ligand(20, 2, seed=3)
+        good = good.translated(pocket.center - good.centroid())
+        # squash the ligand onto itself to create clashes
+        squashed = good.copy()
+        squashed.coords *= np.array([0.2, 1.0, 1.0])
+        squashed = squashed.translated(pocket.center - squashed.centroid())
+        assert compute_score(squashed, pocket) < evaluate_pose(squashed, pocket)
+
+    def test_refined_score_finite(self, pocket, ligand):
+        pose = ligand.translated(pocket.center - ligand.centroid())
+        assert np.isfinite(compute_score(pose, pocket))

@@ -1,0 +1,71 @@
+"""Unit tests for the Regressor base class machinery."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import Regressor, check_X, check_Xy
+from repro.ml.linear import Ridge
+
+
+class TestCheckXy:
+    def test_promotes_1d_X(self):
+        X, y = check_Xy([1.0, 2.0], [3.0, 4.0])
+        assert X.shape == (2, 1)
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros((3, 2)), np.zeros(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros((0, 2)), np.zeros(0))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_Xy([[np.nan]], [1.0])
+        with pytest.raises(ValueError):
+            check_Xy([[1.0]], [np.nan])
+
+
+class TestCheckX:
+    def test_feature_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X(np.zeros((2, 3)), n_features=2)
+
+    def test_ok(self):
+        assert check_X(np.zeros((2, 3)), n_features=3).shape == (2, 3)
+
+
+class TestParamsAndClone:
+    def test_get_params(self):
+        m = Ridge(alpha=2.5, fit_intercept=False)
+        assert m.get_params() == {"alpha": 2.5, "fit_intercept": False}
+
+    def test_set_params_validates(self):
+        m = Ridge()
+        with pytest.raises(ValueError, match="unknown parameter"):
+            m.set_params(gamma=1.0)
+
+    def test_set_params_chains(self):
+        m = Ridge().set_params(alpha=9.0)
+        assert m.alpha == 9.0
+
+    def test_clone_is_unfitted_copy(self):
+        X = np.arange(6, dtype=float).reshape(-1, 1)
+        y = np.arange(6, dtype=float)
+        m = Ridge(alpha=0.5).fit(X, y)
+        c = m.clone()
+        assert c.alpha == 0.5
+        assert not hasattr(c, "coef_")
+
+    def test_score_is_r2(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = 2 * np.arange(10, dtype=float)
+        assert Ridge(alpha=0.0).fit(X, y).score(X, y) == pytest.approx(1.0)
+
+    def test_abstract_methods(self):
+        class Dummy(Regressor):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Dummy().fit([[1.0]], [1.0])

@@ -1,0 +1,117 @@
+"""Unit tests for linear models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelNotFittedError
+from repro.ml.linear import Lasso, LinearRegression, Ridge
+
+
+@pytest.fixture
+def linear_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    w = np.array([2.0, -1.0, 0.5])
+    y = X @ w + 3.0 + rng.normal(0, 0.01, 200)
+    return X, y, w
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        X, y, w = linear_data
+        m = LinearRegression().fit(X, y)
+        assert np.allclose(m.coef_, w, atol=0.02)
+        assert m.intercept_ == pytest.approx(3.0, abs=0.02)
+
+    def test_without_intercept(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        m = LinearRegression(fit_intercept=False).fit(X, y)
+        assert m.coef_[0] == pytest.approx(2.0)
+        assert m.intercept_ == 0.0
+
+    def test_predict_shape(self, linear_data):
+        X, y, _ = linear_data
+        m = LinearRegression().fit(X, y)
+        assert m.predict(X[:7]).shape == (7,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            LinearRegression().predict([[1.0]])
+
+    def test_feature_count_checked(self, linear_data):
+        X, y, _ = linear_data
+        m = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError):
+            m.predict(np.zeros((2, 5)))
+
+    def test_rank_deficient_handled(self):
+        X = np.array([[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]])  # collinear
+        y = np.array([1.0, 2.0, 3.0])
+        m = LinearRegression().fit(X, y)
+        assert np.allclose(m.predict(X), y, atol=1e-9)
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self, linear_data):
+        X, y, _ = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage(self, linear_data):
+        X, y, _ = linear_data
+        small = Ridge(alpha=0.1).fit(X, y)
+        big = Ridge(alpha=1000.0).fit(X, y)
+        assert np.linalg.norm(big.coef_) < np.linalg.norm(small.coef_)
+
+    def test_negative_alpha_rejected(self, linear_data):
+        X, y, _ = linear_data
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0).fit(X, y)
+
+
+class TestLasso:
+    def test_small_alpha_recovers_coefficients(self, linear_data):
+        X, y, w = linear_data
+        m = Lasso(alpha=1e-4).fit(X, y)
+        assert np.allclose(m.coef_, w, atol=0.05)
+
+    def test_sparsity(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 6))
+        y = 3.0 * X[:, 0] + rng.normal(0, 0.01, 300)  # only feature 0 matters
+        m = Lasso(alpha=0.05).fit(X, y)
+        assert abs(m.coef_[0]) > 2.0
+        assert np.all(np.abs(m.coef_[1:]) < 0.05)
+
+    def test_huge_alpha_zeros_everything(self, linear_data):
+        X, y, _ = linear_data
+        m = Lasso(alpha=1e6).fit(X, y)
+        assert np.allclose(m.coef_, 0.0)
+        assert m.intercept_ == pytest.approx(float(y.mean()))
+
+    def test_convergence_reported(self, linear_data):
+        X, y, _ = linear_data
+        m = Lasso(alpha=0.01, tol=1e-8).fit(X, y)
+        assert 1 <= m.n_iter_ <= m.max_iter
+
+    def test_constant_feature_gets_zero_weight(self):
+        rng = np.random.default_rng(2)
+        X = np.column_stack([rng.normal(size=100), np.full(100, 5.0)])
+        y = 2.0 * X[:, 0] + 1.0
+        m = Lasso(alpha=1e-4).fit(X, y)
+        assert m.coef_[1] == 0.0
+
+    def test_matches_soft_threshold_univariate(self):
+        """1-D standardized case has the closed form
+        w = soft(cov, alpha) / var."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=500)
+        y = 1.5 * x
+        alpha = 0.3
+        m = Lasso(alpha=alpha, fit_intercept=False).fit(x.reshape(-1, 1), y)
+        var = float((x**2).mean())
+        cov = float((x * y).mean())
+        expected = np.sign(cov) * max(abs(cov) - alpha, 0) / var
+        assert m.coef_[0] == pytest.approx(expected, rel=1e-4)

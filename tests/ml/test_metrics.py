@@ -1,0 +1,84 @@
+"""Unit tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    mape,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestMAPE:
+    def test_paper_convention_fraction(self):
+        """Figure 13 reports MAPE as a fraction (0.012 == 1.2%)."""
+        assert mape([100.0], [101.2]) == pytest.approx(0.012)
+
+    def test_perfect(self):
+        assert mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mean_over_points(self):
+        assert mape([1.0, 2.0], [1.1, 2.0]) == pytest.approx(0.05)
+
+    def test_symmetric_in_sign_of_error(self):
+        assert mape([1.0], [0.9]) == pytest.approx(mape([1.0], [1.1]))
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            mape([0.0, 1.0], [0.1, 1.0])
+
+    def test_alias(self):
+        assert mape is mean_absolute_percentage_error
+
+
+class TestOtherMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+    def test_rmse(self):
+        assert root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_max_error(self):
+        assert max_absolute_error([1.0, 2.0], [1.1, 5.0]) == pytest.approx(3.0)
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=50)
+        p = t + rng.normal(size=50)
+        assert root_mean_squared_error(t, p) >= mean_absolute_error(t, p)
+
+
+class TestR2:
+    def test_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_worse_than_mean_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0
+
+    def test_constant_truth_conventions(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape([1.0, 2.0], [1.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_non_finite(self):
+        with pytest.raises(ValueError):
+            r2_score([1.0, np.nan], [1.0, 2.0])

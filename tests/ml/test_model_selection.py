@@ -1,0 +1,170 @@
+"""Unit tests for CV splitters, cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml.linear import LinearRegression, Ridge
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    LeaveOneGroupOut,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(60, 2))
+    y = X[:, 0] - 2 * X[:, 1] + rng.normal(0, 0.01, 60)
+    return X, y
+
+
+class TestKFold:
+    def test_partitions_all_samples(self, data):
+        X, y = data
+        seen = []
+        for train, test in KFold(5).split(X):
+            seen.extend(test.tolist())
+            assert set(train) & set(test) == set()
+        assert sorted(seen) == list(range(60))
+
+    def test_fold_sizes_balanced(self):
+        X = np.zeros((10, 1))
+        sizes = [len(test) for _, test in KFold(3).split(X)]
+        assert sizes == [4, 3, 3]
+
+    def test_shuffle_deterministic(self, data):
+        X, _ = data
+        a = [t.tolist() for _, t in KFold(4, shuffle=True, random_state=1).split(X)]
+        b = [t.tolist() for _, t in KFold(4, shuffle=True, random_state=1).split(X)]
+        assert a == b
+
+    def test_too_many_folds(self):
+        with pytest.raises(DatasetError):
+            list(KFold(5).split(np.zeros((3, 1))))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestLeaveOneGroupOut:
+    def test_one_fold_per_group(self):
+        X = np.zeros((9, 1))
+        groups = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        logo = LeaveOneGroupOut()
+        folds = list(logo.split(X, groups=groups))
+        assert len(folds) == 3 == logo.get_n_splits(groups)
+        for train, test in folds:
+            test_groups = set(groups[test])
+            assert len(test_groups) == 1
+            assert test_groups.isdisjoint(set(groups[train]))
+
+    def test_requires_groups(self):
+        with pytest.raises(ValueError):
+            list(LeaveOneGroupOut().split(np.zeros((4, 1))))
+
+    def test_requires_two_groups(self):
+        with pytest.raises(DatasetError):
+            list(LeaveOneGroupOut().split(np.zeros((4, 1)), groups=np.zeros(4)))
+
+    def test_group_length_checked(self):
+        with pytest.raises(ValueError):
+            list(LeaveOneGroupOut().split(np.zeros((4, 1)), groups=np.zeros(3)))
+
+
+class TestTrainTestSplit:
+    def test_shapes(self, data):
+        X, y = data
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert Xte.shape[0] == 15
+        assert Xtr.shape[0] == 45
+        assert ytr.shape[0] == 45
+
+    def test_disjoint_and_complete(self, data):
+        X, y = data
+        Xtr, Xte, _, _ = train_test_split(X, y, test_size=0.3, random_state=1)
+        combined = np.vstack([Xtr, Xte])
+        assert sorted(map(tuple, combined)) == sorted(map(tuple, X))
+
+    def test_invalid_test_size(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+
+class TestCrossValScore:
+    def test_good_model_scores_high(self, data):
+        X, y = data
+        scores = cross_val_score(LinearRegression(), X, y, cv=KFold(4))
+        assert scores.shape == (4,)
+        assert scores.min() > 0.95
+
+    def test_neg_mape_scoring(self, data):
+        X, y = data
+        y_pos = np.abs(y) + 1.0
+        scores = cross_val_score(LinearRegression(), X, y_pos, scoring="neg_mape")
+        assert np.all(scores <= 0)
+
+    def test_unknown_scoring(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            cross_val_score(LinearRegression(), X, y, scoring="accuracy")
+
+    def test_original_model_untouched(self, data):
+        X, y = data
+        model = LinearRegression()
+        cross_val_score(model, X, y)
+        assert not hasattr(model, "coef_")
+
+
+class TestGridSearchCV:
+    def test_finds_best_depth(self):
+        """Paper §5.2.1 tunes Random Forest via grid search; here a tree
+        grid where too-shallow underfits."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, (200, 1))
+        y = np.sin(6 * X[:, 0])
+        gs = GridSearchCV(
+            DecisionTreeRegressor(), {"max_depth": [1, 6]}, cv=KFold(3)
+        )
+        gs.fit(X, y)
+        assert gs.best_params_["max_depth"] == 6
+        assert hasattr(gs, "best_estimator_")
+
+    def test_results_cover_grid(self, data):
+        X, y = data
+        gs = GridSearchCV(Ridge(), {"alpha": [0.1, 1.0, 10.0]}, cv=KFold(3))
+        gs.fit(X, y)
+        assert len(gs.results_) == 3
+        assert gs.best_score_ == max(p.mean_score for p in gs.results_)
+
+    def test_multi_parameter_grid(self, data):
+        X, y = data
+        gs = GridSearchCV(
+            DecisionTreeRegressor(),
+            {"max_depth": [2, 4], "min_samples_leaf": [1, 3]},
+            cv=KFold(3),
+        )
+        gs.fit(X, y)
+        assert len(gs.results_) == 4
+
+    def test_predict_uses_refit_model(self, data):
+        X, y = data
+        gs = GridSearchCV(Ridge(), {"alpha": [0.01]}, cv=KFold(3)).fit(X, y)
+        assert gs.predict(X).shape == y.shape
+
+    def test_predict_before_fit(self):
+        gs = GridSearchCV(Ridge(), {"alpha": [1.0]})
+        with pytest.raises(DatasetError):
+            gs.predict([[0.0, 0.0]])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearchCV(Ridge(), {})
+        with pytest.raises(ValueError):
+            GridSearchCV(Ridge(), {"alpha": []})

@@ -1,0 +1,46 @@
+"""Unit tests for StandardScaler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelNotFittedError
+from repro.ml.preprocessing import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, (200, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        s = StandardScaler().fit(X)
+        assert np.allclose(s.inverse_transform(s.transform(X)), X, atol=1e-12)
+
+    def test_constant_feature_only_centered(self):
+        X = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_transform_uses_training_stats(self):
+        X = np.array([[0.0], [2.0]])
+        s = StandardScaler().fit(X)
+        assert s.transform([[4.0]])[0, 0] == pytest.approx(3.0)
+
+    def test_unfitted(self):
+        with pytest.raises(ModelNotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_checked(self):
+        s = StandardScaler().fit(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            s.transform(np.zeros((3, 4)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 2)))

@@ -1,0 +1,107 @@
+"""Unit tests for the SVR implementation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelNotFittedError
+from repro.ml.metrics import r2_score
+from repro.ml.svr import SVR, linear_kernel, rbf_kernel
+
+
+class TestKernels:
+    def test_rbf_diagonal_ones(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetric(self):
+        X = np.random.default_rng(1).normal(size=(8, 2))
+        K = rbf_kernel(X, X, gamma=1.0)
+        assert np.allclose(K, K.T)
+
+    def test_rbf_decays_with_distance(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.1, 0.0], [5.0, 0.0]])
+        K = rbf_kernel(a, b, gamma=1.0)
+        assert K[0, 0] > K[0, 1]
+
+    def test_linear_kernel(self):
+        A = np.array([[1.0, 2.0]])
+        B = np.array([[3.0, 4.0]])
+        assert linear_kernel(A, B)[0, 0] == pytest.approx(11.0)
+
+
+class TestSVRFit:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, (200, 1))
+        y = np.sin(2 * X[:, 0])
+        m = SVR(C=50.0, epsilon=0.01).fit(X, y)
+        assert r2_score(y, m.predict(X)) > 0.99
+
+    def test_generalizes(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, (300, 2))
+        y = X[:, 0] ** 2 - X[:, 1]
+        m = SVR(C=100.0, epsilon=0.01).fit(X, y)
+        Xt = rng.uniform(-2, 2, (100, 2))
+        yt = Xt[:, 0] ** 2 - Xt[:, 1]
+        assert r2_score(yt, m.predict(Xt)) > 0.95
+
+    def test_epsilon_tube_tolerates_noise(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-1, 1, (150, 1))
+        y_clean = X[:, 0]
+        y = y_clean + rng.uniform(-0.05, 0.05, 150)
+        m = SVR(C=10.0, epsilon=0.1).fit(X, y)
+        assert r2_score(y_clean, m.predict(X)) > 0.97
+
+    def test_wide_epsilon_gives_fewer_support_vectors(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, (150, 1))
+        y = np.sin(3 * X[:, 0])
+        tight = SVR(C=10.0, epsilon=0.001).fit(X, y)
+        loose = SVR(C=10.0, epsilon=0.3).fit(X, y)
+        assert loose.n_support_ <= tight.n_support_
+
+    def test_linear_kernel_on_linear_data(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(100, 2))
+        y = 2.0 * X[:, 0] - X[:, 1]
+        m = SVR(kernel="linear", C=100.0, epsilon=0.01).fit(X, y)
+        assert r2_score(y, m.predict(X)) > 0.99
+
+    def test_gamma_scale_matches_manual(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0]
+        m = SVR().fit(X, y)
+        assert m.gamma_ == pytest.approx(1.0 / (2 * X.var()))
+
+    def test_constant_target(self):
+        X = np.random.default_rng(6).normal(size=(30, 1))
+        y = np.full(30, 2.5)
+        m = SVR(epsilon=0.01).fit(X, y)
+        assert np.allclose(m.predict(X), 2.5, atol=0.05)
+
+
+class TestSVRValidation:
+    def test_unfitted(self):
+        with pytest.raises(ModelNotFittedError):
+            SVR().predict([[0.0]])
+
+    def test_bad_kernel(self):
+        with pytest.raises(ValueError):
+            SVR(kernel="poly").fit([[0.0], [1.0]], [0.0, 1.0])
+
+    def test_bad_gamma_string(self):
+        with pytest.raises(ValueError):
+            SVR(gamma="auto").fit([[0.0], [1.0]], [0.0, 1.0])
+
+    def test_bad_C(self):
+        with pytest.raises(ValueError):
+            SVR(C=-1.0).fit([[0.0], [1.0]], [0.0, 1.0])
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            SVR(epsilon=-0.1).fit([[0.0], [1.0]], [0.0, 1.0])

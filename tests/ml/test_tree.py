@@ -1,0 +1,139 @@
+"""Unit tests for the decision-tree regressor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelNotFittedError
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestBasicFit:
+    def test_perfect_fit_on_step_function(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([1.0, 1.0, 5.0, 5.0])
+        m = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(m.predict(X), y)
+
+    def test_single_leaf_for_constant_target(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        y = np.full(20, 3.0)
+        m = DecisionTreeRegressor().fit(X, y)
+        assert m.n_nodes == 1
+        assert np.allclose(m.predict(X), 3.0)
+
+    def test_threshold_between_values(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array([0.0, 1.0])
+        m = DecisionTreeRegressor().fit(X, y)
+        assert m.threshold_[0] == pytest.approx(5.0)
+        assert m.predict([[4.9]])[0] == 0.0
+        assert m.predict([[5.1]])[0] == 1.0
+
+    def test_grows_to_purity_by_default(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, (100, 2))
+        y = rng.normal(size=100)
+        m = DecisionTreeRegressor().fit(X, y)
+        assert r2_score(y, m.predict(X)) > 0.999
+
+    def test_nonlinear_generalization(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, (600, 2))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0) * (1 + np.abs(X[:, 1]))
+        m = DecisionTreeRegressor(min_samples_leaf=5).fit(X, y)
+        Xt = rng.uniform(-2, 2, (200, 2))
+        yt = np.where(Xt[:, 0] > 0, 1.0, -1.0) * (1 + np.abs(Xt[:, 1]))
+        assert r2_score(yt, m.predict(Xt)) > 0.9
+
+
+class TestHyperparameters:
+    def test_max_depth_limits_depth(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, (200, 3))
+        y = rng.normal(size=200)
+        m = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert m.depth <= 3
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(0, 1, (64, 1))
+        y = rng.normal(size=64)
+        m = DecisionTreeRegressor(min_samples_leaf=8).fit(X, y)
+        # count samples per leaf
+        leaves = m.predict(X)  # leaf values
+        # weaker check: number of leaves bounded by n / min_leaf
+        n_leaves = int((m.feature_ == -1).sum())
+        assert n_leaves <= 64 // 8
+
+    def test_min_samples_split(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.arange(10, dtype=float)
+        m = DecisionTreeRegressor(min_samples_split=11).fit(X, y)
+        assert m.n_nodes == 1
+
+    def test_max_features_subsampling_works(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(0, 1, (100, 4))
+        y = X[:, 0]
+        m = DecisionTreeRegressor(max_features="sqrt", random_state=0).fit(X, y)
+        assert r2_score(y, m.predict(X)) > 0.5
+
+    def test_max_features_validation(self):
+        X = np.zeros((4, 2))
+        X[:, 0] = [0, 1, 2, 3]
+        y = np.array([0.0, 1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features=5).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features=1.5).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features="log2").fit(X, y)
+
+    def test_invalid_depth_and_leaf(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1).fit(X, y)
+
+
+class TestBinning:
+    def test_exact_splits_for_few_distinct_values(self):
+        """Features with <= max_bins distinct values are split exactly —
+        the relevant case for this library's (input-size, frequency)
+        feature spaces."""
+        freqs = np.array([135.0, 600.0, 1100.0, 1597.0])
+        X = np.repeat(freqs, 10).reshape(-1, 1)
+        y = np.where(X[:, 0] > 800, 2.0, 1.0)
+        m = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(m.predict(X), y)
+
+    def test_many_distinct_values_quantized(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(500, 1))
+        y = (X[:, 0] > 0).astype(float)
+        m = DecisionTreeRegressor(max_bins=16).fit(X, y)
+        assert r2_score(y, m.predict(X)) > 0.9
+
+
+class TestPredictMechanics:
+    def test_unfitted(self):
+        with pytest.raises(ModelNotFittedError):
+            DecisionTreeRegressor().predict([[1.0]])
+
+    def test_feature_count_checked(self):
+        m = DecisionTreeRegressor().fit(np.zeros((3, 2)) + np.arange(3)[:, None], [0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            m.predict(np.zeros((2, 3)))
+
+    def test_deterministic_without_subsampling(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0, 1, (100, 3))
+        y = rng.normal(size=100)
+        a = DecisionTreeRegressor().fit(X, y).predict(X)
+        b = DecisionTreeRegressor().fit(X, y).predict(X)
+        assert np.array_equal(a, b)

@@ -1,0 +1,85 @@
+"""Tests for adaptive (uncertainty-guided) frequency profiling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ligen.app import LigenApplication
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.modeling.adaptive import adaptive_characterize
+from repro.synergy import Platform, characterize
+
+
+@pytest.fixture(scope="module")
+def device():
+    return Platform.default(seed=55, ideal_sensors=True).get_device("v100")
+
+
+@pytest.fixture(scope="module")
+def app():
+    return LigenApplication(4096, 63, 8)
+
+
+class TestAdaptiveSweep:
+    def test_budget_respected(self, device, app):
+        sweep = adaptive_characterize(app, device, budget=8, repetitions=1)
+        assert sweep.n_measured == 8
+        assert len(sweep.visit_order) == 8
+
+    def test_seeds_include_endpoints_and_baseline(self, device, app):
+        sweep = adaptive_characterize(app, device, budget=5, repetitions=1)
+        freqs = sweep.result.freqs_mhz
+        assert freqs.min() == pytest.approx(135.0)
+        assert freqs.max() == pytest.approx(1597.0)
+        assert np.any(np.abs(freqs - 1282.1) < 1.0)
+
+    def test_no_repeated_bins(self, device, app):
+        sweep = adaptive_characterize(app, device, budget=10, repetitions=1)
+        assert len(set(sweep.visit_order)) == len(sweep.visit_order)
+
+    def test_budget_capped_by_pool(self, device, app):
+        sweep = adaptive_characterize(
+            app, device, budget=50,
+            candidate_freqs=[135.0, 600.0, 1282.0, 1597.0],
+            repetitions=1,
+        )
+        assert sweep.n_measured == 4
+
+    def test_minimum_budget_enforced(self, device, app):
+        with pytest.raises(ConfigurationError):
+            adaptive_characterize(app, device, budget=3, repetitions=1)
+
+    def test_samples_sorted(self, device, app):
+        sweep = adaptive_characterize(app, device, budget=9, repetitions=1)
+        freqs = sweep.result.freqs_mhz
+        assert np.all(np.diff(freqs) > 0)
+
+
+class TestAdaptiveAccuracy:
+    def test_beats_or_matches_even_spacing(self, device, app):
+        """At equal budget, interpolating the adaptive sweep must
+        reconstruct the true energy curve at least as well as an evenly
+        spaced sweep (up to a small tolerance)."""
+        budget = 9
+        truth = characterize(
+            app, device, freqs_mhz=device.gpu.spec.core_freqs.subsample(33), repetitions=1
+        )
+
+        def curve_error(sample_result):
+            xs = sample_result.freqs_mhz
+            ys = sample_result.normalized_energies()
+            interp = np.interp(truth.freqs_mhz, xs, ys)
+            return mean_absolute_percentage_error(truth.normalized_energies(), interp)
+
+        adaptive = adaptive_characterize(app, device, budget=budget, repetitions=1)
+        err_adaptive = curve_error(adaptive.result)
+
+        even = characterize(
+            app, device,
+            freqs_mhz=device.gpu.spec.core_freqs.subsample(budget),
+            repetitions=1,
+        )
+        err_even = curve_error(even)
+
+        assert err_adaptive <= err_even * 1.25
+        assert err_adaptive < 0.05

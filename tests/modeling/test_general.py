@@ -1,0 +1,102 @@
+"""Unit tests for the general-purpose (static-feature) model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelNotFittedError
+from repro.kernels.microbench import generate_microbenchmarks
+from repro.ml.forest import RandomForestRegressor
+from repro.modeling.general import (
+    GeneralPurposeModel,
+    cronos_static_spec,
+    ligen_static_spec,
+)
+
+
+def small_forest():
+    return RandomForestRegressor(n_estimators=8, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def trained_gp():
+    from repro.synergy import Platform
+
+    device = Platform.default(seed=11).get_device("v100")
+    gp = GeneralPurposeModel(regressor_factory=small_forest, repetitions=1)
+    # small suite + coarse sweep keeps this fast
+    suite = generate_microbenchmarks()[::4]
+    gp.train(device, freqs_mhz=[135.0, 600.0, 1100.0, 1282.0, 1597.0], microbenchmarks=suite)
+    return gp
+
+
+class TestTraining:
+    def test_unfitted_raises(self):
+        gp = GeneralPurposeModel(regressor_factory=small_forest)
+        with pytest.raises(ModelNotFittedError):
+            gp.predict_speedup(ligen_static_spec(), [1000.0])
+
+    def test_training_runs_counted(self, trained_gp):
+        assert trained_gp.n_training_runs_ > 0
+
+
+class TestPrediction:
+    def test_speedup_near_one_at_default(self, trained_gp):
+        sp = trained_gp.predict_speedup(ligen_static_spec(), [1282.0])
+        assert sp[0] == pytest.approx(1.0, abs=0.1)
+
+    def test_compute_spec_speedup_scales_with_freq(self, trained_gp):
+        sp = trained_gp.predict_speedup(ligen_static_spec(), [600.0, 1282.0, 1597.0])
+        assert sp[0] < sp[1] < sp[2]
+
+    def test_static_model_blind_to_input_size(self, trained_gp):
+        """The core limitation the paper exploits: one prediction per
+        application regardless of workload size."""
+        spec = cronos_static_spec()
+        a = trained_gp.predict_normalized_energy(spec, [900.0])
+        b = trained_gp.predict_normalized_energy(spec, [900.0])
+        assert a[0] == b[0]
+
+    def test_tradeoff_profile(self, trained_gp):
+        pred = trained_gp.predict_tradeoff(
+            ligen_static_spec(), [600.0, 1282.0, 1597.0], baseline_freq_mhz=1282.0
+        )
+        assert pred.speedups.shape == (3,)
+        assert np.all(pred.normalized_energies > 0)
+        assert np.allclose(pred.times_s, 1.0 / pred.speedups)
+
+    def test_pareto_frequencies_subset_of_sweep(self, trained_gp):
+        freqs = [600.0, 900.0, 1282.0, 1597.0]
+        pred = trained_gp.predict_tradeoff(ligen_static_spec(), freqs, 1282.0)
+        assert set(pred.pareto_frequencies()) <= set(freqs)
+
+
+class TestStaticSpecs:
+    def test_static_specs_distinct(self):
+        """The two applications must present different static feature
+        vectors to the GP model (else it could not distinguish them)."""
+        from repro.kernels.features import extract_normalized_features
+
+        c = extract_normalized_features(cronos_static_spec())
+        l = extract_normalized_features(ligen_static_spec())
+        assert not np.allclose(c, l, atol=0.01)
+
+    def test_dynamic_cronos_memory_heavier_than_ligen(self):
+        """Ground truth: the Cronos stencil is far more memory-intensive
+        than LiGen's dock kernel (per byte of traffic, fewer flops)."""
+        from repro.cronos.gpu_costs import COMPUTE_CHANGES_SPEC
+        from repro.ligen.gpu_costs import DOCK_SPEC
+
+        assert (
+            COMPUTE_CHANGES_SPEC.arithmetic_intensity()
+            < DOCK_SPEC.arithmetic_intensity()
+        )
+
+    def test_specs_differ_from_dynamic_mixes(self):
+        """Static estimates must NOT equal the dynamic cost-model specs —
+        the estimation gap is part of the reproduction design."""
+        from repro.cronos.gpu_costs import COMPUTE_CHANGES_SPEC
+        from repro.kernels.features import extract_normalized_features
+
+        static = extract_normalized_features(cronos_static_spec())
+        dynamic = extract_normalized_features(COMPUTE_CHANGES_SPEC)
+        assert not np.allclose(static, dynamic, atol=0.01)

@@ -1,0 +1,114 @@
+"""Unit tests for Pareto-set prediction assessment."""
+
+import numpy as np
+import pytest
+
+from repro.modeling.domain import TradeoffPrediction
+from repro.modeling.predictor import (
+    achieved_points,
+    assess_pareto_prediction,
+    true_front,
+)
+from repro.synergy.runner import CharacterizationResult, FrequencySample
+
+
+def make_characterization(freqs, times, energies, base_t=1.0, base_e=100.0):
+    samples = [
+        FrequencySample(
+            freq_mhz=f,
+            time_s=t,
+            energy_j=e,
+            rep_times_s=np.array([t]),
+            rep_energies_j=np.array([e]),
+        )
+        for f, t, e in zip(freqs, times, energies)
+    ]
+    return CharacterizationResult(
+        app_name="app",
+        device_name="dev",
+        baseline_label="default configuration",
+        baseline_freq_mhz=1282.0,
+        baseline_time_s=base_t,
+        baseline_energy_j=base_e,
+        samples=samples,
+    )
+
+
+@pytest.fixture
+def measured():
+    freqs = [600.0, 900.0, 1282.0, 1597.0]
+    times = [2.0, 1.4, 1.0, 0.85]
+    energies = [90.0, 85.0, 100.0, 140.0]
+    return make_characterization(freqs, times, energies)
+
+
+def prediction(freqs, speedups, energies):
+    freqs = np.asarray(freqs, dtype=float)
+    sp = np.asarray(speedups, dtype=float)
+    ne = np.asarray(energies, dtype=float)
+    return TradeoffPrediction(
+        freqs_mhz=freqs,
+        times_s=1.0 / sp,
+        energies_j=ne,
+        speedups=sp,
+        normalized_energies=ne,
+        baseline_freq_mhz=1282.0,
+    )
+
+
+class TestTrueFront:
+    def test_front_of_measured(self, measured):
+        front = true_front(measured)
+        # 600 (lowest energy tradeoff... check), 900, 1282, 1597 -> dominated?
+        # speedups: 0.5, 0.714, 1.0, 1.176; energies: 0.9, 0.85, 1.0, 1.4
+        # 600 is dominated by 900 (higher speedup, lower energy)
+        assert not front.contains_freq(600.0)
+        assert front.contains_freq(900.0)
+        assert front.contains_freq(1282.0)
+        assert front.contains_freq(1597.0)
+
+
+class TestAchievedPoints:
+    def test_lookup_matches_measured(self, measured):
+        sp, ne = achieved_points(measured, [900.0, 1597.0])
+        assert sp[0] == pytest.approx(1.0 / 1.4)
+        assert ne[1] == pytest.approx(1.4)
+
+    def test_nearest_snap(self, measured):
+        sp, _ = achieved_points(measured, [905.0])
+        assert sp[0] == pytest.approx(1.0 / 1.4)
+
+
+class TestAssessment:
+    def test_perfect_prediction(self, measured):
+        front = true_front(measured)
+        pred = prediction(
+            measured.freqs_mhz,
+            measured.speedups(),
+            measured.normalized_energies(),
+        )
+        a = assess_pareto_prediction(pred, measured)
+        assert a.exact_matches == len(front)
+        assert a.true_front_coverage == pytest.approx(1.0)
+        assert a.distance_to_front == pytest.approx(0.0, abs=1e-12)
+
+    def test_wrong_prediction_penalized(self, measured):
+        # model believes 600 MHz is great and misses the top bin
+        pred = prediction([600.0, 900.0], [1.3, 0.7], [0.5, 1.2])
+        a = assess_pareto_prediction(pred, measured)
+        assert a.exact_matches < len(true_front(measured))
+        assert a.distance_to_front > 0.0
+
+    def test_max_predicted_speedup_is_achieved_value(self, measured):
+        pred = prediction(
+            measured.freqs_mhz,
+            measured.speedups(),
+            measured.normalized_energies(),
+        )
+        a = assess_pareto_prediction(pred, measured)
+        assert a.max_predicted_speedup == pytest.approx(1.0 / 0.85)
+
+    def test_n_predicted(self, measured):
+        pred = prediction([900.0, 1282.0], [0.7, 1.0], [0.85, 1.0])
+        a = assess_pareto_prediction(pred, measured)
+        assert a.n_predicted == len(pred.pareto_frequencies())

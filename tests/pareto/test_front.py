@@ -1,0 +1,104 @@
+"""Unit tests for Pareto-front extraction."""
+
+import numpy as np
+import pytest
+
+from repro.pareto.front import ParetoFront, ParetoPoint, extract_front, pareto_mask
+
+
+class TestParetoMask:
+    def test_simple_domination(self):
+        # point 1 dominates point 0 (faster AND cheaper)
+        sp = [0.9, 1.1, 1.0]
+        en = [1.2, 0.9, 1.0]
+        mask = pareto_mask(sp, en)
+        assert list(mask) == [False, True, False]
+
+    def test_tradeoff_points_all_kept(self):
+        sp = [0.8, 1.0, 1.2]
+        en = [0.7, 0.9, 1.3]
+        assert pareto_mask(sp, en).all()
+
+    def test_duplicate_points_kept_once(self):
+        sp = [1.0, 1.0, 1.2]
+        en = [0.9, 0.9, 1.3]
+        mask = pareto_mask(sp, en)
+        assert mask.sum() == 2
+
+    def test_equal_speedup_lower_energy_wins(self):
+        sp = [1.0, 1.0]
+        en = [0.8, 0.9]
+        assert list(pareto_mask(sp, en)) == [True, False]
+
+    def test_empty(self):
+        assert pareto_mask([], []).size == 0
+
+    def test_single_point(self):
+        assert pareto_mask([1.0], [1.0]).all()
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            pareto_mask([1.0, 2.0], [1.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_mask([np.nan], [1.0])
+
+
+class TestParetoPoint:
+    def test_dominates(self):
+        a = ParetoPoint(speedup=1.1, energy=0.9, freq_mhz=1200)
+        b = ParetoPoint(speedup=1.0, energy=1.0, freq_mhz=1282)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = ParetoPoint(1.0, 1.0, 1282)
+        b = ParetoPoint(1.0, 1.0, 1275)
+        assert not a.dominates(b)
+
+
+class TestExtractFront:
+    def test_front_sorted_by_speedup(self):
+        front = extract_front([1.2, 0.8, 1.0], [1.3, 0.7, 0.9], [1500, 800, 1100])
+        assert np.all(np.diff(front.speedups) >= 0)
+
+    def test_front_is_consistent(self):
+        rng = np.random.default_rng(0)
+        sp = rng.uniform(0.5, 1.3, 60)
+        en = rng.uniform(0.7, 1.5, 60)
+        front = extract_front(sp, en, np.arange(60.0))
+        assert front.is_consistent()
+
+    def test_contains_freq(self):
+        front = extract_front([1.0, 1.2], [0.9, 1.2], [1000.0, 1500.0])
+        assert front.contains_freq(1000.0)
+        assert front.contains_freq(1000.4)
+        assert not front.contains_freq(1200.0)
+
+    def test_extreme_points(self):
+        front = extract_front([0.8, 1.0, 1.2], [0.7, 0.9, 1.3], [800, 1100, 1500])
+        assert front.max_speedup_point().freq_mhz == 1500
+        assert front.min_energy_point().freq_mhz == 800
+
+    def test_empty_front_helpers_raise(self):
+        front = ParetoFront([])
+        with pytest.raises(ValueError):
+            front.max_speedup_point()
+        assert not front.contains_freq(1000.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            extract_front([1.0], [1.0], [1.0, 2.0])
+
+    def test_dominated_points_excluded(self):
+        # a dense cloud: no front point may be dominated by any input point
+        rng = np.random.default_rng(1)
+        sp = rng.uniform(0.5, 1.3, 100)
+        en = rng.uniform(0.7, 1.5, 100)
+        front = extract_front(sp, en, np.arange(100.0))
+        for p in front:
+            dominated = np.any((sp >= p.speedup) & (en < p.energy)) or np.any(
+                (sp > p.speedup) & (en <= p.energy)
+            )
+            assert not dominated

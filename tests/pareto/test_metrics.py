@@ -1,0 +1,102 @@
+"""Unit tests for Pareto-front quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.pareto.front import extract_front
+from repro.pareto.metrics import (
+    exact_frequency_matches,
+    frequency_match_fraction,
+    front_coverage,
+    generational_distance,
+    hypervolume_2d,
+)
+
+
+@pytest.fixture
+def true_front():
+    return extract_front([0.8, 1.0, 1.2], [0.7, 0.9, 1.3], [800.0, 1100.0, 1500.0])
+
+
+class TestFrequencyMatches:
+    def test_exact(self, true_front):
+        assert exact_frequency_matches([800.0, 1100.0], true_front) == 2
+
+    def test_tolerance(self, true_front):
+        assert exact_frequency_matches([800.3], true_front) == 1
+        assert exact_frequency_matches([805.0], true_front) == 0
+
+    def test_no_matches(self, true_front):
+        assert exact_frequency_matches([999.0], true_front) == 0
+
+    def test_match_fraction(self, true_front):
+        assert frequency_match_fraction([800.0, 1100.0, 1500.0], true_front) == 1.0
+        assert frequency_match_fraction([800.0], true_front) == pytest.approx(1 / 3)
+
+    def test_match_fraction_empty_front(self):
+        from repro.pareto.front import ParetoFront
+
+        with pytest.raises(ValueError):
+            frequency_match_fraction([800.0], ParetoFront([]))
+
+
+class TestGenerationalDistance:
+    def test_zero_on_front(self, true_front):
+        d = generational_distance([0.8, 1.2], [0.7, 1.3], true_front)
+        assert d == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_off_front(self, true_front):
+        d = generational_distance([0.9], [1.2], true_front)
+        assert d > 0.1
+
+    def test_mean_semantics(self, true_front):
+        d_one = generational_distance([0.9], [1.2], true_front)
+        d_mixed = generational_distance([0.9, 0.8], [1.2, 0.7], true_front)
+        assert d_mixed == pytest.approx(d_one / 2)
+
+    def test_empty_inputs_rejected(self, true_front):
+        with pytest.raises(ValueError):
+            generational_distance([], [], true_front)
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        hv = hypervolume_2d([1.0], [1.0], ref_speedup=0.0, ref_energy=2.0)
+        assert hv == pytest.approx(1.0)
+
+    def test_dominated_point_adds_nothing(self):
+        hv1 = hypervolume_2d([1.0], [1.0])
+        hv2 = hypervolume_2d([1.0, 0.9], [1.0, 1.1])
+        assert hv2 == pytest.approx(hv1)
+
+    def test_second_tradeoff_point_adds_area(self):
+        hv1 = hypervolume_2d([1.0], [1.0])
+        hv2 = hypervolume_2d([1.0, 0.5], [1.0, 0.8])
+        assert hv2 == pytest.approx(hv1 + 0.5 * 0.2)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume_2d([-0.5], [1.0]) == 0.0
+        assert hypervolume_2d([1.0], [2.5]) == 0.0
+
+    def test_monotone_in_points(self):
+        rng = np.random.default_rng(0)
+        sp = rng.uniform(0.1, 1.5, 30)
+        en = rng.uniform(0.5, 1.9, 30)
+        hv_partial = hypervolume_2d(sp[:10], en[:10])
+        hv_full = hypervolume_2d(sp, en)
+        assert hv_full >= hv_partial
+
+
+class TestFrontCoverage:
+    def test_full_coverage_of_self(self, true_front):
+        assert front_coverage(true_front, true_front) == 1.0
+
+    def test_dominated_prediction_penalized(self, true_front):
+        bad = extract_front([0.9], [1.2], [1000.0])
+        assert front_coverage(bad, true_front) == 0.0
+
+    def test_empty_prediction_rejected(self, true_front):
+        from repro.pareto.front import ParetoFront
+
+        with pytest.raises(ValueError):
+            front_coverage(ParetoFront([]), true_front)

@@ -1,0 +1,82 @@
+"""Property-based tests for the Cronos solver (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cronos.boundary import BoundaryKind, apply_boundary
+from repro.cronos.grid import Grid3D
+from repro.cronos.solver import CronosSolver
+from repro.cronos.state import MHDState, conserved_from_primitive
+from repro.cronos.stencil import compute_changes, minmod
+
+
+@st.composite
+def random_states(draw):
+    """Small periodic MHD states with physically valid primitives."""
+    nx = draw(st.sampled_from([4, 6, 8]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    g = Grid3D(nx, nx, nx)
+    prim = np.empty((8, *g.shape))
+    prim[0] = rng.uniform(0.5, 2.0, g.shape)
+    prim[1:4] = rng.uniform(-0.5, 0.5, (3, *g.shape))
+    prim[4] = rng.uniform(0.5, 2.0, g.shape)
+    prim[5:8] = rng.uniform(-0.3, 0.3, (3, *g.shape))
+    st_ = MHDState.zeros(g)
+    st_.u[(slice(None), *g.interior)] = conserved_from_primitive(prim, st_.gamma)
+    apply_boundary(st_, BoundaryKind.PERIODIC)
+    return st_
+
+
+@given(random_states())
+@settings(max_examples=20, deadline=None)
+def test_changes_conserve_every_component(state):
+    """Periodic flux differencing telescopes to zero for all 8 components."""
+    changes, _ = compute_changes(state)
+    sums = np.abs(changes.reshape(8, -1).sum(axis=1))
+    scales = np.abs(changes).reshape(8, -1).sum(axis=1) + 1e-30
+    assert np.all(sums / scales < 1e-9)
+
+
+@given(random_states())
+@settings(max_examples=15, deadline=None)
+def test_one_step_preserves_mass_and_positivity(state):
+    m0 = state.total_mass()
+    solver = CronosSolver(state, cfl_number=0.3)
+    solver.step()
+    assert np.isclose(solver.state.total_mass(), m0, rtol=1e-10)
+    assert solver.state.min_density() > 0
+    assert solver.state.min_pressure() > 0
+
+
+@given(random_states())
+@settings(max_examples=15, deadline=None)
+def test_cfl_step_is_stable(state):
+    """One CFL-limited step must not blow up (max |U| grows boundedly)."""
+    before = np.abs(state.interior()).max()
+    solver = CronosSolver(state, cfl_number=0.3)
+    solver.step()
+    after = np.abs(solver.state.interior()).max()
+    assert np.isfinite(after)
+    assert after < 10.0 * before + 10.0
+
+
+@given(
+    st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=20),
+    st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_minmod_properties(a_list, b_list):
+    n = min(len(a_list), len(b_list))
+    a = np.array(a_list[:n])
+    b = np.array(b_list[:n])
+    out = minmod(a, b)
+    # |minmod| <= min(|a|, |b|)
+    assert np.all(np.abs(out) <= np.minimum(np.abs(a), np.abs(b)) + 1e-12)
+    # sign agrees with both inputs where nonzero
+    nz = out != 0
+    assert np.all(np.sign(out[nz]) == np.sign(a[nz]))
+    assert np.all(np.sign(out[nz]) == np.sign(b[nz]))
+    # symmetric
+    assert np.allclose(minmod(b, a), out)

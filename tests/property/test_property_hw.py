@@ -1,0 +1,100 @@
+"""Property-based tests for the hardware simulator (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.perf import RooflineTimingModel
+from repro.hw.power import PowerModel
+from repro.hw.specs import make_v100_spec
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+SPEC = make_v100_spec()
+TIMING = RooflineTimingModel(SPEC)
+POWER = PowerModel(SPEC)
+
+
+@st.composite
+def launches(draw):
+    kwargs = {
+        "int_add": draw(st.floats(min_value=0.0, max_value=500.0)),
+        "float_add": draw(st.floats(min_value=0.0, max_value=2000.0)),
+        "float_mul": draw(st.floats(min_value=0.0, max_value=2000.0)),
+        "special_fn": draw(st.floats(min_value=0.0, max_value=100.0)),
+        "global_access": draw(st.floats(min_value=0.0, max_value=200.0)),
+        "local_access": draw(st.floats(min_value=0.0, max_value=100.0)),
+    }
+    if sum(kwargs.values()) < 1e-3:  # avoid underflow-degenerate kernels
+        kwargs["float_add"] = 1.0
+    threads = draw(st.integers(min_value=1, max_value=5_000_000))
+    return KernelLaunch(KernelSpec("prop", **kwargs), threads=threads)
+
+
+freqs = st.floats(min_value=135.0, max_value=1597.0)
+
+
+@given(launches(), freqs)
+@settings(max_examples=80, deadline=None)
+def test_time_positive_and_finite(launch, f):
+    t = TIMING.time(launch, f)
+    assert np.isfinite(t.time_s) and t.time_s > 0
+    assert t.exec_s >= max(t.t_comp_s, t.t_bw_s, t.t_lat_s) - 1e-18
+
+
+@given(launches(), freqs, freqs)
+@settings(max_examples=80, deadline=None)
+def test_time_monotone_nonincreasing_in_frequency(launch, f1, f2):
+    lo, hi = min(f1, f2), max(f1, f2)
+    t_lo = TIMING.time(launch, lo).exec_s
+    t_hi = TIMING.time(launch, hi).exec_s
+    assert t_hi <= t_lo * (1 + 1e-12)
+
+
+@given(launches(), freqs)
+@settings(max_examples=80, deadline=None)
+def test_time_monotone_in_threads(launch, f):
+    bigger = launch.with_threads(launch.threads * 2)
+    assert TIMING.time(bigger, f).exec_s >= TIMING.time(launch, f).exec_s - 1e-18
+
+
+@given(launches(), freqs)
+@settings(max_examples=80, deadline=None)
+def test_utilizations_in_unit_interval(launch, f):
+    t = TIMING.time(launch, f)
+    assert 0.0 <= t.u_comp <= 1.0
+    assert 0.0 <= t.u_mem <= 1.0
+    assert 0.0 <= t.width_util <= 1.0
+    assert 0.0 <= t.occupancy <= 1.0
+
+
+@given(
+    freqs,
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_power_bounded(f, uc, um):
+    p = POWER.power_w(f, uc, um)
+    assert SPEC.p_static_w <= p <= SPEC.tdp_w + 1e-9
+
+
+@given(freqs, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_power_monotone_in_compute_utilization(f, uc):
+    um = 0.3
+    assert POWER.power_w(f, uc, um) <= POWER.power_w(f, min(1.0, uc + 0.1), um) + 1e-12
+
+
+@given(launches(), freqs)
+@settings(max_examples=50, deadline=None)
+def test_energy_time_consistency_on_device(launch, f):
+    """Device counters must advance by exactly the launch result."""
+    from repro.hw.device import SimulatedGPU
+
+    gpu = SimulatedGPU(SPEC)
+    gpu.set_core_frequency(f)
+    before_t, before_e = gpu.time_counter_s, gpu.energy_counter_j
+    r = gpu.launch(launch)
+    assert gpu.time_counter_s - before_t == r.time_s
+    assert gpu.energy_counter_j - before_e == r.energy_j
+    assert r.energy_j > 0

@@ -1,0 +1,84 @@
+"""Property-based tests for ligand generation and moves (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ligen.library import make_ligand
+from repro.ligen.molecule import rotation_matrix
+
+
+@st.composite
+def ligand_configs(draw):
+    n_atoms = draw(st.integers(min_value=5, max_value=60))
+    n_fragments = draw(st.integers(min_value=0, max_value=min(8, n_atoms - 3)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n_atoms, n_fragments, seed
+
+
+@given(ligand_configs())
+@settings(max_examples=30, deadline=None)
+def test_generated_ligand_counts(config):
+    n_atoms, n_fragments, seed = config
+    lig = make_ligand(n_atoms, n_fragments, seed=seed)
+    assert lig.n_atoms == n_atoms
+    assert lig.n_fragments == n_fragments
+
+
+@given(ligand_configs())
+@settings(max_examples=30, deadline=None)
+def test_generated_ligand_geometry_sane(config):
+    n_atoms, n_fragments, seed = config
+    lig = make_ligand(n_atoms, n_fragments, seed=seed)
+    d = np.linalg.norm(lig.coords[:, None] - lig.coords[None, :], axis=-1)
+    np.fill_diagonal(d, np.inf)
+    assert d.min() > 0.8  # no coincident atoms
+    assert np.all(lig.radii > 0)
+    assert abs(lig.charges.sum()) < 1e-9
+
+
+@given(ligand_configs(), st.floats(min_value=-6.0, max_value=6.0))
+@settings(max_examples=30, deadline=None)
+def test_fragment_rotation_is_isometry_of_fragment(config, angle):
+    """Torsion moves preserve all pairwise distances *within* the moving
+    set and within the fixed set (only cross distances change)."""
+    n_atoms, n_fragments, seed = config
+    if n_fragments == 0:
+        return
+    lig = make_ligand(n_atoms, n_fragments, seed=seed)
+    moved = lig.rotate_fragment(0, angle)
+    idx = lig.fragments[0].atom_indices
+    fixed = np.setdiff1d(np.arange(n_atoms), idx)
+
+    def pd(coords, sel):
+        sub = coords[sel]
+        return np.linalg.norm(sub[:, None] - sub[None, :], axis=-1)
+
+    assert np.allclose(pd(lig.coords, idx), pd(moved.coords, idx), atol=1e-9)
+    assert np.allclose(pd(lig.coords, fixed), pd(moved.coords, fixed), atol=1e-12)
+
+
+@given(
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-6.0, max_value=6.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_rotation_matrix_always_orthonormal(x, y, z, angle):
+    axis = np.array([x, y, z])
+    if np.linalg.norm(axis) < 1e-6:
+        axis = np.array([1.0, 0.0, 0.0])
+    r = rotation_matrix(axis, angle)
+    assert np.allclose(r @ r.T, np.eye(3), atol=1e-10)
+    assert np.linalg.det(r) > 0
+
+
+@given(ligand_configs())
+@settings(max_examples=20, deadline=None)
+def test_generation_deterministic(config):
+    n_atoms, n_fragments, seed = config
+    a = make_ligand(n_atoms, n_fragments, seed=seed)
+    b = make_ligand(n_atoms, n_fragments, seed=seed)
+    assert np.array_equal(a.coords, b.coords)
+    assert np.array_equal(a.charges, b.charges)

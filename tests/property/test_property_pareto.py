@@ -1,0 +1,99 @@
+"""Property-based tests for Pareto-front extraction (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pareto.front import extract_front, pareto_mask
+from repro.pareto.metrics import hypervolume_2d
+
+points = st.integers(min_value=1, max_value=40)
+
+
+def finite_arrays(n):
+    return hnp.arrays(
+        float,
+        n,
+        elements=st.floats(min_value=0.05, max_value=3.0, allow_nan=False),
+    )
+
+
+@st.composite
+def clouds(draw):
+    n = draw(points)
+    sp = draw(finite_arrays(n))
+    en = draw(finite_arrays(n))
+    return sp, en
+
+
+@given(clouds())
+@settings(max_examples=80, deadline=None)
+def test_front_nonempty(cloud):
+    sp, en = cloud
+    assert pareto_mask(sp, en).any()
+
+
+@given(clouds())
+@settings(max_examples=80, deadline=None)
+def test_no_front_point_dominated(cloud):
+    sp, en = cloud
+    mask = pareto_mask(sp, en)
+    for i in np.flatnonzero(mask):
+        strictly_better = ((sp >= sp[i]) & (en < en[i])) | ((sp > sp[i]) & (en <= en[i]))
+        assert not strictly_better.any()
+
+
+@given(clouds())
+@settings(max_examples=80, deadline=None)
+def test_every_non_front_point_dominated(cloud):
+    sp, en = cloud
+    mask = pareto_mask(sp, en)
+    front_sp, front_en = sp[mask], en[mask]
+    for i in np.flatnonzero(~mask):
+        dominated_or_dup = (
+            ((front_sp >= sp[i]) & (front_en < en[i]))
+            | ((front_sp > sp[i]) & (front_en <= en[i]))
+            | ((front_sp == sp[i]) & (front_en == en[i]))
+        )
+        assert dominated_or_dup.any()
+
+
+@given(clouds())
+@settings(max_examples=60, deadline=None)
+def test_front_staircase_invariant(cloud):
+    sp, en = cloud
+    front = extract_front(sp, en, np.arange(float(sp.size)))
+    assert front.is_consistent()
+
+
+@given(clouds())
+@settings(max_examples=60, deadline=None)
+def test_adding_dominated_point_keeps_front(cloud):
+    sp, en = cloud
+    front1 = extract_front(sp, en, np.arange(float(sp.size)))
+    # append a point dominated by the first front point
+    p = front1.points[0]
+    sp2 = np.append(sp, p.speedup - 0.01)
+    en2 = np.append(en, p.energy + 0.01)
+    front2 = extract_front(sp2, en2, np.arange(float(sp2.size)))
+    assert np.allclose(np.sort(front1.speedups), np.sort(front2.speedups))
+
+
+@given(clouds())
+@settings(max_examples=60, deadline=None)
+def test_hypervolume_bounded_by_reference_box(cloud):
+    sp, en = cloud
+    hv = hypervolume_2d(sp, en, ref_speedup=0.0, ref_energy=3.5)
+    assert 0.0 <= hv <= 3.0 * 3.5
+
+
+@given(clouds())
+@settings(max_examples=60, deadline=None)
+def test_hypervolume_of_front_equals_cloud(cloud):
+    """Dominated points contribute nothing: HV(front) == HV(all)."""
+    sp, en = cloud
+    mask = pareto_mask(sp, en)
+    hv_all = hypervolume_2d(sp, en, ref_energy=3.5)
+    hv_front = hypervolume_2d(sp[mask], en[mask], ref_energy=3.5)
+    assert np.isclose(hv_all, hv_front)

@@ -1,0 +1,77 @@
+"""Property-based tests for frequency selection (hypothesis)."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.synergy.tuning import TuningMetric, select_frequency
+
+
+@st.composite
+def profiles(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    freqs = np.sort(rng.uniform(135.0, 1597.0, n))
+    speedups = np.sort(rng.uniform(0.1, 1.3, n))  # monotone in f (physical)
+    energies = rng.uniform(0.6, 1.8, n)
+    return freqs, speedups, energies
+
+
+@given(profiles(), st.floats(min_value=0.0, max_value=0.9))
+@settings(max_examples=80, deadline=None)
+def test_min_energy_respects_budget(profile, budget):
+    freqs, sp, ne = profile
+    try:
+        d = select_frequency(freqs, sp, ne, TuningMetric.MIN_ENERGY, budget)
+    except ConfigurationError:
+        assume(False)  # infeasible budget: nothing to check
+        return
+    assert d.predicted_speedup >= 1.0 - budget - 1e-12
+    # no feasible configuration has lower energy
+    feasible = sp >= 1.0 - budget
+    assert d.predicted_normalized_energy <= ne[feasible].min() + 1e-12
+
+
+@given(profiles())
+@settings(max_examples=80, deadline=None)
+def test_edp_is_global_minimum(profile):
+    freqs, sp, ne = profile
+    d = select_frequency(freqs, sp, ne, TuningMetric.MIN_EDP)
+    assert d.predicted_edp <= (ne / sp).min() + 1e-12
+
+
+@given(profiles())
+@settings(max_examples=80, deadline=None)
+def test_ed2p_never_slower_than_edp(profile):
+    freqs, sp, ne = profile
+    d_edp = select_frequency(freqs, sp, ne, TuningMetric.MIN_EDP)
+    d_ed2p = select_frequency(freqs, sp, ne, TuningMetric.MIN_ED2P)
+    assert d_ed2p.predicted_speedup >= d_edp.predicted_speedup - 1e-12
+
+
+@given(profiles(), st.floats(min_value=0.6, max_value=1.8))
+@settings(max_examples=80, deadline=None)
+def test_energy_target_honoured(profile, target):
+    freqs, sp, ne = profile
+    try:
+        d = select_frequency(
+            freqs, sp, ne, TuningMetric.ENERGY_TARGET, energy_target=target
+        )
+    except ConfigurationError:
+        assert not (ne <= target).any()
+        return
+    assert d.predicted_normalized_energy <= target + 1e-12
+    # it is the fastest configuration meeting the target
+    meeting = ne <= target
+    assert d.predicted_speedup >= sp[meeting].max() - 1e-12
+
+
+@given(profiles())
+@settings(max_examples=60, deadline=None)
+def test_selected_frequency_from_profile(profile):
+    freqs, sp, ne = profile
+    for metric in (TuningMetric.MIN_EDP, TuningMetric.MIN_ED2P, TuningMetric.MAX_SPEEDUP):
+        d = select_frequency(freqs, sp, ne, metric)
+        assert d.freq_mhz in freqs

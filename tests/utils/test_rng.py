@@ -1,0 +1,58 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_child
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 2**31, 10)
+        b = as_generator(2).integers(0, 2**31, 10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_generator(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawnChild:
+    def test_children_are_decorrelated(self):
+        parent = np.random.default_rng(0)
+        c1 = spawn_child(parent, 0)
+        c2 = spawn_child(parent, 1)
+        assert not np.array_equal(c1.integers(0, 2**31, 20), c2.integers(0, 2**31, 20))
+
+    def test_deterministic_from_parent_seed(self):
+        a = spawn_child(np.random.default_rng(5), 0).integers(0, 2**31, 5)
+        b = spawn_child(np.random.default_rng(5), 0).integers(0, 2**31, 5)
+        assert np.array_equal(a, b)
+
+    def test_index_changes_stream(self):
+        # Same parent state, different index -> different stream.
+        p1 = np.random.default_rng(5)
+        p2 = np.random.default_rng(5)
+        a = spawn_child(p1, 0).integers(0, 2**31, 5)
+        b = spawn_child(p2, 9).integers(0, 2**31, 5)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_non_generator(self):
+        with pytest.raises(TypeError):
+            spawn_child(42, 0)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import AsciiTable, format_float, render_kv_block
+
+
+class TestFormatFloat:
+    def test_int_stays_int(self):
+        assert format_float(42) == "42"
+
+    def test_whole_float_drops_point(self):
+        assert format_float(42.0) == "42"
+
+    def test_precision(self):
+        assert format_float(0.123456, precision=3) == "0.123"
+
+    def test_non_numeric_passthrough(self):
+        assert format_float("abc") == "abc"
+
+    def test_bool(self):
+        assert format_float(True) == "True"
+
+
+class TestAsciiTable:
+    def test_basic_render(self):
+        t = AsciiTable(["a", "b"], title="T")
+        t.add_row([1, 2.5])
+        out = t.render()
+        assert "== T ==" in out
+        assert "a" in out and "b" in out
+        assert "2.5" in out
+
+    def test_alignment_consistent(self):
+        t = AsciiTable(["col"])
+        t.add_row([1])
+        t.add_row([123456])
+        lines = t.render().splitlines()
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_row_arity_checked(self):
+        t = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiTable([])
+
+    def test_add_rows_and_count(self):
+        t = AsciiTable(["a"])
+        t.add_rows([[1], [2], [3]])
+        assert t.n_rows == 3
+
+
+class TestRenderKvBlock:
+    def test_renders_pairs(self):
+        out = render_kv_block({"alpha": 1, "b": 2.5}, title="S")
+        assert "== S ==" in out
+        assert "alpha" in out and "2.5" in out
+
+    def test_empty(self):
+        assert render_kv_block({}) == ""
+        assert "T" in render_kv_block({}, title="T")

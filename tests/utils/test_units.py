@@ -1,0 +1,41 @@
+"""Unit tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import (
+    hz_to_mhz,
+    joules_to_kilojoules,
+    kilojoules_to_joules,
+    mhz_to_hz,
+    seconds_to_milliseconds,
+    watts,
+)
+
+
+def test_mhz_hz_roundtrip():
+    assert hz_to_mhz(mhz_to_hz(1282.0)) == pytest.approx(1282.0)
+
+
+def test_mhz_to_hz_scale():
+    assert mhz_to_hz(1.0) == 1e6
+
+
+def test_energy_roundtrip():
+    assert kilojoules_to_joules(joules_to_kilojoules(123.4)) == pytest.approx(123.4)
+
+
+def test_kj_scale():
+    assert joules_to_kilojoules(1500.0) == pytest.approx(1.5)
+
+
+def test_seconds_to_ms():
+    assert seconds_to_milliseconds(0.25) == pytest.approx(250.0)
+
+
+def test_watts():
+    assert watts(energy_j=300.0, time_s=2.0) == pytest.approx(150.0)
+
+
+def test_watts_rejects_zero_time():
+    with pytest.raises(ValueError):
+        watts(1.0, 0.0)

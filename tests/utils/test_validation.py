@@ -1,0 +1,124 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite_array,
+    check_in_range,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    ensure_1d,
+    ensure_2d,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+    def test_coerces_to_float(self):
+        assert isinstance(check_positive(3, "x"), float)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1, "n") == 1
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), "n") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "n")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "n") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "n")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_non_negative_int("3", "n")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="x"):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+    def test_non_finite(self):
+        with pytest.raises(ValueError):
+            check_in_range(float("nan"), "x", 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+
+class TestArrays:
+    def test_finite_array_passes(self):
+        out = check_finite_array([1, 2, 3], "a")
+        assert out.dtype == float
+
+    def test_finite_array_rejects_nan(self):
+        with pytest.raises(ValueError, match="a"):
+            check_finite_array([1.0, np.nan], "a")
+
+    def test_finite_array_empty_ok(self):
+        assert check_finite_array([], "a").size == 0
+
+    def test_ensure_1d_from_scalar(self):
+        assert ensure_1d(5.0, "a").shape == (1,)
+
+    def test_ensure_1d_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ensure_1d(np.zeros((2, 2)), "a")
+
+    def test_ensure_2d_promotes_1d(self):
+        assert ensure_2d([1.0, 2.0], "a").shape == (2, 1)
+
+    def test_ensure_2d_rejects_3d(self):
+        with pytest.raises(ValueError):
+            ensure_2d(np.zeros((2, 2, 2)), "a")
