@@ -1,0 +1,73 @@
+"""Static analysis of the reproduction's own static layer.
+
+Three analyzers behind one diagnostic framework (``docs/static-analysis.md``):
+
+- :mod:`repro.analysis.ir_verifier` — kernel-IR graphs (``IR001``-``IR005``),
+- :mod:`repro.analysis.hw_validator` — device spec tables (``HW001``-``HW004``),
+- :mod:`repro.analysis.rules` — AST lint rules over the source tree
+  (``DET001``, ``FLT001``, ``MUT001``, ``TIM001``),
+
+all reporting :class:`repro.analysis.diagnostics.Diagnostic` records and
+exposed through ``repro lint`` (see :mod:`repro.analysis.runner`).
+"""
+
+from repro.analysis.diagnostics import (
+    JSON_FORMAT,
+    JSON_VERSION,
+    Diagnostic,
+    Severity,
+    filter_diagnostics,
+    has_errors,
+    render_json,
+    render_text,
+)
+from repro.analysis.dimensional import DimensionError, Quantity, quantity
+from repro.analysis.hw_validator import (
+    verify_device_spec,
+    verify_frequencies,
+    verify_power_budget,
+    verify_roofline_units,
+    verify_voltage_curve,
+)
+from repro.analysis.ir_verifier import (
+    find_dead_configurations,
+    verify_application,
+    verify_feature_tables,
+    verify_kernel_graph,
+    verify_launch,
+    verify_spec,
+)
+from repro.analysis.rules import RULE_REGISTRY, LintRule, lint_source, register_rule
+from repro.analysis.runner import lint_paths, run_lint, self_check
+
+__all__ = [
+    "JSON_FORMAT",
+    "JSON_VERSION",
+    "Diagnostic",
+    "Severity",
+    "DimensionError",
+    "Quantity",
+    "quantity",
+    "LintRule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "lint_source",
+    "lint_paths",
+    "run_lint",
+    "self_check",
+    "filter_diagnostics",
+    "has_errors",
+    "render_json",
+    "render_text",
+    "verify_device_spec",
+    "verify_frequencies",
+    "verify_power_budget",
+    "verify_roofline_units",
+    "verify_voltage_curve",
+    "verify_application",
+    "verify_feature_tables",
+    "verify_kernel_graph",
+    "verify_launch",
+    "verify_spec",
+    "find_dead_configurations",
+]

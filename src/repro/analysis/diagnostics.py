@@ -1,0 +1,129 @@
+"""Shared diagnostic records and reporters for the static-analysis layer.
+
+Every analyzer in :mod:`repro.analysis` — the kernel-IR verifier, the
+hardware-spec validator and the AST lint pass — reports findings as
+:class:`Diagnostic` records so that one set of reporters (text and JSON)
+serves all of them and downstream tooling can consume a single stable
+schema (documented in ``docs/static-analysis.md`` and guarded by a
+golden-file test).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "JSON_FORMAT",
+    "JSON_VERSION",
+    "Severity",
+    "Diagnostic",
+    "filter_diagnostics",
+    "has_errors",
+    "render_text",
+    "render_json",
+]
+
+#: ``format`` tag of the JSON report (mirrors ``repro.io`` payload tags).
+JSON_FORMAT = "repro.lint"
+
+#: Schema version of the JSON report; bump on breaking layout changes.
+JSON_VERSION = 1
+
+
+class Severity(str, Enum):
+    """How bad a finding is; only ``ERROR`` makes ``repro lint`` exit nonzero."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from any analyzer.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier (e.g. ``"DET001"``, ``"HW002"``); the full
+        catalog lives in ``docs/static-analysis.md``.
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable, single-line description naming the offending
+        object (feature, frequency bin, call, ...).
+    file:
+        Source path for lint findings, or a logical location such as
+        ``"<spec:NVIDIA V100>"`` for object-level verifiers.
+    line, col:
+        1-based line and 0-based column for lint findings; 0 when the
+        finding is not tied to source text.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    file: str = ""
+    line: int = 0
+    col: int = 0
+
+    def format(self) -> str:
+        """Render as a compiler-style one-liner."""
+        loc = self.file
+        if self.line:
+            loc = f"{loc}:{self.line}:{self.col}"
+        prefix = f"{loc}: " if loc else ""
+        return f"{prefix}{self.severity.value}[{self.rule}] {self.message}"
+
+
+def filter_diagnostics(
+    diagnostics: Iterable[Diagnostic], select: Optional[Sequence[str]] = None
+) -> List[Diagnostic]:
+    """Keep only diagnostics whose rule id is in ``select`` (all if ``None``)."""
+    diags = list(diagnostics)
+    if select is None:
+        return diags
+    wanted = {s.strip().upper() for s in select if s.strip()}
+    return [d for d in diags if d.rule.upper() in wanted]
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True if any diagnostic has severity :attr:`Severity.ERROR`."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def _counts(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    counts = {s.value: 0 for s in Severity}
+    for d in diagnostics:
+        counts[d.severity.value] += 1
+    return counts
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Multi-line human-readable report (empty findings -> a clean-bill line)."""
+    lines = [d.format() for d in diagnostics]
+    counts = _counts(diagnostics)
+    summary = (
+        f"{len(diagnostics)} finding(s): "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info"
+    )
+    if not diagnostics:
+        return "no findings"
+    return "\n".join(lines + [summary])
+
+
+def render_json(diagnostics: Sequence[Diagnostic], *, indent: int = 2) -> str:
+    """Stable machine-readable report (schema in ``docs/static-analysis.md``)."""
+    payload = {
+        "format": JSON_FORMAT,
+        "version": JSON_VERSION,
+        "counts": _counts(diagnostics),
+        "diagnostics": [
+            {**asdict(d), "severity": d.severity.value} for d in diagnostics
+        ],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

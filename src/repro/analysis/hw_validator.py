@@ -1,0 +1,246 @@
+"""Static validation of device spec tables (V100 / MI100 / Intel Max).
+
+The roofline + CMOS power model only produces the paper's Pareto shapes
+when the spec tables satisfy a handful of invariants: the DVFS frequency
+table must be strictly increasing, the voltage curve monotone
+non-decreasing in frequency (dynamic power would otherwise *fall* while
+clocking up, inverting the trade-off), idle power must sit strictly below
+the full-load board power, and the roofline peaks must be positive and
+dimensionally consistent (Hz·cycles, J = W·s — checked with
+:mod:`repro.analysis.dimensional`).
+
+Rule ids: ``HW001``-``HW004`` (catalog in ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.dimensional import DimensionError, quantity
+from repro.hw.dvfs import VoltageCurve
+from repro.hw.power import PowerModel
+from repro.hw.specs import DeviceSpec
+
+__all__ = [
+    "verify_frequencies",
+    "verify_voltage_curve",
+    "verify_power_budget",
+    "verify_roofline_units",
+    "verify_device_spec",
+]
+
+
+def _loc(name: str) -> str:
+    return f"<device:{name}>"
+
+
+def verify_frequencies(freqs_mhz: Sequence[float], name: str = "?") -> List[Diagnostic]:
+    """HW001: the frequency table must be positive, finite and strictly increasing.
+
+    Accepts a raw sequence (not a :class:`repro.hw.dvfs.FrequencyTable`)
+    so that property tests can feed mutated tables directly.
+    """
+    diags: List[Diagnostic] = []
+    loc = _loc(name)
+    arr = np.asarray(list(freqs_mhz), dtype=float)
+    if arr.size == 0:
+        return [
+            Diagnostic(
+                rule="HW001",
+                severity=Severity.ERROR,
+                message="frequency table is empty",
+                file=loc,
+            )
+        ]
+    if not np.isfinite(arr).all() or np.any(arr <= 0):
+        diags.append(
+            Diagnostic(
+                rule="HW001",
+                severity=Severity.ERROR,
+                message="frequency table contains non-positive or non-finite bins",
+                file=loc,
+            )
+        )
+        return diags
+    steps = np.diff(arr)
+    if np.any(steps <= 0):
+        i = int(np.argmax(steps <= 0))
+        diags.append(
+            Diagnostic(
+                rule="HW001",
+                severity=Severity.ERROR,
+                message=(
+                    f"frequency steps must be strictly increasing; "
+                    f"bin {i + 1} ({arr[i + 1]:.6g} MHz) does not exceed "
+                    f"bin {i} ({arr[i]:.6g} MHz)"
+                ),
+                file=loc,
+            )
+        )
+    return diags
+
+
+def verify_voltage_curve(
+    curve: VoltageCurve, freqs_mhz: Sequence[float], name: str = "?"
+) -> List[Diagnostic]:
+    """HW002: ``V(f)`` must be monotone non-decreasing and within [v_min, v_max].
+
+    A voltage dip anywhere in the table would make ``V^2·f`` non-monotone
+    and the CMOS power model could then reward *over*-clocking with lower
+    power — the exact bug class this validator exists to catch.
+    """
+    diags: List[Diagnostic] = []
+    loc = _loc(name)
+    arr = np.asarray(list(freqs_mhz), dtype=float)
+    if arr.size == 0:
+        return diags
+    try:
+        volts = np.asarray(curve.voltage_at(arr), dtype=float)
+    except Exception as exc:
+        return [
+            Diagnostic(
+                rule="HW002",
+                severity=Severity.ERROR,
+                message=f"voltage curve rejected the frequency table: {exc}",
+                file=loc,
+            )
+        ]
+    dips = np.diff(volts) < -1e-12
+    if np.any(dips):
+        i = int(np.argmax(dips))
+        diags.append(
+            Diagnostic(
+                rule="HW002",
+                severity=Severity.ERROR,
+                message=(
+                    f"voltage curve is not monotone non-decreasing: "
+                    f"V({arr[i + 1]:.6g} MHz) = {volts[i + 1]:.4f} V < "
+                    f"V({arr[i]:.6g} MHz) = {volts[i]:.4f} V"
+                ),
+                file=loc,
+            )
+        )
+    if np.any(volts < curve.v_min - 1e-12) or np.any(volts > curve.v_max + 1e-12):
+        diags.append(
+            Diagnostic(
+                rule="HW002",
+                severity=Severity.ERROR,
+                message=(
+                    f"voltage leaves the declared [{curve.v_min}, {curve.v_max}] V "
+                    "envelope inside the frequency table"
+                ),
+                file=loc,
+            )
+        )
+    return diags
+
+
+def verify_power_budget(spec: DeviceSpec) -> List[Diagnostic]:
+    """HW003: idle power must sit strictly below the full-load board power.
+
+    ``P_idle(f) < P(f, 1, 1) <= tdp_w`` for every frequency — if the idle
+    draw ever reaches the cap there is no dynamic headroom and normalized
+    energy degenerates to pure runtime.
+    """
+    diags: List[Diagnostic] = []
+    loc = _loc(spec.name)
+    model = PowerModel(spec)
+    for f in (spec.core_freqs.min_mhz, spec.core_freqs.max_mhz):
+        idle = model.idle_power_w(f)
+        full = model.power_w(f, 1.0, 1.0)
+        if not idle < full:
+            diags.append(
+                Diagnostic(
+                    rule="HW003",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"idle power {idle:.1f} W is not below full-load power "
+                        f"{full:.1f} W at {f:.0f} MHz (no dynamic headroom)"
+                    ),
+                    file=loc,
+                )
+            )
+    if spec.p_static_w >= spec.tdp_w:
+        diags.append(
+            Diagnostic(
+                rule="HW003",
+                severity=Severity.ERROR,
+                message=(
+                    f"static power {spec.p_static_w:.1f} W reaches the board "
+                    f"budget {spec.tdp_w:.1f} W"
+                ),
+                file=loc,
+            )
+        )
+    return diags
+
+
+def verify_roofline_units(spec: DeviceSpec) -> List[Diagnostic]:
+    """HW004: roofline peaks must be positive and dimensionally consistent.
+
+    Rebuilds the derived quantities with explicit units — peak throughput
+    as ``(op/cycle)·(cycle/s)``, bandwidth in ``byte/s``, latency in
+    seconds, energy as ``W·s`` — and cross-checks them against the spec's
+    own properties, which catches both sign errors and MHz/Hz mix-ups.
+    """
+    diags: List[Diagnostic] = []
+    loc = _loc(spec.name)
+
+    def err(message: str) -> None:
+        diags.append(
+            Diagnostic(rule="HW004", severity=Severity.ERROR, message=message, file=loc)
+        )
+
+    try:
+        width = quantity(spec.n_cores * spec.ipc, "op/cycle")
+        f_max = quantity(spec.core_freqs.max_mhz, "MHz")
+        peak = width * f_max
+        if not peak.has_unit("op/s"):
+            err("peak throughput does not reduce to op/s")
+        elif peak.to("op/s") <= 0:
+            err(f"peak throughput must be positive, got {peak.to('op/s'):.3g} op/s")
+        elif not np.isclose(peak.to("op/s"), spec.peak_flops_at, rtol=1e-9):
+            err(
+                f"peak_flops_at ({spec.peak_flops_at:.6g} op/s) disagrees with "
+                f"n_cores*ipc*f_max ({peak.to('op/s'):.6g} op/s): MHz/Hz mix-up?"
+            )
+
+        bw = quantity(spec.mem_bandwidth_gbs, "GB/s")
+        if bw.to("byte/s") <= 0:
+            err("memory bandwidth must be positive")
+        elif not np.isclose(bw.to("byte/s"), spec.mem_bandwidth_bytes_s, rtol=1e-9):
+            err(
+                f"mem_bandwidth_bytes_s ({spec.mem_bandwidth_bytes_s:.6g}) disagrees "
+                f"with mem_bandwidth_gbs ({bw.to('byte/s'):.6g} byte/s)"
+            )
+
+        lat = quantity(spec.mem_latency_ns, "ns")
+        if lat.to("s") <= 0:
+            err("memory latency must be positive")
+
+        # J = W*s: one second at board power must express in joules/kJ.
+        energy = quantity(spec.tdp_w, "W") * quantity(1.0, "s")
+        if not energy.has_unit("J"):
+            err("W*s does not reduce to joules (unit table corrupted)")
+
+        # Little's law consistency: bandwidth * latency / word size is a
+        # dimensionless in-flight access count comparable to max_mlp.
+        in_flight = bw * lat / quantity(spec.bytes_per_access, "byte")
+        if not in_flight.is_dimensionless():
+            err("bandwidth*latency/word-size is not a dimensionless access count")
+    except DimensionError as exc:
+        err(f"dimensional analysis failed: {exc}")
+    return diags
+
+
+def verify_device_spec(spec: DeviceSpec) -> List[Diagnostic]:
+    """Run every hardware check on one :class:`DeviceSpec`."""
+    freqs = spec.core_freqs.freqs_mhz
+    diags = verify_frequencies(freqs, spec.name)
+    diags.extend(verify_voltage_curve(spec.voltage, freqs, spec.name))
+    diags.extend(verify_power_budget(spec))
+    diags.extend(verify_roofline_units(spec))
+    return diags

@@ -1,0 +1,271 @@
+"""Static verification of kernel-IR objects.
+
+The Table-1 static features (DESIGN.md §6) are only meaningful when the
+:class:`repro.kernels.ir.KernelSpec` graphs feeding them are well-formed:
+finite non-negative op counts, feature vectors consistent with
+``FEATURE_NAMES``/``OP_CYCLE_COSTS``, positive integer thread counts, and
+application-level merges that conserve total work. This module checks all
+of that *without running a simulation*, plus a regime classifier that
+flags "dead configurations" — launches whose declared mix can never leave
+the latency-bound regime at any supported core frequency, so a DVFS sweep
+over them carries no frequency signal at all.
+
+Rule ids: ``IR001``-``IR005`` (catalog in ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.hw.perf import RooflineTimingModel
+from repro.hw.specs import DeviceSpec
+from repro.kernels.ir import (
+    FEATURE_NAMES,
+    OP_CYCLE_COSTS,
+    KernelLaunch,
+    KernelSpec,
+)
+
+__all__ = [
+    "verify_feature_tables",
+    "verify_spec",
+    "verify_launch",
+    "verify_application",
+    "find_dead_configurations",
+    "verify_kernel_graph",
+]
+
+#: Relative tolerance for the work-conservation check (IR004).
+CONSERVATION_RTOL = 1e-9
+
+
+def _loc(spec_name: str) -> str:
+    return f"<spec:{spec_name}>"
+
+
+def verify_feature_tables() -> List[Diagnostic]:
+    """IR002: ``FEATURE_NAMES`` and ``OP_CYCLE_COSTS`` must agree exactly.
+
+    Every feature category needs an issue cost (the timing model indexes
+    the cost table by feature name) and every cost entry must correspond
+    to a real category — a stale key silently drops work from the model.
+    """
+    diags: List[Diagnostic] = []
+    names = set(FEATURE_NAMES)
+    costs = set(OP_CYCLE_COSTS)
+    for missing in sorted(names - costs):
+        diags.append(
+            Diagnostic(
+                rule="IR002",
+                severity=Severity.ERROR,
+                message=f"feature {missing!r} has no entry in OP_CYCLE_COSTS",
+                file="<tables>",
+            )
+        )
+    for stale in sorted(costs - names):
+        diags.append(
+            Diagnostic(
+                rule="IR002",
+                severity=Severity.ERROR,
+                message=f"OP_CYCLE_COSTS key {stale!r} is not a FEATURE_NAME",
+                file="<tables>",
+            )
+        )
+    return diags
+
+
+def verify_spec(spec: KernelSpec) -> List[Diagnostic]:
+    """IR001/IR002 checks on one static kernel spec.
+
+    ``KernelSpec.__post_init__`` already rejects bad values at
+    construction time; the verifier re-asserts the invariants at the
+    graph level so that specs smuggled past the constructor (e.g. via
+    ``object.__setattr__`` or unpickling) are still caught.
+    """
+    diags: List[Diagnostic] = []
+    loc = _loc(getattr(spec, "name", "?"))
+    for feat in FEATURE_NAMES:
+        v = getattr(spec, feat, None)
+        if isinstance(v, bool) or not isinstance(v, (int, float, np.integer, np.floating)):
+            diags.append(
+                Diagnostic(
+                    rule="IR001",
+                    severity=Severity.ERROR,
+                    message=f"feature {feat} is not a real number: {v!r}",
+                    file=loc,
+                )
+            )
+            continue
+        if not np.isfinite(v) or v < 0:
+            diags.append(
+                Diagnostic(
+                    rule="IR001",
+                    severity=Severity.ERROR,
+                    message=f"feature {feat} must be finite and >= 0, got {v}",
+                    file=loc,
+                )
+            )
+    if not diags:
+        vec = spec.feature_vector()
+        if vec.shape != (len(FEATURE_NAMES),):
+            diags.append(
+                Diagnostic(
+                    rule="IR002",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"feature vector has shape {vec.shape}, "
+                        f"expected ({len(FEATURE_NAMES)},)"
+                    ),
+                    file=loc,
+                )
+            )
+        elif spec.total_ops() <= 0:
+            diags.append(
+                Diagnostic(
+                    rule="IR001",
+                    severity=Severity.ERROR,
+                    message="kernel performs no work (total_ops == 0)",
+                    file=loc,
+                )
+            )
+    return diags
+
+
+def verify_launch(launch: KernelLaunch) -> List[Diagnostic]:
+    """IR003 checks on one launch configuration (plus IR001 on its spec)."""
+    diags = verify_spec(launch.spec)
+    loc = _loc(getattr(launch.spec, "name", "?"))
+    threads = launch.threads
+    if isinstance(threads, bool) or not isinstance(threads, (int, np.integer)):
+        diags.append(
+            Diagnostic(
+                rule="IR003",
+                severity=Severity.ERROR,
+                message=f"threads must be an integer, got {type(threads).__name__}",
+                file=loc,
+            )
+        )
+    elif threads < 1:
+        diags.append(
+            Diagnostic(
+                rule="IR003",
+                severity=Severity.ERROR,
+                message=f"threads must be >= 1, got {threads}",
+                file=loc,
+            )
+        )
+    w = launch.work_iterations
+    if not np.isfinite(w) or w <= 0:
+        diags.append(
+            Diagnostic(
+                rule="IR003",
+                severity=Severity.ERROR,
+                message=f"work_iterations must be positive and finite, got {w}",
+                file=loc,
+            )
+        )
+    return diags
+
+
+def verify_application(
+    launches: Sequence[KernelLaunch],
+    merged: KernelSpec,
+) -> List[Diagnostic]:
+    """IR004: a merged application spec must conserve the launches' work mix.
+
+    :func:`repro.kernels.features.application_spec` merges per-kernel
+    specs weighted by thread share; the merged per-thread mix must equal
+    the work-weighted average of the members — otherwise the general-
+    purpose model trains on a feature vector describing no real program.
+    """
+    diags: List[Diagnostic] = []
+    for launch in launches:
+        diags.extend(verify_launch(launch))
+    if diags or not launches:
+        return diags
+    loc = _loc(merged.name)
+    total_w = float(sum(l.threads for l in launches))
+    for feat in FEATURE_NAMES:
+        expected = (
+            sum(getattr(l.effective_spec(), feat) * l.threads for l in launches)
+            / total_w
+        )
+        got = float(getattr(merged, feat))
+        if not np.isclose(got, expected, rtol=CONSERVATION_RTOL, atol=1e-12):
+            diags.append(
+                Diagnostic(
+                    rule="IR004",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"merged spec does not conserve {feat}: "
+                        f"got {got!r}, launches imply {expected!r}"
+                    ),
+                    file=loc,
+                )
+            )
+    return diags
+
+
+def find_dead_configurations(
+    launches: Iterable[KernelLaunch],
+    device: DeviceSpec,
+) -> List[Diagnostic]:
+    """IR005: flag launches stuck in the latency-bound regime at every frequency.
+
+    The compute bound is the only roofline component that moves with the
+    core clock (it is largest at the lowest bin); bandwidth and latency
+    bounds are frequency-independent. A launch whose latency bound
+    strictly dominates both others even at the *minimum* frequency is
+    latency-bound across the whole DVFS table: sweeping it measures only
+    noise, and any model trained on it learns a flat, uninformative
+    profile. Reported as a warning — such launches are legal, just
+    useless as DVFS characterization subjects.
+    """
+    diags: List[Diagnostic] = []
+    model = RooflineTimingModel(device)
+    f_min = device.core_freqs.min_mhz
+    for launch in launches:
+        if verify_launch(launch):
+            continue  # malformed launches are reported by the other rules
+        t_comp = model.compute_time_s(launch, f_min)
+        t_bw = model.bandwidth_time_s(launch)
+        t_lat = model.latency_time_s(launch)
+        if t_lat > max(t_comp, t_bw):
+            diags.append(
+                Diagnostic(
+                    rule="IR005",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"dead configuration on {device.name}: latency bound "
+                        f"({t_lat:.3g}s) dominates compute ({t_comp:.3g}s) and "
+                        f"bandwidth ({t_bw:.3g}s) even at {f_min:.0f} MHz; "
+                        "the launch never leaves the latency-bound regime"
+                    ),
+                    file=_loc(launch.spec.name),
+                )
+            )
+    return diags
+
+
+def verify_kernel_graph(
+    launches: Sequence[KernelLaunch],
+    merged: Optional[KernelSpec] = None,
+    device: Optional[DeviceSpec] = None,
+) -> List[Diagnostic]:
+    """Run every IR check that applies to the given graph.
+
+    ``merged`` enables the conservation check (IR004); ``device`` enables
+    dead-configuration detection (IR005).
+    """
+    diags = verify_feature_tables()
+    if merged is not None:
+        diags.extend(verify_application(launches, merged))
+    else:
+        for launch in launches:
+            diags.extend(verify_launch(launch))
+    if device is not None:
+        diags.extend(find_dead_configurations(launches, device))
+    return diags

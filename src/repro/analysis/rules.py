@@ -1,0 +1,345 @@
+"""AST-based lint rules enforcing repo-wide invariants.
+
+Each rule is a small :class:`ast.NodeVisitor` subclass registered under a
+stable id. The engine parses one file, runs every applicable rule and
+applies suppression pragmas:
+
+- ``# repro-lint: ignore[RULE1,RULE2]`` on the offending line suppresses
+  those rules for that line (always pair it with a comment saying *why*);
+- ``# repro-lint: skip-file`` anywhere in the file skips the whole file.
+
+The invariants enforced (catalog in ``docs/static-analysis.md``):
+
+``DET001``
+    No global-state RNG calls (``np.random.rand(...)``, ``random.random()``,
+    ``np.random.seed(...)`` ...) outside :mod:`repro.utils.rng`. Every
+    stochastic component must thread a ``numpy.random.Generator`` so the
+    LOOCV/MAPE experiments are reproducible from one seed. Constructing
+    generators (``default_rng``, ``Generator``, ``SeedSequence``, bit
+    generators) is allowed — those touch no global state.
+``FLT001``
+    No ``==``/``!=`` against float literals in ``repro.pareto`` and
+    ``repro.ml`` — use tolerances (or one-sided ``<=``/``>=`` guards).
+``MUT001``
+    No mutable default arguments (``[]``, ``{}``, ``set()``, ...).
+``TIM001``
+    No wall-clock reads (``time.time()``, ``datetime.now()``, ...) —
+    simulated measurement paths must derive time from the model, never
+    from the host clock.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["LintRule", "RULE_REGISTRY", "register_rule", "lint_source"]
+
+_PRAGMA_IGNORE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+_PRAGMA_SKIP_FILE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+
+class FileContext:
+    """Everything a rule needs about the file being linted."""
+
+    def __init__(self, source: str, path: str):
+        self.source = source
+        self.path = path.replace("\\", "/")
+        self.parts: Tuple[str, ...] = tuple(p for p in self.path.split("/") if p)
+        self.diagnostics: List[Diagnostic] = []
+        # alias -> dotted module for `import x.y as z`; name -> dotted
+        # target for `from m import a as b`. Filled by _collect_imports.
+        self.module_aliases: Dict[str, str] = {}
+        self.from_imports: Dict[str, str] = {}
+
+    def resolve_call_path(self, func: ast.AST) -> Optional[str]:
+        """Dotted path of a call target with import aliases resolved.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``numpy.random.rand``; unresolvable targets (method calls on
+        arbitrary objects) return ``None``.
+        """
+        chain: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.append(node.id)
+        chain.reverse()
+        head, rest = chain[0], chain[1:]
+        if head in self.module_aliases:
+            head = self.module_aliases[head]
+        elif head in self.from_imports:
+            head = self.from_imports[head]
+        return ".".join([head] + rest)
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class for one lint rule; subclasses set the class attributes."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    #: Path components the file must contain for the rule to apply
+    #: (empty = applies everywhere).
+    require_parts: Tuple[str, ...] = ()
+    #: Path suffixes (posix) exempt from this rule.
+    exempt_suffixes: Tuple[str, ...] = ()
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        """Whether this rule should run on ``ctx``'s file at all."""
+        if any(ctx.path.endswith(sfx) for sfx in cls.exempt_suffixes):
+            return False
+        if cls.require_parts and not any(p in ctx.parts for p in cls.require_parts):
+            return False
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a diagnostic anchored at ``node``."""
+        self.ctx.diagnostics.append(
+            Diagnostic(
+                rule=self.rule_id,
+                severity=self.severity,
+                message=message,
+                file=self.ctx.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+
+RULE_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry (id must be unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define rule_id")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+@register_rule
+class GlobalRandomRule(LintRule):
+    """DET001: forbid global-state RNG calls outside ``repro.utils.rng``."""
+
+    rule_id = "DET001"
+    exempt_suffixes = ("repro/utils/rng.py",)
+
+    #: numpy.random attributes that do NOT touch the global stream.
+    _NP_ALLOWED: Set[str] = {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+    #: stdlib-random attributes that are deterministic object constructors.
+    _PY_ALLOWED: Set[str] = {"Random", "SystemRandom"}
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = self.ctx.resolve_call_path(node.func)
+        if path:
+            if path.startswith("numpy.random."):
+                attr = path.split(".", 2)[2].split(".", 1)[0]
+                if attr not in self._NP_ALLOWED:
+                    self.report(
+                        node,
+                        f"global-state RNG call np.random.{attr}(...); thread a "
+                        "Generator via repro.utils.rng instead",
+                    )
+            elif path.startswith("random."):
+                attr = path.split(".", 1)[1].split(".", 1)[0]
+                if attr not in self._PY_ALLOWED:
+                    self.report(
+                        node,
+                        f"global-state RNG call random.{attr}(...); thread a "
+                        "numpy Generator via repro.utils.rng instead",
+                    )
+        self.generic_visit(node)
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """FLT001: forbid ``==``/``!=`` against float literals in pareto/ml code."""
+
+    rule_id = "FLT001"
+    require_parts = ("pareto", "ml")
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    self.report(
+                        node,
+                        f"exact float comparison against {operand.value!r}; use a "
+                        "tolerance or a one-sided bound",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """MUT001: forbid mutable default argument values."""
+
+    rule_id = "MUT001"
+
+    _CONSTRUCTORS: Set[str] = {"list", "dict", "set", "bytearray"}
+
+    def _check_defaults(self, node, name: str) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in self._CONSTRUCTORS
+            )
+            if bad:
+                self.report(
+                    default,
+                    f"mutable default argument in {name}; use None and "
+                    "create the object inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.name)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.name)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, "<lambda>")
+        self.generic_visit(node)
+
+
+@register_rule
+class WallClockRule(LintRule):
+    """TIM001: forbid wall-clock reads in simulated measurement paths."""
+
+    rule_id = "TIM001"
+
+    _FORBIDDEN: Set[str] = {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = self.ctx.resolve_call_path(node.func)
+        if path in self._FORBIDDEN:
+            self.report(
+                node,
+                f"wall-clock read {path}(...); simulated measurements must "
+                "derive time from the timing model, not the host clock",
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+def _collect_imports(tree: ast.Module, ctx: FileContext) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                ctx.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                ctx.from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+
+def _ignored_lines(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule ids suppressed on that line."""
+    ignores: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_IGNORE.search(line)
+        if m:
+            ignores[lineno] = {
+                r.strip().upper() for r in m.group(1).split(",") if r.strip()
+            }
+    return ignores
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one file's source text and return its diagnostics.
+
+    ``select`` restricts to the given rule ids. Syntax errors are
+    reported as a ``SYN001`` error rather than raised, so one broken file
+    cannot abort a whole-tree lint run.
+    """
+    ctx = FileContext(source, path)
+    if _PRAGMA_SKIP_FILE.search(source):
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="SYN001",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+                file=ctx.path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    _collect_imports(tree, ctx)
+
+    wanted = None if select is None else {s.strip().upper() for s in select}
+    for rule_id, rule_cls in sorted(RULE_REGISTRY.items()):
+        if wanted is not None and rule_id not in wanted:
+            continue
+        if not rule_cls.applies_to(ctx):
+            continue
+        rule_cls(ctx).visit(tree)
+
+    ignores = _ignored_lines(source)
+    kept = [
+        d
+        for d in ctx.diagnostics
+        if d.rule.upper() not in ignores.get(d.line, set())
+    ]
+    kept.sort(key=lambda d: (d.file, d.line, d.col, d.rule))
+    return kept

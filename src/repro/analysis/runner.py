@@ -1,0 +1,130 @@
+"""Orchestration: walk source trees, run lint rules and built-in self-checks.
+
+:func:`run_lint` is what ``repro lint`` calls: it lints every ``.py``
+file under the given paths with the AST rules of
+:mod:`repro.analysis.rules` and, unless disabled, runs the *self-check* —
+the hardware-spec validator over every shipped device spec and the IR
+verifier over the shipped static application specs and feature tables.
+The self-check is what makes ``repro lint`` a verification gate for the
+static layer rather than a style checker.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity, filter_diagnostics
+from repro.analysis.rules import RULE_REGISTRY, lint_source
+
+__all__ = [
+    "KNOWN_RULE_IDS",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "self_check",
+    "run_lint",
+]
+
+#: Every rule id any analyzer can emit; ``--select`` is validated against it.
+KNOWN_RULE_IDS = frozenset(RULE_REGISTRY) | {
+    "SYN001",
+    "IO001",
+    "IR001",
+    "IR002",
+    "IR003",
+    "IR004",
+    "IR005",
+    "HW001",
+    "HW002",
+    "HW003",
+    "HW004",
+}
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` file list."""
+    seen = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for c in candidates:
+            seen[os.path.normpath(str(c))] = c
+    return [seen[k] for k in sorted(seen)]
+
+
+def lint_file(path: Path, select: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    """Lint one file; unreadable files yield an ``IO001`` error diagnostic."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [
+            Diagnostic(
+                rule="IO001",
+                severity=Severity.ERROR,
+                message=f"cannot read file: {exc}",
+                file=str(path).replace("\\", "/"),
+            )
+        ]
+    return lint_source(source, str(path), select=select)
+
+
+def lint_paths(
+    paths: Iterable[str], select: Optional[Sequence[str]] = None
+) -> List[Diagnostic]:
+    """Lint every Python file under ``paths``."""
+    diags: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diags.extend(lint_file(path, select=select))
+    return diags
+
+
+def self_check() -> List[Diagnostic]:
+    """Verify the shipped static layer: device specs, static specs, tables.
+
+    Imports lazily so that ``repro lint`` on arbitrary trees does not pay
+    for (or depend on) the simulator stack until the self-check runs.
+    """
+    from repro.analysis.hw_validator import verify_device_spec
+    from repro.analysis.ir_verifier import verify_feature_tables, verify_spec
+    from repro.hw.specs import make_intel_max_spec, make_mi100_spec, make_v100_spec
+    from repro.modeling.general import cronos_static_spec, ligen_static_spec
+
+    diags = verify_feature_tables()
+    for factory in (make_v100_spec, make_mi100_spec, make_intel_max_spec):
+        diags.extend(verify_device_spec(factory()))
+    for spec_factory in (cronos_static_spec, ligen_static_spec):
+        diags.extend(verify_spec(spec_factory()))
+    return diags
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    with_self_check: bool = True,
+) -> List[Diagnostic]:
+    """Full ``repro lint`` pipeline: AST rules + optional built-in self-check.
+
+    Returns diagnostics sorted for stable output; ``select`` filters every
+    source of diagnostics, including the self-check. Unknown rule ids in
+    ``select`` raise :class:`ValueError` — a typo'd id would otherwise
+    silently report a clean tree.
+    """
+    if select is not None:
+        unknown = sorted(
+            {s.strip().upper() for s in select if s.strip()} - KNOWN_RULE_IDS
+        )
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(KNOWN_RULE_IDS))}"
+            )
+    diags = lint_paths(paths, select=select)
+    if with_self_check:
+        diags.extend(filter_diagnostics(self_check(), select))
+    diags.sort(key=lambda d: (d.file, d.line, d.col, d.rule))
+    return diags

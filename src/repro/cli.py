@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four workflows, mirroring how a user adopts the library:
+Five workflows, mirroring how a user adopts the library:
 
 - ``repro characterize`` — DVFS-sweep an application on a simulated
   device, print the speedup/energy table, optionally save the sweep;
@@ -10,7 +10,10 @@ Four workflows, mirroring how a user adopts the library:
   (plus the Pareto-optimal frequencies) for an input tuple;
 - ``repro tune`` — load a model and pick a frequency under a tuning
   metric (minimum energy within a slowdown budget, EDP, ED2P, or
-  SYnergy's energy target).
+  SYnergy's energy target);
+- ``repro lint`` — statically verify the repo's invariants: AST lint
+  rules over the source tree plus the built-in hardware-spec / kernel-IR
+  self-check (see ``docs/static-analysis.md``).
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -249,6 +252,29 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import has_errors, render_json, render_text, run_lint
+
+    if args.paths:
+        paths = args.paths
+    else:
+        # default: the installed repro package tree itself
+        from pathlib import Path
+
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    select = args.select.split(",") if args.select else None
+    diagnostics = run_lint(
+        paths, select=select, with_self_check=not args.no_self_check
+    )
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return 1 if has_errors(diagnostics) else 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -296,6 +322,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced micro-benchmark suite and input grid (~1 min)",
     )
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("lint", help="statically verify repo invariants")
+    p.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (e.g. DET001,HW001); default all",
+    )
+    p.add_argument(
+        "--no-self-check", action="store_true",
+        help="skip the built-in device-spec / kernel-IR verification",
+    )
+    p.set_defaults(func=cmd_lint)
 
     for name, fn, extra in (
         ("predict", cmd_predict, False),

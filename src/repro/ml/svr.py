@@ -113,7 +113,7 @@ class SVR(Regressor):
         for _ in range(50):
             w = K @ v
             lam_new = float(np.linalg.norm(w))
-            if lam_new == 0.0:
+            if lam_new <= 0.0:
                 break
             v = w / lam_new
             if abs(lam_new - lam) <= 1e-10 * max(lam, 1.0):

@@ -1,0 +1,79 @@
+"""Tests for the shared diagnostic records and reporters."""
+
+import json
+
+from repro.analysis.diagnostics import (
+    JSON_FORMAT,
+    JSON_VERSION,
+    Diagnostic,
+    Severity,
+    filter_diagnostics,
+    has_errors,
+    render_json,
+    render_text,
+)
+
+
+def _diag(rule="DET001", severity=Severity.ERROR, line=3):
+    return Diagnostic(
+        rule=rule, severity=severity, message="msg", file="a.py", line=line, col=4
+    )
+
+
+class TestDiagnostic:
+    def test_format_with_location(self):
+        assert _diag().format() == "a.py:3:4: error[DET001] msg"
+
+    def test_format_without_line(self):
+        d = Diagnostic(
+            rule="HW001", severity=Severity.WARNING, message="m", file="<device:X>"
+        )
+        assert d.format() == "<device:X>: warning[HW001] m"
+
+    def test_format_without_location(self):
+        d = Diagnostic(rule="IR002", severity=Severity.INFO, message="m")
+        assert d.format() == "info[IR002] m"
+
+
+class TestFilters:
+    def test_filter_none_keeps_all(self):
+        diags = [_diag(), _diag("HW001")]
+        assert filter_diagnostics(diags, None) == diags
+
+    def test_filter_selects_case_insensitively(self):
+        diags = [_diag("DET001"), _diag("HW001")]
+        assert filter_diagnostics(diags, ["det001"]) == [diags[0]]
+
+    def test_has_errors(self):
+        assert has_errors([_diag()])
+        assert not has_errors([_diag(severity=Severity.WARNING)])
+        assert not has_errors([])
+
+
+class TestReporters:
+    def test_text_clean(self):
+        assert render_text([]) == "no findings"
+
+    def test_text_summary_counts(self):
+        out = render_text([_diag(), _diag(severity=Severity.WARNING)])
+        assert "error[DET001]" in out
+        assert "2 finding(s): 1 error(s), 1 warning(s), 0 info" in out
+
+    def test_json_schema_fields(self):
+        payload = json.loads(render_json([_diag()]))
+        assert payload["format"] == JSON_FORMAT
+        assert payload["version"] == JSON_VERSION
+        assert payload["counts"] == {"error": 1, "warning": 0, "info": 0}
+        entry = payload["diagnostics"][0]
+        assert entry == {
+            "rule": "DET001",
+            "severity": "error",
+            "message": "msg",
+            "file": "a.py",
+            "line": 3,
+            "col": 4,
+        }
+
+    def test_json_is_deterministic(self):
+        diags = [_diag(), _diag("HW001")]
+        assert render_json(diags) == render_json(list(diags))

@@ -1,0 +1,50 @@
+"""Tests for the lightweight dimensional-analysis helper."""
+
+import pytest
+
+from repro.analysis.dimensional import DimensionError, quantity
+
+
+class TestQuantity:
+    def test_mhz_to_hz(self):
+        assert quantity(1597.0, "MHz").to("Hz") == pytest.approx(1.597e9)
+
+    def test_cycles_over_frequency_is_time(self):
+        t = quantity(1e9, "cycle") / quantity(1000.0, "MHz")
+        assert t.to("s") == pytest.approx(1.0)
+
+    def test_watts_times_seconds_is_joules(self):
+        e = quantity(300.0, "W") * quantity(2.0, "s")
+        assert e.has_unit("J")
+        assert e.to("kJ") == pytest.approx(0.6)
+
+    def test_bandwidth_latency_word_size_is_dimensionless(self):
+        n = quantity(900.0, "GB/s") * quantity(425.0, "ns") / quantity(8.0, "byte")
+        assert n.is_dimensionless()
+        assert n.to("1") == pytest.approx(900e9 * 425e-9 / 8.0)
+
+    def test_add_same_dims(self):
+        assert (quantity(1.0, "ms") + quantity(1.0, "us")).to("s") == pytest.approx(
+            1.001e-3
+        )
+
+    def test_add_mismatched_dims_raises(self):
+        with pytest.raises(DimensionError):
+            quantity(1.0, "s") + quantity(1.0, "W")
+
+    def test_to_mismatched_unit_raises(self):
+        with pytest.raises(DimensionError):
+            quantity(1.0, "MHz").to("W")
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(DimensionError):
+            quantity(1.0, "furlong")
+
+    def test_scalar_multiplication(self):
+        assert (2 * quantity(3.0, "W")).to("W") == pytest.approx(6.0)
+        assert (quantity(3.0, "W") / 2).to("W") == pytest.approx(1.5)
+
+    def test_op_per_cycle_times_frequency_is_throughput(self):
+        peak = quantity(5120 * 0.78, "op/cycle") * quantity(1597.0, "MHz")
+        assert peak.has_unit("op/s")
+        assert peak.to("op/s") == pytest.approx(5120 * 0.78 * 1597e6)

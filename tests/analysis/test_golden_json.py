@@ -1,0 +1,48 @@
+"""Golden-file test pinning the `repro lint --format json` output schema.
+
+Downstream tooling consumes this schema (documented in
+``docs/static-analysis.md``); any change to field names, ordering,
+severity strings or the envelope must be deliberate — regenerate the
+golden file and bump ``JSON_VERSION`` on breaking changes:
+
+    PYTHONPATH=src python - <<'EOF'
+    from pathlib import Path
+    from repro.analysis import lint_source, render_json
+    source = Path("tests/analysis/fixtures_bad.py.txt").read_text()
+    diags = lint_source(source, "src/repro/ml/fixture_bad.py")
+    Path("tests/analysis/golden/lint_fixture.json").write_text(
+        render_json(diags) + "\n")
+    EOF
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_source, render_json
+
+HERE = Path(__file__).parent
+FIXTURE = HERE / "fixtures_bad.py.txt"
+GOLDEN = HERE / "golden" / "lint_fixture.json"
+
+
+def _current_output() -> str:
+    diags = lint_source(FIXTURE.read_text(), "src/repro/ml/fixture_bad.py")
+    return render_json(diags) + "\n"
+
+
+def test_json_output_matches_golden_file():
+    assert _current_output() == GOLDEN.read_text()
+
+
+def test_golden_file_documents_every_rule_class():
+    payload = json.loads(GOLDEN.read_text())
+    assert payload["format"] == "repro.lint"
+    assert payload["version"] == 1
+    assert {d["rule"] for d in payload["diagnostics"]} == {
+        "DET001",
+        "FLT001",
+        "MUT001",
+        "TIM001",
+    }
+    for entry in payload["diagnostics"]:
+        assert set(entry) == {"rule", "severity", "message", "file", "line", "col"}

@@ -1,0 +1,121 @@
+"""Tests for the hardware-spec validator (rules HW001-HW004)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.hw_validator import (
+    verify_device_spec,
+    verify_frequencies,
+    verify_power_budget,
+    verify_roofline_units,
+    verify_voltage_curve,
+)
+from repro.hw.specs import make_intel_max_spec, make_mi100_spec, make_v100_spec
+
+ALL_FACTORIES = (make_v100_spec, make_mi100_spec, make_intel_max_spec)
+
+
+class TestShippedSpecs:
+    @pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.__name__)
+    def test_shipped_spec_is_clean(self, factory):
+        assert verify_device_spec(factory()) == []
+
+
+class TestFrequencies:
+    def test_monotone_table_is_clean(self):
+        assert verify_frequencies([100.0, 200.0, 300.0], "X") == []
+
+    def test_non_monotone_table_is_hw001(self):
+        diags = verify_frequencies([100.0, 300.0, 200.0], "X")
+        assert [d.rule for d in diags] == ["HW001"]
+        assert "strictly increasing" in diags[0].message
+
+    def test_duplicate_bin_is_hw001(self):
+        diags = verify_frequencies([100.0, 200.0, 200.0], "X")
+        assert [d.rule for d in diags] == ["HW001"]
+
+    def test_negative_bin_is_hw001(self):
+        diags = verify_frequencies([-5.0, 200.0], "X")
+        assert [d.rule for d in diags] == ["HW001"]
+
+    def test_empty_table_is_hw001(self):
+        assert [d.rule for d in verify_frequencies([], "X")] == ["HW001"]
+
+
+class _DippingCurve:
+    """Duck-typed voltage curve with a dip (impossible via VoltageCurve)."""
+
+    v_min = 0.7
+    v_max = 1.1
+
+    def voltage_at(self, freqs):
+        f = np.asarray(freqs, dtype=float)
+        v = np.full_like(f, 0.9)
+        v[f > 500.0] = 0.75  # voltage *drops* above 500 MHz
+        return v
+
+
+class TestVoltageCurve:
+    def test_shipped_curve_is_clean(self):
+        spec = make_v100_spec()
+        assert verify_voltage_curve(spec.voltage, spec.core_freqs.freqs_mhz) == []
+
+    def test_dipping_curve_is_hw002(self):
+        diags = verify_voltage_curve(_DippingCurve(), [100.0, 400.0, 600.0], "X")
+        assert [d.rule for d in diags] == ["HW002"]
+        assert "monotone" in diags[0].message
+
+    def test_curve_outside_envelope_is_hw002(self):
+        curve = _DippingCurve()
+        curve.v_max = 0.8  # the 0.9 V plateau now exceeds the envelope
+        diags = verify_voltage_curve(curve, [100.0, 400.0], "X")
+        assert any(d.rule == "HW002" and "envelope" in d.message for d in diags)
+
+    def test_rejecting_curve_is_hw002(self):
+        spec = make_v100_spec()
+        diags = verify_voltage_curve(spec.voltage, [1.0], "X")  # below f_min
+        assert [d.rule for d in diags] == ["HW002"]
+
+
+class TestPowerBudget:
+    def test_shipped_budget_is_clean(self):
+        assert verify_power_budget(make_v100_spec()) == []
+
+    def test_no_dynamic_headroom_is_hw003(self):
+        spec = replace(
+            make_v100_spec(), p_clock_w=0.0, p_core_dyn_w=0.0, p_mem_dyn_w=0.0
+        )
+        diags = verify_power_budget(spec)
+        assert all(d.rule == "HW003" for d in diags)
+        assert any("no dynamic headroom" in d.message for d in diags)
+        assert any("board" in d.message for d in diags)
+
+
+class TestRooflineUnits:
+    def test_shipped_units_are_consistent(self):
+        assert verify_roofline_units(make_mi100_spec()) == []
+
+    def test_unit_mixup_is_hw004(self):
+        spec = make_v100_spec()
+
+        class MixedUpSpec:
+            # a spec whose cached bytes/s was computed from MHz-scaled GB/s
+            def __getattr__(self, name):
+                return getattr(spec, name)
+
+            @property
+            def mem_bandwidth_bytes_s(self):
+                return spec.mem_bandwidth_gbs * 1e6  # wrong scale
+
+        diags = verify_roofline_units(MixedUpSpec())
+        assert any(d.rule == "HW004" and "disagrees" in d.message for d in diags)
+
+
+class TestMutatedDeviceSpec:
+    def test_scaled_specs_stay_clean(self):
+        from repro.hw.specs import scale_spec
+
+        spec = scale_spec(make_v100_spec(), compute=0.5, bandwidth=2.0)
+        assert verify_device_spec(spec) == []

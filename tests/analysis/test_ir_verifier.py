@@ -1,0 +1,172 @@
+"""Tests for the kernel-IR verifier (rules IR001-IR005)."""
+
+import pytest
+
+from repro.analysis.ir_verifier import (
+    find_dead_configurations,
+    verify_application,
+    verify_feature_tables,
+    verify_kernel_graph,
+    verify_launch,
+    verify_spec,
+)
+from repro.errors import KernelError
+from repro.hw.specs import make_v100_spec
+from repro.kernels.features import application_spec
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+
+def _spec(**kwargs) -> KernelSpec:
+    base = dict(name="k", float_add=10.0, global_access=2.0)
+    base.update(kwargs)
+    return KernelSpec(**base)
+
+
+def _corrupt(spec: KernelSpec, feat: str, value) -> KernelSpec:
+    # sneak a bad value past the constructor, as unpickling could
+    object.__setattr__(spec, feat, value)
+    return spec
+
+
+class TestVerifySpec:
+    def test_valid_spec_is_clean(self):
+        assert verify_spec(_spec()) == []
+
+    def test_negative_op_count_is_ir001(self):
+        diags = verify_spec(_corrupt(_spec(), "float_add", -1.0))
+        assert [d.rule for d in diags] == ["IR001"]
+        assert "float_add" in diags[0].message
+
+    def test_nan_op_count_is_ir001(self):
+        diags = verify_spec(_corrupt(_spec(), "global_access", float("nan")))
+        assert [d.rule for d in diags] == ["IR001"]
+
+    def test_non_numeric_op_count_is_ir001(self):
+        diags = verify_spec(_corrupt(_spec(), "int_mul", "3"))
+        assert [d.rule for d in diags] == ["IR001"]
+        assert "int_mul" in diags[0].message
+
+    def test_zero_work_spec_is_ir001(self):
+        spec = _spec()
+        object.__setattr__(spec, "float_add", 0.0)
+        object.__setattr__(spec, "global_access", 0.0)
+        diags = verify_spec(spec)
+        assert [d.rule for d in diags] == ["IR001"]
+        assert "no work" in diags[0].message
+
+
+class TestConstructorTightening:
+    """KernelSpec itself must reject what the verifier would flag."""
+
+    def test_bool_rejected_with_feature_name(self):
+        with pytest.raises(KernelError, match="float_add"):
+            KernelSpec(name="k", float_add=True)
+
+    def test_string_rejected_with_feature_name(self):
+        with pytest.raises(KernelError, match="global_access"):
+            KernelSpec(name="k", float_add=1.0, global_access="2")
+
+    def test_negative_rejected_with_feature_name(self):
+        with pytest.raises(KernelError, match="int_div"):
+            KernelSpec(name="k", float_add=1.0, int_div=-0.5)
+
+    def test_numpy_scalars_normalized_to_float(self):
+        import numpy as np
+
+        spec = KernelSpec(name="k", float_add=np.float32(2.0), int_add=np.int64(3))
+        assert isinstance(spec.float_add, float)
+        assert isinstance(spec.int_add, float)
+        assert spec.total_ops() == pytest.approx(5.0)
+
+
+class TestVerifyLaunch:
+    def test_valid_launch_is_clean(self):
+        assert verify_launch(KernelLaunch(_spec(), threads=64)) == []
+
+    def test_non_integer_threads_is_ir003(self):
+        launch = KernelLaunch(_spec(), threads=64)
+        object.__setattr__(launch, "threads", 64.0)
+        assert [d.rule for d in verify_launch(launch)] == ["IR003"]
+
+    def test_zero_threads_is_ir003(self):
+        launch = KernelLaunch(_spec(), threads=64)
+        object.__setattr__(launch, "threads", 0)
+        assert [d.rule for d in verify_launch(launch)] == ["IR003"]
+
+    def test_bad_work_iterations_is_ir003(self):
+        launch = KernelLaunch(_spec(), threads=64)
+        object.__setattr__(launch, "work_iterations", float("inf"))
+        assert [d.rule for d in verify_launch(launch)] == ["IR003"]
+
+
+class TestFeatureTables:
+    def test_shipped_tables_agree(self):
+        assert verify_feature_tables() == []
+
+    def test_missing_cost_entry_is_ir002(self, monkeypatch):
+        import repro.analysis.ir_verifier as mod
+
+        costs = {k: v for k, v in mod.OP_CYCLE_COSTS.items() if k != "float_div"}
+        costs["bogus_op"] = 1.0
+        monkeypatch.setattr(mod, "OP_CYCLE_COSTS", costs)
+        rules = [d.rule for d in verify_feature_tables()]
+        assert rules == ["IR002", "IR002"]
+
+
+class TestConservation:
+    def _launches(self):
+        a = _spec(name="a", float_add=4.0, global_access=0.0)
+        b = _spec(name="b", float_add=0.0, global_access=8.0)
+        return [KernelLaunch(a, threads=100), KernelLaunch(b, threads=300)]
+
+    def test_merged_spec_conserves_work(self):
+        launches = self._launches()
+        merged = application_spec(launches, name="app")
+        assert verify_application(launches, merged) == []
+
+    def test_tampered_merge_is_ir004(self):
+        launches = self._launches()
+        merged = application_spec(launches, name="app")
+        object.__setattr__(merged, "float_add", merged.float_add * 2.0)
+        diags = verify_application(launches, merged)
+        assert [d.rule for d in diags] == ["IR004"]
+        assert "float_add" in diags[0].message
+
+
+class TestDeadConfigurations:
+    def test_latency_locked_launch_is_ir005(self):
+        device = make_v100_spec()
+        spec = _spec(name="tiny", float_add=1.0, global_access=100.0)
+        launch = KernelLaunch(spec, threads=32)
+        diags = find_dead_configurations([launch], device)
+        assert [d.rule for d in diags] == ["IR005"]
+        assert diags[0].severity.value == "warning"
+        assert "latency-bound" in diags[0].message
+
+    def test_compute_bound_launch_is_clean(self):
+        device = make_v100_spec()
+        spec = _spec(name="busy", float_add=10000.0, global_access=1.0)
+        launch = KernelLaunch(spec, threads=200000)
+        assert find_dead_configurations([launch], device) == []
+
+    def test_malformed_launch_not_double_reported(self):
+        device = make_v100_spec()
+        launch = KernelLaunch(_spec(), threads=32)
+        object.__setattr__(launch, "threads", 0)
+        assert find_dead_configurations([launch], device) == []
+
+
+class TestVerifyKernelGraph:
+    def test_full_graph_clean(self):
+        launches = [
+            KernelLaunch(_spec(name="a", float_add=5000.0), threads=100000),
+        ]
+        merged = application_spec(launches, name="app")
+        device = make_v100_spec()
+        assert verify_kernel_graph(launches, merged, device) == []
+
+    def test_graph_without_merge_checks_launches(self):
+        launch = KernelLaunch(_spec(), threads=64)
+        object.__setattr__(launch, "threads", -2)
+        rules = [d.rule for d in verify_kernel_graph([launch])]
+        assert rules == ["IR003"]

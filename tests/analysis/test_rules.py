@@ -1,0 +1,253 @@
+"""Per-rule positive/negative fixtures for the AST lint pass."""
+
+import textwrap
+
+from repro.analysis.rules import RULE_REGISTRY, lint_source
+
+
+def lint(source: str, path: str = "src/repro/somewhere/mod.py", select=None):
+    return lint_source(textwrap.dedent(source), path, select=select)
+
+
+def rules_of(diags):
+    return [d.rule for d in diags]
+
+
+class TestRegistry:
+    def test_all_documented_rules_registered(self):
+        assert set(RULE_REGISTRY) == {"DET001", "FLT001", "MUT001", "TIM001"}
+
+
+class TestDET001:
+    def test_np_random_rand_flagged(self):
+        diags = lint(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """
+        )
+        assert rules_of(diags) == ["DET001"]
+        assert "np.random.rand" in diags[0].message
+        assert diags[0].line == 3
+
+    def test_np_random_seed_flagged(self):
+        diags = lint(
+            """
+            import numpy
+            numpy.random.seed(0)
+            """
+        )
+        assert rules_of(diags) == ["DET001"]
+
+    def test_stdlib_random_flagged(self):
+        diags = lint(
+            """
+            import random
+            y = random.random()
+            """
+        )
+        assert rules_of(diags) == ["DET001"]
+
+    def test_from_import_alias_resolved(self):
+        diags = lint(
+            """
+            from numpy import random as nr
+            z = nr.randint(0, 5)
+            """
+        )
+        assert rules_of(diags) == ["DET001"]
+
+    def test_default_rng_allowed(self):
+        assert (
+            lint(
+                """
+                import numpy as np
+                rng = np.random.default_rng(42)
+                g = np.random.Generator(np.random.PCG64(1))
+                """
+            )
+            == []
+        )
+
+    def test_random_Random_instance_allowed(self):
+        assert (
+            lint(
+                """
+                import random
+                r = random.Random(7)
+                """
+            )
+            == []
+        )
+
+    def test_unrelated_attribute_calls_not_flagged(self):
+        assert (
+            lint(
+                """
+                import numpy as np
+                x = np.linspace(0, 1, 5)
+                obj.random.rand()  # not numpy
+                """
+            )
+            == []
+        )
+
+    def test_rng_module_exempt(self):
+        diags = lint(
+            """
+            import numpy as np
+            np.random.seed(0)
+            """,
+            path="src/repro/utils/rng.py",
+        )
+        assert diags == []
+
+
+class TestFLT001:
+    def test_float_literal_equality_flagged_in_ml(self):
+        diags = lint("ok = x == 0.0\n", path="src/repro/ml/metrics.py")
+        assert rules_of(diags) == ["FLT001"]
+        assert "0.0" in diags[0].message
+
+    def test_float_literal_inequality_flagged_in_pareto(self):
+        diags = lint("ok = y != 1.5\n", path="src/repro/pareto/front.py")
+        assert rules_of(diags) == ["FLT001"]
+
+    def test_int_literal_comparison_allowed(self):
+        assert lint("ok = n == 0\n", path="src/repro/ml/metrics.py") == []
+
+    def test_one_sided_bound_allowed(self):
+        assert lint("ok = x <= 0.0\n", path="src/repro/ml/metrics.py") == []
+
+    def test_rule_scoped_to_pareto_and_ml(self):
+        assert lint("ok = x == 0.0\n", path="src/repro/hw/power.py") == []
+
+
+class TestMUT001:
+    def test_list_default_flagged(self):
+        diags = lint("def f(items=[]):\n    return items\n")
+        assert rules_of(diags) == ["MUT001"]
+        assert "f" in diags[0].message
+
+    def test_dict_and_constructor_defaults_flagged(self):
+        diags = lint("def g(a={}, b=list()):\n    return a, b\n")
+        assert rules_of(diags) == ["MUT001", "MUT001"]
+
+    def test_keyword_only_default_flagged(self):
+        diags = lint("def h(*, cache=set()):\n    return cache\n")
+        assert rules_of(diags) == ["MUT001"]
+
+    def test_lambda_default_flagged(self):
+        diags = lint("fn = lambda xs=[]: xs\n")
+        assert rules_of(diags) == ["MUT001"]
+
+    def test_immutable_defaults_allowed(self):
+        assert lint("def f(a=None, b=(), c=1, d='x'):\n    return a, b, c, d\n") == []
+
+    def test_default_factory_allowed(self):
+        source = """
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class C:
+            items: list = field(default_factory=list)
+        """
+        assert lint(source) == []
+
+
+class TestTIM001:
+    def test_time_time_flagged(self):
+        diags = lint(
+            """
+            import time
+            t0 = time.time()
+            """
+        )
+        assert rules_of(diags) == ["TIM001"]
+        assert "time.time" in diags[0].message
+
+    def test_perf_counter_flagged(self):
+        diags = lint(
+            """
+            import time
+            t0 = time.perf_counter()
+            """
+        )
+        assert rules_of(diags) == ["TIM001"]
+
+    def test_datetime_now_flagged_via_from_import(self):
+        diags = lint(
+            """
+            from datetime import datetime
+            stamp = datetime.now()
+            """
+        )
+        assert rules_of(diags) == ["TIM001"]
+
+    def test_time_sleep_allowed(self):
+        assert (
+            lint(
+                """
+                import time
+                time.sleep(0.1)
+                """
+            )
+            == []
+        )
+
+
+class TestPragmas:
+    def test_line_ignore_suppresses_named_rule(self):
+        diags = lint(
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro-lint: ignore[DET001]
+            """
+        )
+        assert diags == []
+
+    def test_line_ignore_does_not_suppress_other_rules(self):
+        diags = lint(
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro-lint: ignore[TIM001]
+            """
+        )
+        assert rules_of(diags) == ["DET001"]
+
+    def test_skip_file_suppresses_everything(self):
+        diags = lint(
+            """
+            # repro-lint: skip-file
+            import numpy as np
+            np.random.seed(0)
+            def f(xs=[]):
+                return xs
+            """
+        )
+        assert diags == []
+
+
+class TestEngine:
+    def test_select_restricts_rules(self):
+        source = """
+        import numpy as np
+        np.random.seed(0)
+        def f(xs=[]):
+            return xs
+        """
+        assert rules_of(lint(source, select=["MUT001"])) == ["MUT001"]
+
+    def test_syntax_error_reported_not_raised(self):
+        diags = lint("def broken(:\n")
+        assert rules_of(diags) == ["SYN001"]
+        assert diags[0].severity.value == "error"
+
+    def test_diagnostics_sorted_by_position(self):
+        source = """
+        import numpy as np
+        def f(xs=[]):
+            return np.random.rand(3)
+        """
+        diags = lint(source)
+        assert rules_of(diags) == ["MUT001", "DET001"]

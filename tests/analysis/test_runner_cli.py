@@ -1,0 +1,106 @@
+"""End-to-end tests: the lint runner, self-check, and the `repro lint` CLI."""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis import run_lint, self_check
+from repro.analysis.runner import iter_python_files, lint_paths
+from repro.cli import main
+
+PACKAGE_DIR = Path(repro.__file__).parent
+FIXTURE = Path(__file__).parent / "fixtures_bad.py.txt"
+
+
+class TestSelfCheck:
+    def test_shipped_static_layer_is_clean(self):
+        assert self_check() == []
+
+
+class TestRunner:
+    def test_shipped_tree_is_clean(self):
+        assert run_lint([str(PACKAGE_DIR)]) == []
+
+    def test_iter_python_files_deduplicates(self):
+        target = PACKAGE_DIR / "errors.py"
+        files = iter_python_files([str(target), str(target)])
+        assert files == [target]
+
+    def test_broken_file_reports_all_rule_classes(self, tmp_path):
+        bad = tmp_path / "ml" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(FIXTURE.read_text())
+        rules = {d.rule for d in lint_paths([str(tmp_path)])}
+        assert rules == {"DET001", "FLT001", "MUT001", "TIM001"}
+
+    def test_select_filters_self_check_too(self):
+        diags = run_lint([str(PACKAGE_DIR / "errors.py")], select=["HW001"])
+        assert diags == []
+
+    def test_unknown_select_rule_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="NOPE999"):
+            run_lint([str(PACKAGE_DIR / "errors.py")], select=["NOPE999"])
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        rc = main(["lint", str(PACKAGE_DIR)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no findings" in out
+
+    def test_default_path_is_package_tree(self, capsys):
+        rc = main(["lint"])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_broken_file_exits_nonzero_with_text_diagnostics(self, tmp_path, capsys):
+        bad = tmp_path / "ml" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(FIXTURE.read_text())
+        rc = main(["lint", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        for rule in ("DET001", "FLT001", "MUT001", "TIM001"):
+            assert f"error[{rule}]" in out
+
+    def test_json_format_is_parseable_and_stable_schema(self, tmp_path, capsys):
+        bad = tmp_path / "ml" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(FIXTURE.read_text())
+        rc = main(["lint", "--format", "json", str(tmp_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["format"] == "repro.lint"
+        assert payload["version"] == 1
+        assert payload["counts"]["error"] == len(payload["diagnostics"])
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert {"DET001", "FLT001", "MUT001", "TIM001"} <= rules
+
+    def test_select_restricts_output(self, tmp_path, capsys):
+        bad = tmp_path / "ml" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(FIXTURE.read_text())
+        rc = main(["lint", "--select", "DET001", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DET001" in out
+        assert "MUT001" not in out
+
+    def test_no_self_check_flag(self, capsys):
+        rc = main(["lint", "--no-self-check", str(PACKAGE_DIR / "errors.py")])
+        assert rc == 0
+
+    def test_warning_only_findings_exit_zero(self, tmp_path, capsys):
+        # IR005 (dead configuration) is a warning: surfaced but not fatal.
+        from repro.analysis import find_dead_configurations, has_errors
+        from repro.hw.specs import make_v100_spec
+        from repro.kernels.ir import KernelLaunch, KernelSpec
+
+        launch = KernelLaunch(
+            KernelSpec(name="tiny", float_add=1.0, global_access=100.0), threads=32
+        )
+        diags = find_dead_configurations([launch], make_v100_spec())
+        assert diags and not has_errors(diags)

@@ -1,0 +1,99 @@
+"""Property-based tests for the static-analysis layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    verify_device_spec,
+    verify_frequencies,
+    verify_spec,
+    verify_voltage_curve,
+)
+from repro.hw.specs import make_intel_max_spec, make_mi100_spec, make_v100_spec
+from repro.kernels.ir import FEATURE_NAMES, KernelSpec
+
+FACTORIES = (make_v100_spec, make_mi100_spec, make_intel_max_spec)
+
+factory_st = st.sampled_from(FACTORIES)
+
+
+@given(factory_st)
+@settings(max_examples=len(FACTORIES), deadline=None)
+def test_every_shipped_spec_is_accepted(factory):
+    assert verify_device_spec(factory()) == []
+
+
+@given(
+    factory_st,
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.0, max_value=50.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_non_monotone_mutation_is_rejected(factory, idx, drop_mhz):
+    """Any swap/flatten mutation of a shipped table must trip HW001."""
+    freqs = factory().core_freqs.freqs_mhz
+    i = idx % (len(freqs) - 1)
+    # mutate bin i+1 down to (or below) bin i: breaks strict monotonicity
+    freqs[i + 1] = freqs[i] - drop_mhz
+    diags = verify_frequencies(freqs, "mutated")
+    assert "HW001" in {d.rule for d in diags}
+
+
+@given(factory_st, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_duplicated_bin_is_rejected(factory, idx):
+    freqs = factory().core_freqs.freqs_mhz
+    i = idx % (len(freqs) - 1)
+    freqs[i + 1] = freqs[i]
+    assert any(d.rule == "HW001" for d in verify_frequencies(freqs, "mutated"))
+
+
+class _DipCurve:
+    """Voltage curve with an injected dip at one table index."""
+
+    def __init__(self, base_curve, freqs, dip_index, dip_v):
+        self._base = base_curve
+        self._dip_f = freqs[dip_index]
+        self._dip_v = dip_v
+        self.v_min = base_curve.v_min
+        self.v_max = base_curve.v_max
+
+    def voltage_at(self, freqs):
+        v = np.array(self._base.voltage_at(np.asarray(freqs, dtype=float)))
+        v[np.isclose(np.asarray(freqs, dtype=float), self._dip_f)] = self._dip_v
+        return v
+
+
+@given(factory_st, st.integers(min_value=1, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_voltage_dip_mutation_is_rejected(factory, idx):
+    spec = factory()
+    freqs = spec.core_freqs.freqs_mhz
+    i = 1 + idx % (len(freqs) - 1)  # never the first bin: a dip needs a left neighbour
+    dipped = _DipCurve(spec.voltage, freqs, i, spec.voltage.v_min - 0.05)
+    diags = verify_voltage_curve(dipped, freqs, spec.name)
+    assert any(d.rule == "HW002" for d in diags)
+
+
+@st.composite
+def valid_specs(draw):
+    kwargs = {
+        f: draw(st.floats(min_value=0.0, max_value=1000.0)) for f in FEATURE_NAMES
+    }
+    if sum(kwargs.values()) <= 0.0:
+        kwargs["float_add"] = 1.0
+    return KernelSpec(name="prop", **kwargs)
+
+
+@given(valid_specs())
+@settings(max_examples=60, deadline=None)
+def test_constructible_specs_pass_the_verifier(spec):
+    assert verify_spec(spec) == []
+
+
+@given(valid_specs(), st.sampled_from(FEATURE_NAMES))
+@settings(max_examples=60, deadline=None)
+def test_corrupted_specs_fail_the_verifier(spec, feat):
+    object.__setattr__(spec, feat, -1.0)
+    assert any(d.rule == "IR001" for d in verify_spec(spec))
