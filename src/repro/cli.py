@@ -1,9 +1,12 @@
 """Command-line interface.
 
-Five workflows, mirroring how a user adopts the library:
+Six workflows, mirroring how a user adopts the library:
 
 - ``repro characterize`` — DVFS-sweep an application on a simulated
   device, print the speedup/energy table, optionally save the sweep;
+- ``repro campaign`` — run a full characterization campaign through the
+  parallel, cached execution engine (``--jobs``, ``--cache-dir``; see
+  ``docs/campaign-engine.md``);
 - ``repro train`` — build a characterization campaign and train a
   domain-specific model, saving it as ``.npz``;
 - ``repro predict`` — load a model and predict the trade-off profile
@@ -55,13 +58,11 @@ def _device(args):
 
 
 def _freq_list(device, count: Optional[int]):
-    table = device.gpu.spec.core_freqs
-    if count is None:
-        return [float(f) for f in table.freqs_mhz]
-    freqs = table.subsample(count)
-    if table.default_mhz is not None and table.default_mhz not in freqs:
-        freqs = sorted(set(freqs) | {table.default_mhz})
-    return freqs
+    # Shared with the campaign builders: snap-and-compare baseline
+    # membership, never float identity.
+    from repro.experiments.datasets import default_training_freqs
+
+    return default_training_freqs(device, count)
 
 
 def _add_app_options(p: argparse.ArgumentParser) -> None:
@@ -231,6 +232,69 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    import time
+
+    from repro.experiments.report import render_campaign_summary
+    from repro.runtime import CampaignEngine, ResultCache
+
+    device = _device(args)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    engine = CampaignEngine(
+        jobs=args.jobs, cache=cache, campaign_seed=args.seed
+    )
+
+    def progress(done: int, total: int, label: str, from_cache: bool) -> None:
+        origin = "cache" if from_cache else f"jobs={engine.jobs}"
+        print(f"\r[{done}/{total}] {label} ({origin})", end="", flush=True)
+        if done == total:
+            print(flush=True)
+
+    # Harness wall-clock for the run summary only — simulated measurements
+    # always derive time from the timing model, never from the host clock.
+    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
+    if args.app == "ligen":
+        from repro.experiments.datasets import build_ligen_campaign
+
+        kwargs = {}
+        if args.quick:
+            kwargs = dict(
+                ligand_counts=(2, 256, 10000),
+                atom_counts=(31, 89),
+                fragment_counts=(4, 20),
+            )
+        campaign = build_ligen_campaign(
+            device,
+            freq_count=args.freqs,
+            repetitions=args.reps,
+            engine=engine,
+            progress=progress,
+            **kwargs,
+        )
+    else:
+        from repro.experiments.configs import CRONOS_GRID_SIZES
+        from repro.experiments.datasets import build_cronos_campaign
+
+        grids = CRONOS_GRID_SIZES[:3] if args.quick else CRONOS_GRID_SIZES
+        campaign = build_cronos_campaign(
+            device,
+            grids=grids,
+            freq_count=args.freqs,
+            repetitions=args.reps,
+            engine=engine,
+            progress=progress,
+        )
+    elapsed = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
+
+    print(render_campaign_summary(campaign, elapsed_s=elapsed))
+    if args.dataset_output:
+        from repro.io import save_dataset
+
+        save_dataset(campaign.dataset, args.dataset_output)
+        print(f"dataset saved to {args.dataset_output}")
+    return 0
+
+
 def cmd_tune(args) -> int:
     from repro.synergy.tuning import TuningMetric, select_frequency
 
@@ -307,6 +371,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", required=True, help="model .npz path")
     p.add_argument("--dataset-output", help="also save the training dataset (JSON)")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a characterization campaign through the parallel, cached engine",
+    )
+    p.add_argument("--app", choices=("ligen", "cronos"), required=True)
+    p.add_argument("--device", choices=("v100", "mi100"), default="v100")
+    p.add_argument("--freqs", type=int, default=16, help="frequency bins to sweep (0 = all)")
+    p.add_argument("--reps", type=int, default=5)
+    p.add_argument("--seed", type=int, default=42, help="campaign seed (per-task seeds derive from it)")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (results are identical for any value)",
+    )
+    p.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="persistent result cache directory (default .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="reduced input grid (~seconds)"
+    )
+    p.add_argument("--dataset-output", help="save the training dataset (JSON)")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("reproduce", help="regenerate a headline experiment")
     p.add_argument(

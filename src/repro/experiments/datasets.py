@@ -5,21 +5,33 @@ subsample on one device, returning both the flat
 :class:`repro.modeling.dataset.EnergyDataset` (for model training) and
 the per-input :class:`repro.synergy.runner.CharacterizationResult`
 objects (the measured ground truth used for validation).
+
+Builders accept an optional :class:`repro.runtime.engine.CampaignEngine`
+that fans the (input x frequency) grid out over a process pool with
+persistent result caching; without one they fall back to the serial
+in-process sweep on the caller's device handle (preserving the exact
+sensor-noise stream of historical runs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cronos.app import CRONOS_FEATURE_NAMES, CronosApplication
 from repro.experiments import configs
 from repro.ligen.app import LIGEN_FEATURE_NAMES, LigenApplication
 from repro.modeling.dataset import EnergyDataset
+from repro.runtime.engine import CampaignEngine, CampaignStats, ProgressFn
 from repro.synergy.api import SynergyDevice
-from repro.synergy.runner import CharacterizationResult, characterize
+from repro.synergy.runner import Application, CharacterizationResult, characterize
 
-__all__ = ["CampaignData", "build_cronos_campaign", "build_ligen_campaign"]
+__all__ = [
+    "CampaignData",
+    "build_cronos_campaign",
+    "build_ligen_campaign",
+    "default_training_freqs",
+]
 
 FeatureKey = Tuple[float, ...]
 
@@ -31,13 +43,16 @@ class CampaignData:
     dataset: EnergyDataset
     characterizations: Dict[FeatureKey, CharacterizationResult]
     freqs_mhz: List[float]
+    #: Engine-lifetime task/cache counters when an engine ran the
+    #: campaign (``None`` for the serial in-process path).
+    stats: Optional[CampaignStats] = field(default=None, compare=False)
 
     def characterization_for(self, features: Sequence[float]) -> CharacterizationResult:
         """Measured sweep for one input-feature tuple."""
         return self.characterizations[tuple(float(f) for f in features)]
 
 
-def _default_freqs(device: SynergyDevice, count: Optional[int]) -> List[float]:
+def default_training_freqs(device: SynergyDevice, count: Optional[int]) -> List[float]:
     """Frequency subsample for training sweeps.
 
     Always includes the device's baseline clock: the domain-specific
@@ -45,14 +60,67 @@ def _default_freqs(device: SynergyDevice, count: Optional[int]) -> List[float]:
     baseline frequency* (§4.2.3), so the baseline bin must be in the
     training set or every normalized prediction inherits a systematic
     interpolation offset.
+
+    Membership of the baseline bin is decided by snapping to the device
+    table and comparing within half a bin — never by float identity — so
+    the baseline can neither be silently dropped (a recomputed table
+    value differing in the last ulp) nor duplicated (two near-identical
+    floats that later snap onto the same bin and abort the sweep).
     """
     table = device.gpu.spec.core_freqs
     if count is None:
         return [float(f) for f in table.freqs_mhz]
-    freqs = table.subsample(count)
-    if table.default_mhz is not None and table.default_mhz not in freqs:
-        freqs = sorted(set(freqs) | {table.default_mhz})
-    return freqs
+    freqs = [float(table.snap(f)) for f in table.subsample(count)]
+    if table.default_mhz is not None:
+        default = float(table.snap(table.default_mhz))
+        tol = max(table.step_mhz() / 2.0, 1e-9)
+        if not any(abs(f - default) <= tol for f in freqs):
+            freqs.append(default)
+    return sorted(set(freqs))
+
+
+# Backwards-compatible private alias (pre-engine internal name).
+_default_freqs = default_training_freqs
+
+
+def _characterize_all(
+    apps: Sequence[Application],
+    device: SynergyDevice,
+    freqs: Sequence[float],
+    repetitions: int,
+    engine: Optional[CampaignEngine],
+    progress: Optional[ProgressFn],
+) -> List[CharacterizationResult]:
+    """Sweep every app: engine fan-out when available, else serial."""
+    if engine is None:
+        return [
+            characterize(app, device, freqs_mhz=freqs, repetitions=repetitions)
+            for app in apps
+        ]
+    return engine.characterize_many(
+        apps, device.gpu.spec, freqs_mhz=freqs, repetitions=repetitions, progress=progress
+    )
+
+
+def _assemble(
+    apps: Sequence[Application],
+    results: Sequence[CharacterizationResult],
+    feature_names: Sequence[str],
+    freqs: List[float],
+    engine: Optional[CampaignEngine],
+) -> CampaignData:
+    dataset = EnergyDataset(feature_names=tuple(feature_names))
+    chars: Dict[FeatureKey, CharacterizationResult] = {}
+    for app, result in zip(apps, results):
+        features = app.domain_features
+        dataset.add_characterization(features, result)
+        chars[features] = result
+    return CampaignData(
+        dataset=dataset,
+        characterizations=chars,
+        freqs_mhz=freqs,
+        stats=None if engine is None else engine.stats,
+    )
 
 
 def build_cronos_campaign(
@@ -61,18 +129,14 @@ def build_cronos_campaign(
     freq_count: Optional[int] = configs.DEFAULT_TRAIN_FREQ_COUNT,
     n_steps: int = configs.CRONOS_STEPS,
     repetitions: int = configs.DEFAULT_REPETITIONS,
+    engine: Optional[CampaignEngine] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> CampaignData:
     """Characterize Cronos over the grid sweep (paper §5.1 protocol)."""
-    freqs = _default_freqs(device, freq_count)
-    dataset = EnergyDataset(feature_names=CRONOS_FEATURE_NAMES)
-    chars: Dict[FeatureKey, CharacterizationResult] = {}
-    for nx, ny, nz in grids:
-        app = CronosApplication.from_size(nx, ny, nz, n_steps=n_steps)
-        result = characterize(app, device, freqs_mhz=freqs, repetitions=repetitions)
-        features = app.domain_features
-        dataset.add_characterization(features, result)
-        chars[features] = result
-    return CampaignData(dataset=dataset, characterizations=chars, freqs_mhz=freqs)
+    freqs = default_training_freqs(device, freq_count)
+    apps = [CronosApplication.from_size(nx, ny, nz, n_steps=n_steps) for nx, ny, nz in grids]
+    results = _characterize_all(apps, device, freqs, repetitions, engine, progress)
+    return _assemble(apps, results, CRONOS_FEATURE_NAMES, freqs, engine)
 
 
 def build_ligen_campaign(
@@ -82,19 +146,16 @@ def build_ligen_campaign(
     fragment_counts: Sequence[int] = configs.LIGEN_FRAGMENT_COUNTS,
     freq_count: Optional[int] = configs.DEFAULT_TRAIN_FREQ_COUNT,
     repetitions: int = configs.DEFAULT_REPETITIONS,
+    engine: Optional[CampaignEngine] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> CampaignData:
     """Characterize LiGen over the full ``(l, a, f)`` input grid."""
-    freqs = _default_freqs(device, freq_count)
-    dataset = EnergyDataset(feature_names=LIGEN_FEATURE_NAMES)
-    chars: Dict[FeatureKey, CharacterizationResult] = {}
-    for ligands in ligand_counts:
-        for atoms in atom_counts:
-            for fragments in fragment_counts:
-                app = LigenApplication(
-                    n_ligands=ligands, n_atoms=atoms, n_fragments=fragments
-                )
-                result = characterize(app, device, freqs_mhz=freqs, repetitions=repetitions)
-                features = app.domain_features
-                dataset.add_characterization(features, result)
-                chars[features] = result
-    return CampaignData(dataset=dataset, characterizations=chars, freqs_mhz=freqs)
+    freqs = default_training_freqs(device, freq_count)
+    apps = [
+        LigenApplication(n_ligands=ligands, n_atoms=atoms, n_fragments=fragments)
+        for ligands in ligand_counts
+        for atoms in atom_counts
+        for fragments in fragment_counts
+    ]
+    results = _characterize_all(apps, device, freqs, repetitions, engine, progress)
+    return _assemble(apps, results, LIGEN_FEATURE_NAMES, freqs, engine)

@@ -27,6 +27,27 @@ from repro.experiments.datasets import CampaignData
 __all__ = ["AccuracyRow", "evaluate_fig13", "RegressorScore", "compare_regressors"]
 
 
+def _resolve_baseline_freq(
+    campaign: CampaignData, baseline_freq_mhz: Optional[float]
+) -> float:
+    """The frequency that normalizes DS predictions (§4.2.3).
+
+    Explicit values win; otherwise the campaign's own measured baseline
+    clock is used, so engine-built campaigns on non-V100 devices no
+    longer inherit the V100's 1282 MHz default. Auto-governed devices
+    (AMD) record no baseline clock and require an explicit value.
+    """
+    if baseline_freq_mhz is not None:
+        return float(baseline_freq_mhz)
+    for char in campaign.characterizations.values():
+        if char.baseline_freq_mhz is not None:
+            return float(char.baseline_freq_mhz)
+    raise ConfigurationError(
+        "campaign device reports no default clock (AMD auto governor); "
+        "pass baseline_freq_mhz explicitly"
+    )
+
+
 @dataclass(frozen=True)
 class AccuracyRow:
     """One Figure-13 bar group: GP vs DS MAPE for one validation input."""
@@ -56,7 +77,7 @@ def evaluate_fig13(
     feature_names: Sequence[str],
     validation_features: Sequence[Sequence[float]],
     labels: Optional[Sequence[str]] = None,
-    baseline_freq_mhz: float = 1282.0,
+    baseline_freq_mhz: Optional[float] = None,
     regressor_factory: Callable[[], Regressor] = default_regressor_factory,
 ) -> List[AccuracyRow]:
     """Reproduce Figure 13 for one application.
@@ -77,13 +98,14 @@ def evaluate_fig13(
     labels:
         Display labels (defaults to the feature tuples).
     baseline_freq_mhz:
-        Frequency whose predicted values normalize the DS prediction
-        (V100 default clock).
+        Frequency whose predicted values normalize the DS prediction;
+        defaults to the campaign's own measured baseline clock.
     regressor_factory:
         Regressor used by the DS models.
     """
     if labels is not None and len(labels) != len(validation_features):
         raise ConfigurationError("labels must match validation_features")
+    baseline_freq_mhz = _resolve_baseline_freq(campaign, baseline_freq_mhz)
     rows: List[AccuracyRow] = []
     for i, feats in enumerate(validation_features):
         feats_t = tuple(float(f) for f in feats)
@@ -136,11 +158,16 @@ def compare_regressors(
     feature_names: Sequence[str],
     validation_features: Sequence[Sequence[float]],
     factories: Dict[str, Callable[[], Regressor]],
-    baseline_freq_mhz: float = 1282.0,
+    baseline_freq_mhz: Optional[float] = None,
 ) -> List[RegressorScore]:
-    """§5.2.1: rank regression algorithms by LOOCV MAPE on both targets."""
+    """§5.2.1: rank regression algorithms by LOOCV MAPE on both targets.
+
+    ``baseline_freq_mhz`` defaults to the campaign's measured baseline
+    clock (see :func:`evaluate_fig13`).
+    """
     if not factories:
         raise ConfigurationError("no regressor factories supplied")
+    baseline_freq_mhz = _resolve_baseline_freq(campaign, baseline_freq_mhz)
     scores: List[RegressorScore] = []
     for name, factory in factories.items():
         sp_errs: List[float] = []

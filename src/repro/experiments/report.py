@@ -7,8 +7,9 @@ helpers turn the figure-builder records into the tables the benches print
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.experiments.datasets import CampaignData
 from repro.experiments.evaluation import AccuracyRow, RegressorScore
 from repro.experiments.figures import (
     CharacterizationSeries,
@@ -25,7 +26,34 @@ __all__ = [
     "render_accuracy_rows",
     "render_regressor_scores",
     "render_pareto_prediction",
+    "render_campaign_summary",
 ]
+
+
+def render_campaign_summary(
+    campaign: CampaignData, elapsed_s: Optional[float] = None
+) -> str:
+    """Run summary for a campaign: grid shape plus engine/cache counters.
+
+    ``elapsed_s`` is the harness wall-clock (measured by the caller; the
+    library itself never reads wall time — see lint rule TIM001).
+    """
+    items: dict = {
+        "inputs": len(campaign.characterizations),
+        "frequency bins": len(campaign.freqs_mhz),
+        "training samples": len(campaign.dataset),
+    }
+    stats = campaign.stats
+    if stats is not None:
+        items["tasks (baseline + sweep points)"] = stats.tasks_total
+        items["tasks executed"] = stats.executed
+        items["cache hits"] = stats.cache_hits
+        items["cache misses"] = stats.cache_misses
+        items["cache bytes read"] = stats.cache_bytes_read
+        items["cache bytes written"] = stats.cache_bytes_written
+    if elapsed_s is not None:
+        items["wall time (s)"] = round(float(elapsed_s), 3)
+    return render_kv_block(items, title="campaign summary")
 
 
 def render_characterization_plot(series: CharacterizationSeries, title: str) -> str:

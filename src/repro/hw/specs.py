@@ -13,7 +13,7 @@ claim about the exact silicon.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Mapping, Tuple
 
 import numpy as np
@@ -168,6 +168,34 @@ class DeviceSpec:
     def tdp_w(self) -> float:
         """Approximate board power at full load and peak frequency."""
         return self.p_static_w + self.p_clock_w + self.p_core_dyn_w + self.p_mem_dyn_w
+
+    def signature(self) -> Dict[str, object]:
+        """Stable JSON-able description of every model-relevant field.
+
+        The campaign result cache keys entries by this signature: any
+        change to the device model (a recalibrated coefficient, a new
+        frequency table, a future spec field) changes the signature and
+        therefore invalidates exactly the cached measurements taken on
+        the old device. Iterates ``dataclasses.fields`` so new fields can
+        never be forgotten.
+        """
+        sig: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, FrequencyTable):
+                sig[f.name] = {
+                    "freqs_mhz": [float(x) for x in value.freqs_mhz],
+                    "default_mhz": value.default_mhz,
+                }
+            elif isinstance(value, VoltageCurve):
+                sig[f.name] = {
+                    k: float(v) for k, v in asdict(value).items()
+                }
+            elif isinstance(value, Mapping):
+                sig[f.name] = {str(k): float(value[k]) for k in sorted(value)}
+            else:
+                sig[f.name] = value
+        return sig
 
 
 def make_v100_spec() -> DeviceSpec:

@@ -1,0 +1,157 @@
+"""Content-addressed on-disk cache for campaign measurement points.
+
+Each cached entry is a single measurement task: one application at one
+sweep point (a pinned frequency, or the baseline run). The cache key is
+the SHA-256 digest of the canonical JSON of
+
+``(schema version, device-spec signature, app fingerprint, sweep point,
+repetitions, task seed, sensor mode)``
+
+so *any* change to the device model, workload configuration, protocol,
+or seeding invalidates exactly the affected entries — and nothing else.
+Entries are plain JSON files laid out as ``<root>/<aa>/<digest>.json``
+(two-hex-digit fan-out directories), written atomically via a temporary
+file + ``os.replace`` so an interrupted campaign never leaves a torn
+entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.runtime.seeding import canonical_json, stable_digest
+
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "ResultCache"]
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump whenever the measurement semantics or the entry payload change;
+#: every outstanding cache entry is invalidated (its key no longer
+#: matches), old files are simply never read again.
+CACHE_SCHEMA_VERSION = 1
+
+_ENTRY_FORMAT = "repro.campaign_point"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (used by run summaries and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+class ResultCache:
+    """Content-addressed JSON store of per-point campaign measurements.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created (with parents) on first use.
+
+    Notes
+    -----
+    The cache is written only by the coordinating process (workers
+    return results; the engine persists them), so no cross-process
+    locking is needed. Corrupt or foreign files under ``root`` are
+    treated as misses, never as errors: a half-written entry from a
+    killed run degrades to a recompute.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # keys & paths
+    # ------------------------------------------------------------------
+    def key_for(self, payload: Any) -> str:
+        """The content hash of ``payload`` under the current schema version."""
+        return stable_digest({"schema": CACHE_SCHEMA_VERSION, "key": payload})
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of the entry with content hash ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+            record = json.loads(raw.decode("utf-8"))
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != _ENTRY_FORMAT
+            or record.get("schema") != CACHE_SCHEMA_VERSION
+        ):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(raw)
+        return record.get("value")
+
+    def put(self, key: str, value: Dict[str, Any], key_payload: Any = None) -> None:
+        """Persist ``value`` under ``key`` (atomic write).
+
+        ``key_payload`` — the pre-hash key contents — is stored alongside
+        the value purely for human inspection of the cache directory.
+        """
+        record = {
+            "format": _ENTRY_FORMAT,
+            "schema": CACHE_SCHEMA_VERSION,
+            "value": value,
+        }
+        if key_payload is not None:
+            record["key"] = key_payload
+        encoded = canonical_json(record).encode("utf-8")
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        self.stats.bytes_written += len(encoded)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of well-formed-looking entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache({str(self.root)!r}, entries={self.entry_count()})"

@@ -1,0 +1,426 @@
+"""The campaign execution engine.
+
+Fans the (application x frequency) measurement grid out over a
+``concurrent.futures`` process pool and merges per-point results back
+into :class:`repro.synergy.runner.CharacterizationResult` objects.
+
+Determinism
+-----------
+Every sweep point is an independent :class:`MeasurementTask` carrying its
+own seed, derived from the campaign seed plus the task key (see
+:mod:`repro.runtime.seeding`). A worker builds a *fresh* device from the
+task's spec and a fresh sensor pair from the task's seed, so the
+measured noise at a point depends only on (campaign seed, device spec,
+app config, point, repetitions) — never on worker count, scheduling, or
+which other points ran first. ``jobs=1`` and ``jobs=N`` therefore
+produce bit-identical campaigns.
+
+Caching
+-------
+When a :class:`repro.runtime.cache.ResultCache` is attached, each task is
+looked up before execution and stored after; re-running a finished (or
+interrupted) campaign replays cached points instantly and computes only
+what is missing. Cache statistics are accumulated in
+:class:`CampaignStats` and surfaced by the CLI run summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import DeviceSpec
+from repro.runtime.cache import ResultCache
+from repro.runtime.seeding import canonicalize, derive_task_seed
+from repro.synergy.api import SynergyDevice
+from repro.synergy.runner import (
+    Application,
+    CharacterizationResult,
+    DEFAULT_REPETITIONS,
+    FrequencySample,
+    measure,
+    measure_baseline,
+    resolve_sweep,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "MeasurementTask",
+    "PointMeasurement",
+    "CampaignStats",
+    "CampaignEngine",
+    "app_fingerprint",
+    "execute_task",
+]
+
+#: Sweep-point label of the baseline (unpinned) run in task keys.
+BASELINE_POINT = "baseline"
+
+#: Progress callback: (done, total, label, from_cache).
+ProgressFn = Callable[[int, int, str, bool], None]
+
+
+def app_fingerprint(app: Application) -> Dict[str, Any]:
+    """A stable, JSON-able identity for an application's configuration.
+
+    Preference order: an explicit ``cache_config`` attribute (value or
+    zero-argument callable) for apps that know their own identity; then
+    the dataclass fields for dataclass apps (both shipped applications —
+    :class:`repro.cronos.app.CronosApplication` and
+    :class:`repro.ligen.app.LigenApplication` — are frozen dataclasses).
+    Anything else is rejected rather than keyed by name alone, which
+    would let two differently-configured workloads collide in the cache.
+    """
+    config = getattr(app, "cache_config", None)
+    if config is not None:
+        payload = config() if callable(config) else config
+    elif dataclasses.is_dataclass(app) and not isinstance(app, type):
+        payload = dataclasses.asdict(app)
+    else:
+        raise ConfigurationError(
+            f"{getattr(app, 'name', type(app).__name__)}: application is not "
+            "fingerprintable for campaign caching; make it a dataclass or give "
+            "it a `cache_config` attribute describing its configuration"
+        )
+    return {
+        "type": f"{type(app).__module__}.{type(app).__qualname__}",
+        "config": canonicalize(payload),
+    }
+
+
+@dataclass(frozen=True)
+class MeasurementTask:
+    """One picklable sweep point: an app at one frequency (or baseline).
+
+    ``freq_mhz is None`` means the baseline run (default clock on
+    NVIDIA/Intel, automatic governor on AMD). ``seed`` fully determines
+    the sensor noise the point sees.
+    """
+
+    app: Application
+    spec: DeviceSpec
+    freq_mhz: Optional[float]
+    repetitions: int
+    seed: int
+    ideal_sensors: bool = False
+
+    @property
+    def label(self) -> str:
+        """Human-readable task label for progress reporting."""
+        point = BASELINE_POINT if self.freq_mhz is None else f"{self.freq_mhz:.0f} MHz"
+        return f"{self.app.name} @ {point}"
+
+
+@dataclass(frozen=True)
+class PointMeasurement:
+    """The (noisy) measured outcome of one task, ready for JSON caching."""
+
+    freq_mhz: Optional[float]
+    time_s: float
+    energy_j: float
+    rep_times_s: Tuple[float, ...]
+    rep_energies_j: Tuple[float, ...]
+
+    def as_record(self) -> Dict[str, Any]:
+        """Plain-dict form stored in the result cache."""
+        return {
+            "freq_mhz": self.freq_mhz,
+            "time_s": self.time_s,
+            "energy_j": self.energy_j,
+            "rep_times_s": list(self.rep_times_s),
+            "rep_energies_j": list(self.rep_energies_j),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "PointMeasurement":
+        """Inverse of :meth:`as_record`."""
+        freq = record["freq_mhz"]
+        return cls(
+            freq_mhz=None if freq is None else float(freq),
+            time_s=float(record["time_s"]),
+            energy_j=float(record["energy_j"]),
+            rep_times_s=tuple(float(v) for v in record["rep_times_s"]),
+            rep_energies_j=tuple(float(v) for v in record["rep_energies_j"]),
+        )
+
+    def to_sample(self) -> FrequencySample:
+        """The pinned-clock view of this measurement."""
+        if self.freq_mhz is None:
+            raise ConfigurationError("baseline measurement is not a FrequencySample")
+        return FrequencySample(
+            freq_mhz=self.freq_mhz,
+            time_s=self.time_s,
+            energy_j=self.energy_j,
+            rep_times_s=np.asarray(self.rep_times_s, dtype=float),
+            rep_energies_j=np.asarray(self.rep_energies_j, dtype=float),
+        )
+
+
+def execute_task(task: MeasurementTask) -> PointMeasurement:
+    """Run one measurement task on a freshly built device.
+
+    Module-level (picklable) so it can be shipped to pool workers; also
+    called inline for ``jobs=1``, which is what makes serial and parallel
+    campaigns bit-identical.
+    """
+    gpu = SimulatedGPU(task.spec)
+    device = SynergyDevice(gpu, seed=task.seed, ideal_sensors=task.ideal_sensors)
+    if task.freq_mhz is None:
+        t, e, times, energies = measure_baseline(task.app, device, task.repetitions)
+        actual: Optional[float] = None
+    else:
+        actual = device.set_core_frequency(task.freq_mhz)
+        t, e, times, energies = measure(task.app, device, task.repetitions)
+    return PointMeasurement(
+        freq_mhz=actual,
+        time_s=t,
+        energy_j=e,
+        rep_times_s=tuple(float(v) for v in times),
+        rep_energies_j=tuple(float(v) for v in energies),
+    )
+
+
+@dataclass
+class CampaignStats:
+    """Engine-lifetime task and cache counters for the run summary."""
+
+    tasks_total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_read: int = 0
+    cache_bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (used by run summaries and tests)."""
+        return dataclasses.asdict(self)
+
+
+class CampaignEngine:
+    """Parallel, cached executor for characterization campaigns.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` executes inline (no pool), ``None`` uses
+        ``os.cpu_count()``. Results are identical for every value.
+    cache:
+        Optional :class:`ResultCache`; ``None`` disables persistence.
+    campaign_seed:
+        Root of every per-task seed. Two engines with equal seeds (and
+        equal grids) measure identical campaigns.
+    ideal_sensors:
+        Build workers with noiseless sensors (ablation/test mode).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        campaign_seed: int = 0,
+        ideal_sensors: bool = False,
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        self.jobs = check_positive_int(jobs, "jobs")
+        self.cache = cache
+        self.campaign_seed = int(campaign_seed)
+        self.ideal_sensors = bool(ideal_sensors)
+        self.stats = CampaignStats()
+
+    # ------------------------------------------------------------------
+    # task construction
+    # ------------------------------------------------------------------
+    def _task_for(
+        self,
+        app: Application,
+        app_fp: Dict[str, Any],
+        spec: DeviceSpec,
+        freq_mhz: Optional[float],
+        repetitions: int,
+    ) -> MeasurementTask:
+        point = BASELINE_POINT if freq_mhz is None else float(freq_mhz)
+        seed = derive_task_seed(self.campaign_seed, app_fp, point)
+        return MeasurementTask(
+            app=app,
+            spec=spec,
+            freq_mhz=freq_mhz,
+            repetitions=repetitions,
+            seed=seed,
+            ideal_sensors=self.ideal_sensors,
+        )
+
+    def _cache_payload(
+        self, task: MeasurementTask, app_fp: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        return {
+            "device": task.spec.signature(),
+            "app": app_fp,
+            "point": BASELINE_POINT if task.freq_mhz is None else float(task.freq_mhz),
+            "repetitions": int(task.repetitions),
+            "seed": int(task.seed),
+            "ideal_sensors": bool(task.ideal_sensors),
+        }
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def characterize(
+        self,
+        app: Application,
+        spec: DeviceSpec,
+        freqs_mhz: Optional[Sequence[float]] = None,
+        repetitions: int = DEFAULT_REPETITIONS,
+        progress: Optional[ProgressFn] = None,
+    ) -> CharacterizationResult:
+        """Sweep one application (paper §5.1 protocol) through the engine."""
+        return self.characterize_many(
+            [app], spec, freqs_mhz=freqs_mhz, repetitions=repetitions, progress=progress
+        )[0]
+
+    def characterize_many(
+        self,
+        apps: Sequence[Application],
+        spec: DeviceSpec,
+        freqs_mhz: Optional[Sequence[float]] = None,
+        repetitions: int = DEFAULT_REPETITIONS,
+        progress: Optional[ProgressFn] = None,
+    ) -> List[CharacterizationResult]:
+        """Sweep several applications as one task pool.
+
+        All (app x point) tasks share the pool, so a many-input campaign
+        keeps every worker busy even while individual sweeps drain.
+        Results are returned in ``apps`` order and are bit-identical for
+        any ``jobs`` value.
+        """
+        if not apps:
+            raise ConfigurationError("characterize_many needs at least one application")
+        repetitions = check_positive_int(repetitions, "repetitions")
+        sweep = resolve_sweep(spec.core_freqs, freqs_mhz)
+
+        tasks: List[MeasurementTask] = []
+        payloads: List[Dict[str, Any]] = []
+        for app in apps:
+            try:
+                app_fp = app_fingerprint(app)
+            except ConfigurationError:
+                # Without a cache, identity is only needed for seeding;
+                # fall back to the app name so ad-hoc (non-dataclass)
+                # workloads still run. With a cache the ambiguity could
+                # collide cache entries, so the error stands.
+                if self.cache is not None:
+                    raise
+                app_fp = {"type": type(app).__qualname__, "config": {"name": app.name}}
+            for freq in [None, *sweep]:
+                task = self._task_for(app, app_fp, spec, freq, repetitions)
+                tasks.append(task)
+                payloads.append(self._cache_payload(task, app_fp))
+
+        measurements = self._run_tasks(tasks, payloads, progress)
+
+        # Merge per-point measurements back into one result per app.
+        points_per_app = 1 + len(sweep)
+        results: List[CharacterizationResult] = []
+        baseline_label, baseline_freq = self._baseline_descriptor(spec)
+        for i, app in enumerate(apps):
+            chunk = measurements[i * points_per_app : (i + 1) * points_per_app]
+            baseline, samples = chunk[0], chunk[1:]
+            result = CharacterizationResult(
+                app_name=app.name,
+                device_name=spec.name,
+                baseline_label=baseline_label,
+                baseline_freq_mhz=baseline_freq,
+                baseline_time_s=baseline.time_s,
+                baseline_energy_j=baseline.energy_j,
+                samples=[m.to_sample() for m in samples],
+            )
+            results.append(result)
+        return results
+
+    @staticmethod
+    def _baseline_descriptor(spec: DeviceSpec) -> Tuple[str, Optional[float]]:
+        if spec.has_default_frequency:
+            return "default configuration", spec.core_freqs.default_mhz
+        return "AMD auto freq", None
+
+    def _run_tasks(
+        self,
+        tasks: List[MeasurementTask],
+        payloads: List[Dict[str, Any]],
+        progress: Optional[ProgressFn],
+    ) -> List[PointMeasurement]:
+        total = len(tasks)
+        self.stats.tasks_total += total
+        done = 0
+        results: List[Optional[PointMeasurement]] = [None] * total
+        pending: List[int] = []
+
+        # Phase 1: replay every cached point.
+        for i, task in enumerate(tasks):
+            cached = self._cache_get(payloads[i])
+            if cached is not None:
+                results[i] = cached
+                done += 1
+                if progress is not None:
+                    progress(done, total, task.label, True)
+            else:
+                pending.append(i)
+
+        # Phase 2: compute what is missing, inline or across the pool.
+        if pending and self.jobs == 1:
+            for i in pending:
+                results[i] = execute_task(tasks[i])
+                self._after_execute(tasks[i], payloads[i], results[i])
+                done += 1
+                if progress is not None:
+                    progress(done, total, tasks[i].label, False)
+        elif pending:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(execute_task, tasks[i]): i for i in pending}
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        i = futures[future]
+                        results[i] = future.result()
+                        self._after_execute(tasks[i], payloads[i], results[i])
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, tasks[i].label, False)
+
+        assert all(m is not None for m in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_get(self, payload: Dict[str, Any]) -> Optional[PointMeasurement]:
+        if self.cache is None:
+            return None
+        record = self.cache.get(self.cache.key_for(payload))
+        if record is None:
+            self.stats.cache_misses += 1
+            return None
+        self.stats.cache_hits += 1
+        self.stats.cache_bytes_read = self.cache.stats.bytes_read
+        return PointMeasurement.from_record(record)
+
+    def _after_execute(
+        self,
+        task: MeasurementTask,
+        payload: Dict[str, Any],
+        measurement: PointMeasurement,
+    ) -> None:
+        self.stats.executed += 1
+        if self.cache is not None:
+            self.cache.put(self.cache.key_for(payload), measurement.as_record(), payload)
+            self.stats.cache_bytes_written = self.cache.stats.bytes_written

@@ -22,10 +22,21 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hw.device import SimulatedGPU
+from repro.hw.dvfs import FrequencyTable
 from repro.synergy.api import SynergyDevice
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Application", "FrequencySample", "CharacterizationResult", "characterize"]
+__all__ = [
+    "Application",
+    "FrequencySample",
+    "CharacterizationResult",
+    "characterize",
+    "measure",
+    "measure_baseline",
+    "measure_frequency",
+    "resolve_sweep",
+    "baseline_descriptor",
+]
 
 #: Paper protocol: every experiment is repeated five times (§5.1).
 DEFAULT_REPETITIONS = 5
@@ -47,7 +58,10 @@ class FrequencySample:
     """Aggregated measurement at one core frequency.
 
     ``time_s``/``energy_j`` are medians over the repetitions; the raw
-    per-repetition readings are kept for dispersion statistics.
+    per-repetition readings are kept for dispersion statistics. The
+    repetition arrays are stored as read-only copies: samples are shared
+    between campaign caches and every downstream consumer, so in-place
+    mutation by one caller must not corrupt the others.
     """
 
     freq_mhz: float
@@ -56,9 +70,16 @@ class FrequencySample:
     rep_times_s: np.ndarray
     rep_energies_j: np.ndarray
 
+    def __post_init__(self) -> None:
+        for name in ("rep_times_s", "rep_energies_j"):
+            arr = np.array(getattr(self, name), dtype=float)  # always copies
+            arr.flags.writeable = False
+            object.__setattr__(self, name, arr)
+
     @property
     def power_w(self) -> float:
-        """Median average power."""
+        """Average power as the ratio of the median energy to the median
+        time (not the median of the per-repetition powers)."""
         return self.energy_j / self.time_s
 
     @property
@@ -102,16 +123,53 @@ class CharacterizationResult:
         """Energy normalized to the baseline run (<1 means energy saved)."""
         return self.energies_j / self.baseline_energy_j
 
-    def sample_at(self, freq_mhz: float) -> FrequencySample:
-        """The sample whose frequency is closest to ``freq_mhz``."""
+    def sample_at(
+        self, freq_mhz: float, tol_mhz: Optional[float] = None
+    ) -> FrequencySample:
+        """The sample whose frequency is closest to ``freq_mhz``.
+
+        The lookup is a bin snap, not an interpolation: the request must
+        fall within half a sweep bin of the nearest swept sample (the
+        larger of the two adjacent sample gaps defines the local bin), or
+        :class:`ConfigurationError` is raised. Pass ``tol_mhz`` to widen
+        or tighten the acceptance window explicitly. A single-sample
+        sweep only matches its own frequency unless ``tol_mhz`` is given.
+        """
         if not self.samples:
             raise ConfigurationError("characterization holds no samples")
-        idx = int(np.argmin(np.abs(self.freqs_mhz - float(freq_mhz))))
+        freqs = self.freqs_mhz
+        f = float(freq_mhz)
+        idx = int(np.argmin(np.abs(freqs - f)))
+        dist = float(abs(freqs[idx] - f))
+        if tol_mhz is None:
+            if len(self.samples) >= 2:
+                gaps = np.diff(freqs)
+                lo = float(gaps[idx - 1]) if idx > 0 else 0.0
+                hi = float(gaps[idx]) if idx < gaps.size else 0.0
+                tol_mhz = max(lo, hi) / 2.0
+            else:
+                tol_mhz = 0.0
+        if dist > float(tol_mhz) + 1e-9:
+            raise ConfigurationError(
+                f"no swept sample within half a bin of {f:.1f} MHz "
+                f"(nearest sample {freqs[idx]:.1f} MHz is {dist:.1f} MHz away, "
+                f"tolerance {float(tol_mhz):.1f} MHz)"
+            )
         return self.samples[idx]
 
-    def best_energy_saving(self, max_speedup_loss: float = 1.0) -> FrequencySample:
+    def best_energy_saving(self, max_speedup_loss: float = 0.1) -> FrequencySample:
         """Sample with the lowest normalized energy among those whose
-        speedup loss does not exceed ``max_speedup_loss`` (fraction)."""
+        speedup loss does not exceed ``max_speedup_loss``.
+
+        ``max_speedup_loss`` is the accepted fractional slowdown relative
+        to the baseline, in ``[0, 1)``: the default ``0.1`` keeps samples
+        with speedup >= 0.9 (at most a 10% slowdown, the budget the paper
+        uses in §5.3).
+        """
+        if not (0.0 <= max_speedup_loss < 1.0):
+            raise ConfigurationError(
+                f"max_speedup_loss must lie in [0, 1), got {max_speedup_loss}"
+            )
         sp = self.speedups()
         ne = self.normalized_energies()
         mask = sp >= (1.0 - max_speedup_loss)
@@ -129,14 +187,85 @@ def _run_once(app: Application, device: SynergyDevice) -> tuple[float, float]:
     return region.time_s, region.energy_j
 
 
-def _measure(
+def measure(
     app: Application, device: SynergyDevice, repetitions: int
 ) -> tuple[float, float, np.ndarray, np.ndarray]:
+    """Run ``app`` ``repetitions`` times at the device's current clock.
+
+    Returns ``(median_time_s, median_energy_j, rep_times, rep_energies)``.
+    This is the single measurement primitive every sweep point — serial
+    or fanned out by :class:`repro.runtime.engine.CampaignEngine` — goes
+    through.
+    """
     times = np.empty(repetitions)
     energies = np.empty(repetitions)
     for r in range(repetitions):
         times[r], energies[r] = _run_once(app, device)
     return float(np.median(times)), float(np.median(energies)), times, energies
+
+
+# Backwards-compatible private alias (pre-engine internal name).
+_measure = measure
+
+
+def measure_baseline(
+    app: Application, device: SynergyDevice, repetitions: int
+) -> tuple[float, float, np.ndarray, np.ndarray]:
+    """Measure the baseline point (default clock / AMD auto governor).
+
+    Raises :class:`ConfigurationError` when the workload is too small for
+    the sensor resolution, exactly like :func:`characterize`.
+    """
+    device.reset_frequency()
+    base_time, base_energy, times, energies = measure(app, device, repetitions)
+    if base_energy <= 0 or base_time <= 0:
+        raise ConfigurationError(
+            f"{app.name}: baseline measurement is below the sensor resolution; "
+            "run a larger workload (more steps/iterations) so energy is measurable"
+        )
+    return base_time, base_energy, times, energies
+
+
+def measure_frequency(
+    app: Application, device: SynergyDevice, freq_mhz: float, repetitions: int
+) -> FrequencySample:
+    """Measure one pinned-clock sweep point as a :class:`FrequencySample`."""
+    actual = device.set_core_frequency(freq_mhz)
+    t, e, times, energies = measure(app, device, repetitions)
+    return FrequencySample(
+        freq_mhz=actual,
+        time_s=t,
+        energy_j=e,
+        rep_times_s=times,
+        rep_energies_j=energies,
+    )
+
+
+def resolve_sweep(
+    table: FrequencyTable, freqs_mhz: Optional[Sequence[float]]
+) -> List[float]:
+    """Snap and validate a requested sweep against a frequency table.
+
+    ``None`` selects every supported frequency; explicit requests are
+    snapped to table bins, sorted ascending, and rejected when two
+    requests land in the same bin.
+    """
+    if freqs_mhz is None:
+        sweep = [float(f) for f in table.freqs_mhz]
+    else:
+        sweep = sorted(float(table.snap(f)) for f in freqs_mhz)
+        if len(set(sweep)) != len(sweep):
+            raise ConfigurationError("frequency sweep contains duplicate bins after snapping")
+    if not sweep:
+        raise ConfigurationError("frequency sweep is empty")
+    return sweep
+
+
+def baseline_descriptor(device: SynergyDevice) -> tuple[str, Optional[float]]:
+    """``(baseline_label, baseline_freq_mhz)`` for a device handle."""
+    if device.default_frequency_mhz is not None:
+        return "default configuration", float(device.default_frequency_mhz)
+    return "AMD auto freq", None
 
 
 def characterize(
@@ -164,29 +293,11 @@ def characterize(
         Baseline plus one :class:`FrequencySample` per swept frequency.
     """
     repetitions = check_positive_int(repetitions, "repetitions")
-    if freqs_mhz is None:
-        sweep = [float(f) for f in device.supported_frequencies()]
-    else:
-        sweep = sorted(float(device.gpu.spec.core_freqs.snap(f)) for f in freqs_mhz)
-        if len(set(sweep)) != len(sweep):
-            raise ConfigurationError("frequency sweep contains duplicate bins after snapping")
-    if not sweep:
-        raise ConfigurationError("frequency sweep is empty")
+    sweep = resolve_sweep(device.gpu.spec.core_freqs, freqs_mhz)
 
     # Baseline: default clock (NVIDIA) or automatic governor (AMD).
-    device.reset_frequency()
-    base_time, base_energy, _, _ = _measure(app, device, repetitions)
-    if base_energy <= 0 or base_time <= 0:
-        raise ConfigurationError(
-            f"{app.name}: baseline measurement is below the sensor resolution; "
-            "run a larger workload (more steps/iterations) so energy is measurable"
-        )
-    if device.default_frequency_mhz is not None:
-        baseline_label = "default configuration"
-        baseline_freq: Optional[float] = device.default_frequency_mhz
-    else:
-        baseline_label = "AMD auto freq"
-        baseline_freq = None
+    base_time, base_energy, _, _ = measure_baseline(app, device, repetitions)
+    baseline_label, baseline_freq = baseline_descriptor(device)
 
     result = CharacterizationResult(
         app_name=app.name,
@@ -197,16 +308,6 @@ def characterize(
         baseline_energy_j=base_energy,
     )
     for freq in sweep:
-        actual = device.set_core_frequency(freq)
-        t, e, times, energies = _measure(app, device, repetitions)
-        result.samples.append(
-            FrequencySample(
-                freq_mhz=actual,
-                time_s=t,
-                energy_j=e,
-                rep_times_s=times,
-                rep_energies_j=energies,
-            )
-        )
+        result.samples.append(measure_frequency(app, device, freq, repetitions))
     device.reset_frequency()
     return result

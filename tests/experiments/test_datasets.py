@@ -3,7 +3,45 @@
 import numpy as np
 import pytest
 
-from repro.experiments.datasets import build_cronos_campaign, build_ligen_campaign
+from repro.experiments.datasets import (
+    build_cronos_campaign,
+    build_ligen_campaign,
+    default_training_freqs,
+)
+from repro.runtime.engine import CampaignEngine
+from repro.synergy import Platform
+
+
+class TestDefaultTrainingFreqs:
+    def test_full_table_when_count_is_none(self, v100_dev):
+        assert len(default_training_freqs(v100_dev, None)) == 196
+
+    def test_baseline_appended_when_missing(self, v100_dev):
+        """Regression: membership of the baseline bin used to be checked
+        with float `in`, so a last-ulp difference dropped the baseline
+        from the training sweep."""
+        freqs = np.asarray(default_training_freqs(v100_dev, 6))
+        default = v100_dev.default_frequency_mhz
+        assert np.sum(np.abs(freqs - default) < 1.0) == 1
+
+    def test_baseline_not_duplicated(self, v100_dev):
+        # A subsample that already contains the default bin must not grow.
+        for count in (4, 8, 16, 32, 196):
+            freqs = np.asarray(default_training_freqs(v100_dev, count))
+            default = v100_dev.default_frequency_mhz
+            assert np.sum(np.abs(freqs - default) < 1.0) == 1
+            assert len(freqs) == len(np.unique(freqs))
+
+    def test_sorted_and_snapped(self, v100_dev):
+        freqs = default_training_freqs(v100_dev, 8)
+        assert freqs == sorted(freqs)
+        table = v100_dev.gpu.spec.core_freqs
+        for f in freqs:
+            assert f == pytest.approx(table.snap(f))
+
+    def test_amd_device_without_default(self, mi100_dev):
+        freqs = default_training_freqs(mi100_dev, 8)
+        assert len(freqs) >= 8
 
 
 class TestCronosCampaign:
@@ -56,3 +94,25 @@ def test_full_table_sweep_possible(v100_dev):
         v100_dev, grids=((10, 4, 4),), freq_count=None, n_steps=3, repetitions=1
     )
     assert len(campaign.freqs_mhz) == 196
+
+
+def test_engine_routed_ligen_campaign():
+    device = Platform.default(seed=7).get_device("v100")
+    engine = CampaignEngine(jobs=1, campaign_seed=7)
+    campaign = build_ligen_campaign(
+        device,
+        ligand_counts=(2, 256),
+        atom_counts=(31,),
+        fragment_counts=(4,),
+        freq_count=4,
+        repetitions=2,
+        engine=engine,
+    )
+    assert campaign.stats is engine.stats
+    assert campaign.stats.tasks_total == 2 * (1 + len(campaign.freqs_mhz))
+    assert len(campaign.characterizations) == 2
+    assert campaign.characterization_for((2.0, 4.0, 31.0)).baseline_energy_j > 0
+
+
+def test_serial_path_has_no_stats(cronos_campaign_small):
+    assert cronos_campaign_small.stats is None

@@ -1,0 +1,87 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+from repro.hw.specs import make_mi100_spec, make_v100_spec, scale_spec
+from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache
+
+
+def _payload(spec, freq=1282.1, seed=7):
+    return {
+        "device": spec.signature(),
+        "app": {"type": "toy", "config": {"n": 3}},
+        "point": freq,
+        "repetitions": 2,
+        "seed": seed,
+        "ideal_sensors": False,
+    }
+
+
+class TestKeys:
+    def test_key_stable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_v100_spec()
+        assert cache.key_for(_payload(spec)) == cache.key_for(_payload(spec))
+
+    def test_key_includes_device_spec(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key_for(_payload(make_v100_spec())) != cache.key_for(
+            _payload(make_mi100_spec())
+        )
+
+    def test_key_changes_on_spec_recalibration(self, tmp_path):
+        """Any spec change — even one scaled coefficient — invalidates."""
+        cache = ResultCache(tmp_path)
+        spec = make_v100_spec()
+        tweaked = scale_spec(spec, bandwidth=1.01)
+        assert cache.key_for(_payload(spec)) != cache.key_for(_payload(tweaked))
+
+    def test_key_changes_on_point_and_seed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_v100_spec()
+        base = cache.key_for(_payload(spec))
+        assert base != cache.key_for(_payload(spec, freq=135.0))
+        assert base != cache.key_for(_payload(spec, seed=8))
+
+
+class TestStoreAndStats:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"k": 1})
+        value = {"time_s": 1.5, "rep_times_s": [1.4, 1.6]}
+        cache.put(key, value, key_payload={"k": 1})
+        assert cache.get(key) == value
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.bytes_written > 0
+        assert cache.stats.bytes_read > 0
+
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"k": 2})
+        cache.put(key, {"v": 1})
+        cache.path_for(key).write_text("{ torn json")
+        assert cache.get(key) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"k": 3})
+        cache.put(key, {"v": 1})
+        record = json.loads(cache.path_for(key).read_text())
+        record["schema"] = CACHE_SCHEMA_VERSION + 1
+        cache.path_for(key).write_text(json.dumps(record))
+        assert cache.get(key) is None
+
+    def test_entry_layout_and_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"k": 4})
+        cache.put(key, {"v": 1})
+        path = cache.path_for(key)
+        assert path.parent.name == key[:2]
+        assert path.exists()
+        assert cache.entry_count() == 1

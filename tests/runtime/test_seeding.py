@@ -1,0 +1,67 @@
+"""Unit tests for deterministic task-seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.seeding import (
+    canonical_json,
+    canonicalize,
+    derive_task_seed,
+    stable_digest,
+)
+
+
+class TestCanonicalize:
+    def test_plain_scalars_pass_through(self):
+        assert canonicalize(None) is None
+        assert canonicalize(True) is True
+        assert canonicalize("x") == "x"
+        assert canonicalize(3) == 3
+        assert canonicalize(1.5) == 1.5
+
+    def test_numpy_scalars_and_arrays(self):
+        assert canonicalize(np.float64(2.5)) == 2.5
+        assert canonicalize(np.int32(7)) == 7
+        assert canonicalize(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_mapping_keys_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_dataclass_by_field(self):
+        from repro.ligen.docking import DockingParams
+
+        payload = canonicalize(DockingParams.production())
+        assert payload["num_restart"] == 32
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_non_finite_float_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json(float("nan"))
+
+
+class TestDigestAndSeed:
+    def test_digest_stable_across_calls(self):
+        payload = {"device": "v100", "freq": 1282.1}
+        assert stable_digest(payload) == stable_digest(dict(payload))
+
+    def test_digest_changes_with_content(self):
+        assert stable_digest({"freq": 1282.1}) != stable_digest({"freq": 1282.2})
+
+    def test_seed_deterministic_and_distinct(self):
+        a = derive_task_seed(42, {"app": "x"}, 135.0)
+        b = derive_task_seed(42, {"app": "x"}, 135.0)
+        c = derive_task_seed(42, {"app": "x"}, 142.5)
+        d = derive_task_seed(43, {"app": "x"}, 135.0)
+        assert a == b
+        assert len({a, c, d}) == 3
+
+    def test_seed_is_valid_numpy_seed(self):
+        seed = derive_task_seed(0, "p")
+        assert 0 <= seed < 2**63
+        np.random.default_rng(seed)  # must not raise

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.kernels.ir import KernelLaunch, KernelSpec
-from repro.synergy.runner import characterize
+from repro.synergy.runner import FrequencySample, characterize
 
 
 class ToyApp:
@@ -86,16 +86,75 @@ class TestResultHelpers:
         s = result.sample_at(1110.0)
         assert s.freq_mhz == pytest.approx(1102.2, abs=0.5)
 
+    def test_sample_at_rejects_far_frequency(self, result):
+        """Regression: a request beyond half a bin from any swept sample
+        must raise, not silently return the nearest (wrong) sample."""
+        # Nearest sample is 1597 MHz with a 147 MHz local bin, so anything
+        # more than ~73.5 MHz above the top of the sweep must be refused.
+        with pytest.raises(ConfigurationError):
+            result.sample_at(3000.0)
+        with pytest.raises(ConfigurationError):
+            result.sample_at(1700.0)
+
+    def test_sample_at_explicit_tolerance(self, result):
+        with pytest.raises(ConfigurationError):
+            result.sample_at(1110.0, tol_mhz=1.0)
+        s = result.sample_at(3000.0, tol_mhz=2000.0)
+        assert s.freq_mhz == pytest.approx(1597.0, abs=1.0)
+
     def test_best_energy_saving_respects_constraint(self, result):
         s = result.best_energy_saving(max_speedup_loss=0.10)
         idx = int(np.argmin(np.abs(result.freqs_mhz - s.freq_mhz)))
         assert result.speedups()[idx] >= 0.90
 
+    def test_best_energy_saving_default_is_ten_percent(self, result):
+        """Regression: the default used to be 1.0 (accept any slowdown),
+        contradicting the documented 10% loss budget."""
+        assert result.best_energy_saving().freq_mhz == pytest.approx(
+            result.best_energy_saving(max_speedup_loss=0.1).freq_mhz
+        )
+
     def test_best_energy_saving_infeasible(self, result):
         with pytest.raises(ConfigurationError):
             result.best_energy_saving(max_speedup_loss=-0.5)
+
+    def test_best_energy_saving_rejects_loss_of_one_or_more(self, result):
+        for bad in (1.0, 1.5):
+            with pytest.raises(ConfigurationError):
+                result.best_energy_saving(max_speedup_loss=bad)
 
     def test_power_and_spread(self, result):
         s = result.samples[0]
         assert s.power_w == pytest.approx(s.energy_j / s.time_s)
         assert s.time_spread >= 0.0
+
+
+class TestFrequencySampleImmutability:
+    def _sample(self, reps):
+        return FrequencySample(
+            freq_mhz=900.0,
+            time_s=float(np.median(reps)),
+            energy_j=10.0,
+            rep_times_s=reps,
+            rep_energies_j=np.asarray([10.0, 10.5, 9.5]),
+        )
+
+    def test_arrays_are_read_only(self):
+        s = self._sample(np.asarray([1.0, 1.1, 0.9]))
+        assert s.rep_times_s.flags.writeable is False
+        assert s.rep_energies_j.flags.writeable is False
+        with pytest.raises(ValueError):
+            s.rep_times_s[0] = 99.0
+
+    def test_input_array_is_copied(self):
+        """Regression: samples used to alias the caller's buffer, so a
+        caller-side mutation silently corrupted the stored measurement."""
+        reps = np.asarray([1.0, 1.1, 0.9])
+        s = self._sample(reps)
+        reps[0] = 99.0
+        assert s.rep_times_s[0] == pytest.approx(1.0)
+
+    def test_characterize_samples_read_only(self, v100_dev, small_freqs):
+        result = characterize(ToyApp(), v100_dev, freqs_mhz=small_freqs[:2], repetitions=2)
+        for s in result.samples:
+            assert s.rep_times_s.flags.writeable is False

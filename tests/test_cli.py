@@ -147,3 +147,60 @@ class TestTrainPredictTune:
             ]
         )
         assert rc == 1
+
+
+class TestCampaignCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign", "--app", "cronos"])
+        assert args.jobs == 1
+        assert args.cache_dir == ".repro-cache"
+        assert args.no_cache is False
+        assert args.seed == 42
+
+    @staticmethod
+    def _summary_value(out, key):
+        for line in out.splitlines():
+            if line.startswith(key):
+                return line.split(":")[-1].strip()
+        raise AssertionError(f"summary line {key!r} not found in output")
+
+    def test_cold_then_warm_cache(self, tmp_path, capsys):
+        argv = [
+            "campaign", "--app", "cronos", "--quick",
+            "--freqs", "4", "--reps", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "campaign summary" in cold
+        assert self._summary_value(cold, "cache hits") == "0"
+        executed = self._summary_value(cold, "tasks executed")
+        assert int(executed) > 0
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert self._summary_value(warm, "tasks executed") == "0"
+        assert self._summary_value(warm, "cache hits") == executed
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        rc = main(
+            [
+                "campaign", "--app", "cronos", "--quick",
+                "--freqs", "4", "--reps", "1", "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cache hits" not in out or self._summary_value(out, "cache hits") == "0"
+
+    def test_dataset_output(self, tmp_path, capsys):
+        out_file = tmp_path / "campaign.json"
+        rc = main(
+            [
+                "campaign", "--app", "ligen", "--quick",
+                "--freqs", "4", "--reps", "1", "--no-cache",
+                "--dataset-output", str(out_file),
+            ]
+        )
+        assert rc == 0
+        assert out_file.exists()
