@@ -1,0 +1,116 @@
+"""Perf smoke: serial vs replay on a fixed small Cronos campaign.
+
+Runs the same campaign build through the engine twice — once with the
+serial measurement path, once with record-once/replay — and asserts:
+
+1. the two builds are bit-identical (the replay contract), and
+2. replay is faster.
+
+Writes ``benchmarks/output/BENCH_campaign.json`` with the point count,
+per-mode wall times and launch-evaluation totals so CI runs leave an
+inspectable perf record. Wall time here is harness measurement of the
+harness itself, not simulated time, hence the TIM001 ignores.
+
+Usage: ``PYTHONPATH=src python benchmarks/perf_campaign_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+# Fixed small grid: big enough that model evaluation dominates, small
+# enough for a CI smoke step (a few seconds serial).
+GRIDS = ((32, 16, 16), (48, 24, 24), (64, 32, 32))
+FREQ_COUNT = 16
+REPETITIONS = 3
+N_STEPS = 4
+SEED = 42
+
+
+def _build(method: str):
+    from repro.experiments.datasets import build_cronos_campaign
+    from repro.runtime.engine import CampaignEngine
+    from repro.synergy import Platform
+
+    device = Platform.default(seed=7).get_device("v100")
+    engine = CampaignEngine(jobs=1, cache=None, campaign_seed=SEED, method=method)
+    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
+    campaign = build_cronos_campaign(
+        device,
+        grids=GRIDS,
+        freq_count=FREQ_COUNT,
+        n_steps=N_STEPS,
+        repetitions=REPETITIONS,
+        engine=engine,
+    )
+    elapsed = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
+    return campaign, engine.stats, elapsed
+
+
+def _assert_identical(a, b) -> None:
+    assert a.freqs_mhz == b.freqs_mhz
+    assert set(a.characterizations) == set(b.characterizations)
+    for key, ra in a.characterizations.items():
+        rb = b.characterizations[key]
+        assert ra.baseline_time_s == rb.baseline_time_s
+        assert ra.baseline_energy_j == rb.baseline_energy_j
+        for sa, sb in zip(ra.samples, rb.samples):
+            assert sa.freq_mhz == sb.freq_mhz
+            assert sa.time_s == sb.time_s
+            assert sa.energy_j == sb.energy_j
+            assert np.array_equal(
+                np.asarray(sa.rep_times_s), np.asarray(sb.rep_times_s)
+            )
+            assert np.array_equal(
+                np.asarray(sa.rep_energies_j), np.asarray(sb.rep_energies_j)
+            )
+
+
+def main() -> int:
+    serial_campaign, _, serial_s = _build("serial")
+    replay_campaign, replay_stats, replay_s = _build("replay")
+
+    _assert_identical(serial_campaign, replay_campaign)
+    assert replay_s < serial_s, (
+        f"replay ({replay_s:.3f}s) not faster than serial ({serial_s:.3f}s)"
+    )
+
+    points = sum(
+        len(r.samples) + 1 for r in serial_campaign.characterizations.values()
+    )
+    record = {
+        "campaign": {
+            "app": "cronos",
+            "device": "v100",
+            "grids": [list(g) for g in GRIDS],
+            "freq_count": FREQ_COUNT,
+            "repetitions": REPETITIONS,
+            "n_steps": N_STEPS,
+        },
+        "points": points,
+        "serial_wall_s": round(serial_s, 4),
+        "replay_wall_s": round(replay_s, 4),
+        "speedup": round(serial_s / replay_s, 2),
+        "launches_recorded": replay_stats.launches_recorded,
+        "unique_launches": replay_stats.unique_launches,
+        "launch_evals_replay": replay_stats.launch_evals_replay,
+        "launch_evals_serial_equivalent": replay_stats.launch_evals_serial_equivalent,
+        "bit_identical": True,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out = OUTPUT_DIR / "BENCH_campaign.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -241,7 +241,10 @@ def cmd_campaign(args) -> int:
     device = _device(args)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     engine = CampaignEngine(
-        jobs=args.jobs, cache=cache, campaign_seed=args.seed
+        jobs=args.jobs,
+        cache=cache,
+        campaign_seed=args.seed,
+        method="replay" if args.replay else "serial",
     )
 
     def progress(done: int, total: int, label: str, from_cache: bool) -> None:
@@ -395,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--quick", action="store_true", help="reduced input grid (~seconds)"
+    )
+    p.add_argument(
+        "--replay", action=argparse.BooleanOptionalAction, default=True,
+        help="record each app once and replay the sweep batched "
+        "(bit-identical to --no-replay, just faster; see docs/perf.md)",
     )
     p.add_argument("--dataset-output", help="save the training dataset (JSON)")
     p.set_defaults(func=cmd_campaign)

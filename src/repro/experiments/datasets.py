@@ -90,15 +90,32 @@ def _characterize_all(
     repetitions: int,
     engine: Optional[CampaignEngine],
     progress: Optional[ProgressFn],
+    method: Optional[str],
 ) -> List[CharacterizationResult]:
-    """Sweep every app: engine fan-out when available, else serial."""
+    """Sweep every app: engine fan-out when available, else in-process.
+
+    ``method`` picks the measurement path (``"serial"`` or the batched
+    ``"replay"`` fast path — bit-identical results either way); ``None``
+    keeps the engine's configured default (serial without an engine).
+    """
     if engine is None:
         return [
-            characterize(app, device, freqs_mhz=freqs, repetitions=repetitions)
+            characterize(
+                app,
+                device,
+                freqs_mhz=freqs,
+                repetitions=repetitions,
+                method=method or "serial",
+            )
             for app in apps
         ]
     return engine.characterize_many(
-        apps, device.gpu.spec, freqs_mhz=freqs, repetitions=repetitions, progress=progress
+        apps,
+        device.gpu.spec,
+        freqs_mhz=freqs,
+        repetitions=repetitions,
+        progress=progress,
+        method=method,
     )
 
 
@@ -131,11 +148,12 @@ def build_cronos_campaign(
     repetitions: int = configs.DEFAULT_REPETITIONS,
     engine: Optional[CampaignEngine] = None,
     progress: Optional[ProgressFn] = None,
+    method: Optional[str] = None,
 ) -> CampaignData:
     """Characterize Cronos over the grid sweep (paper §5.1 protocol)."""
     freqs = default_training_freqs(device, freq_count)
     apps = [CronosApplication.from_size(nx, ny, nz, n_steps=n_steps) for nx, ny, nz in grids]
-    results = _characterize_all(apps, device, freqs, repetitions, engine, progress)
+    results = _characterize_all(apps, device, freqs, repetitions, engine, progress, method)
     return _assemble(apps, results, CRONOS_FEATURE_NAMES, freqs, engine)
 
 
@@ -148,6 +166,7 @@ def build_ligen_campaign(
     repetitions: int = configs.DEFAULT_REPETITIONS,
     engine: Optional[CampaignEngine] = None,
     progress: Optional[ProgressFn] = None,
+    method: Optional[str] = None,
 ) -> CampaignData:
     """Characterize LiGen over the full ``(l, a, f)`` input grid."""
     freqs = default_training_freqs(device, freq_count)
@@ -157,5 +176,5 @@ def build_ligen_campaign(
         for atoms in atom_counts
         for fragments in fragment_counts
     ]
-    results = _characterize_all(apps, device, freqs, repetitions, engine, progress)
+    results = _characterize_all(apps, device, freqs, repetitions, engine, progress, method)
     return _assemble(apps, results, LIGEN_FEATURE_NAMES, freqs, engine)

@@ -51,6 +51,11 @@ def render_campaign_summary(
         items["cache misses"] = stats.cache_misses
         items["cache bytes read"] = stats.cache_bytes_read
         items["cache bytes written"] = stats.cache_bytes_written
+        if stats.launches_recorded > 0:
+            items["launches recorded (per app run)"] = stats.launches_recorded
+            items["unique launches after dedup"] = stats.unique_launches
+            items["model evals (replay)"] = stats.launch_evals_replay
+            items["model evals (serial equivalent)"] = stats.launch_evals_serial_equivalent
     if elapsed_s is not None:
         items["wall time (s)"] = round(float(elapsed_s), 3)
     return render_kv_block(items, title="campaign summary")

@@ -15,7 +15,7 @@ analytic simulations (see DESIGN.md §2 for the substitution argument):
 from repro.hw.device import LaunchResult, SimulatedGPU, create_device
 from repro.hw.dvfs import FrequencyTable, VoltageCurve
 from repro.hw.governor import AutoGovernor
-from repro.hw.perf import KernelTiming, RooflineTimingModel
+from repro.hw.perf import BatchTiming, KernelTiming, RooflineTimingModel
 from repro.hw.power import PowerBreakdown, PowerModel
 from repro.hw.sensors import EnergySensor, TimeSensor
 from repro.hw.specs import (
@@ -29,6 +29,7 @@ from repro.hw.trace import PowerSegment, PowerTrace, TracingGPU
 
 __all__ = [
     "AutoGovernor",
+    "BatchTiming",
     "DeviceSpec",
     "EnergySensor",
     "FrequencyTable",

@@ -28,6 +28,7 @@ from repro.hw.governor import AutoGovernor
 from repro.hw.perf import KernelTiming, RooflineTimingModel
 from repro.hw.power import PowerModel
 from repro.hw.specs import DeviceSpec, make_intel_max_spec, make_mi100_spec, make_v100_spec
+from repro.kernels.batch import KernelLaunchBatch
 from repro.kernels.ir import KernelLaunch
 
 __all__ = ["LaunchResult", "SimulatedGPU", "create_device"]
@@ -185,11 +186,16 @@ class SimulatedGPU:
         u_comp_eff = timing.u_comp * (floor + (1.0 - floor) * timing.width_util)
         return self.power_model.power_w(core_mhz, u_comp_eff, timing.u_mem)
 
-    def _cap_frequency(self, launch: KernelLaunch, core_mhz: float) -> float:
-        """Highest table frequency <= ``core_mhz`` honouring the cap."""
+    def _capped_frequency(self, launch: KernelLaunch, core_mhz: float) -> tuple[float, bool]:
+        """``(frequency, throttled)`` honouring the cap, without counter effects.
+
+        Pure with respect to device state, so the batched paths can
+        resolve clocks per *unique* launch and account throttle counts
+        per occurrence separately.
+        """
         cap = self._power_cap_w
         if cap is None or self._busy_power_w(launch, core_mhz) <= cap:
-            return core_mhz
+            return core_mhz, False
         freqs = self.spec.core_freqs.freqs_mhz
         candidates = freqs[freqs <= core_mhz + 1e-9]
         # Power is monotone in frequency at fixed work: bisect.
@@ -202,8 +208,14 @@ class SimulatedGPU:
                 lo = mid + 1
             else:
                 hi = mid - 1
-        self._throttle_count += 1
-        return float(best)
+        return float(best), True
+
+    def _cap_frequency(self, launch: KernelLaunch, core_mhz: float) -> float:
+        """Highest table frequency <= ``core_mhz`` honouring the cap."""
+        freq, throttled = self._capped_frequency(launch, core_mhz)
+        if throttled:
+            self._throttle_count += 1
+        return freq
 
     # ------------------------------------------------------------------
     # execution
@@ -240,6 +252,80 @@ class SimulatedGPU:
     def launch_many(self, launches: Iterable[KernelLaunch]) -> List[LaunchResult]:
         """Execute a sequence of launches in order."""
         return [self.launch(l) for l in launches]
+
+    def launch_batch(self, launches: Iterable[KernelLaunch]) -> List[LaunchResult]:
+        """Execute a launch sequence through the batched evaluation path.
+
+        Semantically identical to :meth:`launch_many` — same per-launch
+        results, same counter values bit-for-bit, same governor and
+        power-cap behaviour — but the timing/power models run once per
+        *unique* launch via :meth:`RooflineTimingModel.time_batch`
+        instead of once per occurrence. The counters are advanced with
+        the exact floating-point accumulation order of the serial loop
+        (a cumulative sum seeded with the current counter value), so
+        downstream profiling reads cannot tell the two paths apart.
+        """
+        self._check_open()
+        batch = KernelLaunchBatch.from_launches(launches)
+        if batch.n_unique == 0:
+            return []
+
+        # Resolve the clock per unique launch: pinned clock or governor
+        # decision, then the power-cap bisect. Throttles are counted per
+        # occurrence, exactly like the serial loop.
+        resolved: List[float] = []
+        for i, launch in enumerate(batch.unique):
+            freq, throttled = self._capped_frequency(launch, self.frequency_for(launch))
+            resolved.append(freq)
+            if throttled:
+                self._throttle_count += int(batch.counts[i])
+
+        # One batched evaluation over the distinct resolved clocks (one
+        # for a pinned sweep point, at most a handful under governor/cap).
+        freq_list = sorted(set(resolved))
+        col = {f: j for j, f in enumerate(freq_list)}
+        bt = self.timing_model.time_batch(batch, freq_list)
+
+        sel = np.array([col[f] for f in resolved], dtype=np.intp)
+        rows = np.arange(batch.n_unique)
+        resolved_arr = np.asarray(resolved, dtype=float)
+        # Effective compute utilization for power (see launch()).
+        floor = self.spec.active_idle_frac
+        u_comp_eff = bt.u_comp[rows, sel] * (floor + (1.0 - floor) * bt.width_util)
+        energies = self.power_model.energy_batch(
+            resolved_arr,
+            u_comp_eff,
+            bt.u_mem[rows, sel],
+            bt.exec_s[rows, sel],
+            idle_s=bt.overhead_s,
+        )
+        times = bt.time_s[rows, sel]
+
+        results_u = [
+            LaunchResult(
+                kernel_name=batch.unique[i].spec.name,
+                core_mhz=resolved[i],
+                time_s=float(times[i]),
+                energy_j=float(energies[i]),
+                timing=bt.timing_at(i, int(sel[i])),
+            )
+            for i in range(batch.n_unique)
+        ]
+
+        # Counter trajectories: a cumulative sum seeded with the current
+        # counter reproduces the serial `+=` loop bit-for-bit (float
+        # addition is not associative, so summing the deltas first and
+        # adding once would drift by ulps).
+        time_vals = times[batch.inverse]
+        energy_vals = energies[batch.inverse]
+        self._time_counter_s = float(
+            np.cumsum(np.concatenate(([self._time_counter_s], time_vals)))[-1]
+        )
+        self._energy_counter_j = float(
+            np.cumsum(np.concatenate(([self._energy_counter_j], energy_vals)))[-1]
+        )
+        self._launch_count += batch.n_launches
+        return [results_u[j] for j in batch.inverse]
 
     def idle(self, duration_s: float) -> float:
         """Account ``duration_s`` of host-side idle time at the current clock.
@@ -281,6 +367,37 @@ class SimulatedGPU:
         self._time_counter_s = 0.0
         self._energy_counter_j = 0.0
         self._launch_count = 0
+
+    def fast_forward(
+        self,
+        *,
+        time_counter_s: float,
+        energy_counter_j: float,
+        launches: int = 0,
+        throttles: int = 0,
+    ) -> None:
+        """Advance the counters to externally computed absolute values.
+
+        The replay engine (:mod:`repro.synergy.replay`) computes counter
+        trajectories for whole application runs without issuing the
+        launches one by one; this applies the result so the device's
+        externally visible state (counters, launch/throttle totals)
+        matches what the serial launch loop would have left behind.
+        Counters are free-running and may only move forward.
+        """
+        self._check_open()
+        time_counter_s = float(time_counter_s)
+        energy_counter_j = float(energy_counter_j)
+        if time_counter_s < self._time_counter_s or energy_counter_j < self._energy_counter_j:
+            raise DeviceError(
+                f"{self.name}: fast_forward cannot rewind the free-running counters"
+            )
+        if launches < 0 or throttles < 0:
+            raise DeviceError("fast_forward counts must be >= 0")
+        self._time_counter_s = time_counter_s
+        self._energy_counter_j = energy_counter_j
+        self._launch_count += int(launches)
+        self._throttle_count += int(throttles)
 
     def clone(self) -> "SimulatedGPU":
         """A fresh device with the same (shared, immutable) spec.

@@ -23,23 +23,58 @@ smallest Cronos inputs see nearly no speedup from over-clocking.
 The smooth max (a p-norm with ``p = 6``) keeps time differentiable at
 regime boundaries and yields the few-percent residual frequency
 sensitivity the paper observes even for memory-bound inputs (Fig. 3a).
+
+Two evaluation paths share the same arithmetic:
+
+- :meth:`RooflineTimingModel.time` — one launch at one frequency, in
+  plain float math (the hot path of :meth:`SimulatedGPU.launch`);
+- :meth:`RooflineTimingModel.time_batch` — a
+  :class:`repro.kernels.batch.KernelLaunchBatch` against a frequency
+  vector, returning every field as a ``(n_unique, n_freqs)`` array.
+
+The two paths are kept **bit-identical**: every formula is written with
+the same operation order, sixth powers use an exact multiplication
+chain, and the p-th root and exponential go through the NumPy ufuncs in
+both paths (``x ** y`` on Python floats rounds differently from the
+vectorized ufunc, so it is avoided). The batched replay engine in
+:mod:`repro.synergy.replay` depends on this equivalence; see
+``docs/perf.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import KernelError
 from repro.hw.specs import DeviceSpec
-from repro.kernels.ir import OP_CYCLE_COSTS, KernelLaunch
+from repro.kernels.batch import KernelLaunchBatch
+from repro.kernels.ir import FEATURE_NAMES, OP_CYCLE_COSTS, KernelLaunch
 
-__all__ = ["KernelTiming", "RooflineTimingModel"]
+__all__ = ["KernelTiming", "BatchTiming", "RooflineTimingModel"]
 
 #: Exponent of the smooth-max combination of the three roofline times.
 SMOOTH_MAX_P = 6.0
+
+#: Reciprocal exponent of the smooth max (shared by both paths).
+_INV_P = 1.0 / SMOOTH_MAX_P
+
+#: Column of ``global_access`` in the batch feature matrix.
+_GLOBAL_ACCESS_COL = FEATURE_NAMES.index("global_access")
+
+
+def _pow6(r):
+    """Sixth power as an exact multiplication chain.
+
+    ``r ** 6.0`` rounds differently between Python floats, NumPy scalars
+    and NumPy arrays; three multiplications are correctly rounded the
+    same way everywhere, keeping the scalar and batched paths
+    bit-identical.
+    """
+    r2 = r * r
+    return (r2 * r2) * r2
 
 
 @dataclass(frozen=True)
@@ -82,6 +117,57 @@ class KernelTiming:
     width_util: float
     occupancy: float
     regime: str
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """Timing-model output for a launch batch against a frequency vector.
+
+    Frequency-dependent fields are ``(n_unique, n_freqs)`` matrices;
+    ``t_bw_s``, ``t_lat_s``, ``width_util`` and ``occupancy`` are
+    frequency-independent and stored once per unique launch.
+    ``overhead_s`` is a device constant. Every element is bit-identical
+    to the corresponding scalar :meth:`RooflineTimingModel.time` call.
+    """
+
+    freqs_mhz: np.ndarray
+    time_s: np.ndarray
+    exec_s: np.ndarray
+    overhead_s: float
+    t_comp_s: np.ndarray
+    t_bw_s: np.ndarray
+    t_lat_s: np.ndarray
+    u_comp: np.ndarray
+    u_mem: np.ndarray
+    width_util: np.ndarray
+    occupancy: np.ndarray
+    regime: np.ndarray
+
+    @property
+    def n_unique(self) -> int:
+        """Number of unique launches on the first axis."""
+        return int(self.time_s.shape[0])
+
+    @property
+    def n_freqs(self) -> int:
+        """Number of frequencies on the second axis."""
+        return int(self.time_s.shape[1])
+
+    def timing_at(self, i: int, j: int) -> KernelTiming:
+        """The scalar :class:`KernelTiming` view of element ``(i, j)``."""
+        return KernelTiming(
+            time_s=float(self.time_s[i, j]),
+            exec_s=float(self.exec_s[i, j]),
+            overhead_s=self.overhead_s,
+            t_comp_s=float(self.t_comp_s[i, j]),
+            t_bw_s=float(self.t_bw_s[i]),
+            t_lat_s=float(self.t_lat_s[i]),
+            u_comp=float(self.u_comp[i, j]),
+            u_mem=float(self.u_mem[i, j]),
+            width_util=float(self.width_util[i]),
+            occupancy=float(self.occupancy[i]),
+            regime=str(self.regime[i, j]),
+        )
 
 
 class RooflineTimingModel:
@@ -136,31 +222,37 @@ class RooflineTimingModel:
         """Fraction of the device's resident-thread capacity used."""
         return min(1.0, launch.threads / self.spec.max_resident_threads)
 
-    def time(self, launch: KernelLaunch, core_mhz: float) -> KernelTiming:
-        """Evaluate the full timing model at ``core_mhz`` (must be in range)."""
-        if not isinstance(launch, KernelLaunch):
-            raise KernelError(f"expected KernelLaunch, got {type(launch).__name__}")
+    def _check_freq(self, core_mhz: float) -> float:
         core_mhz = float(core_mhz)
         lo, hi = self.spec.core_freqs.min_mhz, self.spec.core_freqs.max_mhz
         if not (lo - 1e-6 <= core_mhz <= hi + 1e-6):
             raise KernelError(
                 f"core frequency {core_mhz} MHz outside device range [{lo}, {hi}]"
             )
+        return core_mhz
+
+    def time(self, launch: KernelLaunch, core_mhz: float) -> KernelTiming:
+        """Evaluate the full timing model at ``core_mhz`` (must be in range)."""
+        if not isinstance(launch, KernelLaunch):
+            raise KernelError(f"expected KernelLaunch, got {type(launch).__name__}")
+        core_mhz = self._check_freq(core_mhz)
 
         t_comp = self.compute_time_s(launch, core_mhz)
         t_bw = self.bandwidth_time_s(launch)
         t_lat = self.latency_time_s(launch)
 
-        parts = np.array([t_comp, t_bw, t_lat], dtype=float)
-        positive = parts[parts > 0]
-        if positive.size == 0:
-            raise KernelError(f"kernel {launch.spec.name!r} has no work")
         # Smooth max: sum of p-th powers, p-th root. Scale by the largest
-        # component first for numerical stability.
-        peak = float(positive.max())
-        exec_s = peak * float(np.sum((positive / peak) ** SMOOTH_MAX_P)) ** (
-            1.0 / SMOOTH_MAX_P
-        )
+        # component first for numerical stability. Zero components add an
+        # exact 0.0 to the sum, so no filtering is needed.
+        peak = t_comp
+        if t_bw > peak:
+            peak = t_bw
+        if t_lat > peak:
+            peak = t_lat
+        if peak <= 0.0:
+            raise KernelError(f"kernel {launch.spec.name!r} has no work")
+        s = (_pow6(t_comp / peak) + _pow6(t_bw / peak)) + _pow6(t_lat / peak)
+        exec_s = peak * float(np.power(s, _INV_P))
 
         overhead_s = self.spec.launch_overhead_us * 1e-6
         time_s = exec_s + overhead_s
@@ -171,10 +263,15 @@ class RooflineTimingModel:
         # memory system's busy fraction.
         u_mem = min(1.0, max(t_bw, 0.08 * t_lat) / exec_s)
 
-        names = ("compute", "bandwidth", "latency")
-        regime = names[int(np.argmax(parts))]
+        # First-max selection, same tie-breaking as np.argmax.
         if overhead_s > exec_s:
             regime = "overhead"
+        elif t_comp >= t_bw and t_comp >= t_lat:
+            regime = "compute"
+        elif t_bw >= t_lat:
+            regime = "bandwidth"
+        else:
+            regime = "latency"
 
         return KernelTiming(
             time_s=time_s,
@@ -187,6 +284,92 @@ class RooflineTimingModel:
             u_mem=u_mem,
             width_util=float(1.0 - np.exp(-launch.threads / (3.0 * self.spec.n_cores))),
             occupancy=self.occupancy(launch),
+            regime=regime,
+        )
+
+    def time_batch(
+        self, batch: KernelLaunchBatch, freqs_mhz: Sequence[float]
+    ) -> BatchTiming:
+        """Evaluate every unique launch in ``batch`` at every frequency.
+
+        Returns a :class:`BatchTiming` whose ``(i, j)`` element is
+        bit-identical to ``self.time(batch.unique[i], freqs_mhz[j])``.
+        Validation (frequency range, launch types) is hoisted out of the
+        inner arithmetic: launches were checked by the batch constructor
+        and the frequency vector is checked once here.
+        """
+        freqs = np.asarray([float(f) for f in freqs_mhz], dtype=float)
+        if freqs.ndim != 1 or freqs.size == 0:
+            raise KernelError("time_batch needs a non-empty 1-D frequency list")
+        for f in freqs:
+            self._check_freq(float(f))
+
+        spec = self.spec
+        n = batch.n_unique
+        threads_f = batch.threads.astype(float)
+        wi = batch.work_iterations
+
+        # cycles_per_thread, accumulated in FEATURE_NAMES order so the
+        # summation order matches the scalar Python sum().
+        cpt = np.zeros(n, dtype=float)
+        for col, feat in enumerate(FEATURE_NAMES):
+            cpt = cpt + batch.features[:, col] * self.op_costs[feat]
+        cpt = cpt * wi
+
+        # t_comp: (cpt * threads) / (((width * ipc) * f) * 1e6)
+        width = np.minimum(batch.threads, spec.n_cores).astype(float)
+        rate = ((width * spec.ipc)[:, None] * freqs[None, :]) * 1e6
+        t_comp = (cpt * threads_f)[:, None] / rate
+
+        # t_bw: (((global_access * wi) * threads) * bytes) / bandwidth
+        ga = batch.features[:, _GLOBAL_ACCESS_COL]
+        t_bw = (((ga * wi) * threads_f) * spec.bytes_per_access) / spec.mem_bandwidth_bytes_s
+
+        # t_lat: ((n_acc * lat) * serial_factor) / per_thread_mlp, 0 if no accesses
+        n_acc = ga * wi
+        lat_s = spec.mem_latency_ns * 1e-9
+        serial_factor = np.maximum(1.0, threads_f / spec.max_mlp)
+        t_lat = np.where(
+            n_acc <= 0, 0.0, ((n_acc * lat_s) * serial_factor) / spec.per_thread_mlp
+        )
+
+        t_bw_col = t_bw[:, None]
+        t_lat_col = t_lat[:, None]
+        peak = np.maximum(np.maximum(t_comp, t_bw_col), t_lat_col)
+        if n and np.any(peak[:, 0] <= 0.0):
+            i = int(np.flatnonzero(peak[:, 0] <= 0.0)[0])
+            raise KernelError(f"kernel {batch.unique[i].spec.name!r} has no work")
+        s = (_pow6(t_comp / peak) + _pow6(t_bw_col / peak)) + _pow6(t_lat_col / peak)
+        exec_s = peak * np.power(s, _INV_P)
+
+        overhead_s = spec.launch_overhead_us * 1e-6
+        time_s = exec_s + overhead_s
+
+        u_comp = np.minimum(1.0, t_comp / exec_s)
+        u_mem = np.minimum(1.0, np.maximum(t_bw_col, 0.08 * t_lat_col) / exec_s)
+
+        regime = np.where(
+            overhead_s > exec_s,
+            "overhead",
+            np.where(
+                (t_comp >= t_bw_col) & (t_comp >= t_lat_col),
+                "compute",
+                np.where(t_bw_col >= t_lat_col, "bandwidth", "latency"),
+            ),
+        )
+
+        return BatchTiming(
+            freqs_mhz=freqs,
+            time_s=time_s,
+            exec_s=exec_s,
+            overhead_s=overhead_s,
+            t_comp_s=t_comp,
+            t_bw_s=t_bw,
+            t_lat_s=t_lat,
+            u_comp=u_comp,
+            u_mem=u_mem,
+            width_util=1.0 - np.exp(-batch.threads / (3.0 * spec.n_cores)),
+            occupancy=np.minimum(1.0, threads_f / spec.max_resident_threads),
             regime=regime,
         )
 

@@ -15,11 +15,21 @@ The ``V(f)^2 f`` scaling of the dynamic compute term — with the voltage
 knee of :class:`repro.hw.dvfs.VoltageCurve` — is what creates the
 energy/performance trade-off the paper explores: above the knee each
 frequency step costs quadratically more power for a linear speedup.
+
+Like the timing model, the power model has a scalar path
+(:meth:`PowerModel.breakdown`, used per launch by the device) and an
+array path (:meth:`PowerModel.power_batch` / :meth:`PowerModel.energy_batch`,
+used by the batched replay engine); the two are bit-identical because
+every formula shares the same operation order and the voltage curve
+evaluates through the same ufuncs. The scalar path memoizes the
+``V(f)^2 f`` factor per frequency bin — launches revisit the same few
+bins millions of times in a characterization campaign.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
@@ -49,14 +59,23 @@ class PowerModel:
 
     def __init__(self, spec: DeviceSpec):
         self.spec = spec
+        self._v2f_cache: Dict[float, float] = {}
+
+    def _v2f(self, core_mhz: float) -> float:
+        """Memoized ``V(f)^2 f`` factor (frequency bins repeat constantly)."""
+        v2f = self._v2f_cache.get(core_mhz)
+        if v2f is None:
+            v2f = float(self.spec.voltage.normalized_v2f(core_mhz))
+            self._v2f_cache[core_mhz] = v2f
+        return v2f
 
     def breakdown(self, core_mhz: float, u_comp: float, u_mem: float) -> PowerBreakdown:
         """Component-wise power at ``core_mhz`` with the given busy fractions."""
         u_comp = check_in_range(u_comp, "u_comp", 0.0, 1.0)
         u_mem = check_in_range(u_mem, "u_mem", 0.0, 1.0)
-        f_max = self.spec.core_freqs.max_mhz
-        f_frac = float(core_mhz) / f_max
-        v2f = float(self.spec.voltage.normalized_v2f(core_mhz))
+        core_mhz = float(core_mhz)
+        f_frac = core_mhz / self.spec.core_freqs.max_mhz
+        v2f = self._v2f(core_mhz)
         k = self.spec.mem_freq_coupling
         return PowerBreakdown(
             static_w=self.spec.p_static_w,
@@ -81,4 +100,49 @@ class PowerModel:
             raise ValueError("time components must be >= 0")
         busy = self.power_w(core_mhz, u_comp, u_mem) * exec_s
         idle = self.idle_power_w(core_mhz) * idle_s
+        return busy + idle
+
+    # ------------------------------------------------------------------
+    # array path (validation hoisted, broadcasting semantics)
+    # ------------------------------------------------------------------
+    def power_batch(self, core_mhz, u_comp, u_mem) -> np.ndarray:
+        """Total board power for broadcastable arrays of operating points.
+
+        Element-wise bit-identical to :meth:`power_w`; the utilization
+        range check runs once over the whole arrays instead of per call.
+        """
+        core_mhz = np.asarray(core_mhz, dtype=float)
+        u_comp = np.asarray(u_comp, dtype=float)
+        u_mem = np.asarray(u_mem, dtype=float)
+        for name, u in (("u_comp", u_comp), ("u_mem", u_mem)):
+            if np.any(u < 0.0) or np.any(u > 1.0):
+                raise ValueError(f"{name} must lie in [0.0, 1.0]")
+        f_frac = core_mhz / self.spec.core_freqs.max_mhz
+        v2f = self.spec.voltage.normalized_v2f(core_mhz)
+        k = self.spec.mem_freq_coupling
+        # Same left-to-right order as PowerBreakdown.total_w.
+        return (
+            self.spec.p_static_w
+            + self.spec.p_clock_w * f_frac
+            + self.spec.p_core_dyn_w * u_comp * v2f
+            + self.spec.p_mem_dyn_w * u_mem * (1.0 - k + k * f_frac)
+        )
+
+    def idle_power_batch(self, core_mhz) -> np.ndarray:
+        """Idle (static + clock tree) power per frequency, as an array."""
+        core_mhz = np.asarray(core_mhz, dtype=float)
+        f_frac = core_mhz / self.spec.core_freqs.max_mhz
+        # u = 0 zeroes the dynamic terms exactly: adding 0.0 is bitwise
+        # neutral, so this matches power_batch(core_mhz, 0, 0) and the
+        # scalar idle_power_w element-wise.
+        return self.spec.p_static_w + self.spec.p_clock_w * f_frac
+
+    def energy_batch(self, core_mhz, u_comp, u_mem, exec_s, idle_s=0.0) -> np.ndarray:
+        """Energy for broadcastable busy/idle time arrays (mirrors :meth:`energy_j`)."""
+        exec_s = np.asarray(exec_s, dtype=float)
+        idle_s = np.asarray(idle_s, dtype=float)
+        if np.any(exec_s < 0) or np.any(idle_s < 0):
+            raise ValueError("time components must be >= 0")
+        busy = self.power_batch(core_mhz, u_comp, u_mem) * exec_s
+        idle = self.idle_power_batch(core_mhz) * idle_s
         return busy + idle

@@ -5,8 +5,11 @@
 - :mod:`repro.kernels.features` — static feature extraction/normalization
 - :mod:`repro.kernels.microbench` — the 106-benchmark training suite of
   the general-purpose model (Fan et al.)
+- :mod:`repro.kernels.batch` — deduplicated struct-of-arrays launch
+  batches for vectorized model evaluation
 """
 
+from repro.kernels.batch import KernelLaunchBatch
 from repro.kernels.features import (
     STATIC_FEATURE_NAMES,
     application_features,
@@ -34,6 +37,7 @@ __all__ = [
     "OP_CYCLE_COSTS",
     "STATIC_FEATURE_NAMES",
     "KernelLaunch",
+    "KernelLaunchBatch",
     "KernelSpec",
     "MicroBenchmark",
     "application_features",

@@ -62,15 +62,24 @@ class DockingParams:
 
 @dataclass(frozen=True)
 class DockingResult:
-    """Outcome of docking one ligand: best score and pose."""
+    """Outcome of docking one ligand: best score and pose.
+
+    ``restart_scores`` holds the fast per-restart pose scores in restart
+    order (restart 0 first), *not* sorted by score.
+    """
 
     score: float
     best_pose: Ligand
     restart_scores: Tuple[float, ...]
 
 
-def initialize_pose(ligand: Ligand, restart: int, rng: np.random.Generator) -> Ligand:
-    """Line 3: random rigid orientation (deterministic in ``restart`` via rng)."""
+def initialize_pose(ligand: Ligand, rng: np.random.Generator) -> Ligand:
+    """Line 3: random rigid orientation drawn from ``rng``.
+
+    Determinism comes entirely from the generator's state: the caller
+    seeds ``rng`` once and each successive call consumes the next draws,
+    so restart ``i`` always sees the same orientation for a given seed.
+    """
     axis = rng.normal(size=3)
     angle = rng.uniform(0.0, 2.0 * np.pi)
     rot = rotation_matrix(axis, angle)
@@ -111,17 +120,18 @@ def dock_ligand(
     rng = as_generator(seed)
 
     scored_poses: List[Tuple[float, Ligand]] = []
-    for restart in range(params.num_restart):
-        pose = initialize_pose(ligand, restart, rng)
+    for _restart in range(params.num_restart):
+        pose = initialize_pose(ligand, rng)
         pose = align(pose, pocket)
         for _ in range(params.num_iterations):
             for frag_idx in range(pose.n_fragments):
                 pose = optimize_fragment(pose, frag_idx, pocket, params.n_angles)
         scored_poses.append((evaluate_pose(pose, pocket), pose))
+    restart_scores = tuple(s for s, _ in scored_poses)
 
     # Line 13: sort descending by the fast score, clip.
-    scored_poses.sort(key=lambda item: item[0], reverse=True)
-    clipped = scored_poses[: params.max_num_poses]
+    clipped = sorted(scored_poses, key=lambda item: item[0], reverse=True)
+    clipped = clipped[: params.max_num_poses]
 
     # Lines 14-17: refined scoring.
     final_scores = [compute_score(pose, pocket) for _, pose in clipped]
@@ -129,5 +139,5 @@ def dock_ligand(
     return DockingResult(
         score=float(final_scores[best_idx]),
         best_pose=clipped[best_idx][1],
-        restart_scores=tuple(s for s, _ in scored_poses),
+        restart_scores=restart_scores,
     )

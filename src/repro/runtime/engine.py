@@ -37,9 +37,11 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.hw.device import SimulatedGPU
 from repro.hw.specs import DeviceSpec
+from repro.kernels.batch import KernelLaunchBatch
 from repro.runtime.cache import ResultCache
 from repro.runtime.seeding import canonicalize, derive_task_seed
 from repro.synergy.api import SynergyDevice
+from repro.synergy.replay import ReplayPlan, record_launches, replay_measure
 from repro.synergy.runner import (
     Application,
     CharacterizationResult,
@@ -110,6 +112,10 @@ class MeasurementTask:
     repetitions: int
     seed: int
     ideal_sensors: bool = False
+    #: "serial" re-runs the app per repetition; "replay" records the
+    #: launch sequence once and replays counter trajectories (bit-identical
+    #: results, so the method is deliberately NOT part of the cache key).
+    method: str = "serial"
 
     @property
     def label(self) -> str:
@@ -168,13 +174,31 @@ def execute_task(task: MeasurementTask) -> PointMeasurement:
 
     Module-level (picklable) so it can be shipped to pool workers; also
     called inline for ``jobs=1``, which is what makes serial and parallel
-    campaigns bit-identical.
+    campaigns bit-identical. ``task.method == "replay"`` records the
+    app's launch sequence once and replays the repetitions through the
+    batched model path — same device build, same sensor streams, same
+    measured values bit-for-bit (see ``docs/perf.md``).
     """
     gpu = SimulatedGPU(task.spec)
     device = SynergyDevice(gpu, seed=task.seed, ideal_sensors=task.ideal_sensors)
-    if task.freq_mhz is None:
+    if task.method == "replay":
+        plan = ReplayPlan(gpu, record_launches(task.app, gpu))
+        if task.freq_mhz is None:
+            device.reset_frequency()
+            t, e, times, energies = replay_measure(plan, device, task.repetitions)
+            if e <= 0 or t <= 0:
+                raise ConfigurationError(
+                    f"{task.app.name}: baseline measurement is below the sensor "
+                    "resolution; run a larger workload (more steps/iterations) "
+                    "so energy is measurable"
+                )
+            actual: Optional[float] = None
+        else:
+            actual = device.set_core_frequency(task.freq_mhz)
+            t, e, times, energies = replay_measure(plan, device, task.repetitions)
+    elif task.freq_mhz is None:
         t, e, times, energies = measure_baseline(task.app, device, task.repetitions)
-        actual: Optional[float] = None
+        actual = None
     else:
         actual = device.set_core_frequency(task.freq_mhz)
         t, e, times, energies = measure(task.app, device, task.repetitions)
@@ -197,6 +221,15 @@ class CampaignStats:
     cache_misses: int = 0
     cache_bytes_read: int = 0
     cache_bytes_written: int = 0
+    #: Launch-evaluation accounting (non-zero only for replay campaigns):
+    #: launches recorded per app run, distinct launches after dedup, the
+    #: batched (unique x point) model evaluations the replay path pays
+    #: for, and the per-occurrence evaluations the serial path would
+    #: have paid across all points and repetitions.
+    launches_recorded: int = 0
+    unique_launches: int = 0
+    launch_evals_replay: int = 0
+    launch_evals_serial_equivalent: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (used by run summaries and tests)."""
@@ -218,6 +251,11 @@ class CampaignEngine:
         equal grids) measure identical campaigns.
     ideal_sensors:
         Build workers with noiseless sensors (ablation/test mode).
+    method:
+        Default measurement method for every task: ``"serial"`` or
+        ``"replay"`` (batched record/replay fast path; bit-identical
+        results and unchanged cache keys, so serial and replay runs
+        share one cache).
     """
 
     def __init__(
@@ -227,6 +265,7 @@ class CampaignEngine:
         cache: Optional[ResultCache] = None,
         campaign_seed: int = 0,
         ideal_sensors: bool = False,
+        method: str = "serial",
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -234,7 +273,16 @@ class CampaignEngine:
         self.cache = cache
         self.campaign_seed = int(campaign_seed)
         self.ideal_sensors = bool(ideal_sensors)
+        self.method = self._check_method(method)
         self.stats = CampaignStats()
+
+    @staticmethod
+    def _check_method(method: str) -> str:
+        if method not in ("serial", "replay"):
+            raise ConfigurationError(
+                f"unknown measurement method {method!r}; expected 'serial' or 'replay'"
+            )
+        return method
 
     # ------------------------------------------------------------------
     # task construction
@@ -246,6 +294,7 @@ class CampaignEngine:
         spec: DeviceSpec,
         freq_mhz: Optional[float],
         repetitions: int,
+        method: str,
     ) -> MeasurementTask:
         point = BASELINE_POINT if freq_mhz is None else float(freq_mhz)
         seed = derive_task_seed(self.campaign_seed, app_fp, point)
@@ -256,6 +305,7 @@ class CampaignEngine:
             repetitions=repetitions,
             seed=seed,
             ideal_sensors=self.ideal_sensors,
+            method=method,
         )
 
     def _cache_payload(
@@ -280,10 +330,12 @@ class CampaignEngine:
         freqs_mhz: Optional[Sequence[float]] = None,
         repetitions: int = DEFAULT_REPETITIONS,
         progress: Optional[ProgressFn] = None,
+        method: Optional[str] = None,
     ) -> CharacterizationResult:
         """Sweep one application (paper §5.1 protocol) through the engine."""
         return self.characterize_many(
-            [app], spec, freqs_mhz=freqs_mhz, repetitions=repetitions, progress=progress
+            [app], spec, freqs_mhz=freqs_mhz, repetitions=repetitions,
+            progress=progress, method=method,
         )[0]
 
     def characterize_many(
@@ -293,18 +345,22 @@ class CampaignEngine:
         freqs_mhz: Optional[Sequence[float]] = None,
         repetitions: int = DEFAULT_REPETITIONS,
         progress: Optional[ProgressFn] = None,
+        method: Optional[str] = None,
     ) -> List[CharacterizationResult]:
         """Sweep several applications as one task pool.
 
         All (app x point) tasks share the pool, so a many-input campaign
         keeps every worker busy even while individual sweeps drain.
         Results are returned in ``apps`` order and are bit-identical for
-        any ``jobs`` value.
+        any ``jobs`` value — and, because the replay fast path reproduces
+        the serial noise stream exactly, for either ``method``.
+        ``method`` overrides the engine default for this call.
         """
         if not apps:
             raise ConfigurationError("characterize_many needs at least one application")
         repetitions = check_positive_int(repetitions, "repetitions")
         sweep = resolve_sweep(spec.core_freqs, freqs_mhz)
+        method = self.method if method is None else self._check_method(method)
 
         tasks: List[MeasurementTask] = []
         payloads: List[Dict[str, Any]] = []
@@ -320,9 +376,12 @@ class CampaignEngine:
                     raise
                 app_fp = {"type": type(app).__qualname__, "config": {"name": app.name}}
             for freq in [None, *sweep]:
-                task = self._task_for(app, app_fp, spec, freq, repetitions)
+                task = self._task_for(app, app_fp, spec, freq, repetitions, method)
                 tasks.append(task)
                 payloads.append(self._cache_payload(task, app_fp))
+
+        if method == "replay":
+            self._account_launch_evals(apps, spec, len(sweep) + 1, repetitions)
 
         measurements = self._run_tasks(tasks, payloads, progress)
 
@@ -344,6 +403,29 @@ class CampaignEngine:
             )
             results.append(result)
         return results
+
+    def _account_launch_evals(
+        self,
+        apps: Sequence[Application],
+        spec: DeviceSpec,
+        points: int,
+        repetitions: int,
+    ) -> None:
+        """Record launch-evaluation stats for a replay campaign.
+
+        One recording run per app in the parent process (the same
+        recording each worker performs) — cheap, and it lets the run
+        summary report how much model-evaluation work replay avoided.
+        """
+        gpu = SimulatedGPU(spec)
+        for app in apps:
+            batch = KernelLaunchBatch.from_launches(record_launches(app, gpu))
+            self.stats.launches_recorded += batch.n_launches
+            self.stats.unique_launches += batch.n_unique
+            self.stats.launch_evals_replay += batch.n_unique * points
+            self.stats.launch_evals_serial_equivalent += (
+                batch.n_launches * points * repetitions
+            )
 
     @staticmethod
     def _baseline_descriptor(spec: DeviceSpec) -> Tuple[str, Optional[float]]:

@@ -2,11 +2,19 @@
 
 - :mod:`repro.synergy.api` — platforms, device handles, profiling regions
 - :mod:`repro.synergy.runner` — frequency-sweep characterization protocol
+- :mod:`repro.synergy.replay` — record-once/replay-many batched sweep
+  fast path (``characterize(..., method="replay")``)
 - :mod:`repro.synergy.tuning` — frequency selection metrics and
   per-kernel frequency scaling (the paper's §7 integration path)
 """
 
 from repro.synergy.api import Platform, ProfileRegion, SynergyDevice
+from repro.synergy.replay import (
+    LaunchRecorder,
+    ReplayPlan,
+    record_launches,
+    replay_measure,
+)
 from repro.synergy.runner import (
     Application,
     CharacterizationResult,
@@ -25,13 +33,17 @@ __all__ = [
     "Application",
     "CharacterizationResult",
     "FrequencySample",
+    "LaunchRecorder",
     "PerKernelDVFS",
     "Platform",
     "ProfileRegion",
+    "ReplayPlan",
     "SynergyDevice",
     "TuningDecision",
     "TuningMetric",
     "characterize",
+    "record_launches",
+    "replay_measure",
     "plan_per_kernel_frequencies",
     "select_frequency",
 ]

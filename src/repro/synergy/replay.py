@@ -1,0 +1,224 @@
+"""Record-once / replay-many characterization fast path.
+
+Both shipped applications emit a launch sequence that does not depend on
+the core clock (the clock changes *how long* each launch takes, not
+*which* launches happen). The serial protocol nevertheless re-executes
+the whole application at every sweep point and repetition — for a full
+196-bin table that is roughly a million redundant scalar model
+evaluations per input.
+
+The replay engine removes the redundancy in three steps:
+
+1. **Record**: run the application once against a
+   :class:`LaunchRecorder` (a minimal stand-in for the GPU's launch
+   interface) to capture the launch sequence.
+2. **Evaluate**: deduplicate the sequence into a
+   :class:`repro.kernels.batch.KernelLaunchBatch` and evaluate every
+   (unique launch x frequency) cell in one
+   :meth:`~repro.hw.perf.RooflineTimingModel.time_batch` /
+   :meth:`~repro.hw.power.PowerModel.energy_batch` pass.
+3. **Replay**: for each sweep point and repetition, rebuild the device's
+   counter trajectory with a cumulative sum (bit-identical to the serial
+   ``+=`` loop) and feed the exact counter deltas to the *same* sensors
+   in the *same* order as the serial protocol.
+
+Because the true values and the sensor-noise stream both match the
+serial path bit-for-bit, ``characterize(..., method="replay")`` returns
+byte-identical results — cache keys, seeds and ``jobs=N`` determinism
+are untouched. See ``docs/perf.md`` for the equivalence argument and
+its boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.device import SimulatedGPU
+from repro.kernels.batch import KernelLaunchBatch
+from repro.kernels.ir import KernelLaunch
+from repro.synergy.api import SynergyDevice
+
+__all__ = ["LaunchRecorder", "record_launches", "ReplayPlan", "replay_measure"]
+
+
+class LaunchRecorder:
+    """Captures an application's launch sequence without executing it.
+
+    Implements just the launch interface of
+    :class:`repro.hw.device.SimulatedGPU`. Launch calls return ``None``:
+    an application whose control flow depends on launch *results* (or on
+    counters, clocks, …) is not replayable, and any such access fails
+    with a clear error instead of recording a wrong sequence.
+    """
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self.launches: List[KernelLaunch] = []
+
+    @property
+    def name(self) -> str:
+        """Device name from the spec."""
+        return self.spec.name
+
+    def launch(self, launch: KernelLaunch) -> None:
+        """Record one launch (no simulation, no result)."""
+        self.launches.append(launch)
+
+    def launch_many(self, launches) -> None:
+        """Record a sequence of launches."""
+        for launch in launches:
+            self.launch(launch)
+
+    def launch_batch(self, launches) -> None:
+        """Record a sequence of launches (batched spelling)."""
+        self.launch_many(launches)
+
+    def __getattr__(self, attr: str):
+        raise ConfigurationError(
+            f"application accessed SimulatedGPU.{attr} while recording; only "
+            "launch/launch_many/launch_batch are replayable — characterize it "
+            "with method='serial' instead"
+        )
+
+
+def record_launches(app, gpu: SimulatedGPU) -> List[KernelLaunch]:
+    """Run ``app`` once against a recorder and return its launch sequence.
+
+    The recording run touches neither the device counters nor the sensor
+    noise streams, so inserting it in front of a serial protocol changes
+    nothing observable.
+    """
+    recorder = LaunchRecorder(gpu.spec)
+    app.run(recorder)
+    return recorder.launches
+
+
+class ReplayPlan:
+    """A recorded launch sequence plus cached per-frequency evaluations.
+
+    The plan owns the deduplicated batch and a cache mapping a core
+    frequency to the per-unique-launch ``(time_s, energy_j)`` columns.
+    :meth:`prime` fills the cache for a whole sweep in a single batched
+    model evaluation; :meth:`point_values` resolves the device's
+    *current* clock state (pinned clock, auto governor, power cap) into
+    per-launch value arrays for one application run.
+    """
+
+    def __init__(self, gpu: SimulatedGPU, launches: List[KernelLaunch]) -> None:
+        self.gpu = gpu
+        self.batch = KernelLaunchBatch.from_launches(launches)
+        #: core_mhz -> (time_s per unique, energy_j per unique)
+        self._columns: dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        #: Batched (unique x frequency) model evaluations performed.
+        self.model_evals = 0
+
+    @property
+    def n_launches(self) -> int:
+        """Recorded launches per application run."""
+        return self.batch.n_launches
+
+    @property
+    def n_unique(self) -> int:
+        """Distinct launches after dedup."""
+        return self.batch.n_unique
+
+    def _evaluate(self, freqs: List[float]) -> None:
+        """Fill the column cache for ``freqs`` in one batched pass."""
+        missing = [f for f in freqs if f not in self._columns]
+        if not missing or self.batch.n_unique == 0:
+            return
+        gpu = self.gpu
+        bt = gpu.timing_model.time_batch(self.batch, missing)
+        floor = gpu.spec.active_idle_frac
+        u_comp_eff = bt.u_comp * (floor + (1.0 - floor) * bt.width_util[:, None])
+        energies = gpu.power_model.energy_batch(
+            bt.freqs_mhz[None, :],
+            u_comp_eff,
+            bt.u_mem,
+            bt.exec_s,
+            idle_s=bt.overhead_s,
+        )
+        for j, f in enumerate(missing):
+            self._columns[f] = (bt.time_s[:, j], energies[:, j])
+        self.model_evals += self.batch.n_unique * len(missing)
+
+    def prime(self, freqs_mhz) -> None:
+        """Pre-evaluate a pinned-clock sweep in one batched model pass.
+
+        With no power cap every pinned point resolves to its own bin, so
+        the whole sweep is a single ``time_batch`` call; capped or
+        governor-resolved clocks are filled lazily by
+        :meth:`point_values` (at most a few extra bins).
+        """
+        if self.gpu.power_cap_w is None:
+            self._evaluate([float(f) for f in freqs_mhz])
+
+    def point_values(self) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Per-launch values for one run at the device's current clock state.
+
+        Returns ``(time_s, energy_j, throttled_launches)`` where the
+        arrays are in original launch order (duplicates expanded) and
+        ``throttled_launches`` counts cap-throttled launch occurrences,
+        mirroring the serial per-launch throttle accounting.
+        """
+        gpu, batch = self.gpu, self.batch
+        resolved: List[float] = []
+        throttled_occurrences = 0
+        for i, launch in enumerate(batch.unique):
+            freq, throttled = gpu._capped_frequency(launch, gpu.frequency_for(launch))
+            resolved.append(freq)
+            if throttled:
+                throttled_occurrences += int(batch.counts[i])
+        self._evaluate(sorted(set(resolved)))
+        times_u = np.array(
+            [self._columns[f][0][i] for i, f in enumerate(resolved)], dtype=float
+        )
+        energies_u = np.array(
+            [self._columns[f][1][i] for i, f in enumerate(resolved)], dtype=float
+        )
+        return times_u[batch.inverse], energies_u[batch.inverse], throttled_occurrences
+
+
+def _trajectory_end(start: float, per_launch: np.ndarray) -> float:
+    """End point of the serial ``counter += value`` loop, bit-identically.
+
+    Float addition is not associative: the counter after N launches
+    depends on the running value each addition starts from. A cumulative
+    sum seeded with the current counter performs the identical sequence
+    of additions, so the final counter (and therefore the profiled
+    delta) matches the serial loop to the last bit.
+    """
+    if per_launch.size == 0:
+        return start
+    return float(np.cumsum(np.concatenate(([start], per_launch)))[-1])
+
+
+def replay_measure(
+    plan: ReplayPlan, device: SynergyDevice, repetitions: int
+) -> Tuple[float, float, np.ndarray, np.ndarray]:
+    """Replay ``repetitions`` runs at the device's current clock state.
+
+    Drop-in replacement for :func:`repro.synergy.runner.measure`: same
+    return shape, same sensor read order (time then energy, once per
+    repetition), same counter evolution on the underlying device.
+    """
+    gpu = plan.gpu
+    times = np.empty(repetitions)
+    energies = np.empty(repetitions)
+    t_launch, e_launch, n_throttled = plan.point_values()
+    for r in range(repetitions):
+        t0, e0 = gpu.time_counter_s, gpu.energy_counter_j
+        t1 = _trajectory_end(t0, t_launch)
+        e1 = _trajectory_end(e0, e_launch)
+        gpu.fast_forward(
+            time_counter_s=t1,
+            energy_counter_j=e1,
+            launches=plan.n_launches,
+            throttles=n_throttled,
+        )
+        times[r] = device.time_sensor.read(t1 - t0)
+        energies[r] = device.energy_sensor.read(e1 - e0)
+    return float(np.median(times)), float(np.median(energies)), times, energies

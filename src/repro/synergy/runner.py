@@ -273,6 +273,7 @@ def characterize(
     device: SynergyDevice,
     freqs_mhz: Optional[Sequence[float]] = None,
     repetitions: int = DEFAULT_REPETITIONS,
+    method: str = "serial",
 ) -> CharacterizationResult:
     """Sweep ``app`` over ``freqs_mhz`` on ``device`` (paper §5.1 protocol).
 
@@ -286,14 +287,26 @@ def characterize(
         Frequencies to sweep; defaults to every supported frequency.
     repetitions:
         Measurement repetitions per point (default 5, as in the paper).
+    method:
+        ``"serial"`` re-runs the application at every sweep point;
+        ``"replay"`` records the launch sequence once and evaluates the
+        whole sweep in one batched model pass (bit-identical results —
+        see ``docs/perf.md``). Replay requires the app's launch sequence
+        to be clock-independent, which holds for all shipped apps.
 
     Returns
     -------
     CharacterizationResult
         Baseline plus one :class:`FrequencySample` per swept frequency.
     """
+    if method not in ("serial", "replay"):
+        raise ConfigurationError(
+            f"unknown characterization method {method!r}; expected 'serial' or 'replay'"
+        )
     repetitions = check_positive_int(repetitions, "repetitions")
     sweep = resolve_sweep(device.gpu.spec.core_freqs, freqs_mhz)
+    if method == "replay":
+        return _characterize_replay(app, device, sweep, repetitions)
 
     # Baseline: default clock (NVIDIA) or automatic governor (AMD).
     base_time, base_energy, _, _ = measure_baseline(app, device, repetitions)
@@ -309,5 +322,57 @@ def characterize(
     )
     for freq in sweep:
         result.samples.append(measure_frequency(app, device, freq, repetitions))
+    device.reset_frequency()
+    return result
+
+
+def _characterize_replay(
+    app: Application,
+    device: SynergyDevice,
+    sweep: Sequence[float],
+    repetitions: int,
+) -> CharacterizationResult:
+    """Replay-based sweep: record once, evaluate the grid in one pass.
+
+    Step-for-step mirror of the serial protocol — same clock changes in
+    the same order, same sensor reads per repetition, same counter
+    evolution on the device — with the per-launch model evaluations
+    replaced by one batched pass over (unique launch x frequency).
+    """
+    from repro.synergy.replay import ReplayPlan, record_launches, replay_measure
+
+    gpu = device.gpu
+    plan = ReplayPlan(gpu, record_launches(app, gpu))
+    plan.prime(sweep)
+
+    device.reset_frequency()
+    base_time, base_energy, _, _ = replay_measure(plan, device, repetitions)
+    if base_energy <= 0 or base_time <= 0:
+        raise ConfigurationError(
+            f"{app.name}: baseline measurement is below the sensor resolution; "
+            "run a larger workload (more steps/iterations) so energy is measurable"
+        )
+    baseline_label, baseline_freq = baseline_descriptor(device)
+
+    result = CharacterizationResult(
+        app_name=app.name,
+        device_name=device.name,
+        baseline_label=baseline_label,
+        baseline_freq_mhz=baseline_freq,
+        baseline_time_s=base_time,
+        baseline_energy_j=base_energy,
+    )
+    for freq in sweep:
+        actual = device.set_core_frequency(freq)
+        t, e, times, energies = replay_measure(plan, device, repetitions)
+        result.samples.append(
+            FrequencySample(
+                freq_mhz=actual,
+                time_s=t,
+                energy_j=e,
+                rep_times_s=times,
+                rep_energies_j=energies,
+            )
+        )
     device.reset_frequency()
     return result
