@@ -1,0 +1,139 @@
+"""Chaos smoke: a small injected campaign must recover bit-identically.
+
+Writes a transient fault plan to ``benchmarks/output/chaos_plan.json``
+(the same file the CI job feeds to ``repro campaign --inject``), then
+runs one fixed LiGen sweep three ways — fault-free, chaos serial, chaos
+replay — and asserts the headline invariant of ``repro.faults``:
+
+1. both chaos builds are bit-identical to the fault-free build,
+2. faults actually fired and retries absorbed all of them
+   (completeness 100%, nothing quarantined).
+
+Writes ``benchmarks/output/BENCH_chaos.json`` with the fault/retry
+accounting so CI runs leave an inspectable chaos record. Wall time is
+harness measurement of the harness itself, hence the TIM001 ignore.
+
+Usage: ``PYTHONPATH=src python benchmarks/chaos_campaign_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+FREQS = [900.0, 1135.0, 1282.0]
+REPETITIONS = 2
+SEED = 42
+MAX_RETRIES = 6
+
+
+def _plan():
+    from repro.faults import FaultPlan, FaultSpec
+
+    # Probabilities tuned so faults fire on this small sweep without
+    # ever exhausting the MAX_RETRIES budget (asserted below).
+    return FaultPlan(
+        seed=13,
+        specs=(
+            FaultSpec(kind="launch_failure", probability=0.05),
+            FaultSpec(kind="freq_rejection", probability=0.15),
+            FaultSpec(kind="sensor_dropout", probability=0.08),
+            FaultSpec(kind="worker_crash", probability=0.15),
+        ),
+    )
+
+
+def _build(method: str, fault_plan=None):
+    from repro.hw.specs import make_v100_spec
+    from repro.ligen.app import LigenApplication
+    from repro.runtime.engine import CampaignEngine
+
+    engine = CampaignEngine(
+        jobs=1,
+        cache=None,
+        campaign_seed=SEED,
+        method=method,
+        fault_plan=fault_plan,
+        max_retries=MAX_RETRIES,
+    )
+    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
+    result = engine.characterize(
+        # Tiny on purpose: with per-launch fault probabilities, a bigger
+        # app raises the per-attempt failure odds past what MAX_RETRIES
+        # can absorb.
+        LigenApplication(n_ligands=16, n_atoms=31, n_fragments=4),
+        make_v100_spec(),
+        freqs_mhz=FREQS,
+        repetitions=REPETITIONS,
+    )
+    elapsed = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
+    return result, engine.stats, elapsed
+
+
+def _assert_identical(a, b) -> None:
+    assert a is not None and b is not None
+    assert a.baseline_time_s == b.baseline_time_s
+    assert a.baseline_energy_j == b.baseline_energy_j
+    for sa, sb in zip(a.samples, b.samples):
+        assert sa.freq_mhz == sb.freq_mhz
+        assert sa.time_s == sb.time_s
+        assert sa.energy_j == sb.energy_j
+        assert np.array_equal(sa.rep_times_s, sb.rep_times_s)
+        assert np.array_equal(sa.rep_energies_j, sb.rep_energies_j)
+
+
+def main() -> int:
+    plan = _plan()
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    plan_path = OUTPUT_DIR / "chaos_plan.json"
+    plan.save(plan_path)
+
+    clean, _, _ = _build("serial")
+    chaos_serial, serial_stats, serial_s = _build("serial", fault_plan=plan)
+    chaos_replay, replay_stats, replay_s = _build("replay", fault_plan=plan)
+
+    _assert_identical(clean, chaos_serial)
+    _assert_identical(clean, chaos_replay)
+    for stats in (serial_stats, replay_stats):
+        assert stats.faults_injected > 0, "chaos run injected nothing"
+        assert stats.quarantined == 0, f"quarantined: {stats.quarantined_points}"
+        assert stats.completeness() == 1.0
+
+    record = {
+        "campaign": {
+            "app": "ligen",
+            "device": "v100",
+            "freqs_mhz": FREQS,
+            "repetitions": REPETITIONS,
+            "max_retries": MAX_RETRIES,
+        },
+        "fault_plan": plan.fingerprint(),
+        "serial": {
+            "wall_s": round(serial_s, 4),
+            "faults_injected": serial_stats.faults_injected,
+            "retries": serial_stats.retries,
+        },
+        "replay": {
+            "wall_s": round(replay_s, 4),
+            "faults_injected": replay_stats.faults_injected,
+            "retries": replay_stats.retries,
+        },
+        "completeness": serial_stats.completeness(),
+        "bit_identical_to_fault_free": True,
+    }
+    out = OUTPUT_DIR / "BENCH_chaos.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {plan_path}")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

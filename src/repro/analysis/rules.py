@@ -26,6 +26,13 @@ The invariants enforced (catalog in ``docs/static-analysis.md``):
     No wall-clock reads (``time.time()``, ``datetime.now()``, ...) —
     simulated measurement paths must derive time from the model, never
     from the host clock.
+``EXC001``
+    No silently swallowed exceptions (an ``except`` whose body is only
+    ``pass``/``...``). A bare swallow hides real failures — precisely
+    what the fault-injection suite exists to surface. Genuine
+    best-effort sites (e.g. discarding an already-counted corrupt cache
+    entry) must carry an explicit ``# repro-lint: ignore[EXC001]``
+    pragma with a justification.
 """
 
 from __future__ import annotations
@@ -265,6 +272,34 @@ class WallClockRule(LintRule):
                 node,
                 f"wall-clock read {path}(...); simulated measurements must "
                 "derive time from the timing model, not the host clock",
+            )
+        self.generic_visit(node)
+
+
+@register_rule
+class SilentExceptRule(LintRule):
+    """EXC001: forbid exception handlers that silently discard the error."""
+
+    rule_id = "EXC001"
+
+    @staticmethod
+    def _is_silent(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        # A lone `...` expression statement is the same swallow in disguise.
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if all(self._is_silent(stmt) for stmt in node.body):
+            caught = "..." if node.type is None else ast.unparse(node.type)
+            self.report(
+                node,
+                f"silently swallowed exception (except {caught}: pass); handle "
+                "it, re-raise, or justify with a repro-lint: ignore[EXC001] pragma",
             )
         self.generic_visit(node)
 

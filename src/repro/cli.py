@@ -6,7 +6,9 @@ Six workflows, mirroring how a user adopts the library:
   device, print the speedup/energy table, optionally save the sweep;
 - ``repro campaign`` — run a full characterization campaign through the
   parallel, cached execution engine (``--jobs``, ``--cache-dir``; see
-  ``docs/campaign-engine.md``);
+  ``docs/campaign-engine.md``), optionally under a deterministic
+  fault-injection plan (``--inject``, ``--max-retries``; see
+  ``docs/fault-injection.md``);
 - ``repro train`` — build a characterization campaign and train a
   domain-specific model, saving it as ``.npz``;
 - ``repro predict`` — load a model and predict the trade-off profile
@@ -240,11 +242,19 @@ def cmd_campaign(args) -> int:
 
     device = _device(args)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    fault_plan = None
+    if args.inject:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.inject)
+        print(f"fault injection: {fault_plan.describe()}")
     engine = CampaignEngine(
         jobs=args.jobs,
         cache=cache,
         campaign_seed=args.seed,
         method="replay" if args.replay else "serial",
+        fault_plan=fault_plan,
+        max_retries=args.max_retries,
     )
 
     def progress(done: int, total: int, label: str, from_cache: bool) -> None:
@@ -290,6 +300,15 @@ def cmd_campaign(args) -> int:
     elapsed = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
 
     print(render_campaign_summary(campaign, elapsed_s=elapsed))
+    stats = engine.stats
+    if stats.quarantined:
+        print(
+            f"warning: {stats.quarantined} sweep point(s) quarantined after "
+            f"{engine.retry.max_attempts} attempts each "
+            f"({', '.join(stats.quarantined_points)}); campaign is "
+            f"{stats.completeness():.1%} complete",
+            file=sys.stderr,
+        )
     if args.dataset_output:
         from repro.io import save_dataset
 
@@ -398,6 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--quick", action="store_true", help="reduced input grid (~seconds)"
+    )
+    p.add_argument(
+        "--inject", metavar="PLAN.json",
+        help="deterministic fault-injection plan (chaos testing; "
+        "see docs/fault-injection.md)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per sweep point under --inject (default 2)",
     )
     p.add_argument(
         "--replay", action=argparse.BooleanOptionalAction, default=True,

@@ -15,6 +15,11 @@ __all__ = [
     "ModelNotFittedError",
     "DatasetError",
     "ConfigurationError",
+    "TransientFaultError",
+    "LaunchFaultError",
+    "SensorDropoutError",
+    "FrequencyRejectedError",
+    "WorkerCrashError",
 ]
 
 
@@ -44,3 +49,29 @@ class DatasetError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or application configuration is invalid."""
+
+
+class TransientFaultError(ReproError):
+    """A recoverable injected fault (see :mod:`repro.faults`).
+
+    Raised only by the deterministic fault-injection layer; retrying the
+    whole measurement attempt (fresh device, fresh sensors, same task
+    seed) is always a valid recovery, and a recovered attempt is
+    bit-identical to a fault-free one.
+    """
+
+
+class LaunchFaultError(TransientFaultError):
+    """A kernel launch failed transiently (device counters untouched)."""
+
+
+class SensorDropoutError(TransientFaultError):
+    """A sensor read returned no sample (NVML-style read error)."""
+
+
+class FrequencyRejectedError(TransientFaultError):
+    """The driver transiently rejected a ``set_frequency`` request."""
+
+
+class WorkerCrashError(TransientFaultError):
+    """A campaign worker process died before finishing its task."""

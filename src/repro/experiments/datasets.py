@@ -121,7 +121,7 @@ def _characterize_all(
 
 def _assemble(
     apps: Sequence[Application],
-    results: Sequence[CharacterizationResult],
+    results: Sequence[Optional[CharacterizationResult]],
     feature_names: Sequence[str],
     freqs: List[float],
     engine: Optional[CampaignEngine],
@@ -129,6 +129,10 @@ def _assemble(
     dataset = EnergyDataset(feature_names=tuple(feature_names))
     chars: Dict[FeatureKey, CharacterizationResult] = {}
     for app, result in zip(apps, results):
+        if result is None:
+            # Baseline quarantined under a fault plan: the app's sweep is
+            # dropped; engine.stats reports the loss (completeness()).
+            continue
         features = app.domain_features
         dataset.add_characterization(features, result)
         chars[features] = result

@@ -56,6 +56,13 @@ def render_campaign_summary(
             items["unique launches after dedup"] = stats.unique_launches
             items["model evals (replay)"] = stats.launch_evals_replay
             items["model evals (serial equivalent)"] = stats.launch_evals_serial_equivalent
+        if stats.faults_injected > 0 or stats.retries > 0 or stats.quarantined > 0:
+            items["faults injected"] = stats.faults_injected
+            items["retries spent"] = stats.retries
+            items["points quarantined"] = stats.quarantined
+            items["completeness"] = f"{stats.completeness():.1%}"
+            if stats.quarantined_points:
+                items["quarantined points"] = ", ".join(stats.quarantined_points)
     if elapsed_s is not None:
         items["wall time (s)"] = round(float(elapsed_s), 3)
     return render_kv_block(items, title="campaign summary")

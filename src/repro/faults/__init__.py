@@ -1,0 +1,54 @@
+"""Deterministic fault injection for chaos-testing the campaign runtime.
+
+The paper's measurements come from real GPUs where sensor glitches,
+rejected frequency requests, and crashed runs are routine — that is why
+its protocol medians over five repetitions. This package reproduces
+those failure modes *deterministically* so the engine's recovery paths
+can be tested bit-for-bit:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  the declarative, JSON-serializable chaos experiment;
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, firing
+  decisions derived purely from ``sha256(plan seed, site, occurrence)``;
+- :mod:`repro.faults.wrappers` — :class:`FaultyGPU`,
+  :class:`FaultySensor`, :class:`FaultyResultCache` injection shells
+  around the real device/sensor/cache layers;
+- :mod:`repro.faults.retry` — :class:`RetryPolicy`, seeded exponential
+  backoff for the engine's per-task retry loop.
+
+Headline invariant (pinned by ``tests/runtime/test_resilience.py`` and
+``tests/property/test_property_faults.py``): a campaign run under a
+transient fault plan with retries enabled is **bit-identical** to the
+fault-free campaign, in both serial and replay measurement modes, and
+corrupted cache entries are detected and recomputed, never served. See
+``docs/fault-injection.md``.
+"""
+
+from repro.faults.injector import FAULT_ERRORS, FaultEvent, FaultInjector, fault_hash_unit
+from repro.faults.plan import (
+    CACHE_MODES,
+    CORRUPTING_KINDS,
+    FAULT_KINDS,
+    TRANSIENT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.wrappers import FaultyGPU, FaultyResultCache, FaultySensor
+
+__all__ = [
+    "CACHE_MODES",
+    "CORRUPTING_KINDS",
+    "FAULT_KINDS",
+    "TRANSIENT_KINDS",
+    "FAULT_ERRORS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyGPU",
+    "FaultyResultCache",
+    "FaultySensor",
+    "RetryPolicy",
+    "fault_hash_unit",
+]

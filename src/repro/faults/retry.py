@@ -1,0 +1,71 @@
+"""Seeded exponential backoff for transient-fault retries.
+
+Real DVFS harnesses back off between retries to let a wedged driver or
+busy sensor recover. In the simulated stack the *delay itself* is
+usually irrelevant (the default base is 0 so tests never sleep), but the
+schedule must still be deterministic: the jitter factor is derived from
+``sha256(seed, "backoff", attempt)``, never from an RNG stream or the
+wall clock, so two runs of the same campaign retry on identical
+schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import fault_hash_unit
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget plus a deterministic exponential-backoff schedule.
+
+    Parameters
+    ----------
+    max_retries:
+        Additional attempts after the first (0 disables retrying).
+    backoff_base_s:
+        Delay before the first retry; 0 (the default) never sleeps.
+    backoff_factor:
+        Multiplier per retry (2 doubles the delay each time).
+    max_backoff_s:
+        Hard ceiling on any single delay.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if int(self.max_retries) < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        object.__setattr__(self, "max_retries", int(self.max_retries))
+        for name in ("backoff_base_s", "max_backoff_s"):
+            if float(getattr(self, name)) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+            object.__setattr__(self, name, float(getattr(self, name)))
+        if float(self.backoff_factor) < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        object.__setattr__(self, "backoff_factor", float(self.backoff_factor))
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts per task, first try included."""
+        return self.max_retries + 1
+
+    def delay_s(self, seed: int, attempt: int) -> float:
+        """Backoff before retrying after failed attempt number ``attempt``.
+
+        ``base * factor**attempt``, jittered by a deterministic factor in
+        ``[0.5, 1.5)`` derived from ``(seed, attempt)``, capped at
+        ``max_backoff_s``. Zero whenever the base is zero.
+        """
+        if self.backoff_base_s == 0:
+            return 0.0
+        jitter = 0.5 + fault_hash_unit(seed, "backoff", attempt)
+        delay = self.backoff_base_s * (self.backoff_factor ** int(attempt)) * jitter
+        return min(delay, self.max_backoff_s)

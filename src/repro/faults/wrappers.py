@@ -1,0 +1,167 @@
+"""Injection wrappers around the device, sensor, and cache layers.
+
+Each wrapper is a thin, behaviour-preserving shell: when no fault fires,
+it delegates to the real implementation with *zero* observable
+difference (same values, same RNG consumption, same counters), which is
+what makes a recovered chaos run bit-identical to a fault-free run.
+
+- :class:`FaultyGPU` — a :class:`repro.hw.device.SimulatedGPU` whose
+  ``launch`` / ``set_core_frequency`` / ``fast_forward`` paths consult a
+  :class:`repro.faults.injector.FaultInjector` first. A firing launch
+  fault raises *before* the counters move, like a real failed kernel.
+- :class:`FaultySensor` — wraps a time/energy sensor; ``sensor_dropout``
+  raises before the underlying read (no RNG consumed), while
+  ``sensor_outlier`` reads normally and then silently scales the value.
+- :class:`FaultyResultCache` — a :class:`repro.runtime.cache.ResultCache`
+  that damages entries *after* writing them (truncation or value
+  tampering), exercising the cache's read-side digest validation.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults.injector import (
+    SITE_CACHE_PUT,
+    SITE_LAUNCH,
+    SITE_SENSOR_ENERGY,
+    SITE_SENSOR_TIME,
+    SITE_SET_FREQUENCY,
+    SITE_WORKER,
+    FaultInjector,
+)
+from repro.hw.device import LaunchResult, SimulatedGPU
+from repro.hw.specs import DeviceSpec
+from repro.kernels.ir import KernelLaunch
+from repro.runtime.cache import ResultCache
+
+__all__ = [
+    "SITE_CACHE_PUT",
+    "SITE_LAUNCH",
+    "SITE_SENSOR_ENERGY",
+    "SITE_SENSOR_TIME",
+    "SITE_SET_FREQUENCY",
+    "SITE_WORKER",
+    "FaultyGPU",
+    "FaultySensor",
+    "FaultyResultCache",
+]
+
+
+class FaultyGPU(SimulatedGPU):
+    """A simulated GPU with deterministic transient failures.
+
+    Launch faults fire per kernel launch in the serial path and per
+    replayed application run (the :meth:`fast_forward` call that stands
+    in for the whole launch sequence) in the replay path — same site
+    name, method-appropriate granularity.
+    """
+
+    def __init__(self, spec: DeviceSpec, injector: FaultInjector) -> None:
+        super().__init__(spec)
+        self.injector = injector
+
+    def launch(self, launch: KernelLaunch) -> LaunchResult:
+        """Execute one launch, unless a ``launch_failure`` fires first."""
+        self.injector.maybe_raise(SITE_LAUNCH, "launch_failure")
+        return super().launch(launch)
+
+    def set_core_frequency(self, freq_mhz: float) -> float:
+        """Pin the clock, unless the driver transiently rejects the request."""
+        self.injector.maybe_raise(SITE_SET_FREQUENCY, "freq_rejection")
+        return super().set_core_frequency(freq_mhz)
+
+    def fast_forward(self, **kwargs) -> None:
+        """Replay-path launch step; shares the ``gpu.launch`` fault site."""
+        self.injector.maybe_raise(SITE_LAUNCH, "launch_failure")
+        super().fast_forward(**kwargs)
+
+
+class FaultySensor:
+    """Wraps an :class:`EnergySensor`/:class:`TimeSensor` with read faults.
+
+    ``sensor_dropout`` raises *before* delegating, so the wrapped
+    sensor's RNG stream is untouched by the failed read; the retried
+    attempt rebuilds fresh sensors anyway, so recovered measurements are
+    bit-identical to fault-free ones. ``sensor_outlier`` delegates
+    normally and scales the result — a silent wild reading, the failure
+    mode the paper's five-repetition median exists to damp.
+    """
+
+    def __init__(self, inner, injector: FaultInjector, site: str) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.site = site
+
+    def read(self, true_value: float) -> float:
+        """One (possibly faulted) reading of ``true_value``."""
+        self.injector.maybe_raise(self.site, "sensor_dropout")
+        spec = self.injector.check(f"{self.site}.outlier", "sensor_outlier")
+        value = self.inner.read(true_value)
+        if spec is not None:
+            value *= spec.scale
+        return value
+
+    def __getattr__(self, attr: str):
+        # Sensor parameters (rel_noise, quantum_j, ...) read through.
+        return getattr(self.inner, attr)
+
+
+class FaultyResultCache(ResultCache):
+    """A result cache whose writes are sometimes damaged on disk.
+
+    ``put`` delegates to the real atomic write, then — when a
+    ``cache_corruption`` fault fires — damages the entry file in place:
+
+    - ``mode="truncate"``: the file is cut to half its length (a torn
+      write / interrupted ``fsync``), which no longer parses;
+    - ``mode="tamper"``: the stored measurement value is perturbed while
+      the envelope stays well-formed JSON, which only the read-side
+      digest check can catch.
+
+    Reads are inherited unchanged: detection and self-healing are the
+    *cache's* job (see :meth:`ResultCache.get`), not the wrapper's.
+    """
+
+    def __init__(self, root, injector: FaultInjector) -> None:
+        super().__init__(root)
+        self.injector = injector
+        #: Entries damaged by this wrapper (for tests and run summaries).
+        self.corrupted_writes = 0
+
+    def put(self, key: str, value, key_payload=None) -> None:
+        """Write the entry, then possibly damage it per the fault plan."""
+        super().put(key, value, key_payload)
+        spec = self.injector.check(SITE_CACHE_PUT, "cache_corruption")
+        if spec is None:
+            return
+        path = self.path_for(key)
+        if spec.mode == "truncate":
+            raw = path.read_bytes()
+            path.write_bytes(raw[: max(1, len(raw) // 2)])
+        else:  # tamper: valid JSON, wrong value, stale digest
+            record = json.loads(path.read_text(encoding="utf-8"))
+            record["value"] = _tamper_value(record.get("value"))
+            path.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+        self.corrupted_writes += 1
+
+
+def _tamper_value(value):
+    """Deterministically perturb a cached measurement value.
+
+    Scales the first float field it finds (dict entries in sorted key
+    order), so the damaged entry still looks like a plausible
+    measurement — exactly the corruption a digest check must catch.
+    """
+    if isinstance(value, dict):
+        for key in sorted(value):
+            if isinstance(value[key], float):
+                tampered = dict(value)
+                tampered[key] = value[key] * 1.5 + 1.0
+                return tampered
+        tampered = dict(value)
+        tampered["_tampered"] = True
+        return tampered
+    if isinstance(value, float):
+        return value * 1.5 + 1.0
+    return {"_tampered": True, "was": value}

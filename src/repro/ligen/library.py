@@ -39,17 +39,21 @@ def _grow_chain(n_atoms: int, rng: np.random.Generator) -> np.ndarray:
         parent = i - 1
         if i > 2 and rng.random() < 0.2:
             parent = int(rng.integers(0, i - 1))
+        best, best_sep = None, -1.0
         for _ in range(40):
             direction = rng.normal(size=3)
             direction /= np.linalg.norm(direction)
             candidate = coords[parent] + _BOND_LENGTH * direction
-            dists = np.linalg.norm(coords[:i] - candidate, axis=1)
-            if dists.min() >= _MIN_SEPARATION:
+            sep = float(np.linalg.norm(coords[:i] - candidate, axis=1).min())
+            if sep >= _MIN_SEPARATION:
                 coords[i] = candidate
                 break
+            if sep > best_sep:
+                best, best_sep = candidate, sep
         else:
-            # Fall back to accepting the last candidate; extremely rare.
-            coords[i] = candidate
+            # All 40 candidates clashed (crowded branch point); keep the
+            # least-clashing one rather than whichever came last.
+            coords[i] = best
     return coords
 
 

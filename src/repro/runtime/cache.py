@@ -13,6 +13,13 @@ Entries are plain JSON files laid out as ``<root>/<aa>/<digest>.json``
 (two-hex-digit fan-out directories), written atomically via a temporary
 file + ``os.replace`` so an interrupted campaign never leaves a torn
 entry behind.
+
+On-disk entries are never trusted on read: every entry embeds the
+SHA-256 digest of its value, and :meth:`ResultCache.get` re-derives and
+compares it before serving. A mismatch (bit rot, a tampering process, a
+torn write that still parses) is counted in ``stats.corrupt``, the bad
+file is dropped, and the caller sees a plain miss — so corruption
+degrades to a recompute-and-rewrite, never to silently wrong science.
 """
 
 from __future__ import annotations
@@ -33,7 +40,8 @@ PathLike = Union[str, pathlib.Path]
 #: Bump whenever the measurement semantics or the entry payload change;
 #: every outstanding cache entry is invalidated (its key no longer
 #: matches), old files are simply never read again.
-CACHE_SCHEMA_VERSION = 1
+#: v2: entries carry a SHA-256 value digest, validated on every read.
+CACHE_SCHEMA_VERSION = 2
 
 _ENTRY_FORMAT = "repro.campaign_point"
 
@@ -45,6 +53,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Entries whose stored digest did not match their value on read;
+    #: each is also counted as a miss (the caller recomputes).
+    corrupt: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
@@ -54,6 +65,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "corrupt": self.corrupt,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
         }
@@ -95,7 +107,13 @@ class ResultCache:
     # lookup / store
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored record for ``key``, or ``None`` on a miss."""
+        """The stored record for ``key``, or ``None`` on a miss.
+
+        An entry is served only after its embedded value digest
+        re-verifies; a mismatching (corrupted/tampered) entry is deleted
+        and reported as a miss, so the engine recomputes and rewrites a
+        clean entry instead of propagating damaged measurements.
+        """
         path = self.path_for(key)
         try:
             raw = path.read_bytes()
@@ -110,9 +128,36 @@ class ResultCache:
         ):
             self.stats.misses += 1
             return None
+        value = record.get("value")
+        if record.get("digest") != self._value_digest(value):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return None
         self.stats.hits += 1
         self.stats.bytes_read += len(raw)
-        return record.get("value")
+        return value
+
+    @staticmethod
+    def _value_digest(value: Any) -> Optional[str]:
+        """Digest of an entry's value, or ``None`` if it is not hashable.
+
+        Values read back from disk are plain JSON types, so a
+        non-canonicalizable value is itself evidence of corruption — it
+        simply never matches the stored digest string.
+        """
+        try:
+            return stable_digest(value)
+        except TypeError:
+            return None
+
+    @staticmethod
+    def _discard(path: pathlib.Path) -> None:
+        """Best-effort removal of a corrupt entry (already counted)."""
+        try:
+            path.unlink()
+        except OSError:  # repro-lint: ignore[EXC001] — entry is already a miss
+            pass
 
     def put(self, key: str, value: Dict[str, Any], key_payload: Any = None) -> None:
         """Persist ``value`` under ``key`` (atomic write).
@@ -124,6 +169,7 @@ class ResultCache:
             "format": _ENTRY_FORMAT,
             "schema": CACHE_SCHEMA_VERSION,
             "value": value,
+            "digest": stable_digest(value),
         }
         if key_payload is not None:
             record["key"] = key_payload
@@ -138,7 +184,7 @@ class ResultCache:
         except BaseException:
             try:
                 os.unlink(tmp_name)
-            except OSError:
+            except OSError:  # repro-lint: ignore[EXC001] — best-effort tmp cleanup while re-raising
                 pass
             raise
         self.stats.writes += 1

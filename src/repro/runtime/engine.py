@@ -22,19 +22,41 @@ looked up before execution and stored after; re-running a finished (or
 interrupted) campaign replays cached points instantly and computes only
 what is missing. Cache statistics are accumulated in
 :class:`CampaignStats` and surfaced by the CLI run summary.
+
+Resilience
+----------
+With a :class:`repro.faults.FaultPlan` attached, every task runs inside
+a retry loop: an injected :class:`repro.errors.TransientFaultError`
+aborts the attempt, the (seeded, deterministic) backoff elapses, and a
+*fresh* device + sensor pair is rebuilt from the task seed — so a
+recovered attempt is bit-identical to a fault-free run. A task that
+exhausts its retry budget is **quarantined** rather than aborting the
+campaign: the sweep point is dropped, the stats record what was lost
+(``quarantined`` / ``quarantined_points`` / ``completeness()``), and the
+campaign degrades to a partial — but still exactly reproducible —
+result. Non-injected errors (real bugs) still propagate loudly.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransientFaultError
+from repro.faults.injector import (
+    SITE_SENSOR_ENERGY,
+    SITE_SENSOR_TIME,
+    SITE_WORKER,
+    FaultInjector,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.hw.device import SimulatedGPU
 from repro.hw.specs import DeviceSpec
 from repro.kernels.batch import KernelLaunchBatch
@@ -56,10 +78,12 @@ from repro.utils.validation import check_positive_int
 __all__ = [
     "MeasurementTask",
     "PointMeasurement",
+    "TaskOutcome",
     "CampaignStats",
     "CampaignEngine",
     "app_fingerprint",
     "execute_task",
+    "execute_task_resilient",
 ]
 
 #: Sweep-point label of the baseline (unpinned) run in task keys.
@@ -116,12 +140,26 @@ class MeasurementTask:
     #: launch sequence once and replays counter trajectories (bit-identical
     #: results, so the method is deliberately NOT part of the cache key).
     method: str = "serial"
+    #: Deterministic fault plan; ``None`` runs the real (reliable) stack.
+    fault_plan: Optional[FaultPlan] = None
+    #: Retry schedule for injected transient faults (ignored without a plan).
+    retry: RetryPolicy = RetryPolicy()
 
     @property
     def label(self) -> str:
         """Human-readable task label for progress reporting."""
         point = BASELINE_POINT if self.freq_mhz is None else f"{self.freq_mhz:.0f} MHz"
         return f"{self.app.name} @ {point}"
+
+    @property
+    def scope(self) -> str:
+        """Fault-injection scope: decorrelates tasks, survives retries.
+
+        Derived from the task seed (itself a pure function of the
+        campaign seed + task identity), so chaos decisions depend only
+        on values — never on scheduling or worker count.
+        """
+        return f"task:{self.seed}"
 
 
 @dataclass(frozen=True)
@@ -169,6 +207,31 @@ class PointMeasurement:
         )
 
 
+def _build_device(
+    task: MeasurementTask, injector: Optional[FaultInjector] = None
+) -> SynergyDevice:
+    """A fresh device + sensor pair for one attempt at ``task``.
+
+    With an injector the GPU and both sensors are wrapped in their
+    fault-injection shells; without one this is byte-for-byte the
+    historical build, so fault-free campaigns are untouched.
+    """
+    if injector is None:
+        gpu: SimulatedGPU = SimulatedGPU(task.spec)
+        return SynergyDevice(gpu, seed=task.seed, ideal_sensors=task.ideal_sensors)
+    # Deferred import: the wrappers subclass ResultCache, so importing
+    # them while repro.runtime is still initializing would be circular.
+    from repro.faults.wrappers import FaultyGPU, FaultySensor
+
+    gpu = FaultyGPU(task.spec, injector)
+    device = SynergyDevice(gpu, seed=task.seed, ideal_sensors=task.ideal_sensors)
+    device.time_sensor = FaultySensor(device.time_sensor, injector, SITE_SENSOR_TIME)
+    device.energy_sensor = FaultySensor(
+        device.energy_sensor, injector, SITE_SENSOR_ENERGY
+    )
+    return device
+
+
 def execute_task(task: MeasurementTask) -> PointMeasurement:
     """Run one measurement task on a freshly built device.
 
@@ -177,10 +240,16 @@ def execute_task(task: MeasurementTask) -> PointMeasurement:
     campaigns bit-identical. ``task.method == "replay"`` records the
     app's launch sequence once and replays the repetitions through the
     batched model path — same device build, same sensor streams, same
-    measured values bit-for-bit (see ``docs/perf.md``).
+    measured values bit-for-bit (see ``docs/perf.md``). Any fault plan
+    on the task is ignored here — this is the single-attempt primitive;
+    the retrying entry point is :func:`execute_task_resilient`.
     """
-    gpu = SimulatedGPU(task.spec)
-    device = SynergyDevice(gpu, seed=task.seed, ideal_sensors=task.ideal_sensors)
+    return _measure_on(task, _build_device(task))
+
+
+def _measure_on(task: MeasurementTask, device: SynergyDevice) -> PointMeasurement:
+    """One measurement attempt at ``task`` on an already-built device."""
+    gpu = device.gpu
     if task.method == "replay":
         plan = ReplayPlan(gpu, record_launches(task.app, gpu))
         if task.freq_mhz is None:
@@ -211,6 +280,63 @@ def execute_task(task: MeasurementTask) -> PointMeasurement:
     )
 
 
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What one resilient task execution produced (picklable).
+
+    ``measurement is None`` means the task exhausted its retry budget on
+    injected transient faults and was quarantined; ``error`` then holds
+    the final fault's description.
+    """
+
+    measurement: Optional[PointMeasurement]
+    attempts: int = 1
+    faults: int = 0
+    error: Optional[str] = None
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether the task failed persistently and was dropped."""
+        return self.measurement is None
+
+
+def execute_task_resilient(task: MeasurementTask) -> TaskOutcome:
+    """Run ``task`` with per-task retry over injected transient faults.
+
+    The engine's worker entry point. Without a fault plan this is
+    exactly :func:`execute_task` (one attempt, no wrappers). With one,
+    each attempt builds a fresh device/sensor pair (so the successful
+    attempt is bit-identical to a fault-free run) while the *injector*
+    persists across attempts — occurrence counters keep advancing, so a
+    transient fault does not re-fire identically forever. Only
+    :class:`TransientFaultError` is retried; real errors propagate.
+    """
+    plan = task.fault_plan
+    if plan is None:
+        return TaskOutcome(execute_task(task))
+    injector = FaultInjector(plan, scope=task.scope)
+    policy = task.retry
+    last_error: Optional[TransientFaultError] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            injector.maybe_raise(SITE_WORKER, "worker_crash")
+            measurement = _measure_on(task, _build_device(task, injector))
+            return TaskOutcome(
+                measurement, attempts=attempt + 1, faults=injector.fault_count
+            )
+        except TransientFaultError as exc:
+            last_error = exc
+            delay = policy.delay_s(task.seed, attempt)
+            if delay > 0:
+                time.sleep(delay)
+    return TaskOutcome(
+        None,
+        attempts=policy.max_attempts,
+        faults=injector.fault_count,
+        error=str(last_error),
+    )
+
+
 @dataclass
 class CampaignStats:
     """Engine-lifetime task and cache counters for the run summary."""
@@ -230,10 +356,25 @@ class CampaignStats:
     unique_launches: int = 0
     launch_evals_replay: int = 0
     launch_evals_serial_equivalent: int = 0
+    #: Resilience accounting (non-zero only under an injected fault plan):
+    #: extra attempts spent recovering, total faults observed by workers,
+    #: and the sweep points that exhausted their retry budget.
+    retries: int = 0
+    faults_injected: int = 0
+    quarantined: int = 0
+    quarantined_points: List[str] = field(default_factory=list)
 
-    def as_dict(self) -> Dict[str, int]:
+    def completeness(self) -> float:
+        """Fraction of requested sweep points actually measured."""
+        if self.tasks_total == 0:
+            return 1.0
+        return (self.tasks_total - self.quarantined) / self.tasks_total
+
+    def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (used by run summaries and tests)."""
-        return dataclasses.asdict(self)
+        record: Dict[str, Any] = dataclasses.asdict(self)
+        record["completeness"] = self.completeness()
+        return record
 
 
 class CampaignEngine:
@@ -256,6 +397,16 @@ class CampaignEngine:
         ``"replay"`` (batched record/replay fast path; bit-identical
         results and unchanged cache keys, so serial and replay runs
         share one cache).
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`. Transient faults are
+        retried per task (fresh device per attempt, so recovered points
+        are bit-identical to fault-free ones); persistent failures are
+        quarantined instead of aborting the campaign. If the plan can
+        corrupt cache writes, the attached cache is wrapped in
+        :class:`repro.faults.FaultyResultCache`.
+    max_retries / backoff_base_s:
+        Retry budget and backoff base per task (see
+        :class:`repro.faults.RetryPolicy`); ignored without a plan.
     """
 
     def __init__(
@@ -266,10 +417,27 @@ class CampaignEngine:
         campaign_seed: int = 0,
         ideal_sensors: bool = False,
         method: str = "serial",
+        fault_plan: Optional[FaultPlan] = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.0,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         self.jobs = check_positive_int(jobs, "jobs")
+        self.fault_plan = fault_plan
+        self.retry = RetryPolicy(
+            max_retries=max_retries, backoff_base_s=backoff_base_s
+        )
+        if (
+            cache is not None
+            and fault_plan is not None
+            and fault_plan.has_kind("cache_corruption")
+        ):
+            from repro.faults.wrappers import FaultyResultCache  # deferred, see _build_device
+
+            cache = FaultyResultCache(
+                cache.root, FaultInjector(fault_plan, scope="cache")
+            )
         self.cache = cache
         self.campaign_seed = int(campaign_seed)
         self.ideal_sensors = bool(ideal_sensors)
@@ -306,12 +474,14 @@ class CampaignEngine:
             seed=seed,
             ideal_sensors=self.ideal_sensors,
             method=method,
+            fault_plan=self.fault_plan,
+            retry=self.retry,
         )
 
     def _cache_payload(
         self, task: MeasurementTask, app_fp: Dict[str, Any]
     ) -> Dict[str, Any]:
-        return {
+        payload = {
             "device": task.spec.signature(),
             "app": app_fp,
             "point": BASELINE_POINT if task.freq_mhz is None else float(task.freq_mhz),
@@ -319,6 +489,14 @@ class CampaignEngine:
             "seed": int(task.seed),
             "ideal_sensors": bool(task.ideal_sensors),
         }
+        # Plans whose faults are all recovered-or-fatal leave measured
+        # values identical to a fault-free run, so they share its cache.
+        # A silently corrupting plan (sensor outliers) must not pollute
+        # that shared cache: its entries get their own key space.
+        plan = self.fault_plan
+        if plan is not None and not plan.result_preserving:
+            payload["fault_plan"] = plan.fingerprint()
+        return payload
 
     # ------------------------------------------------------------------
     # execution
@@ -346,7 +524,7 @@ class CampaignEngine:
         repetitions: int = DEFAULT_REPETITIONS,
         progress: Optional[ProgressFn] = None,
         method: Optional[str] = None,
-    ) -> List[CharacterizationResult]:
+    ) -> List[Optional[CharacterizationResult]]:
         """Sweep several applications as one task pool.
 
         All (app x point) tasks share the pool, so a many-input campaign
@@ -355,6 +533,13 @@ class CampaignEngine:
         any ``jobs`` value — and, because the replay fast path reproduces
         the serial noise stream exactly, for either ``method``.
         ``method`` overrides the engine default for this call.
+
+        Under a fault plan the campaign degrades gracefully: a sweep
+        point that exhausted its retry budget is dropped from its app's
+        samples, and an app whose *baseline* was quarantined yields
+        ``None`` in its slot. ``stats`` records what was lost
+        (``quarantined_points``, ``completeness()``). Without a plan
+        every slot is a real result, exactly as before.
         """
         if not apps:
             raise ConfigurationError("characterize_many needs at least one application")
@@ -387,11 +572,16 @@ class CampaignEngine:
 
         # Merge per-point measurements back into one result per app.
         points_per_app = 1 + len(sweep)
-        results: List[CharacterizationResult] = []
+        results: List[Optional[CharacterizationResult]] = []
         baseline_label, baseline_freq = self._baseline_descriptor(spec)
         for i, app in enumerate(apps):
             chunk = measurements[i * points_per_app : (i + 1) * points_per_app]
             baseline, samples = chunk[0], chunk[1:]
+            if baseline is None:
+                # Every synergy metric is relative to the baseline; with
+                # it quarantined the app's sweep is unusable this run.
+                results.append(None)
+                continue
             result = CharacterizationResult(
                 app_name=app.name,
                 device_name=spec.name,
@@ -399,7 +589,7 @@ class CampaignEngine:
                 baseline_freq_mhz=baseline_freq,
                 baseline_time_s=baseline.time_s,
                 baseline_energy_j=baseline.energy_j,
-                samples=[m.to_sample() for m in samples],
+                samples=[m.to_sample() for m in samples if m is not None],
             )
             results.append(result)
         return results
@@ -438,7 +628,7 @@ class CampaignEngine:
         tasks: List[MeasurementTask],
         payloads: List[Dict[str, Any]],
         progress: Optional[ProgressFn],
-    ) -> List[PointMeasurement]:
+    ) -> List[Optional[PointMeasurement]]:
         total = len(tasks)
         self.stats.tasks_total += total
         done = 0
@@ -457,30 +647,37 @@ class CampaignEngine:
                 pending.append(i)
 
         # Phase 2: compute what is missing, inline or across the pool.
+        # Retries live inside the worker function, so recovery behaves
+        # identically inline and pooled.
         if pending and self.jobs == 1:
             for i in pending:
-                results[i] = execute_task(tasks[i])
-                self._after_execute(tasks[i], payloads[i], results[i])
+                results[i] = self._after_execute(
+                    tasks[i], payloads[i], execute_task_resilient(tasks[i])
+                )
                 done += 1
                 if progress is not None:
                     progress(done, total, tasks[i].label, False)
         elif pending:
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(execute_task, tasks[i]): i for i in pending}
+                futures = {
+                    pool.submit(execute_task_resilient, tasks[i]): i for i in pending
+                }
                 remaining = set(futures)
                 while remaining:
                     finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                     for future in finished:
                         i = futures[future]
-                        results[i] = future.result()
-                        self._after_execute(tasks[i], payloads[i], results[i])
+                        results[i] = self._after_execute(
+                            tasks[i], payloads[i], future.result()
+                        )
                         done += 1
                         if progress is not None:
                             progress(done, total, tasks[i].label, False)
 
-        assert all(m is not None for m in results)
-        return results  # type: ignore[return-value]
+        if self.fault_plan is None:
+            assert all(m is not None for m in results)
+        return results
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -500,9 +697,18 @@ class CampaignEngine:
         self,
         task: MeasurementTask,
         payload: Dict[str, Any],
-        measurement: PointMeasurement,
-    ) -> None:
+        outcome: TaskOutcome,
+    ) -> Optional[PointMeasurement]:
+        """Account for one finished task; persist it unless quarantined."""
         self.stats.executed += 1
+        self.stats.retries += outcome.attempts - 1
+        self.stats.faults_injected += outcome.faults
+        if outcome.quarantined:
+            self.stats.quarantined += 1
+            self.stats.quarantined_points.append(task.label)
+            return None
+        measurement = outcome.measurement
         if self.cache is not None:
             self.cache.put(self.cache.key_for(payload), measurement.as_record(), payload)
             self.stats.cache_bytes_written = self.cache.stats.bytes_written
+        return measurement

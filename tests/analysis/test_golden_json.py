@@ -40,6 +40,7 @@ def test_golden_file_documents_every_rule_class():
     assert payload["version"] == 1
     assert {d["rule"] for d in payload["diagnostics"]} == {
         "DET001",
+        "EXC001",
         "FLT001",
         "MUT001",
         "TIM001",

@@ -15,7 +15,13 @@ def rules_of(diags):
 
 class TestRegistry:
     def test_all_documented_rules_registered(self):
-        assert set(RULE_REGISTRY) == {"DET001", "FLT001", "MUT001", "TIM001"}
+        assert set(RULE_REGISTRY) == {
+            "DET001",
+            "EXC001",
+            "FLT001",
+            "MUT001",
+            "TIM001",
+        }
 
 
 class TestDET001:
@@ -194,6 +200,94 @@ class TestTIM001:
             )
             == []
         )
+
+
+class TestEXC001:
+    def test_except_pass_flagged(self):
+        diags = lint(
+            """
+            try:
+                work()
+            except OSError:
+                pass
+            """
+        )
+        assert rules_of(diags) == ["EXC001"]
+        assert "OSError" in diags[0].message
+        assert diags[0].line == 4
+
+    def test_bare_except_pass_flagged(self):
+        diags = lint(
+            """
+            try:
+                work()
+            except:
+                pass
+            """
+        )
+        assert rules_of(diags) == ["EXC001"]
+
+    def test_ellipsis_body_flagged(self):
+        diags = lint(
+            """
+            try:
+                work()
+            except ValueError:
+                ...
+            """
+        )
+        assert rules_of(diags) == ["EXC001"]
+
+    def test_handler_that_acts_allowed(self):
+        assert (
+            lint(
+                """
+                try:
+                    work()
+                except ValueError as exc:
+                    result = fallback(exc)
+                """
+            )
+            == []
+        )
+
+    def test_handler_that_reraises_allowed(self):
+        assert (
+            lint(
+                """
+                try:
+                    work()
+                except ValueError:
+                    raise
+                """
+            )
+            == []
+        )
+
+    def test_pragma_on_except_line_suppresses(self):
+        diags = lint(
+            """
+            try:
+                work()
+            except OSError:  # repro-lint: ignore[EXC001] -- best-effort cleanup
+                pass
+            """
+        )
+        assert diags == []
+
+    def test_only_silent_handler_flagged_among_several(self):
+        diags = lint(
+            """
+            try:
+                work()
+            except ValueError:
+                handle()
+            except OSError:
+                pass
+            """
+        )
+        assert rules_of(diags) == ["EXC001"]
+        assert diags[0].line == 6
 
 
 class TestPragmas:

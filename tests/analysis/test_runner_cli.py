@@ -31,7 +31,7 @@ class TestRunner:
         bad.parent.mkdir()
         bad.write_text(FIXTURE.read_text())
         rules = {d.rule for d in lint_paths([str(tmp_path)])}
-        assert rules == {"DET001", "FLT001", "MUT001", "TIM001"}
+        assert rules == {"DET001", "EXC001", "FLT001", "MUT001", "TIM001"}
 
     def test_select_filters_self_check_too(self):
         diags = run_lint([str(PACKAGE_DIR / "errors.py")], select=["HW001"])
@@ -63,7 +63,7 @@ class TestLintCommand:
         rc = main(["lint", str(tmp_path)])
         out = capsys.readouterr().out
         assert rc == 1
-        for rule in ("DET001", "FLT001", "MUT001", "TIM001"):
+        for rule in ("DET001", "EXC001", "FLT001", "MUT001", "TIM001"):
             assert f"error[{rule}]" in out
 
     def test_json_format_is_parseable_and_stable_schema(self, tmp_path, capsys):
@@ -77,7 +77,7 @@ class TestLintCommand:
         assert payload["version"] == 1
         assert payload["counts"]["error"] == len(payload["diagnostics"])
         rules = {d["rule"] for d in payload["diagnostics"]}
-        assert {"DET001", "FLT001", "MUT001", "TIM001"} <= rules
+        assert {"DET001", "EXC001", "FLT001", "MUT001", "TIM001"} <= rules
 
     def test_select_restricts_output(self, tmp_path, capsys):
         bad = tmp_path / "ml" / "bad.py"

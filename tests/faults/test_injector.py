@@ -1,0 +1,135 @@
+"""FaultInjector: hash determinism, scoping, occurrence accounting."""
+
+import pytest
+
+from repro.errors import (
+    FrequencyRejectedError,
+    LaunchFaultError,
+    SensorDropoutError,
+    TransientFaultError,
+    WorkerCrashError,
+)
+from repro.faults import FAULT_ERRORS, FaultInjector, FaultPlan, FaultSpec, fault_hash_unit
+
+
+class TestHashUnit:
+    def test_deterministic(self):
+        assert fault_hash_unit(1, "gpu.launch", 0) == fault_hash_unit(1, "gpu.launch", 0)
+
+    def test_in_unit_interval(self):
+        for occ in range(50):
+            u = fault_hash_unit(7, "sensor.energy", occ)
+            assert 0.0 <= u < 1.0
+
+    def test_inputs_decorrelate(self):
+        base = fault_hash_unit(1, "gpu.launch", 0)
+        assert fault_hash_unit(2, "gpu.launch", 0) != base
+        assert fault_hash_unit(1, "gpu.launch2", 0) != base
+        assert fault_hash_unit(1, "gpu.launch", 1) != base
+
+    def test_no_separator_collisions(self):
+        # (seed=1, site="2x") must differ from (seed=12, site="x").
+        assert fault_hash_unit(1, "2x", 0) != fault_hash_unit(12, "x", 0)
+
+    def test_probability_calibration(self):
+        # With p=0.3 the empirical firing rate over many draws sits nearby.
+        fires = sum(fault_hash_unit(3, "site", occ) < 0.3 for occ in range(2000))
+        assert 0.25 < fires / 2000 < 0.35
+
+
+def occurrence_plan(*occ, kind="launch_failure"):
+    return FaultPlan(seed=5, specs=(FaultSpec(kind=kind, occurrences=tuple(occ)),))
+
+
+class TestDecisions:
+    def test_occurrence_list_fires_exactly_at_indices(self):
+        inj = FaultInjector(occurrence_plan(1, 3))
+        fired = [inj.check("gpu.launch", "launch_failure") is not None for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+
+    def test_kind_filter_ignores_other_specs(self):
+        inj = FaultInjector(occurrence_plan(0))
+        assert inj.check("gpu.launch", "sensor_dropout") is None
+
+    def test_check_advances_counter_once_per_call(self):
+        inj = FaultInjector(occurrence_plan(0))
+        inj.check("site", "launch_failure", "sensor_dropout")
+        assert inj.occurrence_count("site") == 1
+
+    def test_sites_count_independently(self):
+        inj = FaultInjector(occurrence_plan(0))
+        assert inj.check("a", "launch_failure") is not None
+        assert inj.check("b", "launch_failure") is not None  # occurrence 0 of site b
+
+    def test_same_plan_same_scope_identical_decisions(self):
+        plan = FaultPlan(seed=9, specs=(FaultSpec(kind="launch_failure", probability=0.4),))
+        a = FaultInjector(plan, scope="task:1")
+        b = FaultInjector(plan, scope="task:1")
+        seq_a = [a.check("gpu.launch", "launch_failure") is not None for _ in range(64)]
+        seq_b = [b.check("gpu.launch", "launch_failure") is not None for _ in range(64)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_different_scopes_decorrelate(self):
+        plan = FaultPlan(seed=9, specs=(FaultSpec(kind="launch_failure", probability=0.4),))
+        a = FaultInjector(plan, scope="task:1")
+        b = FaultInjector(plan, scope="task:2")
+        seq_a = [a.check("gpu.launch", "launch_failure") is not None for _ in range(64)]
+        seq_b = [b.check("gpu.launch", "launch_failure") is not None for _ in range(64)]
+        assert seq_a != seq_b
+
+    def test_plan_order_decides_among_matching_specs(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind="sensor_dropout", occurrences=(0,)),
+                FaultSpec(kind="launch_failure", occurrences=(0,)),
+            ),
+        )
+        inj = FaultInjector(plan)
+        spec = inj.check("s", "launch_failure", "sensor_dropout")
+        assert spec.kind == "sensor_dropout"
+
+
+class TestRaising:
+    @pytest.mark.parametrize(
+        "kind,error",
+        [
+            ("launch_failure", LaunchFaultError),
+            ("sensor_dropout", SensorDropoutError),
+            ("freq_rejection", FrequencyRejectedError),
+            ("worker_crash", WorkerCrashError),
+        ],
+    )
+    def test_each_transient_kind_raises_its_error(self, kind, error):
+        inj = FaultInjector(occurrence_plan(0, kind=kind))
+        with pytest.raises(error, match=f"injected {kind}"):
+            inj.maybe_raise("site", kind)
+
+    def test_fault_errors_map_covers_exactly_the_transient_kinds(self):
+        from repro.faults import TRANSIENT_KINDS
+
+        assert set(FAULT_ERRORS) == set(TRANSIENT_KINDS)
+        assert all(issubclass(e, TransientFaultError) for e in FAULT_ERRORS.values())
+
+    def test_maybe_raise_silent_when_nothing_fires(self):
+        inj = FaultInjector(occurrence_plan(5))
+        inj.maybe_raise("site", "launch_failure")  # occurrence 0: no fire
+
+
+class TestIntrospection:
+    def test_events_and_counts(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind="launch_failure", occurrences=(0, 1)),
+                FaultSpec(kind="sensor_dropout", occurrences=(0,)),
+            ),
+        )
+        inj = FaultInjector(plan)
+        inj.check("gpu.launch", "launch_failure")
+        inj.check("gpu.launch", "launch_failure")
+        inj.check("sensor.time", "sensor_dropout")
+        assert inj.fault_count == 3
+        assert inj.counts_by_kind() == {"launch_failure": 2, "sensor_dropout": 1}
+        assert [e.occurrence for e in inj.events] == [0, 1, 0]

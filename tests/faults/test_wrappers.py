@@ -1,0 +1,153 @@
+"""Injection wrappers: transparent when quiet, faithful when firing."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    FrequencyRejectedError,
+    LaunchFaultError,
+    SensorDropoutError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, FaultyGPU, FaultySensor
+from repro.faults.wrappers import (
+    SITE_CACHE_PUT,
+    SITE_LAUNCH,
+    SITE_SET_FREQUENCY,
+    FaultyResultCache,
+)
+from repro.hw.device import SimulatedGPU
+from repro.hw.sensors import EnergySensor, TimeSensor
+from repro.hw.specs import make_v100_spec
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+
+def k(threads=100_000):
+    return KernelLaunch(KernelSpec("k", float_add=800, global_access=8), threads=threads)
+
+
+def injector_for(kind, *occurrences, seed=5, **params):
+    plan = FaultPlan(seed=seed, specs=(FaultSpec(kind=kind, occurrences=occurrences, **params),))
+    return FaultInjector(plan)
+
+
+class TestFaultyGPU:
+    def test_quiet_gpu_matches_plain_gpu(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(kind="launch_failure", occurrences=(99,)),))
+        plain, faulty = SimulatedGPU(make_v100_spec()), FaultyGPU(make_v100_spec(), FaultInjector(plan))
+        for gpu in (plain, faulty):
+            gpu.set_core_frequency(900.0)
+            gpu.launch(k())
+        assert faulty.time_counter_s == plain.time_counter_s
+        assert faulty.energy_counter_j == plain.energy_counter_j
+
+    def test_launch_fault_raises_before_counters_move(self):
+        gpu = FaultyGPU(make_v100_spec(), injector_for("launch_failure", 0))
+        with pytest.raises(LaunchFaultError):
+            gpu.launch(k())
+        assert gpu.launch_count == 0
+        assert gpu.time_counter_s == 0.0
+
+    def test_launch_recovers_on_next_occurrence(self):
+        gpu = FaultyGPU(make_v100_spec(), injector_for("launch_failure", 0))
+        with pytest.raises(LaunchFaultError):
+            gpu.launch(k())
+        gpu.launch(k())
+        assert gpu.launch_count == 1
+
+    def test_freq_rejection_leaves_clock_unpinned(self):
+        gpu = FaultyGPU(make_v100_spec(), injector_for("freq_rejection", 0))
+        with pytest.raises(FrequencyRejectedError):
+            gpu.set_core_frequency(900.0)
+        assert gpu.set_core_frequency(900.0) == pytest.approx(900.0, abs=50.0)
+
+    def test_fast_forward_shares_launch_site(self):
+        inj = injector_for("launch_failure", 0)
+        gpu = FaultyGPU(make_v100_spec(), inj)
+        with pytest.raises(LaunchFaultError):
+            gpu.fast_forward(time_counter_s=1.0, energy_counter_j=1.0, launches=1)
+        assert inj.occurrence_count(SITE_LAUNCH) == 1
+        gpu.fast_forward(time_counter_s=1.0, energy_counter_j=1.0, launches=1)
+        assert gpu.time_counter_s == 1.0
+
+
+class TestFaultySensor:
+    def test_quiet_sensor_is_transparent(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(kind="sensor_dropout", occurrences=(99,)),))
+        inner, reference = TimeSensor(seed=3), TimeSensor(seed=3)
+        wrapped = FaultySensor(inner, FaultInjector(plan), "sensor.time")
+        assert [wrapped.read(1.0) for _ in range(4)] == [reference.read(1.0) for _ in range(4)]
+
+    def test_dropout_raises_without_consuming_noise(self):
+        inner, reference = TimeSensor(seed=3), TimeSensor(seed=3)
+        wrapped = FaultySensor(inner, injector_for("sensor_dropout", 0), "sensor.time")
+        with pytest.raises(SensorDropoutError):
+            wrapped.read(1.0)
+        # The failed read never touched the inner sensor's noise stream.
+        assert wrapped.read(1.0) == reference.read(1.0)
+
+    def test_outlier_scales_reading_silently(self):
+        inner, reference = EnergySensor(seed=3), EnergySensor(seed=3)
+        wrapped = FaultySensor(inner, injector_for("sensor_outlier", 0, scale=8.0), "sensor.energy")
+        assert wrapped.read(2.0) == pytest.approx(reference.read(2.0) * 8.0)
+        # Next reading is clean again.
+        assert wrapped.read(2.0) == reference.read(2.0)
+
+    def test_attribute_passthrough(self):
+        inner = TimeSensor(rel_noise=0.01, seed=3)
+        wrapped = FaultySensor(inner, injector_for("sensor_dropout", 0), "sensor.time")
+        assert wrapped.rel_noise == inner.rel_noise
+
+
+class TestFaultyResultCache:
+    def put_one(self, cache):
+        key = cache.key_for({"point": 1})
+        cache.put(key, {"freq_mhz": 900.0, "time_s": 1.5}, {"point": 1})
+        return key
+
+    def test_quiet_cache_round_trips(self, tmp_path):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(kind="cache_corruption", occurrences=(99,)),))
+        cache = FaultyResultCache(tmp_path, FaultInjector(plan))
+        key = self.put_one(cache)
+        assert cache.get(key) == {"freq_mhz": 900.0, "time_s": 1.5}
+        assert cache.corrupted_writes == 0
+
+    def test_truncate_mode_leaves_unparseable_file(self, tmp_path):
+        cache = FaultyResultCache(tmp_path, injector_for("cache_corruption", 0, mode="truncate"))
+        key = self.put_one(cache)
+        assert cache.corrupted_writes == 1
+        raw = cache.path_for(key).read_bytes()
+        with pytest.raises(ValueError):
+            json.loads(raw.decode("utf-8", errors="replace"))
+        assert cache.get(key) is None
+
+    def test_tamper_mode_keeps_valid_json_but_breaks_digest(self, tmp_path):
+        cache = FaultyResultCache(tmp_path, injector_for("cache_corruption", 0, mode="tamper"))
+        key = self.put_one(cache)
+        record = json.loads(cache.path_for(key).read_text(encoding="utf-8"))
+        assert record["value"] != {"freq_mhz": 900.0, "time_s": 1.5}
+        # Detection is the reader's job: served as a miss, counted corrupt.
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_corruption_counts_per_put_site(self, tmp_path):
+        inj = injector_for("cache_corruption", 0, 2, mode="truncate")
+        cache = FaultyResultCache(tmp_path, inj)
+        for i in range(3):
+            cache.put(cache.key_for({"p": i}), {"v": float(i)}, {"p": i})
+        assert cache.corrupted_writes == 2
+        assert inj.occurrence_count(SITE_CACHE_PUT) == 3
+
+
+class TestSiteConstants:
+    def test_wrapper_sites_reexported_from_injector(self):
+        import repro.faults.injector as inj_mod
+        import repro.faults.wrappers as wrap_mod
+
+        for name in ("SITE_LAUNCH", "SITE_SET_FREQUENCY", "SITE_SENSOR_TIME",
+                     "SITE_SENSOR_ENERGY", "SITE_WORKER", "SITE_CACHE_PUT"):
+            assert getattr(wrap_mod, name) == getattr(inj_mod, name)
+
+    def test_sites_are_distinct(self):
+        sites = {SITE_LAUNCH, SITE_SET_FREQUENCY, SITE_CACHE_PUT, "sensor.time", "sensor.energy", "worker"}
+        assert len(sites) == 6

@@ -1,13 +1,29 @@
-"""Failure-injection tests: the library must fail loudly and recover cleanly."""
+"""Failure-injection tests: the library must fail loudly and recover cleanly.
+
+The ad-hoc failure modes (closed devices, mid-sweep crashes, corrupt
+archives) stay here as loud-failure regressions; deterministic fault
+injection is driven through :mod:`repro.faults` (see also the chaos
+suite in ``tests/runtime/test_resilience.py``).
+"""
 
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, DatasetError, DeviceError
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    DeviceError,
+    FrequencyRejectedError,
+    LaunchFaultError,
+    SensorDropoutError,
+    TransientFaultError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, FaultyGPU, FaultySensor
 from repro.hw import create_device
 from repro.kernels.ir import KernelLaunch, KernelSpec
 from repro.ligen.app import LigenApplication
 from repro.synergy import Platform, characterize
+from repro.synergy.api import SynergyDevice
 from repro.synergy.runner import DEFAULT_REPETITIONS
 
 
@@ -95,6 +111,89 @@ class TestExtremeNoise:
         assert np.all(result.times_s > 0)
         assert np.all(result.energies_j > 0)
         assert np.isfinite(result.speedups()).all()
+
+
+def chaos_device(plan, seed=123):
+    """A V100 SYnergy handle with the fault wrappers installed (the same
+    wiring the campaign engine's ``_build_device`` performs per attempt)."""
+    injector = FaultInjector(plan, scope="integration")
+    gpu = FaultyGPU(create_device("v100").spec, injector)
+    device = SynergyDevice(gpu, seed=seed)
+    device.time_sensor = FaultySensor(device.time_sensor, injector, "sensor.time")
+    device.energy_sensor = FaultySensor(device.energy_sensor, injector, "sensor.energy")
+    return device, injector
+
+
+class TestInjectedFaultsFailLoudly:
+    """Without the engine's retry loop, injected faults must propagate."""
+
+    def test_launch_fault_aborts_characterization(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(kind="launch_failure", occurrences=(0,)),))
+        device, _ = chaos_device(plan)
+        with pytest.raises(LaunchFaultError, match="injected launch_failure"):
+            characterize(LigenApplication(256, 31, 4), device, freqs_mhz=[900.0], repetitions=1)
+
+    def test_sensor_dropout_aborts_characterization(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(kind="sensor_dropout", occurrences=(0,)),))
+        device, _ = chaos_device(plan)
+        with pytest.raises(SensorDropoutError):
+            characterize(LigenApplication(256, 31, 4), device, freqs_mhz=[900.0], repetitions=1)
+
+    def test_freq_rejection_aborts_characterization(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(kind="freq_rejection", occurrences=(0,)),))
+        device, _ = chaos_device(plan)
+        with pytest.raises(FrequencyRejectedError):
+            characterize(LigenApplication(256, 31, 4), device, freqs_mhz=[900.0], repetitions=1)
+
+    def test_injected_faults_are_transient_subclasses(self):
+        # What makes the engine's retry loop safe: injected faults are
+        # distinguishable from real bugs by their shared base class.
+        for error in (LaunchFaultError, SensorDropoutError, FrequencyRejectedError):
+            assert issubclass(error, TransientFaultError)
+        assert not issubclass(RuntimeError, TransientFaultError)
+
+    def test_device_not_poisoned_after_injected_fault(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(kind="launch_failure", occurrences=(0,)),))
+        device, injector = chaos_device(plan)
+        with pytest.raises(LaunchFaultError):
+            characterize(LigenApplication(256, 31, 4), device, freqs_mhz=[900.0], repetitions=1)
+        # The plan is exhausted (occurrence 0 fired); the same handle sweeps clean.
+        result = characterize(
+            LigenApplication(256, 31, 4), device, freqs_mhz=[600.0, 1282.0], repetitions=1
+        )
+        assert len(result.samples) == 2
+        assert injector.fault_count == 1
+
+
+class TestInjectedOutliers:
+    def test_sensor_outliers_skew_but_do_not_abort(self):
+        plan = FaultPlan(
+            seed=3, specs=(FaultSpec(kind="sensor_outlier", probability=0.25, scale=40.0),)
+        )
+        chaos, injector = chaos_device(plan, seed=3)
+        clean = Platform.default(seed=3).get_device("v100")
+        app = LigenApplication(1024, 31, 4)
+        freqs = [600.0, 1282.0, 1597.0]
+        noisy = characterize(app, chaos, freqs_mhz=freqs, repetitions=DEFAULT_REPETITIONS)
+        reference = characterize(app, clean, freqs_mhz=freqs, repetitions=DEFAULT_REPETITIONS)
+        assert injector.counts_by_kind().get("sensor_outlier", 0) > 0
+        # Silent corruption: structurally valid results, different values.
+        assert np.all(noisy.times_s > 0)
+        assert np.isfinite(noisy.speedups()).all()
+        assert not np.array_equal(noisy.energies_j, reference.energies_j)
+
+    def test_median_damps_single_outlier_repetition(self):
+        # One wild reading among DEFAULT_REPETITIONS: the paper's median
+        # protocol keeps the aggregate on the clean value.
+        plan = FaultPlan(
+            seed=3, specs=(FaultSpec(kind="sensor_outlier", occurrences=(1,), scale=40.0),)
+        )
+        chaos, _ = chaos_device(plan, seed=3)
+        clean = Platform.default(seed=3).get_device("v100")
+        app = LigenApplication(1024, 31, 4)
+        noisy = characterize(app, chaos, freqs_mhz=[900.0], repetitions=DEFAULT_REPETITIONS)
+        reference = characterize(app, clean, freqs_mhz=[900.0], repetitions=DEFAULT_REPETITIONS)
+        assert noisy.samples[0].time_s == pytest.approx(reference.samples[0].time_s, rel=0.01)
 
 
 class TestModelingFailures:

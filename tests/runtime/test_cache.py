@@ -85,3 +85,54 @@ class TestStoreAndStats:
         assert path.parent.name == key[:2]
         assert path.exists()
         assert cache.entry_count() == 1
+
+
+class TestDigestValidation:
+    """Schema v2: every entry carries a value digest, checked on read."""
+
+    def test_entries_store_value_digest(self, tmp_path):
+        from repro.runtime.seeding import stable_digest
+
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"k": 5})
+        value = {"time_s": 1.5}
+        cache.put(key, value)
+        record = json.loads(cache.path_for(key).read_text())
+        assert record["schema"] == CACHE_SCHEMA_VERSION == 2
+        assert record["digest"] == stable_digest(value)
+
+    def test_tampered_value_detected_and_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"k": 6})
+        cache.put(key, {"time_s": 1.5})
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        record["value"]["time_s"] = 99.0  # valid JSON, wrong bits
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        # The poisoned file is unlinked so it can never be served later.
+        assert not path.exists()
+
+    def test_recompute_after_corruption_self_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"k": 7})
+        cache.put(key, {"time_s": 1.5})
+        cache.path_for(key).write_text("{ torn json")
+        assert cache.get(key) is None
+        # The engine's recompute path: put again, then reads hit cleanly.
+        cache.put(key, {"time_s": 1.5})
+        assert cache.get(key) == {"time_s": 1.5}
+        assert cache.stats.corrupt == 0  # torn JSON counts as plain miss
+
+    def test_missing_digest_field_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"k": 8})
+        cache.put(key, {"v": 1})
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        del record["digest"]
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
