@@ -1,0 +1,175 @@
+"""Serving smoke: batched+cached advisor vs naive per-request inference.
+
+Trains a small LiGen domain model, registers it into
+``benchmarks/output/serving-registry`` (which the CI smoke then lists,
+verifies and drives via ``repro serve``), and serves the same seeded
+request stream two ways:
+
+1. **naive** — one scalar ``predict_tradeoff`` + objective evaluation
+   per request, serial, no caching (what a bare model call costs);
+2. **served** — :class:`repro.serving.AdvisorService` with the LRU
+   advice cache and leader/follower micro-batching, driven by worker
+   threads.
+
+Asserts the serving contract end to end:
+
+- served advice is **identical** to the naive replay (batching and
+  caching are bit-transparent);
+- throughput is at least ``MIN_SPEEDUP``x the naive path;
+- the cache actually hit (ratio > 0) and p99 latency stays bounded.
+
+Writes ``benchmarks/output/BENCH_serving.json`` so CI runs leave an
+inspectable perf record. Wall time here is harness measurement of the
+harness itself, not simulated time, hence the TIM001 ignores.
+
+Usage: ``PYTHONPATH=src python benchmarks/serving_load_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import sys
+import time
+
+import numpy as np
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+REGISTRY_DIR = OUTPUT_DIR / "serving-registry"
+
+MODEL_NAME = "ligen-smoke"
+N_REQUESTS = 400
+POOL_SIZE = 8
+WORKERS = 4
+FREQ_POINTS = 25
+STREAM_SEED = 0
+
+MIN_SPEEDUP = 5.0
+MAX_P99_S = 0.25
+
+
+def _train_and_register():
+    from repro.experiments.datasets import build_ligen_campaign
+    from repro.io import save_domain_model
+    from repro.ligen.app import LIGEN_FEATURE_NAMES
+    from repro.ml import RandomForestRegressor
+    from repro.modeling import DomainSpecificModel
+    from repro.serving import ModelRegistry
+    from repro.synergy import Platform
+
+    device = Platform.default(seed=7).get_device("v100")
+    campaign = build_ligen_campaign(
+        device,
+        freq_count=6,
+        repetitions=2,
+        ligand_counts=(2, 256, 10000),
+        atom_counts=(31, 89),
+        fragment_counts=(4, 20),
+    )
+    model = DomainSpecificModel(
+        LIGEN_FEATURE_NAMES,
+        regressor_factory=lambda: RandomForestRegressor(
+            n_estimators=10, random_state=42
+        ),
+    ).fit(campaign.dataset)
+
+    model_path = OUTPUT_DIR / "serving_smoke_model.npz"
+    save_domain_model(model, model_path)
+    shutil.rmtree(REGISTRY_DIR, ignore_errors=True)
+    registry = ModelRegistry(REGISTRY_DIR)
+    manifest = registry.register(
+        model_path,
+        MODEL_NAME,
+        app="ligen",
+        device_signature=device.gpu.spec.signature(),
+        train_fingerprint=f"smoke-campaign-{len(campaign.dataset)}-samples",
+    )
+    return registry, manifest
+
+
+def _naive_replay(model, requests, freqs):
+    """Scalar, uncached, serial inference — the baseline a bare model call costs."""
+    out = []
+    for feats, objective in requests:
+        prediction = model.predict_tradeoff(list(feats), freqs)
+        out.append(objective.evaluate(prediction))
+    return out
+
+
+def main() -> int:
+    from repro.serving import AdvisorService, Objective, run_load, synthetic_requests
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    registry, manifest = _train_and_register()
+
+    freqs = np.linspace(135.0, 1597.0, FREQ_POINTS)
+    base = (10000.0, 20.0, 89.0)
+    requests = synthetic_requests(
+        base,
+        N_REQUESTS,
+        pool_size=POOL_SIZE,
+        objectives=[
+            Objective.tradeoff(),
+            Objective.min_energy_deadline(100.0),
+            Objective.max_speedup_power(500.0),
+        ],
+        seed=STREAM_SEED,
+    )
+
+    model, _ = registry.resolve(MODEL_NAME)
+    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
+    naive_advice = _naive_replay(model, requests, freqs)
+    naive_s = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
+
+    service = AdvisorService.from_registry(registry, MODEL_NAME, freqs)
+    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
+    served_advice = run_load(service, requests, workers=WORKERS)
+    served_s = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
+
+    assert served_advice == naive_advice, (
+        "served advice differs from the naive scalar replay — "
+        "batching/caching must be bit-transparent"
+    )
+
+    speedup = naive_s / served_s
+    stats = service.stats.as_dict()
+    hit_ratio = service.stats.cache_hit_ratio()
+    p99 = stats["latency"]["p99_s"]
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batching+cache speedup {speedup:.1f}x below the {MIN_SPEEDUP}x floor "
+        f"(naive {naive_s:.3f}s vs served {served_s:.3f}s)"
+    )
+    assert hit_ratio > 0.0, "advice cache never hit on a repeating stream"
+    assert p99 <= MAX_P99_S, f"p99 latency {p99:.4f}s above {MAX_P99_S}s bound"
+
+    record = {
+        "model": manifest.as_dict(),
+        "stream": {
+            "requests": N_REQUESTS,
+            "pool_size": POOL_SIZE,
+            "workers": WORKERS,
+            "freq_points": FREQ_POINTS,
+            "seed": STREAM_SEED,
+            "objectives": ["tradeoff", "min_energy_deadline", "max_speedup_power"],
+        },
+        "naive_wall_s": round(naive_s, 4),
+        "served_wall_s": round(served_s, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup_floor": MIN_SPEEDUP,
+        "cache_hit_ratio": round(hit_ratio, 4),
+        "p99_s": round(float(p99), 6),
+        "max_p99_bound_s": MAX_P99_S,
+        "service": stats,
+        "advice_identical_to_naive": True,
+    }
+    out = OUTPUT_DIR / "BENCH_serving.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

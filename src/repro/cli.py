@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six workflows, mirroring how a user adopts the library:
+Nine workflows, mirroring how a user adopts the library:
 
 - ``repro characterize`` — DVFS-sweep an application on a simulated
   device, print the speedup/energy table, optionally save the sweep;
@@ -16,6 +16,12 @@ Six workflows, mirroring how a user adopts the library:
 - ``repro tune`` — load a model and pick a frequency under a tuning
   metric (minimum energy within a slowdown budget, EDP, ED2P, or
   SYnergy's energy target);
+- ``repro registry`` — manage the versioned, digest-validated model
+  registry (``add``, ``list``, ``verify``; see ``docs/serving.md``);
+- ``repro advise`` — answer one frequency-advice request from a
+  registered model under an objective (trade-off, deadline, power cap);
+- ``repro serve`` — drive the online advisor with a synthetic request
+  load across worker threads and print the service stats report;
 - ``repro lint`` — statically verify the repo's invariants: AST lint
   rules over the source tree plus the built-in hardware-spec / kernel-IR
   self-check (see ``docs/static-analysis.md``).
@@ -146,6 +152,7 @@ def _load_model_and_profile(args):
 
 
 def cmd_predict(args) -> int:
+    from repro.pareto.front import half_bin_tolerance
     from repro.utils.tables import AsciiTable
 
     model, features, prediction = _load_model_and_profile(args)
@@ -155,10 +162,11 @@ def cmd_predict(args) -> int:
         f"(baseline {model.baseline_freq_mhz:.0f} MHz)",
     )
     front = prediction.pareto_front()
+    tol = half_bin_tolerance(prediction.freqs_mhz)
     for f, sp, ne in zip(
         prediction.freqs_mhz, prediction.speedups, prediction.normalized_energies
     ):
-        table.add_row([round(float(f)), sp, ne, "*" if front.contains_freq(float(f), tol_mhz=1.0) else ""])
+        table.add_row([round(float(f)), sp, ne, "*" if front.contains_freq(float(f), tol_mhz=tol) else ""])
     print(table.render())
     print(f"\nPareto frequencies: {[round(float(f)) for f in prediction.pareto_frequencies()]}")
     return 0
@@ -338,6 +346,149 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def _serving_freqs(args) -> np.ndarray:
+    return np.linspace(args.freq_min, args.freq_max, args.freq_points)
+
+
+def _objective_from_args(args):
+    from repro.serving import Objective
+
+    return Objective.from_kind(
+        args.objective,
+        deadline_s=getattr(args, "deadline_s", None),
+        power_w=getattr(args, "power_w", None),
+    )
+
+
+def cmd_registry(args) -> int:
+    import json
+
+    from repro.serving import ModelRegistry
+
+    registry = ModelRegistry(args.root)
+    if args.registry_command == "add":
+        device_signature = None
+        if args.device:
+            device_signature = _device_signature(args.device)
+        manifest = registry.register(
+            args.model,
+            args.name,
+            app=args.app,
+            device_signature=device_signature,
+            train_fingerprint=args.train_fingerprint,
+        )
+        print(
+            f"registered {manifest.ref} ({manifest.app}, "
+            f"{manifest.artifact_bytes} bytes, sha256 {manifest.artifact_sha256[:12]}...)"
+        )
+        return 0
+    if args.registry_command == "list":
+        manifests = registry.list()
+        if args.format == "json":
+            print(json.dumps([m.as_dict() for m in manifests], indent=2))
+            return 0
+        if not manifests:
+            print(f"registry {registry.root} is empty")
+            return 0
+        for m in manifests:
+            extras = []
+            if m.device_signature_digest:
+                extras.append(f"device {m.device_signature_digest[:12]}")
+            if m.train_fingerprint:
+                extras.append(f"train {m.train_fingerprint[:12]}")
+            suffix = f" [{', '.join(extras)}]" if extras else ""
+            print(
+                f"{m.ref}  app={m.app}  features={','.join(m.feature_names)}  "
+                f"baseline={m.baseline_freq_mhz:.0f}MHz  "
+                f"sha256={m.artifact_sha256[:12]}{suffix}"
+            )
+        return 0
+    # verify
+    reports = registry.verify(name=args.name, version=args.version)
+    if not reports:
+        print(f"registry {registry.root} is empty — nothing to verify")
+        return 0
+    failures = 0
+    for report in reports:
+        if report.ok:
+            print(f"{report.ref}: ok")
+        else:
+            failures += 1
+            print(f"{report.ref}: FAILED — {report.error}")
+    if failures:
+        print(f"{failures}/{len(reports)} version(s) failed verification", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _device_signature(device_name: str):
+    from repro.synergy import Platform
+
+    device = Platform.default().get_device(device_name)
+    return device.gpu.spec.signature()
+
+
+def cmd_advise(args) -> int:
+    from repro.serving import AdvisorService, ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    service = AdvisorService.from_registry(
+        registry, args.name, _serving_freqs(args), version=args.version
+    )
+    objective = _objective_from_args(args)
+    features = [float(v) for v in args.features.split(",")]
+    advice = service.advise(features, objective)
+    manifest = service.manifest
+    print(f"model: {manifest.ref} ({manifest.app}), objective: {objective.describe()}")
+    print(
+        f"advice: run at {advice.freq_mhz:.0f} MHz "
+        f"(predicted speedup {advice.predicted_speedup:.3f}, "
+        f"normalized energy {advice.predicted_normalized_energy:.3f}, "
+        f"{'on' if advice.on_pareto_front else 'off'} the Pareto front)"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serving import (
+        AdvisorService,
+        ModelRegistry,
+        Objective,
+        run_load,
+        synthetic_requests,
+    )
+
+    registry = ModelRegistry(args.registry)
+    service = AdvisorService.from_registry(
+        registry,
+        args.name,
+        _serving_freqs(args),
+        version=args.version,
+        max_batch=args.batch_size,
+        cache_size=args.cache_size,
+    )
+    manifest = service.manifest
+    if args.features:
+        base = [float(v) for v in args.features.split(",")]
+    else:
+        base = [64.0] * len(manifest.feature_names)
+    objectives = [Objective.tradeoff()]
+    requests = synthetic_requests(
+        base,
+        args.requests,
+        pool_size=args.pool,
+        objectives=objectives,
+        seed=args.seed,
+    )
+    print(
+        f"serving {len(requests)} requests to {manifest.ref} "
+        f"with {args.workers} worker(s) ..."
+    )
+    run_load(service, requests, workers=args.workers)
+    print(service.report())
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import has_errors, render_json, render_text, run_lint
 
@@ -449,6 +600,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced micro-benchmark suite and input grid (~1 min)",
     )
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "registry", help="manage the versioned, digest-validated model registry"
+    )
+    reg_sub = p.add_subparsers(dest="registry_command", required=True)
+
+    pr = reg_sub.add_parser("add", help="register a trained model as a new version")
+    pr.add_argument("--root", required=True, help="registry directory")
+    pr.add_argument("--model", required=True, help="trained model .npz path")
+    pr.add_argument("--name", required=True, help="model name (letters/digits/._-)")
+    pr.add_argument("--app", default="unknown", help="application the model covers")
+    pr.add_argument(
+        "--device", choices=("v100", "mi100"),
+        help="record this device's spec signature in the manifest",
+    )
+    pr.add_argument(
+        "--train-fingerprint", help="opaque training-campaign fingerprint to record"
+    )
+    pr.set_defaults(func=cmd_registry)
+
+    pr = reg_sub.add_parser("list", help="list registered model versions")
+    pr.add_argument("--root", required=True, help="registry directory")
+    pr.add_argument("--format", choices=("text", "json"), default="text")
+    pr.set_defaults(func=cmd_registry)
+
+    pr = reg_sub.add_parser("verify", help="integrity-check registered artifacts")
+    pr.add_argument("--root", required=True, help="registry directory")
+    pr.add_argument("--name", help="verify only this model (default: all)")
+    pr.add_argument("--version", type=int, help="verify only this version")
+    pr.set_defaults(func=cmd_registry)
+
+    p = sub.add_parser("advise", help="one frequency-advice request from a registered model")
+    p.add_argument("--registry", required=True, help="registry directory")
+    p.add_argument("--name", required=True, help="registered model name")
+    p.add_argument("--version", type=int, help="model version (default: latest)")
+    p.add_argument(
+        "--features", required=True,
+        help="comma-separated input features (model order)",
+    )
+    p.add_argument(
+        "--objective",
+        choices=("tradeoff", "min_energy_deadline", "max_speedup_power"),
+        default="tradeoff",
+    )
+    p.add_argument("--deadline-s", type=float, help="deadline for min_energy_deadline")
+    p.add_argument("--power-w", type=float, help="power cap for max_speedup_power")
+    p.add_argument("--freq-min", type=float, default=135.0)
+    p.add_argument("--freq-max", type=float, default=1597.0)
+    p.add_argument("--freq-points", type=int, default=25)
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser(
+        "serve", help="drive the advisor with a synthetic load and print stats"
+    )
+    p.add_argument("--registry", required=True, help="registry directory")
+    p.add_argument("--name", required=True, help="registered model name")
+    p.add_argument("--version", type=int, help="model version (default: latest)")
+    p.add_argument("--requests", type=int, default=200, help="request count")
+    p.add_argument("--workers", type=int, default=4, help="client threads")
+    p.add_argument("--pool", type=int, default=8, help="distinct feature tuples in the stream")
+    p.add_argument("--seed", type=int, default=0, help="request-stream seed")
+    p.add_argument("--batch-size", type=int, default=16, help="micro-batch cap")
+    p.add_argument("--cache-size", type=int, default=2048, help="LRU advice-cache capacity")
+    p.add_argument(
+        "--features",
+        help="base feature tuple for the synthetic pool (default: 64.0 per feature)",
+    )
+    p.add_argument("--freq-min", type=float, default=135.0)
+    p.add_argument("--freq-max", type=float, default=1597.0)
+    p.add_argument("--freq-points", type=int, default=25)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("lint", help="statically verify repo invariants")
     p.add_argument(

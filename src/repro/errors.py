@@ -14,7 +14,12 @@ __all__ = [
     "KernelError",
     "ModelNotFittedError",
     "DatasetError",
+    "ArtifactError",
+    "ArtifactSchemaError",
     "ConfigurationError",
+    "RegistryError",
+    "ModelIntegrityError",
+    "ServingError",
     "TransientFaultError",
     "LaunchFaultError",
     "SensorDropoutError",
@@ -47,8 +52,37 @@ class DatasetError(ReproError):
     """A training/validation dataset is malformed or empty."""
 
 
+class ArtifactError(DatasetError):
+    """A persisted model artifact is unreadable, truncated, or malformed.
+
+    Raised by :mod:`repro.io.serialization` loaders instead of leaking
+    ``KeyError``/``zipfile`` internals; subclasses :class:`DatasetError`
+    so pre-existing callers keep working.
+    """
+
+
+class ArtifactSchemaError(ArtifactError):
+    """A model artifact was written under an incompatible schema version."""
+
+
 class ConfigurationError(ReproError):
     """An experiment or application configuration is invalid."""
+
+
+class RegistryError(ReproError):
+    """A model-registry operation is invalid (unknown model, bad name, ...)."""
+
+
+class ModelIntegrityError(RegistryError):
+    """A registered artifact or manifest failed digest verification.
+
+    The serving layer treats this as fatal for the affected model:
+    tampered or bit-rotted artifacts are reported, never served.
+    """
+
+
+class ServingError(ReproError):
+    """An advisor request cannot be satisfied (e.g. infeasible objective)."""
 
 
 class TransientFaultError(ReproError):

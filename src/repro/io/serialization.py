@@ -17,11 +17,17 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Union
+import zipfile
+from typing import IO, Dict, List, Union
 
 import numpy as np
 
-from repro.errors import DatasetError, ModelNotFittedError
+from repro.errors import (
+    ArtifactError,
+    ArtifactSchemaError,
+    DatasetError,
+    ModelNotFittedError,
+)
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.tree import DecisionTreeRegressor
 from repro.modeling.dataset import EnergyDataset, EnergySample
@@ -40,6 +46,9 @@ __all__ = [
 ]
 
 PathLike = Union[str, pathlib.Path]
+#: Loaders also accept a binary file object (the model registry verifies
+#: artifact bytes in memory and deserializes from the verified buffer).
+ArtifactSource = Union[str, pathlib.Path, IO[bytes]]
 
 _FORMAT_VERSION = 1
 
@@ -180,6 +189,64 @@ def _rebuild_forest(meta: Dict, arrays, prefix: str) -> RandomForestRegressor:
     return forest
 
 
+def _describe_source(source: ArtifactSource) -> str:
+    if isinstance(source, (str, pathlib.Path)):
+        return str(source)
+    return getattr(source, "name", "<buffer>")
+
+
+def _open_artifact(source: ArtifactSource, what: str):
+    """``np.load`` with typed errors for missing/truncated archives."""
+    try:
+        return np.load(source)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ArtifactError(
+            f"{_describe_source(source)}: unreadable {what} artifact ({exc})"
+        ) from exc
+
+
+def _artifact_meta(arrays, source: ArtifactSource, expected_format: str, what: str) -> Dict:
+    """Decode and validate the ``__meta__`` entry of a model archive.
+
+    Raises :class:`ArtifactError` on a missing/corrupt metadata entry,
+    and :class:`ArtifactSchemaError` when the archive was written under a
+    different schema version than this build reads.
+    """
+    name = _describe_source(source)
+    try:
+        meta = json.loads(bytes(arrays["__meta__"]).decode())
+    except KeyError as exc:
+        raise ArtifactError(
+            f"{name}: truncated {what} artifact (no __meta__ entry)"
+        ) from exc
+    except (ValueError, zipfile.BadZipFile) as exc:
+        raise ArtifactError(f"{name}: corrupt {what} metadata ({exc})") from exc
+    if not isinstance(meta, dict) or meta.get("format") != expected_format:
+        raise ArtifactError(f"{name}: not a {what} artifact")
+    version = meta.get("version")
+    if version != _FORMAT_VERSION:
+        raise ArtifactSchemaError(
+            f"{name}: {what} artifact has schema version {version!r}, "
+            f"this build reads version {_FORMAT_VERSION}"
+        )
+    return meta
+
+
+def _rebuild_checked(meta: Dict, arrays, prefix: str, source: ArtifactSource, what: str) -> RandomForestRegressor:
+    """Rebuild one forest, typing truncation/corruption as ArtifactError."""
+    try:
+        return _rebuild_forest(meta, arrays, prefix)
+    except KeyError as exc:
+        raise ArtifactError(
+            f"{_describe_source(source)}: truncated {what} artifact "
+            f"(missing array {exc.args[0]!r})"
+        ) from exc
+    except (ValueError, zipfile.BadZipFile, TypeError) as exc:
+        raise ArtifactError(
+            f"{_describe_source(source)}: corrupt {what} artifact ({exc})"
+        ) from exc
+
+
 def save_forest(forest: RandomForestRegressor, path: PathLike) -> None:
     """Write a fitted :class:`RandomForestRegressor` to a ``.npz`` archive."""
     arrays = _forest_arrays(forest, "")
@@ -191,13 +258,16 @@ def save_forest(forest: RandomForestRegressor, path: PathLike) -> None:
     np.savez_compressed(path, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
 
 
-def load_forest(path: PathLike) -> RandomForestRegressor:
-    """Read a forest written by :func:`save_forest`."""
-    with np.load(path) as arrays:
-        meta = json.loads(bytes(arrays["__meta__"]).decode())
-        if meta.get("format") != "repro.random_forest":
-            raise DatasetError(f"{path}: not a repro random forest")
-        return _rebuild_forest(meta, arrays, "")
+def load_forest(source: ArtifactSource) -> RandomForestRegressor:
+    """Read a forest written by :func:`save_forest`.
+
+    Raises :class:`repro.errors.ArtifactError` (a :class:`DatasetError`)
+    on unreadable/truncated archives and :class:`ArtifactSchemaError` on
+    schema-version mismatch — never a bare ``KeyError``.
+    """
+    with _open_artifact(source, "random-forest") as arrays:
+        meta = _artifact_meta(arrays, source, "repro.random_forest", "random-forest")
+        return _rebuild_checked(meta, arrays, "", source, "random-forest")
 
 
 # ---------------------------------------------------------------------------
@@ -239,19 +309,32 @@ def save_domain_model(model: DomainSpecificModel, path: PathLike) -> None:
     np.savez_compressed(path, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
 
 
-def load_domain_model(path: PathLike) -> DomainSpecificModel:
-    """Read a model written by :func:`save_domain_model`."""
-    with np.load(path) as arrays:
-        meta = json.loads(bytes(arrays["__meta__"]).decode())
-        if meta.get("format") != "repro.domain_model":
-            raise DatasetError(f"{path}: not a repro domain model")
-        model = DomainSpecificModel(
-            tuple(meta["feature_names"]),
-            baseline_freq_mhz=float(meta["baseline_freq_mhz"]),
-        )
+def load_domain_model(source: ArtifactSource) -> DomainSpecificModel:
+    """Read a model written by :func:`save_domain_model`.
+
+    Raises :class:`repro.errors.ArtifactError` (a :class:`DatasetError`)
+    on unreadable/truncated archives and :class:`ArtifactSchemaError` on
+    schema-version mismatch — never a bare ``KeyError``.
+    """
+    with _open_artifact(source, "domain-model") as arrays:
+        meta = _artifact_meta(arrays, source, "repro.domain_model", "domain-model")
+        try:
+            feature_names = tuple(meta["feature_names"])
+            baseline = float(meta["baseline_freq_mhz"])
+            submodels = meta["submodels"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"{_describe_source(source)}: corrupt domain-model metadata ({exc!r})"
+            ) from exc
+        if not isinstance(submodels, list) or len(submodels) != len(_DS_PREFIXES):
+            raise ArtifactError(
+                f"{_describe_source(source)}: domain-model artifact must hold "
+                f"{len(_DS_PREFIXES)} submodels"
+            )
+        model = DomainSpecificModel(feature_names, baseline_freq_mhz=baseline)
         forests = [
-            _rebuild_forest(sm, arrays, prefix)
-            for prefix, sm in zip(_DS_PREFIXES, meta["submodels"])
+            _rebuild_checked(sm, arrays, prefix, source, "domain-model")
+            for prefix, sm in zip(_DS_PREFIXES, submodels)
         ]
     model._time_model, model._energy_model = forests[0], forests[1]
     model._speedup_model, model._norm_energy_model = forests[2], forests[3]

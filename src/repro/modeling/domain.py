@@ -209,3 +209,44 @@ class DomainSpecificModel:
             normalized_energies=self.predict_normalized_energy(features, freqs),
             baseline_freq_mhz=self.baseline_freq_mhz,
         )
+
+    def predict_tradeoff_batch(
+        self, features_batch: Sequence[Sequence[float]], freqs_mhz
+    ) -> list:
+        """Trade-off profiles for many inputs in one vectorized pass.
+
+        Stacks every request's design matrix and runs each of the four
+        regressors **once** over the combined matrix instead of once per
+        request — the serving layer's micro-batch fast path. Row-wise
+        prediction, ``exp`` and the clamping ``maximum`` are all
+        element-independent, so each returned
+        :class:`TradeoffPrediction` is bit-identical to what
+        :meth:`predict_tradeoff` would produce for that input alone.
+        """
+        self._check_fitted()
+        freqs = ensure_1d(freqs_mhz, "freqs_mhz")
+        batch = [tuple(float(v) for v in feats) for feats in features_batch]
+        if not batch:
+            return []
+        designs = [self._design(feats, freqs) for feats in batch]
+        X = np.vstack(designs)
+        bounds = np.cumsum([d.shape[0] for d in designs])[:-1]
+        times = np.split(np.exp(self._time_model.predict(X)), bounds)
+        energies = np.split(np.exp(self._energy_model.predict(X)), bounds)
+        speedups = np.split(
+            np.maximum(self._speedup_model.predict(X), 1e-9), bounds
+        )
+        norm_energies = np.split(
+            np.maximum(self._norm_energy_model.predict(X), 1e-9), bounds
+        )
+        return [
+            TradeoffPrediction(
+                freqs_mhz=freqs,
+                times_s=times[i],
+                energies_j=energies[i],
+                speedups=speedups[i],
+                normalized_energies=norm_energies[i],
+                baseline_freq_mhz=self.baseline_freq_mhz,
+            )
+            for i in range(len(batch))
+        ]

@@ -21,7 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.modeling.domain import TradeoffPrediction
-from repro.pareto.front import ParetoFront, extract_front
+from repro.pareto.front import ParetoFront, extract_front, half_bin_tolerance
 from repro.pareto.metrics import (
     exact_frequency_matches,
     frequency_match_fraction,
@@ -46,15 +46,16 @@ def achieved_points(
     application at the model-predicted Pareto frequencies — the paper's
     evaluation currency.
     """
-    speedups = []
-    energies = []
     sp = result.speedups()
     ne = result.normalized_energies()
-    for f in freqs_mhz:
-        idx = int(np.argmin(np.abs(result.freqs_mhz - float(f))))
-        speedups.append(sp[idx])
-        energies.append(ne[idx])
-    return np.array(speedups), np.array(energies)
+    req = np.asarray([float(f) for f in freqs_mhz], dtype=float)
+    if req.size == 0:
+        return np.empty(0), np.empty(0)
+    # One broadcast argmin over the (requests x sweep) distance matrix;
+    # row-wise argmin keeps the scalar loop's first-minimum tie-breaking,
+    # so the result is bit-identical to looking each frequency up alone.
+    idx = np.argmin(np.abs(req[:, None] - result.freqs_mhz[None, :]), axis=1)
+    return sp[idx], ne[idx]
 
 
 @dataclass(frozen=True)
@@ -83,9 +84,7 @@ def assess_pareto_prediction(
     front = true_front(measured)
     pred_freqs = prediction.pareto_frequencies()
     ach_sp, ach_ne = achieved_points(measured, pred_freqs)
-    tol = max(measured.freqs_mhz[1] - measured.freqs_mhz[0], 1.0) / 2 if len(
-        measured.freqs_mhz
-    ) > 1 else 1.0
+    tol = half_bin_tolerance(measured.freqs_mhz)
     return ParetoAssessment(
         predicted_freqs=pred_freqs,
         achieved_speedups=ach_sp,

@@ -7,7 +7,14 @@
   against the true front (paper §5.2.2)
 """
 
-from repro.pareto.front import ParetoFront, ParetoPoint, extract_front, pareto_mask
+from repro.pareto.front import (
+    DEFAULT_FREQ_TOL_MHZ,
+    ParetoFront,
+    ParetoPoint,
+    extract_front,
+    half_bin_tolerance,
+    pareto_mask,
+)
 from repro.pareto.metrics import (
     exact_frequency_matches,
     frequency_match_fraction,
@@ -17,8 +24,10 @@ from repro.pareto.metrics import (
 )
 
 __all__ = [
+    "DEFAULT_FREQ_TOL_MHZ",
     "ParetoFront",
     "ParetoPoint",
+    "half_bin_tolerance",
     "exact_frequency_matches",
     "extract_front",
     "frequency_match_fraction",

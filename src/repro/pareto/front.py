@@ -15,7 +15,38 @@ import numpy as np
 
 from repro.utils.validation import check_finite_array
 
-__all__ = ["ParetoPoint", "ParetoFront", "pareto_mask", "extract_front"]
+__all__ = [
+    "ParetoPoint",
+    "ParetoFront",
+    "pareto_mask",
+    "extract_front",
+    "half_bin_tolerance",
+    "DEFAULT_FREQ_TOL_MHZ",
+]
+
+#: Floor for frequency-matching tolerances: just over half the smallest
+#: realistic driver quantum, so two floats that snap onto the same bin
+#: always match while neighbouring bins of every modeled device (>= 7.5
+#: MHz spacing) never do.
+DEFAULT_FREQ_TOL_MHZ = 0.51
+
+
+def half_bin_tolerance(freqs_mhz, floor_mhz: float = DEFAULT_FREQ_TOL_MHZ) -> float:
+    """Frequency-matching tolerance derived from a sweep grid.
+
+    Half the median bin spacing of ``freqs_mhz``, floored at
+    ``floor_mhz``: a frequency within half a bin of a grid point would
+    snap onto it, anything further away belongs to a different bin. This
+    is the one shared definition used by Pareto-front membership
+    (:meth:`ParetoFront.contains_freq`), the §5.2.2 assessment and the
+    CLI — so "is this frequency on the front?" means the same thing
+    everywhere. A grid with fewer than two points has no spacing; the
+    tolerance falls back to 1 MHz.
+    """
+    fr = np.asarray(freqs_mhz, dtype=float).ravel()
+    if fr.size < 2:
+        return max(float(floor_mhz), 1.0)
+    return max(float(np.median(np.diff(np.sort(fr)))) / 2.0, float(floor_mhz))
 
 
 @dataclass(frozen=True)
@@ -98,8 +129,12 @@ class ParetoFront:
     def __iter__(self):
         return iter(self._points)
 
-    def contains_freq(self, freq_mhz: float, tol_mhz: float = 0.51) -> bool:
-        """True if a configuration with frequency ``freq_mhz`` is on the front."""
+    def contains_freq(self, freq_mhz: float, tol_mhz: float = DEFAULT_FREQ_TOL_MHZ) -> bool:
+        """True if a configuration with frequency ``freq_mhz`` is on the front.
+
+        Pass ``tol_mhz=half_bin_tolerance(grid)`` to match against a
+        specific sweep grid instead of the conservative default floor.
+        """
         if len(self._points) == 0:
             return False
         return bool(np.any(np.abs(self.freqs_mhz - float(freq_mhz)) <= tol_mhz))

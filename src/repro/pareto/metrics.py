@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.pareto.front import ParetoFront
+from repro.pareto.front import DEFAULT_FREQ_TOL_MHZ, ParetoFront
 from repro.utils.validation import check_finite_array
 
 __all__ = [
@@ -29,7 +29,9 @@ __all__ = [
 
 
 def exact_frequency_matches(
-    predicted_freqs: Sequence[float], true_front: ParetoFront, tol_mhz: float = 0.51
+    predicted_freqs: Sequence[float],
+    true_front: ParetoFront,
+    tol_mhz: float = DEFAULT_FREQ_TOL_MHZ,
 ) -> int:
     """Count predicted frequencies that lie on the true front.
 
@@ -41,7 +43,9 @@ def exact_frequency_matches(
 
 
 def frequency_match_fraction(
-    predicted_freqs: Sequence[float], true_front: ParetoFront, tol_mhz: float = 0.51
+    predicted_freqs: Sequence[float],
+    true_front: ParetoFront,
+    tol_mhz: float = DEFAULT_FREQ_TOL_MHZ,
 ) -> float:
     """Fraction of the true front's frequencies covered by the prediction."""
     if len(true_front) == 0:

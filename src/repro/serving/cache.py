@@ -1,0 +1,111 @@
+"""LRU advice cache for the advisor service.
+
+Keys are content hashes of ``(model digest, quantized features,
+frequency grid, objective)`` — the full identity of an advice
+computation — derived through the same canonical-JSON hashing the
+campaign cache uses (:func:`repro.runtime.seeding.stable_digest`).
+Because the advisor is a pure function of that tuple, a cache hit
+returns the *identical* advice the model would recompute, so caching can
+never change what a client observes — only how fast they observe it.
+
+Features are quantized before hashing: two requests whose features agree
+to one part in 10**9 would walk the same tree paths anyway, and
+quantization keeps float noise (e.g. a client re-deriving sizes through
+a different arithmetic order) from fragmenting the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.runtime.seeding import stable_digest
+from repro.serving.objectives import Advice, Objective
+
+__all__ = ["quantize_features", "advice_key", "PredictionCache"]
+
+#: Decimal places kept when quantizing feature values into cache keys.
+FEATURE_QUANTUM_DECIMALS = 9
+
+
+def quantize_features(features: Sequence[float]) -> Tuple[float, ...]:
+    """Round features to the cache quantum (also the in-batch dedup key)."""
+    return tuple(round(float(v), FEATURE_QUANTUM_DECIMALS) for v in features)
+
+
+def advice_key(
+    model_digest: str,
+    features: Sequence[float],
+    freqs_mhz: Sequence[float],
+    objective: Objective,
+) -> str:
+    """Content hash identifying one advice computation."""
+    return stable_digest(
+        {
+            "model": model_digest,
+            "features": list(quantize_features(features)),
+            "freqs_mhz": [float(f) for f in freqs_mhz],
+            "objective": objective,
+        }
+    )
+
+
+class PredictionCache:
+    """Thread-safe bounded LRU map from advice keys to :class:`Advice`.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses);
+    the service still works, just recomputes. Counters are owned here so
+    eviction behaviour is observable in the service stats report.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Advice]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Advice]:
+        """The cached advice for ``key``, or ``None`` (recency updated)."""
+        with self._lock:
+            advice = self._entries.get(key)
+            if advice is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return advice
+
+    def put(self, key: str, advice: Advice) -> None:
+        """Insert (or refresh) an entry, evicting the least-recent one."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = advice
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before any traffic)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict counter view (stats reports and tests)."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio(),
+        }

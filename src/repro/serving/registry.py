@@ -1,0 +1,354 @@
+"""Versioned, digest-validated model registry.
+
+The registry is the hand-off point between offline training (``repro
+train``) and online serving (``repro advise`` / ``repro serve``): a
+directory of immutable, versioned model artifacts, each described by a
+manifest recording what the model is *for* (application, feature names,
+baseline frequency, device-spec signature, training fingerprint) and
+what its bytes *are* (SHA-256). Discipline mirrors the campaign result
+cache (schema-versioned records, canonical-JSON self-digests, atomic
+tmp-file + ``os.replace`` writes) so a registry survives concurrent
+writers and bit rot the same way the cache does — and, critically, a
+tampered artifact is **never served**: ``resolve`` re-hashes the bytes
+before deserializing and raises :class:`ModelIntegrityError` on any
+mismatch.
+
+Layout::
+
+    <root>/<name>/v<version>/model.npz      # the .npz artifact bytes
+    <root>/<name>/v<version>/manifest.json  # schema, metadata, digests
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pathlib
+import re
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ModelIntegrityError, RegistryError, ReproError
+from repro.io.serialization import load_domain_model
+from repro.modeling.domain import DomainSpecificModel
+from repro.runtime.seeding import canonical_json, stable_digest
+
+__all__ = [
+    "REGISTRY_SCHEMA_VERSION",
+    "ModelManifest",
+    "VerifyReport",
+    "ModelRegistry",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when the manifest payload or verification semantics change;
+#: older manifests are rejected with a clear schema error.
+REGISTRY_SCHEMA_VERSION = 1
+
+_MANIFEST_FORMAT = "repro.model_manifest"
+_ARTIFACT_FILENAME = "model.npz"
+_MANIFEST_FILENAME = "manifest.json"
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write(path: pathlib.Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tmp file + rename (never torn)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # repro-lint: ignore[EXC001] — best-effort tmp cleanup while re-raising
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class ModelManifest:
+    """Everything the serving layer needs to know about one model version."""
+
+    name: str
+    version: int
+    app: str
+    feature_names: Tuple[str, ...]
+    baseline_freq_mhz: float
+    artifact_sha256: str
+    artifact_bytes: int
+    device_signature_digest: Optional[str] = None
+    train_fingerprint: Optional[str] = None
+
+    @property
+    def ref(self) -> str:
+        """Human-readable ``name:vN`` reference."""
+        return f"{self.name}:v{self.version}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON listings)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "app": self.app,
+            "feature_names": list(self.feature_names),
+            "baseline_freq_mhz": self.baseline_freq_mhz,
+            "artifact_sha256": self.artifact_sha256,
+            "artifact_bytes": self.artifact_bytes,
+            "device_signature_digest": self.device_signature_digest,
+            "train_fingerprint": self.train_fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ModelManifest":
+        """Inverse of :meth:`as_dict` (raises RegistryError on bad shape)."""
+        try:
+            return cls(
+                name=str(payload["name"]),
+                version=int(payload["version"]),
+                app=str(payload["app"]),
+                feature_names=tuple(str(n) for n in payload["feature_names"]),
+                baseline_freq_mhz=float(payload["baseline_freq_mhz"]),
+                artifact_sha256=str(payload["artifact_sha256"]),
+                artifact_bytes=int(payload["artifact_bytes"]),
+                device_signature_digest=payload.get("device_signature_digest"),
+                train_fingerprint=payload.get("train_fingerprint"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(f"malformed manifest payload ({exc!r})") from exc
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of verifying one registered model version."""
+
+    name: str
+    version: int
+    ok: bool
+    error: Optional[str] = None
+
+    @property
+    def ref(self) -> str:
+        """Human-readable ``name:vN`` reference."""
+        return f"{self.name}:v{self.version}"
+
+
+class ModelRegistry:
+    """Filesystem-backed registry of versioned domain models.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created (with parents) on first register.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_', '-'"
+            )
+        return name
+
+    def _version_dir(self, name: str, version: int) -> pathlib.Path:
+        return self.root / name / f"v{int(version)}"
+
+    def artifact_path(self, name: str, version: int) -> pathlib.Path:
+        """On-disk location of one version's ``.npz`` artifact."""
+        return self._version_dir(name, version) / _ARTIFACT_FILENAME
+
+    def manifest_path(self, name: str, version: int) -> pathlib.Path:
+        """On-disk location of one version's manifest."""
+        return self._version_dir(name, version) / _MANIFEST_FILENAME
+
+    def _versions(self, name: str) -> List[int]:
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        out = []
+        for entry in model_dir.iterdir():
+            if entry.is_dir() and re.fullmatch(r"v\d+", entry.name):
+                out.append(int(entry.name[1:]))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        model_path: PathLike,
+        name: str,
+        app: str = "unknown",
+        device_signature: Optional[Dict[str, Any]] = None,
+        train_fingerprint: Optional[str] = None,
+    ) -> ModelManifest:
+        """Copy a trained model artifact into the registry as a new version.
+
+        The artifact is deserialized once up front (so junk never enters
+        the registry — truncated/foreign files raise
+        :class:`repro.errors.ArtifactError` here, not at serving time),
+        then its exact bytes are stored with their SHA-256 in the
+        manifest. Versions auto-increment per name.
+        """
+        self._check_name(name)
+        src = pathlib.Path(model_path)
+        try:
+            data = src.read_bytes()
+        except OSError as exc:
+            raise RegistryError(f"cannot read model artifact {src}: {exc}") from exc
+        model = load_domain_model(io.BytesIO(data))
+
+        versions = self._versions(name)
+        version = (versions[-1] + 1) if versions else 1
+        manifest = ModelManifest(
+            name=name,
+            version=version,
+            app=app,
+            feature_names=model.feature_names,
+            baseline_freq_mhz=float(model.baseline_freq_mhz),
+            artifact_sha256=_sha256_hex(data),
+            artifact_bytes=len(data),
+            device_signature_digest=(
+                stable_digest(device_signature) if device_signature is not None else None
+            ),
+            train_fingerprint=train_fingerprint,
+        )
+        record = {
+            "format": _MANIFEST_FORMAT,
+            "schema": REGISTRY_SCHEMA_VERSION,
+            "manifest": manifest.as_dict(),
+            "digest": stable_digest(manifest.as_dict()),
+        }
+        _atomic_write(self.artifact_path(name, version), data)
+        _atomic_write(
+            self.manifest_path(name, version),
+            canonical_json(record).encode("utf-8"),
+        )
+        return manifest
+
+    def _read_manifest(self, name: str, version: int) -> ModelManifest:
+        path = self.manifest_path(name, version)
+        try:
+            record = json.loads(path.read_text())
+        except OSError as exc:
+            raise RegistryError(f"{name}:v{version}: manifest unreadable ({exc})") from exc
+        except ValueError as exc:
+            raise ModelIntegrityError(
+                f"{name}:v{version}: manifest is not valid JSON ({exc})"
+            ) from exc
+        if not isinstance(record, dict) or record.get("format") != _MANIFEST_FORMAT:
+            raise RegistryError(f"{name}:v{version}: not a model manifest")
+        if record.get("schema") != REGISTRY_SCHEMA_VERSION:
+            raise RegistryError(
+                f"{name}:v{version}: manifest schema {record.get('schema')!r} "
+                f"(this build reads {REGISTRY_SCHEMA_VERSION})"
+            )
+        payload = record.get("manifest")
+        if record.get("digest") != stable_digest(payload):
+            raise ModelIntegrityError(
+                f"{name}:v{version}: manifest digest mismatch (tampered or corrupt)"
+            )
+        manifest = ModelManifest.from_dict(payload)
+        if manifest.name != name or manifest.version != version:
+            raise ModelIntegrityError(
+                f"{name}:v{version}: manifest identifies itself as {manifest.ref}"
+            )
+        return manifest
+
+    def _resolve_version(self, name: str, version: Optional[int]) -> int:
+        versions = self._versions(name)
+        if not versions:
+            raise RegistryError(f"unknown model {name!r} (registry {self.root})")
+        if version is None:
+            return versions[-1]
+        if int(version) not in versions:
+            raise RegistryError(
+                f"model {name!r} has no version v{int(version)} "
+                f"(available: {', '.join(f'v{v}' for v in versions)})"
+            )
+        return int(version)
+
+    def manifest(self, name: str, version: Optional[int] = None) -> ModelManifest:
+        """The (digest-checked) manifest of one version (default: latest)."""
+        return self._read_manifest(name, self._resolve_version(name, version))
+
+    def list(self) -> List[ModelManifest]:
+        """Every registered (name, version), manifest-verified, sorted."""
+        out: List[ModelManifest] = []
+        if not self.root.is_dir():
+            return out
+        for model_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for version in self._versions(model_dir.name):
+                out.append(self._read_manifest(model_dir.name, version))
+        return out
+
+    def resolve(
+        self, name: str, version: Optional[int] = None
+    ) -> Tuple[DomainSpecificModel, ModelManifest]:
+        """Load one model version, verifying integrity end to end.
+
+        The artifact bytes are read once, re-hashed and compared against
+        the manifest before deserialization, so a flipped byte anywhere
+        in the artifact (or manifest) raises
+        :class:`ModelIntegrityError` — a tampered model is never served.
+        """
+        version = self._resolve_version(name, version)
+        manifest = self._read_manifest(name, version)
+        path = self.artifact_path(name, version)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise RegistryError(f"{manifest.ref}: artifact unreadable ({exc})") from exc
+        if _sha256_hex(data) != manifest.artifact_sha256:
+            raise ModelIntegrityError(
+                f"{manifest.ref}: artifact digest mismatch — refusing to serve "
+                "a tampered or corrupted model"
+            )
+        model = load_domain_model(io.BytesIO(data))
+        return model, manifest
+
+    def verify(
+        self, name: Optional[str] = None, version: Optional[int] = None
+    ) -> List[VerifyReport]:
+        """Integrity-check registered versions without serving them.
+
+        Returns one report per (name, version); ``ok=False`` entries
+        carry the failure reason. Verifying an empty registry returns an
+        empty list; an unknown explicit ``name`` raises.
+        """
+        if name is not None:
+            targets: List[Tuple[str, int]] = [
+                (name, self._resolve_version(name, version))
+            ]
+        else:
+            targets = []
+            if self.root.is_dir():
+                for model_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+                    for v in self._versions(model_dir.name):
+                        targets.append((model_dir.name, v))
+        reports: List[VerifyReport] = []
+        for target_name, target_version in targets:
+            try:
+                self.resolve(target_name, target_version)
+            except ReproError as exc:
+                reports.append(
+                    VerifyReport(target_name, target_version, ok=False, error=str(exc))
+                )
+            else:
+                reports.append(VerifyReport(target_name, target_version, ok=True))
+        return reports

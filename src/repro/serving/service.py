@@ -1,0 +1,275 @@
+"""The online frequency advisor: low-latency serving of a trained model.
+
+:class:`AdvisorService` answers ``advise(features, objective)`` requests
+from a registry-resolved :class:`~repro.modeling.domain.DomainSpecificModel`
+with three layers of machinery a bare model call lacks:
+
+1. an **LRU advice cache** keyed on (model digest, quantized features,
+   frequency grid, objective) — repeated traffic (the common case for a
+   deployed tuner fronting a job queue) short-circuits to a lookup;
+2. **micro-batching**: concurrent cache-missing requests are coalesced
+   into one vectorized pass through the model's
+   :meth:`~repro.modeling.domain.DomainSpecificModel.predict_tradeoff_batch`
+   (one stacked forest walk instead of one per request), with duplicate
+   feature tuples inside a batch sharing a single prediction;
+3. **service counters** (requests, batch sizes, cache hits, latency
+   reservoir percentiles) for the stats report.
+
+Determinism contract: batching and caching are *transparent*. The
+batched forest path is bit-identical to the scalar path and objectives
+are pure, so N worker threads issuing M requests receive advice
+bitwise-equal to a serial replay of the same stream — the property the
+serving test suite and load smoke enforce.
+
+The batching protocol is leader/follower: a cache-missing request
+enqueues itself; whoever finds no evaluation in flight drains the queue
+(up to ``max_batch``) and evaluates it while later arrivals pile up
+behind the next leader. No timers, no waiting for a batch to "fill" —
+batch sizes emerge from actual concurrency, and a serial caller always
+sees batch size 1.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError, ServingError
+from repro.modeling.domain import DomainSpecificModel
+from repro.serving.cache import PredictionCache, advice_key, quantize_features
+from repro.serving.objectives import Advice, Objective
+from repro.serving.registry import ModelManifest, ModelRegistry
+from repro.serving.stats import ServiceStats, now_s
+from repro.utils.validation import ensure_1d
+
+__all__ = ["AdvisorService"]
+
+
+class _Slot:
+    """One in-flight request waiting for its micro-batch to complete."""
+
+    __slots__ = ("key", "features", "objective", "result", "error", "done")
+
+    def __init__(self, key: str, features: Tuple[float, ...], objective: Objective):
+        self.key = key
+        self.features = features
+        self.objective = objective
+        self.result: Optional[Advice] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class AdvisorService:
+    """Thread-safe frequency-advice server over one model version.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`DomainSpecificModel`.
+    freqs_mhz:
+        The serving frequency grid every request is evaluated over
+        (typically the device table or a subsample of it).
+    model_digest:
+        Content digest identifying the model in cache keys — use the
+        registry manifest's ``artifact_sha256``. Distinct models must
+        have distinct digests or their cached advice would collide.
+    max_batch:
+        Upper bound on requests coalesced into one vectorized pass.
+    cache_size:
+        LRU advice-cache capacity (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        model: DomainSpecificModel,
+        freqs_mhz: Sequence[float],
+        model_digest: str = "unregistered",
+        max_batch: int = 16,
+        cache_size: int = 2048,
+        manifest: Optional[ModelManifest] = None,
+    ) -> None:
+        self.model = model
+        freqs = ensure_1d(freqs_mhz, "freqs_mhz")
+        if freqs.size == 0:
+            raise ServingError("serving frequency grid must be non-empty")
+        self.freqs_mhz = freqs
+        self.model_digest = str(model_digest)
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+        self.manifest = manifest
+        self.cache = PredictionCache(cache_size)
+        self.stats = ServiceStats()
+        self._cond = threading.Condition()
+        self._busy = False
+        self._pending: List[_Slot] = []
+
+    # ------------------------------------------------------------------
+    # construction from a registry
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(
+        cls,
+        registry: ModelRegistry,
+        name: str,
+        freqs_mhz: Sequence[float],
+        version: Optional[int] = None,
+        max_batch: int = 16,
+        cache_size: int = 2048,
+    ) -> "AdvisorService":
+        """Resolve (integrity-verified) a registered model and serve it."""
+        model, manifest = registry.resolve(name, version)
+        return cls(
+            model,
+            freqs_mhz,
+            model_digest=manifest.artifact_sha256,
+            max_batch=max_batch,
+            cache_size=cache_size,
+            manifest=manifest,
+        )
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def advise(self, features: Sequence[float], objective: Optional[Objective] = None) -> Advice:
+        """Recommend a frequency for one input under an objective.
+
+        Safe to call from any number of threads; the answer for a given
+        (features, objective) is identical whatever the interleaving.
+        Raises :class:`ServingError` for infeasible objectives.
+        """
+        t0 = now_s()
+        if objective is None:
+            objective = Objective.tradeoff()
+        feats = quantize_features(features)
+        if len(feats) != len(self.model.feature_names):
+            raise ServingError(
+                f"expected {len(self.model.feature_names)} features "
+                f"{self.model.feature_names}, got {len(feats)}"
+            )
+        key = advice_key(self.model_digest, feats, self.freqs_mhz, objective)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            with self._cond:
+                self.stats.requests += 1
+                self.stats.cache_hits += 1
+            self.stats.latency.observe(now_s() - t0)
+            return cached
+
+        slot = _Slot(key, feats, objective)
+        with self._cond:
+            self._pending.append(slot)
+        # Leader/follower loop. A leader drains the *oldest* pending slots,
+        # which may not include its own when max_batch older requests are
+        # queued ahead of it — so after serving a batch it loops back until
+        # its own slot has been evaluated (by itself or another leader).
+        while True:
+            batch: Optional[List[_Slot]] = None
+            with self._cond:
+                while True:
+                    if slot.done:
+                        break
+                    if not self._busy:
+                        # Become the leader: take the oldest pending slots
+                        # (up to max_batch) and evaluate them outside the
+                        # lock while later arrivals queue behind us.
+                        self._busy = True
+                        batch = self._pending[: self.max_batch]
+                        del self._pending[: self.max_batch]
+                        break
+                    self._cond.wait()
+            if batch is None:
+                break  # our slot is done
+            try:
+                self._evaluate_batch(batch)
+            finally:
+                with self._cond:
+                    self._busy = False
+                    self._cond.notify_all()
+            if slot.done:
+                break
+
+        with self._cond:
+            self.stats.requests += 1
+            if slot.error is not None:
+                self.stats.errors += 1
+        self.stats.latency.observe(now_s() - t0)
+        if slot.error is not None:
+            raise slot.error
+        assert slot.result is not None
+        return slot.result
+
+    def advise_many(
+        self,
+        requests: Sequence[Tuple[Sequence[float], Optional[Objective]]],
+    ) -> List[Advice]:
+        """Serve a request list serially, in order (convenience path)."""
+        return [self.advise(feats, obj) for feats, obj in requests]
+
+    # ------------------------------------------------------------------
+    # batch evaluation (leader only)
+    # ------------------------------------------------------------------
+    def _evaluate_batch(self, batch: List[_Slot]) -> None:
+        """Predict once per distinct feature tuple, advise every slot.
+
+        Every slot in the batch is *always* marked done — even when the
+        model itself raises — so follower threads can never be stranded
+        waiting on a batch that died.
+        """
+        groups: Dict[Tuple[float, ...], List[_Slot]] = {}
+        for slot in batch:
+            groups.setdefault(slot.features, []).append(slot)
+        feature_groups = list(groups)
+        try:
+            predictions = self.model.predict_tradeoff_batch(
+                feature_groups, self.freqs_mhz
+            )
+        except BaseException as exc:
+            with self._cond:
+                for slot in batch:
+                    slot.error = exc
+                    slot.done = True
+            return
+        for feats, prediction in zip(feature_groups, predictions):
+            for slot in groups[feats]:
+                try:
+                    slot.result = slot.objective.evaluate(prediction)
+                except ReproError as exc:
+                    slot.error = exc
+                else:
+                    self.cache.put(slot.key, slot.result)
+        with self._cond:
+            self.stats.batches += 1
+            self.stats.batch_size_sum += len(batch)
+            self.stats.batch_size_max = max(self.stats.batch_size_max, len(batch))
+            self.stats.coalesced += len(batch) - len(feature_groups)
+            self.stats.predictions_computed += len(feature_groups)
+            self.stats.evaluated += len(batch)
+            for slot in batch:
+                slot.done = True
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable stats summary including cache counters."""
+        title = "serving stats"
+        if self.manifest is not None:
+            title = f"serving stats — {self.manifest.ref} ({self.manifest.app})"
+        return self.stats.report(title, cache=self.cache.as_dict())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable stats + cache snapshot (benchmarks, CI)."""
+        record: Dict[str, object] = {
+            "model_digest": self.model_digest,
+            "freq_grid_points": int(self.freqs_mhz.size),
+            "max_batch": self.max_batch,
+            "stats": self.stats.as_dict(),
+            "cache": self.cache.as_dict(),
+        }
+        if self.manifest is not None:
+            record["model"] = self.manifest.as_dict()
+        return record

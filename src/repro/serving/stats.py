@@ -1,0 +1,155 @@
+"""Service-level counters and latency accounting for the advisor.
+
+Latency percentiles come from a fixed-size uniform **reservoir**
+(Vitter's algorithm R) rather than an unbounded sample list: a service
+meant to absorb heavy traffic cannot keep one float per request, and a
+uniform reservoir gives unbiased p50/p95/p99 estimates at O(1) memory.
+The reservoir's replacement draws come from a seeded generator so a
+replayed request stream produces a reproducible stats report.
+
+Wall-clock reads live here (and only here) on the serving layer: they
+time the *harness serving requests*, never a simulated measurement, so
+each carries an explicit TIM001 pragma like the campaign CLI's run
+summary does.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["LatencyReservoir", "ServiceStats", "now_s"]
+
+
+def now_s() -> float:
+    """Monotonic wall-clock read for request latency timing."""
+    return time.perf_counter()  # repro-lint: ignore[TIM001] — harness latency, not simulated time
+
+
+class LatencyReservoir:
+    """Uniform fixed-size sample of observed request latencies.
+
+    Thread-safe; ``observe`` is O(1). With ``capacity`` samples retained
+    out of ``seen`` observations, every observation has equal probability
+    ``capacity / seen`` of being in the reservoir (algorithm R), so
+    percentiles computed over the reservoir estimate the full stream's.
+    """
+
+    def __init__(self, capacity: int = 512, seed: RandomState = 0) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._rng = as_generator(seed)
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+        self.seen = 0
+
+    def observe(self, latency_s: float) -> None:
+        """Record one latency observation."""
+        value = float(latency_s)
+        with self._lock:
+            self.seen += 1
+            if len(self._samples) < self.capacity:
+                self._samples.append(value)
+                return
+            slot = int(self._rng.integers(0, self.seen))
+            if slot < self.capacity:
+                self._samples[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile in seconds (NaN before traffic)."""
+        with self._lock:
+            if not self._samples:
+                return float("nan")
+            return float(np.percentile(self._samples, q))
+
+    def snapshot(self) -> Dict[str, float]:
+        """p50/p95/p99/max over the current reservoir (seconds)."""
+        with self._lock:
+            if not self._samples:
+                nan = float("nan")
+                return {"p50_s": nan, "p95_s": nan, "p99_s": nan, "max_s": nan}
+            arr = np.asarray(self._samples)
+        p50, p95, p99 = (float(np.percentile(arr, q)) for q in (50, 95, 99))
+        return {"p50_s": p50, "p95_s": p95, "p99_s": p99, "max_s": float(arr.max())}
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters for one :class:`~repro.serving.AdvisorService`.
+
+    Mutated only under the service's internal locks; read freely.
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    #: Requests answered by a model evaluation (their key missed the cache).
+    evaluated: int = 0
+    #: Micro-batches executed (a serial caller sees batches of size 1).
+    batches: int = 0
+    batch_size_max: int = 0
+    batch_size_sum: int = 0
+    #: Requests that shared another in-flight request's prediction
+    #: because their quantized features coincided inside one batch.
+    coalesced: int = 0
+    #: Distinct (features, grid) profiles actually predicted.
+    predictions_computed: int = 0
+    #: Requests that ended in a ServingError (e.g. infeasible objective).
+    errors: int = 0
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+
+    def cache_hit_ratio(self) -> float:
+        """Cache hits over all requests (0.0 before any traffic)."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def mean_batch_size(self) -> float:
+        """Average micro-batch size (0.0 before any batch ran)."""
+        return self.batch_size_sum / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON reports, benchmarks, tests)."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_hit_ratio": self.cache_hit_ratio(),
+            "evaluated": self.evaluated,
+            "batches": self.batches,
+            "batch_size_max": self.batch_size_max,
+            "mean_batch_size": self.mean_batch_size(),
+            "coalesced": self.coalesced,
+            "predictions_computed": self.predictions_computed,
+            "errors": self.errors,
+            "latency": self.latency.snapshot(),
+        }
+
+    def report(self, title: str = "serving stats", cache: Optional[Dict[str, Any]] = None) -> str:
+        """Multi-line human-readable summary (CLI ``repro serve`` output)."""
+        lat = self.latency.snapshot()
+
+        def _ms(value: float) -> str:
+            return "n/a" if np.isnan(value) else f"{value * 1e3:.3f} ms"
+
+        lines = [
+            title,
+            f"  requests           : {self.requests}",
+            f"  cache hits         : {self.cache_hits} ({self.cache_hit_ratio():.1%})",
+            f"  evaluated          : {self.evaluated}",
+            f"  batches            : {self.batches} "
+            f"(mean {self.mean_batch_size():.2f}, max {self.batch_size_max})",
+            f"  coalesced          : {self.coalesced}",
+            f"  predictions        : {self.predictions_computed}",
+            f"  errors             : {self.errors}",
+            f"  latency p50/p95/p99: {_ms(lat['p50_s'])} / {_ms(lat['p95_s'])} / {_ms(lat['p99_s'])}",
+        ]
+        if cache is not None:
+            lines.append(
+                f"  cache entries      : {cache['entries']}/{cache['capacity']} "
+                f"({cache['evictions']} evicted)"
+            )
+        return "\n".join(lines)

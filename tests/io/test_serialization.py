@@ -137,3 +137,115 @@ class TestDomainModelRoundtrip:
         model.fit(make_dataset())
         with pytest.raises(DatasetError):
             save_domain_model(model, tmp_path / "m.npz")
+
+
+def _rewrite_npz(path, mutate):
+    """Round-trip an .npz through a dict, applying ``mutate(arrays)``."""
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files}
+    mutate(arrays)
+    np.savez(path, **arrays)
+
+
+class TestArtifactErrors:
+    """Corrupt artifacts raise typed errors, not raw KeyError/zipfile noise.
+
+    ``ArtifactError`` subclasses ``DatasetError``, so older callers
+    catching DatasetError keep working; new callers can be precise.
+    """
+
+    @pytest.fixture
+    def model_path(self, tmp_path):
+        model = DomainSpecificModel(
+            ("size",),
+            regressor_factory=lambda: RandomForestRegressor(
+                n_estimators=4, random_state=0
+            ),
+        ).fit(make_dataset())
+        path = tmp_path / "model.npz"
+        save_domain_model(model, path)
+        return path
+
+    def test_artifact_error_is_dataset_error(self):
+        from repro.errors import ArtifactError, ArtifactSchemaError, DatasetError
+
+        assert issubclass(ArtifactError, DatasetError)
+        assert issubclass(ArtifactSchemaError, ArtifactError)
+
+    def test_truncated_model_raises_artifact_error(self, model_path):
+        from repro.errors import ArtifactError
+
+        data = model_path.read_bytes()
+        model_path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ArtifactError, match="unreadable domain-model artifact"):
+            load_domain_model(model_path)
+
+    def test_garbage_bytes_raise_artifact_error(self, tmp_path):
+        from repro.errors import ArtifactError
+
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"\x00\x01\x02 definitely not a zip")
+        with pytest.raises(ArtifactError):
+            load_domain_model(path)
+
+    def test_missing_array_raises_artifact_error(self, model_path):
+        from repro.errors import ArtifactError
+
+        def drop_one(arrays):
+            victim = next(k for k in arrays if k != "__meta__")
+            del arrays[victim]
+
+        _rewrite_npz(model_path, drop_one)
+        with pytest.raises(ArtifactError, match="missing array"):
+            load_domain_model(model_path)
+
+    def test_schema_version_mismatch_raises_schema_error(self, model_path):
+        import json as _json
+
+        from repro.errors import ArtifactSchemaError
+
+        def bump_version(arrays):
+            meta = _json.loads(bytes(arrays["__meta__"].tobytes()).decode())
+            meta["version"] = 999
+            arrays["__meta__"] = np.frombuffer(
+                _json.dumps(meta).encode(), dtype=np.uint8
+            )
+
+        _rewrite_npz(model_path, bump_version)
+        with pytest.raises(ArtifactSchemaError, match="schema version 999"):
+            load_domain_model(model_path)
+
+    def test_forest_schema_version_mismatch(self, tmp_path):
+        import json as _json
+
+        from repro.errors import ArtifactSchemaError
+
+        forest = RandomForestRegressor(n_estimators=3, random_state=0)
+        ds = make_dataset()
+        forest.fit(ds.X(), ds.y_time())
+        path = tmp_path / "forest.npz"
+        save_forest(forest, path)
+
+        def bump_version(arrays):
+            meta = _json.loads(bytes(arrays["__meta__"].tobytes()).decode())
+            meta["version"] = 999
+            arrays["__meta__"] = np.frombuffer(
+                _json.dumps(meta).encode(), dtype=np.uint8
+            )
+
+        _rewrite_npz(path, bump_version)
+        with pytest.raises(ArtifactSchemaError):
+            load_forest(path)
+
+    def test_file_like_source_loads(self, model_path):
+        import io as _io
+
+        model = load_domain_model(_io.BytesIO(model_path.read_bytes()))
+        assert model.feature_names == ("size",)
+
+    def test_missing_meta_raises_artifact_error(self, model_path):
+        from repro.errors import ArtifactError
+
+        _rewrite_npz(model_path, lambda arrays: arrays.pop("__meta__"))
+        with pytest.raises(ArtifactError, match="no __meta__ entry"):
+            load_domain_model(model_path)

@@ -112,3 +112,42 @@ class TestAssessment:
         pred = prediction([900.0, 1282.0], [0.7, 1.0], [0.85, 1.0])
         a = assess_pareto_prediction(pred, measured)
         assert a.n_predicted == len(pred.pareto_frequencies())
+
+
+class TestAchievedPointsVectorized:
+    """The broadcast-argmin path must match the obvious per-frequency loop."""
+
+    def _reference(self, result, freqs_mhz):
+        sp_all = result.speedups()
+        ne_all = result.normalized_energies()
+        sp, ne = [], []
+        for f in freqs_mhz:
+            idx = int(np.argmin(np.abs(result.freqs_mhz - float(f))))
+            sp.append(sp_all[idx])
+            ne.append(ne_all[idx])
+        return np.asarray(sp), np.asarray(ne)
+
+    def test_bitwise_equal_to_reference_loop(self, measured):
+        requested = [500.0, 905.0, 1282.0, 1597.0, 2000.0, 600.0, 600.0]
+        sp, ne = achieved_points(measured, requested)
+        want_sp, want_ne = self._reference(measured, requested)
+        assert np.array_equal(sp, want_sp)
+        assert np.array_equal(ne, want_ne)
+
+    def test_dense_random_requests(self, measured):
+        rng = np.random.default_rng(5)
+        requested = rng.uniform(100.0, 2000.0, 200)
+        sp, ne = achieved_points(measured, requested)
+        want_sp, want_ne = self._reference(measured, requested)
+        assert np.array_equal(sp, want_sp)
+        assert np.array_equal(ne, want_ne)
+
+    def test_empty_request_list(self, measured):
+        sp, ne = achieved_points(measured, [])
+        assert sp.shape == (0,)
+        assert ne.shape == (0,)
+
+    def test_tie_breaks_to_first_grid_point(self, measured):
+        # 750 is equidistant from 600 and 900; argmin takes the first.
+        sp, _ = achieved_points(measured, [750.0])
+        assert sp[0] == measured.speedups()[0]

@@ -102,3 +102,48 @@ class TestExtractFront:
                 (sp > p.speedup) & (en <= p.energy)
             )
             assert not dominated
+
+
+class TestHalfBinTolerance:
+    """The shared frequency-snapping tolerance (predictor + CLI + metrics)."""
+
+    def test_half_median_step(self):
+        from repro.pareto.front import half_bin_tolerance
+
+        assert half_bin_tolerance([100.0, 110.0, 120.0, 130.0]) == 5.0
+
+    def test_unsorted_and_uneven_grids_use_median(self):
+        from repro.pareto.front import half_bin_tolerance
+
+        # steps 10, 10, 100 -> median 10 -> tol 5
+        assert half_bin_tolerance([130.0, 110.0, 100.0, 120.0, 220.0]) == 5.0
+
+    def test_floor_for_sub_mhz_grids(self):
+        from repro.pareto.front import DEFAULT_FREQ_TOL_MHZ, half_bin_tolerance
+
+        assert half_bin_tolerance([100.0, 100.5, 101.0]) == DEFAULT_FREQ_TOL_MHZ
+
+    def test_degenerate_grids_fall_back(self):
+        from repro.pareto.front import half_bin_tolerance
+
+        assert half_bin_tolerance([1000.0]) == 1.0
+        assert half_bin_tolerance([]) == 1.0
+
+    def test_boundary_membership(self):
+        from repro.pareto.front import half_bin_tolerance
+
+        freqs = [800.0, 810.0, 820.0]
+        front = extract_front([0.8, 1.0, 1.2], [0.7, 0.9, 1.3], freqs)
+        tol = half_bin_tolerance(freqs)
+        assert tol == 5.0
+        assert front.contains_freq(815.0, tol_mhz=tol)      # exactly half a bin
+        assert not front.contains_freq(803.0, tol_mhz=2.9)  # just outside
+        assert front.contains_freq(805.0, tol_mhz=tol)
+
+    def test_default_tolerance_constant(self):
+        from repro.pareto.front import DEFAULT_FREQ_TOL_MHZ
+
+        assert DEFAULT_FREQ_TOL_MHZ == 0.51
+        front = extract_front([1.0], [1.0], [1000.0])
+        assert front.contains_freq(1000.5)       # within the default 0.51
+        assert not front.contains_freq(1000.52)  # beyond it

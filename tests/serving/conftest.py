@@ -1,0 +1,64 @@
+"""Serving-suite fixtures: a fast analytic model, saved and registered.
+
+The model is fitted on the same analytic workload the domain-model unit
+tests use (t = size/f, e = size * (20 + f/100)) so the whole suite runs
+in seconds; serving behaviour does not depend on what the model learned,
+only that it is a real fitted :class:`DomainSpecificModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import save_domain_model
+from repro.ml.forest import RandomForestRegressor
+from repro.modeling.dataset import EnergyDataset, EnergySample
+from repro.modeling.domain import DomainSpecificModel
+from repro.serving import ModelRegistry
+
+TRAIN_FREQS = (400.0, 700.0, 1000.0, 1282.0, 1500.0)
+SERVE_FREQS = np.linspace(400.0, 1500.0, 12)
+
+
+def synthetic_dataset(baseline: float = 1282.0) -> EnergyDataset:
+    """Analytic workload: t = size/f, e = size * (20 + f/100)."""
+    ds = EnergyDataset(feature_names=("size",))
+    for size in (1.0, 2.0, 4.0, 8.0, 16.0):
+        for f in TRAIN_FREQS:
+            ds.add(
+                EnergySample(
+                    features=(size,),
+                    freq_mhz=f,
+                    time_s=size * 1000.0 / f,
+                    energy_j=size * (20.0 + f / 100.0),
+                )
+            )
+    return ds
+
+
+@pytest.fixture(scope="session")
+def fitted_model() -> DomainSpecificModel:
+    """One fitted model shared read-only by the whole serving suite."""
+    model = DomainSpecificModel(
+        ("size",),
+        regressor_factory=lambda: RandomForestRegressor(n_estimators=8, random_state=0),
+        baseline_freq_mhz=1282.0,
+    )
+    return model.fit(synthetic_dataset())
+
+
+@pytest.fixture
+def model_file(fitted_model, tmp_path):
+    """The fitted model saved as a fresh .npz artifact."""
+    path = tmp_path / "model.npz"
+    save_domain_model(fitted_model, path)
+    return path
+
+
+@pytest.fixture
+def registry(model_file, tmp_path) -> ModelRegistry:
+    """A registry with the fitted model registered as ``toy:v1``."""
+    reg = ModelRegistry(tmp_path / "registry")
+    reg.register(model_file, "toy", app="synthetic")
+    return reg

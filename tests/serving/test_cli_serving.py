@@ -1,0 +1,175 @@
+"""CLI tests for ``repro registry``, ``repro advise`` and ``repro serve``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def registry_root(registry):
+    """The conftest registry's directory, as the CLI --root argument."""
+    return str(registry.root)
+
+
+class TestRegistryAdd:
+    def test_registers_and_reports_ref(self, model_file, tmp_path, capsys):
+        root = tmp_path / "fresh-registry"
+        rc = main(
+            ["registry", "add", "--root", str(root),
+             "--model", str(model_file), "--name", "toy", "--app", "synthetic"]
+        )
+        assert rc == 0
+        assert "registered toy:v1" in capsys.readouterr().out
+
+    def test_device_signature_recorded(self, model_file, tmp_path, capsys):
+        root = tmp_path / "reg"
+        rc = main(
+            ["registry", "add", "--root", str(root),
+             "--model", str(model_file), "--name", "toy", "--device", "v100"]
+        )
+        assert rc == 0
+        capsys.readouterr()  # drain the add output
+        assert main(["registry", "list", "--root", str(root), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["device_signature_digest"]
+
+    def test_bad_model_path_is_clean_error(self, tmp_path, capsys):
+        rc = main(
+            ["registry", "add", "--root", str(tmp_path / "reg"),
+             "--model", str(tmp_path / "missing.npz"), "--name", "toy"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRegistryList:
+    def test_text_listing(self, registry_root, capsys):
+        rc = main(["registry", "list", "--root", registry_root])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "toy:v1" in out
+        assert "app=synthetic" in out
+
+    def test_json_listing(self, registry_root, capsys):
+        rc = main(["registry", "list", "--root", registry_root, "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["name"] == "toy"
+        assert payload[0]["version"] == 1
+
+    def test_empty_registry(self, tmp_path, capsys):
+        rc = main(["registry", "list", "--root", str(tmp_path / "empty")])
+        assert rc == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestRegistryVerify:
+    def test_clean_registry_passes(self, registry_root, capsys):
+        rc = main(["registry", "verify", "--root", registry_root])
+        assert rc == 0
+        assert "toy:v1: ok" in capsys.readouterr().out
+
+    def test_flipped_byte_fails_with_exit_1(self, registry, capsys):
+        artifact = registry.artifact_path("toy", 1)
+        data = bytearray(artifact.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        artifact.write_bytes(bytes(data))
+        rc = main(["registry", "verify", "--root", str(registry.root)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAILED" in captured.out
+        assert "digest mismatch" in captured.out
+
+    def test_empty_registry_is_not_a_failure(self, tmp_path, capsys):
+        rc = main(["registry", "verify", "--root", str(tmp_path / "empty")])
+        assert rc == 0
+        assert "nothing to verify" in capsys.readouterr().out
+
+
+class TestAdvise:
+    def test_tradeoff_advice(self, registry_root, capsys):
+        rc = main(
+            ["advise", "--registry", registry_root, "--name", "toy",
+             "--features", "4.0",
+             "--freq-min", "400", "--freq-max", "1500", "--freq-points", "12"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "model: toy:v1" in out
+        assert "advice: run at" in out
+
+    def test_deadline_objective(self, registry_root, capsys):
+        rc = main(
+            ["advise", "--registry", registry_root, "--name", "toy",
+             "--features", "4.0", "--objective", "min_energy_deadline",
+             "--deadline-s", "1e6",
+             "--freq-min", "400", "--freq-max", "1500", "--freq-points", "12"]
+        )
+        assert rc == 0
+        assert "deadline" in capsys.readouterr().out
+
+    def test_infeasible_deadline_is_clean_error(self, registry_root, capsys):
+        rc = main(
+            ["advise", "--registry", registry_root, "--name", "toy",
+             "--features", "4.0", "--objective", "min_energy_deadline",
+             "--deadline-s", "1e-9",
+             "--freq-min", "400", "--freq-max", "1500", "--freq-points", "12"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error:" in captured.err
+        assert "deadline" in captured.err
+
+    def test_missing_objective_parameter(self, registry_root, capsys):
+        rc = main(
+            ["advise", "--registry", registry_root, "--name", "toy",
+             "--features", "4.0", "--objective", "max_speedup_power"]
+        )
+        assert rc == 1
+        assert "requires power_w" in capsys.readouterr().err
+
+    def test_unknown_model_is_clean_error(self, registry_root, capsys):
+        rc = main(
+            ["advise", "--registry", registry_root, "--name", "ghost",
+             "--features", "4.0"]
+        )
+        assert rc == 1
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_load_run_prints_stats(self, registry_root, capsys):
+        rc = main(
+            ["serve", "--registry", registry_root, "--name", "toy",
+             "--requests", "60", "--workers", "4", "--seed", "0",
+             "--freq-min", "400", "--freq-max", "1500", "--freq-points", "12"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serving 60 requests to toy:v1" in out
+        assert "cache hits" in out
+        assert "latency p50/p95/p99" in out
+
+    def test_explicit_base_features(self, registry_root, capsys):
+        rc = main(
+            ["serve", "--registry", registry_root, "--name", "toy",
+             "--requests", "10", "--workers", "1", "--features", "8.0",
+             "--freq-min", "400", "--freq-max", "1500", "--freq-points", "12"]
+        )
+        assert rc == 0
+        assert "serving stats" in capsys.readouterr().out
+
+    def test_tampered_model_never_serves(self, registry, capsys):
+        artifact = registry.artifact_path("toy", 1)
+        data = bytearray(artifact.read_bytes())
+        data[10] ^= 0xFF
+        artifact.write_bytes(bytes(data))
+        rc = main(
+            ["serve", "--registry", str(registry.root), "--name", "toy",
+             "--requests", "10", "--workers", "1"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "refusing to serve" in captured.err

@@ -1,0 +1,212 @@
+"""Unit + concurrency tests for the AdvisorService.
+
+The load-bearing assertions are the determinism contracts: batched
+forest inference is bitwise-equal to scalar inference, and N worker
+threads produce advice bitwise-equal to a serial replay of the same
+request stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    AdvisorService,
+    Objective,
+    PredictionCache,
+    run_load,
+    synthetic_feature_pool,
+    synthetic_requests,
+)
+
+from .conftest import SERVE_FREQS
+
+
+@pytest.fixture
+def service(fitted_model):
+    return AdvisorService(fitted_model, SERVE_FREQS, model_digest="test-digest")
+
+
+class TestBasics:
+    def test_serial_advise(self, service):
+        advice = service.advise([4.0])
+        assert advice.objective == "tradeoff"
+        assert advice.freq_mhz in [float(f) for f in SERVE_FREQS]
+        assert service.stats.requests == 1
+        assert service.stats.batches == 1
+        assert service.stats.batch_size_max == 1
+
+    def test_matches_direct_model_call(self, service, fitted_model):
+        advice = service.advise([4.0], Objective.tradeoff())
+        prediction = fitted_model.predict_tradeoff([4.0], SERVE_FREQS)
+        assert advice == Objective.tradeoff().evaluate(prediction)
+
+    def test_wrong_arity_rejected(self, service):
+        with pytest.raises(ServingError, match="expected 1 features"):
+            service.advise([1.0, 2.0])
+
+    def test_empty_grid_rejected(self, fitted_model):
+        with pytest.raises(ServingError, match="non-empty"):
+            AdvisorService(fitted_model, [])
+
+    def test_bad_max_batch_rejected(self, fitted_model):
+        with pytest.raises(ServingError, match="max_batch"):
+            AdvisorService(fitted_model, SERVE_FREQS, max_batch=0)
+
+    def test_advise_many_in_order(self, service):
+        pool = synthetic_feature_pool([4.0], 3)
+        advice = service.advise_many([(f, None) for f in pool])
+        assert [a.freq_mhz for a in advice] == [
+            service.advise(f).freq_mhz for f in pool
+        ]
+
+
+class TestCache:
+    def test_repeat_request_hits(self, service):
+        first = service.advise([4.0])
+        second = service.advise([4.0])
+        assert first == second
+        assert service.stats.cache_hits == 1
+        assert service.stats.evaluated == 1
+
+    def test_distinct_objectives_do_not_collide(self, service):
+        a = service.advise([4.0], Objective.tradeoff())
+        b = service.advise([4.0], Objective.max_speedup_power(1e9))
+        assert service.stats.cache_hits == 0
+        assert a.objective != b.objective
+
+    def test_distinct_model_digests_do_not_collide(self):
+        from repro.serving import advice_key
+
+        k1 = advice_key("one", [4.0], SERVE_FREQS, Objective.tradeoff())
+        k2 = advice_key("two", [4.0], SERVE_FREQS, Objective.tradeoff())
+        assert k1 != k2
+
+    def test_cache_disabled_still_correct(self, fitted_model):
+        cached = AdvisorService(fitted_model, SERVE_FREQS, model_digest="d")
+        uncached = AdvisorService(
+            fitted_model, SERVE_FREQS, model_digest="d", cache_size=0
+        )
+        assert cached.advise([4.0]) == uncached.advise([4.0])
+        assert uncached.advise([4.0]) == uncached.advise([4.0])
+        assert uncached.stats.cache_hits == 0
+        assert uncached.stats.evaluated == 3  # every request recomputed
+
+    def test_feature_quantization_collapses_float_noise(self, service):
+        service.advise([4.0])
+        service.advise([4.0 + 1e-13])
+        assert service.stats.cache_hits == 1
+
+    def test_lru_eviction_bound(self):
+        cache = PredictionCache(capacity=2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", "C")
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.evictions == 1
+
+
+class TestErrors:
+    def test_infeasible_objective_raises(self, service):
+        with pytest.raises(ServingError, match="deadline"):
+            service.advise([4.0], Objective.min_energy_deadline(1e-9))
+        assert service.stats.errors == 1
+
+    def test_errors_are_not_cached(self, service):
+        for _ in range(2):
+            with pytest.raises(ServingError):
+                service.advise([4.0], Objective.min_energy_deadline(1e-9))
+        assert service.stats.errors == 2
+        assert service.stats.cache_hits == 0
+
+    def test_error_does_not_poison_later_requests(self, service):
+        with pytest.raises(ServingError):
+            service.advise([4.0], Objective.min_energy_deadline(1e-9))
+        advice = service.advise([4.0])
+        assert advice.objective == "tradeoff"
+
+
+class TestConcurrency:
+    def test_concurrent_equals_serial_bitwise(self, fitted_model):
+        requests = synthetic_requests(
+            [4.0],
+            120,
+            pool_size=6,
+            objectives=[
+                Objective.tradeoff(),
+                Objective.min_energy_deadline(1e6),
+                Objective.max_speedup_power(1e9),
+            ],
+            seed=3,
+        )
+        serial_svc = AdvisorService(fitted_model, SERVE_FREQS, model_digest="d")
+        serial = run_load(serial_svc, requests, workers=1)
+        for workers in (2, 8):
+            svc = AdvisorService(fitted_model, SERVE_FREQS, model_digest="d")
+            concurrent = run_load(svc, requests, workers=workers)
+            assert concurrent == serial
+
+    def test_concurrent_stats_are_consistent(self, fitted_model):
+        requests = synthetic_requests([4.0], 80, pool_size=4, seed=1)
+        svc = AdvisorService(fitted_model, SERVE_FREQS, model_digest="d", max_batch=4)
+        run_load(svc, requests, workers=8)
+        stats = svc.stats
+        assert stats.requests == 80
+        assert stats.cache_hits + stats.evaluated == 80
+        assert stats.batch_size_sum == stats.evaluated
+        assert stats.batch_size_max <= 4
+        assert stats.predictions_computed + stats.coalesced == stats.evaluated
+        assert stats.errors == 0
+        # Only 4 distinct feature tuples exist, so the cache must have hit.
+        assert stats.cache_hits > 0
+        assert len(svc.cache) == 4
+
+    def test_model_failure_does_not_strand_followers(self, fitted_model, monkeypatch):
+        svc = AdvisorService(fitted_model, SERVE_FREQS, model_digest="d")
+
+        def boom(features_batch, freqs):
+            raise RuntimeError("model exploded")
+
+        # monkeypatch (not bare assignment): fitted_model is session-shared.
+        monkeypatch.setattr(svc.model, "predict_tradeoff_batch", boom)
+        requests = synthetic_requests([4.0], 12, pool_size=12, seed=0)
+        with pytest.raises(RuntimeError, match="model exploded"):
+            run_load(svc, requests, workers=4)
+        # The service must still be operational (no stuck leader flag).
+        assert svc._busy is False
+        assert svc._pending == []
+
+
+class TestRegistryIntegration:
+    def test_from_registry_uses_artifact_digest(self, registry):
+        svc = AdvisorService.from_registry(registry, "toy", SERVE_FREQS)
+        assert svc.model_digest == registry.manifest("toy").artifact_sha256
+        assert svc.manifest.ref == "toy:v1"
+        advice = svc.advise([4.0])
+        assert advice.freq_mhz in [float(f) for f in SERVE_FREQS]
+
+    def test_report_mentions_model_ref(self, registry):
+        svc = AdvisorService.from_registry(registry, "toy", SERVE_FREQS)
+        svc.advise([4.0])
+        assert "toy:v1" in svc.report()
+        record = svc.as_dict()
+        assert record["model"]["name"] == "toy"
+        assert record["stats"]["requests"] == 1
+
+
+class TestBatchedPredictEquivalence:
+    def test_batch_equals_scalar_bitwise(self, fitted_model):
+        batch = [[1.0], [2.5], [4.0], [16.0]]
+        batched = fitted_model.predict_tradeoff_batch(batch, SERVE_FREQS)
+        for feats, got in zip(batch, batched):
+            want = fitted_model.predict_tradeoff(feats, SERVE_FREQS)
+            assert np.array_equal(want.times_s, got.times_s)
+            assert np.array_equal(want.energies_j, got.energies_j)
+            assert np.array_equal(want.speedups, got.speedups)
+            assert np.array_equal(want.normalized_energies, got.normalized_energies)
+
+    def test_empty_batch(self, fitted_model):
+        assert fitted_model.predict_tradeoff_batch([], SERVE_FREQS) == []

@@ -94,6 +94,45 @@ class TestTrainPredictTune:
         assert rc == 0
         assert "Pareto frequencies" in out
 
+    def test_train_predict_round_trip(self, model_path, capsys):
+        """The saved artifact is servable: predict parses back a real front.
+
+        Every Pareto frequency printed must come from the requested grid,
+        and every one must be starred in the profile table.
+        """
+        import ast
+
+        rc = main(
+            [
+                "predict", "--model", str(model_path),
+                "--features", "60,24,24",
+                "--freq-min", "400", "--freq-max", "1500", "--freq-points", "12",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        line = next(l for l in out.splitlines() if l.startswith("Pareto frequencies:"))
+        pareto = ast.literal_eval(line.split(":", 1)[1].strip())
+        assert pareto, "round-trip produced an empty Pareto set"
+        grid = {round(f) for f in np.linspace(400.0, 1500.0, 12)}
+        assert set(pareto) <= grid
+        starred = {
+            int(row.split("|")[0]) for row in out.splitlines()
+            if "|" in row and row.rstrip().endswith("*")
+        }
+        assert starred == set(pareto)
+
+    def test_predict_corrupted_model_is_clean_error(self, model_path, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.npz"
+        data = bytearray(model_path.read_bytes())
+        corrupt.write_bytes(bytes(data[: len(data) // 2]))  # truncated artifact
+        rc = main(
+            ["predict", "--model", str(corrupt), "--features", "60,24,24"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error:" in captured.err
+
     def test_tune_min_energy(self, model_path, capsys):
         rc = main(
             [
