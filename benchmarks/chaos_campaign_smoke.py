@@ -94,6 +94,13 @@ def main() -> int:
     plan_path = OUTPUT_DIR / "chaos_plan.json"
     plan.save(plan_path)
 
+    # The written artifact must pass the SPEC0xx static checker — the
+    # same gate CI's `repro lint --select SPEC` applies to it.
+    from repro.specs import check_json_file
+
+    diagnostics = check_json_file(plan_path, explicit=True)
+    assert not diagnostics, [d.format() for d in diagnostics]
+
     clean, _, _ = _build("serial")
     chaos_serial, serial_stats, serial_s = _build("serial", fault_plan=plan)
     chaos_replay, replay_stats, replay_s = _build("replay", fault_plan=plan)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine workflows, mirroring how a user adopts the library:
+Ten workflows, mirroring how a user adopts the library:
 
 - ``repro characterize`` — DVFS-sweep an application on a simulated
   device, print the speedup/energy table, optionally save the sweep;
@@ -9,6 +9,10 @@ Nine workflows, mirroring how a user adopts the library:
   ``docs/campaign-engine.md``), optionally under a deterministic
   fault-injection plan (``--inject``, ``--max-retries``; see
   ``docs/fault-injection.md``);
+- ``repro run`` — validate a declarative scenario/campaign spec file
+  (the ``SPEC0xx`` static pass) and execute it end to end: campaign,
+  optional fault plan, optional serving objective (see
+  ``docs/scenario-specs.md``);
 - ``repro train`` — build a characterization campaign and train a
   domain-specific model, saving it as ``.npz``;
 - ``repro predict`` — load a model and predict the trade-off profile
@@ -23,8 +27,9 @@ Nine workflows, mirroring how a user adopts the library:
 - ``repro serve`` — drive the online advisor with a synthetic request
   load across worker threads and print the service stats report;
 - ``repro lint`` — statically verify the repo's invariants: AST lint
-  rules over the source tree plus the built-in hardware-spec / kernel-IR
-  self-check (see ``docs/static-analysis.md``).
+  rules over the source tree, ``SPEC0xx`` schema checks over JSON spec
+  artifacts, plus the built-in hardware-spec / kernel-IR self-check
+  (see ``docs/static-analysis.md``).
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -242,72 +247,17 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
-def cmd_campaign(args) -> int:
-    import time
-
-    from repro.experiments.report import render_campaign_summary
-    from repro.runtime import CampaignEngine, ResultCache
-
-    device = _device(args)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    fault_plan = None
-    if args.inject:
-        from repro.faults import FaultPlan
-
-        fault_plan = FaultPlan.load(args.inject)
-        print(f"fault injection: {fault_plan.describe()}")
-    engine = CampaignEngine(
-        jobs=args.jobs,
-        cache=cache,
-        campaign_seed=args.seed,
-        method="replay" if args.replay else "serial",
-        fault_plan=fault_plan,
-        max_retries=args.max_retries,
-    )
-
+def _campaign_progress(jobs: int):
     def progress(done: int, total: int, label: str, from_cache: bool) -> None:
-        origin = "cache" if from_cache else f"jobs={engine.jobs}"
+        origin = "cache" if from_cache else f"jobs={jobs}"
         print(f"\r[{done}/{total}] {label} ({origin})", end="", flush=True)
         if done == total:
             print(flush=True)
 
-    # Harness wall-clock for the run summary only — simulated measurements
-    # always derive time from the timing model, never from the host clock.
-    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
-    if args.app == "ligen":
-        from repro.experiments.datasets import build_ligen_campaign
+    return progress
 
-        kwargs = {}
-        if args.quick:
-            kwargs = dict(
-                ligand_counts=(2, 256, 10000),
-                atom_counts=(31, 89),
-                fragment_counts=(4, 20),
-            )
-        campaign = build_ligen_campaign(
-            device,
-            freq_count=args.freqs,
-            repetitions=args.reps,
-            engine=engine,
-            progress=progress,
-            **kwargs,
-        )
-    else:
-        from repro.experiments.configs import CRONOS_GRID_SIZES
-        from repro.experiments.datasets import build_cronos_campaign
 
-        grids = CRONOS_GRID_SIZES[:3] if args.quick else CRONOS_GRID_SIZES
-        campaign = build_cronos_campaign(
-            device,
-            grids=grids,
-            freq_count=args.freqs,
-            repetitions=args.reps,
-            engine=engine,
-            progress=progress,
-        )
-    elapsed = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
-
-    print(render_campaign_summary(campaign, elapsed_s=elapsed))
+def _print_quarantine_warning(engine) -> None:
     stats = engine.stats
     if stats.quarantined:
         print(
@@ -317,12 +267,127 @@ def cmd_campaign(args) -> int:
             f"{stats.completeness():.1%} complete",
             file=sys.stderr,
         )
+
+
+def cmd_campaign(args) -> int:
+    import time
+
+    from repro.experiments.report import render_campaign_summary
+    from repro.specs import campaign_spec_from_cli
+    from repro.specs.run import run_campaign
+
+    fault_plan = None
+    if args.inject:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.inject)
+        print(f"fault injection: {fault_plan.describe()}")
+    # The flag soup becomes a declarative CampaignSpec and runs through
+    # the same executor as `repro run` — one code path, two spellings.
+    spec = campaign_spec_from_cli(
+        args.app,
+        device=args.device,
+        quick=args.quick,
+        freq_count=args.freqs,
+        repetitions=args.reps,
+        seed=args.seed,
+        jobs=args.jobs,
+        method="replay" if args.replay else "serial",
+        cache_dir=None if args.no_cache else args.cache_dir,
+        max_retries=args.max_retries,
+    )
+
+    # Harness wall-clock for the run summary only — simulated measurements
+    # always derive time from the timing model, never from the host clock.
+    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
+    campaign, engine = run_campaign(
+        spec, fault_plan=fault_plan, progress=_campaign_progress(spec.engine.jobs)
+    )
+    elapsed = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
+
+    print(render_campaign_summary(campaign, elapsed_s=elapsed))
+    _print_quarantine_warning(engine)
     if args.dataset_output:
         from repro.io import save_dataset
 
         save_dataset(campaign.dataset, args.dataset_output)
         print(f"dataset saved to {args.dataset_output}")
     return 0
+
+
+def cmd_run(args) -> int:
+    import pathlib
+    import time
+
+    from repro.analysis import has_errors, render_text
+    from repro.specs import check_json_file
+
+    path = pathlib.Path(args.scenario)
+    # Static pass first: a spec that does not lint clean never runs.
+    diagnostics = check_json_file(path, explicit=True)
+    if diagnostics:
+        print(render_text(diagnostics), file=sys.stderr)
+    if has_errors(diagnostics):
+        return 1
+    if args.check:
+        print(f"{path}: spec is valid")
+        return 0
+
+    import json
+
+    from repro.experiments.report import render_campaign_summary
+    from repro.specs import CampaignSpec, ScenarioSpec
+    from repro.specs.run import run_scenario
+
+    record = json.loads(path.read_text(encoding="utf-8"))
+    if record.get("format") == "repro.campaign":
+        # A bare campaign spec runs as a scenario with no extras.
+        scenario = ScenarioSpec(
+            name=path.stem,
+            campaign=CampaignSpec.from_record(
+                record, file=str(path), base_dir=str(path.parent)
+            ),
+            base_dir=str(path.parent),
+        )
+    else:
+        scenario = ScenarioSpec.load(path)
+    if args.dataset_output:
+        # Resolve the override against the caller's cwd (like `repro
+        # campaign --dataset-output`), not the scenario's directory.
+        scenario = _replace_dataclass(
+            scenario, dataset_output=str(pathlib.Path(args.dataset_output).absolute())
+        )
+    print(scenario.describe())
+
+    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
+    outcome = run_scenario(
+        scenario, progress=_campaign_progress(scenario.campaign.engine.jobs)
+    )
+    elapsed = time.perf_counter() - t0  # repro-lint: ignore[TIM001]
+
+    print(render_campaign_summary(outcome.campaign, elapsed_s=elapsed))
+    _print_quarantine_warning(outcome.engine)
+    if scenario.dataset_output is not None:
+        from repro.specs.scenario import resolve_ref
+
+        print(f"dataset saved to {resolve_ref(scenario.dataset_output, scenario.base_dir)}")
+    for row in outcome.advice:
+        if row.error is not None:
+            print(f"{row.label} {row.features}: objective infeasible — {row.error}")
+        else:
+            advice = row.advice
+            print(
+                f"{row.label} {row.features}: run at {advice.freq_mhz:.0f} MHz "
+                f"(predicted speedup {advice.predicted_speedup:.3f}, "
+                f"normalized energy {advice.predicted_normalized_energy:.3f})"
+            )
+    return 0
+
+
+def _replace_dataclass(obj, **changes):
+    from dataclasses import replace
+
+    return replace(obj, **changes)
 
 
 def cmd_tune(args) -> int:
@@ -586,6 +651,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset-output", help="save the training dataset (JSON)")
     p.set_defaults(func=cmd_campaign)
 
+    p = sub.add_parser(
+        "run",
+        help="validate a scenario/campaign spec file and execute it end to end",
+    )
+    p.add_argument(
+        "scenario",
+        help="scenario or campaign spec JSON (see docs/scenario-specs.md)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="validate only; exit nonzero on SPEC errors without running",
+    )
+    p.add_argument(
+        "--dataset-output",
+        help="save the training dataset here (overrides the spec's outputs.dataset)",
+    )
+    p.set_defaults(func=cmd_run)
+
     p = sub.add_parser("reproduce", help="regenerate a headline experiment")
     p.add_argument(
         "--experiment", choices=("fig13-cronos", "fig13-ligen"), required=True
@@ -680,7 +763,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument(
         "--select",
-        help="comma-separated rule ids to run (e.g. DET001,HW001); default all",
+        help="comma-separated rule ids or families to run "
+        "(e.g. DET001,HW001 or SPEC,HW); default all",
     )
     p.add_argument(
         "--no-self-check", action="store_true",

@@ -17,6 +17,8 @@ __all__ = [
     "ArtifactError",
     "ArtifactSchemaError",
     "ConfigurationError",
+    "SpecError",
+    "SpecValidationError",
     "RegistryError",
     "ModelIntegrityError",
     "ServingError",
@@ -67,6 +69,34 @@ class ArtifactSchemaError(ArtifactError):
 
 class ConfigurationError(ReproError):
     """An experiment or application configuration is invalid."""
+
+
+class SpecError(ConfigurationError):
+    """A declarative spec artifact (campaign, scenario, ...) is unusable.
+
+    Subclasses :class:`ConfigurationError` so pre-spec callers that catch
+    configuration problems keep working unchanged.
+    """
+
+
+class SpecValidationError(SpecError):
+    """A spec failed schema validation; carries the full diagnostic list.
+
+    Unlike a plain message, ``diagnostics`` holds every
+    :class:`repro.analysis.diagnostics.Diagnostic` the validator
+    collected (collect-then-raise), so callers — and ``repro lint`` —
+    see *all* problems in one pass instead of the first.
+    """
+
+    def __init__(self, kind: str, diagnostics) -> None:
+        self.kind = kind
+        self.diagnostics = list(diagnostics)
+        errors = [
+            d for d in self.diagnostics if getattr(d.severity, "value", "") == "error"
+        ]
+        lines = [f"invalid {kind} ({len(errors)} error(s)):"]
+        lines += [f"  - [{d.rule}] {d.message}" for d in errors]
+        super().__init__("\n".join(lines))
 
 
 class RegistryError(ReproError):

@@ -31,6 +31,7 @@ __all__ = [
     "build_cronos_campaign",
     "build_ligen_campaign",
     "default_training_freqs",
+    "resolve_training_freqs",
 ]
 
 FeatureKey = Tuple[float, ...]
@@ -81,6 +82,37 @@ def default_training_freqs(device: SynergyDevice, count: Optional[int]) -> List[
 
 # Backwards-compatible private alias (pre-engine internal name).
 _default_freqs = default_training_freqs
+
+
+def resolve_training_freqs(
+    device: SynergyDevice,
+    freq_count: Optional[int],
+    freqs_mhz: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Resolve a sweep's frequency list: explicit points or a subsample.
+
+    An explicit ``freqs_mhz`` list (e.g. from a campaign spec's
+    ``sweep.freqs_mhz``) wins over ``freq_count``; each point is snapped
+    onto the device's frequency table so requested clocks that fall
+    between bins measure at a real operating point. Two requested points
+    that snap onto the same bin are an error — the sweep the caller
+    described is not the sweep that would run.
+    """
+    if freqs_mhz is None:
+        return default_training_freqs(device, freq_count)
+    if freq_count is not None:
+        raise ValueError("freq_count and freqs_mhz are mutually exclusive")
+    if not freqs_mhz:
+        raise ValueError("freqs_mhz must name at least one frequency")
+    table = device.gpu.spec.core_freqs
+    snapped = [float(table.snap(f)) for f in freqs_mhz]
+    if len(set(snapped)) != len(snapped):
+        raise ValueError(
+            "freqs_mhz contains points that snap onto the same device "
+            f"frequency bin: requested {sorted(float(f) for f in freqs_mhz)}, "
+            f"snapped {sorted(snapped)}"
+        )
+    return sorted(snapped)
 
 
 def _characterize_all(
@@ -153,9 +185,10 @@ def build_cronos_campaign(
     engine: Optional[CampaignEngine] = None,
     progress: Optional[ProgressFn] = None,
     method: Optional[str] = None,
+    freqs_mhz: Optional[Sequence[float]] = None,
 ) -> CampaignData:
     """Characterize Cronos over the grid sweep (paper §5.1 protocol)."""
-    freqs = default_training_freqs(device, freq_count)
+    freqs = resolve_training_freqs(device, freq_count, freqs_mhz)
     apps = [CronosApplication.from_size(nx, ny, nz, n_steps=n_steps) for nx, ny, nz in grids]
     results = _characterize_all(apps, device, freqs, repetitions, engine, progress, method)
     return _assemble(apps, results, CRONOS_FEATURE_NAMES, freqs, engine)
@@ -171,9 +204,10 @@ def build_ligen_campaign(
     engine: Optional[CampaignEngine] = None,
     progress: Optional[ProgressFn] = None,
     method: Optional[str] = None,
+    freqs_mhz: Optional[Sequence[float]] = None,
 ) -> CampaignData:
     """Characterize LiGen over the full ``(l, a, f)`` input grid."""
-    freqs = default_training_freqs(device, freq_count)
+    freqs = resolve_training_freqs(device, freq_count, freqs_mhz)
     apps = [
         LigenApplication(n_ligands=ligands, n_atoms=atoms, n_fragments=fragments)
         for ligands in ligand_counts

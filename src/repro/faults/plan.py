@@ -273,33 +273,45 @@ class FaultPlan:
         return stable_digest(self.as_record())
 
     def as_record(self) -> Dict[str, Any]:
-        """Plain-dict form of the whole plan."""
+        """Plain-dict form of the whole plan (``schema_version`` envelope)."""
         return {
             "format": PLAN_FORMAT,
-            "version": PLAN_VERSION,
+            "schema_version": PLAN_VERSION,
             "seed": self.seed,
             "faults": [s.as_record() for s in self.specs],
         }
 
     @classmethod
     def from_record(cls, record: Dict[str, Any]) -> "FaultPlan":
-        """Build a plan from a plain dict, validating the envelope."""
-        if not isinstance(record, dict):
-            raise ConfigurationError(f"fault plan must be an object, got {record!r}")
-        if record.get("format", PLAN_FORMAT) != PLAN_FORMAT:
-            raise ConfigurationError(
-                f"not a fault plan: format {record.get('format')!r}"
-            )
-        if record.get("version", PLAN_VERSION) != PLAN_VERSION:
-            raise ConfigurationError(
-                f"unsupported fault plan version {record.get('version')!r}"
-            )
-        faults = record.get("faults", [])
-        if not isinstance(faults, (list, tuple)):
-            raise ConfigurationError("fault plan 'faults' must be a list")
+        """Build a plan from a plain dict, validating against the spec schema.
+
+        Validation is collect-then-raise: *every* invalid field is
+        gathered into one :class:`repro.errors.SpecValidationError`
+        (a :class:`ConfigurationError`) instead of failing on the first,
+        so a hand-written plan with three mistakes reports all three.
+        Plans written with the historical ``version`` envelope key load
+        unchanged (``schema_version`` deprecation warning under lint).
+        """
+        # Deferred import: repro.specs imports this module for the kind
+        # catalog, so importing it at module level would be circular.
+        from repro.errors import SpecValidationError
+        from repro.specs.fault_plan import validate_fault_plan_record
+
+        clean, diags = validate_fault_plan_record(record)
+        if clean is None:
+            raise SpecValidationError("fault plan", diags)
         return cls(
-            seed=record.get("seed", 0),
-            specs=tuple(FaultSpec.from_record(f) for f in faults),
+            seed=clean["seed"],
+            specs=tuple(
+                FaultSpec(
+                    kind=f["kind"],
+                    probability=f["probability"],
+                    occurrences=tuple(f["occurrences"]),
+                    scale=f["scale"],
+                    mode=f["mode"],
+                )
+                for f in clean["faults"]
+            ),
         )
 
     def to_json(self) -> str:

@@ -230,7 +230,7 @@ class ModelRegistry:
         )
         record = {
             "format": _MANIFEST_FORMAT,
-            "schema": REGISTRY_SCHEMA_VERSION,
+            "schema_version": REGISTRY_SCHEMA_VERSION,
             "manifest": manifest.as_dict(),
             "digest": stable_digest(manifest.as_dict()),
         }
@@ -253,9 +253,12 @@ class ModelRegistry:
             ) from exc
         if not isinstance(record, dict) or record.get("format") != _MANIFEST_FORMAT:
             raise RegistryError(f"{name}:v{version}: not a model manifest")
-        if record.get("schema") != REGISTRY_SCHEMA_VERSION:
+        # Manifests written before the envelope converged on the shared
+        # 'schema_version' key used 'schema'; both spellings load.
+        schema = record.get("schema_version", record.get("schema"))
+        if schema != REGISTRY_SCHEMA_VERSION:
             raise RegistryError(
-                f"{name}:v{version}: manifest schema {record.get('schema')!r} "
+                f"{name}:v{version}: manifest schema_version {schema!r} "
                 f"(this build reads {REGISTRY_SCHEMA_VERSION})"
             )
         payload = record.get("manifest")

@@ -1,0 +1,146 @@
+"""Versioned spec schemas + the SPEC0xx static checker + ``repro run``.
+
+This package makes every configuration artifact the toolchain consumes a
+*declarative, checkable* input (ROADMAP item 5): campaign configs, fault
+plans, device-spec tables and composite scenario specs all carry a
+``format`` tag and a ``schema_version``, validate against declarative
+:class:`~repro.specs.schema.RecordSchema` definitions, and canonicalize
+through :func:`repro.runtime.seeding.canonical_json` so their
+fingerprints participate in the same identity discipline as the result
+cache and the model registry.
+
+Three consumer surfaces:
+
+- **Static**: ``repro lint`` feeds ``.json`` files to
+  :func:`~repro.specs.checker.check_json_file`, which emits ``SPEC001``–
+  ``SPEC005`` diagnostics (see ``docs/static-analysis.md``).
+- **Load-time**: :class:`~repro.faults.plan.FaultPlan`,
+  :class:`~repro.specs.campaign.CampaignSpec` and
+  :class:`~repro.specs.scenario.ScenarioSpec` loaders validate through
+  the same schemas and raise :class:`repro.errors.SpecValidationError`
+  carrying *every* problem (collect-then-raise).
+- **Execution**: ``repro run SCENARIO.json`` →
+  :func:`~repro.specs.run.run_scenario`, bit-identical to the
+  equivalent hand-wired ``repro campaign`` invocation.
+
+See ``docs/scenario-specs.md`` for the schema reference.
+"""
+
+from repro.specs.campaign import (
+    APP_KINDS,
+    BUILTIN_DEVICES,
+    CAMPAIGN_FORMAT,
+    CAMPAIGN_SCHEMA,
+    CAMPAIGN_VERSION,
+    CampaignSpec,
+    EngineSpec,
+    SweepSpec,
+    campaign_spec_from_cli,
+    validate_campaign_record,
+)
+from repro.specs.checker import (
+    KNOWN_SPEC_FORMATS,
+    MANIFEST_SCHEMA,
+    check_json_file,
+    check_record,
+)
+from repro.specs.device_table import (
+    DEVICE_TABLE_FORMAT,
+    DEVICE_TABLE_SCHEMA,
+    DEVICE_TABLE_VERSION,
+    check_device_table,
+    device_spec_from_clean,
+    device_table_record,
+    load_device_table,
+)
+from repro.specs.fault_plan import (
+    FAULT_PLAN_SCHEMA,
+    FAULT_SPEC_SCHEMA,
+    validate_fault_plan_record,
+)
+from repro.specs.run import (
+    AdviceRow,
+    ScenarioOutcome,
+    build_device,
+    build_engine,
+    measured_tradeoff,
+    run_campaign,
+    run_scenario,
+)
+from repro.specs.scenario import (
+    SCENARIO_FORMAT,
+    SCENARIO_SCHEMA,
+    SCENARIO_VERSION,
+    ObjectiveRef,
+    ScenarioSpec,
+    validate_scenario_record,
+)
+from repro.specs.schema import (
+    SPEC_FIELDS,
+    SPEC_RULE_IDS,
+    SPEC_UNIT,
+    SPEC_VALUE,
+    SPEC_VERSION,
+    SPEC_XREF,
+    FieldSpec,
+    RecordSchema,
+    Reporter,
+    load_clean,
+)
+
+__all__ = [
+    # schema framework
+    "SPEC_FIELDS",
+    "SPEC_VALUE",
+    "SPEC_XREF",
+    "SPEC_UNIT",
+    "SPEC_VERSION",
+    "SPEC_RULE_IDS",
+    "FieldSpec",
+    "RecordSchema",
+    "Reporter",
+    "load_clean",
+    # fault plans
+    "FAULT_SPEC_SCHEMA",
+    "FAULT_PLAN_SCHEMA",
+    "validate_fault_plan_record",
+    # device tables
+    "DEVICE_TABLE_FORMAT",
+    "DEVICE_TABLE_VERSION",
+    "DEVICE_TABLE_SCHEMA",
+    "device_spec_from_clean",
+    "device_table_record",
+    "check_device_table",
+    "load_device_table",
+    # campaigns
+    "CAMPAIGN_FORMAT",
+    "CAMPAIGN_VERSION",
+    "CAMPAIGN_SCHEMA",
+    "APP_KINDS",
+    "BUILTIN_DEVICES",
+    "SweepSpec",
+    "EngineSpec",
+    "CampaignSpec",
+    "validate_campaign_record",
+    "campaign_spec_from_cli",
+    # scenarios
+    "SCENARIO_FORMAT",
+    "SCENARIO_VERSION",
+    "SCENARIO_SCHEMA",
+    "ObjectiveRef",
+    "ScenarioSpec",
+    "validate_scenario_record",
+    # checker
+    "KNOWN_SPEC_FORMATS",
+    "MANIFEST_SCHEMA",
+    "check_record",
+    "check_json_file",
+    # execution
+    "AdviceRow",
+    "ScenarioOutcome",
+    "build_device",
+    "build_engine",
+    "run_campaign",
+    "run_scenario",
+    "measured_tradeoff",
+]

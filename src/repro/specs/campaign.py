@@ -1,0 +1,454 @@
+"""Campaign config specs (``format: repro.campaign``).
+
+A campaign spec is the declarative form of one ``repro campaign``
+invocation: which application grid to sweep (``app``), on which device
+(``device`` — a built-in name or a ``{"table": path}`` reference to a
+:mod:`device table <repro.specs.device_table>`), over which frequencies
+(``sweep``), and how to execute (``engine``). Running a validated spec
+through :func:`repro.specs.run.run_campaign` is bit-identical to the
+equivalent hand-wired CLI invocation — the spec layer only *names* the
+same objects the CLI used to construct inline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import SpecError, SpecValidationError
+from repro.experiments import configs
+from repro.specs.schema import (
+    SPEC_VALUE,
+    SPEC_XREF,
+    FieldSpec,
+    RecordSchema,
+    Reporter,
+)
+
+__all__ = [
+    "CAMPAIGN_FORMAT",
+    "CAMPAIGN_VERSION",
+    "APP_KINDS",
+    "BUILTIN_DEVICES",
+    "CAMPAIGN_SCHEMA",
+    "SweepSpec",
+    "EngineSpec",
+    "CampaignSpec",
+    "validate_campaign_record",
+    "campaign_spec_from_cli",
+]
+
+CAMPAIGN_FORMAT = "repro.campaign"
+CAMPAIGN_VERSION = 1
+
+#: Application kinds a campaign can sweep (mirrors the CLI ``--app`` choices).
+APP_KINDS = ("ligen", "cronos")
+
+#: Device short names resolvable without a device table.
+BUILTIN_DEVICES = ("v100", "mi100", "max1100")
+
+PathLike = Union[str, pathlib.Path]
+
+
+# ---------------------------------------------------------------------------
+# nested schemas
+# ---------------------------------------------------------------------------
+_LIGEN_APP_SCHEMA = RecordSchema(
+    kind="ligen app grid",
+    fields=(
+        FieldSpec("kind", "str", required=True, choices=APP_KINDS, choices_rule=SPEC_XREF),
+        FieldSpec(
+            "ligand_counts",
+            "list",
+            default=list(configs.LIGEN_LIGAND_COUNTS),
+            min_len=1,
+            element=FieldSpec("ligand count", "int", minimum=1),
+        ),
+        FieldSpec(
+            "atom_counts",
+            "list",
+            default=list(configs.LIGEN_ATOM_COUNTS),
+            min_len=1,
+            element=FieldSpec("atom count", "int", minimum=1),
+        ),
+        FieldSpec(
+            "fragment_counts",
+            "list",
+            default=list(configs.LIGEN_FRAGMENT_COUNTS),
+            min_len=1,
+            element=FieldSpec("fragment count", "int", minimum=1),
+        ),
+    ),
+)
+
+_CRONOS_APP_SCHEMA = RecordSchema(
+    kind="cronos app grid",
+    fields=(
+        FieldSpec("kind", "str", required=True, choices=APP_KINDS, choices_rule=SPEC_XREF),
+        FieldSpec(
+            "grids",
+            "list",
+            default=[list(g) for g in configs.CRONOS_GRID_SIZES],
+            min_len=1,
+            element=FieldSpec(
+                "grid",
+                "list",
+                min_len=3,
+                max_len=3,
+                element=FieldSpec("grid dim", "int", minimum=1),
+            ),
+        ),
+        FieldSpec("steps", "int", default=configs.CRONOS_STEPS, minimum=1),
+    ),
+)
+
+_APP_SCHEMAS = {"ligen": _LIGEN_APP_SCHEMA, "cronos": _CRONOS_APP_SCHEMA}
+
+
+def _check_sweep(clean: Dict[str, Any], rep: Reporter, path: str) -> None:
+    prefix = f"{path}." if path else ""
+    if clean["freq_count"] is not None and clean["freqs_mhz"] is not None:
+        rep.error(
+            SPEC_VALUE,
+            f"{prefix}freq_count: mutually exclusive with "
+            f"{prefix}freqs_mhz — give the bin count or the explicit list",
+        )
+
+
+_SWEEP_SCHEMA = RecordSchema(
+    kind="sweep",
+    renamed={"reps": "repetitions"},
+    fields=(
+        FieldSpec("freq_count", "int", default=None, allow_none=True, minimum=1),
+        FieldSpec(
+            "freqs_mhz",
+            "list",
+            default=None,
+            allow_none=True,
+            min_len=1,
+            element=FieldSpec(
+                "frequency", "number", minimum=0.0, exclusive_minimum=True
+            ),
+        ),
+        FieldSpec("repetitions", "int", default=configs.DEFAULT_REPETITIONS, minimum=1),
+    ),
+    extra_check=_check_sweep,
+)
+
+_ENGINE_SCHEMA = RecordSchema(
+    kind="engine config",
+    fields=(
+        FieldSpec("seed", "int", default=42, minimum=0),
+        FieldSpec("jobs", "int", default=1, minimum=1),
+        FieldSpec("method", "str", default="replay", choices=("serial", "replay")),
+        FieldSpec("cache_dir", "str", default=None, allow_none=True),
+        FieldSpec("max_retries", "int", default=2, minimum=0),
+    ),
+)
+
+_DEVICE_REF_SCHEMA = RecordSchema(
+    kind="device reference",
+    fields=(FieldSpec("table", "str", required=True),),
+)
+
+
+def _defaults(schema: RecordSchema) -> Dict[str, Any]:
+    return {f.name: f.default for f in schema.fields}
+
+
+def _campaign_extra(clean: Dict[str, Any], rep: Reporter, path: str) -> None:
+    prefix = f"{path}." if path else ""
+    app = clean.get("app")
+    if not isinstance(app, Mapping):
+        rep.error(
+            SPEC_VALUE,
+            f"{prefix}app: expected an object with a 'kind', "
+            f"got {type(app).__name__}",
+        )
+    else:
+        kind = app.get("kind")
+        if kind not in APP_KINDS:
+            rep.error(
+                SPEC_XREF,
+                f"{prefix}app.kind: unknown application kind {kind!r}; "
+                f"expected one of {APP_KINDS}",
+            )
+        else:
+            clean["app"] = _APP_SCHEMAS[kind].validate_body(
+                app, rep, path=f"{prefix}app" if prefix else "app"
+            )
+    device = clean.get("device")
+    if isinstance(device, str):
+        name = device.strip().lower()
+        if name not in BUILTIN_DEVICES:
+            rep.error(
+                SPEC_XREF,
+                f"{prefix}device: unknown device {device!r}; expected one of "
+                f"{BUILTIN_DEVICES} or a {{'table': PATH}} reference",
+            )
+        else:
+            clean["device"] = name
+    elif isinstance(device, Mapping):
+        clean["device"] = _DEVICE_REF_SCHEMA.validate_body(
+            device, rep, path=f"{prefix}device" if prefix else "device"
+        )
+    else:
+        rep.error(
+            SPEC_VALUE,
+            f"{prefix}device: expected a device name or a {{'table': PATH}} "
+            f"reference, got {type(device).__name__}",
+        )
+    if clean.get("sweep") is None:
+        clean["sweep"] = _defaults(_SWEEP_SCHEMA)
+    if clean.get("engine") is None:
+        clean["engine"] = _defaults(_ENGINE_SCHEMA)
+
+
+CAMPAIGN_SCHEMA = RecordSchema(
+    kind="campaign spec",
+    format=CAMPAIGN_FORMAT,
+    version=CAMPAIGN_VERSION,
+    fields=(
+        FieldSpec("app", "any", required=True),
+        FieldSpec("device", "any", default="v100"),
+        FieldSpec("sweep", "object", default=None, allow_none=True, schema=_SWEEP_SCHEMA),
+        FieldSpec("engine", "object", default=None, allow_none=True, schema=_ENGINE_SCHEMA),
+    ),
+    extra_check=_campaign_extra,
+)
+
+
+def validate_campaign_record(
+    record: Any, file: str = "<campaign spec>"
+) -> Tuple[Optional[Dict[str, Any]], List[Diagnostic]]:
+    """Validate one campaign record; ``(clean_or_None, diagnostics)``."""
+    return CAMPAIGN_SCHEMA.validate(record, file=file)
+
+
+# ---------------------------------------------------------------------------
+# dataclasses
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSpec:
+    """Frequency sweep: a bin count *or* an explicit list, plus repetitions."""
+
+    freq_count: Optional[int] = None
+    freqs_mhz: Optional[Tuple[float, ...]] = None
+    repetitions: int = configs.DEFAULT_REPETITIONS
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Execution knobs mirroring :class:`repro.runtime.engine.CampaignEngine`."""
+
+    seed: int = 42
+    jobs: int = 1
+    method: str = "replay"
+    cache_dir: Optional[str] = None
+    max_retries: int = 2
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One validated, runnable campaign configuration.
+
+    ``device_name`` and ``device_table`` are mutually exclusive; the
+    table path is stored exactly as written (resolved against
+    ``base_dir`` only at run time) so that the canonical record — and
+    therefore :meth:`fingerprint` — is machine-independent.
+    """
+
+    app_kind: str
+    app_params: Mapping[str, Any]
+    sweep: SweepSpec = SweepSpec()
+    engine: EngineSpec = EngineSpec()
+    device_name: Optional[str] = "v100"
+    device_table: Optional[str] = None
+    #: Directory the spec was loaded from (for resolving relative paths);
+    #: excluded from equality so loading the same spec from two places
+    #: still compares equal.
+    base_dir: Optional[str] = field(default=None, compare=False)
+
+    def as_record(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (inverse of :meth:`from_record`)."""
+        app: Dict[str, Any] = {"kind": self.app_kind}
+        for key in sorted(self.app_params):
+            value = self.app_params[key]
+            if key == "grids":
+                app[key] = [list(g) for g in value]
+            elif isinstance(value, tuple):
+                app[key] = list(value)
+            else:
+                app[key] = value
+        return {
+            "format": CAMPAIGN_FORMAT,
+            "schema_version": CAMPAIGN_VERSION,
+            "app": app,
+            "device": (
+                {"table": self.device_table}
+                if self.device_table is not None
+                else self.device_name
+            ),
+            "sweep": {
+                "freq_count": self.sweep.freq_count,
+                "freqs_mhz": (
+                    None
+                    if self.sweep.freqs_mhz is None
+                    else list(self.sweep.freqs_mhz)
+                ),
+                "repetitions": self.sweep.repetitions,
+            },
+            "engine": {
+                "seed": self.engine.seed,
+                "jobs": self.engine.jobs,
+                "method": self.engine.method,
+                "cache_dir": self.engine.cache_dir,
+                "max_retries": self.engine.max_retries,
+            },
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical record."""
+        from repro.runtime.seeding import stable_digest
+
+        return stable_digest(self.as_record())
+
+    @classmethod
+    def from_clean(
+        cls, clean: Dict[str, Any], base_dir: Optional[str] = None
+    ) -> "CampaignSpec":
+        """Build from a schema-cleaned record (see ``CAMPAIGN_SCHEMA``)."""
+        app = dict(clean["app"])
+        kind = app.pop("kind")
+        if kind == "cronos":
+            app["grids"] = tuple(tuple(int(d) for d in g) for g in app["grids"])
+        else:
+            for key in ("ligand_counts", "atom_counts", "fragment_counts"):
+                app[key] = tuple(int(v) for v in app[key])
+        device = clean["device"]
+        sweep = clean["sweep"]
+        engine = clean["engine"]
+        return cls(
+            app_kind=kind,
+            app_params=app,
+            sweep=SweepSpec(
+                freq_count=sweep["freq_count"],
+                freqs_mhz=(
+                    None
+                    if sweep["freqs_mhz"] is None
+                    else tuple(float(f) for f in sweep["freqs_mhz"])
+                ),
+                repetitions=sweep["repetitions"],
+            ),
+            engine=EngineSpec(
+                seed=engine["seed"],
+                jobs=engine["jobs"],
+                method=engine["method"],
+                cache_dir=engine["cache_dir"],
+                max_retries=engine["max_retries"],
+            ),
+            device_name=device if isinstance(device, str) else None,
+            device_table=device["table"] if isinstance(device, Mapping) else None,
+            base_dir=base_dir,
+        )
+
+    @classmethod
+    def from_record(
+        cls,
+        record: Any,
+        file: str = "<campaign spec>",
+        base_dir: Optional[str] = None,
+    ) -> "CampaignSpec":
+        """Validate + build; raises :class:`SpecValidationError` with *all* errors."""
+        clean, diags = CAMPAIGN_SCHEMA.validate(record, file=file)
+        if clean is None:
+            raise SpecValidationError("campaign spec", diags)
+        return cls.from_clean(clean, base_dir=base_dir)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CampaignSpec":
+        """Read + validate a campaign spec file."""
+        p = pathlib.Path(path)
+        try:
+            text = p.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SpecError(f"cannot read campaign spec {p}: {exc}") from exc
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"campaign spec {p} is not valid JSON: {exc}") from exc
+        return cls.from_record(record, file=str(p), base_dir=str(p.parent))
+
+    def describe(self) -> str:
+        """One-line human summary for run logs."""
+        device = self.device_name or f"table:{self.device_table}"
+        sweep = (
+            f"{len(self.sweep.freqs_mhz)} explicit freqs"
+            if self.sweep.freqs_mhz is not None
+            else f"{self.sweep.freq_count or 'all'} freq bins"
+        )
+        return (
+            f"{self.app_kind} on {device}, {sweep} x {self.sweep.repetitions} reps, "
+            f"seed {self.engine.seed}, {self.engine.method}, jobs {self.engine.jobs}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI bridge
+# ---------------------------------------------------------------------------
+def campaign_spec_from_cli(
+    app: str,
+    device: str = "v100",
+    quick: bool = False,
+    freq_count: Optional[int] = None,
+    repetitions: int = 5,
+    seed: int = 42,
+    jobs: int = 1,
+    method: str = "replay",
+    cache_dir: Optional[str] = None,
+    max_retries: int = 2,
+) -> CampaignSpec:
+    """Build the spec equivalent of one ``repro campaign`` invocation.
+
+    The quick grids are spelled out explicitly so the resulting spec is
+    self-contained: running it later reproduces the quick run even if
+    the CLI's notion of ``--quick`` changes.
+    """
+    if app == "ligen":
+        params: Dict[str, Any] = (
+            dict(
+                ligand_counts=(2, 256, 10000),
+                atom_counts=(31, 89),
+                fragment_counts=(4, 20),
+            )
+            if quick
+            else dict(
+                ligand_counts=tuple(configs.LIGEN_LIGAND_COUNTS),
+                atom_counts=tuple(configs.LIGEN_ATOM_COUNTS),
+                fragment_counts=tuple(configs.LIGEN_FRAGMENT_COUNTS),
+            )
+        )
+    elif app == "cronos":
+        grids = configs.CRONOS_GRID_SIZES[:3] if quick else configs.CRONOS_GRID_SIZES
+        params = dict(
+            grids=tuple(tuple(g) for g in grids), steps=configs.CRONOS_STEPS
+        )
+    else:
+        raise SpecError(f"unknown application {app!r}; expected one of {APP_KINDS}")
+    return CampaignSpec(
+        app_kind=app,
+        app_params=params,
+        sweep=SweepSpec(freq_count=freq_count, repetitions=repetitions),
+        engine=EngineSpec(
+            seed=seed,
+            jobs=jobs,
+            method=method,
+            cache_dir=cache_dir,
+            max_retries=max_retries,
+        ),
+        device_name=device.strip().lower(),
+        device_table=None,
+    )

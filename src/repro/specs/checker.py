@@ -1,0 +1,305 @@
+"""Static checker for JSON spec artifacts: the SPEC0xx lint pass.
+
+:func:`check_json_file` is what ``repro lint`` calls for ``.json``
+inputs: it dispatches on the envelope ``format`` tag to the right
+schema, follows cross-file references (a scenario's campaign, a
+campaign's device table, a fault-plan path) and verifies registry-model
+references resolve — all **before any compute runs**. Unrecognized JSON
+files found while walking a directory are skipped silently (a directory
+full of datasets is not an error); explicitly named files must be
+recognizable specs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.specs.campaign import (
+    CAMPAIGN_FORMAT,
+    CAMPAIGN_SCHEMA,
+)
+from repro.specs.device_table import (
+    DEVICE_TABLE_FORMAT,
+    check_device_table,
+)
+from repro.specs.fault_plan import FAULT_PLAN_SCHEMA
+from repro.specs.scenario import (
+    SCENARIO_FORMAT,
+    SCENARIO_SCHEMA,
+    resolve_ref,
+)
+from repro.specs.schema import (
+    SPEC_FIELDS,
+    SPEC_XREF,
+    FieldSpec,
+    RecordSchema,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "KNOWN_SPEC_FORMATS",
+    "check_record",
+    "check_json_file",
+]
+
+_MANIFEST_FORMAT = "repro.model_manifest"
+
+_MANIFEST_PAYLOAD_SCHEMA = RecordSchema(
+    kind="model manifest payload",
+    fields=(
+        FieldSpec("name", "str", required=True),
+        FieldSpec("version", "int", required=True, minimum=1),
+        FieldSpec("app", "str", required=True),
+        FieldSpec(
+            "feature_names",
+            "list",
+            required=True,
+            min_len=1,
+            element=FieldSpec("feature name", "str"),
+        ),
+        FieldSpec(
+            "baseline_freq_mhz",
+            "number",
+            required=True,
+            minimum=0.0,
+            exclusive_minimum=True,
+        ),
+        FieldSpec("artifact_sha256", "str", required=True),
+        FieldSpec("artifact_bytes", "int", required=True, minimum=1),
+        FieldSpec("device_signature_digest", "str", default=None, allow_none=True),
+        FieldSpec("train_fingerprint", "str", default=None, allow_none=True),
+    ),
+)
+
+#: Registry manifest envelope; accepts the registry's historical
+#: ``schema`` version key as a deprecated alias of ``schema_version``.
+MANIFEST_SCHEMA = RecordSchema(
+    kind="model manifest",
+    format=_MANIFEST_FORMAT,
+    version=1,
+    version_aliases=("schema",),
+    fields=(
+        FieldSpec("manifest", "object", required=True, schema=_MANIFEST_PAYLOAD_SCHEMA),
+        FieldSpec("digest", "str", required=True),
+    ),
+)
+
+
+def _error(rule: str, message: str, file: str) -> Diagnostic:
+    return Diagnostic(rule=rule, severity=Severity.ERROR, message=message, file=file)
+
+
+def _check_fault_plan(
+    record: Any, file: str, base_dir: Optional[str]
+) -> List[Diagnostic]:
+    _, diags = FAULT_PLAN_SCHEMA.validate(record, file=file)
+    return diags
+
+
+def _check_manifest(
+    record: Any, file: str, base_dir: Optional[str]
+) -> List[Diagnostic]:
+    clean, diags = MANIFEST_SCHEMA.validate(record, file=file)
+    if clean is None:
+        return diags
+    from repro.runtime.seeding import stable_digest
+
+    payload = record.get("manifest")
+    if record.get("digest") != stable_digest(payload):
+        diags.append(
+            _error(
+                SPEC_XREF,
+                "manifest digest mismatch (tampered or corrupt)",
+                file,
+            )
+        )
+    return diags
+
+
+def _check_referenced_file(
+    ref: str,
+    expected_format: str,
+    what: str,
+    file: str,
+    base_dir: Optional[str],
+) -> List[Diagnostic]:
+    """Validate a cross-file reference: exists, parses, right format, clean."""
+    path = resolve_ref(ref, base_dir)
+    if not path.is_file():
+        return [
+            _error(
+                SPEC_XREF,
+                f"{what} {ref!r} not found (resolved to {path})",
+                file,
+            )
+        ]
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        return [_error("IO001", f"cannot read file: {exc}", str(path))]
+    except ValueError as exc:
+        return [_error("SYN001", f"file is not valid JSON: {exc}", str(path))]
+    fmt = record.get("format") if isinstance(record, Mapping) else None
+    if fmt != expected_format:
+        return [
+            _error(
+                SPEC_XREF,
+                f"{what} {ref!r} has format {fmt!r} "
+                f"(expected {expected_format!r})",
+                file,
+            )
+        ]
+    return check_record(record, file=str(path), base_dir=str(path.parent))
+
+
+def _check_campaign(
+    record: Any, file: str, base_dir: Optional[str]
+) -> List[Diagnostic]:
+    clean, diags = CAMPAIGN_SCHEMA.validate(record, file=file)
+    if clean is None:
+        return diags
+    device = clean["device"]
+    if isinstance(device, Mapping):
+        diags.extend(
+            _check_referenced_file(
+                device["table"], DEVICE_TABLE_FORMAT, "device table", file, base_dir
+            )
+        )
+    return diags
+
+
+def _check_scenario(
+    record: Any, file: str, base_dir: Optional[str]
+) -> List[Diagnostic]:
+    clean, diags = SCENARIO_SCHEMA.validate(record, file=file)
+    if clean is None:
+        return diags
+    campaign = clean["campaign"]
+    if isinstance(campaign, str):
+        diags.extend(
+            _check_referenced_file(
+                campaign, CAMPAIGN_FORMAT, "campaign spec", file, base_dir
+            )
+        )
+    else:
+        diags.extend(_check_campaign(campaign, f"{file}#campaign", base_dir))
+    plan = clean["fault_plan"]
+    if isinstance(plan, str):
+        diags.extend(
+            _check_referenced_file(
+                plan, "repro.fault_plan", "fault plan", file, base_dir
+            )
+        )
+    elif plan is not None:
+        _, plan_diags = FAULT_PLAN_SCHEMA.validate(plan, file=f"{file}#fault_plan")
+        diags.extend(plan_diags)
+    objective = clean["objective"]
+    if objective is not None and objective["model"] is not None:
+        diags.extend(_check_model_ref(objective["model"], file, base_dir))
+    return diags
+
+
+def _check_model_ref(
+    model: Dict[str, Any], file: str, base_dir: Optional[str]
+) -> List[Diagnostic]:
+    root = resolve_ref(model["registry"], base_dir)
+    if not root.is_dir():
+        # A registry that does not exist *yet* is a warning, not an
+        # error: scenarios are often authored before the model trains.
+        return [
+            Diagnostic(
+                rule=SPEC_XREF,
+                severity=Severity.WARNING,
+                message=(
+                    f"model registry {model['registry']!r} not found "
+                    f"(resolved to {root}); model reference unchecked"
+                ),
+                file=file,
+            )
+        ]
+    from repro.errors import RegistryError
+    from repro.serving.registry import ModelRegistry
+
+    try:
+        ModelRegistry(root).manifest(model["name"], model["version"])
+    except RegistryError as exc:
+        return [_error(SPEC_XREF, f"unresolvable model reference: {exc}", file)]
+    return []
+
+
+_CHECKERS = {
+    "repro.fault_plan": _check_fault_plan,
+    DEVICE_TABLE_FORMAT: check_device_table,
+    CAMPAIGN_FORMAT: _check_campaign,
+    SCENARIO_FORMAT: _check_scenario,
+    _MANIFEST_FORMAT: _check_manifest,
+}
+
+#: Envelope ``format`` tags the checker recognizes.
+KNOWN_SPEC_FORMATS = tuple(sorted(_CHECKERS))
+
+
+def check_record(
+    record: Any, file: str = "<spec>", base_dir: Optional[str] = None
+) -> List[Diagnostic]:
+    """Check one already-parsed spec record, dispatching on its format."""
+    if not isinstance(record, Mapping):
+        return [
+            _error(
+                "SPEC002",
+                f"spec must be a JSON object, got {type(record).__name__}",
+                file,
+            )
+        ]
+    fmt = record.get("format")
+    checker = _CHECKERS.get(fmt)
+    if checker is None:
+        return [
+            _error(
+                SPEC_FIELDS,
+                f"unrecognized spec format {fmt!r}; known formats: "
+                f"{', '.join(KNOWN_SPEC_FORMATS)}",
+                file,
+            )
+        ]
+    if checker is check_device_table:
+        return checker(record, file)
+    return checker(record, file, base_dir)
+
+
+def check_json_file(
+    path: Union[str, pathlib.Path], explicit: bool = False
+) -> List[Diagnostic]:
+    """Lint one ``.json`` file (the ``repro lint`` entry for JSON inputs).
+
+    ``explicit`` distinguishes a file the user named on the command line
+    (must be a recognizable spec) from one found while walking a
+    directory (non-spec JSON is silently skipped).
+    """
+    path = pathlib.Path(path)
+    file = str(path).replace("\\", "/")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [_error("IO001", f"cannot read file: {exc}", file)]
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        return [_error("SYN001", f"file is not valid JSON: {exc}", file)]
+    recognized = isinstance(record, Mapping) and record.get("format") in _CHECKERS
+    if not recognized:
+        if explicit:
+            fmt = record.get("format") if isinstance(record, Mapping) else None
+            return [
+                _error(
+                    SPEC_FIELDS,
+                    f"not a recognized spec file (format {fmt!r}; known: "
+                    f"{', '.join(KNOWN_SPEC_FORMATS)})",
+                    file,
+                )
+            ]
+        return []
+    return check_record(record, file=file, base_dir=str(path.parent))

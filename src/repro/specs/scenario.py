@@ -1,0 +1,328 @@
+"""Composite scenario specs (``format: repro.scenario``).
+
+A scenario binds everything one reproducible experiment needs — a
+campaign (inline or referenced by path), an optional fault plan (inline
+or by path), an optional serving objective (optionally served from a
+registered model), and output artifacts — into a single validated JSON
+file that ``repro run`` executes end to end.
+
+References are resolved **relative to the scenario file** and inlined at
+load time, so a scenario's canonical record (and therefore its
+:meth:`ScenarioSpec.fingerprint`) depends only on the *content* of what
+it references, never on where the files happened to live.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import SpecError, SpecValidationError
+from repro.faults.plan import FaultPlan
+from repro.serving.objectives import OBJECTIVE_KINDS
+from repro.specs.campaign import CampaignSpec
+from repro.specs.schema import (
+    SPEC_VALUE,
+    SPEC_XREF,
+    FieldSpec,
+    RecordSchema,
+    Reporter,
+)
+
+__all__ = [
+    "SCENARIO_FORMAT",
+    "SCENARIO_VERSION",
+    "SCENARIO_SCHEMA",
+    "ObjectiveRef",
+    "ScenarioSpec",
+    "validate_scenario_record",
+    "resolve_ref",
+]
+
+SCENARIO_FORMAT = "repro.scenario"
+SCENARIO_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+_MODEL_REF_SCHEMA = RecordSchema(
+    kind="model reference",
+    fields=(
+        FieldSpec("registry", "str", required=True),
+        FieldSpec("name", "str", required=True),
+        FieldSpec("version", "int", default=None, allow_none=True, minimum=1),
+    ),
+)
+
+
+def _check_objective(clean: Dict[str, Any], rep: Reporter, path: str) -> None:
+    prefix = f"{path}." if path else ""
+    kind = clean["kind"]
+    if kind == "min_energy_deadline" and clean["deadline_s"] is None:
+        rep.error(
+            SPEC_VALUE, f"{prefix}deadline_s: required by kind 'min_energy_deadline'"
+        )
+    if kind == "max_speedup_power" and clean["power_w"] is None:
+        rep.error(
+            SPEC_VALUE, f"{prefix}power_w: required by kind 'max_speedup_power'"
+        )
+    for param, users in (("deadline_s", ("min_energy_deadline",)), ("power_w", ("max_speedup_power",))):
+        if clean[param] is not None and kind not in users:
+            rep.warning(
+                SPEC_VALUE,
+                f"{prefix}{param}: ignored by objective kind {kind!r}",
+            )
+
+
+_OBJECTIVE_SCHEMA = RecordSchema(
+    kind="objective",
+    fields=(
+        FieldSpec(
+            "kind",
+            "str",
+            required=True,
+            choices=OBJECTIVE_KINDS,
+            choices_rule=SPEC_XREF,
+        ),
+        FieldSpec(
+            "deadline_s",
+            "number",
+            default=None,
+            allow_none=True,
+            minimum=0.0,
+            exclusive_minimum=True,
+        ),
+        FieldSpec(
+            "power_w",
+            "number",
+            default=None,
+            allow_none=True,
+            minimum=0.0,
+            exclusive_minimum=True,
+        ),
+        FieldSpec("model", "object", default=None, allow_none=True, schema=_MODEL_REF_SCHEMA),
+    ),
+    extra_check=_check_objective,
+)
+
+_OUTPUTS_SCHEMA = RecordSchema(
+    kind="scenario outputs",
+    fields=(FieldSpec("dataset", "str", default=None, allow_none=True),),
+)
+
+
+def _scenario_extra(clean: Dict[str, Any], rep: Reporter, path: str) -> None:
+    prefix = f"{path}." if path else ""
+    for key in ("campaign", "fault_plan"):
+        value = clean.get(key)
+        if value is not None and not isinstance(value, (str, Mapping)):
+            rep.error(
+                SPEC_VALUE,
+                f"{prefix}{key}: expected a file path or an inline record, "
+                f"got {type(value).__name__}",
+            )
+
+
+SCENARIO_SCHEMA = RecordSchema(
+    kind="scenario spec",
+    format=SCENARIO_FORMAT,
+    version=SCENARIO_VERSION,
+    fields=(
+        FieldSpec("name", "str", required=True),
+        FieldSpec("campaign", "any", required=True),
+        FieldSpec("fault_plan", "any", default=None, allow_none=True),
+        FieldSpec("objective", "object", default=None, allow_none=True, schema=_OBJECTIVE_SCHEMA),
+        FieldSpec("outputs", "object", default=None, allow_none=True, schema=_OUTPUTS_SCHEMA),
+    ),
+    extra_check=_scenario_extra,
+)
+
+
+def validate_scenario_record(
+    record: Any, file: str = "<scenario spec>"
+) -> Tuple[Optional[Dict[str, Any]], List[Diagnostic]]:
+    """Structurally validate one scenario record (no file resolution)."""
+    return SCENARIO_SCHEMA.validate(record, file=file)
+
+
+def resolve_ref(ref: str, base_dir: Optional[str]) -> pathlib.Path:
+    """Resolve a spec-internal file reference against the spec's directory."""
+    p = pathlib.Path(ref)
+    if not p.is_absolute() and base_dir is not None:
+        p = pathlib.Path(base_dir) / p
+    return p
+
+
+def _read_json(path: pathlib.Path, what: str) -> Any:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecError(f"cannot read {what} {path}: {exc}") from exc
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise SpecError(f"{what} {path} is not valid JSON: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ObjectiveRef:
+    """Declarative objective: kind + parameters + optional model source."""
+
+    kind: str = "tradeoff"
+    deadline_s: Optional[float] = None
+    power_w: Optional[float] = None
+    model_registry: Optional[str] = None
+    model_name: Optional[str] = None
+    model_version: Optional[int] = None
+
+    def to_objective(self):
+        """The executable :class:`repro.serving.Objective` this names."""
+        from repro.serving.objectives import Objective
+
+        return Objective.from_kind(
+            self.kind, deadline_s=self.deadline_s, power_w=self.power_w
+        )
+
+    def as_record(self) -> Dict[str, Any]:
+        """Canonical plain-dict form."""
+        model = None
+        if self.model_registry is not None:
+            model = {
+                "registry": self.model_registry,
+                "name": self.model_name,
+                "version": self.model_version,
+            }
+        return {
+            "kind": self.kind,
+            "deadline_s": self.deadline_s,
+            "power_w": self.power_w,
+            "model": model,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One validated, runnable scenario (campaign + chaos + objective)."""
+
+    name: str
+    campaign: CampaignSpec
+    fault_plan: Optional[FaultPlan] = None
+    objective: Optional[ObjectiveRef] = None
+    dataset_output: Optional[str] = None
+    #: Directory for resolving relative output / registry paths at run
+    #: time; excluded from equality (see :class:`CampaignSpec.base_dir`).
+    base_dir: Optional[str] = field(default=None, compare=False)
+
+    def as_record(self) -> Dict[str, Any]:
+        """Canonical record with campaign and fault plan *inlined*.
+
+        A scenario referencing ``campaign.json`` and the same scenario
+        with the campaign pasted inline produce identical records —
+        identity follows content, not file layout.
+        """
+        return {
+            "format": SCENARIO_FORMAT,
+            "schema_version": SCENARIO_VERSION,
+            "name": self.name,
+            "campaign": self.campaign.as_record(),
+            "fault_plan": (
+                None if self.fault_plan is None else self.fault_plan.as_record()
+            ),
+            "objective": (
+                None if self.objective is None else self.objective.as_record()
+            ),
+            "outputs": (
+                None
+                if self.dataset_output is None
+                else {"dataset": self.dataset_output}
+            ),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical (fully inlined) record."""
+        from repro.runtime.seeding import stable_digest
+
+        return stable_digest(self.as_record())
+
+    @classmethod
+    def from_record(
+        cls,
+        record: Any,
+        file: str = "<scenario spec>",
+        base_dir: Optional[str] = None,
+    ) -> "ScenarioSpec":
+        """Validate + resolve references + build.
+
+        Raises :class:`SpecValidationError` with the full diagnostic list
+        on schema violations and :class:`SpecError` on unresolvable
+        references.
+        """
+        clean, diags = SCENARIO_SCHEMA.validate(record, file=file)
+        if clean is None:
+            raise SpecValidationError("scenario spec", diags)
+
+        campaign_ref = clean["campaign"]
+        if isinstance(campaign_ref, str):
+            path = resolve_ref(campaign_ref, base_dir)
+            campaign = CampaignSpec.from_record(
+                _read_json(path, "campaign spec"),
+                file=str(path),
+                base_dir=str(path.parent),
+            )
+        else:
+            campaign = CampaignSpec.from_record(
+                campaign_ref, file=f"{file}#campaign", base_dir=base_dir
+            )
+
+        plan_ref = clean["fault_plan"]
+        if plan_ref is None:
+            fault_plan = None
+        elif isinstance(plan_ref, str):
+            fault_plan = FaultPlan.load(resolve_ref(plan_ref, base_dir))
+        else:
+            fault_plan = FaultPlan.from_record(plan_ref)
+
+        objective = None
+        obj = clean["objective"]
+        if obj is not None:
+            model = obj["model"] or {}
+            objective = ObjectiveRef(
+                kind=obj["kind"],
+                deadline_s=obj["deadline_s"],
+                power_w=obj["power_w"],
+                model_registry=model.get("registry"),
+                model_name=model.get("name"),
+                model_version=model.get("version"),
+            )
+
+        outputs = clean["outputs"] or {}
+        return cls(
+            name=clean["name"],
+            campaign=campaign,
+            fault_plan=fault_plan,
+            objective=objective,
+            dataset_output=outputs.get("dataset"),
+            base_dir=base_dir,
+        )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ScenarioSpec":
+        """Read + validate a scenario spec file (resolving references)."""
+        p = pathlib.Path(path)
+        record = _read_json(p, "scenario spec")
+        return cls.from_record(record, file=str(p), base_dir=str(p.parent))
+
+    def describe(self) -> str:
+        """One-line human summary for run logs."""
+        parts = [f"scenario {self.name!r}: {self.campaign.describe()}"]
+        if self.fault_plan is not None:
+            parts.append(self.fault_plan.describe())
+        if self.objective is not None:
+            obj = f"objective {self.objective.kind}"
+            if self.objective.model_name is not None:
+                obj += f" via model {self.objective.model_name}"
+            parts.append(obj)
+        return "; ".join(parts)

@@ -1,0 +1,558 @@
+"""Declarative, versioned record schemas for JSON spec artifacts.
+
+Every configuration artifact the toolchain consumes — campaign configs,
+fault plans, device-spec tables, scenario specs, registry manifests — is
+described here as data: a :class:`RecordSchema` listing typed
+:class:`FieldSpec` entries plus an envelope (``format`` tag and
+``schema_version``). Validation walks the schema and *collects*
+:class:`repro.analysis.diagnostics.Diagnostic` records instead of
+raising on the first problem, which is what lets ``repro lint`` report
+every defect of a spec file in one pass and lets loaders raise a single
+:class:`repro.errors.SpecValidationError` carrying the full list.
+
+Rule family (catalogued in ``docs/static-analysis.md``):
+
+- ``SPEC001`` — unknown / missing / duplicated fields, wrong ``format``;
+- ``SPEC002`` — type and range violations (negative frequencies,
+  impossible retry budgets, non-finite numbers);
+- ``SPEC003`` — dangling cross-references (unknown fault kinds, devices,
+  apps, objectives, unresolvable files or registry models);
+- ``SPEC004`` — dimensional errors on quantity-valued fields, checked
+  with :mod:`repro.analysis.dimensional` (a memory frequency in watts is
+  a bug the JSON type system cannot see);
+- ``SPEC005`` — versioning: unknown or future ``schema_version``,
+  deprecated field spellings (auto-migrated with a warning when safe).
+
+Quantity-valued fields are written as ``{"value": 1107, "unit": "MHz"}``
+and are normalized into the schema's canonical unit on load, so a device
+table may freely say ``{"value": 1.107, "unit": "GHz"}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.dimensional import DimensionError, quantity
+from repro.errors import SpecValidationError
+
+__all__ = [
+    "SPEC_FIELDS",
+    "SPEC_VALUE",
+    "SPEC_XREF",
+    "SPEC_UNIT",
+    "SPEC_VERSION",
+    "SPEC_RULE_IDS",
+    "Reporter",
+    "FieldSpec",
+    "RecordSchema",
+    "load_clean",
+]
+
+#: Unknown / missing / extra fields, wrong format tag.
+SPEC_FIELDS = "SPEC001"
+#: Type and range violations.
+SPEC_VALUE = "SPEC002"
+#: Cross-reference integrity (names, files, registry models).
+SPEC_XREF = "SPEC003"
+#: Dimensional consistency of quantity fields.
+SPEC_UNIT = "SPEC004"
+#: Schema-version and migration issues.
+SPEC_VERSION = "SPEC005"
+
+#: Every rule id the spec checkers can emit.
+SPEC_RULE_IDS: Tuple[str, ...] = (
+    SPEC_FIELDS,
+    SPEC_VALUE,
+    SPEC_XREF,
+    SPEC_UNIT,
+    SPEC_VERSION,
+)
+
+#: Value kinds a FieldSpec can declare.
+_KINDS = ("int", "number", "str", "bool", "list", "object", "map", "quantity", "any")
+
+
+class Reporter:
+    """Accumulates diagnostics against one logical file/location."""
+
+    def __init__(self, file: str = "<spec>") -> None:
+        self.file = file
+        self.diagnostics: List[Diagnostic] = []
+
+    def report(self, rule: str, message: str, severity: Severity) -> None:
+        """Record one finding."""
+        self.diagnostics.append(
+            Diagnostic(rule=rule, severity=severity, message=message, file=self.file)
+        )
+
+    def error(self, rule: str, message: str) -> None:
+        """Record an error-severity finding."""
+        self.report(rule, message, Severity.ERROR)
+
+    def warning(self, rule: str, message: str) -> None:
+        """Record a warning-severity finding."""
+        self.report(rule, message, Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        """True once any error-severity diagnostic has been recorded."""
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One typed field of a record schema.
+
+    Parameters
+    ----------
+    name:
+        JSON key (also used, dotted, in diagnostic messages).
+    kind:
+        One of ``int``, ``number``, ``str``, ``bool``, ``list``,
+        ``object`` (nested :class:`RecordSchema`), ``map`` (string keys,
+        uniform values), ``quantity`` (``{"value", "unit"}`` object
+        normalized to ``unit``), or ``any`` (validated by the caller).
+    required:
+        Missing required fields are ``SPEC001`` errors; optional fields
+        fall back to ``default``.
+    minimum / maximum / exclusive_minimum:
+        Range constraints (``SPEC002``); for quantities the range applies
+        to the value *after* conversion into the canonical unit.
+    choices / choices_rule:
+        Closed vocabulary; violations emit ``choices_rule`` (``SPEC002``
+        by default, ``SPEC003`` for cross-reference vocabularies such as
+        fault kinds or device names).
+    unit:
+        Canonical unit for ``quantity`` fields (``SPEC004`` on mismatch).
+    element:
+        Element spec for ``list``/``map`` values.
+    schema:
+        Nested schema for ``object`` fields.
+    min_len / max_len:
+        Length constraints for ``list`` fields.
+    allow_none:
+        Accept JSON ``null`` (the cleaned value is ``None``).
+    """
+
+    name: str
+    kind: str
+    required: bool = False
+    default: Any = None
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    exclusive_minimum: bool = False
+    choices: Optional[Tuple[Any, ...]] = None
+    choices_rule: str = SPEC_VALUE
+    unit: Optional[str] = None
+    element: Optional["FieldSpec"] = None
+    schema: Optional["RecordSchema"] = None
+    min_len: Optional[int] = None
+    max_len: Optional[int] = None
+    allow_none: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown field kind {self.kind!r}")
+        if self.kind == "quantity" and self.unit is None:
+            raise ValueError(f"quantity field {self.name!r} needs a canonical unit")
+        if self.kind == "object" and self.schema is None:
+            raise ValueError(f"object field {self.name!r} needs a nested schema")
+
+
+def _check_range(fs: FieldSpec, value: float, rep: Reporter, path: str) -> bool:
+    ok = True
+    if fs.minimum is not None:
+        if fs.exclusive_minimum and value <= fs.minimum:
+            rep.error(SPEC_VALUE, f"{path}: must be > {fs.minimum:g}, got {value!r}")
+            ok = False
+        elif not fs.exclusive_minimum and value < fs.minimum:
+            rep.error(SPEC_VALUE, f"{path}: must be >= {fs.minimum:g}, got {value!r}")
+            ok = False
+    if fs.maximum is not None and value > fs.maximum:
+        rep.error(SPEC_VALUE, f"{path}: must be <= {fs.maximum:g}, got {value!r}")
+        ok = False
+    return ok
+
+
+def _check_choices(fs: FieldSpec, value: Any, rep: Reporter, path: str) -> bool:
+    if fs.choices is not None and value not in fs.choices:
+        rep.error(
+            fs.choices_rule,
+            f"{path}: unknown value {value!r}; expected one of {tuple(fs.choices)}",
+        )
+        return False
+    return True
+
+
+def _validate_quantity(
+    fs: FieldSpec, value: Any, rep: Reporter, path: str
+) -> Tuple[Any, bool]:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        # Bare numbers are accepted as already-canonical (the common
+        # hand-written shorthand) but the explicit form is preferred.
+        magnitude = float(value)
+        if not math.isfinite(magnitude):
+            rep.error(SPEC_VALUE, f"{path}: must be finite, got {value!r}")
+            return None, False
+        return (magnitude, True) if _check_range(fs, magnitude, rep, path) else (None, False)
+    if not isinstance(value, Mapping):
+        rep.error(
+            SPEC_VALUE,
+            f"{path}: expected a quantity object {{'value', 'unit'}} or a bare "
+            f"number in {fs.unit}, got {type(value).__name__}",
+        )
+        return None, False
+    extra = sorted(set(value) - {"value", "unit"})
+    if extra:
+        rep.error(SPEC_FIELDS, f"{path}: unknown quantity field(s) {extra}")
+        return None, False
+    if "value" not in value or "unit" not in value:
+        rep.error(SPEC_FIELDS, f"{path}: quantity needs both 'value' and 'unit'")
+        return None, False
+    raw, unit = value["value"], value["unit"]
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)) or not math.isfinite(raw):
+        rep.error(SPEC_VALUE, f"{path}: quantity value must be a finite number, got {raw!r}")
+        return None, False
+    if not isinstance(unit, str):
+        rep.error(SPEC_UNIT, f"{path}: quantity unit must be a string, got {unit!r}")
+        return None, False
+    try:
+        q = quantity(float(raw), unit)
+    except DimensionError as exc:
+        rep.error(SPEC_UNIT, f"{path}: {exc}")
+        return None, False
+    if not q.has_unit(fs.unit):
+        rep.error(
+            SPEC_UNIT,
+            f"{path}: unit {unit!r} is not compatible with {fs.unit!r} "
+            f"(dimension mismatch)",
+        )
+        return None, False
+    # Same-unit values pass through untouched: a round trip through the
+    # base unit (e.g. ns -> s -> ns) would perturb the magnitude in the
+    # last float bit and break record-level round-trip identity.
+    magnitude = float(raw) if unit == fs.unit else float(q.to(fs.unit))
+    return (magnitude, True) if _check_range(fs, magnitude, rep, path) else (None, False)
+
+
+def _validate_value(
+    fs: FieldSpec, value: Any, rep: Reporter, path: str
+) -> Tuple[Any, bool]:
+    """Validate one value against ``fs``; returns ``(cleaned, ok)``."""
+    if value is None:
+        if fs.allow_none:
+            return None, True
+        rep.error(SPEC_VALUE, f"{path}: must not be null")
+        return None, False
+    if fs.kind == "any":
+        return value, True
+    if fs.kind == "bool":
+        if not isinstance(value, bool):
+            rep.error(SPEC_VALUE, f"{path}: expected a boolean, got {value!r}")
+            return None, False
+        return value, True
+    if fs.kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            rep.error(
+                SPEC_VALUE,
+                f"{path}: expected an integer, got {type(value).__name__} {value!r}",
+            )
+            return None, False
+        return (
+            (int(value), True)
+            if _check_range(fs, value, rep, path) and _check_choices(fs, value, rep, path)
+            else (None, False)
+        )
+    if fs.kind == "number":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            rep.error(
+                SPEC_VALUE,
+                f"{path}: expected a number, got {type(value).__name__} {value!r}",
+            )
+            return None, False
+        if not math.isfinite(value):
+            rep.error(SPEC_VALUE, f"{path}: must be finite, got {value!r}")
+            return None, False
+        return (float(value), True) if _check_range(fs, value, rep, path) else (None, False)
+    if fs.kind == "str":
+        if not isinstance(value, str):
+            rep.error(
+                SPEC_VALUE,
+                f"{path}: expected a string, got {type(value).__name__} {value!r}",
+            )
+            return None, False
+        return (value, True) if _check_choices(fs, value, rep, path) else (None, False)
+    if fs.kind == "quantity":
+        return _validate_quantity(fs, value, rep, path)
+    if fs.kind == "list":
+        if not isinstance(value, (list, tuple)):
+            rep.error(
+                SPEC_VALUE,
+                f"{path}: expected a list, got {type(value).__name__} {value!r}",
+            )
+            return None, False
+        if fs.min_len is not None and len(value) < fs.min_len:
+            rep.error(SPEC_VALUE, f"{path}: needs at least {fs.min_len} element(s)")
+            return None, False
+        if fs.max_len is not None and len(value) > fs.max_len:
+            rep.error(SPEC_VALUE, f"{path}: allows at most {fs.max_len} element(s)")
+            return None, False
+        if fs.element is None:
+            return list(value), True
+        out: List[Any] = []
+        ok = True
+        for i, item in enumerate(value):
+            cleaned, item_ok = _validate_value(fs.element, item, rep, f"{path}[{i}]")
+            ok = ok and item_ok
+            out.append(cleaned)
+        return (out, True) if ok else (None, False)
+    if fs.kind == "map":
+        if not isinstance(value, Mapping):
+            rep.error(
+                SPEC_VALUE,
+                f"{path}: expected an object, got {type(value).__name__} {value!r}",
+            )
+            return None, False
+        cleaned_map: Dict[str, Any] = {}
+        ok = True
+        for key in sorted(value, key=str):
+            if not isinstance(key, str):
+                rep.error(SPEC_VALUE, f"{path}: keys must be strings, got {key!r}")
+                ok = False
+                continue
+            if fs.element is None:
+                cleaned_map[key] = value[key]
+                continue
+            cleaned, item_ok = _validate_value(
+                fs.element, value[key], rep, f"{path}[{key!r}]"
+            )
+            ok = ok and item_ok
+            cleaned_map[key] = cleaned
+        return (cleaned_map, True) if ok else (None, False)
+    # fs.kind == "object"
+    assert fs.schema is not None
+    if not isinstance(value, Mapping):
+        rep.error(
+            SPEC_VALUE,
+            f"{path}: expected an object, got {type(value).__name__} {value!r}",
+        )
+        return None, False
+    before = rep.has_errors
+    cleaned_obj = fs.schema.validate_body(value, rep, path=path)
+    return cleaned_obj, (cleaned_obj is not None and (before or not rep.has_errors))
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """A versioned record layout: envelope + typed fields + extra checks.
+
+    Parameters
+    ----------
+    kind:
+        Human name used in diagnostics (``"fault plan"``, ...).
+    fields:
+        The field specs; anything else in the record is a ``SPEC001``.
+    format:
+        Expected envelope ``format`` tag; ``None`` for nested records
+        that carry no envelope of their own.
+    version:
+        Current ``schema_version``. Records with an older version are run
+        through ``migrations`` (with a ``SPEC005`` warning) when a
+        migration is registered, rejected otherwise.
+    version_aliases:
+        Deprecated envelope keys accepted (with a warning) in place of
+        ``schema_version`` — e.g. the fault plan's historical ``version``.
+    renamed:
+        Deprecated field spellings, ``old -> new``; auto-migrated with a
+        ``SPEC005`` warning.
+    migrations:
+        ``{from_version: fn(body) -> body}`` upgrade steps.
+    extra_check:
+        Cross-field hook, called with ``(clean, reporter, path)`` only
+        when the record is structurally clean so far.
+    """
+
+    kind: str
+    fields: Tuple[FieldSpec, ...]
+    format: Optional[str] = None
+    version: Optional[int] = None
+    version_aliases: Tuple[str, ...] = ()
+    renamed: Mapping[str, str] = field(default_factory=dict)
+    migrations: Mapping[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = field(
+        default_factory=dict
+    )
+    extra_check: Optional[Callable[[Dict[str, Any], Reporter, str], None]] = None
+
+    def field_names(self) -> Tuple[str, ...]:
+        """Declared field names, in declaration order."""
+        return tuple(f.name for f in self.fields)
+
+    # ------------------------------------------------------------------
+    def validate(
+        self, record: Any, file: str = "<spec>"
+    ) -> Tuple[Optional[Dict[str, Any]], List[Diagnostic]]:
+        """Validate ``record``; returns ``(clean_or_None, diagnostics)``.
+
+        ``clean`` is ``None`` exactly when any error-severity diagnostic
+        was collected; warnings (deprecations, migrations) leave the
+        cleaned record usable.
+        """
+        rep = Reporter(file)
+        clean = self._validate_top(record, rep)
+        if rep.has_errors:
+            clean = None
+        return clean, rep.diagnostics
+
+    def _validate_top(self, record: Any, rep: Reporter) -> Optional[Dict[str, Any]]:
+        if not isinstance(record, Mapping):
+            rep.error(
+                SPEC_VALUE,
+                f"{self.kind} must be a JSON object, got {type(record).__name__}",
+            )
+            return None
+        body = dict(record)
+        if self.format is not None:
+            fmt = body.pop("format", None)
+            if fmt is None:
+                rep.error(
+                    SPEC_FIELDS,
+                    f"missing 'format' tag (expected {self.format!r})",
+                )
+            elif fmt != self.format:
+                rep.error(
+                    SPEC_FIELDS,
+                    f"not a {self.kind}: format {fmt!r} (expected {self.format!r})",
+                )
+                return None
+        if self.version is not None:
+            body = self._apply_version(body, rep)
+            if body is None:
+                return None
+        return self.validate_body(body, rep, path="")
+
+    def _apply_version(
+        self, body: Dict[str, Any], rep: Reporter
+    ) -> Optional[Dict[str, Any]]:
+        version = body.pop("schema_version", None)
+        if version is None:
+            for alias in self.version_aliases:
+                if alias in body:
+                    version = body.pop(alias)
+                    rep.warning(
+                        SPEC_VERSION,
+                        f"deprecated envelope key {alias!r}; use 'schema_version'",
+                    )
+                    break
+        if version is None:
+            rep.warning(
+                SPEC_VERSION,
+                f"missing 'schema_version'; assuming current version {self.version}",
+            )
+            return body
+        if isinstance(version, bool) or not isinstance(version, int):
+            rep.error(
+                SPEC_VERSION, f"schema_version must be an integer, got {version!r}"
+            )
+            return None
+        while version < self.version:
+            migrate = self.migrations.get(version)
+            if migrate is None:
+                rep.error(
+                    SPEC_VERSION,
+                    f"unsupported {self.kind} schema_version {version} "
+                    f"(this build reads {self.version}; no migration registered)",
+                )
+                return None
+            body = migrate(dict(body))
+            rep.warning(
+                SPEC_VERSION,
+                f"auto-migrated {self.kind} from schema_version {version} "
+                f"to {version + 1}",
+            )
+            version += 1
+        if version != self.version:
+            rep.error(
+                SPEC_VERSION,
+                f"unsupported {self.kind} schema_version {version!r} "
+                f"(this build reads {self.version})",
+            )
+            return None
+        return body
+
+    def validate_body(
+        self, body: Mapping[str, Any], rep: Reporter, path: str = ""
+    ) -> Optional[Dict[str, Any]]:
+        """Validate envelope-less field content (used for nested objects)."""
+        if not isinstance(body, Mapping):
+            rep.error(
+                SPEC_VALUE,
+                f"{path or self.kind}: expected an object, got {type(body).__name__}",
+            )
+            return None
+        data = dict(body)
+        prefix = f"{path}." if path else ""
+        for old in sorted(self.renamed):
+            new = self.renamed[old]
+            if old in data:
+                if new in data:
+                    rep.error(
+                        SPEC_FIELDS,
+                        f"{prefix}{old}: deprecated spelling duplicates {new!r}",
+                    )
+                else:
+                    rep.warning(
+                        SPEC_VERSION,
+                        f"{prefix}{old}: deprecated field; renamed to {new!r}",
+                    )
+                    data[new] = data.pop(old)
+        known = set(self.field_names())
+        for key in sorted(set(data) - known, key=str):
+            where = f" (in {path})" if path else ""
+            rep.error(
+                SPEC_FIELDS, f"unknown {self.kind} field {key!r}{where}"
+            )
+        clean: Dict[str, Any] = {}
+        for fs in self.fields:
+            fpath = f"{prefix}{fs.name}"
+            if fs.name not in data:
+                if fs.required:
+                    rep.error(
+                        SPEC_FIELDS,
+                        f"{self.kind} is missing required field {fpath!r}",
+                    )
+                else:
+                    clean[fs.name] = fs.default
+                continue
+            cleaned, ok = _validate_value(fs, data[fs.name], rep, fpath)
+            clean[fs.name] = cleaned if ok else fs.default
+        if self.extra_check is not None and not rep.has_errors:
+            self.extra_check(clean, rep, path)
+        return clean
+
+
+def load_clean(
+    schema: RecordSchema, record: Any, file: str = "<spec>"
+) -> Dict[str, Any]:
+    """Validate and return the cleaned record or raise with *all* errors.
+
+    The raising counterpart of :meth:`RecordSchema.validate` used by
+    loaders (:class:`~repro.faults.plan.FaultPlan`, the campaign/scenario
+    loaders): collects every diagnostic first, then raises one
+    :class:`repro.errors.SpecValidationError` carrying the lot.
+    """
+    clean, diags = schema.validate(record, file=file)
+    if clean is None:
+        raise SpecValidationError(schema.kind, diags)
+    return clean

@@ -3,9 +3,17 @@
 import json
 from pathlib import Path
 
+import pytest
+
 import repro
 from repro.analysis import run_lint, self_check
-from repro.analysis.runner import iter_python_files, lint_paths
+from repro.analysis.runner import (
+    KNOWN_RULE_FAMILIES,
+    KNOWN_RULE_IDS,
+    expand_select,
+    iter_python_files,
+    lint_paths,
+)
 from repro.cli import main
 
 PACKAGE_DIR = Path(repro.__file__).parent
@@ -38,10 +46,48 @@ class TestRunner:
         assert diags == []
 
     def test_unknown_select_rule_raises(self):
-        import pytest
-
         with pytest.raises(ValueError, match="NOPE999"):
             run_lint([str(PACKAGE_DIR / "errors.py")], select=["NOPE999"])
+
+
+class TestExpandSelect:
+    def test_none_means_all_rules(self):
+        assert expand_select(None) is None
+
+    def test_exact_ids_pass_through(self):
+        assert expand_select(["DET001", "HW001"]) == frozenset({"DET001", "HW001"})
+
+    def test_family_expands_to_every_member(self):
+        expanded = expand_select(["SPEC"])
+        assert expanded == frozenset(
+            {"SPEC001", "SPEC002", "SPEC003", "SPEC004", "SPEC005"}
+        )
+
+    def test_families_cover_every_known_rule(self):
+        for family in KNOWN_RULE_FAMILIES:
+            assert expand_select([family]) <= frozenset(KNOWN_RULE_IDS)
+
+    def test_mixed_families_and_ids(self):
+        expanded = expand_select(["SPEC", "DET001"])
+        assert "SPEC003" in expanded
+        assert "DET001" in expanded
+
+    def test_tokens_are_case_and_whitespace_insensitive(self):
+        assert expand_select([" spec ", "hw001"]) == expand_select(["SPEC", "HW001"])
+
+    def test_typo_rejected_listing_families(self):
+        with pytest.raises(ValueError, match="SPEX") as exc:
+            expand_select(["SPEX"])
+        assert "families" in str(exc.value)
+
+    def test_family_select_through_run_lint(self):
+        fixture = Path(__file__).parent.parent / "specs" / "fixtures" / "invalid"
+        diags = run_lint(
+            [str(fixture / "spec002_bad_values.json")],
+            select=["SPEC"],
+            with_self_check=False,
+        )
+        assert diags and {d.rule for d in diags} == {"SPEC002"}
 
 
 class TestLintCommand:

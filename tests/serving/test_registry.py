@@ -126,10 +126,20 @@ class TestIntegrity:
     def test_future_schema_rejected(self, registry):
         path = registry.manifest_path("toy", 1)
         record = json.loads(path.read_text())
-        record["schema"] = REGISTRY_SCHEMA_VERSION + 1
+        record["schema_version"] = REGISTRY_SCHEMA_VERSION + 1
         path.write_text(json.dumps(record))
         with pytest.raises(RegistryError, match="schema"):
             registry.resolve("toy")
+
+    def test_legacy_schema_key_accepted(self, registry):
+        # Manifests written before the envelope converged on
+        # 'schema_version' used 'schema'; they still load.
+        path = registry.manifest_path("toy", 1)
+        record = json.loads(path.read_text())
+        record["schema"] = record.pop("schema_version")
+        path.write_text(json.dumps(record))
+        model, manifest = registry.resolve("toy")
+        assert manifest.name == "toy"
 
     def test_manifest_identity_cross_check(self, registry, tmp_path):
         # A manifest copied under the wrong version directory is rejected

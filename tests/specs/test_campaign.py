@@ -1,0 +1,131 @@
+"""Campaign specs: round-trips, defaults, fingerprints and CLI parity."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import CRONOS_GRID_SIZES, DEFAULT_REPETITIONS
+from repro.errors import SpecValidationError
+from repro.specs import (
+    CAMPAIGN_FORMAT,
+    CampaignSpec,
+    campaign_spec_from_cli,
+)
+
+HERE = Path(__file__).parent
+REPO = HERE.parent.parent
+FIXTURE = HERE / "fixtures" / "valid" / "campaign_quick.json"
+EXAMPLE = REPO / "examples" / "specs" / "campaign_cronos_quick.json"
+
+
+def minimal(**body):
+    record = {
+        "format": CAMPAIGN_FORMAT,
+        "schema_version": 1,
+        "app": {"kind": "cronos", "grids": [[10, 4, 4]]},
+        "device": "v100",
+    }
+    record.update(body)
+    return record
+
+
+class TestRoundTrip:
+    def test_fixture_loads(self):
+        spec = CampaignSpec.load(FIXTURE)
+        assert spec.app_kind == "cronos"
+        assert spec.app_params["grids"] == ((10, 4, 4), (20, 8, 8), (40, 16, 16))
+        assert spec.app_params["steps"] == 25
+        assert spec.sweep.freq_count == 2
+        assert spec.sweep.repetitions == 1
+        assert spec.engine.method == "replay"
+
+    def test_record_round_trip_preserves_identity(self):
+        spec = CampaignSpec.load(FIXTURE)
+        again = CampaignSpec.from_record(spec.as_record())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_base_dir_does_not_affect_equality_or_fingerprint(self, tmp_path):
+        copy = tmp_path / "campaign.json"
+        copy.write_text(FIXTURE.read_text())
+        a, b = CampaignSpec.load(FIXTURE), CampaignSpec.load(copy)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+        assert a.base_dir != b.base_dir
+
+    def test_defaults_fill_omitted_sections(self):
+        spec = CampaignSpec.from_record(minimal())
+        assert spec.sweep.freq_count is None
+        assert spec.sweep.freqs_mhz is None
+        assert spec.sweep.repetitions == DEFAULT_REPETITIONS
+        assert spec.engine.seed == 42
+        assert spec.engine.jobs == 1
+        assert spec.device_name == "v100"
+        assert spec.device_table is None
+
+    def test_explicit_freq_list_loads_as_tuple(self):
+        spec = CampaignSpec.from_record(
+            minimal(sweep={"freqs_mhz": [900.0, 1135.0], "repetitions": 2})
+        )
+        assert spec.sweep.freqs_mhz == (900.0, 1135.0)
+        assert spec.sweep.freq_count is None
+
+
+class TestValidation:
+    def test_freq_count_and_list_are_mutually_exclusive(self):
+        with pytest.raises(SpecValidationError) as exc:
+            CampaignSpec.from_record(
+                minimal(sweep={"freq_count": 4, "freqs_mhz": [900.0]})
+            )
+        assert any(d.rule == "SPEC002" for d in exc.value.diagnostics)
+        assert "mutually exclusive" in str(exc.value)
+
+    def test_unknown_device_is_spec003(self):
+        with pytest.raises(SpecValidationError) as exc:
+            CampaignSpec.from_record(minimal(device="h100"))
+        assert any(d.rule == "SPEC003" for d in exc.value.diagnostics)
+
+    def test_unknown_app_kind_is_spec003(self):
+        with pytest.raises(SpecValidationError) as exc:
+            CampaignSpec.from_record(minimal(app={"kind": "gromacs"}))
+        assert any(d.rule == "SPEC003" for d in exc.value.diagnostics)
+
+    def test_all_errors_reported_in_one_pass(self):
+        with pytest.raises(SpecValidationError) as exc:
+            CampaignSpec.from_record(
+                minimal(
+                    sweep={"freq_count": 0, "repetitions": 0},
+                    engine={"jobs": 0},
+                )
+            )
+        assert len(exc.value.diagnostics) == 3
+
+    def test_deprecated_reps_spelling_still_loads(self):
+        spec = CampaignSpec.from_record(minimal(sweep={"reps": 3}))
+        assert spec.sweep.repetitions == 3
+
+
+class TestCliParity:
+    def test_quick_cronos_matches_shipped_example(self):
+        # The example spec and the `repro campaign --app cronos --quick
+        # --freqs 4 --reps 1` flag set must describe the same campaign —
+        # this is the spec-level half of the bit-identity guarantee.
+        spec = campaign_spec_from_cli(
+            "cronos", quick=True, freq_count=4, repetitions=1
+        )
+        example = CampaignSpec.load(EXAMPLE)
+        assert spec == example
+        assert spec.fingerprint() == example.fingerprint()
+
+    def test_quick_cronos_uses_grid_prefix(self):
+        spec = campaign_spec_from_cli("cronos", quick=True)
+        assert spec.app_params["grids"] == tuple(CRONOS_GRID_SIZES[:3])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(Exception, match="unknown application"):
+            campaign_spec_from_cli("gromacs")
+
+    def test_example_spec_round_trips(self):
+        example = CampaignSpec.load(EXAMPLE)
+        assert example.as_record() == json.loads(EXAMPLE.read_text())

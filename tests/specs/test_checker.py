@@ -1,0 +1,102 @@
+"""Golden-file tests pinning the SPEC0xx diagnostic output.
+
+Every SPEC rule has one seeded-invalid fixture under
+``fixtures/invalid/`` (named after the rule it trips) and the combined
+``repro lint --format json`` payload over all of them is checked in at
+``golden/invalid_specs.json``. Regenerate after a deliberate change:
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from pathlib import Path
+    from repro.analysis import render_json
+    from repro.specs.checker import check_record
+
+    fixtures = Path("tests/specs/fixtures/invalid")
+    diags = []
+    for p in sorted(fixtures.glob("*.json")):
+        record = json.loads(p.read_text())
+        diags.extend(check_record(record, file=p.name, base_dir=None))
+    diags.sort(key=lambda d: (d.file, d.line, d.col, d.rule))
+    Path("tests/specs/golden/invalid_specs.json").write_text(
+        render_json(diags) + "\n")
+    EOF
+
+``check_record`` is driven with the fixture *basename* and
+``base_dir=None`` so dangling-reference messages resolve to relative
+paths and the golden file is machine-independent.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import render_json
+from repro.specs import SPEC_RULE_IDS, check_json_file, check_record
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+GOLDEN = HERE / "golden" / "invalid_specs.json"
+
+
+def _current_output() -> str:
+    diags = []
+    for p in sorted((FIXTURES / "invalid").glob("*.json")):
+        record = json.loads(p.read_text())
+        diags.extend(check_record(record, file=p.name, base_dir=None))
+    diags.sort(key=lambda d: (d.file, d.line, d.col, d.rule))
+    return render_json(diags) + "\n"
+
+
+def test_invalid_fixtures_match_golden_file():
+    assert _current_output() == GOLDEN.read_text()
+
+
+def test_golden_file_covers_every_spec_rule():
+    payload = json.loads(GOLDEN.read_text())
+    assert payload["format"] == "repro.lint"
+    assert payload["version"] == 1
+    seen = {d["rule"] for d in payload["diagnostics"]}
+    assert seen == set(SPEC_RULE_IDS)
+    assert all(d["severity"] == "error" for d in payload["diagnostics"])
+    assert all(
+        set(d) == {"rule", "severity", "message", "file", "line", "col"}
+        for d in payload["diagnostics"]
+    )
+
+
+@pytest.mark.parametrize(
+    "path", sorted((FIXTURES / "invalid").glob("*.json")), ids=lambda p: p.stem
+)
+def test_each_invalid_fixture_trips_exactly_its_named_rule(path):
+    expected = path.stem.split("_")[0].upper()
+    diags = check_json_file(path, explicit=True)
+    assert diags
+    assert {d.rule for d in diags} == {expected}
+
+
+@pytest.mark.parametrize(
+    "path", sorted((FIXTURES / "valid").glob("*.json")), ids=lambda p: p.stem
+)
+def test_valid_fixtures_are_clean(path):
+    assert check_json_file(path, explicit=True) == []
+
+
+def test_explicit_unrecognized_json_is_an_error(tmp_path):
+    path = tmp_path / "dataset.json"
+    path.write_text(json.dumps({"rows": [1, 2, 3]}))
+    diags = check_json_file(path, explicit=True)
+    assert diags and all(d.severity.value == "error" for d in diags)
+
+
+def test_walked_unrecognized_json_is_skipped(tmp_path):
+    path = tmp_path / "dataset.json"
+    path.write_text(json.dumps({"rows": [1, 2, 3]}))
+    assert check_json_file(path, explicit=False) == []
+
+
+def test_malformed_json_is_reported_not_raised(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    diags = check_json_file(path, explicit=True)
+    assert diags and diags[0].rule == "SYN001"

@@ -1,0 +1,108 @@
+"""Device-spec tables: round-trips, unit conversion and the SPEC/HW gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SpecError, SpecValidationError
+from repro.hw.specs import make_intel_max_spec, make_mi100_spec, make_v100_spec
+from repro.specs import (
+    DEVICE_TABLE_FORMAT,
+    DEVICE_TABLE_SCHEMA,
+    check_device_table,
+    device_spec_from_clean,
+    device_table_record,
+    load_device_table,
+)
+
+HERE = Path(__file__).parent
+VALID_TABLE = HERE / "fixtures" / "valid" / "device_v100.json"
+WRONG_UNIT_TABLE = HERE / "fixtures" / "invalid" / "spec004_wrong_unit.json"
+
+FACTORIES = {
+    "v100": make_v100_spec,
+    "mi100": make_mi100_spec,
+    "max1100": make_intel_max_spec,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_record_round_trip_is_identity(name):
+    # FrequencyTable has no value-equality, so the round trip is checked
+    # at the record level: spec -> record -> spec -> record must be a
+    # fixed point, bit for bit (same-unit quantities pass through).
+    record = device_table_record(FACTORIES[name]())
+    clean, diags = DEVICE_TABLE_SCHEMA.validate(record)
+    assert diags == []
+    rebuilt = device_spec_from_clean(clean)
+    assert device_table_record(rebuilt) == record
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_generated_tables_pass_the_full_check(name):
+    record = device_table_record(FACTORIES[name]())
+    assert check_device_table(record) == []
+
+
+def test_compatible_units_convert_at_load_time():
+    record = device_table_record(make_v100_spec())
+    mhz = record["mem_freq"]["value"]
+    record["mem_freq"] = {"value": mhz / 1000.0, "unit": "GHz"}
+    clean, diags = DEVICE_TABLE_SCHEMA.validate(record)
+    assert diags == []
+    assert clean["mem_freq"] == pytest.approx(mhz)
+
+
+def test_wrong_dimension_is_spec004():
+    record = json.loads(WRONG_UNIT_TABLE.read_text())
+    diags = check_device_table(record)
+    assert diags and {d.rule for d in diags} == {"SPEC004"}
+
+
+def test_hw_rules_rehome_onto_the_json_file():
+    # Zeroed dynamic power is schema-clean (minimum=0) but physically
+    # inconsistent: idle == full load, no headroom. That reaches the HW
+    # validator, whose findings must point at the JSON artifact rather
+    # than the transient in-memory spec.
+    record = device_table_record(make_v100_spec())
+    for key in ("p_clock", "p_core_dyn", "p_mem_dyn"):
+        record[key] = {"value": 0.0, "unit": "W"}
+    diags = check_device_table(record, file="table.json")
+    assert any(d.rule == "HW003" for d in diags)
+    assert all(d.file == "table.json" for d in diags)
+
+
+def test_out_of_band_default_is_spec002():
+    record = device_table_record(make_v100_spec())
+    record["core_freqs"]["default"] = {"value": 9999.0, "unit": "MHz"}
+    diags = check_device_table(record)
+    assert diags and {d.rule for d in diags} == {"SPEC002"}
+
+
+def test_load_device_table_round_trips_the_fixture():
+    spec = load_device_table(VALID_TABLE)
+    assert device_table_record(spec) == json.loads(VALID_TABLE.read_text())
+
+
+def test_load_rejects_invalid_tables_with_all_errors():
+    with pytest.raises(SpecValidationError) as exc:
+        load_device_table(WRONG_UNIT_TABLE)
+    assert len(exc.value.diagnostics) == 2  # both bad units, one pass
+
+
+def test_load_rejects_non_json(tmp_path):
+    path = tmp_path / "table.json"
+    path.write_text("{not json")
+    with pytest.raises(SpecError, match="not valid JSON"):
+        load_device_table(path)
+
+
+def test_load_rejects_missing_file(tmp_path):
+    with pytest.raises(SpecError, match="cannot read"):
+        load_device_table(tmp_path / "absent.json")
+
+
+def test_format_tag_matches_constant():
+    record = device_table_record(make_v100_spec())
+    assert record["format"] == DEVICE_TABLE_FORMAT

@@ -1,0 +1,128 @@
+"""End-to-end tests for `repro run` and the JSON side of `repro lint`."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.specs import campaign_spec_from_cli
+
+HERE = Path(__file__).parent
+REPO = HERE.parent.parent
+EXAMPLES = REPO / "examples" / "specs"
+VALID = HERE / "fixtures" / "valid"
+INVALID = HERE / "fixtures" / "invalid"
+
+
+class TestRunCommand:
+    def test_spec_run_bit_identical_to_flag_run(self, tmp_path, capsys):
+        # The acceptance criterion for the whole subsystem: driving the
+        # executor through a spec file and through CLI flags must write
+        # byte-identical datasets.
+        ds_flags = tmp_path / "flags.json"
+        ds_spec = tmp_path / "spec.json"
+        rc = main(
+            [
+                "campaign", "--app", "cronos", "--quick",
+                "--freqs", "2", "--reps", "1", "--no-cache",
+                "--dataset-output", str(ds_flags),
+            ]
+        )
+        assert rc == 0
+        spec = campaign_spec_from_cli("cronos", quick=True, freq_count=2, repetitions=1)
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(json.dumps(spec.as_record(), indent=2))
+        rc = main(["run", str(spec_path), "--dataset-output", str(ds_spec)])
+        assert rc == 0
+        assert ds_flags.read_bytes() == ds_spec.read_bytes()
+
+    def test_scenario_with_objective_prints_advice(self, capsys):
+        rc = main(["run", str(VALID / "scenario.json")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scenario 'fixture-scenario'" in out
+        assert "MHz" in out
+
+    def test_check_valid_spec(self, capsys):
+        rc = main(["run", str(EXAMPLES / "scenario_serving.json"), "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "spec is valid" in out
+
+    def test_check_invalid_spec_exits_nonzero(self, capsys):
+        rc = main(["run", str(INVALID / "spec002_bad_values.json"), "--check"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "SPEC002" in captured.err
+        assert "spec is valid" not in captured.out
+
+    def test_unrecognized_json_is_rejected(self, tmp_path, capsys):
+        path = tmp_path / "dataset.json"
+        path.write_text(json.dumps({"rows": [1, 2, 3]}))
+        rc = main(["run", str(path)])
+        assert rc == 1
+
+    def test_example_chaos_scenario_checks_clean(self, capsys):
+        rc = main(["run", str(EXAMPLES / "scenario_chaos.json"), "--check"])
+        assert rc == 0
+
+
+class TestLintJsonSpecs:
+    def test_directory_walk_reports_all_seeded_errors(self, capsys):
+        rc = main(["lint", "--no-self-check", "--select", "SPEC", str(INVALID)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        for rule in ("SPEC001", "SPEC002", "SPEC003", "SPEC004", "SPEC005"):
+            assert rule in out
+
+    def test_example_specs_lint_clean(self, capsys):
+        rc = main(["lint", "--no-self-check", str(EXAMPLES)])
+        assert rc == 0
+
+    def test_json_format_payload(self, capsys):
+        rc = main(
+            [
+                "lint", "--no-self-check", "--format", "json",
+                str(INVALID / "spec005_future_version.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        payload = json.loads(out)
+        assert payload["format"] == "repro.lint"
+        assert [d["rule"] for d in payload["diagnostics"]] == ["SPEC005"]
+
+    def test_family_select_from_cli(self, capsys):
+        rc = main(
+            [
+                "lint", "--no-self-check", "--select", "SPEC",
+                str(INVALID / "spec004_wrong_unit.json"),
+            ]
+        )
+        assert rc == 1
+
+    def test_family_select_excludes_other_rules(self, tmp_path, capsys):
+        # A SPEC-only selection over a Python file can find nothing: all
+        # Python rules belong to other families.
+        py = tmp_path / "mod.py"
+        py.write_text("import random\nrandom.random()\n")
+        rc = main(["lint", "--no-self-check", "--select", "SPEC", str(py)])
+        assert rc == 0
+
+    def test_select_typo_is_a_clean_cli_error(self, capsys):
+        rc = main(["lint", "--no-self-check", "--select", "SPEX", str(INVALID)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "unknown rule id" in captured.err
+
+    def test_walked_directory_skips_non_spec_json(self, tmp_path, capsys):
+        (tmp_path / "dataset.json").write_text(json.dumps({"rows": []}))
+        rc = main(["lint", "--no-self-check", str(tmp_path)])
+        assert rc == 0
+
+    def test_explicit_non_spec_json_fails(self, tmp_path, capsys):
+        path = tmp_path / "dataset.json"
+        path.write_text(json.dumps({"rows": []}))
+        rc = main(["lint", "--no-self-check", str(path)])
+        assert rc == 1

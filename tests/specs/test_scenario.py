@@ -1,0 +1,83 @@
+"""Scenario specs: reference resolution, content identity, objectives."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SpecError, SpecValidationError
+from repro.faults import FaultPlan
+from repro.specs import ScenarioSpec
+
+HERE = Path(__file__).parent
+FIXTURE = HERE / "fixtures" / "valid" / "scenario.json"
+
+
+class TestLoading:
+    def test_fixture_resolves_references(self):
+        scenario = ScenarioSpec.load(FIXTURE)
+        assert scenario.name == "fixture-scenario"
+        assert scenario.campaign.app_kind == "cronos"
+        assert isinstance(scenario.fault_plan, FaultPlan)
+        assert scenario.fault_plan.seed == 13
+        assert scenario.objective.kind == "max_speedup_power"
+        assert scenario.objective.power_w == 250.0
+        assert scenario.dataset_output is None
+
+    def test_inline_and_referenced_forms_share_identity(self):
+        # as_record() inlines every reference, so a scenario pointing at
+        # campaign.json and the same scenario with the campaign pasted
+        # inline are the same content — same spec, same fingerprint.
+        referenced = ScenarioSpec.load(FIXTURE)
+        inline = ScenarioSpec.from_record(referenced.as_record())
+        assert inline == referenced
+        assert inline.fingerprint() == referenced.fingerprint()
+        assert inline.base_dir != referenced.base_dir
+
+    def test_dangling_campaign_reference_raises(self, tmp_path):
+        record = json.loads(FIXTURE.read_text())
+        record["campaign"] = "missing/campaign.json"
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(record))
+        with pytest.raises((SpecError, OSError)):
+            ScenarioSpec.load(path)
+
+    def test_outputs_dataset_maps_to_dataset_output(self):
+        record = ScenarioSpec.load(FIXTURE).as_record()
+        record["outputs"] = {"dataset": "out/ds.json"}
+        scenario = ScenarioSpec.from_record(record)
+        assert scenario.dataset_output == "out/ds.json"
+        assert scenario.as_record()["outputs"] == {"dataset": "out/ds.json"}
+
+
+class TestObjectiveValidation:
+    def _record(self, objective):
+        record = ScenarioSpec.load(FIXTURE).as_record()
+        record["objective"] = objective
+        return record
+
+    def test_unknown_kind_is_spec003(self):
+        with pytest.raises(SpecValidationError) as exc:
+            ScenarioSpec.from_record(self._record({"kind": "warp_speed"}))
+        assert any(d.rule == "SPEC003" for d in exc.value.diagnostics)
+
+    def test_deadline_kind_requires_deadline(self):
+        with pytest.raises(SpecValidationError) as exc:
+            ScenarioSpec.from_record(self._record({"kind": "min_energy_deadline"}))
+        assert any("deadline_s" in d.message for d in exc.value.diagnostics)
+
+    def test_power_kind_requires_power(self):
+        with pytest.raises(SpecValidationError) as exc:
+            ScenarioSpec.from_record(self._record({"kind": "max_speedup_power"}))
+        assert any("power_w" in d.message for d in exc.value.diagnostics)
+
+    def test_irrelevant_parameter_warns_but_loads(self):
+        scenario = ScenarioSpec.from_record(
+            self._record({"kind": "tradeoff", "deadline_s": 10.0})
+        )
+        assert scenario.objective.kind == "tradeoff"
+
+    def test_objective_builds_runtime_objective(self):
+        scenario = ScenarioSpec.load(FIXTURE)
+        objective = scenario.objective.to_objective()
+        assert objective is not None

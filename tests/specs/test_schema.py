@@ -1,0 +1,247 @@
+"""Unit tests for the declarative :class:`RecordSchema` framework.
+
+These exercise the framework mechanics in isolation — quantity
+normalization, deprecated-field migration, envelope versioning and the
+collect-then-raise contract — against small purpose-built schemas, so
+failures point at :mod:`repro.specs.schema` rather than at a particular
+artifact schema.
+"""
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.errors import SpecValidationError
+from repro.specs.schema import (
+    SPEC_FIELDS,
+    SPEC_UNIT,
+    SPEC_VALUE,
+    SPEC_VERSION,
+    SPEC_XREF,
+    FieldSpec,
+    RecordSchema,
+    load_clean,
+)
+
+
+def rules(diags):
+    return sorted({d.rule for d in diags})
+
+
+def errors(diags):
+    return [d for d in diags if d.severity is Severity.ERROR]
+
+
+WIDGET = RecordSchema(
+    kind="widget",
+    format="repro.widget",
+    version=2,
+    version_aliases=("version",),
+    renamed={"reps": "repetitions"},
+    migrations={1: lambda body: {"repetitions": body.pop("count", 1), **body}},
+    fields=(
+        FieldSpec(
+            "freq",
+            "quantity",
+            default=None,
+            allow_none=True,
+            unit="MHz",
+            minimum=0.0,
+            exclusive_minimum=True,
+        ),
+        FieldSpec("repetitions", "int", default=1, minimum=1),
+        FieldSpec(
+            "label", "str", default=None, allow_none=True, choices=("a", "b")
+        ),
+    ),
+)
+
+
+def widget(**body):
+    record = {"format": "repro.widget", "schema_version": 2}
+    record.update(body)
+    return record
+
+
+class TestEnvelope:
+    def test_valid_record_cleans(self):
+        clean, diags = WIDGET.validate(widget(freq=1200.0, repetitions=3))
+        assert diags == []
+        assert clean == {"freq": 1200.0, "repetitions": 3, "label": None}
+
+    def test_missing_format_is_spec001(self):
+        clean, diags = WIDGET.validate({"schema_version": 2})
+        assert clean is None
+        assert SPEC_FIELDS in rules(diags)
+
+    def test_wrong_format_is_spec001(self):
+        clean, diags = WIDGET.validate({"format": "repro.other", "schema_version": 2})
+        assert clean is None
+        assert rules(diags) == [SPEC_FIELDS]
+
+    def test_non_object_record(self):
+        clean, diags = WIDGET.validate([1, 2, 3])
+        assert clean is None
+        assert rules(diags) == [SPEC_VALUE]
+
+    def test_unknown_field_is_spec001(self):
+        clean, diags = WIDGET.validate(widget(colour="mauve"))
+        assert clean is None
+        assert rules(diags) == [SPEC_FIELDS]
+        assert "colour" in diags[0].message
+
+    def test_clean_is_none_iff_errors(self):
+        clean, diags = WIDGET.validate(widget(repetitions=0, label="z"))
+        assert clean is None
+        assert len(errors(diags)) == 2  # collect-all, not first-error
+
+
+class TestVersioning:
+    def test_future_version_rejected(self):
+        clean, diags = WIDGET.validate({"format": "repro.widget", "schema_version": 99})
+        assert clean is None
+        assert rules(diags) == [SPEC_VERSION]
+
+    def test_non_integer_version_rejected(self):
+        clean, diags = WIDGET.validate({"format": "repro.widget", "schema_version": "2"})
+        assert clean is None
+        assert rules(diags) == [SPEC_VERSION]
+
+    def test_missing_version_warns_and_assumes_current(self):
+        clean, diags = WIDGET.validate({"format": "repro.widget"})
+        assert clean is not None
+        assert errors(diags) == []
+        assert rules(diags) == [SPEC_VERSION]
+
+    def test_deprecated_envelope_alias_accepted_with_warning(self):
+        clean, diags = WIDGET.validate({"format": "repro.widget", "version": 2})
+        assert clean is not None
+        assert errors(diags) == []
+        assert any("deprecated envelope key" in d.message for d in diags)
+
+    def test_migration_upgrades_old_records(self):
+        clean, diags = WIDGET.validate(
+            {"format": "repro.widget", "schema_version": 1, "count": 7}
+        )
+        assert clean is not None
+        assert clean["repetitions"] == 7
+        assert errors(diags) == []
+        assert any("auto-migrated" in d.message for d in diags)
+
+    def test_old_version_without_migration_rejected(self):
+        bare = RecordSchema(
+            kind="bare", format="repro.bare", version=2, fields=WIDGET.fields
+        )
+        clean, diags = bare.validate({"format": "repro.bare", "schema_version": 1})
+        assert clean is None
+        assert rules(diags) == [SPEC_VERSION]
+
+
+class TestRenamedFields:
+    def test_deprecated_spelling_migrates_with_warning(self):
+        clean, diags = WIDGET.validate(widget(reps=4))
+        assert clean is not None
+        assert clean["repetitions"] == 4
+        assert errors(diags) == []
+        assert any("renamed to 'repetitions'" in d.message for d in diags)
+
+    def test_both_spellings_is_an_error(self):
+        clean, diags = WIDGET.validate(widget(reps=4, repetitions=5))
+        assert clean is None
+        assert rules(diags) == [SPEC_FIELDS]
+
+
+class TestQuantity:
+    def test_same_unit_passes_through_bit_identical(self):
+        # No round trip through the base unit: 0.1 + 0.2 MHz must come
+        # back as exactly 0.1 + 0.2, not 0.30000000000000004 +- 1 ulp.
+        value = 0.1 + 0.2
+        clean, diags = WIDGET.validate(widget(freq={"value": value, "unit": "MHz"}))
+        assert diags == []
+        assert clean["freq"] == value
+
+    def test_compatible_unit_converts(self):
+        clean, diags = WIDGET.validate(widget(freq={"value": 1.2, "unit": "GHz"}))
+        assert diags == []
+        assert clean["freq"] == pytest.approx(1200.0)
+
+    def test_bare_number_is_already_canonical(self):
+        clean, diags = WIDGET.validate(widget(freq=950.0))
+        assert diags == []
+        assert clean["freq"] == 950.0
+
+    def test_incompatible_unit_is_spec004(self):
+        clean, diags = WIDGET.validate(widget(freq={"value": 1.0, "unit": "W"}))
+        assert clean is None
+        assert rules(diags) == [SPEC_UNIT]
+
+    def test_unknown_unit_is_spec004(self):
+        clean, diags = WIDGET.validate(widget(freq={"value": 1.0, "unit": "furlongs"}))
+        assert clean is None
+        assert rules(diags) == [SPEC_UNIT]
+
+    def test_extra_quantity_keys_are_spec001(self):
+        clean, diags = WIDGET.validate(
+            widget(freq={"value": 1.0, "unit": "MHz", "sigma": 0.1})
+        )
+        assert clean is None
+        assert rules(diags) == [SPEC_FIELDS]
+
+    def test_range_applies_after_conversion(self):
+        clean, diags = WIDGET.validate(widget(freq={"value": 0.0, "unit": "GHz"}))
+        assert clean is None
+        assert rules(diags) == [SPEC_VALUE]
+
+
+class TestExtraCheck:
+    def _schema(self, calls):
+        def extra(clean, rep, path):
+            calls.append(dict(clean))
+            rep.error(SPEC_XREF, "cross-field problem")
+
+        return RecordSchema(
+            kind="pair",
+            fields=(FieldSpec("n", "int", default=0),),
+            extra_check=extra,
+        )
+
+    def test_runs_only_when_structurally_clean(self):
+        calls = []
+        schema = self._schema(calls)
+        clean, diags = schema.validate({"n": "not an int"})
+        assert calls == []  # field error suppresses the cross-field hook
+        assert rules(diags) == [SPEC_VALUE]
+
+    def test_runs_and_reports_on_clean_records(self):
+        calls = []
+        schema = self._schema(calls)
+        clean, diags = schema.validate({"n": 3})
+        assert calls == [{"n": 3}]
+        assert clean is None
+        assert rules(diags) == [SPEC_XREF]
+
+
+class TestLoadClean:
+    def test_returns_clean_dict(self):
+        clean = load_clean(WIDGET, widget(repetitions=2))
+        assert clean["repetitions"] == 2
+
+    def test_raises_with_every_error(self):
+        with pytest.raises(SpecValidationError) as exc:
+            load_clean(WIDGET, widget(repetitions=0, label="z", colour="mauve"))
+        err = exc.value
+        assert len([d for d in err.diagnostics if d.severity is Severity.ERROR]) == 3
+        assert "3 error(s)" in str(err)
+
+
+class TestFieldSpecConstruction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown field kind"):
+            FieldSpec("x", "decimal")
+
+    def test_quantity_needs_unit(self):
+        with pytest.raises(ValueError, match="canonical unit"):
+            FieldSpec("x", "quantity")
+
+    def test_object_needs_schema(self):
+        with pytest.raises(ValueError, match="nested schema"):
+            FieldSpec("x", "object")
