@@ -520,17 +520,20 @@ def cmd_serve(args) -> int:
         ModelRegistry,
         Objective,
         run_load,
+        run_load_multiprocess,
         synthetic_requests,
     )
 
     registry = ModelRegistry(args.registry)
+    freqs = _serving_freqs(args)
     service = AdvisorService.from_registry(
         registry,
         args.name,
-        _serving_freqs(args),
+        freqs,
         version=args.version,
         max_batch=args.batch_size,
         cache_size=args.cache_size,
+        cache_shards=args.cache_shards,
     )
     manifest = service.manifest
     if args.features:
@@ -545,6 +548,28 @@ def cmd_serve(args) -> int:
         objectives=objectives,
         seed=args.seed,
     )
+    if args.processes > 1:
+        print(
+            f"serving {len(requests)} requests to {manifest.ref} "
+            f"with {args.processes} process(es) x {args.workers} worker(s) ..."
+        )
+        run_load_multiprocess(
+            args.registry,
+            args.name,
+            requests,
+            freqs,
+            processes=args.processes,
+            workers_per_process=args.workers,
+            version=args.version,
+            max_batch=args.batch_size,
+            cache_size=args.cache_size,
+            cache_shards=args.cache_shards,
+        )
+        print(
+            f"served {len(requests)} requests across {args.processes} processes "
+            "(per-process stats stay in the workers)"
+        )
+        return 0
     print(
         f"serving {len(requests)} requests to {manifest.ref} "
         f"with {args.workers} worker(s) ..."
@@ -741,11 +766,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--name", required=True, help="registered model name")
     p.add_argument("--version", type=int, help="model version (default: latest)")
     p.add_argument("--requests", type=int, default=200, help="request count")
-    p.add_argument("--workers", type=int, default=4, help="client threads")
+    p.add_argument("--workers", type=int, default=4, help="client threads (per process)")
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes (>1 drives independent advisor processes past the GIL)",
+    )
     p.add_argument("--pool", type=int, default=8, help="distinct feature tuples in the stream")
     p.add_argument("--seed", type=int, default=0, help="request-stream seed")
     p.add_argument("--batch-size", type=int, default=16, help="micro-batch cap")
     p.add_argument("--cache-size", type=int, default=2048, help="LRU advice-cache capacity")
+    p.add_argument(
+        "--cache-shards",
+        type=int,
+        default=8,
+        help="advice-cache lock shards (clamped down for small caches)",
+    )
     p.add_argument(
         "--features",
         help="base feature tuple for the synthetic pool (default: 64.0 per feature)",

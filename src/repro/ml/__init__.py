@@ -8,7 +8,8 @@ the paper reports (§5.2.1).
 """
 
 from repro.ml.base import Regressor
-from repro.ml.forest import RandomForestRegressor
+from repro.ml.forest import RandomForestRegressor, reference_mode
+from repro.ml.soa import FlatForest
 from repro.ml.linear import Lasso, LinearRegression, Ridge
 from repro.ml.metrics import (
     mape,
@@ -30,6 +31,7 @@ from repro.ml.svr import SVR
 from repro.ml.tree import DecisionTreeRegressor
 
 __all__ = [
+    "FlatForest",
     "GridSearchCV",
     "KFold",
     "Lasso",
@@ -47,6 +49,7 @@ __all__ = [
     "mean_absolute_error",
     "mean_absolute_percentage_error",
     "r2_score",
+    "reference_mode",
     "root_mean_squared_error",
     "train_test_split",
 ]

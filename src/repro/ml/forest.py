@@ -5,20 +5,56 @@ speedup and normalized-energy models and tunes ``max_depth``,
 ``n_estimators`` and ``max_features`` by grid search (§5.2.1, finding the
 defaults best). Features are binned once per forest and shared across all
 trees, so the per-tree cost is only bootstrap + histogram split search.
+
+Prediction runs through a :class:`~repro.ml.soa.FlatForest`: all trees
+stacked into one contiguous SoA node pool and traversed together, which
+removes the per-tree Python loop from the hot path while staying
+bitwise-equal to the per-tree walk (the serving layer's determinism
+contract). The per-tree walk survives as the *reference* path — used by
+the CI divergence gate and selectable with :func:`reference_mode`.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import List, Optional
 
 import numpy as np
 
 from repro.ml.base import Regressor, check_X, check_Xy
+from repro.ml.soa import FlatForest, sequential_mean
 from repro.ml.tree import DecisionTreeRegressor, _bin_features
 from repro.utils.rng import RandomState, as_generator, spawn_child
 from repro.utils.validation import check_positive_int
 
-__all__ = ["RandomForestRegressor"]
+__all__ = ["RandomForestRegressor", "reference_mode"]
+
+# Benchmark/CI hook: when set on the current thread, every forest
+# predicts through the pre-SoA per-tree walk (the reference replay is a
+# measurement harness, not a serving mode).
+_reference_mode = threading.local()
+
+
+def _in_reference_mode() -> bool:
+    return getattr(_reference_mode, "active", False)
+
+
+@contextmanager
+def reference_mode():
+    """Route forest prediction through the per-tree reference walk.
+
+    The SoA fast path must be bitwise-equal to this walk; benchmarks
+    time both under identical call shapes and CI fails if served advice
+    diverges between them. Thread-local, re-entrant enough for nested
+    ``with`` blocks.
+    """
+    prev = _in_reference_mode()
+    _reference_mode.active = True
+    try:
+        yield
+    finally:
+        _reference_mode.active = prev
 
 
 class RandomForestRegressor(Regressor):
@@ -87,12 +123,38 @@ class RandomForestRegressor(Regressor):
             self.estimators_.append(tree)
 
         self.n_features_in_ = X.shape[1]
+        self._flat_forest_: Optional[FlatForest] = None
         return self
 
+    def flat_forest(self) -> FlatForest:
+        """The SoA view of the fitted trees (built lazily, cached).
+
+        Derived state only: never serialized, so model artifacts and
+        registry digests are unaffected. Deserialized forests (which
+        assign ``estimators_`` directly) build it on first predict.
+        """
+        self._check_fitted()
+        flat = getattr(self, "_flat_forest_", None)
+        if flat is None:
+            flat = FlatForest.from_trees(self.estimators_, self.n_features_in_)
+            self._flat_forest_ = flat
+        return flat
+
     def predict(self, X) -> np.ndarray:
-        """Mean prediction over all trees."""
+        """Mean prediction over all trees (SoA single-pass traversal)."""
         self._check_fitted()
         X = check_X(X, self.n_features_in_)
+        if _in_reference_mode():
+            return self._predict_reference(X)
+        return self.flat_forest().predict_mean(X)
+
+    def _predict_reference(self, X: np.ndarray) -> np.ndarray:
+        """The pre-SoA per-tree walk, kept as the bitwise reference.
+
+        ``X`` must already be validated. The SoA path is required to
+        reproduce this loop bit-for-bit (hypothesis-fuzzed and gated by
+        the serving CI smoke).
+        """
         out = np.zeros(X.shape[0])
         for tree in self.estimators_:
             out += tree.predict(X)
@@ -110,6 +172,9 @@ class RandomForestRegressor(Regressor):
         the split results are **bit-identical** to calling
         :meth:`predict` on each chunk alone — batching is purely a
         throughput optimization, never a numerics change.
+
+        Zero-row chunks (shape ``(0, d)``) are legal and yield empty
+        result arrays; an empty chunk list yields ``[]``.
         """
         self._check_fitted()
         mats = [check_X(c, self.n_features_in_) for c in chunks]
@@ -124,5 +189,4 @@ class RandomForestRegressor(Regressor):
         """Across-tree standard deviation — a cheap uncertainty estimate."""
         self._check_fitted()
         X = check_X(X, self.n_features_in_)
-        preds = np.stack([t.predict(X) for t in self.estimators_])
-        return preds.std(axis=0)
+        return self.flat_forest().predict_per_tree(X).std(axis=0)

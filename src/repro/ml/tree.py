@@ -65,10 +65,18 @@ def _bin_features(X: np.ndarray, max_bins: int) -> _BinnedData:
             n_bins[j] = max(uniq.size, 1)
         else:
             qs = np.quantile(col, np.linspace(0, 1, max_bins + 1)[1:-1])
+            # Skewed columns (e.g. constant-after-outlier) collapse many
+            # quantiles onto the same value — possibly onto actual data
+            # values. ``side="left"`` routes a sample equal to an edge
+            # into the bin *at or below* that edge, matching prediction's
+            # ``x <= threshold -> left``; ``side="right"`` would train
+            # such samples on the right of the split but route them left
+            # at predict time (inconsistent partitions on degenerate
+            # columns).
             edges = np.unique(qs)
-            codes[:, j] = np.searchsorted(edges, col, side="right")
+            codes[:, j] = np.searchsorted(edges, col, side="left")
             split_values.append(edges)
-            n_bins[j] = edges.size + 1
+            n_bins[j] = max(int(edges.size) + 1, 1)
     return _BinnedData(codes, split_values, n_bins)
 
 

@@ -24,8 +24,9 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import DatasetError, ModelNotFittedError
-from repro.ml.base import Regressor
-from repro.ml.forest import RandomForestRegressor
+from repro.ml.base import Regressor, check_X
+from repro.ml.forest import RandomForestRegressor, _in_reference_mode
+from repro.ml.soa import FlatForest
 from repro.modeling.dataset import EnergyDataset
 from repro.pareto.front import ParetoFront, extract_front
 from repro.utils.validation import check_positive, ensure_1d
@@ -94,6 +95,7 @@ class DomainSpecificModel:
         self._energy_model: Optional[Regressor] = None
         self._speedup_model: Optional[Regressor] = None
         self._norm_energy_model: Optional[Regressor] = None
+        self._combined_flat: Optional[Tuple[FlatForest, list]] = None
 
     # -- training phase (§4.2.2 + §5.2.1) ---------------------------------
     def _baselines(
@@ -140,6 +142,7 @@ class DomainSpecificModel:
             norm_e_t[i] = s.energy_j / base_e
         self._speedup_model = self.regressor_factory().fit(X, speedup_t)
         self._norm_energy_model = self.regressor_factory().fit(X, norm_e_t)
+        self._combined_flat = None  # derived SoA state; rebuilt lazily
         return self
 
     def _check_fitted(self) -> None:
@@ -210,16 +213,73 @@ class DomainSpecificModel:
             baseline_freq_mhz=self.baseline_freq_mhz,
         )
 
+    # -- SoA fast path ------------------------------------------------------
+    def _combined_flat_forest(self) -> Optional[Tuple[FlatForest, list]]:
+        """All four regressors' trees stacked into ONE SoA node pool.
+
+        The four submodels always score the same design matrix, so
+        instead of four traversals the batch path walks every tree of
+        every submodel in a single level-order pass and recovers each
+        submodel's mean from its tree slice (bitwise equal to that
+        submodel's own ``predict`` — see
+        :meth:`repro.ml.soa.FlatForest.predict_group_means`).
+
+        Returns ``None`` when any submodel is not a fitted
+        RandomForestRegressor (custom ``regressor_factory``); callers
+        then fall back to per-model prediction.
+        """
+        cached = getattr(self, "_combined_flat", None)
+        if cached is not None:
+            return cached
+        models = (
+            self._time_model,
+            self._energy_model,
+            self._speedup_model,
+            self._norm_energy_model,
+        )
+        if not all(
+            isinstance(m, RandomForestRegressor) and hasattr(m, "estimators_")
+            for m in models
+        ):
+            return None
+        trees: list = []
+        groups: list = []
+        for m in models:
+            start = len(trees)
+            trees.extend(m.estimators_)
+            groups.append((start, len(trees)))
+        flat = FlatForest.from_trees(trees, models[0].n_features_in_)
+        self._combined_flat = (flat, groups)
+        return self._combined_flat
+
+    def _design_batch(self, batch: Sequence[Tuple[float, ...]], freqs: np.ndarray) -> np.ndarray:
+        """The stacked design matrix for a request batch, in one allocation.
+
+        Row block *i* equals ``self._design(batch[i], freqs)`` exactly
+        (pure float copies — no arithmetic), just without the per-request
+        ``tile``/``vstack`` round trips.
+        """
+        d = len(self.feature_names)
+        for feats in batch:
+            if len(feats) != d:
+                raise ValueError(f"expected {d} features, got {len(feats)}")
+        B, k = len(batch), freqs.size
+        X = np.empty((B * k, d + 1))
+        X[:, :d] = np.repeat(np.asarray(batch, dtype=float), k, axis=0)
+        X[:, d] = np.tile(freqs, B)
+        return X
+
     def predict_tradeoff_batch(
         self, features_batch: Sequence[Sequence[float]], freqs_mhz
     ) -> list:
         """Trade-off profiles for many inputs in one vectorized pass.
 
-        Stacks every request's design matrix and runs each of the four
-        regressors **once** over the combined matrix instead of once per
-        request — the serving layer's micro-batch fast path. Row-wise
-        prediction, ``exp`` and the clamping ``maximum`` are all
-        element-independent, so each returned
+        Builds one stacked design matrix for the whole batch and walks
+        **all trees of all four regressors** in a single SoA traversal
+        (falling back to four per-model passes for non-forest
+        regressors). Row-wise prediction, ``exp`` and the clamping
+        ``maximum`` are all element-independent and the per-submodel
+        tree accumulation order is preserved, so each returned
         :class:`TradeoffPrediction` is bit-identical to what
         :meth:`predict_tradeoff` would produce for that input alone.
         """
@@ -228,17 +288,29 @@ class DomainSpecificModel:
         batch = [tuple(float(v) for v in feats) for feats in features_batch]
         if not batch:
             return []
-        designs = [self._design(feats, freqs) for feats in batch]
-        X = np.vstack(designs)
-        bounds = np.cumsum([d.shape[0] for d in designs])[:-1]
-        times = np.split(np.exp(self._time_model.predict(X)), bounds)
-        energies = np.split(np.exp(self._energy_model.predict(X)), bounds)
-        speedups = np.split(
-            np.maximum(self._speedup_model.predict(X), 1e-9), bounds
-        )
-        norm_energies = np.split(
-            np.maximum(self._norm_energy_model.predict(X), 1e-9), bounds
-        )
+        X = self._design_batch(batch, freqs)
+        combined = None if _in_reference_mode() else self._combined_flat_forest()
+        if combined is not None:
+            flat, groups = combined
+            raw_t, raw_e, raw_s, raw_n = flat.predict_group_means(
+                check_X(X, flat.n_features_in), groups
+            )
+        else:
+            raw_t = self._time_model.predict(X)
+            raw_e = self._energy_model.predict(X)
+            raw_s = self._speedup_model.predict(X)
+            raw_n = self._norm_energy_model.predict(X)
+        if len(batch) == 1:
+            times = [np.exp(raw_t)]
+            energies = [np.exp(raw_e)]
+            speedups = [np.maximum(raw_s, 1e-9)]
+            norm_energies = [np.maximum(raw_n, 1e-9)]
+        else:
+            bounds = np.cumsum([freqs.size] * len(batch))[:-1]
+            times = np.split(np.exp(raw_t), bounds)
+            energies = np.split(np.exp(raw_e), bounds)
+            speedups = np.split(np.maximum(raw_s, 1e-9), bounds)
+            norm_energies = np.split(np.maximum(raw_n, 1e-9), bounds)
         return [
             TradeoffPrediction(
                 freqs_mhz=freqs,

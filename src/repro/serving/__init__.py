@@ -15,14 +15,21 @@ The inference-stack layer over everything trained offline (PRs 1–4):
   bit-transparent (concurrent == serial, batched == scalar);
 - :mod:`repro.serving.stats` — request/batch/cache counters and
   reservoir-sampled latency percentiles;
-- :mod:`repro.serving.load` — seeded synthetic request streams and a
-  multi-worker load driver (the ``repro serve`` engine).
+- :mod:`repro.serving.load` — seeded synthetic request streams plus
+  multi-thread and multi-process load drivers (the ``repro serve``
+  engine; the process driver proves cache-miss throughput scales past
+  the GIL).
 
 See ``docs/serving.md``.
 """
 
 from repro.serving.cache import PredictionCache, advice_key, quantize_features
-from repro.serving.load import run_load, synthetic_feature_pool, synthetic_requests
+from repro.serving.load import (
+    run_load,
+    run_load_multiprocess,
+    synthetic_feature_pool,
+    synthetic_requests,
+)
 from repro.serving.objectives import OBJECTIVE_KINDS, Advice, Objective
 from repro.serving.registry import (
     REGISTRY_SCHEMA_VERSION,
@@ -48,6 +55,7 @@ __all__ = [
     "advice_key",
     "quantize_features",
     "run_load",
+    "run_load_multiprocess",
     "synthetic_feature_pool",
     "synthetic_requests",
 ]

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.errors import ReproError, ServingError
 from repro.modeling.domain import DomainSpecificModel
-from repro.serving.cache import PredictionCache, advice_key, quantize_features
+from repro.serving.cache import AdviceKeyMaker, PredictionCache, quantize_features
 from repro.serving.objectives import Advice, Objective
 from repro.serving.registry import ModelManifest, ModelRegistry
 from repro.serving.stats import ServiceStats, now_s
@@ -79,6 +79,10 @@ class AdvisorService:
         Upper bound on requests coalesced into one vectorized pass.
     cache_size:
         LRU advice-cache capacity (0 disables caching).
+    cache_shards:
+        Upper bound on independent lock+dict cache shards (contention
+        knob; clamped down for small caches — see
+        :class:`~repro.serving.cache.PredictionCache`).
     """
 
     def __init__(
@@ -88,6 +92,7 @@ class AdvisorService:
         model_digest: str = "unregistered",
         max_batch: int = 16,
         cache_size: int = 2048,
+        cache_shards: int = 8,
         manifest: Optional[ModelManifest] = None,
     ) -> None:
         self.model = model
@@ -100,7 +105,8 @@ class AdvisorService:
             raise ServingError("max_batch must be >= 1")
         self.max_batch = int(max_batch)
         self.manifest = manifest
-        self.cache = PredictionCache(cache_size)
+        self.cache = PredictionCache(cache_size, shards=cache_shards)
+        self._keys = AdviceKeyMaker(self.model_digest, self.freqs_mhz)
         self.stats = ServiceStats()
         self._cond = threading.Condition()
         self._busy = False
@@ -118,6 +124,7 @@ class AdvisorService:
         version: Optional[int] = None,
         max_batch: int = 16,
         cache_size: int = 2048,
+        cache_shards: int = 8,
     ) -> "AdvisorService":
         """Resolve (integrity-verified) a registered model and serve it."""
         model, manifest = registry.resolve(name, version)
@@ -127,6 +134,7 @@ class AdvisorService:
             model_digest=manifest.artifact_sha256,
             max_batch=max_batch,
             cache_size=cache_size,
+            cache_shards=cache_shards,
             manifest=manifest,
         )
 
@@ -149,7 +157,7 @@ class AdvisorService:
                 f"expected {len(self.model.feature_names)} features "
                 f"{self.model.feature_names}, got {len(feats)}"
             )
-        key = advice_key(self.model_digest, feats, self.freqs_mhz, objective)
+        key = self._keys.key(feats, objective)
 
         cached = self.cache.get(key)
         if cached is not None:

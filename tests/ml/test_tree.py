@@ -119,6 +119,31 @@ class TestBinning:
         m = DecisionTreeRegressor(max_bins=16).fit(X, y)
         assert r2_score(y, m.predict(X)) > 0.9
 
+    def test_degenerate_quantile_column_bins_consistently(self):
+        """Regression: a skewed column collapsing most quantiles onto one
+        value used to bin fit-time samples with ``side="right"`` while
+        predict routes ``x <= threshold`` left — the same value landed on
+        different sides of the same edge. The invariant below is exactly
+        'bin membership == the comparison predict performs'."""
+        from repro.ml.tree import _bin_features
+
+        col = np.r_[np.zeros(95), np.arange(1.0, 20.0)]
+        binned = _bin_features(col.reshape(-1, 1), max_bins=8)
+        edges = binned.split_values[0]
+        codes = binned.codes_off[:, 0]  # column 0 carries no offset
+        assert binned.n_bins[0] == edges.size + 1
+        assert binned.n_bins[0] >= 1
+        assert codes.min() >= 0 and codes.max() < binned.n_bins[0]
+        for k, edge in enumerate(edges):
+            assert np.array_equal(codes <= k, col <= edge)
+
+    def test_degenerate_column_fit_predict_round_trip(self):
+        """Training rows equal to a split edge predict their own leaf mean."""
+        col = np.r_[np.zeros(95), np.arange(1.0, 20.0)]
+        y = (col > 0).astype(float)
+        m = DecisionTreeRegressor(max_bins=8).fit(col.reshape(-1, 1), y)
+        assert np.array_equal(m.predict(col.reshape(-1, 1)), y)
+
 
 class TestPredictMechanics:
     def test_unfitted(self):

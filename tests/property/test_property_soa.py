@@ -1,0 +1,58 @@
+"""Hypothesis properties for SoA forest inference (bit-identity).
+
+The vectorized :class:`~repro.ml.soa.FlatForest` traversal must be
+**bitwise** equal to the per-tree
+:meth:`DecisionTreeRegressor.predict` walk for arbitrary fitted
+forests and arbitrary (including empty) prediction inputs — not just
+close: the serving determinism contract and the advice cache both key
+on exact float identity.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.forest import RandomForestRegressor, reference_mode
+from repro.ml.soa import sequential_mean
+
+
+@st.composite
+def fitted_forests(draw):
+    n = draw(st.integers(min_value=10, max_value=40))
+    d = draw(st.integers(min_value=1, max_value=3))
+    n_trees = draw(st.integers(min_value=1, max_value=10))
+    max_depth = draw(st.sampled_from([None, 2, 5]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = X @ rng.normal(size=d) + rng.normal(0, 0.2, n)
+    forest = RandomForestRegressor(
+        n_estimators=n_trees, max_depth=max_depth, random_state=seed
+    ).fit(X, y)
+    n_test = draw(st.integers(min_value=0, max_value=15))
+    Xt = rng.normal(size=(n_test, d))
+    return forest, Xt
+
+
+@given(fitted_forests())
+@settings(max_examples=25, deadline=None)
+def test_soa_per_tree_rows_bitwise_equal_tree_predict(case):
+    """Every FlatForest lane reproduces its tree's own walk, bit for bit."""
+    forest, Xt = case
+    per_tree = forest.flat_forest().predict_per_tree(Xt)
+    for row, tree in zip(per_tree, forest.estimators_):
+        assert np.array_equal(row, tree.predict(Xt))
+
+
+@given(fitted_forests())
+@settings(max_examples=25, deadline=None)
+def test_soa_forest_mean_bitwise_equals_reference_walk(case):
+    """forest.predict (SoA) == the pre-SoA per-tree accumulation loop."""
+    forest, Xt = case
+    fast = forest.predict(Xt)
+    with reference_mode():
+        ref = forest.predict(Xt)
+    assert np.array_equal(fast, ref)
+    # And the mean really is the strict-order accumulation of the lanes.
+    lanes = forest.flat_forest().predict_per_tree(Xt)
+    assert np.array_equal(fast, sequential_mean(lanes))

@@ -1,0 +1,79 @@
+"""Multi-process load-driver tests: bitwise equality with serial serving.
+
+``run_load_multiprocess`` exists to scale the CPU-bound cache-miss path
+past the GIL; correctness-wise it must be invisible — advice is a pure
+function of (model digest, features, grid, objective), so any process
+split of the stream re-joined in request order equals a serial replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    AdvisorService,
+    Objective,
+    run_load,
+    run_load_multiprocess,
+    synthetic_requests,
+)
+
+from .conftest import SERVE_FREQS
+
+OBJECTIVES = [
+    Objective.tradeoff(),
+    Objective.min_energy_deadline(1e6),
+    Objective.max_speedup_power(1e9),
+]
+
+
+def _stream(n):
+    return synthetic_requests([4.0], n, pool_size=6, objectives=OBJECTIVES, seed=2)
+
+
+def _serial(registry, requests):
+    svc = AdvisorService.from_registry(registry, "toy", SERVE_FREQS)
+    return run_load(svc, requests, workers=1)
+
+
+def test_multiprocess_bitwise_equals_serial(registry):
+    requests = _stream(24)
+    got = run_load_multiprocess(
+        registry.root,
+        "toy",
+        requests,
+        SERVE_FREQS,
+        processes=2,
+        workers_per_process=2,
+    )
+    assert got == _serial(registry, requests)
+
+
+def test_single_process_degenerates_to_run_load(registry):
+    requests = _stream(10)
+    got = run_load_multiprocess(
+        registry.root, "toy", requests, SERVE_FREQS, processes=1
+    )
+    assert got == _serial(registry, requests)
+
+
+def test_more_processes_than_requests(registry):
+    requests = _stream(3)
+    got = run_load_multiprocess(
+        registry.root, "toy", requests, SERVE_FREQS, processes=4
+    )
+    assert got == _serial(registry, requests)
+
+
+def test_empty_stream_returns_empty(registry):
+    assert (
+        run_load_multiprocess(registry.root, "toy", [], SERVE_FREQS, processes=2) == []
+    )
+
+
+@pytest.mark.parametrize("kwargs", [{"processes": 0}, {"workers_per_process": 0}])
+def test_invalid_worker_counts_rejected(registry, kwargs):
+    with pytest.raises(ServingError):
+        run_load_multiprocess(
+            registry.root, "toy", _stream(2), SERVE_FREQS, **kwargs
+        )

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ServingError
+from repro.ml.forest import reference_mode
 from repro.serving import (
     AdvisorService,
     Objective,
@@ -60,6 +61,10 @@ class TestBasics:
             service.advise(f).freq_mhz for f in pool
         ]
 
+    def test_advise_many_empty_stream(self, service):
+        assert service.advise_many([]) == []
+        assert service.stats.requests == 0
+
 
 class TestCache:
     def test_repeat_request_hits(self, service):
@@ -96,6 +101,28 @@ class TestCache:
         service.advise([4.0])
         service.advise([4.0 + 1e-13])
         assert service.stats.cache_hits == 1
+
+    def test_signed_zero_features_share_one_cache_entry(self, service):
+        """Regression: -0.0 != 0.0 in canonical JSON split the cache."""
+        first = service.advise([0.0])
+        second = service.advise([-0.0])
+        assert first == second
+        assert service.stats.cache_hits == 1
+        assert service.stats.evaluated == 1
+
+    def test_non_finite_features_rejected_before_model(self, service):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ServingError, match="finite"):
+                service.advise([bad])
+        assert service.stats.requests == 0  # rejected before entering the path
+
+    def test_cache_shards_knob_plumbed_through(self, fitted_model):
+        svc = AdvisorService(
+            fitted_model, SERVE_FREQS, cache_size=2048, cache_shards=4
+        )
+        assert svc.cache.shards == 4
+        assert svc.advise([4.0]) == svc.advise([4.0])
+        assert svc.stats.cache_hits == 1
 
     def test_lru_eviction_bound(self):
         cache = PredictionCache(capacity=2)
@@ -163,6 +190,67 @@ class TestConcurrency:
         # Only 4 distinct feature tuples exist, so the cache must have hit.
         assert stats.cache_hits > 0
         assert len(svc.cache) == 4
+
+    def test_followers_batch_behind_blocked_leader(self, fitted_model, monkeypatch):
+        """Deterministic contention: a barrier holds the leader inside the
+        model call while followers enqueue, so the next drained batch MUST
+        have size > 1 — the micro-batching path is provably exercised, not
+        left to scheduler luck."""
+        import threading
+
+        svc = AdvisorService(
+            fitted_model, SERVE_FREQS, model_digest="d", cache_size=0
+        )
+        real = fitted_model.predict_tradeoff_batch
+        leader_entered = threading.Event()
+        release_leader = threading.Event()
+        batch_sizes = []
+
+        def gated(batch, freqs):
+            batch_sizes.append(len(batch))
+            if not leader_entered.is_set():
+                leader_entered.set()
+                assert release_leader.wait(timeout=10)
+            return real(batch, freqs)
+
+        # monkeypatch (not bare assignment): fitted_model is session-shared.
+        monkeypatch.setattr(svc.model, "predict_tradeoff_batch", gated)
+
+        results = {}
+
+        def ask(size):
+            results[size] = svc.advise([size])
+
+        leader = threading.Thread(target=ask, args=(2.0,))
+        leader.start()
+        assert leader_entered.wait(timeout=10)
+        followers = [
+            threading.Thread(target=ask, args=(s,)) for s in (4.0, 8.0)
+        ]
+        for t in followers:
+            t.start()
+        # Wait until both followers are queued behind the busy leader.
+        deadline = threading.Event()
+        for _ in range(1000):
+            with svc._cond:
+                if len(svc._pending) >= 2:
+                    break
+            deadline.wait(0.01)
+        with svc._cond:
+            assert len(svc._pending) >= 2
+        release_leader.set()
+        leader.join(timeout=10)
+        for t in followers:
+            t.join(timeout=10)
+
+        assert batch_sizes[0] == 1  # the blocked leader served only itself
+        assert max(batch_sizes) >= 2  # followers were drained as one batch
+        assert svc.stats.batch_size_max >= 2
+        # Batched answers are the same advice a serial replay produces.
+        with reference_mode():
+            serial = AdvisorService(fitted_model, SERVE_FREQS, model_digest="d")
+            for size in (2.0, 4.0, 8.0):
+                assert results[size] == serial.advise([size])
 
     def test_model_failure_does_not_strand_followers(self, fitted_model, monkeypatch):
         svc = AdvisorService(fitted_model, SERVE_FREQS, model_digest="d")
