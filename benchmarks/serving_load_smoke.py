@@ -44,6 +44,7 @@ import json
 import pathlib
 import shutil
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -94,17 +95,21 @@ def _train_and_register():
         ),
     ).fit(campaign.dataset)
 
-    model_path = OUTPUT_DIR / "serving_smoke_model.npz"
-    save_domain_model(model, model_path)
     shutil.rmtree(REGISTRY_DIR, ignore_errors=True)
     registry = ModelRegistry(REGISTRY_DIR)
-    manifest = registry.register(
-        model_path,
-        MODEL_NAME,
-        app="ligen",
-        device_signature=device.gpu.spec.signature(),
-        train_fingerprint=f"smoke-campaign-{len(campaign.dataset)}-samples",
-    )
+    # The pre-registration .npz is scratch: registration copies the
+    # artifact into the registry, so stage it in a tempdir rather than
+    # littering benchmarks/output/ (only BENCH_*.json stays tracked).
+    with tempfile.TemporaryDirectory(prefix="serving-smoke-") as staging:
+        model_path = pathlib.Path(staging) / "serving_smoke_model.npz"
+        save_domain_model(model, model_path)
+        manifest = registry.register(
+            model_path,
+            MODEL_NAME,
+            app="ligen",
+            device_signature=device.gpu.spec.signature(),
+            train_fingerprint=f"smoke-campaign-{len(campaign.dataset)}-samples",
+        )
     return registry, manifest
 
 

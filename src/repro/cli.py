@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten workflows, mirroring how a user adopts the library:
+Eleven workflows, mirroring how a user adopts the library:
 
 - ``repro characterize`` — DVFS-sweep an application on a simulated
   device, print the speedup/energy table, optionally save the sweep;
@@ -26,6 +26,10 @@ Ten workflows, mirroring how a user adopts the library:
   registered model under an objective (trade-off, deadline, power cap);
 - ``repro serve`` — drive the online advisor with a synthetic request
   load across worker threads and print the service stats report;
+- ``repro fleet`` — simulate a GPU fleet under deadline-aware DVFS
+  through the vectorized SoA tick engine, optionally against the
+  static-clock baseline or the naive reference engine (see
+  ``docs/fleet.md``);
 - ``repro lint`` — statically verify the repo's invariants: AST lint
   rules over the source tree, ``SPEC0xx`` schema checks over JSON spec
   artifacts, plus the built-in hardware-spec / kernel-IR self-check
@@ -340,6 +344,18 @@ def cmd_run(args) -> int:
     from repro.specs.run import run_scenario
 
     record = json.loads(path.read_text(encoding="utf-8"))
+    if record.get("format") == "repro.fleet":
+        # Fleet specs run through the SoA tick engine, not the campaign
+        # executor — same lint-then-run discipline, different runtime.
+        from repro.fleet import resolve_fleet_model, simulate_fleet
+        from repro.specs import FleetSpec
+
+        spec = FleetSpec.load(path)
+        print(spec.describe())
+        model, _manifest = resolve_fleet_model(spec)
+        result = simulate_fleet(spec, model)
+        print(_render_fleet_summary(result.summary(), "fleet summary (vectorized)"))
+        return 0
     if record.get("format") == "repro.campaign":
         # A bare campaign spec runs as a scenario with no extras.
         scenario = ScenarioSpec(
@@ -494,6 +510,8 @@ def _device_signature(device_name: str):
 
 
 def cmd_advise(args) -> int:
+    import json
+
     from repro.serving import AdvisorService, ModelRegistry
 
     registry = ModelRegistry(args.registry)
@@ -504,6 +522,19 @@ def cmd_advise(args) -> int:
     features = [float(v) for v in args.features.split(",")]
     advice = service.advise(features, objective)
     manifest = service.manifest
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "model": manifest.as_dict(),
+                    "objective": objective.describe(),
+                    "features": features,
+                    "advice": advice.as_dict(),
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"model: {manifest.ref} ({manifest.app}), objective: {objective.describe()}")
     print(
         f"advice: run at {advice.freq_mhz:.0f} MHz "
@@ -511,6 +542,88 @@ def cmd_advise(args) -> int:
         f"normalized energy {advice.predicted_normalized_energy:.3f}, "
         f"{'on' if advice.on_pareto_front else 'off'} the Pareto front)"
     )
+    return 0
+
+
+def _render_fleet_summary(summary, title: str) -> str:
+    lines = [
+        title,
+        f"  jobs               : {summary['jobs']} "
+        f"({summary['jobs_completed']} completed)",
+        f"  SLA attainment     : {summary['sla_attainment']:.1%} "
+        f"({summary['sla_met']}/{summary['jobs']} met deadline)",
+        f"  fleet energy       : {summary['total_energy_j'] / 1e3:.3f} kJ "
+        f"(jobs {summary['job_energy_j'] / 1e3:.3f} kJ)",
+        f"  busy fraction      : {summary['busy_fraction']:.1%}",
+        f"  failures/restarts  : {summary['gpu_failures']} / {summary['job_restarts']}",
+        f"  max temp proxy     : {summary['max_temp_c']:.1f} C, "
+        f"peak queue {summary['peak_queue']}",
+    ]
+    return "\n".join(lines)
+
+
+def cmd_fleet(args) -> int:
+    import json
+    import pathlib
+    from dataclasses import replace
+
+    from repro.analysis import has_errors, render_text
+    from repro.fleet import compare_to_static, resolve_fleet_model, simulate_fleet
+    from repro.specs import FleetSpec, check_json_file
+
+    path = pathlib.Path(args.spec)
+    # Static pass first, like `repro run`: an unclean spec never runs.
+    diagnostics = check_json_file(path, explicit=True)
+    if diagnostics:
+        print(render_text(diagnostics), file=sys.stderr)
+    if has_errors(diagnostics):
+        return 1
+    spec = FleetSpec.load(path)
+    overrides = {}
+    if args.gpus is not None:
+        overrides["gpus"] = args.gpus
+    if args.ticks is not None:
+        overrides["ticks"] = args.ticks
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.policy is not None:
+        overrides["policy"] = args.policy
+    if args.static_freq is not None:
+        overrides["static_freq_mhz"] = args.static_freq
+    if overrides:
+        spec = replace(spec, **overrides)
+    if args.format == "text":
+        print(spec.describe())
+    model, _manifest = resolve_fleet_model(spec)
+    result = simulate_fleet(spec, model, mode=args.mode)
+    summary = result.summary()
+    comparison = None
+    if args.baseline:
+        comparison = compare_to_static(spec, model, advised_result=result)
+    if args.format == "json":
+        payload = {
+            "spec": spec.as_record(),
+            "fingerprint": spec.fingerprint(),
+            "mode": args.mode,
+            "summary": summary,
+        }
+        if comparison is not None:
+            payload["baseline"] = comparison
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(_render_fleet_summary(summary, f"fleet summary ({args.mode})"))
+    if comparison is not None:
+        print(
+            _render_fleet_summary(
+                comparison["static"],
+                f"static-clock baseline ({comparison['static_freq_mhz']:.0f} MHz)",
+            )
+        )
+        print(
+            f"advice saves {comparison['energy_saved_j'] / 1e3:.3f} kJ "
+            f"({comparison['energy_saved_pct']:.1f}%) at SLA delta "
+            f"{comparison['sla_delta']:+.4f}"
+        )
     return 0
 
 
@@ -757,7 +870,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--freq-min", type=float, default=135.0)
     p.add_argument("--freq-max", type=float, default=1597.0)
     p.add_argument("--freq-points", type=int, default=25)
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json emits the manifest, objective, and advice machine-readably",
+    )
     p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser(
+        "fleet",
+        help="simulate a GPU fleet under deadline-aware DVFS (docs/fleet.md)",
+    )
+    p.add_argument("spec", help="fleet spec JSON (format repro.fleet)")
+    p.add_argument(
+        "--mode", choices=("vectorized", "reference"), default="vectorized",
+        help="tick engine: SoA vectorized (default) or the naive "
+        "per-object reference loop (bit-identical, ~10x+ slower)",
+    )
+    p.add_argument(
+        "--baseline", action="store_true",
+        help="also run the static-clock baseline fleet and report the "
+        "energy advice saves at the resulting SLA delta",
+    )
+    p.add_argument("--gpus", type=int, help="override the spec's GPU count")
+    p.add_argument("--ticks", type=int, help="override the spec's tick count")
+    p.add_argument("--seed", type=int, help="override the spec's seed")
+    p.add_argument(
+        "--policy", choices=("advised", "static"),
+        help="override the spec's placement policy",
+    )
+    p.add_argument(
+        "--static-freq", type=float,
+        help="static-clock frequency in MHz (with --policy static or --baseline)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "serve", help="drive the advisor with a synthetic load and print stats"

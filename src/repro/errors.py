@@ -22,6 +22,7 @@ __all__ = [
     "RegistryError",
     "ModelIntegrityError",
     "ServingError",
+    "FleetError",
     "TransientFaultError",
     "LaunchFaultError",
     "SensorDropoutError",
@@ -113,6 +114,10 @@ class ModelIntegrityError(RegistryError):
 
 class ServingError(ReproError):
     """An advisor request cannot be satisfied (e.g. infeasible objective)."""
+
+
+class FleetError(ReproError):
+    """A fleet simulation is misconfigured (bad mode, model/job mismatch)."""
 
 
 class TransientFaultError(ReproError):

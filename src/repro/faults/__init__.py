@@ -14,7 +14,10 @@ can be tested bit-for-bit:
   :class:`FaultySensor`, :class:`FaultyResultCache` injection shells
   around the real device/sensor/cache layers;
 - :mod:`repro.faults.retry` — :class:`RetryPolicy`, seeded exponential
-  backoff for the engine's per-task retry loop.
+  backoff for the engine's per-task retry loop;
+- :mod:`repro.faults.fleet` — precomputed fleet-scale GPU failure
+  schedules for the datacenter simulator (same fault-hash discipline,
+  one Bernoulli draw per GPU-tick).
 
 Headline invariant (pinned by ``tests/runtime/test_resilience.py`` and
 ``tests/property/test_property_faults.py``): a campaign run under a
@@ -24,6 +27,7 @@ corrupted cache entries are detected and recomputed, never served. See
 ``docs/fault-injection.md``.
 """
 
+from repro.faults.fleet import fleet_failure_schedule
 from repro.faults.injector import FAULT_ERRORS, FaultEvent, FaultInjector, fault_hash_unit
 from repro.faults.plan import (
     CACHE_MODES,
@@ -51,4 +55,5 @@ __all__ = [
     "FaultySensor",
     "RetryPolicy",
     "fault_hash_unit",
+    "fleet_failure_schedule",
 ]

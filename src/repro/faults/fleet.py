@@ -1,0 +1,49 @@
+"""Fleet-scale GPU failure schedules, derived from the fault-hash core.
+
+The campaign-level chaos layer decides faults one occurrence at a time
+through :class:`~repro.faults.injector.FaultInjector`. A datacenter
+simulation needs the same determinism at a different granularity: a
+whole ``(tick, gpu)`` grid of independent failure draws, computed *up
+front* so the vectorized and reference engines consume the identical
+schedule (the schedule is input data, not engine behaviour, so it can
+never be a source of divergence between them).
+
+Each cell reuses :func:`~repro.faults.injector.fault_hash_unit` with
+site ``"fleet.gpu.<g>"`` and occurrence ``<tick>`` — the same
+``sha256(seed, site, occurrence)`` discipline every other fault decision
+in the repo derives from, so a fleet failure schedule is reproducible
+from ``(seed, probability)`` alone and completely decorrelated across
+GPUs, ticks, and seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.injector import fault_hash_unit
+
+__all__ = ["fleet_failure_schedule"]
+
+
+def fleet_failure_schedule(
+    seed: int,
+    n_gpus: int,
+    n_ticks: int,
+    probability: float,
+    site_prefix: str = "fleet.gpu",
+) -> np.ndarray:
+    """Boolean ``(n_ticks, n_gpus)`` grid: does GPU *g* fail at tick *t*?
+
+    Cell ``(t, g)`` fires iff
+    ``fault_hash_unit(seed, f"{site_prefix}.{g}", t) < probability`` —
+    an independent Bernoulli draw per GPU-tick. ``probability <= 0``
+    short-circuits to an all-``False`` grid without hashing.
+    """
+    fires = np.zeros((int(n_ticks), int(n_gpus)), dtype=bool)
+    if probability <= 0.0:
+        return fires
+    for g in range(int(n_gpus)):
+        site = f"{site_prefix}.{g}"
+        for t in range(int(n_ticks)):
+            fires[t, g] = fault_hash_unit(seed, site, t) < probability
+    return fires

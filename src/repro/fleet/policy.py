@@ -1,0 +1,69 @@
+"""Deadline-aware frequency selection, in scalar and batched form.
+
+The fleet scheduler picks, for each job it places, the grid frequency
+that minimizes predicted energy among the configurations whose
+predicted time fits the job's remaining deadline slack (Ilager et al.'s
+min-energy-under-deadline rule, the same selection
+:meth:`repro.serving.Objective.min_energy_deadline` serves one request
+at a time). A job whose slack no configuration can meet is not dropped:
+it falls back to the *fastest* configuration, bounding its lateness.
+
+Both spellings below implement the identical selection:
+
+- :func:`select_min_energy_deadline` — one job, plain ``argmin`` over
+  the feasible subset (what the per-object reference engine calls);
+- :func:`select_min_energy_deadline_batch` — all of a tick's placements
+  at once, an ``inf``-masked row-wise ``argmin`` (what the vectorized
+  engine calls).
+
+Tie-breaking is first-index-wins in both (``np.argmin`` semantics over
+the same candidate order), so the batched pick is provably equal to the
+scalar pick row by row — pinned by ``tests/fleet/test_policy.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "select_min_energy_deadline",
+    "select_min_energy_deadline_batch",
+    "static_grid_index",
+]
+
+
+def select_min_energy_deadline(
+    times_s: np.ndarray, energies_j: np.ndarray, slack_s: float
+) -> int:
+    """Grid index minimizing energy subject to ``times_s <= slack_s``.
+
+    Falls back to the fastest configuration when no grid point fits the
+    slack (late, but as little as possible).
+    """
+    feasible = np.flatnonzero(times_s <= slack_s)
+    if feasible.size:
+        return int(feasible[int(np.argmin(energies_j[feasible]))])
+    return int(np.argmin(times_s))
+
+
+def select_min_energy_deadline_batch(
+    times_s: np.ndarray, energies_j: np.ndarray, slack_s: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`select_min_energy_deadline` over ``(k, F)`` profiles.
+
+    ``times_s``/``energies_j`` are ``(k, F)`` (one row per placement),
+    ``slack_s`` is ``(k,)``. Returns ``(k,)`` int64 grid indices, equal
+    element-for-element to the scalar selection: masking infeasible
+    entries to ``+inf`` preserves both the candidate order and the
+    first-index tie-break of the subset ``argmin``.
+    """
+    mask = times_s <= slack_s[:, None]
+    masked = np.where(mask, energies_j, np.inf)
+    picks = np.argmin(masked, axis=1)
+    fallback = np.argmin(times_s, axis=1)
+    return np.where(mask.any(axis=1), picks, fallback).astype(np.int64)
+
+
+def static_grid_index(freqs_mhz: np.ndarray, static_freq_mhz: float) -> int:
+    """Index of the grid frequency nearest the requested static clock."""
+    return int(np.argmin(np.abs(np.asarray(freqs_mhz) - float(static_freq_mhz))))

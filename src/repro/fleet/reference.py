@@ -1,0 +1,288 @@
+"""The deliberately naive per-object fleet engine — the divergence oracle.
+
+This is the loop the SoA tick engine replaces: one Python object per
+GPU and per job, attribute access everywhere, a fresh *uncached scalar*
+model prediction per placement, and the whole run forced through the
+per-tree forest walk (:func:`repro.ml.forest.reference_mode`) — i.e.
+the cost profile a fleet built naively on ``AdvisorService.advise``
+would have. It exists for the same reason the per-tree walk exists in
+:mod:`repro.ml.soa`: as the bit-identity oracle. Every simulated
+quantity it produces must match the vectorized engine **bitwise**
+(:func:`repro.fleet.state.diff_trajectories`), which CI enforces at
+small scale while the benchmark measures the >=10x gap at fleet scale.
+
+Step order and every accounting expression mirror
+:mod:`repro.fleet.engine` exactly — see ``docs/fleet.md`` for the
+contract. Keep the two in lockstep when editing either.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.fleet.advisor import FleetAdvisor
+from repro.fleet.policy import select_min_energy_deadline, static_grid_index
+from repro.fleet.state import (
+    JOB_DONE,
+    JOB_PENDING,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    FleetResult,
+)
+from repro.fleet.workload import FleetWorkload
+from repro.ml.forest import reference_mode
+
+__all__ = ["run_reference"]
+
+
+class _RefJob:
+    __slots__ = (
+        "jid",
+        "jtype",
+        "arrival_tick",
+        "deadline_s",
+        "status",
+        "start_s",
+        "finish_s",
+        "freq_mhz",
+        "work_s",
+        "energy_j",
+        "restarts",
+    )
+
+    def __init__(self, jid: int, jtype: int, arrival_tick: int, deadline_s: float):
+        self.jid = jid
+        self.jtype = jtype
+        self.arrival_tick = arrival_tick
+        self.deadline_s = deadline_s
+        self.status = JOB_PENDING
+        self.start_s = float("nan")
+        self.finish_s = float("nan")
+        self.freq_mhz = float("nan")
+        self.work_s = float("nan")
+        self.energy_j = 0.0
+        self.restarts = 0
+
+
+class _RefGpu:
+    __slots__ = (
+        "avail_s",
+        "running",
+        "finish_s",
+        "job_power",
+        "job_energy",
+        "energy_j",
+        "busy_s",
+        "jobs_done",
+        "failures",
+        "down_until",
+        "temp",
+        "max_temp",
+    )
+
+    def __init__(self, ambient_c: float):
+        self.avail_s = 0.0
+        self.running: Optional[_RefJob] = None
+        self.finish_s = 0.0
+        self.job_power = 0.0
+        self.job_energy = 0.0
+        self.energy_j = 0.0
+        self.busy_s = 0.0
+        self.jobs_done = 0
+        self.failures = 0
+        self.down_until = 0
+        self.temp = float(ambient_c)
+        self.max_temp = float(ambient_c)
+
+
+def run_reference(spec, model, workload: FleetWorkload) -> FleetResult:
+    with reference_mode():
+        return _run(spec, model, workload)
+
+
+def _run(spec, model, workload: FleetWorkload) -> FleetResult:
+    freqs = spec.freq_grid()
+    advisor = FleetAdvisor(model, freqs)
+    tick_s = spec.tick_s
+    idle_w = spec.idle_power_w
+    ambient = spec.ambient_c
+    heat = spec.heat_c_per_j
+    cool = spec.cool_per_s
+    advised = spec.policy == "advised"
+    static_idx = (
+        None if advised else static_grid_index(freqs, spec.static_freq_mhz)
+    )
+
+    jobs = [
+        _RefJob(
+            i,
+            int(workload.job_type[i]),
+            int(workload.arrival_tick[i]),
+            float(workload.deadline_s[i]),
+        )
+        for i in range(workload.n_jobs)
+    ]
+    gpus = [_RefGpu(ambient) for _ in range(spec.gpus)]
+    fail_grid = workload.failures
+
+    n_t = spec.ticks
+    tick_queued = np.zeros(n_t, dtype=np.int64)
+    tick_running = np.zeros(n_t, dtype=np.int64)
+    tick_done = np.zeros(n_t, dtype=np.int64)
+    tick_down = np.zeros(n_t, dtype=np.int64)
+
+    queue: List[_RefJob] = []
+
+    for t in range(n_t):
+        t_s = t * tick_s
+
+        # 1. completions (ascending GPU index, like the vectorized scan)
+        for g in gpus:
+            if g.running is not None and g.finish_s <= t_s:
+                job = g.running
+                g.energy_j += g.job_energy
+                job.energy_j += g.job_energy
+                g.busy_s += g.finish_s - job.start_s
+                g.jobs_done += 1
+                g.avail_s = g.finish_s
+                job.status = JOB_DONE
+                g.running = None
+                g.job_power = 0.0
+                g.job_energy = 0.0
+
+        # 2. failures
+        if fail_grid is not None:
+            row = fail_grid[t]
+            for gi, g in enumerate(gpus):
+                if not (row[gi] and g.down_until <= t):
+                    continue
+                if g.running is not None:
+                    job = g.running
+                    span = t_s - job.start_s
+                    partial = g.job_power * span
+                    g.energy_j += partial
+                    job.energy_j += partial
+                    g.busy_s += span
+                    job.status = JOB_QUEUED
+                    job.restarts += 1
+                    job.start_s = float("nan")
+                    job.finish_s = float("nan")
+                    job.freq_mhz = float("nan")
+                    queue.append(job)
+                    g.running = None
+                    g.job_power = 0.0
+                    g.job_energy = 0.0
+                else:
+                    g.energy_j += idle_w * (t_s - g.avail_s)
+                g.failures += 1
+                g.down_until = t + spec.repair_ticks
+                g.avail_s = (t + spec.repair_ticks) * tick_s
+
+        # 3. arrivals
+        for jid in workload.arrivals_by_tick[t]:
+            job = jobs[int(jid)]
+            job.status = JOB_QUEUED
+            queue.append(job)
+
+        # 4. scheduling: EDF over the whole queue, re-sorted every tick
+        #    (naively), onto healthy idle GPUs in ascending index order
+        queue.sort(key=lambda j: (j.deadline_s, j.jid))
+        idle = [g for g in gpus if g.running is None and g.down_until <= t]
+        placed = 0
+        for g in idle:
+            if placed >= len(queue):
+                break
+            job = queue[placed]
+            placed += 1
+            # Fresh uncached scalar prediction per placement — the
+            # pre-SoA per-request cost this engine exists to exhibit.
+            prof = advisor.profile(workload.type_features[job.jtype])
+            if advised:
+                sel = select_min_energy_deadline(
+                    prof.times_s, prof.energies_j, job.deadline_s - t_s
+                )
+            else:
+                sel = static_idx
+            dur = float(prof.times_s[sel])
+            jen = float(prof.energies_j[sel])
+            g.energy_j += idle_w * (t_s - g.avail_s)
+            job.status = JOB_RUNNING
+            job.start_s = t_s
+            job.finish_s = t_s + dur
+            job.freq_mhz = float(prof.freqs_mhz[sel])
+            job.work_s = dur
+            g.running = job
+            g.finish_s = t_s + dur
+            g.job_power = jen / dur
+            g.job_energy = jen
+        del queue[:placed]
+
+        # 5. thermal proxy (same scalar expression as the vectorized
+        #    elementwise update)
+        for g in gpus:
+            if g.running is not None:
+                p = g.job_power
+            elif g.down_until > t:
+                p = 0.0
+            else:
+                p = idle_w
+            g.temp = g.temp + (p * heat - (g.temp - ambient) * cool) * tick_s
+            g.max_temp = max(g.max_temp, g.temp)
+
+        # 6. integer trajectory counters
+        nq = nr = nd = 0
+        for job in jobs:
+            if job.status == JOB_QUEUED:
+                nq += 1
+            elif job.status == JOB_RUNNING:
+                nr += 1
+            elif job.status == JOB_DONE:
+                nd += 1
+        tick_queued[t] = nq
+        tick_running[t] = nr
+        tick_done[t] = nd
+        tick_down[t] = sum(1 for g in gpus if g.down_until > t)
+
+    # end-of-horizon flush
+    end_s = n_t * tick_s
+    for g in gpus:
+        if g.running is not None:
+            job = g.running
+            span = min(g.finish_s, end_s) - job.start_s
+            partial = g.job_power * span
+            g.energy_j += partial
+            job.energy_j += partial
+            g.busy_s += span
+        else:
+            span = max(end_s - g.avail_s, 0.0)
+            g.energy_j += idle_w * span
+
+    return FleetResult(
+        mode="reference",
+        policy=spec.policy,
+        n_gpus=spec.gpus,
+        n_ticks=n_t,
+        tick_s=tick_s,
+        job_type=workload.job_type.copy(),
+        job_arrival_tick=workload.arrival_tick.copy(),
+        job_deadline_s=workload.deadline_s.copy(),
+        job_status=np.array([j.status for j in jobs], dtype=np.int8),
+        job_start_s=np.array([j.start_s for j in jobs], dtype=np.float64),
+        job_finish_s=np.array([j.finish_s for j in jobs], dtype=np.float64),
+        job_freq_mhz=np.array([j.freq_mhz for j in jobs], dtype=np.float64),
+        job_work_s=np.array([j.work_s for j in jobs], dtype=np.float64),
+        job_energy_j=np.array([j.energy_j for j in jobs], dtype=np.float64),
+        job_restarts=np.array([j.restarts for j in jobs], dtype=np.int64),
+        gpu_energy_j=np.array([g.energy_j for g in gpus], dtype=np.float64),
+        gpu_busy_s=np.array([g.busy_s for g in gpus], dtype=np.float64),
+        gpu_jobs_done=np.array([g.jobs_done for g in gpus], dtype=np.int64),
+        gpu_failures=np.array([g.failures for g in gpus], dtype=np.int64),
+        gpu_temp_c=np.array([g.temp for g in gpus], dtype=np.float64),
+        gpu_max_temp_c=np.array([g.max_temp for g in gpus], dtype=np.float64),
+        tick_queued=tick_queued,
+        tick_running=tick_running,
+        tick_done=tick_done,
+        tick_down=tick_down,
+    )

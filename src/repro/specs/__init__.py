@@ -58,6 +58,15 @@ from repro.specs.fault_plan import (
     FAULT_SPEC_SCHEMA,
     validate_fault_plan_record,
 )
+from repro.specs.fleet import (
+    FLEET_FORMAT,
+    FLEET_POLICIES,
+    FLEET_SCHEMA,
+    FLEET_VERSION,
+    FleetJobType,
+    FleetSpec,
+    validate_fleet_record,
+)
 from repro.specs.run import (
     AdviceRow,
     ScenarioOutcome,
@@ -130,6 +139,14 @@ __all__ = [
     "ObjectiveRef",
     "ScenarioSpec",
     "validate_scenario_record",
+    # fleet
+    "FLEET_FORMAT",
+    "FLEET_VERSION",
+    "FLEET_POLICIES",
+    "FLEET_SCHEMA",
+    "FleetJobType",
+    "FleetSpec",
+    "validate_fleet_record",
     # checker
     "KNOWN_SPEC_FORMATS",
     "MANIFEST_SCHEMA",

@@ -26,6 +26,7 @@ from repro.specs.device_table import (
     check_device_table,
 )
 from repro.specs.fault_plan import FAULT_PLAN_SCHEMA
+from repro.specs.fleet import FLEET_FORMAT, FLEET_SCHEMA
 from repro.specs.scenario import (
     SCENARIO_FORMAT,
     SCENARIO_SCHEMA,
@@ -202,6 +203,18 @@ def _check_scenario(
     return diags
 
 
+def _check_fleet(
+    record: Any, file: str, base_dir: Optional[str]
+) -> List[Diagnostic]:
+    clean, diags = FLEET_SCHEMA.validate(record, file=file)
+    if clean is None:
+        return diags
+    model = clean["advisor"]["model"]
+    if model is not None:
+        diags.extend(_check_model_ref(model, file, base_dir))
+    return diags
+
+
 def _check_model_ref(
     model: Dict[str, Any], file: str, base_dir: Optional[str]
 ) -> List[Diagnostic]:
@@ -235,6 +248,7 @@ _CHECKERS = {
     DEVICE_TABLE_FORMAT: check_device_table,
     CAMPAIGN_FORMAT: _check_campaign,
     SCENARIO_FORMAT: _check_scenario,
+    FLEET_FORMAT: _check_fleet,
     _MANIFEST_FORMAT: _check_manifest,
 }
 

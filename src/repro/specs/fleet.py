@@ -1,0 +1,432 @@
+"""Fleet simulation specs (``format: repro.fleet``).
+
+A fleet spec is the declarative form of one datacenter simulation run
+(:func:`repro.fleet.simulate_fleet`): how many GPUs for how many ticks,
+the arrival process and job types, which model advises (a registry
+reference, or the built-in quick model when omitted), the frequency
+grid, the placement policy, and the thermal/fault knobs. Like every
+other spec it is SPEC0xx-checked before anything runs, canonicalizes to
+a stable :meth:`~FleetSpec.fingerprint`, and is runnable both through
+``repro fleet`` and generically through ``repro run``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import SpecError, SpecValidationError
+from repro.specs.schema import (
+    SPEC_VALUE,
+    FieldSpec,
+    RecordSchema,
+    Reporter,
+)
+
+__all__ = [
+    "FLEET_FORMAT",
+    "FLEET_VERSION",
+    "FLEET_POLICIES",
+    "FLEET_SCHEMA",
+    "FleetJobType",
+    "FleetSpec",
+    "validate_fleet_record",
+]
+
+FLEET_FORMAT = "repro.fleet"
+FLEET_VERSION = 1
+
+#: Placement policies the tick engine implements.
+FLEET_POLICIES = ("advised", "static")
+
+PathLike = Union[str, pathlib.Path]
+
+
+# ---------------------------------------------------------------------------
+# nested schemas
+# ---------------------------------------------------------------------------
+_JOB_TYPE_SCHEMA = RecordSchema(
+    kind="fleet job type",
+    fields=(
+        FieldSpec("name", "str", required=True),
+        FieldSpec(
+            "features",
+            "list",
+            required=True,
+            min_len=1,
+            element=FieldSpec("feature", "number"),
+        ),
+        FieldSpec(
+            "deadline_s", "number", required=True, minimum=0.0, exclusive_minimum=True
+        ),
+        FieldSpec(
+            "weight", "number", default=1.0, minimum=0.0, exclusive_minimum=True
+        ),
+    ),
+)
+
+_ARRIVALS_SCHEMA = RecordSchema(
+    kind="fleet arrivals",
+    fields=(
+        FieldSpec("rate_per_tick", "number", required=True, minimum=0.0),
+        FieldSpec("horizon_ticks", "int", default=None, allow_none=True, minimum=1),
+    ),
+)
+
+_MODEL_REF_SCHEMA = RecordSchema(
+    kind="fleet model reference",
+    fields=(
+        FieldSpec("registry", "str", required=True),
+        FieldSpec("name", "str", required=True),
+        FieldSpec("version", "int", default=None, allow_none=True, minimum=1),
+    ),
+)
+
+_ADVISOR_SCHEMA = RecordSchema(
+    kind="fleet advisor",
+    fields=(
+        FieldSpec(
+            "model", "object", default=None, allow_none=True, schema=_MODEL_REF_SCHEMA
+        ),
+        FieldSpec(
+            "freq_min_mhz",
+            "number",
+            default=135.0,
+            minimum=0.0,
+            exclusive_minimum=True,
+        ),
+        FieldSpec(
+            "freq_max_mhz",
+            "number",
+            default=1597.0,
+            minimum=0.0,
+            exclusive_minimum=True,
+        ),
+        FieldSpec("freq_points", "int", default=25, minimum=2),
+    ),
+)
+
+_THERMAL_SCHEMA = RecordSchema(
+    kind="fleet thermal proxy",
+    fields=(
+        FieldSpec("ambient_c", "number", default=30.0),
+        FieldSpec(
+            "heat_c_per_j", "number", default=0.01, minimum=0.0, exclusive_minimum=True
+        ),
+        FieldSpec("cool_per_s", "number", default=0.05, minimum=0.0),
+    ),
+)
+
+_FAULTS_SCHEMA = RecordSchema(
+    kind="fleet faults",
+    fields=(
+        FieldSpec(
+            "gpu_failure_prob",
+            "number",
+            required=True,
+            minimum=0.0,
+            maximum=1.0,
+        ),
+        FieldSpec("repair_ticks", "int", default=10, minimum=1),
+    ),
+)
+
+
+def _defaults(schema: RecordSchema) -> Dict[str, Any]:
+    return {f.name: f.default for f in schema.fields}
+
+
+def _fleet_extra(clean: Dict[str, Any], rep: Reporter, path: str) -> None:
+    prefix = f"{path}." if path else ""
+    if clean.get("advisor") is None:
+        clean["advisor"] = _defaults(_ADVISOR_SCHEMA)
+    if clean.get("thermal") is None:
+        clean["thermal"] = _defaults(_THERMAL_SCHEMA)
+    advisor = clean["advisor"]
+    if advisor["freq_min_mhz"] >= advisor["freq_max_mhz"]:
+        rep.error(
+            SPEC_VALUE,
+            f"{prefix}advisor.freq_min_mhz: must be below freq_max_mhz "
+            f"({advisor['freq_min_mhz']} >= {advisor['freq_max_mhz']})",
+        )
+    if clean["policy"] == "static" and clean["static_freq_mhz"] is None:
+        rep.error(
+            SPEC_VALUE,
+            f"{prefix}static_freq_mhz: required when policy is 'static'",
+        )
+    job_types = clean.get("job_types")
+    if isinstance(job_types, list) and job_types:
+        arities = {
+            len(jt["features"]) for jt in job_types if isinstance(jt, Mapping)
+        }
+        if len(arities) > 1:
+            rep.error(
+                SPEC_VALUE,
+                f"{prefix}job_types: feature arity differs across job types "
+                f"({sorted(arities)}); all types must match the model's arity",
+            )
+
+
+FLEET_SCHEMA = RecordSchema(
+    kind="fleet spec",
+    format=FLEET_FORMAT,
+    version=FLEET_VERSION,
+    fields=(
+        FieldSpec("name", "str", required=True),
+        FieldSpec("gpus", "int", required=True, minimum=1),
+        FieldSpec("ticks", "int", required=True, minimum=1),
+        FieldSpec(
+            "tick_s", "number", default=1.0, minimum=0.0, exclusive_minimum=True
+        ),
+        FieldSpec("seed", "int", default=42, minimum=0),
+        FieldSpec("idle_power_w", "number", default=25.0, minimum=0.0),
+        FieldSpec("arrivals", "object", required=True, schema=_ARRIVALS_SCHEMA),
+        FieldSpec(
+            "job_types",
+            "list",
+            required=True,
+            min_len=1,
+            element=FieldSpec("job type", "object", schema=_JOB_TYPE_SCHEMA),
+        ),
+        FieldSpec(
+            "advisor", "object", default=None, allow_none=True, schema=_ADVISOR_SCHEMA
+        ),
+        FieldSpec("policy", "str", default="advised", choices=FLEET_POLICIES),
+        FieldSpec(
+            "static_freq_mhz",
+            "number",
+            default=None,
+            allow_none=True,
+            minimum=0.0,
+            exclusive_minimum=True,
+        ),
+        FieldSpec(
+            "thermal", "object", default=None, allow_none=True, schema=_THERMAL_SCHEMA
+        ),
+        FieldSpec(
+            "faults", "object", default=None, allow_none=True, schema=_FAULTS_SCHEMA
+        ),
+    ),
+    extra_check=_fleet_extra,
+)
+
+
+def validate_fleet_record(
+    record: Any, file: str = "<fleet spec>"
+) -> Tuple[Optional[Dict[str, Any]], List[Diagnostic]]:
+    """Validate one fleet record; ``(clean_or_None, diagnostics)``."""
+    return FLEET_SCHEMA.validate(record, file=file)
+
+
+# ---------------------------------------------------------------------------
+# dataclasses
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetJobType:
+    """One workload class: features, relative deadline, and draw weight."""
+
+    name: str
+    features: Tuple[float, ...]
+    deadline_s: float
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One validated, runnable fleet simulation configuration.
+
+    The registry path (``model_registry``) is stored exactly as written
+    and resolved against ``base_dir`` only at run time, so the canonical
+    record — and therefore :meth:`fingerprint` — is machine-independent,
+    like :class:`~repro.specs.campaign.CampaignSpec`.
+    """
+
+    name: str
+    gpus: int
+    ticks: int
+    job_types: Tuple[FleetJobType, ...]
+    arrival_rate_per_tick: float
+    arrival_horizon_ticks: Optional[int] = None
+    tick_s: float = 1.0
+    seed: int = 42
+    idle_power_w: float = 25.0
+    model_registry: Optional[str] = None
+    model_name: Optional[str] = None
+    model_version: Optional[int] = None
+    freq_min_mhz: float = 135.0
+    freq_max_mhz: float = 1597.0
+    freq_points: int = 25
+    policy: str = "advised"
+    static_freq_mhz: Optional[float] = None
+    ambient_c: float = 30.0
+    heat_c_per_j: float = 0.01
+    cool_per_s: float = 0.05
+    gpu_failure_prob: float = 0.0
+    repair_ticks: int = 10
+    #: Directory the spec was loaded from (for resolving the registry
+    #: path); excluded from equality and from the canonical record.
+    base_dir: Optional[str] = field(default=None, compare=False)
+
+    def freq_grid(self) -> np.ndarray:
+        """The advisor's frequency grid (MHz), shared by both engines."""
+        return np.linspace(self.freq_min_mhz, self.freq_max_mhz, self.freq_points)
+
+    def as_record(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (inverse of :meth:`from_record`)."""
+        model = None
+        if self.model_registry is not None:
+            model = {
+                "registry": self.model_registry,
+                "name": self.model_name,
+                "version": self.model_version,
+            }
+        return {
+            "format": FLEET_FORMAT,
+            "schema_version": FLEET_VERSION,
+            "name": self.name,
+            "gpus": self.gpus,
+            "ticks": self.ticks,
+            "tick_s": self.tick_s,
+            "seed": self.seed,
+            "idle_power_w": self.idle_power_w,
+            "arrivals": {
+                "rate_per_tick": self.arrival_rate_per_tick,
+                "horizon_ticks": self.arrival_horizon_ticks,
+            },
+            "job_types": [
+                {
+                    "name": jt.name,
+                    "features": list(jt.features),
+                    "deadline_s": jt.deadline_s,
+                    "weight": jt.weight,
+                }
+                for jt in self.job_types
+            ],
+            "advisor": {
+                "model": model,
+                "freq_min_mhz": self.freq_min_mhz,
+                "freq_max_mhz": self.freq_max_mhz,
+                "freq_points": self.freq_points,
+            },
+            "policy": self.policy,
+            "static_freq_mhz": self.static_freq_mhz,
+            "thermal": {
+                "ambient_c": self.ambient_c,
+                "heat_c_per_j": self.heat_c_per_j,
+                "cool_per_s": self.cool_per_s,
+            },
+            "faults": (
+                None
+                if self.gpu_failure_prob <= 0.0
+                else {
+                    "gpu_failure_prob": self.gpu_failure_prob,
+                    "repair_ticks": self.repair_ticks,
+                }
+            ),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical record."""
+        from repro.runtime.seeding import stable_digest
+
+        return stable_digest(self.as_record())
+
+    @classmethod
+    def from_clean(
+        cls, clean: Dict[str, Any], base_dir: Optional[str] = None
+    ) -> "FleetSpec":
+        """Build from a schema-cleaned record (see ``FLEET_SCHEMA``)."""
+        advisor = clean["advisor"]
+        thermal = clean["thermal"]
+        model = advisor["model"]
+        faults = clean["faults"]
+        return cls(
+            name=clean["name"],
+            gpus=clean["gpus"],
+            ticks=clean["ticks"],
+            tick_s=float(clean["tick_s"]),
+            seed=clean["seed"],
+            idle_power_w=float(clean["idle_power_w"]),
+            arrival_rate_per_tick=float(clean["arrivals"]["rate_per_tick"]),
+            arrival_horizon_ticks=clean["arrivals"]["horizon_ticks"],
+            job_types=tuple(
+                FleetJobType(
+                    name=jt["name"],
+                    features=tuple(float(v) for v in jt["features"]),
+                    deadline_s=float(jt["deadline_s"]),
+                    weight=float(jt["weight"]),
+                )
+                for jt in clean["job_types"]
+            ),
+            model_registry=None if model is None else model["registry"],
+            model_name=None if model is None else model["name"],
+            model_version=None if model is None else model["version"],
+            freq_min_mhz=float(advisor["freq_min_mhz"]),
+            freq_max_mhz=float(advisor["freq_max_mhz"]),
+            freq_points=advisor["freq_points"],
+            policy=clean["policy"],
+            static_freq_mhz=(
+                None
+                if clean["static_freq_mhz"] is None
+                else float(clean["static_freq_mhz"])
+            ),
+            ambient_c=float(thermal["ambient_c"]),
+            heat_c_per_j=float(thermal["heat_c_per_j"]),
+            cool_per_s=float(thermal["cool_per_s"]),
+            gpu_failure_prob=(
+                0.0 if faults is None else float(faults["gpu_failure_prob"])
+            ),
+            repair_ticks=10 if faults is None else faults["repair_ticks"],
+            base_dir=base_dir,
+        )
+
+    @classmethod
+    def from_record(
+        cls,
+        record: Any,
+        file: str = "<fleet spec>",
+        base_dir: Optional[str] = None,
+    ) -> "FleetSpec":
+        """Validate + build; raises :class:`SpecValidationError` with *all* errors."""
+        clean, diags = FLEET_SCHEMA.validate(record, file=file)
+        if clean is None:
+            raise SpecValidationError("fleet spec", diags)
+        return cls.from_clean(clean, base_dir=base_dir)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FleetSpec":
+        """Read + validate a fleet spec file."""
+        p = pathlib.Path(path)
+        try:
+            text = p.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SpecError(f"cannot read fleet spec {p}: {exc}") from exc
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"fleet spec {p} is not valid JSON: {exc}") from exc
+        return cls.from_record(record, file=str(p), base_dir=str(p.parent))
+
+    def describe(self) -> str:
+        """One-line human summary for run logs."""
+        model = (
+            f"{self.model_name}@{self.model_registry}"
+            if self.model_registry is not None
+            else "built-in quick model"
+        )
+        faults = (
+            f", faults p={self.gpu_failure_prob}"
+            if self.gpu_failure_prob > 0.0
+            else ""
+        )
+        return (
+            f"fleet {self.name!r}: {self.gpus} GPUs x {self.ticks} ticks "
+            f"({self.tick_s}s), {len(self.job_types)} job type(s) at "
+            f"{self.arrival_rate_per_tick}/tick, policy {self.policy}, "
+            f"{model}, seed {self.seed}{faults}"
+        )

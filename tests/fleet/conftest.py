@@ -1,0 +1,68 @@
+"""Fleet-suite fixtures: a fast analytic model and a spec factory.
+
+The model is the serving suite's analytic workload (t = size/f,
+e = size * (20 + f/100)) on one feature, so the whole suite trains in
+well under a second; fleet semantics do not depend on what the model
+learned, only that it is a real fitted :class:`DomainSpecificModel`
+whose batched and scalar inference agree bitwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.modeling.dataset import EnergyDataset, EnergySample
+from repro.modeling.domain import DomainSpecificModel
+from repro.specs.fleet import FleetJobType, FleetSpec
+
+TRAIN_FREQS = (400.0, 700.0, 1000.0, 1282.0, 1500.0)
+
+
+def analytic_dataset() -> EnergyDataset:
+    """Analytic workload: t = size/f, e = size * (20 + f/100)."""
+    ds = EnergyDataset(feature_names=("size",))
+    for size in (1.0, 2.0, 3.0, 4.0):
+        for f in TRAIN_FREQS:
+            ds.add(
+                EnergySample(
+                    features=(size,),
+                    freq_mhz=f,
+                    time_s=size * 1000.0 / f,
+                    energy_j=size * (20.0 + f / 100.0),
+                )
+            )
+    return ds
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> DomainSpecificModel:
+    """One fitted model shared read-only by the whole fleet suite."""
+    model = DomainSpecificModel(
+        ("size",),
+        regressor_factory=lambda: RandomForestRegressor(n_estimators=8, random_state=0),
+        baseline_freq_mhz=1282.0,
+    )
+    return model.fit(analytic_dataset())
+
+
+def make_spec(**overrides) -> FleetSpec:
+    """A small runnable fleet spec matched to the tiny analytic model."""
+    defaults = dict(
+        name="fleet-test",
+        gpus=4,
+        ticks=30,
+        job_types=(
+            FleetJobType(name="small", features=(1.0,), deadline_s=10.0),
+            FleetJobType(name="big", features=(4.0,), deadline_s=16.0),
+        ),
+        arrival_rate_per_tick=1.0,
+        arrival_horizon_ticks=20,
+        tick_s=0.5,
+        seed=3,
+        freq_min_mhz=400.0,
+        freq_max_mhz=1500.0,
+        freq_points=5,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)

@@ -1,0 +1,78 @@
+"""Scalar vs batched deadline-aware frequency selection must agree exactly."""
+
+import numpy as np
+
+from repro.fleet import (
+    select_min_energy_deadline,
+    select_min_energy_deadline_batch,
+    static_grid_index,
+)
+
+
+def _random_profiles(seed, k=40, f=9):
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(0.1, 10.0, size=(k, f))
+    energies = rng.uniform(1.0, 100.0, size=(k, f))
+    slack = rng.uniform(0.0, 12.0, size=k)
+    return times, energies, slack
+
+
+class TestBatchScalarParity:
+    def test_batch_equals_scalar_row_by_row(self):
+        for seed in range(5):
+            times, energies, slack = _random_profiles(seed)
+            batch = select_min_energy_deadline_batch(times, energies, slack)
+            scalar = [
+                select_min_energy_deadline(times[i], energies[i], slack[i])
+                for i in range(len(slack))
+            ]
+            assert batch.tolist() == scalar
+
+    def test_energy_ties_break_to_first_index_in_both(self):
+        times = np.array([[1.0, 2.0, 3.0]])
+        energies = np.array([[5.0, 5.0, 5.0]])
+        slack = np.array([10.0])
+        assert select_min_energy_deadline(times[0], energies[0], slack[0]) == 0
+        assert select_min_energy_deadline_batch(times, energies, slack).tolist() == [0]
+
+    def test_tie_breaks_to_first_feasible_not_first_overall(self):
+        # index 0 is infeasible; the energy tie must resolve to index 1
+        times = np.array([[9.0, 2.0, 3.0]])
+        energies = np.array([[5.0, 5.0, 5.0]])
+        slack = np.array([4.0])
+        assert select_min_energy_deadline(times[0], energies[0], slack[0]) == 1
+        assert select_min_energy_deadline_batch(times, energies, slack).tolist() == [1]
+
+    def test_slack_boundary_is_inclusive(self):
+        times = np.array([[2.0, 1.0]])
+        energies = np.array([[1.0, 50.0]])
+        slack = np.array([2.0])  # exactly the slower config's time
+        assert select_min_energy_deadline(times[0], energies[0], slack[0]) == 0
+        assert select_min_energy_deadline_batch(times, energies, slack).tolist() == [0]
+
+
+class TestInfeasibleFallback:
+    def test_no_feasible_config_picks_the_fastest(self):
+        times = np.array([[4.0, 3.0, 5.0]])
+        energies = np.array([[1.0, 2.0, 3.0]])
+        slack = np.array([0.5])
+        assert select_min_energy_deadline(times[0], energies[0], slack[0]) == 1
+        assert select_min_energy_deadline_batch(times, energies, slack).tolist() == [1]
+
+    def test_mixed_feasible_and_infeasible_rows(self):
+        times = np.array([[4.0, 3.0], [1.0, 2.0]])
+        energies = np.array([[9.0, 1.0], [1.0, 9.0]])
+        slack = np.array([0.5, 5.0])
+        assert select_min_energy_deadline_batch(times, energies, slack).tolist() == [
+            1,  # infeasible -> fastest
+            0,  # feasible -> min energy
+        ]
+
+
+class TestStaticGridIndex:
+    def test_exact_and_nearest_match(self):
+        freqs = np.array([400.0, 675.0, 950.0, 1225.0, 1500.0])
+        assert static_grid_index(freqs, 950.0) == 2
+        assert static_grid_index(freqs, 990.0) == 2
+        assert static_grid_index(freqs, 5000.0) == 4
+        assert static_grid_index(freqs, 10.0) == 0

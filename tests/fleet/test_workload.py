@@ -1,0 +1,88 @@
+"""Workload generation: all randomness decided once, deterministically."""
+
+import numpy as np
+
+from repro.faults.fleet import fleet_failure_schedule
+from repro.fleet import build_workload
+from repro.specs.fleet import FleetJobType
+
+from tests.fleet.conftest import make_spec
+
+
+class TestDeterminism:
+    def test_same_spec_same_workload_bitwise(self):
+        a = build_workload(make_spec(seed=5, gpu_failure_prob=0.05))
+        b = build_workload(make_spec(seed=5, gpu_failure_prob=0.05))
+        assert a.job_type.tobytes() == b.job_type.tobytes()
+        assert a.arrival_tick.tobytes() == b.arrival_tick.tobytes()
+        assert a.deadline_s.tobytes() == b.deadline_s.tobytes()
+        assert a.failures.tobytes() == b.failures.tobytes()
+
+    def test_seed_changes_arrivals(self):
+        a = build_workload(make_spec(seed=1))
+        b = build_workload(make_spec(seed=2))
+        assert (
+            a.n_jobs != b.n_jobs
+            or a.job_type.tobytes() != b.job_type.tobytes()
+            or a.arrival_tick.tobytes() != b.arrival_tick.tobytes()
+        )
+
+
+class TestArrivals:
+    def test_horizon_bounds_every_arrival(self):
+        w = build_workload(make_spec(ticks=40, arrival_horizon_ticks=12))
+        assert w.n_jobs > 0
+        assert int(w.arrival_tick.max()) < 12
+        for t in range(12, 40):
+            assert w.arrivals_by_tick[t].size == 0
+
+    def test_arrivals_by_tick_partitions_the_jobs(self):
+        w = build_workload(make_spec())
+        ids = np.concatenate(w.arrivals_by_tick)
+        assert ids.tolist() == list(range(w.n_jobs))
+        for t, arriving in enumerate(w.arrivals_by_tick):
+            assert np.all(w.arrival_tick[arriving] == t)
+
+    def test_deadlines_are_absolute_from_arrival(self):
+        spec = make_spec(tick_s=0.5)
+        w = build_workload(spec)
+        type_deadline = np.array([jt.deadline_s for jt in spec.job_types])
+        expected = w.arrival_tick * spec.tick_s + type_deadline[w.job_type]
+        assert w.deadline_s.tobytes() == expected.tobytes()
+
+    def test_zero_rate_means_no_jobs(self):
+        w = build_workload(make_spec(arrival_rate_per_tick=0.0))
+        assert w.n_jobs == 0
+        assert w.job_type.size == 0
+
+    def test_single_type_workload_draws_only_it(self):
+        spec = make_spec(
+            job_types=(FleetJobType(name="only", features=(2.0,), deadline_s=9.0),),
+        )
+        w = build_workload(spec)
+        assert np.all(w.job_type == 0)
+        assert w.type_features == ((2.0,),)
+
+
+class TestFailures:
+    def test_fault_free_spec_has_no_schedule(self):
+        assert build_workload(make_spec(gpu_failure_prob=0.0)).failures is None
+
+    def test_schedule_shape_and_reuse_of_fault_hash_grid(self):
+        spec = make_spec(gpu_failure_prob=0.05, seed=21)
+        w = build_workload(spec)
+        assert w.failures.shape == (spec.ticks, spec.gpus)
+        assert w.failures.dtype == np.bool_
+        expected = fleet_failure_schedule(
+            spec.seed, spec.gpus, spec.ticks, spec.gpu_failure_prob
+        )
+        assert w.failures.tobytes() == expected.tobytes()
+
+    def test_probability_scales_failure_density(self):
+        lo = fleet_failure_schedule(0, 16, 50, 0.01).sum()
+        hi = fleet_failure_schedule(0, 16, 50, 0.5).sum()
+        assert hi > lo
+
+    def test_zero_probability_short_circuits(self):
+        grid = fleet_failure_schedule(0, 4, 10, 0.0)
+        assert not grid.any()

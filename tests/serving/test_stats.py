@@ -1,0 +1,82 @@
+"""LatencyReservoir: exactness under capacity, algorithm-R overflow
+behaviour, and seeded-replacement determinism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving import LatencyReservoir
+
+
+class TestUnderCapacity:
+    def test_keeps_every_observation_exactly(self):
+        reservoir = LatencyReservoir(capacity=16, seed=0)
+        values = [0.001 * i for i in range(10)]
+        for v in values:
+            reservoir.observe(v)
+        assert reservoir.seen == 10
+        assert reservoir.percentile(100) == max(values)
+        assert reservoir.percentile(0) == min(values)
+        assert reservoir.percentile(50) == float(np.percentile(values, 50))
+
+    def test_nan_before_any_traffic(self):
+        reservoir = LatencyReservoir(capacity=4, seed=0)
+        assert math.isnan(reservoir.percentile(99))
+        snap = reservoir.snapshot()
+        assert all(math.isnan(v) for v in snap.values())
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyReservoir(capacity=0)
+
+
+class TestOverflow:
+    def test_reservoir_stays_bounded_and_in_range(self):
+        reservoir = LatencyReservoir(capacity=8, seed=0)
+        for i in range(1000):
+            reservoir.observe(float(i))
+        assert reservoir.seen == 1000
+        assert len(reservoir._samples) == 8
+        assert all(0.0 <= v < 1000.0 for v in reservoir._samples)
+        p50 = reservoir.percentile(50)
+        assert 0.0 <= p50 < 1000.0
+        snap = reservoir.snapshot()
+        assert snap["p50_s"] <= snap["p95_s"] <= snap["p99_s"] <= snap["max_s"]
+
+    def test_replacement_actually_happens(self):
+        reservoir = LatencyReservoir(capacity=8, seed=123)
+        for i in range(500):
+            reservoir.observe(float(i))
+        # with 500 observations through an 8-slot reservoir, at least one
+        # of the first 8 values must have been replaced
+        assert sorted(reservoir._samples) != [float(i) for i in range(8)]
+        assert max(reservoir._samples) >= 8.0
+
+    def test_overflow_percentile_estimates_the_stream(self):
+        # a constant stream has only one possible estimate, full stop —
+        # overflow must not manufacture values that were never observed
+        reservoir = LatencyReservoir(capacity=4, seed=7)
+        for _ in range(100):
+            reservoir.observe(0.25)
+        assert reservoir.percentile(50) == 0.25
+        assert reservoir.snapshot()["max_s"] == 0.25
+
+
+class TestSeededDeterminism:
+    def test_identical_streams_identical_reservoirs(self):
+        a = LatencyReservoir(capacity=8, seed=42)
+        b = LatencyReservoir(capacity=8, seed=42)
+        for i in range(300):
+            a.observe(float(i) * 0.001)
+            b.observe(float(i) * 0.001)
+        assert a._samples == b._samples
+        assert a.snapshot() == b.snapshot()
+
+    def test_different_seeds_sample_differently(self):
+        a = LatencyReservoir(capacity=8, seed=1)
+        b = LatencyReservoir(capacity=8, seed=2)
+        for i in range(300):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a._samples != b._samples
