@@ -1,0 +1,248 @@
+"""Lifecycle smoke: the closed drift→retrain→canary loop recovers
+accuracy that a frozen model permanently loses.
+
+Runs the identical lifecycle spec twice on the same injected workload
+drift (LiGen batches silently ``DRIFT_SCALE``x bigger from
+``INJECT_EPOCH`` on, features unchanged):
+
+1. **closed loop** — drift detection on, retraining on, canary gate on;
+2. **frozen baseline** — the bootstrap model serves throughout
+   (``closed_loop=False``), same traffic, same measurement noise.
+
+Both arms use separate registries so their ledgers stay independent;
+everything else — request streams, measurement seeds, thresholds — is
+byte-for-byte the same.
+
+Gates (the job fails if any is violated):
+
+- **detection**: the closed loop observed at least one drift event and
+  promoted at least one retrained version;
+- **recovery**: the closed loop's final rolling MAPE is back under the
+  drift-entry threshold, while the frozen baseline's stays above it —
+  the loop recovered accuracy the frozen model lost;
+- **invariant**: no canary promotion recorded in the ledger ever has
+  ``candidate_mape > incumbent_mape + tolerance`` — a promoted model is
+  never worse than its predecessor on the shadow set (checked from the
+  chain-verified ledger itself, not from in-memory state);
+- **determinism**: re-running the closed loop in a fresh registry
+  reproduces the identical ledger bytes and epoch trajectory.
+
+Writes ``benchmarks/output/BENCH_lifecycle.json`` so CI runs leave an
+inspectable record.
+
+Usage: ``PYTHONPATH=src python benchmarks/lifecycle_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+SEED = 7
+DRIFT_SCALE = 4.0
+INJECT_EPOCH = 1
+ENTER_MAPE = 20.0
+EXIT_MAPE = 10.0
+EPOCHS = 5
+REQUESTS_PER_EPOCH = 8
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()  # repro-lint: ignore[TIM001]
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result  # repro-lint: ignore[TIM001]
+
+
+def _spec(base_dir: str, registry: str):
+    from repro.specs import LifecycleSpec
+
+    return LifecycleSpec.from_record(
+        {
+            "format": "repro.lifecycle",
+            "schema_version": 1,
+            "name": "lifecycle-smoke",
+            "seed": SEED,
+            "model": {"registry": registry, "name": "ligen-advisor"},
+            "workload": {
+                "app": "ligen",
+                "device": "v100",
+                "ligand_counts": [2, 256],
+                "atom_counts": [31, 89],
+                "fragment_counts": [4, 20],
+                "freq_count": 6,
+                "repetitions": 1,
+                "trees": 12,
+            },
+            "drift": {
+                "window": 64,
+                "enter_mape": ENTER_MAPE,
+                "exit_mape": EXIT_MAPE,
+                "patience": 1,
+                "min_samples": 4,
+            },
+            "canary": {"shadow_size": 32, "tolerance": 0.0},
+            "injection": {"epoch": INJECT_EPOCH, "work_scale": DRIFT_SCALE},
+            "epochs": EPOCHS,
+            "requests_per_epoch": REQUESTS_PER_EPOCH,
+        },
+        base_dir=base_dir,
+    )
+
+
+def run_arms(workdir: pathlib.Path):
+    """Closed loop vs frozen baseline on identical drifted traffic."""
+    from repro.lifecycle import run_lifecycle
+
+    closed_s, closed = _timed(
+        run_lifecycle, _spec(str(workdir), "closed_registry"), closed_loop=True
+    )
+    frozen_s, frozen = _timed(
+        run_lifecycle, _spec(str(workdir), "frozen_registry"), closed_loop=False
+    )
+    print(
+        f"[arms] closed loop {closed_s:.1f}s "
+        f"(final MAPE {closed.final_rolling_mape:.2f}%), frozen baseline "
+        f"{frozen_s:.1f}s (final MAPE {frozen.final_rolling_mape:.2f}%)"
+    )
+    return closed, frozen, closed_s, frozen_s
+
+
+def gate_detection(closed):
+    events = [row["event"] for row in closed.epochs if row["event"] is not None]
+    promotions = [d for d in closed.decisions if d.promoted]
+    assert "drift" in events, (
+        f"closed loop never detected the injected drift (events: {events}); "
+        f"scale {DRIFT_SCALE}x at epoch {INJECT_EPOCH} should breach "
+        f"{ENTER_MAPE}% MAPE"
+    )
+    assert promotions, (
+        "closed loop detected drift but promoted no retrained version "
+        f"(decisions: {[d.as_record() for d in closed.decisions]})"
+    )
+    assert closed.final_version > closed.initial_version, (
+        f"closed loop still serves v{closed.final_version} "
+        f"(started at v{closed.initial_version})"
+    )
+    print(
+        f"[detection] drift detected, v{closed.final_version} promoted "
+        f"(from v{closed.initial_version})"
+    )
+    return {
+        "events": events,
+        "promotions": len(promotions),
+        "initial_version": closed.initial_version,
+        "final_version": closed.final_version,
+    }
+
+
+def gate_recovery(closed, frozen):
+    assert closed.final_rolling_mape < ENTER_MAPE, (
+        f"closed loop did not recover: final rolling MAPE "
+        f"{closed.final_rolling_mape:.2f}% >= drift threshold {ENTER_MAPE}%"
+    )
+    assert frozen.final_rolling_mape > ENTER_MAPE, (
+        f"frozen baseline is not degraded (final MAPE "
+        f"{frozen.final_rolling_mape:.2f}% <= {ENTER_MAPE}%); the drift "
+        "injection is too weak to demonstrate recovery"
+    )
+    assert closed.final_rolling_mape < frozen.final_rolling_mape, (
+        "closed loop ended no better than the frozen baseline "
+        f"({closed.final_rolling_mape:.2f}% vs {frozen.final_rolling_mape:.2f}%)"
+    )
+    print(
+        f"[recovery] closed {closed.final_rolling_mape:.2f}% < {ENTER_MAPE}% "
+        f"<= frozen {frozen.final_rolling_mape:.2f}%"
+    )
+    return {
+        "closed_final_mape": closed.final_rolling_mape,
+        "frozen_final_mape": frozen.final_rolling_mape,
+        "enter_mape": ENTER_MAPE,
+        "closed_trajectory": [row["rolling_mape"] for row in closed.epochs],
+        "frozen_trajectory": [row["rolling_mape"] for row in frozen.epochs],
+    }
+
+
+def gate_invariant(workdir: pathlib.Path, tolerance: float = 0.0):
+    """No ledgered canary promotion ever worsened shadow MAPE."""
+    from repro.lifecycle import PromotionLedger
+
+    ledger = PromotionLedger.for_model(workdir / "closed_registry", "ligen-advisor")
+    promotes = [e for e in ledger.entries() if e["kind"] == "promote"]
+    checked = 0
+    for entry in promotes:
+        payload = entry["payload"]
+        # Manual promotions record null MAPEs; canary promotions must
+        # carry evidence and must satisfy the no-worse invariant.
+        if payload.get("candidate_mape") is None:
+            continue
+        checked += 1
+        assert payload["candidate_mape"] <= payload["incumbent_mape"] + tolerance, (
+            f"ledger seq {entry['seq']}: promotion worsened shadow MAPE "
+            f"({payload['candidate_mape']:.3f}% > "
+            f"{payload['incumbent_mape']:.3f}% + {tolerance})"
+        )
+    assert checked > 0, "no evidence-carrying promotion found in the ledger"
+    print(f"[invariant] {checked} ledgered promotion(s), none worsened shadow MAPE")
+    return {"promotions_checked": checked, "tolerance": tolerance}
+
+
+def gate_determinism(workdir: pathlib.Path, closed):
+    """Identical spec, fresh base dir: same ledger bytes and trajectory."""
+    from repro.lifecycle import run_lifecycle
+
+    replay_dir = workdir / "replay"
+    replay_dir.mkdir()
+    replay = run_lifecycle(_spec(str(replay_dir), "closed_registry"), closed_loop=True)
+    assert replay.as_record() == closed.as_record(), (
+        "closed-loop replay diverged from the first run "
+        "(lifecycle is not a pure function of the spec)"
+    )
+    first = (workdir / "closed_registry" / "ligen-advisor" / "LEDGER.jsonl").read_bytes()
+    second = (replay_dir / "closed_registry" / "ligen-advisor" / "LEDGER.jsonl").read_bytes()
+    assert first == second, "replayed ledger bytes differ from the first run"
+    print(f"[determinism] replay bitwise equal ({len(first)} ledger bytes)")
+    return {"ledger_bytes": len(first), "bitwise_equal": True}
+
+
+def main() -> int:
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = pathlib.Path(tmp)
+        closed, frozen, closed_s, frozen_s = run_arms(workdir)
+        detection = gate_detection(closed)
+        recovery = gate_recovery(closed, frozen)
+        invariant = gate_invariant(workdir)
+        determinism = gate_determinism(workdir, closed)
+        record = {
+            "benchmark": "lifecycle_smoke",
+            "seed": SEED,
+            "drift_scale": DRIFT_SCALE,
+            "inject_epoch": INJECT_EPOCH,
+            "epochs": EPOCHS,
+            "requests_per_epoch": REQUESTS_PER_EPOCH,
+            "closed_s": closed_s,
+            "frozen_s": frozen_s,
+            "detection": detection,
+            "recovery": recovery,
+            "invariant": invariant,
+            "determinism": determinism,
+            "closed": closed.as_record(),
+            "frozen": frozen.as_record(),
+        }
+
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out = OUTPUT_DIR / "BENCH_lifecycle.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps({k: record[k] for k in ("detection", "recovery", "invariant", "determinism")}, indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eleven workflows, mirroring how a user adopts the library:
+Twelve workflows, mirroring how a user adopts the library:
 
 - ``repro characterize`` — DVFS-sweep an application on a simulated
   device, print the speedup/energy table, optionally save the sweep;
@@ -30,6 +30,11 @@ Eleven workflows, mirroring how a user adopts the library:
   through the vectorized SoA tick engine, optionally against the
   static-clock baseline or the naive reference engine (see
   ``docs/fleet.md``);
+- ``repro lifecycle`` — the model lifecycle around serving: inspect the
+  promotion-ledger state (``status``), train + register candidate
+  versions (``retrain``), and move the active pointer (``promote``,
+  ``rollback``); the full closed drift→retrain→canary loop runs via
+  ``repro run`` on a ``repro.lifecycle`` spec (see ``docs/lifecycle.md``);
 - ``repro lint`` — statically verify the repo's invariants: AST lint
   rules over the source tree, ``SPEC0xx`` schema checks over JSON spec
   artifacts, plus the built-in hardware-spec / kernel-IR self-check
@@ -344,6 +349,17 @@ def cmd_run(args) -> int:
     from repro.specs.run import run_scenario
 
     record = json.loads(path.read_text(encoding="utf-8"))
+    if record.get("format") == "repro.lifecycle":
+        # Lifecycle specs run the closed train→serve→observe→retrain
+        # loop — same lint-then-run discipline, different runtime.
+        from repro.lifecycle import run_lifecycle
+        from repro.specs import LifecycleSpec
+
+        spec = LifecycleSpec.load(path)
+        print(spec.describe())
+        result = run_lifecycle(spec, closed_loop=True, progress=print)
+        print(_render_lifecycle_result(result))
+        return 0
     if record.get("format") == "repro.fleet":
         # Fleet specs run through the SoA tick engine, not the campaign
         # executor — same lint-then-run discipline, different runtime.
@@ -692,6 +708,122 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _render_lifecycle_result(result) -> str:
+    """Human-readable lifecycle run summary (epoch table + decisions)."""
+    lines = ["lifecycle result"]
+    lines.append(
+        f"  {'epoch':>5} {'scale':>6} {'mape %':>8} {'served':>7} "
+        f"{'event':>10} promoted"
+    )
+    for row in result.epochs:
+        mape = row["rolling_mape"]
+        mape_s = f"{mape:8.2f}" if mape == mape else "       -"
+        lines.append(
+            f"  {row['epoch']:>5} {row['work_scale']:>6g} {mape_s} "
+            f"{'v' + str(row['served_version']):>7} "
+            f"{row['event'] or '-':>10} {'yes' if row['promoted'] else '-'}"
+        )
+    for d in result.decisions:
+        verdict = "promoted" if d.promoted else "rejected"
+        lines.append(
+            f"  canary: v{d.candidate_version} vs v{d.incumbent_version} -> "
+            f"{verdict} ({d.reason})"
+        )
+    state = result.ledger_state
+    quarantined = (
+        ", ".join(f"v{v}" for v in state["quarantined"]) or "none"
+    )
+    lines.append(
+        f"  ledger: active v{state['active_version']}, "
+        f"{state['entries']} entr{'y' if state['entries'] == 1 else 'ies'}, "
+        f"quarantined {quarantined}"
+    )
+    return "\n".join(lines)
+
+
+def cmd_lifecycle(args) -> int:
+    import json
+
+    from repro.lifecycle import CanaryController
+    from repro.serving import ModelRegistry
+
+    if args.lifecycle_command == "retrain":
+        from repro.lifecycle import build_retrainer, build_workload
+        from repro.specs import LifecycleSpec
+
+        spec = LifecycleSpec.load(args.spec)
+        print(spec.describe())
+        from repro.specs.scenario import resolve_ref
+
+        registry = ModelRegistry(resolve_ref(spec.registry, spec.base_dir))
+        retrainer = build_retrainer(spec, registry)
+        controller = CanaryController(registry, spec.model_name)
+        generation = len(registry._versions(spec.model_name))
+        apps = build_workload(spec)
+        manifest = retrainer.retrain(apps, generation=generation)
+        controller.record_register(
+            manifest, retrainer.train_fingerprint(generation)
+        )
+        print(
+            f"registered {manifest.ref} "
+            f"(train fingerprint {manifest.train_fingerprint[:16]}...)"
+        )
+        if generation > 0:
+            print(
+                "candidate is NOT serving: promote it through the canary "
+                "gate (lifecycle loop) or `repro lifecycle promote`"
+            )
+        return 0
+
+    registry = ModelRegistry(args.root)
+    controller = CanaryController(registry, args.name)
+    if args.lifecycle_command == "status":
+        state = controller.ledger.replay()
+        versions = [m for m in registry.list() if m.name == args.name]
+        if args.format == "json":
+            print(
+                json.dumps(
+                    {
+                        "name": args.name,
+                        "versions": [m.as_dict() for m in versions],
+                        "active_version": controller.active_version(),
+                        "ledger": state.as_record(),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        active = controller.active_version()
+        print(f"lifecycle status for {args.name!r} (registry {registry.root})")
+        if not versions:
+            print("  no versions registered")
+            return 0
+        quarantined = set(state.quarantined)
+        for m in versions:
+            marks = []
+            if m.version == active:
+                marks.append("ACTIVE")
+            if m.version in quarantined:
+                marks.append("QUARANTINED")
+            suffix = f"  [{', '.join(marks)}]" if marks else ""
+            print(f"  v{m.version}  sha256 {m.artifact_sha256[:16]}...{suffix}")
+        print(
+            f"  ledger: {state.entries} entr"
+            f"{'y' if state.entries == 1 else 'ies'}, previous "
+            f"{'v' + str(state.previous_version) if state.previous_version else 'none'}"
+        )
+        return 0
+    if args.lifecycle_command == "promote":
+        version = controller.promote_to(args.to_version)
+        print(f"promoted {args.name} to v{version} (manual, no shadow evidence)")
+        return 0
+    # rollback
+    version = controller.rollback(args.to_version)
+    print(f"rolled {args.name} back to v{version}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import has_errors, render_json, render_text, run_lint
 
@@ -937,6 +1069,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--freq-max", type=float, default=1597.0)
     p.add_argument("--freq-points", type=int, default=25)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "lifecycle",
+        help="drift detection, shadow retraining and canary rollout",
+    )
+    life_sub = p.add_subparsers(dest="lifecycle_command", required=True)
+
+    pl = life_sub.add_parser(
+        "status", help="registered versions, active pointer, ledger state"
+    )
+    pl.add_argument("--root", required=True, help="registry directory")
+    pl.add_argument("--name", required=True, help="registered model name")
+    pl.add_argument("--format", choices=("text", "json"), default="text")
+    pl.set_defaults(func=cmd_lifecycle)
+
+    pl = life_sub.add_parser(
+        "retrain", help="train + register one candidate from a lifecycle spec"
+    )
+    pl.add_argument("spec", help="lifecycle spec JSON (format repro.lifecycle)")
+    pl.set_defaults(func=cmd_lifecycle)
+
+    pl = life_sub.add_parser(
+        "promote", help="manually promote a version (records null evidence)"
+    )
+    pl.add_argument("--root", required=True, help="registry directory")
+    pl.add_argument("--name", required=True, help="registered model name")
+    pl.add_argument(
+        "--to-version", type=int, required=True, help="version to promote"
+    )
+    pl.set_defaults(func=cmd_lifecycle)
+
+    pl = life_sub.add_parser(
+        "rollback", help="restore a prior version as the active pointer"
+    )
+    pl.add_argument("--root", required=True, help="registry directory")
+    pl.add_argument("--name", required=True, help="registered model name")
+    pl.add_argument(
+        "--to-version",
+        type=int,
+        help="target version (default: the ledger's recorded previous)",
+    )
+    pl.set_defaults(func=cmd_lifecycle)
 
     p = sub.add_parser("lint", help="statically verify repo invariants")
     p.add_argument(

@@ -23,6 +23,8 @@ __all__ = [
     "ModelIntegrityError",
     "ServingError",
     "FleetError",
+    "LifecycleError",
+    "LedgerError",
     "TransientFaultError",
     "LaunchFaultError",
     "SensorDropoutError",
@@ -118,6 +120,26 @@ class ServingError(ReproError):
 
 class FleetError(ReproError):
     """A fleet simulation is misconfigured (bad mode, model/job mismatch)."""
+
+
+class LifecycleError(ReproError):
+    """The train→serve→observe→retrain loop hit an invalid state.
+
+    Raised by :mod:`repro.lifecycle` for misuse (non-finite measured
+    outcomes, inconsistent drift thresholds, retraining without a
+    workload) — never for an ordinary *decision* like a rejected
+    candidate, which is a recorded rollback, not an error.
+    """
+
+
+class LedgerError(LifecycleError):
+    """The promotion ledger is corrupt, tampered, or out of sequence.
+
+    The ledger is the audit trail every promotion/rollback decision is
+    appended to; a broken hash chain means the recorded history can no
+    longer be trusted, so reads fail loudly instead of returning a
+    partial state.
+    """
 
 
 class TransientFaultError(ReproError):

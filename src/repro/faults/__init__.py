@@ -17,7 +17,10 @@ can be tested bit-for-bit:
   backoff for the engine's per-task retry loop;
 - :mod:`repro.faults.fleet` — precomputed fleet-scale GPU failure
   schedules for the datacenter simulator (same fault-hash discipline,
-  one Bernoulli draw per GPU-tick).
+  one Bernoulli draw per GPU-tick);
+- :mod:`repro.faults.drift` — :class:`DriftedApplication`, the silent
+  failure mode: a workload whose behaviour shifts while its reported
+  features do not (chaos input for the lifecycle loop).
 
 Headline invariant (pinned by ``tests/runtime/test_resilience.py`` and
 ``tests/property/test_property_faults.py``): a campaign run under a
@@ -27,6 +30,7 @@ corrupted cache entries are detected and recomputed, never served. See
 ``docs/fault-injection.md``.
 """
 
+from repro.faults.drift import DriftedApplication, drift_scale_at
 from repro.faults.fleet import fleet_failure_schedule
 from repro.faults.injector import FAULT_ERRORS, FaultEvent, FaultInjector, fault_hash_unit
 from repro.faults.plan import (
@@ -46,6 +50,7 @@ __all__ = [
     "FAULT_KINDS",
     "TRANSIENT_KINDS",
     "FAULT_ERRORS",
+    "DriftedApplication",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
@@ -54,6 +59,7 @@ __all__ = [
     "FaultyResultCache",
     "FaultySensor",
     "RetryPolicy",
+    "drift_scale_at",
     "fault_hash_unit",
     "fleet_failure_schedule",
 ]

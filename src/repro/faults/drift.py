@@ -1,0 +1,97 @@
+"""Deterministic workload drift: same features, different behaviour.
+
+Model staleness is not a crash — it is the silent failure mode where an
+application still *reports* the same input features but its runtime
+behaviour has shifted (a new library version, bigger per-item work, a
+changed kernel mix). :class:`DriftedApplication` reproduces exactly
+that, deterministically, for chaos-testing the lifecycle loop:
+
+- ``domain_features`` and ``name`` are the **base** application's — the
+  serving layer and the model see nothing new;
+- ``run`` executes a work-scaled variant of the base application, so
+  measured time and energy shift away from what any model trained on
+  the un-drifted workload predicts.
+
+The wrapper is a frozen dataclass of the (dataclass) base app plus the
+scale, so the campaign engine's ``app_fingerprint`` identity — and with
+it seeding and result caching — keeps working unchanged, and a drifted
+campaign is exactly as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DriftedApplication", "drift_scale_at"]
+
+
+@dataclass(frozen=True)
+class DriftedApplication:
+    """A workload whose behaviour drifted away from its reported features.
+
+    Parameters
+    ----------
+    base:
+        The original application (must be one of the shipped dataclass
+        apps — LiGen or Cronos — so the scaled variant can be derived).
+    work_scale:
+        Multiplier on the app's dominant work axis (LiGen: ligand count;
+        Cronos: time steps). ``1.0`` is the identity drift.
+    """
+
+    base: object
+    work_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.work_scale > 0.0):
+            raise ConfigurationError(
+                f"work_scale must be positive, got {self.work_scale!r}"
+            )
+        # Fail at construction, not mid-campaign: only apps we know how
+        # to scale can drift.
+        self._scaled()
+
+    @property
+    def name(self) -> str:
+        """The *base* name — drift is invisible to observers by design."""
+        return self.base.name
+
+    @property
+    def domain_features(self) -> Tuple[float, ...]:
+        """The base app's stale feature tuple (what the model is told)."""
+        return self.base.domain_features
+
+    def _scaled(self):
+        from repro.cronos.app import CronosApplication
+        from repro.ligen.app import LigenApplication
+
+        scale = float(self.work_scale)
+        if isinstance(self.base, LigenApplication):
+            return replace(
+                self.base, n_ligands=max(1, round(self.base.n_ligands * scale))
+            )
+        if isinstance(self.base, CronosApplication):
+            return replace(
+                self.base, n_steps=max(1, round(self.base.n_steps * scale))
+            )
+        raise ConfigurationError(
+            f"cannot drift application of type {type(self.base).__name__}; "
+            "supported: LigenApplication, CronosApplication"
+        )
+
+    def run(self, gpu) -> None:
+        """Execute the scaled variant (the behaviour that actually runs)."""
+        self._scaled().run(gpu)
+
+
+def drift_scale_at(epoch: int, inject_epoch: int, work_scale: float) -> float:
+    """The injection schedule: identity before ``inject_epoch``, drifted after.
+
+    A step function (not a ramp) gives the sharpest possible test of the
+    monitor's hysteresis: the MAPE jump is immediate, and recovery can
+    only come from retraining, never from the drift fading on its own.
+    """
+    return float(work_scale) if int(epoch) >= int(inject_epoch) else 1.0

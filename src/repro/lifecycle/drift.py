@@ -1,0 +1,170 @@
+"""Hysteretic drift detection over the serving model's rolling MAPE.
+
+A model trained once goes stale as the workload shifts (Ilager et al.);
+the monitor watches the live rolling MAPE the outcome log computes and
+decides *when that staleness is real* rather than sensor noise:
+
+- **enter/exit thresholds with hysteresis** — drift fires only when the
+  MAPE is *strictly above* ``enter_mape``, and the drifted state clears
+  only at or below ``exit_mape`` (``exit_mape <= enter_mape``). A MAPE
+  oscillating around one threshold therefore cannot flap
+  retrain-recover-retrain.
+- **patience** — the breach must persist for ``patience`` consecutive
+  observations before the event fires (one noisy window never triggers
+  a retrain).
+- **min_samples** — windows with fewer records than ``min_samples``
+  are ignored entirely, as are non-finite MAPE values (an empty window
+  reports NaN, which must not advance the breach counter).
+
+Transitions are emitted as typed, frozen :class:`DriftEvent` values so
+the loop and the ledger record exactly what the monitor saw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import LifecycleError
+
+__all__ = ["DriftEvent", "DriftMonitor"]
+
+#: Monitor states (the full state machine).
+_CALM = "calm"
+_DRIFTED = "drifted"
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One monitor transition: drift detected or drift recovered."""
+
+    kind: str  # "drift" | "recovered"
+    mape: float
+    threshold: float
+    observation: int
+
+    def as_record(self) -> Dict[str, Any]:
+        """Plain-dict view (ledger payloads, JSON reports)."""
+        return {
+            "kind": self.kind,
+            "mape": self.mape,
+            "threshold": self.threshold,
+            "observation": self.observation,
+        }
+
+
+class DriftMonitor:
+    """Rolling-MAPE drift state machine with hysteresis and patience.
+
+    Parameters
+    ----------
+    enter_mape:
+        Drift fires when the observed MAPE is strictly above this (%).
+    exit_mape:
+        The drifted state clears at or below this (%); must not exceed
+        ``enter_mape`` (that would invert the hysteresis band).
+    patience:
+        Consecutive breaching observations required before firing.
+    min_samples:
+        Observations carrying fewer than this many window samples are
+        ignored.
+    """
+
+    def __init__(
+        self,
+        enter_mape: float,
+        exit_mape: Optional[float] = None,
+        patience: int = 1,
+        min_samples: int = 1,
+    ) -> None:
+        self.enter_mape = float(enter_mape)
+        self.exit_mape = self.enter_mape if exit_mape is None else float(exit_mape)
+        if not math.isfinite(self.enter_mape) or self.enter_mape <= 0.0:
+            raise LifecycleError(
+                f"enter_mape must be finite and positive, got {enter_mape!r}"
+            )
+        if not math.isfinite(self.exit_mape) or self.exit_mape < 0.0:
+            raise LifecycleError(
+                f"exit_mape must be finite and non-negative, got {exit_mape!r}"
+            )
+        if self.exit_mape > self.enter_mape:
+            raise LifecycleError(
+                f"exit_mape ({self.exit_mape}) must not exceed enter_mape "
+                f"({self.enter_mape}); hysteresis requires exit <= enter"
+            )
+        if patience < 1:
+            raise LifecycleError("patience must be >= 1")
+        if min_samples < 1:
+            raise LifecycleError("min_samples must be >= 1")
+        self.patience = int(patience)
+        self.min_samples = int(min_samples)
+        self.state = _CALM
+        self.breaches = 0
+        self.observations = 0
+        self.last_mape = float("nan")
+
+    @property
+    def drifted(self) -> bool:
+        """Whether the monitor currently considers the model drifted."""
+        return self.state == _DRIFTED
+
+    def observe(self, mape: float, n_samples: int = 1) -> Optional[DriftEvent]:
+        """Feed one rolling-MAPE observation; returns a transition or None.
+
+        The decision table, in order:
+
+        1. non-finite MAPE or ``n_samples < min_samples`` → ignored (no
+           counter movement, no transition);
+        2. ``mape > enter_mape`` → breach; fires ``"drift"`` once the
+           breach count reaches ``patience`` while calm;
+        3. ``mape <= exit_mape`` → breach count resets; fires
+           ``"recovered"`` when leaving the drifted state;
+        4. in between (the hysteresis band) → breach count resets while
+           calm, drifted state persists.
+        """
+        value = float(mape)
+        if not math.isfinite(value) or int(n_samples) < self.min_samples:
+            return None
+        self.observations += 1
+        self.last_mape = value
+        if value > self.enter_mape:
+            self.breaches += 1
+            if self.state == _CALM and self.breaches >= self.patience:
+                self.state = _DRIFTED
+                return DriftEvent(
+                    kind="drift",
+                    mape=value,
+                    threshold=self.enter_mape,
+                    observation=self.observations,
+                )
+            return None
+        self.breaches = 0
+        if value <= self.exit_mape and self.state == _DRIFTED:
+            self.state = _CALM
+            return DriftEvent(
+                kind="recovered",
+                mape=value,
+                threshold=self.exit_mape,
+                observation=self.observations,
+            )
+        return None
+
+    def reset(self) -> None:
+        """Return to calm with counters cleared (after a model swap the
+        old model's drift history says nothing about the new one)."""
+        self.state = _CALM
+        self.breaches = 0
+
+    def as_record(self) -> Dict[str, Any]:
+        """Plain-dict snapshot (status CLI, reports)."""
+        return {
+            "state": self.state,
+            "enter_mape": self.enter_mape,
+            "exit_mape": self.exit_mape,
+            "patience": self.patience,
+            "min_samples": self.min_samples,
+            "breaches": self.breaches,
+            "observations": self.observations,
+            "last_mape": self.last_mape,
+        }

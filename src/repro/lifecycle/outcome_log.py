@@ -1,0 +1,272 @@
+"""Bounded, seeded accumulation of served-then-measured outcomes.
+
+The serving layer predicts ``(time, energy)`` at the advised clock; the
+lifecycle loop later *measures* what actually happened. Each
+``(features, advised freq, predicted, measured)`` tuple is one
+:class:`OutcomeRecord`, and :class:`OutcomeLog` keeps two bounded views
+of the stream:
+
+- a **rolling window** of the most recent records, from which the
+  drift monitor computes the serving model's live MAPE;
+- a **shadow reservoir** — a uniform fixed-size sample of the whole
+  stream (Vitter's algorithm R, same discipline as the latency
+  reservoir in :mod:`repro.serving.stats`) on which candidate models
+  are shadow-evaluated against the incumbent.
+
+Both views are deterministic functions of (stream, seed): replacement
+draws come from a seeded generator consumed once per record, so a
+replayed outcome stream reproduces the exact same shadow slice — the
+property that makes canary decisions bitwise-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LifecycleError
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["OutcomeRecord", "OutcomeLog"]
+
+
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """One served request with its predicted and measured consequences."""
+
+    seq: int
+    features: Tuple[float, ...]
+    freq_mhz: float
+    predicted_time_s: float
+    predicted_energy_j: float
+    measured_time_s: float
+    measured_energy_j: float
+    model_digest: str
+
+    def mape(self) -> float:
+        """Mean absolute percentage error of this record's predictions.
+
+        The mean of the time and energy percentage errors, in percent —
+        the same figure the drift monitor and shadow evaluation average
+        over their windows.
+        """
+        t_err = abs(self.predicted_time_s - self.measured_time_s) / self.measured_time_s
+        e_err = (
+            abs(self.predicted_energy_j - self.measured_energy_j)
+            / self.measured_energy_j
+        )
+        return 100.0 * (t_err + e_err) / 2.0
+
+    def as_record(self) -> Dict[str, Any]:
+        """Plain-dict view (canonical-JSON serialization)."""
+        return {
+            "seq": self.seq,
+            "features": list(self.features),
+            "freq_mhz": self.freq_mhz,
+            "predicted_time_s": self.predicted_time_s,
+            "predicted_energy_j": self.predicted_energy_j,
+            "measured_time_s": self.measured_time_s,
+            "measured_energy_j": self.measured_energy_j,
+            "model_digest": self.model_digest,
+        }
+
+    @classmethod
+    def from_record(cls, payload: Dict[str, Any]) -> "OutcomeRecord":
+        """Inverse of :meth:`as_record`."""
+        try:
+            return cls(
+                seq=int(payload["seq"]),
+                features=tuple(float(v) for v in payload["features"]),
+                freq_mhz=float(payload["freq_mhz"]),
+                predicted_time_s=float(payload["predicted_time_s"]),
+                predicted_energy_j=float(payload["predicted_energy_j"]),
+                measured_time_s=float(payload["measured_time_s"]),
+                measured_energy_j=float(payload["measured_energy_j"]),
+                model_digest=str(payload["model_digest"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LifecycleError(f"malformed outcome record ({exc!r})") from exc
+
+
+class OutcomeLog:
+    """Thread-safe bounded log of served-then-measured outcomes.
+
+    Parameters
+    ----------
+    window:
+        Rolling-window capacity for the live MAPE (most recent records).
+    shadow_capacity:
+        Shadow-reservoir capacity (uniform sample of the whole stream).
+    seed:
+        Seed for the reservoir's replacement draws; equal seeds and
+        equal streams give equal shadow slices.
+    """
+
+    def __init__(
+        self, window: int = 256, shadow_capacity: int = 64, seed: RandomState = 0
+    ) -> None:
+        if window < 1:
+            raise LifecycleError("outcome window must be >= 1")
+        if shadow_capacity < 1:
+            raise LifecycleError("shadow_capacity must be >= 1")
+        self.window = int(window)
+        self.shadow_capacity = int(shadow_capacity)
+        self._rng = as_generator(seed)
+        self._recent: Deque[OutcomeRecord] = deque(maxlen=self.window)
+        self._shadow: List[OutcomeRecord] = []
+        self._lock = threading.Lock()
+        self.seen = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        features: Sequence[float],
+        freq_mhz: float,
+        predicted_time_s: float,
+        predicted_energy_j: float,
+        measured_time_s: float,
+        measured_energy_j: float,
+        model_digest: str,
+    ) -> OutcomeRecord:
+        """Append one observed outcome; returns the stored record.
+
+        Non-finite or non-positive *measured* values are rejected with
+        :class:`LifecycleError`: a NaN in the window would poison every
+        downstream MAPE, and a zero measurement would divide by it.
+        """
+        measured = (float(measured_time_s), float(measured_energy_j))
+        for label, value in zip(("measured_time_s", "measured_energy_j"), measured):
+            if not math.isfinite(value) or value <= 0.0:
+                raise LifecycleError(
+                    f"outcome {label} must be finite and positive, got {value!r}"
+                )
+        with self._lock:
+            rec = OutcomeRecord(
+                seq=self._seq,
+                features=tuple(float(v) for v in features),
+                freq_mhz=float(freq_mhz),
+                predicted_time_s=float(predicted_time_s),
+                predicted_energy_j=float(predicted_energy_j),
+                measured_time_s=measured[0],
+                measured_energy_j=measured[1],
+                model_digest=str(model_digest),
+            )
+            self._seq += 1
+            self.seen += 1
+            self._recent.append(rec)
+            # Algorithm R: one replacement draw per record past capacity,
+            # consumed unconditionally so the reservoir depends only on
+            # the stream prefix, never on what earlier draws selected.
+            if len(self._shadow) < self.shadow_capacity:
+                self._shadow.append(rec)
+            else:
+                slot = int(self._rng.integers(0, self.seen))
+                if slot < self.shadow_capacity:
+                    self._shadow[slot] = rec
+            return rec
+
+    def hook(self) -> Callable[..., OutcomeRecord]:
+        """An :meth:`AdvisorService.add_outcome_hook`-compatible callback.
+
+        The service forwards ``(features, advice, measured_time_s,
+        measured_energy_j, model_digest)``; the hook unpacks the
+        advice's predicted figures into :meth:`record`.
+        """
+
+        def _on_outcome(features, advice, measured_time_s, measured_energy_j, digest):
+            return self.record(
+                features,
+                advice.freq_mhz,
+                advice.predicted_time_s,
+                advice.predicted_energy_j,
+                measured_time_s,
+                measured_energy_j,
+                digest,
+            )
+
+        return _on_outcome
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def rolling_mape(self) -> float:
+        """Mean per-record MAPE over the rolling window (NaN when empty)."""
+        with self._lock:
+            if not self._recent:
+                return float("nan")
+            return float(np.mean([rec.mape() for rec in self._recent]))
+
+    def shadow_slice(self) -> Tuple[OutcomeRecord, ...]:
+        """The current shadow reservoir, in stream (``seq``) order.
+
+        Sorting by ``seq`` makes the slice independent of reservoir slot
+        layout, so equal streams always produce the identical tuple.
+        """
+        with self._lock:
+            return tuple(sorted(self._shadow, key=lambda rec: rec.seq))
+
+    def clear(self) -> None:
+        """Drop both views (model swap: old-model outcomes must not be
+        held against the new model). The ``seq`` counter keeps running so
+        records stay globally ordered across swaps."""
+        with self._lock:
+            self._recent.clear()
+            self._shadow.clear()
+            self.seen = 0
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def as_record(self) -> Dict[str, Any]:
+        """Canonical plain-dict state (inverse of :meth:`from_record`).
+
+        Captures both views and the counters; the generator state is not
+        serialized — round-tripping preserves *content*, and the
+        bitwise-replay property is stated over (stream, seed), not over
+        a resumed half-consumed generator.
+        """
+        with self._lock:
+            return {
+                "window": self.window,
+                "shadow_capacity": self.shadow_capacity,
+                "seen": self.seen,
+                "next_seq": self._seq,
+                "recent": [rec.as_record() for rec in self._recent],
+                "shadow": [
+                    rec.as_record()
+                    for rec in sorted(self._shadow, key=lambda rec: rec.seq)
+                ],
+            }
+
+    @classmethod
+    def from_record(
+        cls, payload: Dict[str, Any], seed: RandomState = 0
+    ) -> "OutcomeLog":
+        """Rebuild a log snapshot (content round-trip of :meth:`as_record`)."""
+        try:
+            log = cls(
+                window=int(payload["window"]),
+                shadow_capacity=int(payload["shadow_capacity"]),
+                seed=seed,
+            )
+            log._recent.extend(
+                OutcomeRecord.from_record(rec) for rec in payload["recent"]
+            )
+            log._shadow = [OutcomeRecord.from_record(rec) for rec in payload["shadow"]]
+            log.seen = int(payload["seen"])
+            log._seq = int(payload["next_seq"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LifecycleError(f"malformed outcome-log record ({exc!r})") from exc
+        return log

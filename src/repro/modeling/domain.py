@@ -269,6 +269,51 @@ class DomainSpecificModel:
         X[:, d] = np.tile(freqs, B)
         return X
 
+    def predict_point_batch(
+        self,
+        features_rows: Sequence[Sequence[float]],
+        freqs_mhz_per_row: Sequence[float],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Absolute (time, energy) at one frequency *per row*.
+
+        The shadow-evaluation primitive: row *i* is scored at exactly
+        ``freqs_mhz_per_row[i]`` (an outcome log's advised clock), not a
+        shared sweep. One design matrix, one forest pass over the time
+        and energy submodels only, and each row's result is bit-identical
+        to ``predict_time(features_rows[i], [f_i])[0]`` /
+        ``predict_energy(...)`` — so a canary decision replayed from a
+        log reproduces exactly.
+        """
+        self._check_fitted()
+        rows = [tuple(float(v) for v in feats) for feats in features_rows]
+        freqs = ensure_1d(freqs_mhz_per_row, "freqs_mhz_per_row")
+        if len(rows) != freqs.size:
+            raise ValueError(
+                f"got {len(rows)} feature rows but {freqs.size} frequencies; "
+                "predict_point_batch pairs them one-to-one"
+            )
+        if not rows:
+            return np.empty(0), np.empty(0)
+        d = len(self.feature_names)
+        for feats in rows:
+            if len(feats) != d:
+                raise ValueError(f"expected {d} features, got {len(feats)}")
+        X = np.empty((len(rows), d + 1))
+        X[:, :d] = np.asarray(rows, dtype=float)
+        X[:, d] = freqs
+        combined = None if _in_reference_mode() else self._combined_flat_forest()
+        if combined is not None:
+            flat, groups = combined
+            # Only the time/energy groups are consumed; the single SoA
+            # walk over all four is still cheaper than two AoS passes.
+            raw_t, raw_e, _raw_s, _raw_n = flat.predict_group_means(
+                check_X(X, flat.n_features_in), groups
+            )
+        else:
+            raw_t = self._time_model.predict(X)
+            raw_e = self._energy_model.predict(X)
+        return np.exp(raw_t), np.exp(raw_e)
+
     def predict_tradeoff_batch(
         self, features_batch: Sequence[Sequence[float]], freqs_mhz
     ) -> list:

@@ -274,9 +274,16 @@ class ModelRegistry:
         return manifest
 
     def _resolve_version(self, name: str, version: Optional[int]) -> int:
+        # Validate the name on the read path too: a malformed name must
+        # fail as a typed RegistryError naming the searched location, not
+        # leak whatever OSError the filesystem produces for it.
+        self._check_name(name)
         versions = self._versions(name)
         if not versions:
-            raise RegistryError(f"unknown model {name!r} (registry {self.root})")
+            raise RegistryError(
+                f"unknown model {name!r}: no versions registered under "
+                f"{self.root / name} (registry {self.root})"
+            )
         if version is None:
             return versions[-1]
         if int(version) not in versions:

@@ -32,7 +32,7 @@ sees batch size 1.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -111,6 +111,7 @@ class AdvisorService:
         self._cond = threading.Condition()
         self._busy = False
         self._pending: List[_Slot] = []
+        self._outcome_hooks: List[Callable] = []
 
     # ------------------------------------------------------------------
     # construction from a registry
@@ -258,6 +259,63 @@ class AdvisorService:
             self.stats.evaluated += len(batch)
             for slot in batch:
                 slot.done = True
+
+    # ------------------------------------------------------------------
+    # lifecycle integration
+    # ------------------------------------------------------------------
+    def add_outcome_hook(self, hook: Callable) -> None:
+        """Subscribe to measured outcomes of served advice.
+
+        Each hook is called as ``hook(features, advice, measured_time_s,
+        measured_energy_j, model_digest)`` from :meth:`record_outcome` —
+        the feedback channel the lifecycle loop's
+        :class:`~repro.lifecycle.OutcomeLog` plugs into.
+        """
+        with self._cond:
+            self._outcome_hooks.append(hook)
+
+    def record_outcome(
+        self,
+        features: Sequence[float],
+        advice: Advice,
+        measured_time_s: float,
+        measured_energy_j: float,
+    ) -> None:
+        """Report what actually happened after following ``advice``.
+
+        Forwards the observation — tagged with the digest of the model
+        *currently serving* — to every registered outcome hook. The
+        service itself keeps no outcome state; hooks own their windows.
+        """
+        with self._cond:
+            hooks = list(self._outcome_hooks)
+            digest = self.model_digest
+        for hook in hooks:
+            hook(features, advice, measured_time_s, measured_energy_j, digest)
+
+    def swap_model(
+        self,
+        model: DomainSpecificModel,
+        model_digest: str,
+        manifest: Optional[ModelManifest] = None,
+    ) -> None:
+        """Atomically replace the served model (canary promotion path).
+
+        Waits for any in-flight micro-batch to drain, then swaps model,
+        digest, and key maker together. The advice cache needs no
+        explicit flush: keys embed the model digest, so entries cached
+        under the old model simply become unreachable and age out of the
+        LRU. Requests issued after this returns are served by the new
+        model; the determinism contract is preserved on either side of
+        the swap.
+        """
+        with self._cond:
+            while self._busy or self._pending:
+                self._cond.wait()
+            self.model = model
+            self.model_digest = str(model_digest)
+            self.manifest = manifest
+            self._keys = AdviceKeyMaker(self.model_digest, self.freqs_mhz)
 
     # ------------------------------------------------------------------
     # reporting

@@ -67,6 +67,14 @@ from repro.specs.fleet import (
     FleetSpec,
     validate_fleet_record,
 )
+from repro.specs.lifecycle import (
+    LIFECYCLE_APP_KINDS,
+    LIFECYCLE_FORMAT,
+    LIFECYCLE_SCHEMA,
+    LIFECYCLE_VERSION,
+    LifecycleSpec,
+    validate_lifecycle_record,
+)
 from repro.specs.run import (
     AdviceRow,
     ScenarioOutcome,
@@ -147,6 +155,13 @@ __all__ = [
     "FleetJobType",
     "FleetSpec",
     "validate_fleet_record",
+    # lifecycle
+    "LIFECYCLE_FORMAT",
+    "LIFECYCLE_VERSION",
+    "LIFECYCLE_APP_KINDS",
+    "LIFECYCLE_SCHEMA",
+    "LifecycleSpec",
+    "validate_lifecycle_record",
     # checker
     "KNOWN_SPEC_FORMATS",
     "MANIFEST_SCHEMA",

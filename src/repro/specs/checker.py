@@ -27,6 +27,7 @@ from repro.specs.device_table import (
 )
 from repro.specs.fault_plan import FAULT_PLAN_SCHEMA
 from repro.specs.fleet import FLEET_FORMAT, FLEET_SCHEMA
+from repro.specs.lifecycle import LIFECYCLE_FORMAT, LIFECYCLE_SCHEMA
 from repro.specs.scenario import (
     SCENARIO_FORMAT,
     SCENARIO_SCHEMA,
@@ -215,6 +216,41 @@ def _check_fleet(
     return diags
 
 
+def _check_lifecycle(
+    record: Any, file: str, base_dir: Optional[str]
+) -> List[Diagnostic]:
+    clean, diags = LIFECYCLE_SCHEMA.validate(record, file=file)
+    if clean is None:
+        return diags
+    # Lifecycle model refs are versionless and may not resolve *yet*:
+    # the loop bootstraps v1 itself. Unresolvable is a warning, not an
+    # error — but a registry that exists with the name registered must
+    # still verify (a corrupt manifest is an error today, not later).
+    model = clean["model"]
+    root = resolve_ref(model["registry"], base_dir)
+    from repro.errors import ModelIntegrityError, RegistryError
+    from repro.serving.registry import ModelRegistry
+
+    try:
+        if root.is_dir():
+            ModelRegistry(root).manifest(model["name"], None)
+    except ModelIntegrityError as exc:
+        diags.append(_error(SPEC_XREF, f"unresolvable model reference: {exc}", file))
+    except RegistryError as exc:
+        diags.append(
+            Diagnostic(
+                rule=SPEC_XREF,
+                severity=Severity.WARNING,
+                message=(
+                    f"lifecycle model {model['name']!r} not registered yet "
+                    f"({exc}); the loop will bootstrap v1"
+                ),
+                file=file,
+            )
+        )
+    return diags
+
+
 def _check_model_ref(
     model: Dict[str, Any], file: str, base_dir: Optional[str]
 ) -> List[Diagnostic]:
@@ -249,6 +285,7 @@ _CHECKERS = {
     CAMPAIGN_FORMAT: _check_campaign,
     SCENARIO_FORMAT: _check_scenario,
     FLEET_FORMAT: _check_fleet,
+    LIFECYCLE_FORMAT: _check_lifecycle,
     _MANIFEST_FORMAT: _check_manifest,
 }
 

@@ -1,0 +1,452 @@
+"""Lifecycle specs (``format: repro.lifecycle``).
+
+A lifecycle spec is the declarative form of one closed
+train→serve→observe→retrain loop (:func:`repro.lifecycle.run_lifecycle`):
+which registry/model name it governs, the workload world that generates
+live traffic, the serving frequency grid, the drift thresholds
+(hysteresis, patience), the canary policy (shadow size, tolerance), and
+the optional synthetic drift injection used by chaos runs and the
+lifecycle benchmark. Like every other spec it is SPEC0xx-checked before
+anything runs, canonicalizes to a stable
+:meth:`~LifecycleSpec.fingerprint`, and runs both through ``repro
+lifecycle`` and generically through ``repro run``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import SpecError, SpecValidationError
+from repro.specs.schema import (
+    SPEC_VALUE,
+    FieldSpec,
+    RecordSchema,
+    Reporter,
+)
+
+__all__ = [
+    "LIFECYCLE_FORMAT",
+    "LIFECYCLE_VERSION",
+    "LIFECYCLE_APP_KINDS",
+    "LIFECYCLE_SCHEMA",
+    "LifecycleSpec",
+    "validate_lifecycle_record",
+]
+
+LIFECYCLE_FORMAT = "repro.lifecycle"
+LIFECYCLE_VERSION = 1
+
+#: Workload kinds the loop knows how to build and (on drift) retrain on.
+LIFECYCLE_APP_KINDS = ("ligen", "cronos")
+
+PathLike = Union[str, pathlib.Path]
+
+
+# ---------------------------------------------------------------------------
+# nested schemas
+# ---------------------------------------------------------------------------
+_MODEL_REF_SCHEMA = RecordSchema(
+    kind="lifecycle model reference",
+    fields=(
+        FieldSpec("registry", "str", required=True),
+        FieldSpec("name", "str", required=True),
+    ),
+)
+
+_WORKLOAD_SCHEMA = RecordSchema(
+    kind="lifecycle workload",
+    fields=(
+        FieldSpec("app", "str", required=True, choices=LIFECYCLE_APP_KINDS),
+        FieldSpec("device", "str", default="v100", choices=("v100", "mi100")),
+        FieldSpec(
+            "ligand_counts",
+            "list",
+            default=None,
+            allow_none=True,
+            min_len=1,
+            element=FieldSpec("ligand count", "int", minimum=1),
+        ),
+        FieldSpec(
+            "atom_counts",
+            "list",
+            default=None,
+            allow_none=True,
+            min_len=1,
+            element=FieldSpec("atom count", "int", minimum=1),
+        ),
+        FieldSpec(
+            "fragment_counts",
+            "list",
+            default=None,
+            allow_none=True,
+            min_len=1,
+            element=FieldSpec("fragment count", "int", minimum=1),
+        ),
+        FieldSpec(
+            "grids",
+            "list",
+            default=None,
+            allow_none=True,
+            min_len=1,
+            element=FieldSpec(
+                "grid",
+                "list",
+                min_len=3,
+                max_len=3,
+                element=FieldSpec("grid size", "int", minimum=1),
+            ),
+        ),
+        FieldSpec("steps", "int", default=10, minimum=1),
+        FieldSpec("freq_count", "int", default=6, minimum=2),
+        FieldSpec("repetitions", "int", default=1, minimum=1),
+        FieldSpec("trees", "int", default=12, minimum=1),
+    ),
+)
+
+_SERVING_SCHEMA = RecordSchema(
+    kind="lifecycle serving",
+    fields=(
+        FieldSpec(
+            "freq_min_mhz", "number", default=135.0, minimum=0.0, exclusive_minimum=True
+        ),
+        FieldSpec(
+            "freq_max_mhz", "number", default=1597.0, minimum=0.0, exclusive_minimum=True
+        ),
+        FieldSpec("freq_points", "int", default=25, minimum=2),
+    ),
+)
+
+_DRIFT_SCHEMA = RecordSchema(
+    kind="lifecycle drift policy",
+    fields=(
+        FieldSpec("window", "int", default=64, minimum=1),
+        FieldSpec(
+            "enter_mape", "number", required=True, minimum=0.0, exclusive_minimum=True
+        ),
+        FieldSpec("exit_mape", "number", required=True, minimum=0.0),
+        FieldSpec("patience", "int", default=1, minimum=1),
+        FieldSpec("min_samples", "int", default=1, minimum=1),
+    ),
+)
+
+_CANARY_SCHEMA = RecordSchema(
+    kind="lifecycle canary policy",
+    fields=(
+        FieldSpec("shadow_size", "int", default=32, minimum=1),
+        FieldSpec("tolerance", "number", default=0.0, minimum=0.0),
+    ),
+)
+
+_INJECTION_SCHEMA = RecordSchema(
+    kind="lifecycle drift injection",
+    fields=(
+        FieldSpec("epoch", "int", required=True, minimum=0),
+        FieldSpec(
+            "work_scale", "number", required=True, minimum=0.0, exclusive_minimum=True
+        ),
+    ),
+)
+
+
+def _defaults(schema: RecordSchema) -> Dict[str, Any]:
+    return {f.name: f.default for f in schema.fields}
+
+
+def _lifecycle_extra(clean: Dict[str, Any], rep: Reporter, path: str) -> None:
+    prefix = f"{path}." if path else ""
+    if clean.get("serving") is None:
+        clean["serving"] = _defaults(_SERVING_SCHEMA)
+    if clean.get("canary") is None:
+        clean["canary"] = _defaults(_CANARY_SCHEMA)
+    serving = clean["serving"]
+    if serving["freq_min_mhz"] >= serving["freq_max_mhz"]:
+        rep.error(
+            SPEC_VALUE,
+            f"{prefix}serving.freq_min_mhz: must be below freq_max_mhz "
+            f"({serving['freq_min_mhz']} >= {serving['freq_max_mhz']})",
+        )
+    drift = clean.get("drift")
+    if isinstance(drift, dict) and drift.get("exit_mape") is not None:
+        if drift["exit_mape"] > drift["enter_mape"]:
+            rep.error(
+                SPEC_VALUE,
+                f"{prefix}drift.exit_mape: hysteresis requires exit <= enter "
+                f"({drift['exit_mape']} > {drift['enter_mape']})",
+            )
+    workload = clean.get("workload")
+    if isinstance(workload, dict):
+        kind = workload.get("app")
+        if kind == "ligen":
+            for fname in ("ligand_counts", "atom_counts", "fragment_counts"):
+                if workload.get(fname) is None:
+                    rep.error(
+                        SPEC_VALUE,
+                        f"{prefix}workload.{fname}: required for app 'ligen'",
+                    )
+        elif kind == "cronos" and workload.get("grids") is None:
+            rep.error(
+                SPEC_VALUE,
+                f"{prefix}workload.grids: required for app 'cronos'",
+            )
+
+
+LIFECYCLE_SCHEMA = RecordSchema(
+    kind="lifecycle spec",
+    format=LIFECYCLE_FORMAT,
+    version=LIFECYCLE_VERSION,
+    fields=(
+        FieldSpec("name", "str", required=True),
+        FieldSpec("seed", "int", default=42, minimum=0),
+        FieldSpec("model", "object", required=True, schema=_MODEL_REF_SCHEMA),
+        FieldSpec("workload", "object", required=True, schema=_WORKLOAD_SCHEMA),
+        FieldSpec(
+            "serving", "object", default=None, allow_none=True, schema=_SERVING_SCHEMA
+        ),
+        FieldSpec("drift", "object", required=True, schema=_DRIFT_SCHEMA),
+        FieldSpec(
+            "canary", "object", default=None, allow_none=True, schema=_CANARY_SCHEMA
+        ),
+        FieldSpec(
+            "injection",
+            "object",
+            default=None,
+            allow_none=True,
+            schema=_INJECTION_SCHEMA,
+        ),
+        FieldSpec("epochs", "int", default=6, minimum=1),
+        FieldSpec("requests_per_epoch", "int", default=16, minimum=1),
+    ),
+    extra_check=_lifecycle_extra,
+)
+
+
+def validate_lifecycle_record(
+    record: Any, file: str = "<lifecycle spec>"
+) -> Tuple[Optional[Dict[str, Any]], List[Diagnostic]]:
+    """Validate one lifecycle record; ``(clean_or_None, diagnostics)``."""
+    return LIFECYCLE_SCHEMA.validate(record, file=file)
+
+
+# ---------------------------------------------------------------------------
+# dataclass
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LifecycleSpec:
+    """One validated, runnable closed-loop lifecycle configuration.
+
+    The registry path is stored exactly as written and resolved against
+    ``base_dir`` only at run time, so the canonical record — and
+    therefore :meth:`fingerprint` — is machine-independent, like every
+    other spec.
+    """
+
+    name: str
+    registry: str
+    model_name: str
+    app_kind: str
+    seed: int = 42
+    device_name: str = "v100"
+    ligand_counts: Optional[Tuple[int, ...]] = None
+    atom_counts: Optional[Tuple[int, ...]] = None
+    fragment_counts: Optional[Tuple[int, ...]] = None
+    grids: Optional[Tuple[Tuple[int, int, int], ...]] = None
+    steps: int = 10
+    freq_count: int = 6
+    repetitions: int = 1
+    trees: int = 12
+    freq_min_mhz: float = 135.0
+    freq_max_mhz: float = 1597.0
+    freq_points: int = 25
+    drift_window: int = 64
+    enter_mape: float = 20.0
+    exit_mape: float = 10.0
+    patience: int = 1
+    min_samples: int = 1
+    shadow_size: int = 32
+    tolerance: float = 0.0
+    inject_epoch: Optional[int] = None
+    inject_work_scale: float = 1.0
+    epochs: int = 6
+    requests_per_epoch: int = 16
+    #: Directory the spec was loaded from (for resolving the registry
+    #: path); excluded from equality and from the canonical record.
+    base_dir: Optional[str] = field(default=None, compare=False)
+
+    def freq_grid(self) -> np.ndarray:
+        """The serving frequency grid (MHz) the advisor evaluates over."""
+        return np.linspace(self.freq_min_mhz, self.freq_max_mhz, self.freq_points)
+
+    def as_record(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (inverse of :meth:`from_record`)."""
+        return {
+            "format": LIFECYCLE_FORMAT,
+            "schema_version": LIFECYCLE_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "model": {"registry": self.registry, "name": self.model_name},
+            "workload": {
+                "app": self.app_kind,
+                "device": self.device_name,
+                "ligand_counts": (
+                    None if self.ligand_counts is None else list(self.ligand_counts)
+                ),
+                "atom_counts": (
+                    None if self.atom_counts is None else list(self.atom_counts)
+                ),
+                "fragment_counts": (
+                    None
+                    if self.fragment_counts is None
+                    else list(self.fragment_counts)
+                ),
+                "grids": (
+                    None
+                    if self.grids is None
+                    else [list(g) for g in self.grids]
+                ),
+                "steps": self.steps,
+                "freq_count": self.freq_count,
+                "repetitions": self.repetitions,
+                "trees": self.trees,
+            },
+            "serving": {
+                "freq_min_mhz": self.freq_min_mhz,
+                "freq_max_mhz": self.freq_max_mhz,
+                "freq_points": self.freq_points,
+            },
+            "drift": {
+                "window": self.drift_window,
+                "enter_mape": self.enter_mape,
+                "exit_mape": self.exit_mape,
+                "patience": self.patience,
+                "min_samples": self.min_samples,
+            },
+            "canary": {
+                "shadow_size": self.shadow_size,
+                "tolerance": self.tolerance,
+            },
+            "injection": (
+                None
+                if self.inject_epoch is None
+                else {
+                    "epoch": self.inject_epoch,
+                    "work_scale": self.inject_work_scale,
+                }
+            ),
+            "epochs": self.epochs,
+            "requests_per_epoch": self.requests_per_epoch,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical record."""
+        from repro.runtime.seeding import stable_digest
+
+        return stable_digest(self.as_record())
+
+    @classmethod
+    def from_clean(
+        cls, clean: Dict[str, Any], base_dir: Optional[str] = None
+    ) -> "LifecycleSpec":
+        """Build from a schema-cleaned record (see ``LIFECYCLE_SCHEMA``)."""
+        workload = clean["workload"]
+        serving = clean["serving"]
+        drift = clean["drift"]
+        canary = clean["canary"]
+        injection = clean["injection"]
+        return cls(
+            name=clean["name"],
+            seed=clean["seed"],
+            registry=clean["model"]["registry"],
+            model_name=clean["model"]["name"],
+            app_kind=workload["app"],
+            device_name=workload["device"],
+            ligand_counts=(
+                None
+                if workload["ligand_counts"] is None
+                else tuple(int(v) for v in workload["ligand_counts"])
+            ),
+            atom_counts=(
+                None
+                if workload["atom_counts"] is None
+                else tuple(int(v) for v in workload["atom_counts"])
+            ),
+            fragment_counts=(
+                None
+                if workload["fragment_counts"] is None
+                else tuple(int(v) for v in workload["fragment_counts"])
+            ),
+            grids=(
+                None
+                if workload["grids"] is None
+                else tuple(tuple(int(v) for v in g) for g in workload["grids"])
+            ),
+            steps=workload["steps"],
+            freq_count=workload["freq_count"],
+            repetitions=workload["repetitions"],
+            trees=workload["trees"],
+            freq_min_mhz=float(serving["freq_min_mhz"]),
+            freq_max_mhz=float(serving["freq_max_mhz"]),
+            freq_points=serving["freq_points"],
+            drift_window=drift["window"],
+            enter_mape=float(drift["enter_mape"]),
+            exit_mape=float(drift["exit_mape"]),
+            patience=drift["patience"],
+            min_samples=drift["min_samples"],
+            shadow_size=canary["shadow_size"],
+            tolerance=float(canary["tolerance"]),
+            inject_epoch=None if injection is None else injection["epoch"],
+            inject_work_scale=(
+                1.0 if injection is None else float(injection["work_scale"])
+            ),
+            epochs=clean["epochs"],
+            requests_per_epoch=clean["requests_per_epoch"],
+            base_dir=base_dir,
+        )
+
+    @classmethod
+    def from_record(
+        cls,
+        record: Any,
+        file: str = "<lifecycle spec>",
+        base_dir: Optional[str] = None,
+    ) -> "LifecycleSpec":
+        """Validate + build; raises :class:`SpecValidationError` with *all* errors."""
+        clean, diags = LIFECYCLE_SCHEMA.validate(record, file=file)
+        if clean is None:
+            raise SpecValidationError("lifecycle spec", diags)
+        return cls.from_clean(clean, base_dir=base_dir)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "LifecycleSpec":
+        """Read + validate a lifecycle spec file."""
+        p = pathlib.Path(path)
+        try:
+            text = p.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SpecError(f"cannot read lifecycle spec {p}: {exc}") from exc
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"lifecycle spec {p} is not valid JSON: {exc}") from exc
+        return cls.from_record(record, file=str(p), base_dir=str(p.parent))
+
+    def describe(self) -> str:
+        """One-line human summary for run logs."""
+        injection = (
+            f", inject x{self.inject_work_scale} at epoch {self.inject_epoch}"
+            if self.inject_epoch is not None
+            else ""
+        )
+        return (
+            f"lifecycle {self.name!r}: {self.model_name}@{self.registry}, "
+            f"{self.app_kind} workload, {self.epochs} epoch(s) x "
+            f"{self.requests_per_epoch} request(s), drift "
+            f">{self.enter_mape}%/<= {self.exit_mape}% (patience "
+            f"{self.patience}), shadow {self.shadow_size}, seed {self.seed}"
+            f"{injection}"
+        )

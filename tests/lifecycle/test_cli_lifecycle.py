@@ -1,0 +1,170 @@
+"""CLI tests for ``repro lifecycle`` and the ``repro run`` dispatch."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lifecycle import CanaryController
+
+from .conftest import make_records
+
+
+@pytest.fixture
+def root(registry):
+    return str(registry.root)
+
+
+def _spec_record(registry_ref: str) -> dict:
+    """A tiny but complete lifecycle spec (2 epochs, no injection)."""
+    return {
+        "format": "repro.lifecycle",
+        "schema_version": 1,
+        "name": "cli-lifecycle",
+        "seed": 11,
+        "model": {"registry": registry_ref, "name": "ligen-advisor"},
+        "workload": {
+            "app": "ligen",
+            "device": "v100",
+            "ligand_counts": [2, 64],
+            "atom_counts": [31],
+            "fragment_counts": [4],
+            "freq_count": 4,
+            "repetitions": 1,
+            "trees": 6,
+        },
+        "drift": {
+            "window": 32,
+            "enter_mape": 20.0,
+            "exit_mape": 10.0,
+            "patience": 1,
+            "min_samples": 2,
+        },
+        "canary": {"shadow_size": 16, "tolerance": 0.0},
+        "injection": None,
+        "epochs": 2,
+        "requests_per_epoch": 4,
+    }
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "lifecycle.json"
+    path.write_text(json.dumps(_spec_record("reg")))
+    return path
+
+
+class TestStatus:
+    def test_text_lists_versions_and_marks_active(self, root, capsys):
+        rc = main(["lifecycle", "status", "--root", root, "--name", "adv"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "v1" in out and "v3" in out
+        assert "[ACTIVE]" in out  # latest serves when no ledger exists
+
+    def test_text_marks_quarantined(self, registry, root, capsys):
+        CanaryController(registry, "adv").consider(
+            2, make_records(), incumbent_version=1
+        )
+        main(["lifecycle", "status", "--root", root, "--name", "adv"])
+        assert "QUARANTINED" in capsys.readouterr().out
+
+    def test_json_payload(self, registry, root, capsys):
+        CanaryController(registry, "adv").consider(
+            3, make_records(), incumbent_version=1
+        )
+        rc = main(
+            ["lifecycle", "status", "--root", root, "--name", "adv",
+             "--format", "json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["active_version"] == 3
+        assert [v["version"] for v in payload["versions"]] == [1, 2, 3]
+        assert payload["ledger"]["entries"] == 1
+
+    def test_unknown_name_reports_no_versions(self, root, capsys):
+        rc = main(["lifecycle", "status", "--root", root, "--name", "ghost"])
+        assert rc == 0
+        assert "no versions registered" in capsys.readouterr().out
+
+
+class TestPromoteRollback:
+    def test_promote_then_rollback_round_trip(self, registry, root, capsys):
+        rc = main(
+            ["lifecycle", "promote", "--root", root, "--name", "adv",
+             "--to-version", "1"]
+        )
+        assert rc == 0
+        assert "promoted adv to v1" in capsys.readouterr().out
+        gate = CanaryController(registry, "adv")
+        assert gate.active_version() == 1
+
+        main(
+            ["lifecycle", "promote", "--root", root, "--name", "adv",
+             "--to-version", "3"]
+        )
+        capsys.readouterr()
+        rc = main(["lifecycle", "rollback", "--root", root, "--name", "adv"])
+        assert rc == 0
+        assert "rolled adv back to v1" in capsys.readouterr().out
+        assert gate.active_version() == 1
+
+    def test_promote_quarantined_is_clean_error(self, registry, root, capsys):
+        CanaryController(registry, "adv").consider(
+            2, make_records(), incumbent_version=1
+        )
+        rc = main(
+            ["lifecycle", "promote", "--root", root, "--name", "adv",
+             "--to-version", "2"]
+        )
+        assert rc == 1
+        assert "quarantined" in capsys.readouterr().err
+
+    def test_rollback_without_history_is_clean_error(self, root, capsys):
+        rc = main(["lifecycle", "rollback", "--root", root, "--name", "adv"])
+        assert rc == 1
+        assert "no previous version" in capsys.readouterr().err
+
+
+class TestRetrain:
+    def test_retrain_bootstraps_v1(self, spec_file, tmp_path, capsys):
+        rc = main(["lifecycle", "retrain", str(spec_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "registered ligen-advisor:v1" in out
+        assert "NOT serving" not in out  # v1 is the bootstrap, it serves
+        assert (tmp_path / "reg" / "ligen-advisor" / "LEDGER.jsonl").exists()
+
+    def test_second_retrain_warns_not_serving(self, spec_file, capsys):
+        main(["lifecycle", "retrain", str(spec_file)])
+        capsys.readouterr()
+        rc = main(["lifecycle", "retrain", str(spec_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "registered ligen-advisor:v2" in out
+        assert "NOT serving" in out
+
+    def test_invalid_spec_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        record = _spec_record("reg")
+        record["drift"]["enter_mape"] = -5.0
+        bad.write_text(json.dumps(record))
+        rc = main(["lifecycle", "retrain", str(bad)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunDispatch:
+    def test_run_executes_lifecycle_spec(self, spec_file, capsys):
+        rc = main(["run", str(spec_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lifecycle result" in out
+        assert "ledger: active v1" in out
+
+    def test_run_check_lints_without_executing(self, spec_file, tmp_path, capsys):
+        rc = main(["run", "--check", str(spec_file)])
+        assert rc == 0
+        # --check must not have trained or registered anything.
+        assert not (tmp_path / "reg").exists()

@@ -1,0 +1,164 @@
+"""Unit tests for the hysteretic drift monitor — every threshold edge."""
+
+import math
+
+import pytest
+
+from repro.errors import LifecycleError
+from repro.lifecycle import DriftEvent, DriftMonitor
+
+
+class TestConstruction:
+    def test_defaults_exit_equals_enter(self):
+        m = DriftMonitor(enter_mape=20.0)
+        assert m.exit_mape == 20.0
+
+    @pytest.mark.parametrize("enter", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_enter_rejected(self, enter):
+        with pytest.raises(LifecycleError, match="enter_mape"):
+            DriftMonitor(enter_mape=enter)
+
+    @pytest.mark.parametrize("exit_", [-0.1, float("nan"), float("inf")])
+    def test_bad_exit_rejected(self, exit_):
+        with pytest.raises(LifecycleError, match="exit_mape"):
+            DriftMonitor(enter_mape=20.0, exit_mape=exit_)
+
+    def test_inverted_hysteresis_rejected(self):
+        with pytest.raises(LifecycleError, match="exit <= enter"):
+            DriftMonitor(enter_mape=10.0, exit_mape=20.0)
+
+    def test_bad_patience_and_min_samples_rejected(self):
+        with pytest.raises(LifecycleError, match="patience"):
+            DriftMonitor(enter_mape=20.0, patience=0)
+        with pytest.raises(LifecycleError, match="min_samples"):
+            DriftMonitor(enter_mape=20.0, min_samples=0)
+
+
+class TestEnterThreshold:
+    def test_exactly_at_enter_does_not_fire(self):
+        """Drift requires strictly-above: MAPE == enter is not a breach."""
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0)
+        assert m.observe(20.0) is None
+        assert not m.drifted
+        assert m.breaches == 0
+
+    def test_just_above_enter_fires(self):
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0)
+        event = m.observe(20.0 + 1e-9)
+        assert isinstance(event, DriftEvent)
+        assert event.kind == "drift"
+        assert event.threshold == 20.0
+        assert m.drifted
+
+    def test_patience_requires_consecutive_breaches(self):
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0, patience=3)
+        assert m.observe(25.0) is None
+        assert m.observe(25.0) is None
+        event = m.observe(25.0)
+        assert event is not None and event.kind == "drift"
+        assert event.observation == 3
+
+    def test_breach_streak_resets_below_enter(self):
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0, patience=2)
+        assert m.observe(25.0) is None
+        assert m.observe(5.0) is None  # streak broken
+        assert m.observe(25.0) is None  # streak restarts at 1
+        assert not m.drifted
+        assert m.observe(25.0).kind == "drift"
+
+    def test_no_refire_while_drifted(self):
+        """One drift event per excursion: breaches while drifted stay silent."""
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0)
+        assert m.observe(30.0).kind == "drift"
+        assert m.observe(40.0) is None
+        assert m.observe(50.0) is None
+        assert m.drifted
+
+
+class TestExitThreshold:
+    def _drifted(self) -> DriftMonitor:
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0)
+        assert m.observe(30.0).kind == "drift"
+        return m
+
+    def test_exactly_at_exit_recovers(self):
+        """Recovery is at-or-below exit (mirrors strictly-above enter)."""
+        m = self._drifted()
+        event = m.observe(10.0)
+        assert event is not None and event.kind == "recovered"
+        assert event.threshold == 10.0
+        assert not m.drifted
+
+    def test_hysteresis_band_holds_drifted_state(self):
+        m = self._drifted()
+        assert m.observe(15.0) is None  # inside (exit, enter]
+        assert m.drifted
+        assert m.observe(20.0) is None  # exactly enter: still no flap
+        assert m.drifted
+
+    def test_band_while_calm_is_silent(self):
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0)
+        assert m.observe(15.0) is None
+        assert not m.drifted
+
+    def test_oscillation_around_enter_cannot_flap(self):
+        """The classic flapping stream fires exactly once."""
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0)
+        events = [m.observe(v) for v in (21.0, 19.0, 21.0, 19.0, 21.0)]
+        assert [e.kind for e in events if e is not None] == ["drift"]
+
+
+class TestGuards:
+    def test_nan_mape_is_ignored(self):
+        """An empty window reports NaN; it must not advance anything."""
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0, patience=2)
+        assert m.observe(25.0) is None
+        assert m.observe(float("nan")) is None
+        assert m.observations == 1
+        assert m.breaches == 1  # NaN neither advanced nor reset the streak
+        assert m.observe(25.0).kind == "drift"
+
+    def test_infinite_mape_is_ignored(self):
+        m = DriftMonitor(enter_mape=20.0)
+        assert m.observe(float("inf")) is None
+        assert m.observations == 0
+
+    def test_single_sample_window_ignored_below_min_samples(self):
+        m = DriftMonitor(enter_mape=20.0, min_samples=4)
+        assert m.observe(99.0, n_samples=1) is None
+        assert m.observe(99.0, n_samples=3) is None
+        assert not m.drifted
+        assert m.observe(99.0, n_samples=4).kind == "drift"
+
+    def test_reset_returns_to_calm(self):
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0)
+        m.observe(30.0)
+        assert m.drifted
+        m.reset()
+        assert not m.drifted
+        assert m.breaches == 0
+        # A fresh excursion fires again after reset.
+        assert m.observe(30.0).kind == "drift"
+
+
+class TestRecords:
+    def test_event_as_record(self):
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0)
+        event = m.observe(30.0)
+        assert event.as_record() == {
+            "kind": "drift",
+            "mape": 30.0,
+            "threshold": 20.0,
+            "observation": 1,
+        }
+
+    def test_monitor_as_record_tracks_state(self):
+        m = DriftMonitor(enter_mape=20.0, exit_mape=10.0, patience=2)
+        m.observe(25.0)
+        rec = m.as_record()
+        assert rec["state"] == "calm"
+        assert rec["breaches"] == 1
+        assert rec["last_mape"] == 25.0
+
+    def test_initial_last_mape_is_nan(self):
+        assert math.isnan(DriftMonitor(enter_mape=20.0).as_record()["last_mape"])

@@ -1,0 +1,139 @@
+"""Unit tests for the bounded outcome log and its shadow reservoir."""
+
+import math
+
+import pytest
+
+from repro.errors import LifecycleError
+from repro.lifecycle import OutcomeLog, OutcomeRecord
+
+
+def _fill(log: OutcomeLog, n: int, start: int = 0, digest: str = "d0") -> None:
+    for i in range(start, start + n):
+        log.record(
+            features=(float(i),),
+            freq_mhz=1000.0,
+            predicted_time_s=1.0,
+            predicted_energy_j=10.0,
+            measured_time_s=2.0,  # 50% time error
+            measured_energy_j=10.0,  # 0% energy error
+            model_digest=digest,
+        )
+
+
+class TestRecordValidation:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_measured_time_rejected(self, outcome_log, bad):
+        with pytest.raises(LifecycleError, match="measured_time_s"):
+            outcome_log.record((1.0,), 1000.0, 1.0, 10.0, bad, 10.0, "d0")
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_bad_measured_energy_rejected(self, outcome_log, bad):
+        with pytest.raises(LifecycleError, match="measured_energy_j"):
+            outcome_log.record((1.0,), 1000.0, 1.0, 10.0, 2.0, bad, "d0")
+
+    def test_rejected_record_leaves_log_untouched(self, outcome_log):
+        with pytest.raises(LifecycleError):
+            outcome_log.record((1.0,), 1000.0, 1.0, 10.0, 0.0, 10.0, "d0")
+        assert len(outcome_log) == 0
+        assert outcome_log.seen == 0
+
+
+class TestMape:
+    def test_per_record_mape_is_mean_of_time_and_energy(self):
+        rec = OutcomeRecord(
+            seq=0,
+            features=(1.0,),
+            freq_mhz=1000.0,
+            predicted_time_s=1.0,
+            predicted_energy_j=10.0,
+            measured_time_s=2.0,  # |1-2|/2 = 50%
+            measured_energy_j=8.0,  # |10-8|/8 = 25%
+            model_digest="d0",
+        )
+        assert rec.mape() == pytest.approx(37.5)
+
+    def test_rolling_mape_nan_when_empty(self, outcome_log):
+        assert math.isnan(outcome_log.rolling_mape())
+
+    def test_rolling_mape_over_window_only(self):
+        log = OutcomeLog(window=2, shadow_capacity=8, seed=0)
+        _fill(log, 5)
+        # Every record has 25% MAPE (50% time, 0% energy); the window
+        # mean is 25 regardless of eviction, but only 2 records remain.
+        assert len(log) == 2
+        assert log.rolling_mape() == pytest.approx(25.0)
+        assert log.seen == 5
+
+
+class TestShadowReservoir:
+    def test_fills_to_capacity_then_stays_bounded(self):
+        log = OutcomeLog(window=64, shadow_capacity=4, seed=0)
+        _fill(log, 50)
+        slice_ = log.shadow_slice()
+        assert len(slice_) == 4
+        assert [r.seq for r in slice_] == sorted(r.seq for r in slice_)
+
+    def test_equal_seed_and_stream_give_equal_slices(self):
+        a = OutcomeLog(window=64, shadow_capacity=4, seed=99)
+        b = OutcomeLog(window=64, shadow_capacity=4, seed=99)
+        _fill(a, 100)
+        _fill(b, 100)
+        assert a.shadow_slice() == b.shadow_slice()
+
+    def test_reservoir_is_not_just_the_tail(self):
+        log = OutcomeLog(window=4, shadow_capacity=4, seed=3)
+        _fill(log, 200)
+        seqs = {r.seq for r in log.shadow_slice()}
+        assert seqs != {196, 197, 198, 199}
+
+    def test_constructor_validation(self):
+        with pytest.raises(LifecycleError, match="window"):
+            OutcomeLog(window=0)
+        with pytest.raises(LifecycleError, match="shadow_capacity"):
+            OutcomeLog(shadow_capacity=0)
+
+
+class TestClear:
+    def test_clear_drops_views_but_keeps_seq(self, outcome_log):
+        _fill(outcome_log, 5)
+        outcome_log.clear()
+        assert len(outcome_log) == 0
+        assert outcome_log.shadow_slice() == ()
+        assert outcome_log.seen == 0
+        _fill(outcome_log, 1)
+        # seq keeps running across the clear: records stay globally ordered.
+        assert outcome_log.shadow_slice()[0].seq == 5
+
+
+class TestHook:
+    def test_hook_unpacks_service_advice(self, outcome_log):
+        class FakeAdvice:
+            freq_mhz = 900.0
+            predicted_time_s = 1.5
+            predicted_energy_j = 12.0
+
+        hook = outcome_log.hook()
+        rec = hook((3.0,), FakeAdvice(), 1.5, 12.0, "digest-abc")
+        assert rec.freq_mhz == 900.0
+        assert rec.predicted_time_s == 1.5
+        assert rec.model_digest == "digest-abc"
+        assert len(outcome_log) == 1
+
+
+class TestSerialization:
+    def test_round_trip_preserves_content(self):
+        log = OutcomeLog(window=8, shadow_capacity=4, seed=7)
+        _fill(log, 20)
+        back = OutcomeLog.from_record(log.as_record(), seed=7)
+        assert back.as_record() == log.as_record()
+        assert back.shadow_slice() == log.shadow_slice()
+        assert back.rolling_mape() == log.rolling_mape()
+
+    def test_malformed_payload_raises_typed_error(self):
+        with pytest.raises(LifecycleError, match="malformed outcome-log record"):
+            OutcomeLog.from_record({"window": 8})
+
+    def test_malformed_record_raises_typed_error(self):
+        with pytest.raises(LifecycleError, match="malformed outcome record"):
+            OutcomeRecord.from_record({"seq": 0})

@@ -1,0 +1,264 @@
+"""Property-based tests for the lifecycle layer (hypothesis).
+
+Three contracts, stated over arbitrary inputs rather than examples:
+
+- the **ledger** is a pure fold: replaying byte-identical ledgers
+  reconstructs bitwise-identical pointer state, for any legal entry
+  sequence;
+- the **drift monitor** is a pure function of its observation stream,
+  and can only be drifted after a value strictly above ``enter_mape``;
+- the **canary gate** never promotes a candidate whose shadow MAPE
+  exceeds the incumbent's (+ tolerance), for arbitrary shadow slices —
+  the loop's core invariant;
+- the **outcome log**'s shadow reservoir is a deterministic function of
+  (stream, seed): equal streams give equal slices, always a bounded,
+  seq-ordered subset of the stream.
+"""
+
+import itertools
+import pathlib
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import save_domain_model
+from repro.lifecycle import (
+    CanaryController,
+    DriftMonitor,
+    OutcomeLog,
+    OutcomeRecord,
+    PromotionLedger,
+    shadow_evaluate,
+)
+from repro.ml.forest import RandomForestRegressor
+from repro.modeling.dataset import EnergyDataset, EnergySample
+from repro.modeling.domain import DomainSpecificModel
+from repro.serving import ModelRegistry
+
+# ---------------------------------------------------------------------------
+# one fitted substrate for the whole module (read-only afterwards)
+# ---------------------------------------------------------------------------
+_TRAIN_FREQS = (400.0, 700.0, 1000.0, 1282.0, 1500.0)
+
+
+def _fit(scale: float) -> DomainSpecificModel:
+    ds = EnergyDataset(feature_names=("size",))
+    for size in (1.0, 2.0, 4.0, 8.0, 16.0):
+        for f in _TRAIN_FREQS:
+            ds.add(
+                EnergySample(
+                    features=(size,),
+                    freq_mhz=f,
+                    time_s=scale * size * 1000.0 / f,
+                    energy_j=scale * size * (20.0 + f / 100.0),
+                )
+            )
+    return DomainSpecificModel(
+        ("size",),
+        regressor_factory=lambda: RandomForestRegressor(n_estimators=6, random_state=0),
+        baseline_freq_mhz=1282.0,
+    ).fit(ds)
+
+
+_ROOT = pathlib.Path(tempfile.mkdtemp(prefix="lifecycle-prop-"))
+_REGISTRY = ModelRegistry(_ROOT / "registry")
+for _scale in (1.0, 2.0):  # adv:v1 accurate, adv:v2 stale
+    _path = _ROOT / "artifact.npz"
+    save_domain_model(_fit(_scale), _path)
+    _REGISTRY.register(_path, "adv", app="synthetic")
+_LEDGER_IDS = itertools.count()
+
+
+def _fresh_ledger() -> PromotionLedger:
+    return PromotionLedger(_ROOT / f"ledger-{next(_LEDGER_IDS)}.jsonl")
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+_VERSIONS = st.integers(min_value=1, max_value=9)
+
+
+@st.composite
+def ledger_ops(draw):
+    """A legal sequence of ledger appends."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        kind = draw(
+            st.sampled_from(("register", "promote", "rollback", "quarantine", "drift"))
+        )
+        if kind == "register":
+            payload = {"name": "adv", "version": draw(_VERSIONS)}
+        elif kind in ("promote", "rollback"):
+            payload = {
+                "name": "adv",
+                "from_version": draw(_VERSIONS),
+                "to_version": draw(_VERSIONS),
+                "incumbent_mape": None,
+                "candidate_mape": None,
+                "shadow_size": 0,
+            }
+        elif kind == "quarantine":
+            payload = {"name": "adv", "version": draw(_VERSIONS), "reason": "x"}
+        else:
+            payload = {
+                "kind": "drift",
+                "mape": float(draw(st.integers(21, 99))),
+                "threshold": 20.0,
+                "observation": draw(st.integers(1, 50)),
+            }
+        ops.append((kind, payload))
+    return ops
+
+
+@st.composite
+def shadow_slices(draw):
+    """Arbitrary in-domain shadow records with perturbed measurements."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    records = []
+    for i in range(n):
+        size = draw(st.sampled_from((1.0, 2.0, 4.0, 8.0, 16.0)))
+        freq = draw(st.sampled_from(_TRAIN_FREQS))
+        wobble = draw(st.floats(min_value=0.5, max_value=2.0))
+        t = size * 1000.0 / freq * wobble
+        e = size * (20.0 + freq / 100.0) * wobble
+        records.append(
+            OutcomeRecord(
+                seq=i,
+                features=(size,),
+                freq_mhz=freq,
+                predicted_time_s=t,
+                predicted_energy_j=e,
+                measured_time_s=t,
+                measured_energy_j=e,
+                model_digest="d0",
+            )
+        )
+    return tuple(records)
+
+
+# ---------------------------------------------------------------------------
+# ledger: replay is a pure fold over the bytes
+# ---------------------------------------------------------------------------
+@given(ledger_ops())
+@settings(max_examples=30, deadline=None)
+def test_ledger_replay_reconstructs_state_bitwise(ops):
+    ledger = _fresh_ledger()
+    for kind, payload in ops:
+        ledger.append(kind, payload)
+
+    # Expected pointer state, folded independently of the ledger code path.
+    active = previous = None
+    quarantined = set()
+    for kind, payload in ops:
+        if kind == "register" and active is None:
+            active = payload["version"]
+        elif kind == "promote":
+            previous, active = active, payload["to_version"]
+        elif kind == "rollback":
+            active, previous = payload["to_version"], None
+        elif kind == "quarantine":
+            quarantined.add(payload["version"])
+
+    state = ledger.replay()
+    assert state.active_version == active
+    assert state.previous_version == previous
+    assert state.quarantined == tuple(sorted(quarantined))
+    assert state.entries == len(ops)
+
+    # Byte-identical copy -> bitwise-identical state and entries.
+    if ops:
+        copy = _fresh_ledger()
+        copy.path.write_bytes(ledger.path.read_bytes())
+        assert copy.replay() == state
+        assert copy.entries() == ledger.entries()
+
+
+# ---------------------------------------------------------------------------
+# drift monitor: pure function of the observation stream
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.one_of(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.just(float("nan")),
+        ),
+        max_size=30,
+    ),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=50, deadline=None)
+def test_drift_monitor_is_pure_and_needs_a_true_breach(stream, patience):
+    a = DriftMonitor(enter_mape=20.0, exit_mape=10.0, patience=patience)
+    b = DriftMonitor(enter_mape=20.0, exit_mape=10.0, patience=patience)
+    events_a = [a.observe(v) for v in stream]
+    events_b = [b.observe(v) for v in stream]
+    assert events_a == events_b
+    rec_a, rec_b = a.as_record(), b.as_record()
+    # last_mape is NaN until the first accepted observation; NaN != NaN.
+    lm_a, lm_b = rec_a.pop("last_mape"), rec_b.pop("last_mape")
+    assert lm_a == lm_b or (lm_a != lm_a and lm_b != lm_b)
+    assert rec_a == rec_b
+    fired = [e for e in events_a if e is not None and e.kind == "drift"]
+    if fired:
+        assert any(v == v and v > 20.0 for v in stream)
+    if a.drifted:
+        assert fired  # drifted state is only reachable through a drift event
+
+
+# ---------------------------------------------------------------------------
+# canary gate: a promoted model is never worse on the shadow set
+# ---------------------------------------------------------------------------
+@given(shadow_slices(), st.sampled_from((0.0, 1.0, 10.0)))
+@settings(max_examples=20, deadline=None)
+def test_promotion_never_increases_shadow_mape(shadow, tolerance):
+    gate = CanaryController(_REGISTRY, "adv", ledger=_fresh_ledger(), tolerance=tolerance)
+    decision = gate.consider(2, shadow, incumbent_version=1)
+    if decision.promoted:
+        assert decision.candidate_mape <= decision.incumbent_mape + tolerance
+        assert gate.active_version() == 2
+    else:
+        assert decision.candidate_mape > decision.incumbent_mape + tolerance
+        assert gate.active_version() == 1
+        assert 2 in gate.ledger.replay().quarantined
+    # The decision is replayable from the slice alone.
+    incumbent_model, _ = _REGISTRY.resolve("adv", 1)
+    candidate_model, _ = _REGISTRY.resolve("adv", 2)
+    inc = shadow_evaluate(incumbent_model, shadow)
+    cand = shadow_evaluate(candidate_model, shadow)
+    assert decision.incumbent_mape == inc.mape
+    assert decision.candidate_mape == cand.mape
+
+
+@given(shadow_slices())
+@settings(max_examples=20, deadline=None)
+def test_shadow_evaluate_is_bitwise_deterministic(shadow):
+    model, _ = _REGISTRY.resolve("adv", 1)
+    assert shadow_evaluate(model, shadow) == shadow_evaluate(model, shadow)
+
+
+# ---------------------------------------------------------------------------
+# outcome log: the reservoir is a deterministic function of (stream, seed)
+# ---------------------------------------------------------------------------
+@given(
+    st.integers(min_value=0, max_value=60),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_shadow_reservoir_deterministic_bounded_and_ordered(n, capacity, seed):
+    def _run() -> OutcomeLog:
+        log = OutcomeLog(window=16, shadow_capacity=capacity, seed=seed)
+        for i in range(n):
+            log.record((float(i),), 1000.0, 1.0, 10.0, 2.0, 10.0, "d0")
+        return log
+
+    a, b = _run(), _run()
+    slice_a, slice_b = a.shadow_slice(), b.shadow_slice()
+    assert slice_a == slice_b
+    assert len(slice_a) == min(n, capacity)
+    seqs = [r.seq for r in slice_a]
+    assert seqs == sorted(seqs)
+    assert all(0 <= s < n for s in seqs)
+    assert a.as_record() == b.as_record()

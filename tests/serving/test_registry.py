@@ -71,6 +71,26 @@ class TestResolve:
         with pytest.raises(RegistryError, match="unknown model"):
             registry.resolve("missing")
 
+    def test_unknown_name_error_names_the_searched_path(self, registry):
+        """Zero registered versions: the typed error must say where it
+        looked, so a wrong --root is diagnosable from the message alone."""
+        with pytest.raises(RegistryError) as excinfo:
+            registry.resolve("missing")
+        message = str(excinfo.value)
+        assert "no versions registered" in message
+        assert str(registry.root / "missing") in message
+        assert str(registry.root) in message
+
+    def test_unknown_name_manifest_same_typed_error(self, registry):
+        with pytest.raises(RegistryError, match="no versions registered"):
+            registry.manifest("missing")
+
+    def test_malformed_name_typed_error_on_resolve(self, registry):
+        """The read path rejects traversal-style names before touching
+        the filesystem — same typed error as the write path."""
+        with pytest.raises(RegistryError, match="invalid model name"):
+            registry.resolve("../escape")
+
     def test_unknown_version(self, registry):
         with pytest.raises(RegistryError, match="no version v9"):
             registry.resolve("toy", 9)
