@@ -3,7 +3,7 @@
 Three analyzers behind one diagnostic framework (``docs/static-analysis.md``):
 
 - :mod:`repro.analysis.ir_verifier` — kernel-IR graphs (``IR001``-``IR005``),
-- :mod:`repro.analysis.hw_validator` — device spec tables (``HW001``-``HW004``),
+- :mod:`repro.analysis.hw_validator` — device spec tables (``HW001``-``HW005``),
 - :mod:`repro.analysis.rules` — AST lint rules over the source tree
   (``DET001``, ``FLT001``, ``MUT001``, ``TIM001``),
 

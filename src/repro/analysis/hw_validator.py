@@ -9,7 +9,7 @@ the full-load board power, and the roofline peaks must be positive and
 dimensionally consistent (Hz·cycles, J = W·s — checked with
 :mod:`repro.analysis.dimensional`).
 
-Rule ids: ``HW001``-``HW004`` (catalog in ``docs/static-analysis.md``).
+Rule ids: ``HW001``-``HW005`` (catalog in ``docs/static-analysis.md``).
 """
 
 from __future__ import annotations
@@ -29,6 +29,7 @@ __all__ = [
     "verify_voltage_curve",
     "verify_power_budget",
     "verify_roofline_units",
+    "verify_memory_domain",
     "verify_device_spec",
 ]
 
@@ -236,6 +237,52 @@ def verify_roofline_units(spec: DeviceSpec) -> List[Diagnostic]:
     return diags
 
 
+def verify_memory_domain(spec: DeviceSpec) -> List[Diagnostic]:
+    """HW005: a settable memory domain must be internally consistent.
+
+    Gated on the presence of a ``mem_freqs`` table — legacy single-clock
+    (schema v1) specs are vacuously clean. When the table exists, it must
+    satisfy the same strict-monotonicity invariant as the core table, the
+    reference clock (``mem_freq_mhz`` — where bandwidth and memory power
+    are quoted) must be one of its entries, and the memory voltage curve
+    must span the table without dips: a dip would make ``V_mem^2·f_mem``
+    non-monotone and reward memory *over*-clocking with lower power, the
+    memory-domain twin of the HW002 bug class.
+    """
+    diags: List[Diagnostic] = []
+    if spec.mem_freqs is None:
+        return diags
+    loc = _loc(spec.name)
+
+    def err(message: str) -> None:
+        diags.append(
+            Diagnostic(rule="HW005", severity=Severity.ERROR, message=message, file=loc)
+        )
+
+    mem = np.asarray(list(spec.mem_freqs.freqs_mhz), dtype=float)
+    for d in verify_frequencies(mem, spec.name):
+        err(f"memory {d.message}")
+    if diags:
+        return diags
+    if spec.mem_freq_mhz not in spec.mem_freqs:
+        err(
+            f"reference memory clock {spec.mem_freq_mhz:.6g} MHz is not an "
+            "entry of the mem_freqs table (bandwidth and memory power are "
+            "quoted at a clock the device cannot set)"
+        )
+    if spec.mem_voltage is not None:
+        for d in verify_voltage_curve(spec.mem_voltage, mem, spec.name):
+            err(f"memory {d.message}")
+        if spec.mem_voltage.f_min_mhz > mem[0] or spec.mem_voltage.f_max_mhz < mem[-1]:
+            err(
+                f"memory voltage curve covers "
+                f"[{spec.mem_voltage.f_min_mhz:.6g}, "
+                f"{spec.mem_voltage.f_max_mhz:.6g}] MHz but the mem_freqs "
+                f"table spans [{mem[0]:.6g}, {mem[-1]:.6g}] MHz"
+            )
+    return diags
+
+
 def verify_device_spec(spec: DeviceSpec) -> List[Diagnostic]:
     """Run every hardware check on one :class:`DeviceSpec`."""
     freqs = spec.core_freqs.freqs_mhz
@@ -243,4 +290,5 @@ def verify_device_spec(spec: DeviceSpec) -> List[Diagnostic]:
     diags.extend(verify_voltage_curve(spec.voltage, freqs, spec.name))
     diags.extend(verify_power_budget(spec))
     diags.extend(verify_roofline_units(spec))
+    diags.extend(verify_memory_domain(spec))
     return diags

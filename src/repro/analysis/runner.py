@@ -49,6 +49,7 @@ KNOWN_RULE_IDS = frozenset(RULE_REGISTRY) | {
     "HW002",
     "HW003",
     "HW004",
+    "HW005",
     "SPEC001",
     "SPEC002",
     "SPEC003",
@@ -181,11 +182,25 @@ def self_check() -> List[Diagnostic]:
     """
     from repro.analysis.hw_validator import verify_device_spec
     from repro.analysis.ir_verifier import verify_feature_tables, verify_spec
-    from repro.hw.specs import make_intel_max_spec, make_mi100_spec, make_v100_spec
+    from repro.hw.specs import (
+        make_a100_spec,
+        make_h100_spec,
+        make_intel_max_spec,
+        make_mi100_spec,
+        make_mi250_spec,
+        make_v100_spec,
+    )
     from repro.modeling.general import cronos_static_spec, ligen_static_spec
 
     diags = verify_feature_tables()
-    for factory in (make_v100_spec, make_mi100_spec, make_intel_max_spec):
+    for factory in (
+        make_v100_spec,
+        make_mi100_spec,
+        make_intel_max_spec,
+        make_a100_spec,
+        make_h100_spec,
+        make_mi250_spec,
+    ):
         diags.extend(verify_device_spec(factory()))
     for spec_factory in (cronos_static_spec, ligen_static_spec):
         diags.extend(verify_spec(spec_factory()))

@@ -66,17 +66,40 @@ def _make_app(args):
         return LigenApplication(
             n_ligands=args.ligands, n_atoms=args.atoms, n_fragments=args.fragments
         )
+    if args.app == "mhd":
+        from repro.mhd.app import MhdApplication
+
+        grid = args.grid or "24x48x32"
+        nr, ntheta, nz = (int(v) for v in grid.split("x"))
+        return MhdApplication.from_size(nr, ntheta, nz, n_steps=args.steps)
     from repro.cronos.app import CronosApplication
 
-    gx, gy, gz = (int(v) for v in args.grid.split("x"))
+    gx, gy, gz = (int(v) for v in (args.grid or "160x64x64").split("x"))
     return CronosApplication.from_size(gx, gy, gz, n_steps=args.steps)
+
+
+#: Devices the CLI can name; v100/mi100 come from the paper's default
+#: platform, the rest from ``repro.hw.device.create_device`` (matching
+#: the spec executor's device resolution in ``repro.specs.run``).
+DEVICE_CHOICES = ("v100", "mi100", "max1100", "a100", "h100", "mi250")
 
 
 def _device(args):
     from repro.synergy import Platform
 
-    platform = Platform.default(seed=args.seed)
-    return platform.get_device(args.device)
+    name = args.device.strip().lower()
+    if name in ("v100", "mi100"):
+        return Platform.default(seed=args.seed).get_device(name)
+    from repro.hw.device import create_device
+    from repro.synergy.api import SynergyDevice
+
+    return SynergyDevice(create_device(name), seed=args.seed)
+
+
+def _mem_freq_list(args):
+    if not getattr(args, "mem_freqs", None):
+        return None
+    return tuple(float(v) for v in args.mem_freqs.split(","))
 
 
 def _freq_list(device, count: Optional[int]):
@@ -88,12 +111,16 @@ def _freq_list(device, count: Optional[int]):
 
 
 def _add_app_options(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--app", choices=("ligen", "cronos"), required=True)
+    p.add_argument("--app", choices=("ligen", "cronos", "mhd"), required=True)
     p.add_argument("--ligands", type=int, default=10000, help="LiGen: ligand count")
     p.add_argument("--atoms", type=int, default=89, help="LiGen: atoms per ligand")
     p.add_argument("--fragments", type=int, default=20, help="LiGen: fragments per ligand")
-    p.add_argument("--grid", default="160x64x64", help="Cronos: grid as NXxNYxNZ")
-    p.add_argument("--steps", type=int, default=25, help="Cronos: time steps")
+    p.add_argument(
+        "--grid", default=None,
+        help="Cronos: grid as NXxNYxNZ (default 160x64x64); "
+        "MHD: grid as NRxNTHETAxNZ (default 24x48x32)",
+    )
+    p.add_argument("--steps", type=int, default=25, help="Cronos/MHD: time steps")
 
 
 # ---------------------------------------------------------------------------
@@ -122,6 +149,7 @@ def cmd_train(args) -> int:
     from repro.modeling import DomainSpecificModel
 
     device = _device(args)
+    baseline_mhz = 1282.0  # the paper's V100 default application clock
     if args.app == "ligen":
         from repro.experiments.datasets import build_ligen_campaign
         from repro.ligen.app import LIGEN_FEATURE_NAMES as names
@@ -129,6 +157,22 @@ def cmd_train(args) -> int:
         campaign = build_ligen_campaign(
             device, freq_count=args.freqs, repetitions=args.reps
         )
+    elif args.app == "mhd":
+        from repro.experiments.datasets import build_mhd_campaign
+
+        campaign = build_mhd_campaign(
+            device,
+            freq_count=args.freqs,
+            repetitions=args.reps,
+            mem_freqs_mhz=_mem_freq_list(args),
+        )
+        # 2-D sweeps append the memory-clock feature column; the dataset
+        # carries the authoritative name list either way, and the
+        # campaign its true baseline clock (not the V100 default).
+        names = tuple(campaign.dataset.feature_names)
+        result = next(iter(campaign.characterizations.values()))
+        if result.baseline_freq_mhz is not None:
+            baseline_mhz = float(result.baseline_freq_mhz)
     else:
         from repro.experiments.datasets import build_cronos_campaign
         from repro.cronos.app import CRONOS_FEATURE_NAMES as names
@@ -142,6 +186,7 @@ def cmd_train(args) -> int:
         regressor_factory=lambda: RandomForestRegressor(
             n_estimators=args.trees, random_state=args.seed
         ),
+        baseline_freq_mhz=baseline_mhz,
     ).fit(campaign.dataset)
     save_domain_model(model, args.output)
     print(
@@ -304,6 +349,7 @@ def cmd_campaign(args) -> int:
         method="replay" if args.replay else "serial",
         cache_dir=None if args.no_cache else args.cache_dir,
         max_retries=args.max_retries,
+        mem_freqs_mhz=_mem_freq_list(args),
     )
 
     # Harness wall-clock for the run summary only — simulated measurements
@@ -408,8 +454,11 @@ def cmd_run(args) -> int:
             print(f"{row.label} {row.features}: objective infeasible — {row.error}")
         else:
             advice = row.advice
+            clock = f"{advice.freq_mhz:.0f} MHz"
+            if advice.mem_freq_mhz is not None:
+                clock += f" core / {advice.mem_freq_mhz:.0f} MHz mem"
             print(
-                f"{row.label} {row.features}: run at {advice.freq_mhz:.0f} MHz "
+                f"{row.label} {row.features}: run at {clock} "
                 f"(predicted speedup {advice.predicted_speedup:.3f}, "
                 f"normalized energy {advice.predicted_normalized_energy:.3f})"
             )
@@ -519,10 +568,9 @@ def cmd_registry(args) -> int:
 
 
 def _device_signature(device_name: str):
-    from repro.synergy import Platform
+    from repro.hw.device import create_device
 
-    device = Platform.default().get_device(device_name)
-    return device.gpu.spec.signature()
+    return create_device(device_name).spec.signature()
 
 
 def cmd_advise(args) -> int:
@@ -536,7 +584,11 @@ def cmd_advise(args) -> int:
     )
     objective = _objective_from_args(args)
     features = [float(v) for v in args.features.split(",")]
-    advice = service.advise(features, objective)
+    mem_freqs = _mem_freq_list(args)
+    if mem_freqs is not None:
+        advice = service.advise_grid(features, mem_freqs, objective)
+    else:
+        advice = service.advise(features, objective)
     manifest = service.manifest
     if args.format == "json":
         print(
@@ -552,8 +604,11 @@ def cmd_advise(args) -> int:
         )
         return 0
     print(f"model: {manifest.ref} ({manifest.app}), objective: {objective.describe()}")
+    clock = f"{advice.freq_mhz:.0f} MHz"
+    if advice.mem_freq_mhz is not None:
+        clock += f" core / {advice.mem_freq_mhz:.0f} MHz mem"
     print(
-        f"advice: run at {advice.freq_mhz:.0f} MHz "
+        f"advice: run at {clock} "
         f"(predicted speedup {advice.predicted_speedup:.3f}, "
         f"normalized energy {advice.predicted_normalized_energy:.3f}, "
         f"{'on' if advice.on_pareto_front else 'off'} the Pareto front)"
@@ -861,7 +916,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("characterize", help="DVFS-sweep an application")
     _add_app_options(p)
-    p.add_argument("--device", choices=("v100", "mi100"), default="v100")
+    p.add_argument("--device", choices=DEVICE_CHOICES, default="v100")
     p.add_argument("--freqs", type=int, default=16, help="frequency bins to sweep (default 16; omit for all with 0)")
     p.add_argument("--reps", type=int, default=5)
     p.add_argument("--seed", type=int, default=42)
@@ -870,13 +925,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("train", help="build a campaign and train a domain model")
-    p.add_argument("--app", choices=("ligen", "cronos"), required=True)
-    p.add_argument("--device", choices=("v100", "mi100"), default="v100")
+    p.add_argument("--app", choices=("ligen", "cronos", "mhd"), required=True)
+    p.add_argument("--device", choices=DEVICE_CHOICES, default="v100")
     p.add_argument("--freqs", type=int, default=16)
     p.add_argument("--reps", type=int, default=3)
     p.add_argument("--trees", type=int, default=30)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--output", required=True, help="model .npz path")
+    p.add_argument(
+        "--mem-freqs",
+        help="MHD only: comma-separated memory clocks (MHz) for a 2-D "
+        "(core x memory) training sweep; adds the f_mem_mhz feature column",
+    )
     p.add_argument("--dataset-output", help="also save the training dataset (JSON)")
     p.set_defaults(func=cmd_train)
 
@@ -884,8 +944,8 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="run a characterization campaign through the parallel, cached engine",
     )
-    p.add_argument("--app", choices=("ligen", "cronos"), required=True)
-    p.add_argument("--device", choices=("v100", "mi100"), default="v100")
+    p.add_argument("--app", choices=("ligen", "cronos", "mhd"), required=True)
+    p.add_argument("--device", choices=DEVICE_CHOICES, default="v100")
     p.add_argument("--freqs", type=int, default=16, help="frequency bins to sweep (0 = all)")
     p.add_argument("--reps", type=int, default=5)
     p.add_argument("--seed", type=int, default=42, help="campaign seed (per-task seeds derive from it)")
@@ -918,6 +978,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record each app once and replay the sweep batched "
         "(bit-identical to --no-replay, just faster; see docs/perf.md)",
     )
+    p.add_argument(
+        "--mem-freqs",
+        help="MHD only: comma-separated memory clocks (MHz) to sweep "
+        "alongside the core table (2-D DVFS)",
+    )
     p.add_argument("--dataset-output", help="save the training dataset (JSON)")
     p.set_defaults(func=cmd_campaign)
 
@@ -943,7 +1008,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--experiment", choices=("fig13-cronos", "fig13-ligen"), required=True
     )
-    p.add_argument("--device", choices=("v100", "mi100"), default="v100")
+    p.add_argument("--device", choices=DEVICE_CHOICES, default="v100")
     p.add_argument("--freqs", type=int, default=16)
     p.add_argument("--reps", type=int, default=3)
     p.add_argument("--trees", type=int, default=20)
@@ -965,7 +1030,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--name", required=True, help="model name (letters/digits/._-)")
     pr.add_argument("--app", default="unknown", help="application the model covers")
     pr.add_argument(
-        "--device", choices=("v100", "mi100"),
+        "--device", choices=DEVICE_CHOICES,
         help="record this device's spec signature in the manifest",
     )
     pr.add_argument(
@@ -999,6 +1064,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--deadline-s", type=float, help="deadline for min_energy_deadline")
     p.add_argument("--power-w", type=float, help="power cap for max_speedup_power")
+    p.add_argument(
+        "--mem-freqs",
+        help="comma-separated candidate memory clocks (MHz); the model's "
+        "last feature must be f_mem_mhz and the advice becomes a "
+        "(core, memory) frequency pair",
+    )
     p.add_argument("--freq-min", type=float, default=135.0)
     p.add_argument("--freq-max", type=float, default=1597.0)
     p.add_argument("--freq-points", type=int, default=25)

@@ -10,9 +10,11 @@
 
 from repro.experiments import configs
 from repro.experiments.datasets import (
+    MEM_FEATURE_NAME,
     CampaignData,
     build_cronos_campaign,
     build_ligen_campaign,
+    build_mhd_campaign,
 )
 from repro.experiments.evaluation import (
     AccuracyRow,
@@ -40,11 +42,13 @@ __all__ = [
     "AccuracyRow",
     "CampaignData",
     "CharacterizationSeries",
+    "MEM_FEATURE_NAME",
     "ParetoPredictionSeries",
     "RawScalingPoint",
     "RegressorScore",
     "build_cronos_campaign",
     "build_ligen_campaign",
+    "build_mhd_campaign",
     "characterization_series",
     "compare_regressors",
     "configs",

@@ -23,6 +23,10 @@ from typing import List, Tuple
 __all__ = [
     "CRONOS_GRID_SIZES",
     "CRONOS_STEPS",
+    "MHD_GRID_SIZES",
+    "MHD_STEPS",
+    "MHD_SMALL_GRID",
+    "MHD_LARGE_GRID",
     "LIGEN_LIGAND_COUNTS",
     "LIGEN_ATOM_COUNTS",
     "LIGEN_FRAGMENT_COUNTS",
@@ -36,6 +40,7 @@ __all__ = [
     "CRONOS_LARGE_GRID",
     "ligen_label",
     "cronos_label",
+    "mhd_label",
 ]
 
 #: Cronos grid sweep (nx, ny, nz), §5.1.
@@ -49,6 +54,22 @@ CRONOS_GRID_SIZES: Tuple[Tuple[int, int, int], ...] = (
 
 #: Time steps per Cronos characterization run (fixed endTime equivalent).
 CRONOS_STEPS = 25
+
+#: MHD cylindrical grid sweep (nr, ntheta, nz): quarter-size to full
+#: vessel resolution, ~5x cell growth per step like the Cronos ladder.
+MHD_GRID_SIZES: Tuple[Tuple[int, int, int], ...] = (
+    (6, 12, 8),
+    (12, 24, 16),
+    (24, 48, 32),
+    (48, 96, 64),
+)
+
+#: Coupled time steps per MHD characterization run.
+MHD_STEPS = 20
+
+#: Small/large MHD grids for single-input figures and smoke runs.
+MHD_SMALL_GRID: Tuple[int, int, int] = (6, 12, 8)
+MHD_LARGE_GRID: Tuple[int, int, int] = (48, 96, 64)
 
 #: LiGen input grid, §5.1 plus the l=256 value of Figs 10/13.
 LIGEN_LIGAND_COUNTS: Tuple[int, ...] = (2, 16, 256, 1024, 4096, 10000)
@@ -87,6 +108,11 @@ def ligen_label(atoms: int, fragments: int, ligands: int) -> str:
 def cronos_label(nx: int, ny: int, nz: int) -> str:
     """Grid label, e.g. ``"160x64x64"``."""
     return f"{nx}x{ny}x{nz}"
+
+
+def mhd_label(nr: int, ntheta: int, nz: int) -> str:
+    """Cylindrical grid label, e.g. ``"48x96x64"``."""
+    return f"{nr}x{ntheta}x{nz}"
 
 
 def ligen_validation_labels() -> List[str]:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cronos.app import CRONOS_FEATURE_NAMES, CronosApplication
 from repro.experiments import configs
 from repro.ligen.app import LIGEN_FEATURE_NAMES, LigenApplication
+from repro.mhd.app import MHD_FEATURE_NAMES, MhdApplication
 from repro.modeling.dataset import EnergyDataset
 from repro.runtime.engine import CampaignEngine, CampaignStats, ProgressFn
 from repro.synergy.api import SynergyDevice
@@ -28,11 +29,17 @@ from repro.synergy.runner import Application, CharacterizationResult, characteri
 
 __all__ = [
     "CampaignData",
+    "MEM_FEATURE_NAME",
     "build_cronos_campaign",
     "build_ligen_campaign",
+    "build_mhd_campaign",
     "default_training_freqs",
     "resolve_training_freqs",
 ]
+
+#: Feature-column name appended to a workload's domain features when a
+#: campaign sweeps the memory-frequency axis too.
+MEM_FEATURE_NAME = "f_mem_mhz"
 
 FeatureKey = Tuple[float, ...]
 
@@ -47,6 +54,11 @@ class CampaignData:
     #: Engine-lifetime task/cache counters when an engine ran the
     #: campaign (``None`` for the serial in-process path).
     stats: Optional[CampaignStats] = field(default=None, compare=False)
+    #: Memory clocks of a 2-D (core x mem) sweep; ``None`` for the
+    #: classic core-only campaigns. When set, the dataset's last feature
+    #: column is :data:`MEM_FEATURE_NAME` and ``characterizations`` is
+    #: keyed by ``domain_features + (mem_freq_mhz,)``.
+    mem_freqs_mhz: Optional[List[float]] = None
 
     def characterization_for(self, features: Sequence[float]) -> CharacterizationResult:
         """Measured sweep for one input-feature tuple."""
@@ -216,3 +228,70 @@ def build_ligen_campaign(
     ]
     results = _characterize_all(apps, device, freqs, repetitions, engine, progress, method)
     return _assemble(apps, results, LIGEN_FEATURE_NAMES, freqs, engine)
+
+
+def build_mhd_campaign(
+    device: SynergyDevice,
+    grids: Sequence[Tuple[int, int, int]] = configs.MHD_GRID_SIZES,
+    freq_count: Optional[int] = configs.DEFAULT_TRAIN_FREQ_COUNT,
+    n_steps: int = configs.MHD_STEPS,
+    repetitions: int = configs.DEFAULT_REPETITIONS,
+    engine: Optional[CampaignEngine] = None,
+    progress: Optional[ProgressFn] = None,
+    method: Optional[str] = None,
+    freqs_mhz: Optional[Sequence[float]] = None,
+    mem_freqs_mhz: Optional[Sequence[float]] = None,
+) -> CampaignData:
+    """Characterize the MHD workload over its grid sweep.
+
+    With ``mem_freqs_mhz`` left ``None`` this is the same core-only
+    protocol as the other builders (and bit-identical to it). Passing
+    memory clocks (e.g. ``device.gpu.supported_memory_frequencies()``)
+    switches to the 2-D ``(f_core, f_mem)`` grid: every app is swept at
+    every (core, mem) pair, the dataset grows a trailing
+    :data:`MEM_FEATURE_NAME` column, and ``characterizations`` is keyed
+    by ``domain_features + (mem_freq_mhz,)``. Points measured at the
+    device's reference memory clock reuse the exact task identities of a
+    core-only campaign, so the two paths share caches and noise streams.
+    """
+    freqs = resolve_training_freqs(device, freq_count, freqs_mhz)
+    apps = [
+        MhdApplication.from_size(nr, ntheta, nz, n_steps=n_steps)
+        for nr, ntheta, nz in grids
+    ]
+    if mem_freqs_mhz is None:
+        results = _characterize_all(apps, device, freqs, repetitions, engine, progress, method)
+        return _assemble(apps, results, MHD_FEATURE_NAMES, freqs, engine)
+
+    # 2-D sweep: always runs through an engine (the (app x core x mem)
+    # fan-out and the shared-baseline bookkeeping live there).
+    grid_engine = engine if engine is not None else CampaignEngine(jobs=1)
+    grid_results = grid_engine.characterize_grid(
+        apps,
+        device.gpu.spec,
+        freqs_mhz=freqs,
+        mem_freqs_mhz=mem_freqs_mhz,
+        repetitions=repetitions,
+        progress=progress,
+        method=method,
+    )
+    dataset = EnergyDataset(feature_names=MHD_FEATURE_NAMES + (MEM_FEATURE_NAME,))
+    chars: Dict[FeatureKey, CharacterizationResult] = {}
+    mem_clocks: List[float] = []
+    for app, rows in zip(apps, grid_results):
+        if rows is None:
+            continue
+        for row in rows:
+            mem = float(row.mem_freq_mhz)
+            features = app.domain_features + (mem,)
+            dataset.add_characterization(features, row)
+            chars[features] = row
+            if mem not in mem_clocks:
+                mem_clocks.append(mem)
+    return CampaignData(
+        dataset=dataset,
+        characterizations=chars,
+        freqs_mhz=freqs,
+        stats=grid_engine.stats,
+        mem_freqs_mhz=sorted(mem_clocks),
+    )

@@ -27,7 +27,15 @@ from repro.errors import DeviceError, FrequencyError
 from repro.hw.governor import AutoGovernor
 from repro.hw.perf import KernelTiming, RooflineTimingModel
 from repro.hw.power import PowerModel
-from repro.hw.specs import DeviceSpec, make_intel_max_spec, make_mi100_spec, make_v100_spec
+from repro.hw.specs import (
+    DeviceSpec,
+    make_a100_spec,
+    make_h100_spec,
+    make_intel_max_spec,
+    make_mi100_spec,
+    make_mi250_spec,
+    make_v100_spec,
+)
 from repro.kernels.batch import KernelLaunchBatch
 from repro.kernels.ir import KernelLaunch
 
@@ -83,6 +91,10 @@ class SimulatedGPU:
             if spec.core_freqs.default_mhz is None:
                 raise DeviceError(f"{spec.name}: nvidia-style spec needs a default clock")
             self._pinned_mhz = spec.core_freqs.default_mhz
+        # Memory clock. None means "reference clock" and routes every
+        # model call down the legacy bitwise-identical path; only an
+        # explicit set_memory_frequency to a non-reference bin deviates.
+        self._pinned_mem_mhz: Optional[float] = None
         self._time_counter_s = 0.0
         self._energy_counter_j = 0.0
         self._launch_count = 0
@@ -148,6 +160,54 @@ class SimulatedGPU:
         return self.governor.select_mhz(launch)
 
     # ------------------------------------------------------------------
+    # memory DVFS interface (schema-v2 devices)
+    # ------------------------------------------------------------------
+    def supported_memory_frequencies(self) -> np.ndarray:
+        """All settable memory frequencies in MHz (ascending).
+
+        Legacy (v1) specs expose a single-entry table at the reference
+        clock.
+        """
+        return self.spec.mem_freq_table.freqs_mhz
+
+    @property
+    def default_memory_frequency_mhz(self) -> float:
+        """The reference (boot) memory clock."""
+        return self.spec.mem_freq_mhz
+
+    @property
+    def pinned_memory_frequency_mhz(self) -> Optional[float]:
+        """The explicitly pinned memory clock, or ``None`` at the reference clock."""
+        return self._pinned_mem_mhz
+
+    @property
+    def memory_frequency_mhz(self) -> float:
+        """The memory clock the device is running at right now."""
+        if self._pinned_mem_mhz is not None:
+            return self._pinned_mem_mhz
+        return self.spec.mem_freq_mhz
+
+    def set_memory_frequency(self, freq_mhz: float) -> float:
+        """Pin the memory clock; returns the snapped frequency actually set.
+
+        On a legacy single-memory-frequency device only the reference
+        clock snaps (a single-entry table has a zero half-bin); any other
+        request raises :class:`repro.errors.FrequencyError`.
+        """
+        self._check_open()
+        snapped = self.spec.mem_freq_table.snap(freq_mhz)
+        # Pinning the reference clock is stored as None so the model
+        # calls stay on the legacy (mem_mhz=None) path — same physics,
+        # and bit-identical by construction either way.
+        self._pinned_mem_mhz = None if snapped == self.spec.mem_freq_mhz else snapped
+        return snapped
+
+    def reset_memory_frequency(self) -> None:
+        """Restore the reference (boot) memory clock."""
+        self._check_open()
+        self._pinned_mem_mhz = None
+
+    # ------------------------------------------------------------------
     # power capping (RAPL/NVML-style board power limit)
     # ------------------------------------------------------------------
     @property
@@ -181,10 +241,11 @@ class SimulatedGPU:
         self._power_cap_w = watts
 
     def _busy_power_w(self, launch: KernelLaunch, core_mhz: float) -> float:
-        timing = self.timing_model.time(launch, core_mhz)
+        mem_mhz = self._pinned_mem_mhz
+        timing = self.timing_model.time(launch, core_mhz, mem_mhz)
         floor = self.spec.active_idle_frac
         u_comp_eff = timing.u_comp * (floor + (1.0 - floor) * timing.width_util)
-        return self.power_model.power_w(core_mhz, u_comp_eff, timing.u_mem)
+        return self.power_model.power_w(core_mhz, u_comp_eff, timing.u_mem, mem_mhz)
 
     def _capped_frequency(self, launch: KernelLaunch, core_mhz: float) -> tuple[float, bool]:
         """``(frequency, throttled)`` honouring the cap, without counter effects.
@@ -224,7 +285,8 @@ class SimulatedGPU:
         """Execute one kernel launch; advances the time/energy counters."""
         self._check_open()
         core_mhz = self._cap_frequency(launch, self.frequency_for(launch))
-        timing = self.timing_model.time(launch, core_mhz)
+        mem_mhz = self._pinned_mem_mhz
+        timing = self.timing_model.time(launch, core_mhz, mem_mhz)
         # Effective compute utilization for power: while the compute pipes
         # are busy (time fraction u_comp), the occupied width draws full
         # dynamic power and even idle SMs draw the fetch/scheduler floor;
@@ -237,6 +299,7 @@ class SimulatedGPU:
             timing.u_mem,
             timing.exec_s,
             idle_s=timing.overhead_s,
+            mem_mhz=mem_mhz,
         )
         self._time_counter_s += timing.time_s
         self._energy_counter_j += energy
@@ -284,7 +347,8 @@ class SimulatedGPU:
         # for a pinned sweep point, at most a handful under governor/cap).
         freq_list = sorted(set(resolved))
         col = {f: j for j, f in enumerate(freq_list)}
-        bt = self.timing_model.time_batch(batch, freq_list)
+        mem_mhz = self._pinned_mem_mhz
+        bt = self.timing_model.time_batch(batch, freq_list, mem_mhz)
 
         sel = np.array([col[f] for f in resolved], dtype=np.intp)
         rows = np.arange(batch.n_unique)
@@ -298,6 +362,7 @@ class SimulatedGPU:
             bt.u_mem[rows, sel],
             bt.exec_s[rows, sel],
             idle_s=bt.overhead_s,
+            mem_mhz=mem_mhz,
         )
         times = bt.time_s[rows, sel]
 
@@ -424,7 +489,7 @@ class SimulatedGPU:
 
 
 def create_device(name: str) -> SimulatedGPU:
-    """Create a device by short name: ``"v100"`` or ``"mi100"``."""
+    """Create a device by short name: ``"v100"``, ``"a100"``, ``"mi250"``, ..."""
     key = name.strip().lower()
     if key in ("v100", "nvidia", "nvidia v100"):
         return SimulatedGPU(make_v100_spec())
@@ -432,6 +497,13 @@ def create_device(name: str) -> SimulatedGPU:
         return SimulatedGPU(make_mi100_spec())
     if key in ("max1100", "intel", "intel max 1100", "pvc"):
         return SimulatedGPU(make_intel_max_spec())
+    if key in ("a100", "nvidia a100"):
+        return SimulatedGPU(make_a100_spec())
+    if key in ("h100", "nvidia h100"):
+        return SimulatedGPU(make_h100_spec())
+    if key in ("mi250", "amd mi250"):
+        return SimulatedGPU(make_mi250_spec())
     raise DeviceError(
-        f"unknown device {name!r}; expected 'v100', 'mi100' or 'max1100'"
+        f"unknown device {name!r}; expected 'v100', 'a100', 'h100', "
+        f"'mi100', 'mi250' or 'max1100'"
     )

@@ -187,6 +187,32 @@ class RooflineTimingModel:
         self.spec = spec
         self.op_costs = {**op_costs, **spec.op_cost_overrides}
 
+    def _mem_bandwidth_bytes_s(self, mem_mhz: float | None) -> float:
+        """Peak bandwidth at the given memory clock.
+
+        Bandwidth scales linearly with the HBM clock. When ``mem_mhz`` is
+        None or equals the reference clock the spec's quoted bandwidth is
+        returned *unmodified* (not multiplied by a computed ratio), so the
+        legacy core-only path stays bitwise identical. Memory latency is
+        deliberately held constant across memory clocks: un-hidden DRAM
+        latency is dominated by the fixed-time row/column access, not the
+        interface clock.
+        """
+        bw = self.spec.mem_bandwidth_bytes_s
+        if mem_mhz is None:
+            return bw
+        mem_mhz = float(mem_mhz)
+        ref = self.spec.mem_freq_mhz
+        if mem_mhz == ref:
+            return bw
+        lo = self.spec.mem_freq_table.min_mhz
+        hi = self.spec.mem_freq_table.max_mhz
+        if not (lo - 1e-6 <= mem_mhz <= hi + 1e-6):
+            raise KernelError(
+                f"memory frequency {mem_mhz} MHz outside device range [{lo}, {hi}]"
+            )
+        return bw * (mem_mhz / ref)
+
     # ------------------------------------------------------------------
     # individual bounds
     # ------------------------------------------------------------------
@@ -197,10 +223,10 @@ class RooflineTimingModel:
         rate_cycles_s = width * self.spec.ipc * core_mhz * 1e6
         return cpt * launch.threads / rate_cycles_s
 
-    def bandwidth_time_s(self, launch: KernelLaunch) -> float:
-        """DRAM bandwidth bound (independent of the core clock)."""
+    def bandwidth_time_s(self, launch: KernelLaunch, mem_mhz: float | None = None) -> float:
+        """DRAM bandwidth bound (independent of the core clock, ~1/f_mem)."""
         traffic = launch.total_bytes_global(self.spec.bytes_per_access)
-        return traffic / self.spec.mem_bandwidth_bytes_s
+        return traffic / self._mem_bandwidth_bytes_s(mem_mhz)
 
     def latency_time_s(self, launch: KernelLaunch) -> float:
         """Memory-latency bound for launches below the MLP window."""
@@ -231,14 +257,20 @@ class RooflineTimingModel:
             )
         return core_mhz
 
-    def time(self, launch: KernelLaunch, core_mhz: float) -> KernelTiming:
-        """Evaluate the full timing model at ``core_mhz`` (must be in range)."""
+    def time(
+        self, launch: KernelLaunch, core_mhz: float, mem_mhz: float | None = None
+    ) -> KernelTiming:
+        """Evaluate the full timing model at ``(core_mhz, mem_mhz)``.
+
+        ``mem_mhz`` of None means the reference memory clock and is
+        bitwise identical to the pre-v2 single-memory-frequency model.
+        """
         if not isinstance(launch, KernelLaunch):
             raise KernelError(f"expected KernelLaunch, got {type(launch).__name__}")
         core_mhz = self._check_freq(core_mhz)
 
         t_comp = self.compute_time_s(launch, core_mhz)
-        t_bw = self.bandwidth_time_s(launch)
+        t_bw = self.bandwidth_time_s(launch, mem_mhz)
         t_lat = self.latency_time_s(launch)
 
         # Smooth max: sum of p-th powers, p-th root. Scale by the largest
@@ -288,12 +320,16 @@ class RooflineTimingModel:
         )
 
     def time_batch(
-        self, batch: KernelLaunchBatch, freqs_mhz: Sequence[float]
+        self,
+        batch: KernelLaunchBatch,
+        freqs_mhz: Sequence[float],
+        mem_mhz: float | None = None,
     ) -> BatchTiming:
-        """Evaluate every unique launch in ``batch`` at every frequency.
+        """Evaluate every unique launch in ``batch`` at every core frequency.
 
         Returns a :class:`BatchTiming` whose ``(i, j)`` element is
-        bit-identical to ``self.time(batch.unique[i], freqs_mhz[j])``.
+        bit-identical to ``self.time(batch.unique[i], freqs_mhz[j], mem_mhz)``.
+        ``mem_mhz`` is a single pinned memory clock for the whole batch.
         Validation (frequency range, launch types) is hoisted out of the
         inner arithmetic: launches were checked by the batch constructor
         and the frequency vector is checked once here.
@@ -321,9 +357,13 @@ class RooflineTimingModel:
         rate = ((width * spec.ipc)[:, None] * freqs[None, :]) * 1e6
         t_comp = (cpt * threads_f)[:, None] / rate
 
-        # t_bw: (((global_access * wi) * threads) * bytes) / bandwidth
+        # t_bw: (((global_access * wi) * threads) * bytes) / bandwidth;
+        # the divisor is the same scalar the scalar path divides by, so
+        # the two paths stay bit-identical at every memory clock.
         ga = batch.features[:, _GLOBAL_ACCESS_COL]
-        t_bw = (((ga * wi) * threads_f) * spec.bytes_per_access) / spec.mem_bandwidth_bytes_s
+        t_bw = (((ga * wi) * threads_f) * spec.bytes_per_access) / self._mem_bandwidth_bytes_s(
+            mem_mhz
+        )
 
         # t_lat: ((n_acc * lat) * serial_factor) / per_thread_mlp, 0 if no accesses
         n_acc = ga * wi

@@ -10,6 +10,16 @@ Board power is decomposed into four terms::
 where ``k = spec.mem_freq_coupling`` is the fraction of memory-system
 power living in the core clock domain (L2, crossbar, controllers).
 
+On schema-v2 devices with a settable memory clock ``m`` the remaining
+``(1 - k)`` HBM-domain slice additionally scales with the memory voltage
+curve's ``V(m)^2 m`` factor (normalized at the reference memory clock)::
+
+    P_mem * u_m * ((1 - k) * Vm(m)^2 m / (Vm(ref)^2 ref) + k * f / f_max)
+
+At the reference clock the scale factor is exactly 1.0 and the term is
+bitwise identical to the 1-D formula above — the backbone of the
+backward-compat contract for pre-v2 campaigns.
+
 ``u_c`` and ``u_m`` are the busy fractions produced by the timing model.
 The ``V(f)^2 f`` scaling of the dynamic compute term — with the voltage
 knee of :class:`repro.hw.dvfs.VoltageCurve` — is what creates the
@@ -29,7 +39,7 @@ bins millions of times in a characterization campaign.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -60,6 +70,7 @@ class PowerModel:
     def __init__(self, spec: DeviceSpec):
         self.spec = spec
         self._v2f_cache: Dict[float, float] = {}
+        self._mem_scale_cache: Dict[float, float] = {}
 
     def _v2f(self, core_mhz: float) -> float:
         """Memoized ``V(f)^2 f`` factor (frequency bins repeat constantly)."""
@@ -69,47 +80,104 @@ class PowerModel:
             self._v2f_cache[core_mhz] = v2f
         return v2f
 
-    def breakdown(self, core_mhz: float, u_comp: float, u_mem: float) -> PowerBreakdown:
-        """Component-wise power at ``core_mhz`` with the given busy fractions."""
+    def _mem_scale(self, mem_mhz: Optional[float]) -> float:
+        """Scale factor for the HBM-domain slice of the memory dynamic power.
+
+        Exactly ``1.0`` when ``mem_mhz`` is None or equals the reference
+        memory clock, so the legacy core-frequency-only path is bitwise
+        unchanged (multiplying by exactly 1.0 is IEEE-754 neutral). At
+        other memory clocks the HBM+PHY power follows the memory voltage
+        curve's ``V(m)^2 m`` factor (linear in ``m`` when no memory
+        voltage curve is calibrated).
+        """
+        if mem_mhz is None:
+            return 1.0
+        mem_mhz = float(mem_mhz)
+        ref = self.spec.mem_freq_mhz
+        if mem_mhz == ref:
+            return 1.0
+        m = self._mem_scale_cache.get(mem_mhz)
+        if m is None:
+            curve = self.spec.mem_voltage
+            if curve is not None:
+                m = float(curve.normalized_v2f(mem_mhz)) / float(curve.normalized_v2f(ref))
+            else:
+                m = mem_mhz / ref
+            self._mem_scale_cache[mem_mhz] = m
+        return m
+
+    def breakdown(
+        self,
+        core_mhz: float,
+        u_comp: float,
+        u_mem: float,
+        mem_mhz: Optional[float] = None,
+    ) -> PowerBreakdown:
+        """Component-wise power at ``core_mhz`` with the given busy fractions.
+
+        ``mem_mhz`` selects the memory clock; None (the default) means the
+        reference clock and reproduces the pre-v2 model bit for bit.
+        """
         u_comp = check_in_range(u_comp, "u_comp", 0.0, 1.0)
         u_mem = check_in_range(u_mem, "u_mem", 0.0, 1.0)
         core_mhz = float(core_mhz)
         f_frac = core_mhz / self.spec.core_freqs.max_mhz
         v2f = self._v2f(core_mhz)
         k = self.spec.mem_freq_coupling
+        m = self._mem_scale(mem_mhz)
+        # ((1-k) * m + k * f_frac) with m == 1.0 is bitwise equal to the
+        # legacy (1 - k + k * f_frac): x * 1.0 == x exactly.
         return PowerBreakdown(
             static_w=self.spec.p_static_w,
             clock_w=self.spec.p_clock_w * f_frac,
             core_dyn_w=self.spec.p_core_dyn_w * u_comp * v2f,
-            mem_dyn_w=self.spec.p_mem_dyn_w * u_mem * (1.0 - k + k * f_frac),
+            mem_dyn_w=self.spec.p_mem_dyn_w * u_mem * ((1.0 - k) * m + k * f_frac),
         )
 
-    def power_w(self, core_mhz: float, u_comp: float, u_mem: float) -> float:
+    def power_w(
+        self,
+        core_mhz: float,
+        u_comp: float,
+        u_mem: float,
+        mem_mhz: Optional[float] = None,
+    ) -> float:
         """Total board power (watts) at one operating point."""
-        return self.breakdown(core_mhz, u_comp, u_mem).total_w
+        return self.breakdown(core_mhz, u_comp, u_mem, mem_mhz).total_w
 
     def idle_power_w(self, core_mhz: float) -> float:
-        """Power with no kernel resident (static + clock tree only)."""
+        """Power with no kernel resident (static + clock tree only).
+
+        Memory-clock independent: with no kernel resident ``u_mem`` is 0,
+        so the HBM-domain dynamic term vanishes regardless of ``mem_mhz``.
+        """
         return self.power_w(core_mhz, 0.0, 0.0)
 
     def energy_j(
-        self, core_mhz: float, u_comp: float, u_mem: float, exec_s: float, idle_s: float = 0.0
+        self,
+        core_mhz: float,
+        u_comp: float,
+        u_mem: float,
+        exec_s: float,
+        idle_s: float = 0.0,
+        mem_mhz: Optional[float] = None,
     ) -> float:
         """Energy (joules) for ``exec_s`` busy time plus ``idle_s`` idle time."""
         if exec_s < 0 or idle_s < 0:
             raise ValueError("time components must be >= 0")
-        busy = self.power_w(core_mhz, u_comp, u_mem) * exec_s
+        busy = self.power_w(core_mhz, u_comp, u_mem, mem_mhz) * exec_s
         idle = self.idle_power_w(core_mhz) * idle_s
         return busy + idle
 
     # ------------------------------------------------------------------
     # array path (validation hoisted, broadcasting semantics)
     # ------------------------------------------------------------------
-    def power_batch(self, core_mhz, u_comp, u_mem) -> np.ndarray:
+    def power_batch(self, core_mhz, u_comp, u_mem, mem_mhz: Optional[float] = None) -> np.ndarray:
         """Total board power for broadcastable arrays of operating points.
 
         Element-wise bit-identical to :meth:`power_w`; the utilization
         range check runs once over the whole arrays instead of per call.
+        ``mem_mhz`` is a scalar (one pinned memory clock per evaluation),
+        mirroring the scalar path's memory-scale factor exactly.
         """
         core_mhz = np.asarray(core_mhz, dtype=float)
         u_comp = np.asarray(u_comp, dtype=float)
@@ -120,12 +188,14 @@ class PowerModel:
         f_frac = core_mhz / self.spec.core_freqs.max_mhz
         v2f = self.spec.voltage.normalized_v2f(core_mhz)
         k = self.spec.mem_freq_coupling
-        # Same left-to-right order as PowerBreakdown.total_w.
+        m = self._mem_scale(mem_mhz)
+        # Same left-to-right order as PowerBreakdown.total_w; the
+        # ((1-k) * m) prefix is a scalar, identical to the scalar path.
         return (
             self.spec.p_static_w
             + self.spec.p_clock_w * f_frac
             + self.spec.p_core_dyn_w * u_comp * v2f
-            + self.spec.p_mem_dyn_w * u_mem * (1.0 - k + k * f_frac)
+            + self.spec.p_mem_dyn_w * u_mem * ((1.0 - k) * m + k * f_frac)
         )
 
     def idle_power_batch(self, core_mhz) -> np.ndarray:
@@ -137,12 +207,14 @@ class PowerModel:
         # scalar idle_power_w element-wise.
         return self.spec.p_static_w + self.spec.p_clock_w * f_frac
 
-    def energy_batch(self, core_mhz, u_comp, u_mem, exec_s, idle_s=0.0) -> np.ndarray:
+    def energy_batch(
+        self, core_mhz, u_comp, u_mem, exec_s, idle_s=0.0, mem_mhz: Optional[float] = None
+    ) -> np.ndarray:
         """Energy for broadcastable busy/idle time arrays (mirrors :meth:`energy_j`)."""
         exec_s = np.asarray(exec_s, dtype=float)
         idle_s = np.asarray(idle_s, dtype=float)
         if np.any(exec_s < 0) or np.any(idle_s < 0):
             raise ValueError("time components must be >= 0")
-        busy = self.power_batch(core_mhz, u_comp, u_mem) * exec_s
+        busy = self.power_batch(core_mhz, u_comp, u_mem, mem_mhz) * exec_s
         idle = self.idle_power_batch(core_mhz) * idle_s
         return busy + idle

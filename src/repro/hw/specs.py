@@ -14,14 +14,23 @@ claim about the exact silicon.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.hw.dvfs import FrequencyTable, VoltageCurve
 from repro.utils.validation import check_positive
 
-__all__ = ["DeviceSpec", "make_v100_spec", "make_mi100_spec", "make_intel_max_spec", "scale_spec"]
+__all__ = [
+    "DeviceSpec",
+    "make_v100_spec",
+    "make_mi100_spec",
+    "make_intel_max_spec",
+    "make_a100_spec",
+    "make_h100_spec",
+    "make_mi250_spec",
+    "scale_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -117,6 +126,14 @@ class DeviceSpec:
     per_thread_mlp: float = 6.0
     active_idle_frac: float = 0.12
     op_cost_overrides: Mapping[str, float] = field(default_factory=dict)
+    # Memory-frequency domain (schema v2). ``mem_freqs`` lists the settable
+    # HBM clocks; ``mem_freq_mhz`` stays the *reference* clock at which
+    # ``mem_bandwidth_gbs`` and ``p_mem_dyn_w`` are quoted (and the boot
+    # clock). Legacy v1 specs leave both at None: the device then exposes a
+    # single-entry memory table and every model path is bit-identical to
+    # the core-frequency-only code.
+    mem_freqs: Optional[FrequencyTable] = None
+    mem_voltage: Optional[VoltageCurve] = None
 
     def __post_init__(self) -> None:
         check_positive(self.n_cores, "n_cores")
@@ -143,6 +160,13 @@ class DeviceSpec:
                 raise ValueError(f"op_cost_overrides[{op!r}] must be positive")
         if self.vendor not in ("nvidia", "amd", "intel"):
             raise ValueError(f"unknown vendor {self.vendor!r}")
+        if self.mem_voltage is not None and self.mem_freqs is None:
+            raise ValueError("mem_voltage requires a mem_freqs table")
+        if self.mem_freqs is not None and self.mem_freq_mhz not in self.mem_freqs:
+            raise ValueError(
+                "mem_freq_mhz (the reference memory clock) must be an entry "
+                "of the mem_freqs table"
+            )
 
     @property
     def peak_flops_at(self) -> float:
@@ -168,6 +192,24 @@ class DeviceSpec:
     def tdp_w(self) -> float:
         """Approximate board power at full load and peak frequency."""
         return self.p_static_w + self.p_clock_w + self.p_core_dyn_w + self.p_mem_dyn_w
+
+    @property
+    def mem_freq_table(self) -> FrequencyTable:
+        """The settable memory-frequency table.
+
+        Legacy (v1) specs with no ``mem_freqs`` table expose a single-entry
+        table pinned at ``mem_freq_mhz``: :meth:`FrequencyTable.snap` on a
+        single-entry table has a zero half-bin, so only the reference clock
+        is accepted — exactly the pre-v2 behavior.
+        """
+        if self.mem_freqs is not None:
+            return self.mem_freqs
+        return FrequencyTable((self.mem_freq_mhz,), default_mhz=self.mem_freq_mhz)
+
+    @property
+    def has_memory_dvfs(self) -> bool:
+        """True if more than one memory frequency is settable."""
+        return self.mem_freqs is not None and len(self.mem_freqs.freqs_mhz) > 1
 
     def signature(self) -> Dict[str, object]:
         """Stable JSON-able description of every model-relevant field.
@@ -325,6 +367,162 @@ def make_intel_max_spec() -> DeviceSpec:
         mem_freq_coupling=0.5,
         per_thread_mlp=6.0,
         active_idle_frac=0.15,
+    )
+
+
+def make_a100_spec() -> DeviceSpec:
+    """Spec mimicking an NVIDIA A100 (SXM4, 80 GB HBM2e) with memory DVFS.
+
+    The first schema-v2 device: besides the core table (210-1410 MHz) it
+    exposes four settable HBM clocks, 810-1215 MHz, with the reference
+    (boot) clock at the top bin. Bandwidth scales linearly with the HBM
+    clock while the HBM+PHY dynamic power follows the memory voltage
+    curve, so for bandwidth-bound kernels the energy optimum moves into
+    the interior of the (f_core, f_mem) plane (DSO, arxiv 2407.13096).
+    """
+    freqs = FrequencyTable.linear(210.0, 1410.0, 161, default_mhz=1095.0)
+    voltage = VoltageCurve(
+        v_min=0.70,
+        v_max=1.08,
+        f_min_mhz=210.0,
+        f_knee_mhz=800.0,
+        f_max_mhz=1410.0,
+        exponent=2.0,
+    )
+    mem_freqs = FrequencyTable.linear(810.0, 1215.0, 4, default_mhz=1215.0)
+    mem_voltage = VoltageCurve(
+        v_min=0.80,
+        v_max=1.20,
+        f_min_mhz=810.0,
+        f_knee_mhz=810.0,
+        f_max_mhz=1215.0,
+        exponent=1.0,
+    )
+    return DeviceSpec(
+        name="NVIDIA A100",
+        vendor="nvidia",
+        n_cores=6912,
+        ipc=0.75,
+        max_resident_threads=221184,  # 108 SMs x 2048 threads
+        mem_bandwidth_gbs=2039.0,
+        mem_latency_ns=470.0,
+        # 2039 GB/s x 470 ns / 8 B ~ 120k in-flight = 20000 x 6.
+        max_mlp=20000,
+        launch_overhead_us=2.2,
+        core_freqs=freqs,
+        mem_freq_mhz=1215.0,
+        voltage=voltage,
+        p_static_w=55.0,
+        p_clock_w=8.0,
+        p_core_dyn_w=195.0,
+        p_mem_dyn_w=140.0,
+        mem_freq_coupling=0.35,
+        per_thread_mlp=6.0,
+        mem_freqs=mem_freqs,
+        mem_voltage=mem_voltage,
+    )
+
+
+def make_h100_spec() -> DeviceSpec:
+    """Spec mimicking an NVIDIA H100 (SXM5, 80 GB HBM3) with memory DVFS.
+
+    Larger compute-to-bandwidth ratio than the A100 and a wider HBM3
+    clock range (1593-2619 MHz); memory power is a bigger slice of the
+    700 W board budget, which widens the 2-D sweet spot for
+    bandwidth-bound kernels.
+    """
+    freqs = FrequencyTable.linear(510.0, 1980.0, 99, default_mhz=1695.0)
+    voltage = VoltageCurve(
+        v_min=0.70,
+        v_max=1.10,
+        f_min_mhz=510.0,
+        f_knee_mhz=1100.0,
+        f_max_mhz=1980.0,
+        exponent=2.0,
+    )
+    mem_freqs = FrequencyTable.linear(1593.0, 2619.0, 4, default_mhz=2619.0)
+    mem_voltage = VoltageCurve(
+        v_min=0.82,
+        v_max=1.25,
+        f_min_mhz=1593.0,
+        f_knee_mhz=1593.0,
+        f_max_mhz=2619.0,
+        exponent=1.0,
+    )
+    return DeviceSpec(
+        name="NVIDIA H100",
+        vendor="nvidia",
+        n_cores=16896,
+        ipc=0.55,
+        max_resident_threads=270336,  # 132 SMs x 2048 threads
+        mem_bandwidth_gbs=3350.0,
+        mem_latency_ns=430.0,
+        # 3350 GB/s x 430 ns / 8 B ~ 180k in-flight = 30000 x 6.
+        max_mlp=30000,
+        launch_overhead_us=2.0,
+        core_freqs=freqs,
+        mem_freq_mhz=2619.0,
+        voltage=voltage,
+        p_static_w=70.0,
+        p_clock_w=10.0,
+        p_core_dyn_w=420.0,
+        p_mem_dyn_w=180.0,
+        mem_freq_coupling=0.35,
+        per_thread_mlp=6.0,
+        mem_freqs=mem_freqs,
+        mem_voltage=mem_voltage,
+    )
+
+
+def make_mi250_spec() -> DeviceSpec:
+    """Spec mimicking an AMD MI250 (128 GB HBM2e, both GCDs) with memory DVFS.
+
+    Like the MI100, the MI250 exposes performance levels and an automatic
+    core governor rather than a default application clock; the memory
+    domain, however, is settable (rocm-smi exposes discrete HBM levels).
+    """
+    freqs = FrequencyTable.linear(500.0, 1700.0, 110, default_mhz=None)
+    voltage = VoltageCurve(
+        v_min=0.73,
+        v_max=1.12,
+        f_min_mhz=500.0,
+        f_knee_mhz=900.0,
+        f_max_mhz=1700.0,
+        exponent=2.0,
+    )
+    mem_freqs = FrequencyTable.linear(1000.0, 1600.0, 4, default_mhz=1600.0)
+    mem_voltage = VoltageCurve(
+        v_min=0.82,
+        v_max=1.18,
+        f_min_mhz=1000.0,
+        f_knee_mhz=1000.0,
+        f_max_mhz=1600.0,
+        exponent=1.0,
+    )
+    return DeviceSpec(
+        name="AMD MI250",
+        vendor="amd",
+        n_cores=13312,
+        ipc=0.40,
+        max_resident_threads=212992,  # 208 CUs x 1024 threads
+        mem_bandwidth_gbs=3277.0,
+        mem_latency_ns=520.0,
+        # 3277 GB/s x 520 ns / 8 B ~ 213k in-flight = 35500 x 6.
+        max_mlp=35500,
+        launch_overhead_us=3.8,
+        core_freqs=freqs,
+        mem_freq_mhz=1600.0,
+        voltage=voltage,
+        p_static_w=90.0,
+        p_clock_w=70.0,
+        p_core_dyn_w=260.0,
+        p_mem_dyn_w=130.0,
+        mem_freq_coupling=0.4,
+        per_thread_mlp=6.0,
+        active_idle_frac=0.28,
+        op_cost_overrides={"special_fn": 34.0},
+        mem_freqs=mem_freqs,
+        mem_voltage=mem_voltage,
     )
 
 

@@ -114,10 +114,19 @@ def save_characterization(result: CharacterizationResult, path: PathLike) -> Non
                 "energy_j": s.energy_j,
                 "rep_times_s": s.rep_times_s.tolist(),
                 "rep_energies_j": s.rep_energies_j.tolist(),
+                # 2-D sweeps tag the memory clock; core-only payloads
+                # keep the exact legacy byte layout.
+                **(
+                    {"mem_freq_mhz": s.mem_freq_mhz}
+                    if s.mem_freq_mhz is not None
+                    else {}
+                ),
             }
             for s in result.samples
         ],
     }
+    if result.mem_freq_mhz is not None:
+        payload["mem_freq_mhz"] = result.mem_freq_mhz
     pathlib.Path(path).write_text(json.dumps(payload, indent=1))
 
 
@@ -133,9 +142,13 @@ def load_characterization(path: PathLike) -> CharacterizationResult:
             energy_j=float(s["energy_j"]),
             rep_times_s=np.asarray(s["rep_times_s"], dtype=float),
             rep_energies_j=np.asarray(s["rep_energies_j"], dtype=float),
+            mem_freq_mhz=(
+                float(s["mem_freq_mhz"]) if s.get("mem_freq_mhz") is not None else None
+            ),
         )
         for s in payload["samples"]
     ]
+    mem = payload.get("mem_freq_mhz")
     return CharacterizationResult(
         app_name=payload["app_name"],
         device_name=payload["device_name"],
@@ -144,6 +157,7 @@ def load_characterization(path: PathLike) -> CharacterizationResult:
         baseline_time_s=float(payload["baseline_time_s"]),
         baseline_energy_j=float(payload["baseline_energy_j"]),
         samples=samples,
+        mem_freq_mhz=float(mem) if mem is not None else None,
     )
 
 

@@ -1,0 +1,43 @@
+"""Maelstrom-style coupled MHD/heat workload in cylindrical coordinates.
+
+The third application of the platform (ROADMAP item 3): a resistive
+Maxwell + heat + Navier-Stokes kernel mix on a cylindrical ``(r, theta,
+z)`` mesh, modeled after liquid-metal magnetohydrodynamics codes. Unlike
+LiGen (compute-bound) and Cronos (mixed), every field-update kernel here
+is deliberately *memory-bound*: low arithmetic intensity streaming over
+staggered field arrays. That makes the workload the natural probe of the
+2-D (f_core, f_mem) DVFS space — its energy optimum sits in the interior
+of the frequency plane, not on the core-only axis.
+
+Subsystem layout mirrors ``repro.cronos``:
+
+- :mod:`repro.mhd.grid` — the cylindrical mesh
+- :mod:`repro.mhd.gpu_costs` — per-kernel operation mixes and launch
+  sequences
+- :mod:`repro.mhd.app` — the characterizable
+  :class:`~repro.synergy.runner.Application` wrapper
+"""
+
+from repro.mhd.app import MHD_FEATURE_NAMES, MhdApplication
+from repro.mhd.grid import CylGrid, NGHOST_CYL
+from repro.mhd.gpu_costs import (
+    CYL_BOUNDARY_SPEC,
+    HEAT_DIFFUSION_SPEC,
+    MAXWELL_CURL_SPEC,
+    NS_ADVECT_SPEC,
+    all_specs,
+    step_launches,
+)
+
+__all__ = [
+    "CYL_BOUNDARY_SPEC",
+    "CylGrid",
+    "HEAT_DIFFUSION_SPEC",
+    "MAXWELL_CURL_SPEC",
+    "MHD_FEATURE_NAMES",
+    "MhdApplication",
+    "NGHOST_CYL",
+    "NS_ADVECT_SPEC",
+    "all_specs",
+    "step_launches",
+]

@@ -1,0 +1,71 @@
+"""The maelstrom MHD/heat workload as a characterizable GPU application.
+
+Like :class:`repro.cronos.app.CronosApplication`, the application replays
+the fixed per-step launch sequence from :mod:`repro.mhd.gpu_costs` rather
+than time-stepping actual field arrays — the simulated time/energy depend
+only on the launch sequence, which the grid size and step count fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hw.device import SimulatedGPU
+from repro.mhd.grid import CylGrid
+from repro.mhd.gpu_costs import step_launches
+from repro.utils.validation import check_positive_int
+
+__all__ = ["MhdApplication", "MHD_FEATURE_NAMES"]
+
+#: Domain-specific feature names for the MHD workload (grid extents).
+MHD_FEATURE_NAMES: Tuple[str, str, str] = ("f_grid_r", "f_grid_theta", "f_grid_z")
+
+
+@dataclass(frozen=True)
+class MhdApplication:
+    """An MHD workload: cylindrical grid size plus a fixed step count.
+
+    Parameters
+    ----------
+    grid:
+        Cylindrical simulation mesh.
+    n_steps:
+        Coupled time steps to simulate. The physical runs integrate to a
+        fixed magnetic diffusion time; with dt set by the explicit
+        stability limit that is a fixed step count per problem size.
+    """
+
+    grid: CylGrid
+    n_steps: int = 20
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_steps, "n_steps")
+
+    @property
+    def name(self) -> str:
+        """Label used in characterization results, e.g. ``mhd-48x96x64``."""
+        return f"mhd-{self.grid.label()}"
+
+    @property
+    def domain_features(self) -> Tuple[float, float, float]:
+        """Grid extents (r, theta, z) as model features."""
+        return (float(self.grid.nr), float(self.grid.ntheta), float(self.grid.nz))
+
+    def run(self, gpu: SimulatedGPU) -> None:
+        """Issue the kernel launch sequence of ``n_steps`` time steps.
+
+        An initial boundary exchange seeds the ghost shell, then each
+        step runs the Maxwell / heat / Navier-Stokes / boundary mix.
+        """
+        gpu.launch(step_launches(self.grid)[-1])  # initial ghost-shell fill
+        per_step = step_launches(self.grid)
+        for _ in range(self.n_steps):
+            gpu.launch_many(per_step)
+
+    @classmethod
+    def from_size(
+        cls, nr: int, ntheta: int, nz: int, n_steps: int = 20
+    ) -> "MhdApplication":
+        """Convenience constructor from raw grid extents."""
+        return cls(grid=CylGrid(nr=nr, ntheta=ntheta, nz=nz), n_steps=n_steps)

@@ -1,0 +1,97 @@
+"""GPU cost model for the maelstrom MHD/heat kernels.
+
+Maps the coupled field update to :class:`repro.kernels.ir.KernelLaunch`
+sequences, one launch per physics kernel:
+
+- ``mhd_maxwell_curl`` — resistive induction update: curl of E on the
+  staggered mesh plus the cylindrical metric terms (1/r factors). Nine
+  field components stream through with only a handful of flops each.
+- ``mhd_heat_diffusion`` — Joule-heating + conduction update of the
+  temperature field: a 7-point stencil with almost no reuse.
+- ``mhd_ns_advect`` — semi-Lagrangian momentum advection under the
+  Lorentz force; gather-heavy with trigonometric sector interpolation.
+- ``mhd_cyl_boundary`` — surface-only exchange: axis ring averaging,
+  periodic theta wrap, and end-cap fills (index arithmetic, few flops).
+
+All three field kernels are deliberately *memory-bound*: roughly 2-3
+flops per 8-byte global access, far below the compute/bandwidth balance
+point of every modeled device (V100 ~57, A100 ~29 flops/access). Core
+over-clocking therefore buys nothing while memory down-clocking trades
+time for energy — the regime the 2-D DVFS machinery exists to exploit.
+
+These specs are *static*: input size enters only through thread counts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernels.ir import KernelLaunch, KernelSpec
+from repro.mhd.grid import CylGrid
+
+__all__ = [
+    "MAXWELL_CURL_SPEC",
+    "HEAT_DIFFUSION_SPEC",
+    "NS_ADVECT_SPEC",
+    "CYL_BOUNDARY_SPEC",
+    "step_launches",
+    "all_specs",
+]
+
+MAXWELL_CURL_SPEC = KernelSpec(
+    name="mhd_maxwell_curl",
+    int_add=18.0,
+    float_add=64.0,
+    float_mul=58.0,
+    float_div=6.0,
+    global_access=54.0,
+    local_access=6.0,
+)
+
+HEAT_DIFFUSION_SPEC = KernelSpec(
+    name="mhd_heat_diffusion",
+    int_add=10.0,
+    float_add=22.0,
+    float_mul=18.0,
+    float_div=4.0,
+    global_access=30.0,
+)
+
+NS_ADVECT_SPEC = KernelSpec(
+    name="mhd_ns_advect",
+    int_add=16.0,
+    float_add=40.0,
+    float_mul=36.0,
+    float_div=4.0,
+    special_fn=2.0,
+    global_access=46.0,
+    local_access=4.0,
+)
+
+CYL_BOUNDARY_SPEC = KernelSpec(
+    name="mhd_cyl_boundary",
+    int_add=16.0,
+    int_mul=8.0,
+    float_add=4.0,
+    global_access=12.0,
+)
+
+
+def all_specs() -> List[KernelSpec]:
+    """The four static kernel specs of the MHD application."""
+    return [MAXWELL_CURL_SPEC, HEAT_DIFFUSION_SPEC, NS_ADVECT_SPEC, CYL_BOUNDARY_SPEC]
+
+
+def step_launches(grid: CylGrid) -> List[KernelLaunch]:
+    """Kernel launches of one coupled time step.
+
+    Field kernels cover every interior cell; the boundary exchange only
+    touches the ghost shell.
+    """
+    cells = grid.n_cells
+    return [
+        KernelLaunch(MAXWELL_CURL_SPEC, threads=cells),
+        KernelLaunch(HEAT_DIFFUSION_SPEC, threads=cells),
+        KernelLaunch(NS_ADVECT_SPEC, threads=cells),
+        KernelLaunch(CYL_BOUNDARY_SPEC, threads=grid.n_boundary_cells),
+    ]

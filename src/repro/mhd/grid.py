@@ -1,0 +1,126 @@
+"""Cylindrical grid with ghost cells for the maelstrom MHD/heat solver.
+
+The workload models a liquid-metal column in a cylindrical vessel, so the
+natural mesh is ``(r, theta, z)``: ``nr`` radial shells, ``ntheta``
+azimuthal sectors (periodic), ``nz`` axial layers. Array axes are ordered
+(z, theta, r), matching the Cronos (z, y, x) convention so kernels stream
+contiguously along the innermost (radial) axis. Two ghost layers per side
+support the second-order staggered-field stencils; the periodic theta
+direction still carries ghost layers because the boundary-exchange kernel
+fills them explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["CylGrid", "NGHOST_CYL"]
+
+#: Ghost-layer depth required by the staggered second-order stencils.
+NGHOST_CYL = 2
+
+
+@dataclass(frozen=True)
+class CylGrid:
+    """Uniform cylindrical grid covering ``[0, R] x [0, 2*pi) x [0, H]``.
+
+    Attributes
+    ----------
+    nr, ntheta, nz:
+        Interior cell counts along r, theta, z.
+    radius:
+        Vessel radius R.
+    height:
+        Vessel height H.
+    """
+
+    nr: int
+    ntheta: int
+    nz: int
+    radius: float = 1.0
+    height: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.nr, "nr")
+        check_positive_int(self.ntheta, "ntheta")
+        check_positive_int(self.nz, "nz")
+        check_positive(self.radius, "radius")
+        check_positive(self.height, "height")
+
+    # -- spacing ---------------------------------------------------------
+    @property
+    def dr(self) -> float:
+        """Radial shell thickness."""
+        return self.radius / self.nr
+
+    @property
+    def dtheta(self) -> float:
+        """Azimuthal sector angle (radians)."""
+        return 2.0 * math.pi / self.ntheta
+
+    @property
+    def dz(self) -> float:
+        """Axial layer height."""
+        return self.height / self.nz
+
+    @property
+    def spacing(self) -> Tuple[float, float, float]:
+        """(dz, dtheta, dr) — matching the array axis order."""
+        return (self.dz, self.dtheta, self.dr)
+
+    # -- shapes ----------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Interior cell count."""
+        return self.nr * self.ntheta * self.nz
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Interior array shape (nz, ntheta, nr)."""
+        return (self.nz, self.ntheta, self.nr)
+
+    @property
+    def padded_shape(self) -> Tuple[int, int, int]:
+        """Array shape including ghost layers."""
+        g = 2 * NGHOST_CYL
+        return (self.nz + g, self.ntheta + g, self.nr + g)
+
+    @property
+    def interior(self) -> Tuple[slice, slice, slice]:
+        """Slices selecting the interior of a padded array."""
+        s = slice(NGHOST_CYL, -NGHOST_CYL)
+        return (s, s, s)
+
+    @property
+    def n_boundary_cells(self) -> int:
+        """Ghost cells touched by one boundary exchange.
+
+        Counts every padded cell outside the interior: the axis ring and
+        outer-wall shells in r, the periodic wrap layers in theta, and the
+        end caps in z.
+        """
+        pz, pt, pr = self.padded_shape
+        return pz * pt * pr - self.n_cells
+
+    # -- coordinates -----------------------------------------------------
+    def cell_centers(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Broadcastable (z, theta, r) center coordinates of interior cells."""
+        z = (np.arange(self.nz) + 0.5) * self.dz
+        theta = (np.arange(self.ntheta) + 0.5) * self.dtheta
+        r = (np.arange(self.nr) + 0.5) * self.dr
+        return (
+            z.reshape(-1, 1, 1),
+            theta.reshape(1, -1, 1),
+            r.reshape(1, 1, -1),
+        )
+
+    def label(self) -> str:
+        """Size label in ``RxTHETAxZ`` form, e.g. ``"48x96x64"``."""
+        return f"{self.nr}x{self.ntheta}x{self.nz}"

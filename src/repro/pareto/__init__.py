@@ -9,9 +9,12 @@
 
 from repro.pareto.front import (
     DEFAULT_FREQ_TOL_MHZ,
+    GridParetoFront,
+    GridParetoPoint,
     ParetoFront,
     ParetoPoint,
     extract_front,
+    extract_grid_front,
     half_bin_tolerance,
     pareto_mask,
 )
@@ -25,11 +28,14 @@ from repro.pareto.metrics import (
 
 __all__ = [
     "DEFAULT_FREQ_TOL_MHZ",
+    "GridParetoFront",
+    "GridParetoPoint",
     "ParetoFront",
     "ParetoPoint",
     "half_bin_tolerance",
     "exact_frequency_matches",
     "extract_front",
+    "extract_grid_front",
     "frequency_match_fraction",
     "front_coverage",
     "generational_distance",

@@ -18,8 +18,11 @@ from repro.utils.validation import check_finite_array
 __all__ = [
     "ParetoPoint",
     "ParetoFront",
+    "GridParetoPoint",
+    "GridParetoFront",
     "pareto_mask",
     "extract_front",
+    "extract_grid_front",
     "half_bin_tolerance",
     "DEFAULT_FREQ_TOL_MHZ",
 ]
@@ -171,3 +174,76 @@ def extract_front(speedups, energies, freqs_mhz) -> ParetoFront:
         for s, e, f in zip(sp[mask], en[mask], fr[mask])
     ]
     return ParetoFront(pts)
+
+
+@dataclass(frozen=True)
+class GridParetoPoint(ParetoPoint):
+    """A front point on the 2-D (core, memory) frequency grid.
+
+    Domination is still judged purely in the (speedup, energy) objective
+    plane — the clocks only identify *which* configuration achieved the
+    point.
+    """
+
+    mem_freq_mhz: float
+
+    @property
+    def freq_pair(self) -> tuple:
+        """The ``(f_core, f_mem)`` configuration, in MHz."""
+        return (self.freq_mhz, self.mem_freq_mhz)
+
+
+class GridParetoFront(ParetoFront):
+    """A Pareto front over 2-D (core, memory) frequency configurations."""
+
+    @property
+    def mem_freqs_mhz(self) -> np.ndarray:
+        """Memory clocks of the front configurations."""
+        return np.array([p.mem_freq_mhz for p in self._points], dtype=float)
+
+    def contains_pair(
+        self,
+        freq_mhz: float,
+        mem_freq_mhz: float,
+        tol_mhz: float = DEFAULT_FREQ_TOL_MHZ,
+        mem_tol_mhz: float | None = None,
+    ) -> bool:
+        """True if the ``(core, mem)`` pair appears on the front.
+
+        Core and memory tables have very different bin spacings, so each
+        axis takes its own tolerance; ``mem_tol_mhz`` defaults to
+        ``tol_mhz``.
+        """
+        if len(self._points) == 0:
+            return False
+        if mem_tol_mhz is None:
+            mem_tol_mhz = tol_mhz
+        core_ok = np.abs(self.freqs_mhz - float(freq_mhz)) <= tol_mhz
+        mem_ok = np.abs(self.mem_freqs_mhz - float(mem_freq_mhz)) <= mem_tol_mhz
+        return bool(np.any(core_ok & mem_ok))
+
+
+def extract_grid_front(speedups, energies, freqs_mhz, mem_freqs_mhz) -> GridParetoFront:
+    """Extract the Pareto front over a flattened 2-D frequency grid.
+
+    All four arrays run in parallel over the flattened ``(core, mem)``
+    configurations — build them with e.g. ``np.meshgrid`` + ``ravel``.
+    The objective plane is unchanged (maximize speedup, minimize energy);
+    only the configuration identity is two-dimensional.
+    """
+    sp = check_finite_array(speedups, "speedups").ravel()
+    en = check_finite_array(energies, "energies").ravel()
+    fr = check_finite_array(freqs_mhz, "freqs_mhz").ravel()
+    mf = check_finite_array(mem_freqs_mhz, "mem_freqs_mhz").ravel()
+    if not (sp.size == en.size == fr.size == mf.size):
+        raise ValueError(
+            "speedups, energies, freqs_mhz and mem_freqs_mhz must have equal length"
+        )
+    mask = pareto_mask(sp, en)
+    pts = [
+        GridParetoPoint(
+            speedup=float(s), energy=float(e), freq_mhz=float(f), mem_freq_mhz=float(m)
+        )
+        for s, e, f, m in zip(sp[mask], en[mask], fr[mask], mf[mask])
+    ]
+    return GridParetoFront(pts)

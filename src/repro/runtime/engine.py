@@ -89,6 +89,21 @@ __all__ = [
 #: Sweep-point label of the baseline (unpinned) run in task keys.
 BASELINE_POINT = "baseline"
 
+
+def _point_key(freq_mhz: Optional[float], mem_freq_mhz: Optional[float]):
+    """The task-key value identifying one sweep point.
+
+    Legacy 1-D points keep their historical keys (``"baseline"`` or the
+    bare core frequency), so seeds and cache entries are unchanged; only
+    points pinned at a non-reference memory clock get the composite
+    ``"<core>|mem<mem>"`` key.
+    """
+    if freq_mhz is None:
+        return BASELINE_POINT
+    if mem_freq_mhz is None:
+        return float(freq_mhz)
+    return f"{float(freq_mhz)}|mem{float(mem_freq_mhz)}"
+
 #: Progress callback: (done, total, label, from_cache).
 ProgressFn = Callable[[int, int, str, bool], None]
 
@@ -144,11 +159,18 @@ class MeasurementTask:
     fault_plan: Optional[FaultPlan] = None
     #: Retry schedule for injected transient faults (ignored without a plan).
     retry: RetryPolicy = RetryPolicy()
+    #: Pinned memory clock; ``None`` means the reference clock (the only
+    #: value legacy 1-D campaigns ever construct). Points pinned *at* the
+    #: reference clock are normalized to ``None`` by the engine so they
+    #: share seeds and cache entries with pre-v2 campaigns bit for bit.
+    mem_freq_mhz: Optional[float] = None
 
     @property
     def label(self) -> str:
         """Human-readable task label for progress reporting."""
         point = BASELINE_POINT if self.freq_mhz is None else f"{self.freq_mhz:.0f} MHz"
+        if self.mem_freq_mhz is not None:
+            point = f"{point} / mem {self.mem_freq_mhz:.0f} MHz"
         return f"{self.app.name} @ {point}"
 
     @property
@@ -171,27 +193,37 @@ class PointMeasurement:
     energy_j: float
     rep_times_s: Tuple[float, ...]
     rep_energies_j: Tuple[float, ...]
+    mem_freq_mhz: Optional[float] = None
 
     def as_record(self) -> Dict[str, Any]:
-        """Plain-dict form stored in the result cache."""
-        return {
+        """Plain-dict form stored in the result cache.
+
+        The memory clock is emitted only when pinned off-reference, so
+        legacy 1-D cache records keep their exact historical bytes.
+        """
+        record = {
             "freq_mhz": self.freq_mhz,
             "time_s": self.time_s,
             "energy_j": self.energy_j,
             "rep_times_s": list(self.rep_times_s),
             "rep_energies_j": list(self.rep_energies_j),
         }
+        if self.mem_freq_mhz is not None:
+            record["mem_freq_mhz"] = self.mem_freq_mhz
+        return record
 
     @classmethod
     def from_record(cls, record: Dict[str, Any]) -> "PointMeasurement":
         """Inverse of :meth:`as_record`."""
         freq = record["freq_mhz"]
+        mem = record.get("mem_freq_mhz")
         return cls(
             freq_mhz=None if freq is None else float(freq),
             time_s=float(record["time_s"]),
             energy_j=float(record["energy_j"]),
             rep_times_s=tuple(float(v) for v in record["rep_times_s"]),
             rep_energies_j=tuple(float(v) for v in record["rep_energies_j"]),
+            mem_freq_mhz=None if mem is None else float(mem),
         )
 
     def to_sample(self) -> FrequencySample:
@@ -204,6 +236,7 @@ class PointMeasurement:
             energy_j=self.energy_j,
             rep_times_s=np.asarray(self.rep_times_s, dtype=float),
             rep_energies_j=np.asarray(self.rep_energies_j, dtype=float),
+            mem_freq_mhz=self.mem_freq_mhz,
         )
 
 
@@ -250,6 +283,12 @@ def execute_task(task: MeasurementTask) -> PointMeasurement:
 def _measure_on(task: MeasurementTask, device: SynergyDevice) -> PointMeasurement:
     """One measurement attempt at ``task`` on an already-built device."""
     gpu = device.gpu
+    actual_mem: Optional[float] = None
+    if task.mem_freq_mhz is not None:
+        # Pin the memory clock for the whole point. Legacy tasks (mem is
+        # None) never touch the memory domain, so this branch is inert
+        # for every pre-v2 campaign.
+        actual_mem = device.set_memory_frequency(task.mem_freq_mhz)
     if task.method == "replay":
         plan = ReplayPlan(gpu, record_launches(task.app, gpu))
         if task.freq_mhz is None:
@@ -277,6 +316,7 @@ def _measure_on(task: MeasurementTask, device: SynergyDevice) -> PointMeasuremen
         energy_j=e,
         rep_times_s=tuple(float(v) for v in times),
         rep_energies_j=tuple(float(v) for v in energies),
+        mem_freq_mhz=actual_mem,
     )
 
 
@@ -463,8 +503,9 @@ class CampaignEngine:
         freq_mhz: Optional[float],
         repetitions: int,
         method: str,
+        mem_freq_mhz: Optional[float] = None,
     ) -> MeasurementTask:
-        point = BASELINE_POINT if freq_mhz is None else float(freq_mhz)
+        point = _point_key(freq_mhz, mem_freq_mhz)
         seed = derive_task_seed(self.campaign_seed, app_fp, point)
         return MeasurementTask(
             app=app,
@@ -476,6 +517,7 @@ class CampaignEngine:
             method=method,
             fault_plan=self.fault_plan,
             retry=self.retry,
+            mem_freq_mhz=mem_freq_mhz,
         )
 
     def _cache_payload(
@@ -484,7 +526,7 @@ class CampaignEngine:
         payload = {
             "device": task.spec.signature(),
             "app": app_fp,
-            "point": BASELINE_POINT if task.freq_mhz is None else float(task.freq_mhz),
+            "point": _point_key(task.freq_mhz, task.mem_freq_mhz),
             "repetitions": int(task.repetitions),
             "seed": int(task.seed),
             "ideal_sensors": bool(task.ideal_sensors),
@@ -592,6 +634,95 @@ class CampaignEngine:
                 samples=[m.to_sample() for m in samples if m is not None],
             )
             results.append(result)
+        return results
+
+    def characterize_grid(
+        self,
+        apps: Sequence[Application],
+        spec: DeviceSpec,
+        freqs_mhz: Optional[Sequence[float]] = None,
+        mem_freqs_mhz: Optional[Sequence[float]] = None,
+        repetitions: int = DEFAULT_REPETITIONS,
+        progress: Optional[ProgressFn] = None,
+        method: Optional[str] = None,
+    ) -> List[Optional[List[CharacterizationResult]]]:
+        """Fan the (app x f_core x f_mem) grid out as one task pool.
+
+        For each app the return slot holds one
+        :class:`CharacterizationResult` per swept memory clock (ascending),
+        all sharing a single baseline measured at the device's *reference*
+        memory clock — so speedups and normalized energies are comparable
+        across the whole 2-D grid. ``mem_freqs_mhz`` of ``None`` sweeps
+        every settable memory clock.
+
+        Points pinned at the reference memory clock are normalized to the
+        legacy 1-D task identity: same seeds, same cache keys, bitwise
+        identical measurements. A grid with ``mem_freqs_mhz=[reference]``
+        therefore reproduces :meth:`characterize_many` exactly (the
+        backward-compat invariant) and shares its cache entries.
+
+        Quarantine semantics match :meth:`characterize_many`: a lost
+        baseline voids the app's slot (``None``); lost grid points are
+        dropped from their row's samples.
+        """
+        if not apps:
+            raise ConfigurationError("characterize_grid needs at least one application")
+        repetitions = check_positive_int(repetitions, "repetitions")
+        sweep = resolve_sweep(spec.core_freqs, freqs_mhz)
+        mem_sweep = resolve_sweep(spec.mem_freq_table, mem_freqs_mhz)
+        method = self.method if method is None else self._check_method(method)
+        reference_mem = float(spec.mem_freq_mhz)
+
+        tasks: List[MeasurementTask] = []
+        payloads: List[Dict[str, Any]] = []
+        for app in apps:
+            try:
+                app_fp = app_fingerprint(app)
+            except ConfigurationError:
+                if self.cache is not None:
+                    raise
+                app_fp = {"type": type(app).__qualname__, "config": {"name": app.name}}
+            for freq, mem in [(None, None)] + [
+                (f, None if m == reference_mem else m) for m in mem_sweep for f in sweep
+            ]:
+                task = self._task_for(
+                    app, app_fp, spec, freq, repetitions, method, mem_freq_mhz=mem
+                )
+                tasks.append(task)
+                payloads.append(self._cache_payload(task, app_fp))
+
+        if method == "replay":
+            self._account_launch_evals(
+                apps, spec, 1 + len(sweep) * len(mem_sweep), repetitions
+            )
+
+        measurements = self._run_tasks(tasks, payloads, progress)
+
+        points_per_app = 1 + len(sweep) * len(mem_sweep)
+        results: List[Optional[List[CharacterizationResult]]] = []
+        baseline_label, baseline_freq = self._baseline_descriptor(spec)
+        for i, app in enumerate(apps):
+            chunk = measurements[i * points_per_app : (i + 1) * points_per_app]
+            baseline = chunk[0]
+            if baseline is None:
+                results.append(None)
+                continue
+            rows: List[CharacterizationResult] = []
+            for j, mem in enumerate(mem_sweep):
+                sub = chunk[1 + j * len(sweep) : 1 + (j + 1) * len(sweep)]
+                rows.append(
+                    CharacterizationResult(
+                        app_name=app.name,
+                        device_name=spec.name,
+                        baseline_label=baseline_label,
+                        baseline_freq_mhz=baseline_freq,
+                        baseline_time_s=baseline.time_s,
+                        baseline_energy_j=baseline.energy_j,
+                        samples=[m.to_sample() for m in sub if m is not None],
+                        mem_freq_mhz=float(mem),
+                    )
+                )
+            results.append(rows)
         return results
 
     def _account_launch_evals(

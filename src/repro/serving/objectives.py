@@ -14,12 +14,13 @@ objective) tuple is deterministic and safely cacheable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ServingError
 from repro.modeling.domain import TradeoffPrediction
+from repro.pareto.front import extract_grid_front
 
 __all__ = ["OBJECTIVE_KINDS", "Objective", "Advice"]
 
@@ -48,10 +49,19 @@ class Advice:
     pareto_freqs_mhz: Tuple[float, ...]
     #: Whether the picked frequency is itself on the predicted front.
     on_pareto_front: bool
+    #: Memory clock of a 2-D (core, mem) recommendation; ``None`` for
+    #: classic core-only advice (the legacy wire format is unchanged).
+    mem_freq_mhz: Optional[float] = None
+    #: Pareto-optimal ``(f_core, f_mem)`` pairs of a 2-D profile grid.
+    pareto_pairs_mhz: Optional[Tuple[Tuple[float, float], ...]] = None
 
     def as_dict(self) -> Dict[str, Any]:
-        """Plain-dict view (JSON output and reports)."""
-        return {
+        """Plain-dict view (JSON output and reports).
+
+        2-D keys appear only on 2-D advice so core-only output stays
+        byte-identical to the pre-memory-DVFS format.
+        """
+        out = {
             "objective": self.objective,
             "freq_mhz": self.freq_mhz,
             "predicted_time_s": self.predicted_time_s,
@@ -61,6 +71,10 @@ class Advice:
             "pareto_freqs_mhz": list(self.pareto_freqs_mhz),
             "on_pareto_front": self.on_pareto_front,
         }
+        if self.mem_freq_mhz is not None:
+            out["mem_freq_mhz"] = self.mem_freq_mhz
+            out["pareto_pairs_mhz"] = [list(p) for p in (self.pareto_pairs_mhz or ())]
+        return out
 
 
 @dataclass(frozen=True)
@@ -131,21 +145,23 @@ class Objective:
         )
 
     # -- evaluation --------------------------------------------------------
-    def evaluate(self, prediction: TradeoffPrediction) -> Advice:
-        """Apply this objective to one predicted profile.
+    def _select(
+        self,
+        sp: np.ndarray,
+        ne: np.ndarray,
+        times: np.ndarray,
+        energies: np.ndarray,
+    ) -> int:
+        """Pick the objective's configuration index over parallel arrays.
 
-        Deterministic: every selection is an ``argmin``/``argmax`` over
-        the profile (first index wins ties), so equal profiles always
-        produce bitwise-equal advice. Raises :class:`ServingError` when
-        no configuration satisfies the constraint.
+        Deterministic: every selection is an ``argmin``/``argmax`` (first
+        index wins ties), so equal profiles always produce bitwise-equal
+        advice. Raises :class:`ServingError` when no configuration
+        satisfies the constraint.
         """
-        sp = prediction.speedups
-        ne = prediction.normalized_energies
-        times = prediction.times_s
-        energies = prediction.energies_j
         if self.kind == "tradeoff":
-            idx = int(np.argmin(ne / sp))
-        elif self.kind == "min_energy_deadline":
+            return int(np.argmin(ne / sp))
+        if self.kind == "min_energy_deadline":
             mask = times <= self.deadline_s
             if not mask.any():
                 raise ServingError(
@@ -153,8 +169,8 @@ class Objective:
                     f"(fastest predicted time: {float(times.min()):.6g} s)"
                 )
             candidates = np.flatnonzero(mask)
-            idx = int(candidates[int(np.argmin(energies[mask]))])
-        elif self.kind == "max_speedup_power":
+            return int(candidates[int(np.argmin(energies[mask]))])
+        if self.kind == "max_speedup_power":
             power = energies / times
             mask = power <= self.power_w
             if not mask.any():
@@ -163,9 +179,16 @@ class Objective:
                     f"(lowest predicted power: {float(power.min()):.6g} W)"
                 )
             candidates = np.flatnonzero(mask)
-            idx = int(candidates[int(np.argmax(sp[mask]))])
-        else:
-            raise ServingError(f"unknown objective kind {self.kind!r}")
+            return int(candidates[int(np.argmax(sp[mask]))])
+        raise ServingError(f"unknown objective kind {self.kind!r}")
+
+    def evaluate(self, prediction: TradeoffPrediction) -> Advice:
+        """Apply this objective to one predicted profile."""
+        sp = prediction.speedups
+        ne = prediction.normalized_energies
+        times = prediction.times_s
+        energies = prediction.energies_j
+        idx = self._select(sp, ne, times, energies)
 
         front = prediction.pareto_front()
         pareto_freqs = tuple(float(f) for f in front.freqs_mhz)
@@ -179,6 +202,51 @@ class Objective:
             predicted_normalized_energy=float(ne[idx]),
             pareto_freqs_mhz=pareto_freqs,
             on_pareto_front=front.contains_freq(freq),
+        )
+
+    def evaluate_grid(
+        self, profiles: Sequence[Tuple[float, TradeoffPrediction]]
+    ) -> Advice:
+        """Apply this objective across a 2-D ``(f_core, f_mem)`` grid.
+
+        ``profiles`` pairs each memory clock with the trade-off profile
+        predicted (or measured) at that clock; every profile must be
+        normalized against the *same* baseline (the reference-memory
+        baseline run — which is how :meth:`repro.runtime.engine.
+        CampaignEngine.characterize_grid` builds its rows), otherwise
+        speedups are not comparable across rows. Selection is the same
+        deterministic argmin/argmax as :meth:`evaluate`, taken over the
+        flattened grid in the given row order; the returned advice
+        carries the winning pair and the grid-wide Pareto front.
+        """
+        if not profiles:
+            raise ServingError("evaluate_grid requires at least one (mem, profile) row")
+        sp = np.concatenate([p.speedups for _, p in profiles])
+        ne = np.concatenate([p.normalized_energies for _, p in profiles])
+        times = np.concatenate([p.times_s for _, p in profiles])
+        energies = np.concatenate([p.energies_j for _, p in profiles])
+        core = np.concatenate([p.freqs_mhz for _, p in profiles])
+        mem = np.concatenate(
+            [np.full(len(p.freqs_mhz), float(m)) for m, p in profiles]
+        )
+        idx = self._select(sp, ne, times, energies)
+
+        front = extract_grid_front(sp, ne, core, mem)
+        freq = float(core[idx])
+        mem_freq = float(mem[idx])
+        return Advice(
+            objective=self.kind,
+            freq_mhz=freq,
+            predicted_time_s=float(times[idx]),
+            predicted_energy_j=float(energies[idx]),
+            predicted_speedup=float(sp[idx]),
+            predicted_normalized_energy=float(ne[idx]),
+            pareto_freqs_mhz=tuple(float(f) for f in front.freqs_mhz),
+            on_pareto_front=front.contains_pair(freq, mem_freq),
+            mem_freq_mhz=mem_freq,
+            pareto_pairs_mhz=tuple(
+                (float(p.freq_mhz), float(p.mem_freq_mhz)) for p in front
+            ),
         )
 
     def describe(self) -> str:

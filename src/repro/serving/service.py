@@ -218,6 +218,61 @@ class AdvisorService:
         """Serve a request list serially, in order (convenience path)."""
         return [self.advise(feats, obj) for feats, obj in requests]
 
+    def advise_grid(
+        self,
+        features: Sequence[float],
+        mem_freqs_mhz: Sequence[float],
+        objective: Optional[Objective] = None,
+    ) -> Advice:
+        """Recommend a (core, memory) frequency pair for one input.
+
+        For models trained on a 2-D sweep the last feature column is the
+        memory clock (:data:`repro.experiments.datasets.MEM_FEATURE_NAME`);
+        callers pass the *domain* features plus the candidate memory
+        clocks and the whole (f_core, f_mem) grid is evaluated under the
+        objective. Deadline and power-cap objectives compare the model's
+        absolute time/energy predictions across rows; the trade-off
+        objective's speedup axis is normalized per memory clock, so its
+        pick is an approximation there (the measured-campaign grid path
+        shares one true baseline). Direct path: grid requests are rare,
+        offline-style queries, so they skip the micro-batch coalescing
+        and the advice cache.
+        """
+        t0 = now_s()
+        if objective is None:
+            objective = Objective.tradeoff()
+        feats = quantize_features(features)
+        if len(feats) + 1 != len(self.model.feature_names):
+            raise ServingError(
+                f"expected {len(self.model.feature_names) - 1} domain features "
+                f"(model features {self.model.feature_names} end with the "
+                f"memory clock), got {len(feats)}"
+            )
+        mems = ensure_1d(mem_freqs_mhz, "mem_freqs_mhz")
+        if mems.size == 0:
+            raise ServingError("memory-frequency grid must be non-empty")
+        profiles = [
+            (
+                float(m),
+                self.model.predict_tradeoff(
+                    list(feats) + [float(m)], self.freqs_mhz
+                ),
+            )
+            for m in mems
+        ]
+        try:
+            advice = objective.evaluate_grid(profiles)
+        except ServingError:
+            with self._cond:
+                self.stats.requests += 1
+                self.stats.errors += 1
+            self.stats.latency.observe(now_s() - t0)
+            raise
+        with self._cond:
+            self.stats.requests += 1
+        self.stats.latency.observe(now_s() - t0)
+        return advice
+
     # ------------------------------------------------------------------
     # batch evaluation (leader only)
     # ------------------------------------------------------------------

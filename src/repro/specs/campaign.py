@@ -45,10 +45,10 @@ CAMPAIGN_FORMAT = "repro.campaign"
 CAMPAIGN_VERSION = 1
 
 #: Application kinds a campaign can sweep (mirrors the CLI ``--app`` choices).
-APP_KINDS = ("ligen", "cronos")
+APP_KINDS = ("ligen", "cronos", "mhd")
 
 #: Device short names resolvable without a device table.
-BUILTIN_DEVICES = ("v100", "mi100", "max1100")
+BUILTIN_DEVICES = ("v100", "mi100", "max1100", "a100", "h100", "mi250")
 
 PathLike = Union[str, pathlib.Path]
 
@@ -105,7 +105,32 @@ _CRONOS_APP_SCHEMA = RecordSchema(
     ),
 )
 
-_APP_SCHEMAS = {"ligen": _LIGEN_APP_SCHEMA, "cronos": _CRONOS_APP_SCHEMA}
+_MHD_APP_SCHEMA = RecordSchema(
+    kind="mhd app grid",
+    fields=(
+        FieldSpec("kind", "str", required=True, choices=APP_KINDS, choices_rule=SPEC_XREF),
+        FieldSpec(
+            "grids",
+            "list",
+            default=[list(g) for g in configs.MHD_GRID_SIZES],
+            min_len=1,
+            element=FieldSpec(
+                "grid",
+                "list",
+                min_len=3,
+                max_len=3,
+                element=FieldSpec("grid dim", "int", minimum=1),
+            ),
+        ),
+        FieldSpec("steps", "int", default=configs.MHD_STEPS, minimum=1),
+    ),
+)
+
+_APP_SCHEMAS = {
+    "ligen": _LIGEN_APP_SCHEMA,
+    "cronos": _CRONOS_APP_SCHEMA,
+    "mhd": _MHD_APP_SCHEMA,
+}
 
 
 def _check_sweep(clean: Dict[str, Any], rep: Reporter, path: str) -> None:
@@ -134,6 +159,16 @@ _SWEEP_SCHEMA = RecordSchema(
             ),
         ),
         FieldSpec("repetitions", "int", default=configs.DEFAULT_REPETITIONS, minimum=1),
+        FieldSpec(
+            "mem_freqs_mhz",
+            "list",
+            default=None,
+            allow_none=True,
+            min_len=1,
+            element=FieldSpec(
+                "memory frequency", "number", minimum=0.0, exclusive_minimum=True
+            ),
+        ),
     ),
     extra_check=_check_sweep,
 )
@@ -233,11 +268,17 @@ def validate_campaign_record(
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class SweepSpec:
-    """Frequency sweep: a bin count *or* an explicit list, plus repetitions."""
+    """Frequency sweep: a bin count *or* an explicit list, plus repetitions.
+
+    ``mem_freqs_mhz`` turns the sweep into the 2-D ``(f_core, f_mem)``
+    grid — every core point is measured at every listed memory clock.
+    ``None`` (the default) keeps the classic core-only sweep.
+    """
 
     freq_count: Optional[int] = None
     freqs_mhz: Optional[Tuple[float, ...]] = None
     repetitions: int = configs.DEFAULT_REPETITIONS
+    mem_freqs_mhz: Optional[Tuple[float, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -300,6 +341,13 @@ class CampaignSpec:
                     else list(self.sweep.freqs_mhz)
                 ),
                 "repetitions": self.sweep.repetitions,
+                # 2-D sweeps only: core-only records keep the legacy key
+                # set, so their fingerprints are unchanged.
+                **(
+                    {}
+                    if self.sweep.mem_freqs_mhz is None
+                    else {"mem_freqs_mhz": list(self.sweep.mem_freqs_mhz)}
+                ),
             },
             "engine": {
                 "seed": self.engine.seed,
@@ -323,7 +371,7 @@ class CampaignSpec:
         """Build from a schema-cleaned record (see ``CAMPAIGN_SCHEMA``)."""
         app = dict(clean["app"])
         kind = app.pop("kind")
-        if kind == "cronos":
+        if kind in ("cronos", "mhd"):
             app["grids"] = tuple(tuple(int(d) for d in g) for g in app["grids"])
         else:
             for key in ("ligand_counts", "atom_counts", "fragment_counts"):
@@ -342,6 +390,11 @@ class CampaignSpec:
                     else tuple(float(f) for f in sweep["freqs_mhz"])
                 ),
                 repetitions=sweep["repetitions"],
+                mem_freqs_mhz=(
+                    None
+                    if sweep.get("mem_freqs_mhz") is None
+                    else tuple(float(f) for f in sweep["mem_freqs_mhz"])
+                ),
             ),
             engine=EngineSpec(
                 seed=engine["seed"],
@@ -390,6 +443,8 @@ class CampaignSpec:
             if self.sweep.freqs_mhz is not None
             else f"{self.sweep.freq_count or 'all'} freq bins"
         )
+        if self.sweep.mem_freqs_mhz is not None:
+            sweep += f" x {len(self.sweep.mem_freqs_mhz)} mem clocks"
         return (
             f"{self.app_kind} on {device}, {sweep} x {self.sweep.repetitions} reps, "
             f"seed {self.engine.seed}, {self.engine.method}, jobs {self.engine.jobs}"
@@ -410,12 +465,15 @@ def campaign_spec_from_cli(
     method: str = "replay",
     cache_dir: Optional[str] = None,
     max_retries: int = 2,
+    mem_freqs_mhz: Optional[Sequence[float]] = None,
 ) -> CampaignSpec:
     """Build the spec equivalent of one ``repro campaign`` invocation.
 
     The quick grids are spelled out explicitly so the resulting spec is
     self-contained: running it later reproduces the quick run even if
-    the CLI's notion of ``--quick`` changes.
+    the CLI's notion of ``--quick`` changes. ``mem_freqs_mhz`` turns the
+    sweep into a 2-D (core x memory) grid — mhd only, like the spec
+    field it populates.
     """
     if app == "ligen":
         params: Dict[str, Any] = (
@@ -436,12 +494,25 @@ def campaign_spec_from_cli(
         params = dict(
             grids=tuple(tuple(g) for g in grids), steps=configs.CRONOS_STEPS
         )
+    elif app == "mhd":
+        grids = configs.MHD_GRID_SIZES[:2] if quick else configs.MHD_GRID_SIZES
+        params = dict(
+            grids=tuple(tuple(g) for g in grids), steps=configs.MHD_STEPS
+        )
     else:
         raise SpecError(f"unknown application {app!r}; expected one of {APP_KINDS}")
     return CampaignSpec(
         app_kind=app,
         app_params=params,
-        sweep=SweepSpec(freq_count=freq_count, repetitions=repetitions),
+        sweep=SweepSpec(
+            freq_count=freq_count,
+            repetitions=repetitions,
+            mem_freqs_mhz=(
+                None
+                if mem_freqs_mhz is None
+                else tuple(float(f) for f in mem_freqs_mhz)
+            ),
+        ),
         engine=EngineSpec(
             seed=seed,
             jobs=jobs,

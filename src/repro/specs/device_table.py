@@ -7,7 +7,7 @@ is a quantity object (``{"value": 900, "unit": "GB/s"}``) so that
 built, and unit conversions (``GHz`` → ``MHz``, ``kJ``-style prefixes)
 happen at load time via :mod:`repro.analysis.dimensional`. A table that
 passes schema validation is additionally run through the hardware-spec
-validator (``HW001``–``HW004``), so lint on a device table checks the
+validator (``HW001``–``HW005``), so lint on a device table checks the
 same internal-consistency invariants as the built-in self-check.
 """
 
@@ -41,7 +41,10 @@ __all__ = [
 ]
 
 DEVICE_TABLE_FORMAT = "repro.device_spec"
-DEVICE_TABLE_VERSION = 1
+#: v2 adds the optional memory-DVFS domain (``mem_freqs`` +
+#: ``mem_voltage``); v1 tables migrate automatically (the new fields
+#: simply default to "no memory DVFS").
+DEVICE_TABLE_VERSION = 2
 
 PathLike = Union[str, pathlib.Path]
 
@@ -104,10 +107,56 @@ _VOLTAGE_SCHEMA = RecordSchema(
     extra_check=_check_voltages,
 )
 
+_MEM_FREQS_SCHEMA = RecordSchema(
+    kind="memory frequency table",
+    fields=(
+        FieldSpec("min", "quantity", required=True, unit="MHz", minimum=0.0, exclusive_minimum=True),
+        FieldSpec("max", "quantity", required=True, unit="MHz", minimum=0.0, exclusive_minimum=True),
+        FieldSpec("count", "int", required=True, minimum=2),
+        FieldSpec(
+            "default",
+            "quantity",
+            default=None,
+            allow_none=True,
+            unit="MHz",
+            minimum=0.0,
+            exclusive_minimum=True,
+        ),
+    ),
+    extra_check=_check_freq_band,
+)
+
+
+def _check_memory_domain(clean: Dict[str, Any], rep: Reporter, path: str) -> None:
+    """v2 cross-field invariants of the optional memory-DVFS domain."""
+    if clean.get("mem_voltage") is not None and clean.get("mem_freqs") is None:
+        rep.error(
+            SPEC_VALUE,
+            "mem_voltage: a memory voltage curve needs a mem_freqs table "
+            "to span",
+        )
+    mf = clean.get("mem_freqs")
+    if mf is not None:
+        ref = clean["mem_freq"]
+        if not (mf["min"] <= ref <= mf["max"]):
+            rep.error(
+                SPEC_VALUE,
+                f"mem_freq: reference clock {ref:g} MHz lies outside the "
+                f"mem_freqs band [{mf['min']:g}, {mf['max']:g}] MHz",
+            )
+
+
+def _migrate_device_v1(body: Dict[str, Any]) -> Dict[str, Any]:
+    """v1 → v2: the memory-DVFS fields are optional; nothing to rewrite."""
+    return body
+
+
 DEVICE_TABLE_SCHEMA = RecordSchema(
     kind="device spec table",
     format=DEVICE_TABLE_FORMAT,
     version=DEVICE_TABLE_VERSION,
+    migrations={1: _migrate_device_v1},
+    extra_check=_check_memory_domain,
     fields=(
         FieldSpec("name", "str", required=True),
         FieldSpec("vendor", "str", required=True, choices=("nvidia", "amd", "intel")),
@@ -129,6 +178,8 @@ DEVICE_TABLE_SCHEMA = RecordSchema(
         FieldSpec("p_mem_dyn", "quantity", default=0.0, unit="W", minimum=0.0),
         FieldSpec("core_freqs", "object", required=True, schema=_CORE_FREQS_SCHEMA),
         FieldSpec("voltage", "object", required=True, schema=_VOLTAGE_SCHEMA),
+        FieldSpec("mem_freqs", "object", default=None, allow_none=True, schema=_MEM_FREQS_SCHEMA),
+        FieldSpec("mem_voltage", "object", default=None, allow_none=True, schema=_VOLTAGE_SCHEMA),
         FieldSpec(
             "op_cost_overrides",
             "map",
@@ -154,6 +205,26 @@ def device_spec_from_clean(clean: Dict[str, Any]) -> DeviceSpec:
         f_max_mhz=cf["max"],
         exponent=volt["exponent"],
     )
+    mem_freqs = None
+    mem_voltage = None
+    mf = clean.get("mem_freqs")
+    if mf is not None:
+        mem_freqs = FrequencyTable.linear(
+            mf["min"],
+            mf["max"],
+            mf["count"],
+            default_mhz=mf["default"] if mf["default"] is not None else clean["mem_freq"],
+        )
+        mv = clean.get("mem_voltage")
+        if mv is not None:
+            mem_voltage = VoltageCurve(
+                v_min=mv["v_min"],
+                v_max=mv["v_max"],
+                f_min_mhz=mf["min"],
+                f_knee_mhz=mv["knee"],
+                f_max_mhz=mf["max"],
+                exponent=mv["exponent"],
+            )
     return DeviceSpec(
         name=clean["name"],
         vendor=clean["vendor"],
@@ -176,6 +247,8 @@ def device_spec_from_clean(clean: Dict[str, Any]) -> DeviceSpec:
         per_thread_mlp=clean["per_thread_mlp"],
         active_idle_frac=clean["active_idle_frac"],
         op_cost_overrides=dict(clean["op_cost_overrides"]),
+        mem_freqs=mem_freqs,
+        mem_voltage=mem_voltage,
     )
 
 
@@ -189,10 +262,12 @@ def device_table_record(spec: DeviceSpec) -> Dict[str, Any]:
     Only representable specs round-trip: the table stores the frequency
     band as (min, max, count), so a spec whose table is not evenly
     spaced is first snapped onto the linear band with the same bounds
-    and bin count.
+    and bin count. Specs without memory DVFS omit the v2 ``mem_freqs``
+    / ``mem_voltage`` keys entirely, so v1-era devices keep their exact
+    field set (plus the bumped ``schema_version``).
     """
     table = spec.core_freqs
-    return {
+    record = {
         "format": DEVICE_TABLE_FORMAT,
         "schema_version": DEVICE_TABLE_VERSION,
         "name": spec.name,
@@ -231,12 +306,32 @@ def device_table_record(spec: DeviceSpec) -> Dict[str, Any]:
             str(k): float(v) for k, v in sorted(spec.op_cost_overrides.items())
         },
     }
+    if spec.mem_freqs is not None:
+        mem_table = spec.mem_freqs
+        record["mem_freqs"] = {
+            "min": _q(float(mem_table.freqs_mhz[0]), "MHz"),
+            "max": _q(float(mem_table.freqs_mhz[-1]), "MHz"),
+            "count": int(len(mem_table.freqs_mhz)),
+            "default": (
+                None
+                if mem_table.default_mhz is None
+                else _q(mem_table.default_mhz, "MHz")
+            ),
+        }
+        if spec.mem_voltage is not None:
+            record["mem_voltage"] = {
+                "v_min": float(spec.mem_voltage.v_min),
+                "v_max": float(spec.mem_voltage.v_max),
+                "knee": _q(spec.mem_voltage.f_knee_mhz, "MHz"),
+                "exponent": float(spec.mem_voltage.exponent),
+            }
+    return record
 
 
 def check_device_table(record: Any, file: str = "<device table>") -> List[Diagnostic]:
     """Full static check of one device table: schema + HW validator.
 
-    Hardware-model invariants (``HW001``–``HW004``) are only checkable
+    Hardware-model invariants (``HW001``–``HW005``) are only checkable
     once the table is structurally clean; their diagnostics are re-homed
     onto ``file`` so lint output points at the JSON artifact rather than
     the transient in-memory spec object.

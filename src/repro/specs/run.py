@@ -81,6 +81,11 @@ def run_campaign(spec: CampaignSpec, fault_plan=None, progress=None):
     """Run one campaign spec; returns ``(CampaignData, CampaignEngine)``."""
     device = build_device(spec)
     engine = build_engine(spec, fault_plan=fault_plan)
+    if spec.sweep.mem_freqs_mhz is not None and spec.app_kind != "mhd":
+        raise SpecError(
+            "sweep.mem_freqs_mhz (2-D DVFS) is only wired up for the 'mhd' "
+            f"application, not {spec.app_kind!r}"
+        )
     if spec.app_kind == "ligen":
         from repro.experiments.datasets import build_ligen_campaign
 
@@ -91,6 +96,20 @@ def run_campaign(spec: CampaignSpec, fault_plan=None, progress=None):
             fragment_counts=spec.app_params["fragment_counts"],
             freq_count=spec.sweep.freq_count,
             freqs_mhz=spec.sweep.freqs_mhz,
+            repetitions=spec.sweep.repetitions,
+            engine=engine,
+            progress=progress,
+        )
+    elif spec.app_kind == "mhd":
+        from repro.experiments.datasets import build_mhd_campaign
+
+        campaign = build_mhd_campaign(
+            device,
+            grids=spec.app_params["grids"],
+            n_steps=spec.app_params["steps"],
+            freq_count=spec.sweep.freq_count,
+            freqs_mhz=spec.sweep.freqs_mhz,
+            mem_freqs_mhz=spec.sweep.mem_freqs_mhz,
             repetitions=spec.sweep.repetitions,
             engine=engine,
             progress=progress,
@@ -171,13 +190,37 @@ def _evaluate_objective(
     model = None
     if ref.model_registry is not None:
         model = _resolve_model(ref, scenario.base_dir)
+
+    def profile_for(features, result):
+        if model is not None:
+            return model.predict_tradeoff(list(features), result.freqs_mhz)
+        return measured_tradeoff(result)
+
     rows: List[AdviceRow] = []
+    if getattr(campaign, "mem_freqs_mhz", None):
+        # 2-D campaign: characterizations are keyed by domain features
+        # plus the memory clock; group the per-mem rows of each input and
+        # pick the best (f_core, f_mem) pair over the whole grid.
+        grouped: Dict[Tuple[float, ...], List[Tuple[float, Any]]] = {}
+        for features in sorted(campaign.characterizations):
+            result = campaign.characterizations[features]
+            grouped.setdefault(features[:-1], []).append((features[-1], result))
+        for domain_features, mem_rows in sorted(grouped.items()):
+            profiles = [
+                (mem, profile_for(domain_features + (mem,), result))
+                for mem, result in mem_rows
+            ]
+            label = mem_rows[0][1].app_name
+            try:
+                advice = objective.evaluate_grid(profiles)
+            except ServingError as exc:
+                rows.append(AdviceRow(label, domain_features, error=str(exc)))
+            else:
+                rows.append(AdviceRow(label, domain_features, advice=advice))
+        return rows
     for features in sorted(campaign.characterizations):
         result = campaign.characterizations[features]
-        if model is not None:
-            profile = model.predict_tradeoff(list(features), result.freqs_mhz)
-        else:
-            profile = measured_tradeoff(result)
+        profile = profile_for(features, result)
         try:
             advice = objective.evaluate(profile)
         except ServingError as exc:

@@ -125,6 +125,23 @@ class SynergyDevice:
         """Restore default clock / auto governor."""
         self.gpu.reset_frequency()
 
+    def supported_memory_frequencies(self) -> np.ndarray:
+        """Settable memory frequencies in MHz (single entry on v1 devices)."""
+        return self.gpu.supported_memory_frequencies()
+
+    @property
+    def default_memory_frequency_mhz(self) -> float:
+        """The reference (boot) memory clock."""
+        return self.gpu.default_memory_frequency_mhz
+
+    def set_memory_frequency(self, freq_mhz: float) -> float:
+        """Pin the memory clock (snapped); returns the actual frequency."""
+        return self.gpu.set_memory_frequency(freq_mhz)
+
+    def reset_memory_frequency(self) -> None:
+        """Restore the reference memory clock."""
+        self.gpu.reset_memory_frequency()
+
     # -- profiling ------------------------------------------------------
     def profile(self) -> ProfileRegion:
         """Open a profiling region over the device's energy/time counters."""

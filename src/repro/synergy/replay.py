@@ -110,8 +110,12 @@ class ReplayPlan:
     def __init__(self, gpu: SimulatedGPU, launches: List[KernelLaunch]) -> None:
         self.gpu = gpu
         self.batch = KernelLaunchBatch.from_launches(launches)
-        #: core_mhz -> (time_s per unique, energy_j per unique)
-        self._columns: dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        #: (core_mhz, pinned mem_mhz or None) -> (time_s, energy_j) per unique.
+        #: Keying on the memory clock keeps a 2-D sweep's columns separate;
+        #: legacy 1-D sweeps only ever see (f, None) keys.
+        self._columns: dict[
+            Tuple[float, float | None], Tuple[np.ndarray, np.ndarray]
+        ] = {}
         #: Batched (unique x frequency) model evaluations performed.
         self.model_evals = 0
 
@@ -126,12 +130,13 @@ class ReplayPlan:
         return self.batch.n_unique
 
     def _evaluate(self, freqs: List[float]) -> None:
-        """Fill the column cache for ``freqs`` in one batched pass."""
-        missing = [f for f in freqs if f not in self._columns]
+        """Fill the column cache for ``freqs`` at the current memory clock."""
+        mem = self.gpu.pinned_memory_frequency_mhz
+        missing = [f for f in freqs if (f, mem) not in self._columns]
         if not missing or self.batch.n_unique == 0:
             return
         gpu = self.gpu
-        bt = gpu.timing_model.time_batch(self.batch, missing)
+        bt = gpu.timing_model.time_batch(self.batch, missing, mem)
         floor = gpu.spec.active_idle_frac
         u_comp_eff = bt.u_comp * (floor + (1.0 - floor) * bt.width_util[:, None])
         energies = gpu.power_model.energy_batch(
@@ -140,9 +145,10 @@ class ReplayPlan:
             bt.u_mem,
             bt.exec_s,
             idle_s=bt.overhead_s,
+            mem_mhz=mem,
         )
         for j, f in enumerate(missing):
-            self._columns[f] = (bt.time_s[:, j], energies[:, j])
+            self._columns[(f, mem)] = (bt.time_s[:, j], energies[:, j])
         self.model_evals += self.batch.n_unique * len(missing)
 
     def prime(self, freqs_mhz) -> None:
@@ -165,6 +171,7 @@ class ReplayPlan:
         mirroring the serial per-launch throttle accounting.
         """
         gpu, batch = self.gpu, self.batch
+        mem = gpu.pinned_memory_frequency_mhz
         resolved: List[float] = []
         throttled_occurrences = 0
         for i, launch in enumerate(batch.unique):
@@ -174,10 +181,10 @@ class ReplayPlan:
                 throttled_occurrences += int(batch.counts[i])
         self._evaluate(sorted(set(resolved)))
         times_u = np.array(
-            [self._columns[f][0][i] for i, f in enumerate(resolved)], dtype=float
+            [self._columns[(f, mem)][0][i] for i, f in enumerate(resolved)], dtype=float
         )
         energies_u = np.array(
-            [self._columns[f][1][i] for i, f in enumerate(resolved)], dtype=float
+            [self._columns[(f, mem)][1][i] for i, f in enumerate(resolved)], dtype=float
         )
         return times_u[batch.inverse], energies_u[batch.inverse], throttled_occurrences
 

@@ -69,6 +69,9 @@ class FrequencySample:
     energy_j: float
     rep_times_s: np.ndarray
     rep_energies_j: np.ndarray
+    #: Pinned memory clock of this sweep point; None means the device's
+    #: reference memory clock (every pre-v2 sample).
+    mem_freq_mhz: Optional[float] = None
 
     def __post_init__(self) -> None:
         for name in ("rep_times_s", "rep_energies_j"):
@@ -99,6 +102,11 @@ class CharacterizationResult:
     baseline_time_s: float
     baseline_energy_j: float
     samples: List[FrequencySample] = field(default_factory=list)
+    #: Pinned memory clock shared by every sample of this sweep; None on
+    #: legacy 1-D sweeps (reference memory clock). The baseline is always
+    #: measured at the reference memory clock, even for pinned-mem rows,
+    #: so the whole 2-D grid shares one baseline.
+    mem_freq_mhz: Optional[float] = None
 
     @property
     def freqs_mhz(self) -> np.ndarray:

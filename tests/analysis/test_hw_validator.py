@@ -1,4 +1,4 @@
-"""Tests for the hardware-spec validator (rules HW001-HW004)."""
+"""Tests for the hardware-spec validator (rules HW001-HW005)."""
 
 from dataclasses import replace
 
@@ -8,13 +8,29 @@ import pytest
 from repro.analysis.hw_validator import (
     verify_device_spec,
     verify_frequencies,
+    verify_memory_domain,
     verify_power_budget,
     verify_roofline_units,
     verify_voltage_curve,
 )
-from repro.hw.specs import make_intel_max_spec, make_mi100_spec, make_v100_spec
+from repro.hw.dvfs import VoltageCurve
+from repro.hw.specs import (
+    make_a100_spec,
+    make_h100_spec,
+    make_intel_max_spec,
+    make_mi100_spec,
+    make_mi250_spec,
+    make_v100_spec,
+)
 
-ALL_FACTORIES = (make_v100_spec, make_mi100_spec, make_intel_max_spec)
+ALL_FACTORIES = (
+    make_v100_spec,
+    make_mi100_spec,
+    make_intel_max_spec,
+    make_a100_spec,
+    make_h100_spec,
+    make_mi250_spec,
+)
 
 
 class TestShippedSpecs:
@@ -119,3 +135,79 @@ class TestMutatedDeviceSpec:
 
         spec = scale_spec(make_v100_spec(), compute=0.5, bandwidth=2.0)
         assert verify_device_spec(spec) == []
+
+
+class _FakeMemTable:
+    """Duck-typed memory table (DeviceSpec would reject these at init)."""
+
+    def __init__(self, freqs):
+        self.freqs_mhz = np.asarray(freqs, dtype=float)
+
+    def __contains__(self, freq):
+        return float(freq) in set(float(f) for f in self.freqs_mhz)
+
+
+class _MutatedSpec:
+    """A100 spec with memory-domain fields overridden past __post_init__."""
+
+    def __init__(self, **overrides):
+        self._spec = make_a100_spec()
+        self._overrides = overrides
+
+    def __getattr__(self, name):
+        if name in self._overrides:
+            return self._overrides[name]
+        return getattr(self._spec, name)
+
+
+class TestMemoryDomain:
+    def test_v1_specs_are_vacuously_clean(self):
+        assert verify_memory_domain(make_v100_spec()) == []
+
+    @pytest.mark.parametrize(
+        "factory", (make_a100_spec, make_h100_spec, make_mi250_spec),
+        ids=lambda f: f.__name__,
+    )
+    def test_shipped_memory_domains_are_clean(self, factory):
+        assert verify_memory_domain(factory()) == []
+
+    def test_non_monotone_mem_table_is_hw005(self):
+        spec = _MutatedSpec(mem_freqs=_FakeMemTable([900.0, 800.0, 1215.0]))
+        diags = verify_memory_domain(spec)
+        assert [d.rule for d in diags] == ["HW005"]
+        assert "memory" in diags[0].message
+        assert "strictly increasing" in diags[0].message
+
+    def test_reference_clock_off_the_table_is_hw005(self):
+        # DeviceSpec.__post_init__ rejects this at construction; the rule
+        # is defense in depth for duck-typed or deserialized specs.
+        spec = _MutatedSpec(mem_freqs=_FakeMemTable([810.0, 945.0, 1080.0]))
+        diags = verify_memory_domain(spec)
+        assert any(
+            d.rule == "HW005" and "reference memory clock" in d.message for d in diags
+        )
+
+    def test_mem_voltage_not_spanning_the_table_is_hw005(self):
+        # Constructible via replace: __post_init__ checks table membership
+        # but not the voltage envelope span.
+        narrow = VoltageCurve(
+            v_min=0.80, v_max=1.20, f_min_mhz=900.0, f_knee_mhz=900.0,
+            f_max_mhz=1215.0, exponent=1.0,
+        )
+        spec = replace(make_a100_spec(), mem_voltage=narrow)
+        diags = verify_memory_domain(spec)
+        assert diags and all(d.rule == "HW005" for d in diags)
+        assert any("memory" in d.message for d in diags)
+
+    def test_verify_device_spec_includes_the_memory_domain(self):
+        narrow = VoltageCurve(
+            v_min=0.80, v_max=1.20, f_min_mhz=900.0, f_knee_mhz=900.0,
+            f_max_mhz=1215.0, exponent=1.0,
+        )
+        spec = replace(make_a100_spec(), mem_voltage=narrow)
+        assert any(d.rule == "HW005" for d in verify_device_spec(spec))
+
+    def test_diagnostics_point_at_the_device(self):
+        spec = _MutatedSpec(mem_freqs=_FakeMemTable([900.0, 800.0]))
+        for d in verify_memory_domain(spec):
+            assert "A100" in d.file

@@ -63,6 +63,11 @@ class TestExpandSelect:
             {"SPEC001", "SPEC002", "SPEC003", "SPEC004", "SPEC005"}
         )
 
+    def test_hw_family_includes_the_memory_domain_rule(self):
+        expanded = expand_select(["HW"])
+        assert expanded == frozenset({"HW001", "HW002", "HW003", "HW004", "HW005"})
+        assert "HW005" in KNOWN_RULE_IDS
+
     def test_families_cover_every_known_rule(self):
         for family in KNOWN_RULE_FAMILIES:
             assert expand_select([family]) <= frozenset(KNOWN_RULE_IDS)
@@ -79,6 +84,37 @@ class TestExpandSelect:
         with pytest.raises(ValueError, match="SPEX") as exc:
             expand_select(["SPEX"])
         assert "families" in str(exc.value)
+
+    def test_hw005_renders_through_the_standard_json_schema(self):
+        # HW005 is only reachable from in-memory specs (every JSON-borne
+        # memory-domain defect is caught earlier, at SPEC level), but its
+        # diagnostics must still serialize exactly like every other rule.
+        from dataclasses import replace
+
+        from repro.analysis.diagnostics import render_json
+        from repro.analysis.hw_validator import verify_memory_domain
+        from repro.hw.dvfs import VoltageCurve
+        from repro.hw.specs import make_a100_spec
+
+        narrow = VoltageCurve(
+            v_min=0.80, v_max=1.20, f_min_mhz=900.0, f_knee_mhz=900.0,
+            f_max_mhz=1215.0, exponent=1.0,
+        )
+        diags = verify_memory_domain(replace(make_a100_spec(), mem_voltage=narrow))
+        payload = json.loads(render_json(diags))
+        assert payload["format"] == "repro.lint"
+        assert payload["counts"]["error"] == len(payload["diagnostics"]) > 0
+        assert {d["rule"] for d in payload["diagnostics"]} == {"HW005"}
+        assert all(
+            set(d) >= {"rule", "severity", "message", "file"}
+            for d in payload["diagnostics"]
+        )
+
+    def test_shipped_example_tables_are_hw_clean(self, capsys):
+        examples = Path(__file__).parent.parent.parent / "examples" / "specs"
+        rc = main(["lint", "--select", "HW", "--no-self-check", str(examples)])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
 
     def test_family_select_through_run_lint(self):
         fixture = Path(__file__).parent.parent / "specs" / "fixtures" / "invalid"

@@ -19,7 +19,7 @@ class TestCreation:
 
     def test_unknown_name(self):
         with pytest.raises(DeviceError):
-            create_device("h100")
+            create_device("b300")
 
 
 class TestFrequencyControl:

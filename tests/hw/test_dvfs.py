@@ -129,3 +129,77 @@ class TestVoltageCurve:
             VoltageCurve(v_min=1.2, v_max=1.0, f_min_mhz=100, f_knee_mhz=200, f_max_mhz=300)
         with pytest.raises(ValueError):
             VoltageCurve(v_min=0.7, v_max=1.0, f_min_mhz=300, f_knee_mhz=200, f_max_mhz=400)
+
+
+def _boundary_tables():
+    """Core AND memory tables of shipped devices, plus a synthetic one."""
+    from repro.hw.specs import make_a100_spec, make_mi250_spec, make_v100_spec
+
+    return {
+        "synthetic": FrequencyTable.linear(100.0, 200.0, 11),
+        "v100-core": make_v100_spec().core_freqs,
+        "a100-core": make_a100_spec().core_freqs,
+        "a100-mem": make_a100_spec().mem_freq_table,
+        "mi250-mem": make_mi250_spec().mem_freq_table,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_boundary_tables()))
+class TestSnapBoundaries:
+    """Driver-mirror snap semantics at the table edges (core and memory).
+
+    Requests snap onto the nearest bin; beyond half a bin outside the
+    table's range they are rejected, exactly like out-of-range clock
+    requests on real drivers.
+    """
+
+    def table(self, name):
+        return _boundary_tables()[name]
+
+    def test_exact_edges_snap_to_themselves(self, name):
+        t = self.table(name)
+        assert t.snap(t.min_mhz) == t.min_mhz
+        assert t.snap(t.max_mhz) == t.max_mhz
+
+    def test_half_bin_tolerance_below_the_lowest_bin(self, name):
+        t = self.table(name)
+        assert t.snap(t.min_mhz - 0.49 * t.step_mhz()) == t.min_mhz
+
+    def test_half_bin_tolerance_above_the_highest_bin(self, name):
+        t = self.table(name)
+        assert t.snap(t.max_mhz + 0.49 * t.step_mhz()) == t.max_mhz
+
+    def test_rejection_beyond_half_a_bin_below(self, name):
+        t = self.table(name)
+        with pytest.raises(FrequencyError):
+            t.snap(t.min_mhz - 0.51 * t.step_mhz() - 0.01)
+
+    def test_rejection_beyond_half_a_bin_above(self, name):
+        t = self.table(name)
+        with pytest.raises(FrequencyError):
+            t.snap(t.max_mhz + 0.51 * t.step_mhz() + 0.01)
+
+    def test_interior_midpoints_snap_to_an_adjacent_bin(self, name):
+        t = self.table(name)
+        freqs = t.freqs_mhz
+        if freqs.size < 2:
+            pytest.skip("single-entry table has no interior")
+        lo, hi = float(freqs[0]), float(freqs[1])
+        just_below_mid = lo + 0.499 * (hi - lo)
+        just_above_mid = lo + 0.501 * (hi - lo)
+        assert t.snap(just_below_mid) == lo
+        assert t.snap(just_above_mid) == hi
+
+
+class TestSingleEntryTableBoundaries:
+    """A v1 spec's memory table: one bin, zero half-bin, exact-only snap."""
+
+    def test_only_the_exact_entry_snaps(self):
+        from repro.hw.specs import make_v100_spec
+
+        t = make_v100_spec().mem_freq_table
+        assert t.step_mhz() == 0.0
+        assert t.snap(t.min_mhz) == t.min_mhz
+        for off in (0.02, -0.02, 50.0):
+            with pytest.raises(FrequencyError):
+                t.snap(t.min_mhz + off)

@@ -1,0 +1,192 @@
+"""The memory-frequency domain: device interface, model coupling, factories."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, FrequencyError
+from repro.hw.device import SimulatedGPU, create_device
+from repro.hw.perf import RooflineTimingModel
+from repro.hw.power import PowerModel
+from repro.hw.specs import (
+    make_a100_spec,
+    make_h100_spec,
+    make_mi100_spec,
+    make_mi250_spec,
+    make_v100_spec,
+)
+from repro.kernels.ir import KernelLaunch, KernelSpec
+
+MEM_DVFS_FACTORIES = (make_a100_spec, make_h100_spec, make_mi250_spec)
+LEGACY_FACTORIES = (make_v100_spec, make_mi100_spec)
+
+BW_KERNEL = KernelSpec(name="bw", float_add=2.0, global_access=32.0)
+
+
+class TestSpecMemoryDomain:
+    @pytest.mark.parametrize("factory", MEM_DVFS_FACTORIES, ids=lambda f: f.__name__)
+    def test_v2_specs_expose_memory_dvfs(self, factory):
+        spec = factory()
+        assert spec.has_memory_dvfs
+        assert len(spec.mem_freq_table) > 1
+        assert spec.mem_freq_mhz in spec.mem_freq_table
+        assert spec.mem_voltage is not None
+
+    @pytest.mark.parametrize("factory", LEGACY_FACTORIES, ids=lambda f: f.__name__)
+    def test_legacy_specs_expose_a_single_entry_table(self, factory):
+        spec = factory()
+        assert not spec.has_memory_dvfs
+        table = spec.mem_freq_table
+        assert list(table.freqs_mhz) == [spec.mem_freq_mhz]
+        assert table.default_mhz == spec.mem_freq_mhz
+
+    def test_mem_voltage_requires_a_table(self):
+        import dataclasses
+
+        spec = make_a100_spec()
+        with pytest.raises(ValueError, match="mem_voltage requires"):
+            dataclasses.replace(spec, mem_freqs=None)
+
+    def test_reference_clock_must_be_a_table_entry(self):
+        import dataclasses
+
+        spec = make_a100_spec()
+        with pytest.raises(ValueError, match="reference memory clock"):
+            dataclasses.replace(spec, mem_freq_mhz=900.0)
+
+    def test_mi250_keeps_the_amd_governor_but_gains_memory_dvfs(self):
+        spec = make_mi250_spec()
+        assert not spec.has_default_frequency
+        assert spec.core_freqs.default_mhz is None
+        assert spec.has_memory_dvfs
+
+
+class TestDeviceMemoryInterface:
+    def test_boots_at_the_reference_clock(self):
+        gpu = SimulatedGPU(make_a100_spec())
+        assert gpu.memory_frequency_mhz == gpu.spec.mem_freq_mhz
+        assert gpu.pinned_memory_frequency_mhz is None
+
+    def test_set_snaps_to_the_nearest_bin(self):
+        gpu = SimulatedGPU(make_a100_spec())
+        table = gpu.supported_memory_frequencies()
+        request = table[1] + 0.3 * (table[2] - table[1])
+        assert gpu.set_memory_frequency(request) == table[1]
+        assert gpu.memory_frequency_mhz == table[1]
+        assert gpu.pinned_memory_frequency_mhz == table[1]
+
+    def test_pinning_the_reference_clock_is_stored_as_unpinned(self):
+        # None routes every model call down the legacy bitwise path.
+        gpu = SimulatedGPU(make_a100_spec())
+        assert gpu.set_memory_frequency(gpu.spec.mem_freq_mhz) == gpu.spec.mem_freq_mhz
+        assert gpu.pinned_memory_frequency_mhz is None
+
+    def test_reset_restores_the_reference_clock(self):
+        gpu = SimulatedGPU(make_a100_spec())
+        gpu.set_memory_frequency(gpu.supported_memory_frequencies()[0])
+        gpu.reset_memory_frequency()
+        assert gpu.memory_frequency_mhz == gpu.spec.mem_freq_mhz
+        assert gpu.pinned_memory_frequency_mhz is None
+
+    def test_legacy_device_accepts_only_the_reference_clock(self):
+        gpu = SimulatedGPU(make_v100_spec())
+        assert gpu.set_memory_frequency(1107.0) == 1107.0
+        with pytest.raises(FrequencyError):
+            gpu.set_memory_frequency(900.0)
+
+    def test_closed_device_rejects_memory_dvfs_calls(self):
+        gpu = SimulatedGPU(make_a100_spec())
+        gpu.close()
+        with pytest.raises(DeviceError):
+            gpu.set_memory_frequency(810.0)
+
+
+class TestPowerCoupling:
+    def test_reference_clock_is_bitwise_neutral(self):
+        spec = make_a100_spec()
+        model = PowerModel(spec)
+        core = spec.core_freqs.default_mhz
+        legacy = model.power_w(core, u_comp=0.4, u_mem=0.9)
+        pinned = model.power_w(core, u_comp=0.4, u_mem=0.9, mem_mhz=spec.mem_freq_mhz)
+        assert pinned == legacy  # exact float equality, not approx
+
+    def test_downclocked_memory_draws_less_power(self):
+        spec = make_a100_spec()
+        model = PowerModel(spec)
+        core = spec.core_freqs.default_mhz
+        mems = spec.mem_freq_table.freqs_mhz
+        powers = [model.power_w(core, 0.4, 0.9, mem_mhz=m) for m in mems]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_batch_path_matches_the_scalar_path(self):
+        spec = make_a100_spec()
+        model = PowerModel(spec)
+        cores = np.array([500.0, 1000.0, 1410.0])
+        mem = spec.mem_freq_table.min_mhz
+        batch = model.power_batch(cores, np.full(3, 0.5), np.full(3, 0.8), mem_mhz=mem)
+        scalar = [model.power_w(c, 0.5, 0.8, mem_mhz=mem) for c in cores]
+        assert np.array_equal(batch, np.array(scalar))
+
+    def test_core_coupled_slice_is_untouched_by_memory_clock(self):
+        """Only the HBM-domain slice (1 - k) scales with f_mem; with the
+        coupling k at 1.0 the memory clock must not matter at all."""
+        import dataclasses
+
+        spec = dataclasses.replace(make_a100_spec(), mem_freq_coupling=1.0)
+        model = PowerModel(spec)
+        lo = model.power_w(1000.0, 0.4, 0.9, mem_mhz=spec.mem_freq_table.min_mhz)
+        ref = model.power_w(1000.0, 0.4, 0.9, mem_mhz=spec.mem_freq_mhz)
+        assert lo == pytest.approx(ref)
+
+
+class TestBandwidthCoupling:
+    def test_reference_clock_is_bitwise_neutral(self):
+        spec = make_a100_spec()
+        timing = RooflineTimingModel(spec)
+        launch = KernelLaunch(BW_KERNEL, threads=spec.max_resident_threads)
+        assert timing.bandwidth_time_s(launch, mem_mhz=spec.mem_freq_mhz) == (
+            timing.bandwidth_time_s(launch)
+        )
+
+    def test_bandwidth_scales_linearly_with_the_memory_clock(self):
+        spec = make_a100_spec()
+        timing = RooflineTimingModel(spec)
+        launch = KernelLaunch(BW_KERNEL, threads=spec.max_resident_threads)
+        t_ref = timing.bandwidth_time_s(launch)
+        lo = spec.mem_freq_table.min_mhz
+        t_lo = timing.bandwidth_time_s(launch, mem_mhz=lo)
+        assert t_lo == pytest.approx(t_ref * spec.mem_freq_mhz / lo)
+
+    def test_latency_is_constant_across_memory_clocks(self):
+        """DRAM latency is dominated by timing, not the interface clock, so
+        the latency bound takes no memory-frequency argument at all: a
+        latency-bound launch times identically through the full model at
+        any memory clock."""
+        spec = make_a100_spec()
+        timing = RooflineTimingModel(spec)
+        tiny = KernelLaunch(BW_KERNEL, threads=32)  # far below max_mlp
+        t_ref = timing.latency_time_s(tiny)
+        assert t_ref > 0.0
+        full_ref = timing.time(tiny, spec.core_freqs.default_mhz)
+        full_lo = timing.time(
+            tiny, spec.core_freqs.default_mhz, mem_mhz=spec.mem_freq_table.min_mhz
+        )
+        assert full_lo.time_s == pytest.approx(full_ref.time_s, rel=1e-3)
+
+
+class TestCreateDevice:
+    @pytest.mark.parametrize(
+        "name, spec_name",
+        [
+            ("a100", "NVIDIA A100"),
+            ("nvidia a100", "NVIDIA A100"),
+            ("h100", "NVIDIA H100"),
+            ("mi250", "AMD MI250"),
+            ("amd mi250", "AMD MI250"),
+        ],
+    )
+    def test_new_names_resolve(self, name, spec_name):
+        assert create_device(name).spec.name == spec_name
+
+    def test_unknown_name_lists_the_choices(self):
+        with pytest.raises(DeviceError, match="a100"):
+            create_device("b300")

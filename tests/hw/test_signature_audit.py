@@ -1,0 +1,120 @@
+"""Audit of DeviceSpec.signature(): every field must move the cache key.
+
+The campaign result cache keys entries by the device signature, so a
+spec field that does not change the signature would silently serve stale
+measurements after a recalibration. ``signature()`` iterates
+``dataclasses.fields`` to make that structurally impossible; this test
+closes the remaining gap by perturbing **every** declared field and
+asserting the signature (and its canonical JSON) actually changes.
+
+Adding a field to DeviceSpec fails the coverage check below until a
+perturbation is registered here — that is the audit working, not a
+broken test.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.hw.dvfs import FrequencyTable, VoltageCurve
+from repro.hw.specs import DeviceSpec, make_a100_spec, make_v100_spec
+from repro.runtime.seeding import canonical_json
+
+#: One constructible perturbation per DeviceSpec field. The base spec is
+#: the A100 (the only kind with every optional field populated, memory
+#: domain included). Values respect __post_init__ cross-field rules:
+#: the perturbed mem_freq_mhz stays an entry of the (perturbed) table,
+#: and perturbed curves still span their tables.
+PERTURBATIONS = {
+    "name": "NVIDIA A100 (recalibrated)",
+    "vendor": "intel",
+    "n_cores": 6913,
+    "ipc": 0.76,
+    "max_resident_threads": 221185,
+    "mem_bandwidth_gbs": 2040.0,
+    "mem_latency_ns": 471.0,
+    "max_mlp": 20001,
+    "launch_overhead_us": 2.3,
+    "core_freqs": FrequencyTable.linear(210.0, 1410.0, 81, default_mhz=1095.0),
+    "mem_freq_mhz": 1080.0,
+    "voltage": VoltageCurve(
+        v_min=0.70, v_max=1.09, f_min_mhz=210.0, f_knee_mhz=800.0,
+        f_max_mhz=1410.0, exponent=2.0,
+    ),
+    "p_static_w": 56.0,
+    "p_clock_w": 9.0,
+    "p_core_dyn_w": 196.0,
+    "p_mem_dyn_w": 141.0,
+    "mem_freq_coupling": 0.36,
+    "bytes_per_access": 4.0,
+    "per_thread_mlp": 5.0,
+    "active_idle_frac": 0.13,
+    "op_cost_overrides": {"special_fn": 42.0},
+    "mem_freqs": FrequencyTable.linear(810.0, 1215.0, 10, default_mhz=1215.0),
+    "mem_voltage": VoltageCurve(
+        v_min=0.80, v_max=1.21, f_min_mhz=810.0, f_knee_mhz=810.0,
+        f_max_mhz=1215.0, exponent=1.0,
+    ),
+}
+
+
+def perturbed(field_name):
+    value = PERTURBATIONS[field_name]
+    if field_name == "mem_freq_mhz":
+        # keep the reference clock inside a table that contains it
+        return dataclasses.replace(
+            make_a100_spec(),
+            mem_freq_mhz=value,
+            mem_freqs=FrequencyTable.linear(810.0, 1215.0, 4, default_mhz=1080.0),
+        )
+    return dataclasses.replace(make_a100_spec(), **{field_name: value})
+
+
+def test_every_declared_field_has_a_registered_perturbation():
+    declared = {f.name for f in dataclasses.fields(DeviceSpec)}
+    assert declared == set(PERTURBATIONS), (
+        "DeviceSpec grew (or lost) a field; register a perturbation above "
+        "so the signature audit keeps covering every field"
+    )
+
+
+@pytest.mark.parametrize("field_name", sorted(PERTURBATIONS))
+def test_perturbing_any_field_changes_the_signature(field_name):
+    base = make_a100_spec().signature()
+    sig = perturbed(field_name).signature()
+    assert sig != base
+    assert canonical_json(sig) != canonical_json(base)
+
+
+@pytest.mark.parametrize("field_name", sorted(PERTURBATIONS))
+def test_perturbed_value_actually_differs_from_the_base(field_name):
+    # Guards the table itself: a perturbation equal to the factory value
+    # would make the signature test pass vacuously.
+    base = make_a100_spec().signature()[field_name]
+    assert perturbed(field_name).signature()[field_name] != base
+
+
+def test_signature_is_reproducible():
+    assert make_a100_spec().signature() == make_a100_spec().signature()
+    assert canonical_json(make_a100_spec().signature()) == canonical_json(
+        make_a100_spec().signature()
+    )
+
+
+def test_signature_is_json_canonicalizable():
+    for spec in (make_a100_spec(), make_v100_spec()):
+        text = canonical_json(spec.signature())
+        assert isinstance(text, str) and spec.name in text
+
+
+def test_legacy_spec_signature_records_the_absent_memory_domain():
+    sig = make_v100_spec().signature()
+    assert sig["mem_freqs"] is None
+    assert sig["mem_voltage"] is None
+
+
+def test_memory_domain_fields_reach_the_signature():
+    sig = make_a100_spec().signature()
+    assert sig["mem_freqs"]["freqs_mhz"] == [810.0, 945.0, 1080.0, 1215.0]
+    assert sig["mem_freqs"]["default_mhz"] == 1215.0
+    assert sig["mem_voltage"]["v_max"] == 1.20

@@ -77,6 +77,75 @@ class TestCharacterizationRoundtrip:
             load_characterization(path)
 
 
+class TestCharacterizationMemoryClock:
+    def run_grid_row(self):
+        from repro.hw.specs import make_a100_spec
+        from repro.mhd.app import MhdApplication
+        from repro.runtime.engine import CampaignEngine
+
+        engine = CampaignEngine(jobs=1, campaign_seed=3, method="replay")
+        spec = make_a100_spec()
+        rows = engine.characterize_grid(
+            [MhdApplication.from_size(6, 12, 8, n_steps=2)],
+            spec,
+            freqs_mhz=(300.0, 1410.0),
+            mem_freqs_mhz=[spec.mem_freq_table.min_mhz],
+            repetitions=2,
+        )[0]
+        return rows[0]
+
+    def test_memory_pinned_row_round_trips_bitwise(self, tmp_path):
+        result = self.run_grid_row()
+        assert result.mem_freq_mhz is not None
+        path = tmp_path / "char.json"
+        save_characterization(result, path)
+        back = load_characterization(path)
+        assert back.mem_freq_mhz == result.mem_freq_mhz
+        assert back.baseline_time_s == result.baseline_time_s
+        for sa, sb in zip(result.samples, back.samples):
+            assert sb.mem_freq_mhz == sa.mem_freq_mhz
+            assert sb.time_s == sa.time_s
+            assert np.array_equal(sb.rep_times_s, sa.rep_times_s)
+
+    def test_core_only_payload_keeps_the_legacy_byte_layout(
+        self, tmp_path, ideal_v100_dev, small_freqs
+    ):
+        # Absent memory clocks must be absent *keys*, not nulls, so
+        # pre-2-D payloads and fresh core-only saves are byte-identical.
+        import json
+
+        from repro.ligen.app import LigenApplication
+        from repro.synergy.runner import characterize
+
+        result = characterize(
+            LigenApplication(256, 31, 4), ideal_v100_dev,
+            freqs_mhz=small_freqs, repetitions=1,
+        )
+        path = tmp_path / "char.json"
+        save_characterization(result, path)
+        payload = json.loads(path.read_text())
+        assert "mem_freq_mhz" not in payload
+        assert all("mem_freq_mhz" not in s for s in payload["samples"])
+
+    def test_legacy_payload_loads_with_no_memory_clock(self, tmp_path):
+        # A payload written before the 2-D sweep existed has no
+        # mem_freq_mhz keys anywhere; it must load as a core-only result.
+        import json
+
+        result = self.run_grid_row()
+        path = tmp_path / "char.json"
+        save_characterization(result, path)
+        payload = json.loads(path.read_text())
+        del payload["mem_freq_mhz"]
+        for s in payload["samples"]:
+            s.pop("mem_freq_mhz", None)
+        path.write_text(json.dumps(payload))
+        back = load_characterization(path)
+        assert back.mem_freq_mhz is None
+        assert all(s.mem_freq_mhz is None for s in back.samples)
+        assert back.baseline_time_s == result.baseline_time_s
+
+
 class TestForestRoundtrip:
     def test_identical_predictions(self, tmp_path):
         rng = np.random.default_rng(0)

@@ -1,0 +1,132 @@
+"""MhdApplication: launch structure, roofline regime and the app protocol."""
+
+import pytest
+
+from repro.hw.device import SimulatedGPU
+from repro.hw.perf import RooflineTimingModel
+from repro.hw.specs import make_a100_spec, make_v100_spec
+from repro.kernels.ir import KernelLaunch
+from repro.mhd.app import MHD_FEATURE_NAMES, MhdApplication
+from repro.mhd.gpu_costs import (
+    CYL_BOUNDARY_SPEC,
+    all_specs,
+    step_launches,
+)
+from repro.mhd.grid import CylGrid
+
+GRID = CylGrid(nr=24, ntheta=48, nz=32)
+
+
+class TestStepLaunches:
+    def test_one_launch_per_physics_kernel(self):
+        launches = step_launches(GRID)
+        assert [l.spec.name for l in launches] == [
+            "mhd_maxwell_curl",
+            "mhd_heat_diffusion",
+            "mhd_ns_advect",
+            "mhd_cyl_boundary",
+        ]
+
+    def test_field_kernels_cover_every_interior_cell(self):
+        for launch in step_launches(GRID)[:3]:
+            assert launch.threads == GRID.n_cells
+
+    def test_boundary_kernel_touches_only_the_ghost_shell(self):
+        boundary = step_launches(GRID)[-1]
+        assert boundary.spec is CYL_BOUNDARY_SPEC
+        assert boundary.threads == GRID.n_boundary_cells
+
+    def test_all_specs_lists_the_four_kernels(self):
+        assert len(all_specs()) == 4
+        assert {s.name for s in all_specs()} == {l.spec.name for l in step_launches(GRID)}
+
+
+class TestRooflineRegime:
+    @pytest.mark.parametrize("factory", [make_v100_spec, make_a100_spec])
+    def test_field_kernels_are_memory_bound_at_scale(self, factory):
+        """The workload exists to probe the bandwidth-bound regime: none of
+        the field kernels may be compute-bound at the default application
+        clock (or above) on any device we sweep it on."""
+        spec = factory()
+        timing = RooflineTimingModel(spec)
+        for kernel in all_specs()[:3]:
+            launch = KernelLaunch(kernel, threads=GRID.n_cells)
+            assert not timing.is_compute_bound(launch, spec.core_freqs.default_mhz)
+            assert not timing.is_compute_bound(launch, spec.core_freqs.max_mhz)
+
+    def test_memory_downclock_stretches_runtime(self):
+        """On a memory-DVFS device, lowering the HBM clock must slow the
+        bandwidth-bound workload down (the time/energy trade the 2-D
+        machinery exploits)."""
+        app = MhdApplication(grid=GRID, n_steps=2)
+        spec = make_a100_spec()
+
+        def time_at(mem_mhz):
+            gpu = SimulatedGPU(spec)
+            gpu.set_memory_frequency(mem_mhz)
+            app.run(gpu)
+            return gpu.time_counter_s
+
+        assert time_at(spec.mem_freq_table.min_mhz) > time_at(spec.mem_freq_mhz)
+
+    def test_core_overclock_buys_almost_nothing(self):
+        """Core-frequency insensitivity is what makes the workload a good
+        2-D probe: the top core bin must not be meaningfully faster than
+        the default application clock."""
+        app = MhdApplication(grid=GRID, n_steps=2)
+        spec = make_a100_spec()
+
+        def time_at(core_mhz):
+            gpu = SimulatedGPU(spec)
+            gpu.set_core_frequency(core_mhz)
+            app.run(gpu)
+            return gpu.time_counter_s
+
+        t_default = time_at(spec.core_freqs.default_mhz)
+        t_top = time_at(spec.core_freqs.max_mhz)
+        assert (t_default - t_top) / t_default < 0.05
+
+
+class TestApplicationProtocol:
+    def test_name_embeds_the_grid_label(self):
+        app = MhdApplication.from_size(6, 12, 8)
+        assert app.name == "mhd-6x12x8"
+
+    def test_domain_features_match_the_declared_names(self):
+        app = MhdApplication.from_size(6, 12, 8)
+        assert len(app.domain_features) == len(MHD_FEATURE_NAMES)
+        assert app.domain_features == (6.0, 12.0, 8.0)
+        assert MHD_FEATURE_NAMES == ("f_grid_r", "f_grid_theta", "f_grid_z")
+
+    def test_run_issues_the_expected_launch_count(self):
+        app = MhdApplication.from_size(6, 12, 8, n_steps=3)
+        gpu = SimulatedGPU(make_a100_spec())
+        app.run(gpu)
+        # one ghost-shell fill plus four kernels per step
+        assert gpu.launch_count == 1 + 4 * 3
+        assert gpu.time_counter_s > 0.0
+        assert gpu.energy_counter_j > 0.0
+
+    def test_run_is_deterministic(self):
+        app = MhdApplication.from_size(6, 12, 8, n_steps=2)
+        readings = []
+        for _ in range(2):
+            gpu = SimulatedGPU(make_a100_spec())
+            app.run(gpu)
+            readings.append((gpu.time_counter_s, gpu.energy_counter_j))
+        assert readings[0] == readings[1]
+
+    def test_step_count_scales_work_linearly(self):
+        def time_for(n_steps):
+            gpu = SimulatedGPU(make_a100_spec())
+            MhdApplication.from_size(6, 12, 8, n_steps=n_steps).run(gpu)
+            return gpu.time_counter_s
+
+        t1, t2, t4 = time_for(1), time_for(2), time_for(4)
+        # every step costs the same; only the initial ghost fill is extra
+        assert t4 - t2 == pytest.approx(2.0 * (t2 - t1), rel=1e-9)
+        assert t2 > t1 > 0.0
+
+    def test_invalid_step_count_rejected(self):
+        with pytest.raises(ValueError):
+            MhdApplication.from_size(6, 12, 8, n_steps=0)

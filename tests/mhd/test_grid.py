@@ -1,0 +1,84 @@
+"""Unit tests for the cylindrical MHD grid."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mhd.grid import NGHOST_CYL, CylGrid
+
+
+def make(nr=10, ntheta=8, nz=5, **kw):
+    return CylGrid(nr=nr, ntheta=ntheta, nz=nz, **kw)
+
+
+class TestGeometry:
+    def test_spacing(self):
+        grid = make(radius=2.0, height=4.0)
+        assert grid.dr == pytest.approx(0.2)
+        assert grid.dtheta == pytest.approx(2.0 * math.pi / 8)
+        assert grid.dz == pytest.approx(0.8)
+
+    def test_spacing_tuple_matches_axis_order(self):
+        grid = make()
+        assert grid.spacing == (grid.dz, grid.dtheta, grid.dr)
+
+    def test_theta_sectors_cover_full_circle(self):
+        grid = make(ntheta=12)
+        assert grid.ntheta * grid.dtheta == pytest.approx(2.0 * math.pi)
+
+
+class TestShapes:
+    def test_interior_shape_is_z_theta_r(self):
+        assert make().shape == (5, 8, 10)
+
+    def test_n_cells(self):
+        assert make().n_cells == 10 * 8 * 5
+
+    def test_padded_shape_adds_two_ghosts_per_side(self):
+        grid = make()
+        g = 2 * NGHOST_CYL
+        assert grid.padded_shape == (5 + g, 8 + g, 10 + g)
+
+    def test_interior_slices_select_exactly_the_interior(self):
+        grid = make()
+        arr = np.zeros(grid.padded_shape)
+        arr[grid.interior] = 1.0
+        assert arr.sum() == grid.n_cells
+        assert arr[grid.interior].shape == grid.shape
+
+    def test_boundary_cells_complement_the_interior(self):
+        grid = make()
+        padded = int(np.prod(grid.padded_shape))
+        assert grid.n_boundary_cells == padded - grid.n_cells
+
+
+class TestCoordinates:
+    def test_cell_centers_broadcast_to_interior_shape(self):
+        grid = make()
+        z, theta, r = grid.cell_centers()
+        assert np.broadcast_shapes(z.shape, theta.shape, r.shape) == grid.shape
+
+    def test_cell_centers_stay_inside_the_vessel(self):
+        grid = make(radius=1.5, height=3.0)
+        z, theta, r = grid.cell_centers()
+        assert 0.0 < z.min() and z.max() < grid.height
+        assert 0.0 < theta.min() and theta.max() < 2.0 * math.pi
+        assert 0.0 < r.min() and r.max() < grid.radius
+
+
+class TestValidation:
+    def test_label(self):
+        assert CylGrid(nr=48, ntheta=96, nz=64).label() == "48x96x64"
+
+    @pytest.mark.parametrize("field", ["nr", "ntheta", "nz"])
+    def test_nonpositive_extent_rejected(self, field):
+        kw = {"nr": 4, "ntheta": 4, "nz": 4, field: 0}
+        with pytest.raises(ValueError):
+            CylGrid(**kw)
+
+    def test_nonpositive_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            make(radius=0.0)
+        with pytest.raises(ValueError):
+            make(height=-1.0)

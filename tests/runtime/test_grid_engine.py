@@ -1,0 +1,152 @@
+"""characterize_grid: 2-D fan-out, legacy bit-identity and cache sharing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.specs import make_a100_spec
+from repro.mhd.app import MhdApplication
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import BASELINE_POINT, CampaignEngine, _point_key
+
+FREQS = (300.0, 900.0, 1410.0)
+SEED = 7
+
+
+def tiny_app():
+    return MhdApplication.from_size(6, 12, 8, n_steps=2)
+
+
+def engine(**kw):
+    kw.setdefault("jobs", 1)
+    kw.setdefault("campaign_seed", SEED)
+    kw.setdefault("method", "replay")
+    return CampaignEngine(**kw)
+
+
+def assert_rows_bitwise_equal(a, b):
+    assert a.baseline_time_s == b.baseline_time_s
+    assert a.baseline_energy_j == b.baseline_energy_j
+    assert len(a.samples) == len(b.samples)
+    for sa, sb in zip(a.samples, b.samples):
+        assert sa.freq_mhz == sb.freq_mhz
+        assert sa.time_s == sb.time_s
+        assert sa.energy_j == sb.energy_j
+        assert np.array_equal(sa.rep_times_s, sb.rep_times_s)
+        assert np.array_equal(sa.rep_energies_j, sb.rep_energies_j)
+
+
+class TestPointKey:
+    def test_baseline_key_is_the_historical_label(self):
+        assert _point_key(None, None) == BASELINE_POINT
+
+    def test_core_only_points_keep_their_legacy_keys(self):
+        # Seeds and cache entries derive from this value; changing it
+        # would orphan every pre-2-D cache and shift every noise stream.
+        assert _point_key(900.0, None) == 900.0
+
+    def test_memory_pinned_points_get_a_composite_key(self):
+        assert _point_key(900.0, 810.0) == "900.0|mem810.0"
+
+
+class TestGridShape:
+    def test_one_row_per_memory_clock_ascending(self):
+        spec = make_a100_spec()
+        rows = engine().characterize_grid(
+            [tiny_app()], spec, freqs_mhz=FREQS,
+            mem_freqs_mhz=spec.mem_freq_table.freqs_mhz, repetitions=1,
+        )[0]
+        assert [r.mem_freq_mhz for r in rows] == list(spec.mem_freq_table.freqs_mhz)
+        for row in rows:
+            assert list(row.freqs_mhz) == list(FREQS)
+
+    def test_all_rows_share_one_reference_baseline(self):
+        spec = make_a100_spec()
+        rows = engine().characterize_grid(
+            [tiny_app()], spec, freqs_mhz=FREQS,
+            mem_freqs_mhz=spec.mem_freq_table.freqs_mhz, repetitions=1,
+        )[0]
+        assert len({(r.baseline_time_s, r.baseline_energy_j) for r in rows}) == 1
+
+    def test_samples_carry_their_memory_clock(self):
+        spec = make_a100_spec()
+        lo = spec.mem_freq_table.min_mhz
+        rows = engine().characterize_grid(
+            [tiny_app()], spec, freqs_mhz=FREQS, mem_freqs_mhz=[lo], repetitions=1,
+        )[0]
+        assert all(s.mem_freq_mhz == lo for s in rows[0].samples)
+
+    def test_reference_row_samples_are_untagged(self):
+        # The reference row reuses the legacy 1-D task identity end to
+        # end, including the absent memory tag on its samples.
+        spec = make_a100_spec()
+        rows = engine().characterize_grid(
+            [tiny_app()], spec, freqs_mhz=FREQS,
+            mem_freqs_mhz=[spec.mem_freq_mhz], repetitions=1,
+        )[0]
+        assert all(s.mem_freq_mhz is None for s in rows[0].samples)
+
+    def test_no_apps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            engine().characterize_grid([], make_a100_spec())
+
+
+class TestLegacyBitIdentity:
+    def test_reference_row_matches_a_core_only_sweep_bitwise(self):
+        spec = make_a100_spec()
+        rows = engine().characterize_grid(
+            [tiny_app()], spec, freqs_mhz=FREQS,
+            mem_freqs_mhz=spec.mem_freq_table.freqs_mhz, repetitions=2,
+        )[0]
+        one_d = engine().characterize(
+            tiny_app(), spec, freqs_mhz=FREQS, repetitions=2
+        )
+        ref_row = next(r for r in rows if r.mem_freq_mhz == spec.mem_freq_mhz)
+        assert_rows_bitwise_equal(ref_row, one_d)
+
+    def test_reference_only_grid_reproduces_characterize_many(self):
+        spec = make_a100_spec()
+        apps = [tiny_app(), MhdApplication.from_size(12, 24, 16, n_steps=2)]
+        grid = engine().characterize_grid(
+            apps, spec, freqs_mhz=FREQS, mem_freqs_mhz=[spec.mem_freq_mhz],
+            repetitions=1,
+        )
+        many = engine().characterize_many(apps, spec, freqs_mhz=FREQS, repetitions=1)
+        for rows, flat in zip(grid, many):
+            assert len(rows) == 1
+            assert_rows_bitwise_equal(rows[0], flat)
+
+    def test_grid_runs_are_reproducible(self):
+        spec = make_a100_spec()
+        mems = spec.mem_freq_table.freqs_mhz
+
+        def run():
+            return engine().characterize_grid(
+                [tiny_app()], spec, freqs_mhz=FREQS, mem_freqs_mhz=mems,
+                repetitions=1,
+            )[0]
+
+        for row_a, row_b in zip(run(), run()):
+            assert_rows_bitwise_equal(row_a, row_b)
+
+
+class TestCacheSharing:
+    def test_grid_reference_row_hits_the_core_only_cache(self, tmp_path):
+        # A 1-D campaign warms the cache; the 2-D grid's reference-mem
+        # points (and baseline) must be served from it, because they
+        # carry the very same task identity.
+        spec = make_a100_spec()
+        warm = engine(cache=ResultCache(tmp_path / "cache"))
+        warm.characterize(tiny_app(), spec, freqs_mhz=FREQS, repetitions=1)
+        assert warm.stats.cache_hits == 0
+
+        grid = engine(cache=ResultCache(tmp_path / "cache"))
+        rows = grid.characterize_grid(
+            [tiny_app()], spec, freqs_mhz=FREQS,
+            mem_freqs_mhz=spec.mem_freq_table.freqs_mhz, repetitions=1,
+        )[0]
+        # baseline + one full core sweep at the reference memory clock
+        assert grid.stats.cache_hits == 1 + len(FREQS)
+        ref_row = next(r for r in rows if r.mem_freq_mhz == spec.mem_freq_mhz)
+        fresh = engine().characterize(tiny_app(), spec, freqs_mhz=FREQS, repetitions=1)
+        assert_rows_bitwise_equal(ref_row, fresh)

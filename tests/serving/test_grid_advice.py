@@ -1,0 +1,217 @@
+"""2-D (core, memory) advice: Objective.evaluate_grid and advise_grid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.ml.forest import RandomForestRegressor
+from repro.modeling.dataset import EnergyDataset, EnergySample
+from repro.modeling.domain import DomainSpecificModel, TradeoffPrediction
+from repro.serving import AdvisorService
+from repro.serving.objectives import Advice, Objective
+
+from .conftest import TRAIN_FREQS
+
+CORES = np.array([300.0, 900.0, 1410.0])
+MEMS = (810.0, 1215.0)
+
+LEGACY_KEYS = {
+    "objective",
+    "freq_mhz",
+    "predicted_time_s",
+    "predicted_energy_j",
+    "predicted_speedup",
+    "predicted_normalized_energy",
+    "pareto_freqs_mhz",
+    "on_pareto_front",
+}
+
+
+def profile(mem, times, energies, baseline_time=1.0, baseline_energy=10.0):
+    t = np.asarray(times, dtype=float)
+    e = np.asarray(energies, dtype=float)
+    return (
+        float(mem),
+        TradeoffPrediction(
+            freqs_mhz=CORES.copy(),
+            times_s=t,
+            energies_j=e,
+            speedups=baseline_time / t,
+            normalized_energies=e / baseline_energy,
+            baseline_freq_mhz=900.0,
+        ),
+    )
+
+
+@pytest.fixture
+def grid_profiles():
+    # Reference row (1215): fast but hungry. Low row (810): slower,
+    # cheaper. The minimum-EDP point sits at (900, 810), an interior
+    # pair — neither the max-performance core nor the reference memory.
+    return [
+        profile(810.0, times=[2.0, 1.05, 1.01], energies=[5.2, 5.0, 9.0]),
+        profile(1215.0, times=[1.9, 1.0, 0.8], energies=[9.5, 10.0, 14.0]),
+    ]
+
+
+class TestEvaluateGrid:
+    def test_tradeoff_picks_an_interior_pair(self, grid_profiles):
+        advice = Objective.tradeoff().evaluate_grid(grid_profiles)
+        assert (advice.freq_mhz, advice.mem_freq_mhz) == (900.0, 810.0)
+        assert advice.predicted_time_s == 1.05
+        assert advice.predicted_energy_j == 5.0
+        assert advice.on_pareto_front
+
+    def test_deadline_objective_spans_rows(self, grid_profiles):
+        # Deadline 1.0 s: feasible points are (900, 1215) and (1410, *).
+        # Cheapest feasible energy is 9.0 at (1410, 810).
+        advice = Objective.min_energy_deadline(1.01).evaluate_grid(grid_profiles)
+        assert (advice.freq_mhz, advice.mem_freq_mhz) == (1410.0, 810.0)
+        assert advice.predicted_energy_j == 9.0
+
+    def test_power_cap_objective_spans_rows(self, grid_profiles):
+        # Average power e/t: row 810 -> (2.6, ~4.76, ~8.9); row 1215 ->
+        # (5.0, 10.0, 17.5). Cap 5.0 admits (300, 810), (900, 810) and
+        # (300, 1215); the fastest of those is (900, 810).
+        advice = Objective.max_speedup_power(5.0).evaluate_grid(grid_profiles)
+        assert (advice.freq_mhz, advice.mem_freq_mhz) == (900.0, 810.0)
+
+    def test_infeasible_deadline_raises(self, grid_profiles):
+        with pytest.raises(ServingError, match="deadline"):
+            Objective.min_energy_deadline(0.1).evaluate_grid(grid_profiles)
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ServingError, match="at least one"):
+            Objective.tradeoff().evaluate_grid([])
+
+    def test_advice_carries_the_grid_front_pairs(self, grid_profiles):
+        advice = Objective.tradeoff().evaluate_grid(grid_profiles)
+        assert advice.pareto_pairs_mhz is not None
+        assert (advice.freq_mhz, advice.mem_freq_mhz) in advice.pareto_pairs_mhz
+        # pairs and the flat frequency list describe the same front
+        assert tuple(p[0] for p in advice.pareto_pairs_mhz) == advice.pareto_freqs_mhz
+
+    def test_single_reference_row_matches_evaluate(self, grid_profiles):
+        # A grid with only the reference row must pick the same
+        # configuration as the 1-D path; only the identity gains a mem
+        # clock.
+        ref_row = grid_profiles[1]
+        grid = Objective.tradeoff().evaluate_grid([ref_row])
+        flat = Objective.tradeoff().evaluate(ref_row[1])
+        assert grid.freq_mhz == flat.freq_mhz
+        assert grid.predicted_time_s == flat.predicted_time_s
+        assert grid.predicted_energy_j == flat.predicted_energy_j
+        assert grid.mem_freq_mhz == ref_row[0]
+        assert flat.mem_freq_mhz is None
+
+
+class TestAdviceWireFormat:
+    def test_core_only_dict_keeps_the_legacy_key_set(self, grid_profiles):
+        advice = Objective.tradeoff().evaluate(grid_profiles[1][1])
+        assert set(advice.as_dict()) == LEGACY_KEYS
+
+    def test_grid_dict_adds_exactly_the_two_memory_keys(self, grid_profiles):
+        advice = Objective.tradeoff().evaluate_grid(grid_profiles)
+        out = advice.as_dict()
+        assert set(out) == LEGACY_KEYS | {"mem_freq_mhz", "pareto_pairs_mhz"}
+        assert out["mem_freq_mhz"] == advice.mem_freq_mhz
+        assert all(len(p) == 2 for p in out["pareto_pairs_mhz"])
+
+    def test_grid_dict_is_json_serializable(self, grid_profiles):
+        import json
+
+        advice = Objective.tradeoff().evaluate_grid(grid_profiles)
+        assert json.loads(json.dumps(advice.as_dict()))["mem_freq_mhz"] == 810.0
+
+
+def grid_dataset():
+    """Analytic 2-D workload: memory clock is the trailing feature."""
+    ds = EnergyDataset(feature_names=("size", "f_mem_mhz"))
+    for size in (1.0, 2.0, 4.0, 8.0):
+        for mem in (800.0, 1000.0, 1200.0):
+            for f in TRAIN_FREQS:
+                ds.add(
+                    EnergySample(
+                        features=(size, mem),
+                        freq_mhz=f,
+                        time_s=size * (1000.0 / f + 500.0 / mem),
+                        energy_j=size * (20.0 + f / 100.0 + mem / 200.0),
+                    )
+                )
+    return ds
+
+
+@pytest.fixture(scope="module")
+def grid_model():
+    model = DomainSpecificModel(
+        ("size", "f_mem_mhz"),
+        regressor_factory=lambda: RandomForestRegressor(n_estimators=8, random_state=0),
+        baseline_freq_mhz=1282.0,
+    )
+    return model.fit(grid_dataset())
+
+
+@pytest.fixture
+def grid_service(grid_model):
+    return AdvisorService(grid_model, np.asarray(TRAIN_FREQS), model_digest="grid-digest")
+
+
+class TestAdviseGrid:
+    def test_returns_a_pair_from_the_candidate_grid(self, grid_service):
+        advice = grid_service.advise_grid([4.0], [800.0, 1000.0, 1200.0])
+        assert advice.freq_mhz in TRAIN_FREQS
+        assert advice.mem_freq_mhz in (800.0, 1000.0, 1200.0)
+        assert advice.pareto_pairs_mhz
+
+    def test_requests_counter_increments(self, grid_service):
+        before = grid_service.stats.requests
+        grid_service.advise_grid([4.0], [800.0, 1200.0])
+        assert grid_service.stats.requests == before + 1
+
+    def test_deterministic(self, grid_service):
+        a = grid_service.advise_grid([2.0], [800.0, 1000.0, 1200.0])
+        b = grid_service.advise_grid([2.0], [800.0, 1000.0, 1200.0])
+        assert a == b
+
+    def test_domain_feature_arity_is_checked(self, grid_service):
+        # The model's trailing feature is the memory clock; passing it in
+        # `features` too must be rejected, not silently shifted.
+        with pytest.raises(ServingError, match="memory clock"):
+            grid_service.advise_grid([4.0, 1200.0], [800.0])
+
+    def test_empty_memory_grid_is_rejected(self, grid_service):
+        with pytest.raises(ServingError, match="non-empty"):
+            grid_service.advise_grid([4.0], [])
+
+    def test_objective_error_still_counts_the_request(self, grid_service):
+        before = (grid_service.stats.requests, grid_service.stats.errors)
+        with pytest.raises(ServingError):
+            grid_service.advise_grid(
+                [4.0], [800.0], objective=Objective.min_energy_deadline(1e-9)
+            )
+        assert grid_service.stats.requests == before[0] + 1
+        assert grid_service.stats.errors == before[1] + 1
+
+    def test_core_only_model_rejects_grid_requests(self, fitted_model):
+        service = AdvisorService(
+            fitted_model, np.asarray(TRAIN_FREQS), model_digest="flat-digest"
+        )
+        with pytest.raises(ServingError):
+            service.advise_grid([4.0], [800.0])
+
+
+def test_advice_equality_distinguishes_memory_clocks(grid_profiles=None):
+    # Frozen-dataclass equality covers the new fields: the same core
+    # pick at two memory clocks is two different answers.
+    kw = dict(
+        objective="tradeoff",
+        freq_mhz=900.0,
+        predicted_time_s=1.0,
+        predicted_energy_j=10.0,
+        predicted_speedup=1.0,
+        predicted_normalized_energy=1.0,
+        pareto_freqs_mhz=(900.0,),
+        on_pareto_front=True,
+    )
+    assert Advice(**kw, mem_freq_mhz=810.0) != Advice(**kw, mem_freq_mhz=1215.0)
+    assert Advice(**kw) == Advice(**kw)

@@ -17,6 +17,7 @@ HERE = Path(__file__).parent
 REPO = HERE.parent.parent
 FIXTURE = HERE / "fixtures" / "valid" / "campaign_quick.json"
 EXAMPLE = REPO / "examples" / "specs" / "campaign_cronos_quick.json"
+MHD_EXAMPLE = REPO / "examples" / "specs" / "campaign_mhd_quick.json"
 
 
 def minimal(**body):
@@ -83,7 +84,7 @@ class TestValidation:
 
     def test_unknown_device_is_spec003(self):
         with pytest.raises(SpecValidationError) as exc:
-            CampaignSpec.from_record(minimal(device="h100"))
+            CampaignSpec.from_record(minimal(device="b300"))
         assert any(d.rule == "SPEC003" for d in exc.value.diagnostics)
 
     def test_unknown_app_kind_is_spec003(self):
@@ -129,3 +130,57 @@ class TestCliParity:
     def test_example_spec_round_trips(self):
         example = CampaignSpec.load(EXAMPLE)
         assert example.as_record() == json.loads(EXAMPLE.read_text())
+
+
+class TestMemorySweep:
+    """The 2-D sweep field: round-trips, fingerprints and the mhd gate."""
+
+    def test_mhd_record_round_trips_with_memory_clocks(self):
+        spec = CampaignSpec.load(MHD_EXAMPLE)
+        assert spec.app_kind == "mhd"
+        assert spec.device_name == "a100"
+        assert spec.sweep.mem_freqs_mhz == (810.0, 945.0, 1080.0, 1215.0)
+        again = CampaignSpec.from_record(spec.as_record())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_core_only_records_omit_the_key(self):
+        # Absent memory clocks must keep the exact legacy record shape,
+        # so every pre-2-D spec fingerprint is preserved.
+        record = CampaignSpec.from_record(minimal()).as_record()
+        assert "mem_freqs_mhz" not in record["sweep"]
+
+    def test_adding_memory_clocks_changes_the_fingerprint(self):
+        flat = campaign_spec_from_cli("mhd", device="a100", quick=True)
+        grid = campaign_spec_from_cli(
+            "mhd", device="a100", quick=True, mem_freqs_mhz=(810.0, 1215.0)
+        )
+        assert flat.fingerprint() != grid.fingerprint()
+
+    def test_quick_mhd_cli_matches_the_shipped_example(self):
+        spec = campaign_spec_from_cli(
+            "mhd",
+            device="a100",
+            quick=True,
+            freq_count=4,
+            repetitions=1,
+            mem_freqs_mhz=(810.0, 945.0, 1080.0, 1215.0),
+        )
+        example = CampaignSpec.load(MHD_EXAMPLE)
+        assert spec == example
+        assert spec.fingerprint() == example.fingerprint()
+
+    def test_mhd_example_round_trips_bytewise(self):
+        example = CampaignSpec.load(MHD_EXAMPLE)
+        assert example.as_record() == json.loads(MHD_EXAMPLE.read_text())
+
+    def test_memory_sweep_is_gated_to_mhd(self):
+        from repro.errors import SpecError
+        from repro.specs.run import run_campaign
+
+        spec = campaign_spec_from_cli(
+            "cronos", quick=True, freq_count=2, repetitions=1,
+            mem_freqs_mhz=(810.0,),
+        )
+        with pytest.raises(SpecError, match="only wired up"):
+            run_campaign(spec)

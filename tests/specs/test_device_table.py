@@ -6,10 +6,18 @@ from pathlib import Path
 import pytest
 
 from repro.errors import SpecError, SpecValidationError
-from repro.hw.specs import make_intel_max_spec, make_mi100_spec, make_v100_spec
+from repro.hw.specs import (
+    make_a100_spec,
+    make_h100_spec,
+    make_intel_max_spec,
+    make_mi100_spec,
+    make_mi250_spec,
+    make_v100_spec,
+)
 from repro.specs import (
     DEVICE_TABLE_FORMAT,
     DEVICE_TABLE_SCHEMA,
+    DEVICE_TABLE_VERSION,
     check_device_table,
     device_spec_from_clean,
     device_table_record,
@@ -17,13 +25,20 @@ from repro.specs import (
 )
 
 HERE = Path(__file__).parent
+REPO = HERE.parent.parent
 VALID_TABLE = HERE / "fixtures" / "valid" / "device_v100.json"
+# Lives outside fixtures/valid: loading it is *supposed* to emit the
+# SPEC005 migration warning, so it is not "clean".
+V1_TABLE = HERE / "fixtures" / "migration" / "device_v100_v1.json"
 WRONG_UNIT_TABLE = HERE / "fixtures" / "invalid" / "spec004_wrong_unit.json"
 
 FACTORIES = {
     "v100": make_v100_spec,
     "mi100": make_mi100_spec,
     "max1100": make_intel_max_spec,
+    "a100": make_a100_spec,
+    "h100": make_h100_spec,
+    "mi250": make_mi250_spec,
 }
 
 
@@ -106,3 +121,90 @@ def test_load_rejects_missing_file(tmp_path):
 def test_format_tag_matches_constant():
     record = device_table_record(make_v100_spec())
     assert record["format"] == DEVICE_TABLE_FORMAT
+
+
+class TestSchemaV2:
+    """The memory-DVFS fields of device-table schema v2."""
+
+    def test_current_version_is_two(self):
+        assert DEVICE_TABLE_VERSION == 2
+        record = device_table_record(make_a100_spec())
+        assert record["schema_version"] == 2
+
+    def test_legacy_specs_omit_the_memory_keys(self):
+        # v1-era devices keep their exact field set (plus the bumped
+        # schema_version), so their records and fingerprints are stable.
+        record = device_table_record(make_v100_spec())
+        assert "mem_freqs" not in record
+        assert "mem_voltage" not in record
+
+    def test_memory_dvfs_specs_emit_both_memory_keys(self):
+        record = device_table_record(make_a100_spec())
+        assert record["mem_freqs"]["count"] == 4
+        assert record["mem_freqs"]["min"]["value"] == 810.0
+        assert record["mem_freqs"]["max"]["value"] == 1215.0
+        assert record["mem_voltage"]["v_max"] == 1.20
+
+    def test_mem_voltage_without_mem_freqs_is_spec002(self):
+        record = device_table_record(make_a100_spec())
+        del record["mem_freqs"]
+        diags = check_device_table(record)
+        assert diags and {d.rule for d in diags} == {"SPEC002"}
+        assert any("mem_freqs" in d.message for d in diags)
+
+    def test_reference_clock_outside_the_band_is_spec002(self):
+        record = device_table_record(make_a100_spec())
+        record["mem_freq"] = {"value": 500.0, "unit": "MHz"}
+        diags = check_device_table(record)
+        assert any(d.rule == "SPEC002" and "mem_freq" in d.message for d in diags)
+
+    @pytest.mark.parametrize("name", ["a100", "mi250"])
+    def test_example_tables_match_the_factories(self, name):
+        example = REPO / "examples" / "specs" / f"device_{name}.json"
+        assert json.loads(example.read_text()) == device_table_record(FACTORIES[name]())
+
+    @pytest.mark.parametrize("name", ["a100", "mi250"])
+    def test_example_tables_are_lint_clean(self, name):
+        example = REPO / "examples" / "specs" / f"device_{name}.json"
+        assert check_device_table(json.loads(example.read_text())) == []
+
+
+class TestV1Migration:
+    """v1 tables auto-migrate: same spec, one SPEC005 warning."""
+
+    def v1_record(self):
+        record = device_table_record(make_v100_spec())
+        record["schema_version"] = 1
+        return record
+
+    def test_migration_warns_spec005_without_errors(self):
+        clean, diags = DEVICE_TABLE_SCHEMA.validate(self.v1_record())
+        assert clean is not None
+        assert [d.rule for d in diags] == ["SPEC005"]
+        assert all(d.severity.value == "warning" for d in diags)
+
+    def test_migrated_table_loads_to_the_same_spec_as_v2(self):
+        clean, _ = DEVICE_TABLE_SCHEMA.validate(self.v1_record())
+        migrated = device_spec_from_clean(clean)
+        assert device_table_record(migrated) == device_table_record(make_v100_spec())
+        assert migrated.mem_freqs is None
+        assert migrated.mem_voltage is None
+        assert not migrated.has_memory_dvfs
+
+    def test_v1_fixture_file_loads(self):
+        spec = load_device_table(V1_TABLE)
+        assert spec.signature() == load_device_table(VALID_TABLE).signature()
+
+    def test_v1_fixture_is_byte_identical_to_v2_apart_from_the_version(self):
+        v1 = json.loads(V1_TABLE.read_text())
+        v2 = json.loads(VALID_TABLE.read_text())
+        assert v1.pop("schema_version") == 1
+        assert v2.pop("schema_version") == DEVICE_TABLE_VERSION
+        assert v1 == v2
+
+    def test_future_version_is_rejected(self):
+        record = device_table_record(make_v100_spec())
+        record["schema_version"] = DEVICE_TABLE_VERSION + 1
+        clean, diags = DEVICE_TABLE_SCHEMA.validate(record)
+        assert clean is None
+        assert any(d.rule == "SPEC005" for d in diags)

@@ -66,7 +66,7 @@ class TestCharacterizeCommand:
 
     def test_bad_device_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["characterize", "--app", "ligen", "--device", "h100"])
+            build_parser().parse_args(["characterize", "--app", "ligen", "--device", "b300"])
 
 
 class TestTrainPredictTune:
